@@ -1,0 +1,72 @@
+#ifndef LTEE_BENCH_BENCH_COMMON_H_
+#define LTEE_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the per-table reproduction benches. Each bench binary
+// regenerates one table or figure of the paper. Absolute numbers depend on
+// the synthetic-world scale (LTEE_SCALE env var; defaults below); the
+// *shape* of each table — orderings, relative deltas, crossovers — is the
+// reproduction target (see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "pipeline/experiment.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/training.h"
+#include "synth/dataset.h"
+#include "util/timer.h"
+
+namespace ltee::bench {
+
+/// Scale used by gold-standard experiments (Tables 5-10, Section 6).
+inline constexpr double kGoldScale = 0.004;
+/// Scale used by corpus-wide profiling (Tables 1-4, 11, 12).
+inline constexpr double kCorpusScale = 0.01;
+inline constexpr uint64_t kSeed = 20190326;
+
+inline double ScaleOrDefault(double fallback) {
+  const char* env = std::getenv("LTEE_SCALE");
+  if (env != nullptr) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return fallback;
+}
+
+inline synth::SyntheticDataset MakeDataset(double default_scale) {
+  synth::DatasetOptions options;
+  options.scale = ScaleOrDefault(default_scale);
+  options.seed = kSeed;
+  std::printf("# synthetic dataset: scale=%g seed=%llu\n", options.scale,
+              static_cast<unsigned long long>(options.seed));
+  util::WallTimer timer;
+  auto dataset = synth::BuildDataset(options);
+  std::printf("# built in %.1fs: %zu KB instances, %zu corpus tables "
+              "(%zu rows), %zu gold tables\n\n",
+              timer.ElapsedSeconds(), dataset.kb.num_instances(),
+              dataset.corpus.size(), dataset.corpus.TotalRows(),
+              dataset.gs_corpus.size());
+  return dataset;
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintTitle(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+/// Paper's short class names for display.
+inline std::string ShortClassName(const std::string& name) {
+  if (name == "GridironFootballPlayer") return "GF-Player";
+  return name;
+}
+
+}  // namespace ltee::bench
+
+#endif  // LTEE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) of the hot primitives behind the
+// pipeline's scalability story: string similarities, value parsing, label
+// index retrieval, row-pair metric computation, correlation clustering,
+// and random forest prediction. Not a paper table — these document the
+// cost model behind the Section 3.2 scalability design (parallel greedy +
+// KLj + blocking).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/correlation_clusterer.h"
+#include "index/label_index.h"
+#include "ml/random_forest.h"
+#include "types/value_parser.h"
+#include "util/random.h"
+#include "util/similarity.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ltee;
+
+void BM_Levenshtein(benchmark::State& state) {
+  const std::string a = "gridiron football player";
+  const std::string b = "gridiron foot ball players";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_MongeElkan(benchmark::State& state) {
+  const std::string a = "John Ronald Smith";
+  const std::string b = "Jon R. Smith";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::MongeElkanLevenshtein(a, b));
+  }
+}
+BENCHMARK(BM_MongeElkan);
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string s = "The Quick Brown Fox; Jumps over 42 lazy-dogs!";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Tokenize(s));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ParseDate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(types::ParseDate("September 21, 1987"));
+  }
+}
+BENCHMARK(BM_ParseDate);
+
+void BM_ClassifyCell(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(types::ClassifyCell("1,234,567"));
+  }
+}
+BENCHMARK(BM_ClassifyCell);
+
+void BM_LabelIndexSearch(benchmark::State& state) {
+  index::LabelIndex index;
+  util::Rng rng(1);
+  const char* first[] = {"spring", "oak", "maple", "cedar", "river", "lake"};
+  const char* second[] = {"field", "ton", "ville", "burg", "port", "dale"};
+  for (uint32_t i = 0; i < static_cast<uint32_t>(state.range(0)); ++i) {
+    std::string label = std::string(first[rng.NextBounded(6)]) +
+                        second[rng.NextBounded(6)] + " " +
+                        std::to_string(i % 97);
+    index.Add(i, label);
+  }
+  index.Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search("springfield 42", 10));
+  }
+}
+BENCHMARK(BM_LabelIndexSearch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CorrelationClustering(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> truth(n);
+  for (int i = 0; i < n; ++i) truth[i] = i / 8;  // clusters of 8
+  auto sim = [&truth](int i, int j) {
+    return truth[i] == truth[j] ? 1.0 : -1.0;
+  };
+  // Blocks mirror the clusters plus a noise block, as label blocking does.
+  std::vector<std::vector<int32_t>> blocks(n);
+  for (int i = 0; i < n; ++i) {
+    blocks[i] = {truth[i], static_cast<int32_t>(10000 + i % 13)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::ClusterCorrelation(n, sim, blocks));
+  }
+}
+BENCHMARK(BM_CorrelationClustering)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back({rng.NextDouble(), rng.NextDouble(), rng.NextDouble(),
+                 rng.NextDouble(), rng.NextDouble(), rng.NextDouble()});
+    y.push_back(x.back()[0] > 0.5 ? 1.0 : -1.0);
+  }
+  ml::RandomForestRegressor forest;
+  forest.Train(x, y, rng);
+  const std::vector<double> probe = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(probe));
+  }
+}
+BENCHMARK(BM_RandomForestPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Reproduces the Section 6 baseline comparisons head-to-head:
+//  (a) set expansion [31-33]: co-occurrence ranking from seed labels,
+//      evaluated by precision@k against ground truth (is the returned
+//      label a real not-in-KB entity of the class?) — the related work
+//      reports P@5 up to 0.94 and MAP 0.63-0.95 while returning a fixed
+//      number of names with no descriptions;
+//  (b) direct row-to-instance matching [25-27, 4, 21, 34]: rows matched
+//      to KB instances without clustering (paper: related work F1
+//      0.80-0.87, accuracy 0.83-0.93; the paper's entity-level matching
+//      achieves F1 0.83 / accuracy 0.78).
+
+#include <set>
+#include <unordered_map>
+
+#include "baselines/row_matching.h"
+#include "baselines/set_expansion.h"
+#include "bench_common.h"
+#include "eval/pipeline_eval.h"
+#include "pipeline/gold_artifacts.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ltee;
+  auto dataset = bench::MakeDataset(bench::kCorpusScale);
+  util::Rng rng(17);
+
+  // ---- (a) Set expansion over the full corpus. --------------------------
+  bench::PrintTitle("Section 6 baseline: co-occurrence set expansion");
+  std::printf("%-14s %8s %8s %8s %10s\n", "Class", "P@5", "P@20", "P@50",
+              "returned");
+  // Ground-truth label columns (the baseline literature assumes known
+  // subject columns).
+  std::vector<int> label_columns(dataset.corpus.size(), -1);
+  for (size_t t = 0; t < dataset.table_truth.size(); ++t) {
+    label_columns[t] = dataset.table_truth[t].label_column;
+  }
+  baselines::SetExpander expander(dataset.corpus, label_columns);
+
+  for (size_t g = 0; g < dataset.gold.size(); ++g) {
+    const int pi = dataset.gold_profile[g];
+    // Seeds: five popular KB instances of the class.
+    std::vector<std::string> seeds;
+    std::unordered_map<std::string, const synth::WorldEntity*> by_label;
+    for (int eid : dataset.world.EntitiesOfProfile(pi)) {
+      const auto& entity = dataset.world.entity(eid);
+      by_label[util::NormalizeLabel(entity.label)] = &entity;
+      if (entity.in_kb && seeds.size() < 5) seeds.push_back(entity.label);
+    }
+    auto expansion = expander.Expand(seeds);
+    // A returned label is correct if it names a not-in-KB entity of this
+    // class (the set-expansion notion of a "new" set member).
+    std::vector<bool> correct;
+    for (const auto& candidate : expansion) {
+      auto it = by_label.find(candidate.label);
+      correct.push_back(it != by_label.end() && !it->second->in_kb);
+    }
+    auto p_at = [&correct](size_t k) {
+      size_t hits = 0, n = std::min(k, correct.size());
+      for (size_t i = 0; i < n; ++i) hits += correct[i] ? 1 : 0;
+      return n == 0 ? 0.0 : static_cast<double>(hits) / n;
+    };
+    std::printf("%-14s %8.2f %8.2f %8.2f %10zu\n",
+                bench::ShortClassName(
+                    dataset.world.profiles()[pi].name).c_str(),
+                p_at(5), p_at(20), p_at(50), expansion.size());
+  }
+  std::printf("\nnote: names only, fixed cut-off, no descriptions — the "
+              "limitations Section 6 contrasts with the full pipeline "
+              "(see bench_sec6_ranked_eval for the pipeline's MAP/P@k)\n\n");
+
+  // ---- (b) Direct row-to-instance matching on the gold standard. --------
+  bench::PrintTitle("Section 6 baseline: direct row-to-instance matching "
+                    "(no clustering)");
+  auto kb_index = pipeline::BuildKbLabelIndex(dataset.kb);
+  baselines::RowInstanceMatcher matcher(dataset.kb, kb_index);
+  std::printf("%-14s %8s %8s %8s %10s\n", "Class", "P", "R", "F1",
+              "Accuracy");
+  double avg_f1 = 0.0, avg_acc = 0.0;
+  for (const auto& gs : dataset.gold) {
+    auto mapping = pipeline::GoldSchemaMapping(dataset.gs_corpus, gs,
+                                               dataset.kb);
+    // Gold row -> instance truth (existing clusters only).
+    auto truth = pipeline::GoldRowInstances(gs);
+    size_t predicted = 0, correct = 0, total_existing = truth.size();
+    for (webtable::TableId tid : gs.tables) {
+      auto matches =
+          matcher.MatchTable(dataset.gs_corpus.table(tid), mapping.of(tid));
+      for (const auto& match : matches) {
+        if (match.instance == kb::kInvalidInstance) continue;
+        ++predicted;
+        auto it = truth.find(match.row);
+        if (it != truth.end() && it->second == match.instance) ++correct;
+      }
+    }
+    const double p = predicted == 0
+                         ? 0.0
+                         : static_cast<double>(correct) / predicted;
+    const double r = total_existing == 0
+                         ? 0.0
+                         : static_cast<double>(correct) / total_existing;
+    const double f1 = p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+    const double acc = r;  // fraction of existing rows correctly resolved
+    std::printf("%-14s %8.2f %8.2f %8.2f %10.2f\n",
+                bench::ShortClassName(
+                    dataset.kb.cls(gs.cls).name).c_str(),
+                p, r, f1, acc);
+    avg_f1 += f1;
+    avg_acc += acc;
+  }
+  std::printf("%-14s %26.2f %10.2f\n", "Average",
+              avg_f1 / dataset.gold.size(), avg_acc / dataset.gold.size());
+  std::printf("\npaper: entity-level matching F1 0.83 / accuracy 0.78; "
+              "row-level related work F1 0.80-0.87 — entity-level wins "
+              "when rows are sparse because clusters pool evidence\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Table 9: results of the new-instances-found evaluation per
+// class, once with gold-standard clustering (GS) and once with the full
+// system clustering (ALL); new detection is always the full aggregated
+// method (paper: GF-Player 0.89/0.95/0.91 GS and 0.82/0.95/0.87 ALL;
+// Song 0.92/0.88/0.90 and 0.72/0.72/0.72; Settlement 0.84/0.90/0.87 and
+// 0.74/0.87/0.80; average ALL 0.76/0.85/0.80).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ltee;
+  auto dataset = bench::MakeDataset(bench::kGoldScale);
+
+  pipeline::GoldExperiment experiment(dataset.kb, dataset.gs_corpus,
+                                      dataset.gold);
+
+  bench::PrintTitle("Table 9: Results of new instances found evaluation");
+  std::printf("%-12s %-8s %-8s %8s %8s %8s\n", "Class", "Clust.", "NewDet.",
+              "P", "R", "F1");
+  double avg_p = 0, avg_r = 0, avg_f1 = 0;
+  for (int c = 0; c < experiment.num_classes(); ++c) {
+    const std::string name = bench::ShortClassName(
+        dataset.kb.cls(experiment.gold(c).cls).name);
+    for (bool gold_clustering : {true, false}) {
+      util::WallTimer timer;
+      auto result = experiment.NewInstancesFound(c, gold_clustering);
+      std::printf("%-12s %-8s %-8s %8.2f %8.2f %8.2f   (%.0fs)\n",
+                  name.c_str(), gold_clustering ? "GS" : "ALL", "ALL",
+                  result.precision, result.recall, result.f1,
+                  timer.ElapsedSeconds());
+      if (!gold_clustering) {
+        avg_p += result.precision;
+        avg_r += result.recall;
+        avg_f1 += result.f1;
+      }
+    }
+  }
+  const int n = experiment.num_classes();
+  std::printf("%-12s %-8s %-8s %8.2f %8.2f %8.2f\n", "Average", "ALL", "ALL",
+              avg_p / n, avg_r / n, avg_f1 / n);
+  std::printf("\npaper average (ALL/ALL): 0.76/0.85/0.80\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "baselines/row_matching.h"
+
+#include <algorithm>
+
+#include "types/type_similarity.h"
+#include "types/value_parser.h"
+#include "util/similarity.h"
+#include "util/string_util.h"
+
+namespace ltee::baselines {
+
+RowInstanceMatcher::RowInstanceMatcher(const kb::KnowledgeBase& kb,
+                                       const index::LabelIndex& kb_index,
+                                       RowMatchingOptions options)
+    : kb_(&kb), kb_index_(&kb_index), options_(options) {}
+
+std::vector<RowMatch> RowInstanceMatcher::MatchTable(
+    const webtable::WebTable& table,
+    const matching::TableMapping& mapping) const {
+  std::vector<RowMatch> out;
+  out.reserve(table.num_rows());
+  const types::TypeSimilarityOptions sim_options;
+
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    RowMatch match;
+    match.row = {table.id, static_cast<int32_t>(r)};
+    if (mapping.label_column < 0) {
+      out.push_back(match);
+      continue;
+    }
+    const std::string& label =
+        table.cell(r, static_cast<size_t>(mapping.label_column));
+    if (util::Trim(label).empty()) {
+      out.push_back(match);
+      continue;
+    }
+
+    double best_score = 0.0;
+    kb::InstanceId best = kb::kInvalidInstance;
+    for (const auto& hit :
+         kb_index_->Search(label, options_.candidates_per_row)) {
+      const kb::Instance& instance = kb_->instance(static_cast<int>(hit.doc));
+      double label_sim = 0.0;
+      for (const auto& inst_label : instance.labels) {
+        label_sim = std::max(label_sim,
+                             util::MongeElkanLevenshtein(label, inst_label));
+      }
+      if (label_sim < options_.label_threshold) continue;
+
+      // Verify against the instance's facts via the matched columns.
+      int compared = 0, equal = 0;
+      for (size_t c = 0; c < mapping.columns.size(); ++c) {
+        const kb::PropertyId property = mapping.columns[c].property;
+        if (property == kb::kInvalidProperty) continue;
+        const types::Value* fact = kb_->FactOf(instance.id, property);
+        if (fact == nullptr) continue;
+        auto value = types::NormalizeCell(table.cell(r, c),
+                                          kb_->property(property).type);
+        if (!value) continue;
+        ++compared;
+        if (types::ValuesEqual(*value, *fact, sim_options)) ++equal;
+      }
+      // Combined score: label similarity, adjusted by value verification
+      // when comparable values exist.
+      double score = label_sim;
+      if (compared > 0) {
+        const double agreement =
+            static_cast<double>(equal) / static_cast<double>(compared);
+        score = 0.6 * label_sim + 0.4 * agreement;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = instance.id;
+      }
+    }
+    if (best != kb::kInvalidInstance && best_score >= options_.match_threshold) {
+      match.instance = best;
+      match.score = best_score;
+    }
+    out.push_back(match);
+  }
+  return out;
+}
+
+}  // namespace ltee::baselines

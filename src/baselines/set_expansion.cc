@@ -1,0 +1,79 @@
+#include "baselines/set_expansion.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace ltee::baselines {
+
+SetExpander::SetExpander(const webtable::TableCorpus& corpus,
+                         std::vector<int> label_column,
+                         SetExpansionOptions options)
+    : corpus_(&corpus),
+      label_column_(std::move(label_column)),
+      options_(options) {}
+
+std::vector<ExpansionCandidate> SetExpander::Expand(
+    const std::vector<std::string>& seed_labels) const {
+  std::unordered_set<std::string> seeds;
+  for (const auto& seed : seed_labels) {
+    seeds.insert(util::NormalizeLabel(seed));
+  }
+
+  // Candidate statistics: in how many tables does a label co-occur with a
+  // seed, and in how many does it appear overall.
+  std::unordered_map<std::string, int> co_occurrence;
+  std::unordered_map<std::string, int> occurrence;
+
+  for (const auto& table : corpus_->tables()) {
+    const int label_col =
+        table.id < static_cast<int>(label_column_.size())
+            ? label_column_[table.id]
+            : -1;
+    if (label_col < 0) continue;
+    bool has_seed = false;
+    std::unordered_set<std::string> labels;
+    const size_t limit =
+        std::min(table.num_rows(), options_.max_rows_per_table);
+    for (size_t r = 0; r < limit; ++r) {
+      std::string label = util::NormalizeLabel(
+          table.cell(r, static_cast<size_t>(label_col)));
+      if (label.empty()) continue;
+      if (seeds.count(label)) {
+        has_seed = true;
+      } else {
+        labels.insert(std::move(label));
+      }
+    }
+    for (const auto& label : labels) {
+      occurrence[label] += 1;
+      if (has_seed) co_occurrence[label] += 1;
+    }
+  }
+
+  std::vector<ExpansionCandidate> candidates;
+  candidates.reserve(co_occurrence.size());
+  for (const auto& [label, co] : co_occurrence) {
+    ExpansionCandidate candidate;
+    candidate.label = label;
+    // Primary signal: distinct seed tables; small tie-break on overall
+    // frequency (popular labels rank higher, mirroring the related work's
+    // popularity bias).
+    candidate.score =
+        static_cast<double>(co) + 0.01 * static_cast<double>(occurrence[label]);
+    candidates.push_back(std::move(candidate));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ExpansionCandidate& a, const ExpansionCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.label < b.label;
+            });
+  if (candidates.size() > options_.cutoff) {
+    candidates.resize(options_.cutoff);
+  }
+  return candidates;
+}
+
+}  // namespace ltee::baselines

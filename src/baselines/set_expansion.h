@@ -1,0 +1,55 @@
+#ifndef LTEE_BASELINES_SET_EXPANSION_H_
+#define LTEE_BASELINES_SET_EXPANSION_H_
+
+#include <string>
+#include <vector>
+
+#include "webtable/web_table.h"
+
+namespace ltee::baselines {
+
+/// One ranked candidate produced by set expansion.
+struct ExpansionCandidate {
+  std::string label;
+  double score = 0.0;
+};
+
+/// Options of the co-occurrence set expander.
+struct SetExpansionOptions {
+  /// Number of candidates returned (related work uses a fixed cut-off of
+  /// 256).
+  size_t cutoff = 256;
+  /// Maximum rows per table scanned (cost guard).
+  size_t max_rows_per_table = 200;
+};
+
+/// Baseline from the Section 6 comparison: set expansion in the style of
+/// the web-table concept-expansion literature [31-33]. Given a handful of
+/// seed entity labels, candidates are other labels from the seed tables'
+/// label columns, ranked by how many distinct tables they co-occur in with
+/// a seed (and, as a tie-break, in how many tables they appear at all).
+///
+/// This baseline disambiguates *only on names* — precisely the limitation
+/// the paper's entity-level pipeline removes — and always returns a fixed
+/// number of candidates.
+class SetExpander {
+ public:
+  /// `label_column[t]` is the label column of table t (-1 skips a table);
+  /// typically supplied from the schema mapping or ground truth.
+  SetExpander(const webtable::TableCorpus& corpus,
+              std::vector<int> label_column,
+              SetExpansionOptions options = {});
+
+  /// Expands the seed set; seeds themselves are excluded from the result.
+  std::vector<ExpansionCandidate> Expand(
+      const std::vector<std::string>& seed_labels) const;
+
+ private:
+  const webtable::TableCorpus* corpus_;
+  std::vector<int> label_column_;
+  SetExpansionOptions options_;
+};
+
+}  // namespace ltee::baselines
+
+#endif  // LTEE_BASELINES_SET_EXPANSION_H_

@@ -1,0 +1,64 @@
+#ifndef LTEE_CLUSTER_CORRELATION_CLUSTERER_H_
+#define LTEE_CLUSTER_CORRELATION_CLUSTERER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ltee::cluster {
+
+/// Pairwise similarity callback over item indices; must be symmetric and
+/// return values in [-1, 1] (positive = same entity). Called concurrently
+/// from worker threads during the greedy phase, so it must be thread-safe.
+using SimilarityFn = std::function<double(int, int)>;
+
+/// Options of the two-phase correlation clustering (Section 3.2).
+struct ClusteringOptions {
+  /// Worker threads for the parallel greedy phase (0 = hardware).
+  size_t num_threads = 0;
+  /// Items per parallel batch; within one batch assignments are computed
+  /// against a frozen snapshot of the clustering (the controlled source of
+  /// "errors during clustering" the KLj phase repairs).
+  size_t batch_size = 256;
+  /// Maximum KLj improvement sweeps.
+  int max_klj_passes = 4;
+  /// Upper bound on clusters examined per item in the greedy phase
+  /// (blocking already restricts candidates; this is a safety cap).
+  size_t max_candidate_clusters = 64;
+  /// Disables the KLj refinement (for the ablation bench).
+  bool enable_klj = true;
+};
+
+/// Result of a clustering run: cluster id per item (dense, 0-based) and the
+/// final local fitness (sum of intra-cluster pair similarities).
+struct ClusteringResult {
+  std::vector<int> cluster_of;
+  int num_clusters = 0;
+  double fitness = 0.0;
+  int klj_operations = 0;  // merges + moves + splits applied
+};
+
+/// Greedy correlation clustering with Kernighan-Lin-with-joins refinement.
+///
+/// Phase 1 (parallel greedy, Elsner & Charniak / Elsner & Schudy): items
+/// are scanned in batches; each item is assigned to the existing cluster
+/// with the highest positive summed similarity to the cluster's members,
+/// or to a fresh singleton cluster when no sum is positive. Batches are
+/// evaluated in parallel against a snapshot, then applied sequentially.
+///
+/// Phase 2 (KLj, Keuper et al.): repeatedly considers block-sharing
+/// cluster pairs and applies whole-cluster merges and single-item moves,
+/// plus splits of items whose contribution to their cluster is negative,
+/// until no operation improves the fitness.
+///
+/// `blocks_of[i]` lists the block ids of item i (sorted not required).
+/// Only items sharing at least one block are ever compared; pass every
+/// item a common block to disable blocking.
+ClusteringResult ClusterCorrelation(
+    size_t num_items, const SimilarityFn& similarity,
+    const std::vector<std::vector<int32_t>>& blocks_of,
+    const ClusteringOptions& options = {});
+
+}  // namespace ltee::cluster
+
+#endif  // LTEE_CLUSTER_CORRELATION_CLUSTERER_H_

@@ -1,0 +1,144 @@
+#include "eval/clustering_eval.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/stats.h"
+
+namespace ltee::eval {
+
+std::vector<std::vector<webtable::RowRef>> GroupRows(
+    const std::vector<webtable::RowRef>& rows,
+    const std::vector<int>& cluster_of_row) {
+  int num_clusters = 0;
+  for (int c : cluster_of_row) num_clusters = std::max(num_clusters, c + 1);
+  std::vector<std::vector<webtable::RowRef>> out(num_clusters);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (cluster_of_row[i] >= 0) out[cluster_of_row[i]].push_back(rows[i]);
+  }
+  return out;
+}
+
+std::vector<int> MapClustersToGold(
+    const std::vector<std::vector<webtable::RowRef>>& returned,
+    const GoldStandard& gold) {
+  struct Overlap {
+    int returned_cluster;
+    int gold_cluster;
+    double fraction;  // of the returned cluster's annotated rows
+    int absolute;
+  };
+  std::vector<Overlap> overlaps;
+  for (size_t c = 0; c < returned.size(); ++c) {
+    std::map<int, int> counts;
+    int annotated = 0;
+    for (const auto& row : returned[c]) {
+      const int g = gold.ClusterOfRow(row);
+      if (g >= 0) {
+        counts[g] += 1;
+        ++annotated;
+      }
+    }
+    for (const auto& [g, count] : counts) {
+      overlaps.push_back({static_cast<int>(c), g,
+                          static_cast<double>(count) / annotated, count});
+    }
+  }
+  std::sort(overlaps.begin(), overlaps.end(),
+            [](const Overlap& a, const Overlap& b) {
+              if (a.fraction != b.fraction) return a.fraction > b.fraction;
+              if (a.absolute != b.absolute) return a.absolute > b.absolute;
+              if (a.returned_cluster != b.returned_cluster) {
+                return a.returned_cluster < b.returned_cluster;
+              }
+              return a.gold_cluster < b.gold_cluster;
+            });
+  std::vector<int> mapping(returned.size(), -1);
+  std::vector<bool> gold_taken(gold.clusters.size(), false);
+  std::vector<bool> returned_taken(returned.size(), false);
+  for (const auto& o : overlaps) {
+    if (returned_taken[o.returned_cluster] || gold_taken[o.gold_cluster]) {
+      continue;
+    }
+    mapping[o.returned_cluster] = o.gold_cluster;
+    returned_taken[o.returned_cluster] = true;
+    gold_taken[o.gold_cluster] = true;
+  }
+  return mapping;
+}
+
+ClusteringEvalResult EvaluateClustering(
+    const std::vector<std::vector<webtable::RowRef>>& returned,
+    const GoldStandard& gold) {
+  ClusteringEvalResult result;
+  result.gold_clusters = gold.clusters.size();
+
+  // Returned clusters restricted to annotated rows; drop empty ones.
+  std::vector<std::vector<webtable::RowRef>> clusters;
+  for (const auto& cluster : returned) {
+    std::vector<webtable::RowRef> annotated;
+    for (const auto& row : cluster) {
+      if (gold.ClusterOfRow(row) >= 0) annotated.push_back(row);
+    }
+    if (!annotated.empty()) clusters.push_back(std::move(annotated));
+  }
+  result.returned_clusters = clusters.size();
+
+  const auto mapping = MapClustersToGold(clusters, gold);
+  size_t mapped = 0;
+  for (int g : mapping) mapped += g >= 0 ? 1 : 0;
+  result.mapped_clusters = mapped;
+
+  // Average recall over gold clusters.
+  double recall_sum = 0.0;
+  std::vector<int> cluster_of_gold(gold.clusters.size(), -1);
+  for (size_t c = 0; c < mapping.size(); ++c) {
+    if (mapping[c] >= 0) cluster_of_gold[mapping[c]] = static_cast<int>(c);
+  }
+  for (size_t g = 0; g < gold.clusters.size(); ++g) {
+    const int c = cluster_of_gold[g];
+    if (c < 0) continue;
+    int overlap = 0;
+    for (const auto& row : clusters[c]) {
+      if (gold.ClusterOfRow(row) == static_cast<int>(g)) ++overlap;
+    }
+    recall_sum += static_cast<double>(overlap) /
+                  static_cast<double>(gold.clusters[g].rows.size());
+  }
+  result.average_recall =
+      gold.clusters.empty()
+          ? 0.0
+          : recall_sum / static_cast<double>(gold.clusters.size());
+
+  // Pairwise clustering precision over returned clusters.
+  long long pairs = 0, correct_pairs = 0;
+  for (const auto& cluster : clusters) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        ++pairs;
+        if (gold.ClusterOfRow(cluster[i]) == gold.ClusterOfRow(cluster[j])) {
+          ++correct_pairs;
+        }
+      }
+    }
+  }
+  const double precision =
+      pairs == 0 ? 1.0
+                 : static_cast<double>(correct_pairs) /
+                       static_cast<double>(pairs);
+  result.unpenalized_precision = precision;
+
+  // Penalize by cluster-count deviation: lowest of |C|, |G|, |M| divided
+  // by the highest.
+  const double sizes[3] = {static_cast<double>(result.returned_clusters),
+                           static_cast<double>(result.gold_clusters),
+                           static_cast<double>(result.mapped_clusters)};
+  const double lo = std::min({sizes[0], sizes[1], sizes[2]});
+  const double hi = std::max({sizes[0], sizes[1], sizes[2]});
+  const double penalty = hi == 0.0 ? 0.0 : lo / hi;
+  result.penalized_precision = precision * penalty;
+  result.f1 = util::F1(result.penalized_precision, result.average_recall);
+  return result;
+}
+
+}  // namespace ltee::eval

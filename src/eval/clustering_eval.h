@@ -1,0 +1,46 @@
+#ifndef LTEE_EVAL_CLUSTERING_EVAL_H_
+#define LTEE_EVAL_CLUSTERING_EVAL_H_
+
+#include <vector>
+
+#include "eval/gold_standard.h"
+#include "webtable/web_table.h"
+
+namespace ltee::eval {
+
+/// Result of the Hassanzadeh et al. clustering evaluation (Section 3.2):
+/// average recall over gold clusters, pairwise clustering precision
+/// penalized by the cluster-count deviation, and their F1.
+struct ClusteringEvalResult {
+  double penalized_precision = 0.0;
+  double average_recall = 0.0;
+  double f1 = 0.0;
+  double unpenalized_precision = 0.0;
+  size_t returned_clusters = 0;
+  size_t gold_clusters = 0;
+  size_t mapped_clusters = 0;
+};
+
+/// One-to-one mapping from returned clusters to gold clusters: a returned
+/// cluster maps to the gold cluster contributing the highest fraction of
+/// its rows (ties broken by absolute overlap), with each gold cluster
+/// claimed at most once (greedy, best overlaps first). Returns, per
+/// returned cluster, the gold cluster index or -1.
+std::vector<int> MapClustersToGold(
+    const std::vector<std::vector<webtable::RowRef>>& returned,
+    const GoldStandard& gold);
+
+/// Evaluates `returned` clusters against the gold standard. Rows not
+/// annotated in the gold standard are ignored for precision pairs.
+ClusteringEvalResult EvaluateClustering(
+    const std::vector<std::vector<webtable::RowRef>>& returned,
+    const GoldStandard& gold);
+
+/// Utility: regroups a cluster-id-per-row assignment into row lists.
+std::vector<std::vector<webtable::RowRef>> GroupRows(
+    const std::vector<webtable::RowRef>& rows,
+    const std::vector<int>& cluster_of_row);
+
+}  // namespace ltee::eval
+
+#endif  // LTEE_EVAL_CLUSTERING_EVAL_H_

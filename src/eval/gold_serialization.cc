@@ -1,0 +1,129 @@
+#include "eval/gold_serialization.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "kb/serialization.h"
+#include "util/logging.h"
+
+namespace ltee::eval {
+
+namespace {
+
+std::vector<std::string> SplitWs(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace
+
+void SaveGoldStandards(const std::vector<GoldStandard>& gold,
+                       std::ostream& out) {
+  for (const auto& gs : gold) {
+    out << "G " << gs.cls << '\n';
+    out << "T";
+    for (auto tid : gs.tables) out << ' ' << tid;
+    out << '\n';
+    for (const auto& cluster : gs.clusters) {
+      out << "K " << (cluster.is_new ? 1 : 0) << ' ' << cluster.kb_instance
+          << ' ' << cluster.homonym_group << ' ' << cluster.world_entity;
+      for (const auto& row : cluster.rows) {
+        out << ' ' << row.table << ':' << row.row;
+      }
+      out << '\n';
+    }
+    for (const auto& attr : gs.attributes) {
+      out << "A " << attr.table << ' ' << attr.column << ' ' << attr.property
+          << '\n';
+    }
+    for (const auto& fact : gs.facts) {
+      out << "F " << fact.cluster << ' ' << fact.property << ' '
+          << (fact.correct_value_present ? 1 : 0) << ' '
+          << kb::SerializeValue(fact.correct_value) << '\n';
+    }
+  }
+}
+
+std::optional<std::vector<GoldStandard>> LoadGoldStandards(std::istream& in) {
+  std::vector<GoldStandard> out;
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const char* what) {
+    LTEE_LOG(kError) << "LoadGoldStandards: " << what << " at line "
+                     << line_number;
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = SplitWs(line);
+    if (fields[0] == "G") {
+      if (fields.size() != 2) return fail("bad G record");
+      GoldStandard gs;
+      gs.cls = static_cast<kb::ClassId>(std::atoi(fields[1].c_str()));
+      out.push_back(std::move(gs));
+    } else if (out.empty()) {
+      return fail("record before G header");
+    } else if (fields[0] == "T") {
+      for (size_t f = 1; f < fields.size(); ++f) {
+        out.back().tables.push_back(std::atoi(fields[f].c_str()));
+      }
+    } else if (fields[0] == "K") {
+      if (fields.size() < 5) return fail("bad K record");
+      GsCluster cluster;
+      cluster.is_new = fields[1] == "1";
+      cluster.kb_instance = std::atoi(fields[2].c_str());
+      cluster.homonym_group = std::atoll(fields[3].c_str());
+      cluster.world_entity = std::atoi(fields[4].c_str());
+      for (size_t f = 5; f < fields.size(); ++f) {
+        int table = 0, row = 0;
+        if (std::sscanf(fields[f].c_str(), "%d:%d", &table, &row) != 2) {
+          return fail("bad row ref");
+        }
+        cluster.rows.push_back({table, row});
+      }
+      if (cluster.rows.empty()) return fail("cluster without rows");
+      out.back().clusters.push_back(std::move(cluster));
+    } else if (fields[0] == "A") {
+      if (fields.size() != 4) return fail("bad A record");
+      out.back().attributes.push_back(
+          {std::atoi(fields[1].c_str()), std::atoi(fields[2].c_str()),
+           static_cast<kb::PropertyId>(std::atoi(fields[3].c_str()))});
+    } else if (fields[0] == "F") {
+      // The serialized value may contain spaces; parse the three integer
+      // fields positionally and take the rest of the line verbatim.
+      GsFact fact;
+      int cluster = 0, property = 0, present = 0, consumed = 0;
+      if (std::sscanf(line.c_str(), "F %d %d %d %n", &cluster, &property,
+                      &present, &consumed) != 3 ||
+          consumed >= static_cast<int>(line.size())) {
+        return fail("bad F record");
+      }
+      fact.cluster = cluster;
+      fact.property = static_cast<kb::PropertyId>(property);
+      fact.correct_value_present = present == 1;
+      auto value = kb::DeserializeValue(line.substr(consumed));
+      if (!value) return fail("bad fact value");
+      fact.correct_value = std::move(*value);
+      out.back().facts.push_back(std::move(fact));
+    } else {
+      return fail("unknown record kind");
+    }
+  }
+  for (auto& gs : out) gs.BuildLookups();
+  return out;
+}
+
+}  // namespace ltee::eval

@@ -1,0 +1,30 @@
+#ifndef LTEE_EVAL_GOLD_SERIALIZATION_H_
+#define LTEE_EVAL_GOLD_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "eval/gold_standard.h"
+
+namespace ltee::eval {
+
+/// Serializes gold standards (one block per class) into a line format:
+///
+///   G <class-id>
+///   T <table-id>*
+///   K <is_new> <kb-instance> <homonym-group> <world-entity> <t:r>*
+///   A <table> <column> <property>
+///   F <cluster> <property> <present> <typed-value>
+///
+/// Typed values use kb::SerializeValue.
+void SaveGoldStandards(const std::vector<GoldStandard>& gold,
+                       std::ostream& out);
+
+/// Parses the format written by SaveGoldStandards; nullopt on malformed
+/// input. Lookups are rebuilt.
+std::optional<std::vector<GoldStandard>> LoadGoldStandards(std::istream& in);
+
+}  // namespace ltee::eval
+
+#endif  // LTEE_EVAL_GOLD_SERIALIZATION_H_

@@ -1,0 +1,79 @@
+#include "eval/gold_standard.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace ltee::eval {
+
+void GoldStandard::BuildLookups() {
+  cluster_of_row.clear();
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (const auto& row : clusters[c].rows) {
+      cluster_of_row[row] = static_cast<int>(c);
+    }
+  }
+}
+
+int GoldStandard::ClusterOfRow(webtable::RowRef row) const {
+  auto it = cluster_of_row.find(row);
+  return it == cluster_of_row.end() ? -1 : it->second;
+}
+
+GoldStandard FilterClusters(const GoldStandard& gold,
+                            const std::vector<int>& cluster_indices) {
+  GoldStandard out;
+  out.cls = gold.cls;
+  out.tables = gold.tables;
+  out.attributes = gold.attributes;
+  std::map<int, int> remap;
+  for (int old_index : cluster_indices) {
+    remap[old_index] = static_cast<int>(out.clusters.size());
+    out.clusters.push_back(gold.clusters[old_index]);
+  }
+  for (const auto& fact : gold.facts) {
+    auto it = remap.find(fact.cluster);
+    if (it == remap.end()) continue;
+    GsFact copy = fact;
+    copy.cluster = it->second;
+    out.facts.push_back(std::move(copy));
+  }
+  out.BuildLookups();
+  return out;
+}
+
+GsOverview GoldStandard::Overview(const webtable::TableCorpus& corpus) const {
+  GsOverview o;
+  o.tables = tables.size();
+  o.attributes = attributes.size();
+  for (const auto& c : clusters) {
+    o.rows += c.rows.size();
+    if (c.is_new) {
+      o.new_clusters += 1;
+    } else {
+      o.existing_clusters += 1;
+    }
+  }
+  // Matched values: non-empty cells of annotated rows that sit in an
+  // annotated attribute column.
+  std::map<webtable::TableId, std::set<int>> matched_columns;
+  for (const auto& a : attributes) matched_columns[a.table].insert(a.column);
+  for (const auto& c : clusters) {
+    for (const auto& row : c.rows) {
+      auto it = matched_columns.find(row.table);
+      if (it == matched_columns.end()) continue;
+      for (int col : it->second) {
+        if (!util::Trim(corpus.cell(row, static_cast<size_t>(col))).empty()) {
+          o.matched_values += 1;
+        }
+      }
+    }
+  }
+  o.value_groups = facts.size();
+  for (const auto& f : facts) {
+    if (f.correct_value_present) o.correct_value_present += 1;
+  }
+  return o;
+}
+
+}  // namespace ltee::eval

@@ -1,0 +1,92 @@
+#ifndef LTEE_EVAL_GOLD_STANDARD_H_
+#define LTEE_EVAL_GOLD_STANDARD_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "types/value.h"
+#include "webtable/web_table.h"
+
+namespace ltee::eval {
+
+/// An annotated cluster: the set of table rows that describe one real-world
+/// instance, whether that instance is new (absent from the KB), and — for
+/// existing instances — the corresponding KB instance.
+struct GsCluster {
+  std::vector<webtable::RowRef> rows;
+  bool is_new = false;
+  kb::InstanceId kb_instance = kb::kInvalidInstance;
+  /// Clusters with highly similar labels share a homonym group; the
+  /// cross-validation split keeps a homonym group inside one fold.
+  int64_t homonym_group = -1;
+  /// Provenance: id of the ground-truth world entity (synthetic builds).
+  int world_entity = -1;
+};
+
+/// An annotated attribute-to-property correspondence.
+struct GsAttribute {
+  webtable::TableId table = -1;
+  int column = -1;
+  kb::PropertyId property = kb::kInvalidProperty;
+};
+
+/// One "value group": a (cluster, property) combination for which at least
+/// one candidate value exists in the annotated tables, together with the
+/// annotated correct value (the fact).
+struct GsFact {
+  int cluster = -1;
+  kb::PropertyId property = kb::kInvalidProperty;
+  types::Value correct_value;
+  /// Whether the correct value is contained among the candidate values in
+  /// the web tables (last column of Table 5).
+  bool correct_value_present = false;
+};
+
+/// Table 5 style overview counts.
+struct GsOverview {
+  size_t tables = 0;
+  size_t attributes = 0;
+  size_t rows = 0;
+  size_t existing_clusters = 0;
+  size_t new_clusters = 0;
+  size_t matched_values = 0;
+  size_t value_groups = 0;
+  size_t correct_value_present = 0;
+};
+
+/// The manually-built gold standard of the paper (Section 2.3), for one
+/// class: annotated row clusters, new/existing flags with instance
+/// correspondences, attribute-to-property correspondences, and facts for
+/// every value group.
+struct GoldStandard {
+  kb::ClassId cls = kb::kInvalidClass;
+  std::vector<webtable::TableId> tables;
+  std::vector<GsCluster> clusters;
+  std::vector<GsAttribute> attributes;
+  std::vector<GsFact> facts;
+
+  /// Row -> cluster index lookup (derived; call BuildLookups()).
+  std::map<webtable::RowRef, int> cluster_of_row;
+
+  /// Rebuilds `cluster_of_row` from `clusters`.
+  void BuildLookups();
+
+  /// Cluster index of `row`, or -1 when the row is not annotated.
+  int ClusterOfRow(webtable::RowRef row) const;
+
+  /// Computes the Table 5 overview. `matched_values` counts row values
+  /// sitting in annotated attribute columns of annotated rows.
+  GsOverview Overview(const webtable::TableCorpus& corpus) const;
+};
+
+/// Restriction of a gold standard to a subset of its clusters (used by the
+/// cross-validation driver to evaluate on test folds only). Facts are
+/// re-indexed to the kept clusters; attributes and tables are kept as-is.
+GoldStandard FilterClusters(const GoldStandard& gold,
+                            const std::vector<int>& cluster_indices);
+
+}  // namespace ltee::eval
+
+#endif  // LTEE_EVAL_GOLD_STANDARD_H_

@@ -1,0 +1,201 @@
+#include "eval/pipeline_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/stats.h"
+
+namespace ltee::eval {
+
+NewDetectionEvalResult EvaluateNewDetection(
+    const std::vector<newdetect::Detection>& detections,
+    const std::vector<const GsCluster*>& gold_clusters) {
+  NewDetectionEvalResult result;
+  if (detections.empty()) return result;
+
+  int correct = 0;
+  int new_tp = 0, new_fp = 0, new_fn = 0;
+  int ex_tp = 0, ex_fp = 0, ex_fn = 0;
+  for (size_t i = 0; i < detections.size(); ++i) {
+    const newdetect::Detection& d = detections[i];
+    const GsCluster& g = *gold_clusters[i];
+    const bool existing_correct =
+        !d.is_new && !g.is_new && d.instance == g.kb_instance;
+    const bool new_correct = d.is_new && g.is_new;
+    if (existing_correct || new_correct) ++correct;
+
+    if (d.is_new) {
+      if (g.is_new) ++new_tp;
+      else ++new_fp;
+    } else if (g.is_new) {
+      ++new_fn;
+    }
+    if (!d.is_new) {
+      if (existing_correct) ++ex_tp;
+      else ++ex_fp;
+    } else if (!g.is_new) {
+      ++ex_fn;
+    }
+  }
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(detections.size());
+  const double np = new_tp + new_fp == 0
+                        ? 0.0
+                        : static_cast<double>(new_tp) / (new_tp + new_fp);
+  const double nr = new_tp + new_fn == 0
+                        ? 0.0
+                        : static_cast<double>(new_tp) / (new_tp + new_fn);
+  result.f1_new = util::F1(np, nr);
+  const double ep =
+      ex_tp + ex_fp == 0 ? 0.0 : static_cast<double>(ex_tp) / (ex_tp + ex_fp);
+  const double er =
+      ex_tp + ex_fn == 0 ? 0.0 : static_cast<double>(ex_tp) / (ex_tp + ex_fn);
+  result.f1_existing = util::F1(ep, er);
+  return result;
+}
+
+std::vector<int> MapEntitiesToGold(
+    const std::vector<fusion::CreatedEntity>& entities,
+    const GoldStandard& gold) {
+  std::vector<int> mapping(entities.size(), -1);
+  for (size_t e = 0; e < entities.size(); ++e) {
+    std::map<int, int> counts;
+    for (const auto& row : entities[e].rows) {
+      const int g = gold.ClusterOfRow(row);
+      if (g >= 0) counts[g] += 1;
+    }
+    int best_gold = -1, best_count = 0;
+    for (const auto& [g, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best_gold = g;
+      }
+    }
+    if (best_gold < 0) continue;
+    // Majority of the entity's rows must describe this instance...
+    if (2 * best_count < static_cast<int>(entities[e].rows.size())) continue;
+    // ...and the entity must contain the majority of the instance's rows.
+    if (2 * best_count < static_cast<int>(gold.clusters[best_gold].rows.size())) {
+      continue;
+    }
+    mapping[e] = best_gold;
+  }
+  return mapping;
+}
+
+InstancesFoundResult EvaluateNewInstancesFound(
+    const std::vector<fusion::CreatedEntity>& entities,
+    const std::vector<newdetect::Detection>& detections,
+    const GoldStandard& gold) {
+  InstancesFoundResult result;
+  const auto mapping = MapEntitiesToGold(entities, gold);
+
+  std::set<int> found_new_clusters;
+  size_t returned_new = 0, correct_new = 0;
+  for (size_t e = 0; e < entities.size(); ++e) {
+    if (!detections[e].is_new) continue;
+    ++returned_new;
+    const int g = mapping[e];
+    if (g >= 0 && gold.clusters[g].is_new) {
+      ++correct_new;
+      found_new_clusters.insert(g);
+    }
+  }
+  size_t gold_new = 0;
+  for (const auto& cluster : gold.clusters) gold_new += cluster.is_new ? 1 : 0;
+
+  result.returned_new = returned_new;
+  result.gold_new = gold_new;
+  result.precision = returned_new == 0
+                         ? 0.0
+                         : static_cast<double>(correct_new) /
+                               static_cast<double>(returned_new);
+  result.recall = gold_new == 0
+                      ? 0.0
+                      : static_cast<double>(found_new_clusters.size()) /
+                            static_cast<double>(gold_new);
+  result.f1 = util::F1(result.precision, result.recall);
+  return result;
+}
+
+FactsFoundResult EvaluateFactsFound(
+    const std::vector<fusion::CreatedEntity>& entities,
+    const std::vector<newdetect::Detection>& detections,
+    const GoldStandard& gold, const types::TypeSimilarityOptions& similarity) {
+  FactsFoundResult result;
+  const auto mapping = MapEntitiesToGold(entities, gold);
+
+  // Gold fact lookup: (cluster, property) -> fact.
+  std::map<std::pair<int, kb::PropertyId>, const GsFact*> gold_facts;
+  for (const auto& fact : gold.facts) {
+    gold_facts[{fact.cluster, fact.property}] = &fact;
+  }
+
+  size_t returned = 0, correct = 0;
+  std::set<std::pair<int, kb::PropertyId>> correct_groups;
+  for (size_t e = 0; e < entities.size(); ++e) {
+    if (!detections[e].is_new) continue;
+    const int g = mapping[e];
+    const bool valid_new = g >= 0 && gold.clusters[g].is_new;
+    for (const auto& fact : entities[e].facts) {
+      ++returned;
+      if (!valid_new) continue;  // wrong entity: facts count as wrong
+      auto it = gold_facts.find({g, fact.property});
+      if (it == gold_facts.end()) continue;
+      if (types::ValuesEqual(fact.value, it->second->correct_value,
+                             similarity)) {
+        ++correct;
+        correct_groups.insert({g, fact.property});
+      }
+    }
+  }
+
+  // Recall denominator: annotated facts of new clusters whose correct
+  // value is present in the web tables.
+  size_t recallable = 0;
+  for (const auto& fact : gold.facts) {
+    if (gold.clusters[fact.cluster].is_new && fact.correct_value_present) {
+      ++recallable;
+    }
+  }
+
+  result.returned_facts = returned;
+  result.correct_facts = correct;
+  result.precision =
+      returned == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(returned);
+  result.recall = recallable == 0
+                      ? 0.0
+                      : static_cast<double>(correct_groups.size()) /
+                            static_cast<double>(recallable);
+  result.f1 = util::F1(result.precision, result.recall);
+  return result;
+}
+
+RankedEvalResult EvaluateRanked(const std::vector<bool>& correct,
+                                size_t cutoff) {
+  RankedEvalResult result;
+  const size_t n = std::min(correct.size(), cutoff);
+  size_t hits = 0;
+  double ap_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (correct[i]) {
+      ++hits;
+      ap_sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+    if (i + 1 == 5) {
+      result.p_at_5 = static_cast<double>(hits) / 5.0;
+    }
+    if (i + 1 == 20) {
+      result.p_at_20 = static_cast<double>(hits) / 20.0;
+    }
+  }
+  if (n < 5) result.p_at_5 = n == 0 ? 0.0 : static_cast<double>(hits) / n;
+  if (n < 20) result.p_at_20 = n == 0 ? 0.0 : static_cast<double>(hits) / n;
+  result.map = hits == 0 ? 0.0 : ap_sum / static_cast<double>(hits);
+  return result;
+}
+
+}  // namespace ltee::eval

@@ -1,0 +1,80 @@
+#ifndef LTEE_EVAL_PIPELINE_EVAL_H_
+#define LTEE_EVAL_PIPELINE_EVAL_H_
+
+#include <vector>
+
+#include "eval/gold_standard.h"
+#include "fusion/entity.h"
+#include "newdetect/new_detector.h"
+#include "types/type_similarity.h"
+
+namespace ltee::eval {
+
+/// New-detection evaluation (Section 3.4): classification accuracy plus
+/// separate F1 for existing and new entities. Entities must be parallel to
+/// gold clusters (one entity per gold cluster) for this evaluation — it
+/// measures the component in isolation, as Table 8 does.
+struct NewDetectionEvalResult {
+  double accuracy = 0.0;
+  double f1_existing = 0.0;
+  double f1_new = 0.0;
+};
+NewDetectionEvalResult EvaluateNewDetection(
+    const std::vector<newdetect::Detection>& detections,
+    const std::vector<const GsCluster*>& gold_clusters);
+
+/// "New instances found" evaluation (Section 4.1 / Table 9): an entity
+/// correctly finds a new instance when (1) the majority of its rows belong
+/// to that gold cluster, (2) it contains the majority of the cluster's
+/// rows, and (3) it was classified as new. Precision is over entities
+/// returned as new; recall over new gold clusters.
+struct InstancesFoundResult {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t returned_new = 0;
+  size_t gold_new = 0;
+};
+InstancesFoundResult EvaluateNewInstancesFound(
+    const std::vector<fusion::CreatedEntity>& entities,
+    const std::vector<newdetect::Detection>& detections,
+    const GoldStandard& gold);
+
+/// Facts-found evaluation (Section 4.2 / Table 10): precision over the
+/// facts of entities returned as new (facts of wrongly-created or
+/// wrongly-new entities count as wrong); recall against the annotated
+/// facts of new clusters whose correct value is present in the tables.
+struct FactsFoundResult {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t returned_facts = 0;
+  size_t correct_facts = 0;
+};
+FactsFoundResult EvaluateFactsFound(
+    const std::vector<fusion::CreatedEntity>& entities,
+    const std::vector<newdetect::Detection>& detections,
+    const GoldStandard& gold,
+    const types::TypeSimilarityOptions& similarity = {});
+
+/// Maps each entity to the gold cluster owning the majority of its rows,
+/// with the additional Table 9 condition that the entity also contains the
+/// majority of that cluster's rows. -1 where no cluster qualifies.
+std::vector<int> MapEntitiesToGold(
+    const std::vector<fusion::CreatedEntity>& entities,
+    const GoldStandard& gold);
+
+/// Ranked evaluation against set-expansion work (Section 6): MAP with a
+/// cut-off, and precision at 5 / 20. `correct` lists, in rank order,
+/// whether each returned entity was a correctly identified new instance.
+struct RankedEvalResult {
+  double map = 0.0;
+  double p_at_5 = 0.0;
+  double p_at_20 = 0.0;
+};
+RankedEvalResult EvaluateRanked(const std::vector<bool>& correct,
+                                size_t cutoff = 256);
+
+}  // namespace ltee::eval
+
+#endif  // LTEE_EVAL_PIPELINE_EVAL_H_

@@ -1,0 +1,38 @@
+#ifndef LTEE_FUSION_ENTITY_H_
+#define LTEE_FUSION_ENTITY_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "rowcluster/row_features.h"
+#include "webtable/web_table.h"
+
+namespace ltee::fusion {
+
+/// An entity created from a row cluster (Section 3.3): one or more labels
+/// extracted from the label attribute, fused facts mapped to the KB schema,
+/// plus the aggregate features new detection consumes.
+struct CreatedEntity {
+  /// Id of the source row cluster.
+  int cluster_id = -1;
+  kb::ClassId cls = kb::kInvalidClass;
+  /// Distinct raw labels collected from the cluster's rows.
+  std::vector<std::string> labels;
+  /// Rows the entity was created from.
+  std::vector<webtable::RowRef> rows;
+  /// Fused facts, one per property at most.
+  std::vector<kb::Fact> facts;
+  /// Union of the rows' bag-of-words vectors.
+  std::unordered_set<std::string> bow;
+  /// Entity-level implicit attributes with entity-level confidences.
+  std::vector<rowcluster::ImplicitAttribute> implicit_attrs;
+
+  /// Fused value of `property`, or nullptr.
+  const types::Value* FactOf(kb::PropertyId property) const;
+};
+
+}  // namespace ltee::fusion
+
+#endif  // LTEE_FUSION_ENTITY_H_

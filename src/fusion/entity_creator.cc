@@ -1,0 +1,264 @@
+#include "fusion/entity_creator.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "matching/attribute_matchers.h"
+#include "types/value_parser.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+
+namespace ltee::fusion {
+
+namespace {
+
+using types::DataType;
+using types::Value;
+
+/// Serial number of a date for weighted-median fusion.
+double DateSerial(const types::Date& d) {
+  return static_cast<double>(d.year) * 372.0 +
+         static_cast<double>(d.month) * 31.0 + static_cast<double>(d.day);
+}
+
+}  // namespace
+
+const char* ScoringApproachName(ScoringApproach approach) {
+  switch (approach) {
+    case ScoringApproach::kVoting: return "VOTING";
+    case ScoringApproach::kKbt: return "KBT";
+    case ScoringApproach::kMatching: return "MATCHING";
+  }
+  return "?";
+}
+
+const types::Value* CreatedEntity::FactOf(kb::PropertyId property) const {
+  for (const auto& fact : facts) {
+    if (fact.property == property) return &fact.value;
+  }
+  return nullptr;
+}
+
+EntityCreator::EntityCreator(const kb::KnowledgeBase& kb,
+                             EntityCreatorOptions options)
+    : kb_(&kb), options_(options) {}
+
+double EntityCreator::ColumnTrust(const webtable::TableCorpus& corpus,
+                                  const matching::TableMapping& mapping,
+                                  int column) const {
+  const kb::PropertyId property = mapping.columns[column].property;
+  if (property == kb::kInvalidProperty) return options_.kbt_default_trust;
+  const webtable::WebTable& table = corpus.table(mapping.table);
+  const DataType type = kb_->property(property).type;
+  int compared = 0, correct = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const kb::InstanceId inst = mapping.row_instance.empty()
+                                    ? kb::kInvalidInstance
+                                    : mapping.row_instance[r];
+    if (inst == kb::kInvalidInstance) continue;
+    const Value* fact = kb_->FactOf(inst, property);
+    if (fact == nullptr) continue;
+    auto value = types::NormalizeCell(
+        table.cell(r, static_cast<size_t>(column)), type);
+    if (!value) continue;
+    ++compared;
+    if (types::ValuesEqual(*value, *fact, options_.similarity)) ++correct;
+  }
+  if (compared == 0) return options_.kbt_default_trust;
+  return static_cast<double>(correct) / static_cast<double>(compared);
+}
+
+std::vector<CreatedEntity> EntityCreator::Create(
+    const rowcluster::ClassRowSet& rows, const std::vector<int>& cluster_of_row,
+    const matching::SchemaMapping& mapping,
+    const webtable::TableCorpus& corpus) const {
+  int num_clusters = 0;
+  for (int c : cluster_of_row) num_clusters = std::max(num_clusters, c + 1);
+
+  // KBT: column trust cache, keyed by (table, column).
+  std::map<std::pair<webtable::TableId, int>, double> trust_cache;
+  auto column_trust = [&](webtable::TableId table, int column) {
+    auto key = std::make_pair(table, column);
+    auto it = trust_cache.find(key);
+    if (it != trust_cache.end()) return it->second;
+    const double trust = ColumnTrust(corpus, mapping.of(table), column);
+    trust_cache.emplace(key, trust);
+    return trust;
+  };
+
+  std::vector<CreatedEntity> entities(num_clusters);
+  for (int c = 0; c < num_clusters; ++c) {
+    entities[c].cluster_id = c;
+    entities[c].cls = rows.cls;
+  }
+
+  // ---- Collect rows, labels, bow, candidate values per cluster. --------
+  struct Candidate {
+    Value value;
+    double score;
+  };
+  // per cluster: property -> candidates
+  std::vector<std::unordered_map<kb::PropertyId, std::vector<Candidate>>>
+      candidates(num_clusters);
+
+  for (size_t i = 0; i < rows.rows.size(); ++i) {
+    const int c = cluster_of_row[i];
+    if (c < 0) continue;
+    const rowcluster::RowFeature& row = rows.rows[i];
+    CreatedEntity& entity = entities[c];
+    entity.rows.push_back(row.ref);
+    if (std::find(entity.labels.begin(), entity.labels.end(), row.raw_label) ==
+        entity.labels.end()) {
+      entity.labels.push_back(row.raw_label);
+    }
+    for (const auto& tok : row.bow) entity.bow.insert(tok);
+    for (const auto& rv : row.values) {
+      double score = 1.0;
+      switch (options_.scoring) {
+        case ScoringApproach::kVoting:
+          score = 1.0;
+          break;
+        case ScoringApproach::kKbt:
+          score = column_trust(row.ref.table, rv.column);
+          break;
+        case ScoringApproach::kMatching: {
+          const auto& cols = mapping.of(row.ref.table).columns;
+          score = rv.column < static_cast<int>(cols.size())
+                      ? cols[rv.column].score
+                      : 0.0;
+          break;
+        }
+      }
+      candidates[c][rv.property].push_back({rv.value, score});
+    }
+  }
+
+  // ---- Entity-level implicit attributes. --------------------------------
+  for (size_t i = 0; i < rows.rows.size(); ++i) {
+    const int c = cluster_of_row[i];
+    if (c < 0) continue;
+    const rowcluster::RowFeature& row = rows.rows[i];
+    for (const auto& implicit : rows.table_implicit[row.table_index]) {
+      auto& list = entities[c].implicit_attrs;
+      bool merged = false;
+      for (auto& existing : list) {
+        if (existing.property == implicit.property &&
+            types::ValuesEqual(existing.value, implicit.value,
+                               options_.similarity)) {
+          existing.score += implicit.score;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) list.push_back(implicit);
+    }
+  }
+  for (auto& entity : entities) {
+    const double denom =
+        std::max<size_t>(1, entity.rows.size());
+    for (auto& implicit : entity.implicit_attrs) {
+      implicit.score /= static_cast<double>(denom);
+    }
+  }
+
+  // ---- Fuse candidate values: score -> group -> select -> fuse. ---------
+  for (int c = 0; c < num_clusters; ++c) {
+    for (auto& [property, values] : candidates[c]) {
+      // Group equal values (type-specific equality).
+      struct Group {
+        std::vector<Candidate> members;
+        double score_sum = 0.0;
+      };
+      std::vector<Group> groups;
+      for (auto& cand : values) {
+        bool placed = false;
+        for (auto& group : groups) {
+          if (types::ValuesEqual(group.members.front().value, cand.value,
+                                 options_.similarity)) {
+            group.score_sum += cand.score;
+            group.members.push_back(std::move(cand));
+            placed = true;
+            break;
+          }
+        }
+        if (!placed) {
+          Group group;
+          group.score_sum = cand.score;
+          group.members.push_back(std::move(cand));
+          groups.push_back(std::move(group));
+        }
+      }
+      if (groups.empty()) continue;
+      // Select the group with the highest summed score.
+      Group* best = &groups.front();
+      for (auto& group : groups) {
+        if (group.score_sum > best->score_sum) best = &group;
+      }
+
+      // Fuse the selected group.
+      const DataType type = kb_->property(property).type;
+      Value fused;
+      switch (type) {
+        case DataType::kText:
+        case DataType::kInstanceReference: {
+          // Majority by exact key, resolved to the highest-scored member.
+          std::unordered_map<std::string, double> votes;
+          for (const auto& member : best->members) {
+            votes[matching::ExactValueKey(member.value)] += 1.0;
+          }
+          std::string best_key;
+          double best_votes = -1.0;
+          for (const auto& [key, count] : votes) {
+            if (count > best_votes) {
+              best_votes = count;
+              best_key = key;
+            }
+          }
+          for (const auto& member : best->members) {
+            if (matching::ExactValueKey(member.value) == best_key) {
+              fused = member.value;
+              break;
+            }
+          }
+          break;
+        }
+        case DataType::kQuantity: {
+          std::vector<std::pair<double, double>> vw;
+          for (const auto& member : best->members) {
+            vw.emplace_back(member.value.number, member.score);
+          }
+          fused = Value::OfQuantity(util::WeightedMedian(std::move(vw)));
+          break;
+        }
+        case DataType::kDate: {
+          // Weighted median over date serials, resolved back to the member
+          // closest to the median (so granularities stay authentic).
+          std::vector<std::pair<double, double>> vw;
+          for (const auto& member : best->members) {
+            vw.emplace_back(DateSerial(member.value.date), member.score);
+          }
+          const double median = util::WeightedMedian(std::move(vw));
+          const Candidate* closest = &best->members.front();
+          for (const auto& member : best->members) {
+            if (std::abs(DateSerial(member.value.date) - median) <
+                std::abs(DateSerial(closest->value.date) - median)) {
+              closest = &member;
+            }
+          }
+          fused = closest->value;
+          break;
+        }
+        case DataType::kNominalString:
+        case DataType::kNominalInteger:
+          // All group members are exactly equal; no fusion necessary.
+          fused = best->members.front().value;
+          break;
+      }
+      entities[c].facts.push_back(kb::Fact{property, std::move(fused)});
+    }
+  }
+  return entities;
+}
+
+}  // namespace ltee::fusion

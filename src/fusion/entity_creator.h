@@ -1,0 +1,62 @@
+#ifndef LTEE_FUSION_ENTITY_CREATOR_H_
+#define LTEE_FUSION_ENTITY_CREATOR_H_
+
+#include <vector>
+
+#include "fusion/entity.h"
+#include "matching/schema_mapping.h"
+#include "rowcluster/row_features.h"
+#include "types/type_similarity.h"
+#include "webtable/web_table.h"
+
+namespace ltee::fusion {
+
+/// The three candidate-value scoring approaches of Section 3.3.
+enum class ScoringApproach {
+  /// Every candidate value scores 1.0.
+  kVoting = 0,
+  /// Knowledge-Based Trust: the score of a value is the measured
+  /// correctness of its attribute column against overlapping KB facts.
+  kKbt = 1,
+  /// The aggregated attribute-to-property matcher score of its column.
+  kMatching = 2,
+};
+const char* ScoringApproachName(ScoringApproach approach);
+
+/// Options of the entity creation component.
+struct EntityCreatorOptions {
+  ScoringApproach scoring = ScoringApproach::kVoting;
+  types::TypeSimilarityOptions similarity;
+  /// Default column trust when KBT has no overlapping values to measure.
+  double kbt_default_trust = 0.5;
+};
+
+/// Entity creation (Section 3.3): transforms each row cluster into an
+/// entity by collecting labels and fusing candidate values per property in
+/// four steps — scoring, grouping, selection, fusion (majority for
+/// text-like types, weighted median for quantities and dates).
+class EntityCreator {
+ public:
+  EntityCreator(const kb::KnowledgeBase& kb, EntityCreatorOptions options = {});
+
+  /// Creates one entity per cluster id in `cluster_of_row` (dense ids).
+  /// `mapping` and `corpus` supply column scores and KBT trust inputs.
+  std::vector<CreatedEntity> Create(
+      const rowcluster::ClassRowSet& rows, const std::vector<int>& cluster_of_row,
+      const matching::SchemaMapping& mapping,
+      const webtable::TableCorpus& corpus) const;
+
+  /// Measured KBT trust of one column (exposed for tests and benches):
+  /// fraction of cells equal to the KB fact of the row's matched instance,
+  /// among comparable cells.
+  double ColumnTrust(const webtable::TableCorpus& corpus,
+                     const matching::TableMapping& mapping, int column) const;
+
+ private:
+  const kb::KnowledgeBase* kb_;
+  EntityCreatorOptions options_;
+};
+
+}  // namespace ltee::fusion
+
+#endif  // LTEE_FUSION_ENTITY_CREATOR_H_

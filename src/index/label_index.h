@@ -1,0 +1,73 @@
+#ifndef LTEE_INDEX_LABEL_INDEX_H_
+#define LTEE_INDEX_LABEL_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ltee::index {
+
+/// A scored retrieval hit: the document id supplied at Add() time and a
+/// TF-IDF cosine-ish score in (0, +inf).
+struct LabelHit {
+  uint32_t doc = 0;
+  double score = 0.0;
+};
+
+/// Inverted token index over normalized labels — the stand-in for the
+/// Lucene index the paper uses for (a) blocking in row clustering and
+/// (b) candidate selection in new detection.
+///
+/// Usage: Add() every (doc, label) pair, call Build() once, then Search().
+/// Labels are normalized internally (lower-case, punctuation stripped).
+/// A document may be added under several labels (e.g. a KB instance with
+/// alias labels); its score is the max over its labels.
+class LabelIndex {
+ public:
+  LabelIndex() = default;
+  LabelIndex(LabelIndex&&) = default;
+  LabelIndex& operator=(LabelIndex&&) = default;
+  LabelIndex(const LabelIndex&) = delete;
+  LabelIndex& operator=(const LabelIndex&) = delete;
+
+  /// Registers `label` for document `doc`. Must be called before Build().
+  void Add(uint32_t doc, std::string_view label);
+
+  /// Finalizes the index: computes IDF weights and entry norms.
+  void Build();
+
+  /// Returns up to `k` distinct documents whose labels share tokens with
+  /// the query, ranked by TF-IDF-weighted overlap normalized by entry
+  /// length. Requires Build().
+  std::vector<LabelHit> Search(std::string_view label, size_t k) const;
+
+  /// Block id of an exact normalized label: every distinct normalized label
+  /// added to the index forms one block. Returns -1 if the label was never
+  /// added. Used by the clustering blocker.
+  int32_t BlockOf(std::string_view label) const;
+
+  size_t num_entries() const { return entries_.size(); }
+  size_t num_blocks() const { return block_by_label_.size(); }
+
+ private:
+  struct Entry {
+    uint32_t doc;
+    std::vector<uint32_t> tokens;  // token ids, deduplicated
+    double norm = 0.0;
+  };
+
+  uint32_t InternToken(const std::string& token);
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, uint32_t> token_ids_;
+  std::vector<std::vector<uint32_t>> postings_;  // token id -> entry indices
+  std::vector<double> idf_;
+  std::unordered_map<std::string, int32_t> block_by_label_;
+  bool built_ = false;
+};
+
+}  // namespace ltee::index
+
+#endif  // LTEE_INDEX_LABEL_INDEX_H_

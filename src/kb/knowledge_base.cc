@@ -1,0 +1,143 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ltee::kb {
+
+ClassId AsClassId(size_t i) { return static_cast<ClassId>(i); }
+
+ClassId KnowledgeBase::AddClass(std::string name, ClassId parent) {
+  ClassSpec spec;
+  spec.id = static_cast<ClassId>(classes_.size());
+  spec.name = std::move(name);
+  spec.parent = parent;
+  class_by_name_[spec.name] = spec.id;
+  classes_.push_back(std::move(spec));
+  instances_by_class_.emplace_back();
+  return classes_.back().id;
+}
+
+PropertyId KnowledgeBase::AddProperty(ClassId cls, std::string name,
+                                      types::DataType type,
+                                      std::vector<std::string> extra_labels) {
+  PropertySpec spec;
+  spec.id = static_cast<PropertyId>(properties_.size());
+  spec.cls = cls;
+  spec.name = std::move(name);
+  spec.type = type;
+  spec.labels.push_back(util::NormalizeLabel(spec.name));
+  for (auto& l : extra_labels) spec.labels.push_back(util::NormalizeLabel(l));
+  classes_[cls].properties.push_back(spec.id);
+  properties_.push_back(std::move(spec));
+  return properties_.back().id;
+}
+
+InstanceId KnowledgeBase::AddInstance(ClassId cls,
+                                      std::vector<std::string> labels,
+                                      double popularity) {
+  Instance inst;
+  inst.id = static_cast<InstanceId>(instances_.size());
+  inst.cls = cls;
+  inst.labels = std::move(labels);
+  inst.popularity = popularity;
+  instances_by_class_[cls].push_back(inst.id);
+  instances_.push_back(std::move(inst));
+  return instances_.back().id;
+}
+
+void KnowledgeBase::AddFact(InstanceId instance, PropertyId property,
+                            types::Value value) {
+  instances_[instance].facts.push_back(Fact{property, std::move(value)});
+}
+
+void KnowledgeBase::SetAbstractTokens(InstanceId instance,
+                                      std::vector<std::string> tokens) {
+  instances_[instance].abstract_tokens = std::move(tokens);
+}
+
+ClassId KnowledgeBase::FindClass(const std::string& name) const {
+  auto it = class_by_name_.find(name);
+  return it == class_by_name_.end() ? kInvalidClass : it->second;
+}
+
+PropertyId KnowledgeBase::FindProperty(ClassId cls,
+                                       const std::string& name) const {
+  for (PropertyId pid : classes_[cls].properties) {
+    if (properties_[pid].name == name) return pid;
+  }
+  return kInvalidProperty;
+}
+
+const std::vector<InstanceId>& KnowledgeBase::InstancesOfClass(
+    ClassId cls) const {
+  return instances_by_class_[cls];
+}
+
+const types::Value* KnowledgeBase::FactOf(InstanceId instance,
+                                          PropertyId property) const {
+  for (const Fact& f : instances_[instance].facts) {
+    if (f.property == property) return &f.value;
+  }
+  return nullptr;
+}
+
+std::vector<ClassId> KnowledgeBase::Ancestors(ClassId cls) const {
+  std::vector<ClassId> out;
+  for (ClassId c = cls; c != kInvalidClass; c = classes_[c].parent) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool KnowledgeBase::ClassesCompatible(ClassId a, ClassId b) const {
+  if (a == b) return true;
+  for (ClassId c = classes_[a].parent; c != kInvalidClass;
+       c = classes_[c].parent) {
+    if (c == b) return true;
+  }
+  for (ClassId c = classes_[b].parent; c != kInvalidClass;
+       c = classes_[c].parent) {
+    if (c == a) return true;
+  }
+  // Shared direct parent also counts as compatible (siblings in the tree).
+  return classes_[a].parent != kInvalidClass &&
+         classes_[a].parent == classes_[b].parent;
+}
+
+double KnowledgeBase::ClassOverlap(ClassId a, ClassId b) const {
+  auto anc_a = Ancestors(a);
+  auto anc_b = Ancestors(b);
+  size_t inter = 0;
+  for (ClassId c : anc_a) {
+    if (std::find(anc_b.begin(), anc_b.end(), c) != anc_b.end()) ++inter;
+  }
+  size_t uni = anc_a.size() + anc_b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+ClassStats KnowledgeBase::StatsOfClass(ClassId cls) const {
+  ClassStats stats;
+  for (InstanceId id : instances_by_class_[cls]) {
+    stats.instances += 1;
+    stats.facts += instances_[id].facts.size();
+  }
+  return stats;
+}
+
+PropertyStats KnowledgeBase::StatsOfProperty(PropertyId property) const {
+  PropertyStats stats;
+  const ClassId cls = properties_[property].cls;
+  const auto& members = instances_by_class_[cls];
+  for (InstanceId id : members) {
+    if (FactOf(id, property) != nullptr) stats.facts += 1;
+  }
+  stats.density = members.empty()
+                      ? 0.0
+                      : static_cast<double>(stats.facts) /
+                            static_cast<double>(members.size());
+  return stats;
+}
+
+}  // namespace ltee::kb

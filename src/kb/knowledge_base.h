@@ -1,0 +1,141 @@
+#ifndef LTEE_KB_KNOWLEDGE_BASE_H_
+#define LTEE_KB_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "types/value.h"
+
+namespace ltee::kb {
+
+using ClassId = int16_t;
+using PropertyId = int16_t;
+using InstanceId = int32_t;
+
+inline constexpr ClassId kInvalidClass = -1;
+inline constexpr PropertyId kInvalidProperty = -1;
+inline constexpr InstanceId kInvalidInstance = -1;
+
+/// Schema description of one property of a class (e.g. GF-Player/birthDate).
+struct PropertySpec {
+  PropertyId id = kInvalidProperty;
+  ClassId cls = kInvalidClass;
+  /// Canonical property name, e.g. "birthDate".
+  std::string name;
+  types::DataType type = types::DataType::kText;
+  /// Normalized surface labels of the property (canonical name plus
+  /// synonyms); compared against attribute headers by the KB-Label matcher.
+  std::vector<std::string> labels;
+};
+
+/// A class in the KB ontology. Classes form a tree via `parent`
+/// (DBpedia-style: Agent -> Athlete -> GridironFootballPlayer).
+struct ClassSpec {
+  ClassId id = kInvalidClass;
+  std::string name;
+  ClassId parent = kInvalidClass;
+  std::vector<PropertyId> properties;
+};
+
+/// One (property, value) statement about an instance.
+struct Fact {
+  PropertyId property = kInvalidProperty;
+  types::Value value;
+};
+
+/// An instance of a class with its labels, facts, abstract, and a
+/// page-link-count popularity proxy (used by the POPULARITY metric).
+struct Instance {
+  InstanceId id = kInvalidInstance;
+  ClassId cls = kInvalidClass;
+  std::vector<std::string> labels;
+  std::vector<Fact> facts;
+  std::vector<std::string> abstract_tokens;
+  double popularity = 0.0;
+};
+
+/// Per-class aggregate statistics (Table 1).
+struct ClassStats {
+  size_t instances = 0;
+  size_t facts = 0;
+};
+
+/// Per-property aggregate statistics (Table 2).
+struct PropertyStats {
+  size_t facts = 0;
+  double density = 0.0;  // facts / instances of the class
+};
+
+/// In-memory cross-domain knowledge base in the shape the pipeline
+/// consumes: a class hierarchy, a typed property schema per class,
+/// instances with labels and facts. Plays the role of DBpedia 2014 in the
+/// paper. Instances are append-only; ids are dense and index into internal
+/// vectors, making fact access O(#facts of instance).
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  // -- schema construction ----------------------------------------------
+  ClassId AddClass(std::string name, ClassId parent = kInvalidClass);
+  PropertyId AddProperty(ClassId cls, std::string name, types::DataType type,
+                         std::vector<std::string> extra_labels = {});
+
+  // -- instance construction --------------------------------------------
+  InstanceId AddInstance(ClassId cls, std::vector<std::string> labels,
+                         double popularity = 0.0);
+  void AddFact(InstanceId instance, PropertyId property, types::Value value);
+  void SetAbstractTokens(InstanceId instance, std::vector<std::string> tokens);
+
+  // -- accessors ----------------------------------------------------------
+  size_t num_classes() const { return classes_.size(); }
+  size_t num_properties() const { return properties_.size(); }
+  size_t num_instances() const { return instances_.size(); }
+  const ClassSpec& cls(ClassId id) const { return classes_[id]; }
+  const PropertySpec& property(PropertyId id) const { return properties_[id]; }
+  const Instance& instance(InstanceId id) const { return instances_[id]; }
+  const std::vector<Instance>& instances() const { return instances_; }
+
+  /// Class id by name, or kInvalidClass.
+  ClassId FindClass(const std::string& name) const;
+  /// Property id by (class, name), or kInvalidProperty.
+  PropertyId FindProperty(ClassId cls, const std::string& name) const;
+
+  /// Ids of instances whose class is `cls` (direct, not transitive).
+  const std::vector<InstanceId>& InstancesOfClass(ClassId cls) const;
+
+  /// Value of `property` on `instance`, or nullptr if the slot is empty.
+  const types::Value* FactOf(InstanceId instance, PropertyId property) const;
+
+  /// `cls` and all its ancestors up to the root, most specific first.
+  std::vector<ClassId> Ancestors(ClassId cls) const;
+
+  /// True if `a` equals `b` or one is an ancestor of the other — the
+  /// class-compatibility test of the new-detection candidate selection
+  /// ("must be of the class of the created entity or share one parent").
+  bool ClassesCompatible(ClassId a, ClassId b) const;
+
+  /// Jaccard overlap of the ancestor sets of two classes (TYPE metric).
+  double ClassOverlap(ClassId a, ClassId b) const;
+
+  // -- statistics ---------------------------------------------------------
+  ClassStats StatsOfClass(ClassId cls) const;
+  PropertyStats StatsOfProperty(PropertyId property) const;
+
+ private:
+  std::vector<ClassSpec> classes_;
+  std::vector<PropertySpec> properties_;
+  std::vector<Instance> instances_;
+  std::vector<std::vector<InstanceId>> instances_by_class_;
+  std::unordered_map<std::string, ClassId> class_by_name_;
+};
+
+}  // namespace ltee::kb
+
+#endif  // LTEE_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,229 @@
+#include "kb/serialization.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ltee::kb {
+
+namespace {
+
+using types::DataType;
+using types::DateGranularity;
+using types::Value;
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == '\t') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\\': out += "\\\\"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 't': out.push_back('\t'); break;
+        case 'n': out.push_back('\n'); break;
+        default: out.push_back(s[i]);
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string SerializeValue(const Value& v) {
+  std::ostringstream out;
+  out << static_cast<int>(v.type) << ':';
+  switch (v.type) {
+    case DataType::kText:
+    case DataType::kNominalString:
+      out << EscapeField(v.text);
+      break;
+    case DataType::kInstanceReference:
+      out << v.ref << '|' << EscapeField(v.text);
+      break;
+    case DataType::kDate:
+      out << v.date.year << '-' << static_cast<int>(v.date.month) << '-'
+          << static_cast<int>(v.date.day) << '|'
+          << (v.date.granularity == DateGranularity::kDay ? 'D' : 'Y');
+      break;
+    case DataType::kQuantity:
+      out << v.number;
+      break;
+    case DataType::kNominalInteger:
+      out << v.integer;
+      break;
+  }
+  return out.str();
+}
+
+std::optional<Value> DeserializeValue(const std::string& s) {
+  const size_t colon = s.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const int type_int = std::atoi(s.substr(0, colon).c_str());
+  if (type_int < 0 || type_int >= types::kNumDataTypes) return std::nullopt;
+  const DataType type = static_cast<DataType>(type_int);
+  const std::string payload = s.substr(colon + 1);
+  switch (type) {
+    case DataType::kText:
+      return Value::Text(UnescapeField(payload));
+    case DataType::kNominalString:
+      return Value::Nominal(UnescapeField(payload));
+    case DataType::kInstanceReference: {
+      const size_t bar = payload.find('|');
+      if (bar == std::string::npos) return std::nullopt;
+      return Value::InstanceRef(UnescapeField(payload.substr(bar + 1)),
+                                std::atoi(payload.substr(0, bar).c_str()));
+    }
+    case DataType::kDate: {
+      const size_t bar = payload.find('|');
+      if (bar == std::string::npos || bar + 1 >= payload.size()) {
+        return std::nullopt;
+      }
+      int y = 0, m = 0, d = 0;
+      if (std::sscanf(payload.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+        return std::nullopt;
+      }
+      if (payload[bar + 1] == 'D') return Value::DayDate(y, m, d);
+      return Value::YearDate(y);
+    }
+    case DataType::kQuantity:
+      return Value::OfQuantity(std::atof(payload.c_str()));
+    case DataType::kNominalInteger:
+      return Value::OfInteger(std::atoll(payload.c_str()));
+  }
+  return std::nullopt;
+}
+
+void SaveKnowledgeBase(const KnowledgeBase& kb, std::ostream& out) {
+  for (size_t c = 0; c < kb.num_classes(); ++c) {
+    const ClassSpec& cls = kb.cls(static_cast<ClassId>(c));
+    out << "C\t" << cls.id << '\t' << EscapeField(cls.name) << '\t'
+        << cls.parent << '\n';
+  }
+  for (size_t p = 0; p < kb.num_properties(); ++p) {
+    const PropertySpec& prop = kb.property(static_cast<PropertyId>(p));
+    out << "P\t" << prop.id << '\t' << prop.cls << '\t'
+        << EscapeField(prop.name) << '\t' << static_cast<int>(prop.type);
+    for (const auto& label : prop.labels) out << '\t' << EscapeField(label);
+    out << '\n';
+  }
+  for (const auto& inst : kb.instances()) {
+    out << "I\t" << inst.id << '\t' << inst.cls << '\t' << inst.popularity;
+    for (const auto& label : inst.labels) out << '\t' << EscapeField(label);
+    out << '\n';
+    for (const auto& fact : inst.facts) {
+      out << "F\t" << inst.id << '\t' << fact.property << '\t'
+          << SerializeValue(fact.value) << '\n';
+    }
+    if (!inst.abstract_tokens.empty()) {
+      out << "A\t" << inst.id;
+      for (const auto& tok : inst.abstract_tokens) {
+        out << '\t' << EscapeField(tok);
+      }
+      out << '\n';
+    }
+  }
+}
+
+std::optional<KnowledgeBase> LoadKnowledgeBase(std::istream& in) {
+  KnowledgeBase kb;
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const char* what) {
+    LTEE_LOG(kError) << "LoadKnowledgeBase: " << what << " at line "
+                     << line_number;
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = SplitTabs(line);
+    if (fields[0] == "C") {
+      if (fields.size() != 4) return fail("bad class record");
+      const ClassId id = kb.AddClass(
+          UnescapeField(fields[2]),
+          static_cast<ClassId>(std::atoi(fields[3].c_str())));
+      if (id != std::atoi(fields[1].c_str())) return fail("class id gap");
+    } else if (fields[0] == "P") {
+      if (fields.size() < 5) return fail("bad property record");
+      const int type_int = std::atoi(fields[4].c_str());
+      if (type_int < 0 || type_int >= types::kNumDataTypes) {
+        return fail("bad property type");
+      }
+      std::vector<std::string> extra;
+      // Skip the first label (the normalized name, re-added by
+      // AddProperty).
+      for (size_t f = 6; f < fields.size(); ++f) {
+        extra.push_back(UnescapeField(fields[f]));
+      }
+      const PropertyId id = kb.AddProperty(
+          static_cast<ClassId>(std::atoi(fields[2].c_str())),
+          UnescapeField(fields[3]), static_cast<DataType>(type_int),
+          std::move(extra));
+      if (id != std::atoi(fields[1].c_str())) return fail("property id gap");
+    } else if (fields[0] == "I") {
+      if (fields.size() < 5) return fail("bad instance record");
+      std::vector<std::string> labels;
+      for (size_t f = 4; f < fields.size(); ++f) {
+        labels.push_back(UnescapeField(fields[f]));
+      }
+      const InstanceId id = kb.AddInstance(
+          static_cast<ClassId>(std::atoi(fields[2].c_str())),
+          std::move(labels), std::atof(fields[3].c_str()));
+      if (id != std::atoi(fields[1].c_str())) return fail("instance id gap");
+    } else if (fields[0] == "F") {
+      if (fields.size() != 4) return fail("bad fact record");
+      auto value = DeserializeValue(fields[3]);
+      if (!value) return fail("bad fact value");
+      kb.AddFact(std::atoi(fields[1].c_str()),
+                 static_cast<PropertyId>(std::atoi(fields[2].c_str())),
+                 std::move(*value));
+    } else if (fields[0] == "A") {
+      if (fields.size() < 2) return fail("bad abstract record");
+      std::vector<std::string> tokens;
+      for (size_t f = 2; f < fields.size(); ++f) {
+        tokens.push_back(UnescapeField(fields[f]));
+      }
+      kb.SetAbstractTokens(std::atoi(fields[1].c_str()), std::move(tokens));
+    } else {
+      return fail("unknown record kind");
+    }
+  }
+  return kb;
+}
+
+}  // namespace ltee::kb

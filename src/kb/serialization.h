@@ -1,0 +1,40 @@
+#ifndef LTEE_KB_SERIALIZATION_H_
+#define LTEE_KB_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "kb/knowledge_base.h"
+
+namespace ltee::kb {
+
+/// Serializes the knowledge base into a line-based TSV format:
+///
+///   C <id> <name> <parent-id>
+///   P <id> <class-id> <name> <type> <label>*
+///   I <id> <class-id> <popularity> <label>*
+///   F <instance-id> <property-id> <typed-value>
+///   A <instance-id> <token>*
+///
+/// Typed values are rendered as "<type>:<payload>" with dates as
+/// y-m-d|granularity, references as ref-id|label. Fields are tab
+/// separated; tabs and newlines inside strings are escaped (\t, \n, \\).
+void SaveKnowledgeBase(const KnowledgeBase& kb, std::ostream& out);
+
+/// Parses the format written by SaveKnowledgeBase. Returns nullopt on any
+/// malformed line (the error is reported via LTEE_LOG).
+std::optional<KnowledgeBase> LoadKnowledgeBase(std::istream& in);
+
+/// Escapes tab/newline/backslash for the TSV format.
+std::string EscapeField(const std::string& s);
+std::string UnescapeField(const std::string& s);
+
+/// Value <-> string round-trip used by the serializers (exposed for
+/// tests).
+std::string SerializeValue(const types::Value& v);
+std::optional<types::Value> DeserializeValue(const std::string& s);
+
+}  // namespace ltee::kb
+
+#endif  // LTEE_KB_SERIALIZATION_H_

@@ -1,0 +1,99 @@
+#ifndef LTEE_MATCHING_ATTRIBUTE_MATCHERS_H_
+#define LTEE_MATCHING_ATTRIBUTE_MATCHERS_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "matching/property_value_profile.h"
+#include "matching/schema_mapping.h"
+#include "webtable/web_table.h"
+
+namespace ltee::matching {
+
+/// The five attribute-to-property matchers of Section 3.1. The first three
+/// exploit the knowledge base; the last two exploit the web table corpus
+/// via the preliminary mapping of the previous iteration.
+enum class MatcherId {
+  kKbOverlap = 0,
+  kKbLabel = 1,
+  kKbDuplicate = 2,
+  kWtLabel = 3,
+  kWtDuplicate = 4,
+};
+inline constexpr int kNumMatchers = 5;
+const char* MatcherName(MatcherId id);
+
+/// Exact comparison key for corpus-side duplicate matching (full date for
+/// day-granular values, unlike the coarser ValueKey).
+std::string ExactValueKey(const types::Value& v);
+
+/// Statistics that power WT-Label: how often a normalized header label was
+/// matched to each property in the preliminary mapping.
+class WtLabelStats {
+ public:
+  /// Scans every matched column of `preliminary` over `corpus`.
+  static WtLabelStats Build(const webtable::TableCorpus& corpus,
+                            const SchemaMapping& preliminary);
+
+  /// P(property | header label), or -1 when the label was never seen.
+  double Score(const std::string& header, kb::PropertyId property) const;
+
+ private:
+  struct LabelCounts {
+    std::unordered_map<kb::PropertyId, int> per_property;
+    int total = 0;
+  };
+  std::unordered_map<std::string, LabelCounts> counts_;
+};
+
+/// Index powering WT-Duplicate: per (row cluster, property), the multiset
+/// of value keys seen in preliminarily-matched columns of the cluster's
+/// rows.
+class WtDuplicateIndex {
+ public:
+  static WtDuplicateIndex Build(const webtable::TableCorpus& corpus,
+                                const SchemaMapping& preliminary,
+                                const RowClusterMap& clusters,
+                                const kb::KnowledgeBase& kb);
+
+  /// Count of occurrences of `key` under (cluster, property).
+  int Count(int cluster, kb::PropertyId property,
+            const std::string& key) const;
+
+ private:
+  // key: (cluster id, property id) packed.
+  std::unordered_map<int64_t, std::unordered_map<std::string, int>> index_;
+};
+
+/// Shared read-only inputs of the matcher bank. Feedback members are null
+/// on the first iteration, which disables the duplicate-based matchers.
+struct MatcherInputs {
+  const kb::KnowledgeBase* kb = nullptr;
+  const std::vector<PropertyValueProfile>* value_profiles = nullptr;
+  const RowInstanceMap* row_instances = nullptr;   // for KB-Duplicate
+  const RowClusterMap* row_clusters = nullptr;     // for WT-Duplicate
+  const WtLabelStats* wt_label = nullptr;          // for WT-Label
+  const WtDuplicateIndex* wt_duplicate = nullptr;  // for WT-Duplicate
+  /// Preliminary mapping the WT indexes were built from (self-match guard).
+  const SchemaMapping* preliminary = nullptr;
+};
+
+/// Runs matcher `id` for (table, column) against candidate `property`.
+/// Returns a score in [0, 1], or -1 when the matcher is not applicable
+/// (no feedback available, no comparable cells, ...).
+double RunMatcher(MatcherId id, const MatcherInputs& inputs,
+                  const webtable::WebTable& table, int column,
+                  kb::PropertyId property);
+
+/// Runs all five matchers; out[i] corresponds to MatcherId(i).
+std::array<double, kNumMatchers> RunAllMatchers(const MatcherInputs& inputs,
+                                                const webtable::WebTable& table,
+                                                int column,
+                                                kb::PropertyId property);
+
+}  // namespace ltee::matching
+
+#endif  // LTEE_MATCHING_ATTRIBUTE_MATCHERS_H_

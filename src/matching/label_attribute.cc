@@ -1,0 +1,47 @@
+#include "matching/label_attribute.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "types/value_parser.h"
+#include "util/string_util.h"
+
+namespace ltee::matching {
+
+std::vector<types::DetectedType> DetectColumnTypes(
+    const webtable::WebTable& table) {
+  std::vector<types::DetectedType> out(table.num_columns(),
+                                       types::DetectedType::kText);
+  std::vector<std::string> cells;
+  cells.reserve(table.num_rows());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    cells.clear();
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      cells.push_back(table.cell(r, c));
+    }
+    out[c] = types::DetectColumnType(cells);
+  }
+  return out;
+}
+
+int DetectLabelColumn(const webtable::WebTable& table,
+                      const std::vector<types::DetectedType>& column_types) {
+  int best = -1;
+  size_t best_unique = 0;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (column_types[c] != types::DetectedType::kText) continue;
+    std::unordered_set<std::string> unique;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      std::string norm = util::NormalizeLabel(table.cell(r, c));
+      if (!norm.empty()) unique.insert(std::move(norm));
+    }
+    // Strictly-greater keeps the leftmost column on ties.
+    if (best < 0 || unique.size() > best_unique) {
+      best = static_cast<int>(c);
+      best_unique = unique.size();
+    }
+  }
+  return best;
+}
+
+}  // namespace ltee::matching

@@ -1,0 +1,24 @@
+#ifndef LTEE_MATCHING_LABEL_ATTRIBUTE_H_
+#define LTEE_MATCHING_LABEL_ATTRIBUTE_H_
+
+#include <vector>
+
+#include "types/data_type.h"
+#include "webtable/web_table.h"
+
+namespace ltee::matching {
+
+/// Detects the syntactic type of every column of `table` (majority vote of
+/// the regex-typed cells; Section 3.1).
+std::vector<types::DetectedType> DetectColumnTypes(
+    const webtable::WebTable& table);
+
+/// Label attribute detection (Section 3.1): the column with data type text
+/// and the highest number of unique values; ties break to the leftmost
+/// column. Returns -1 when the table has no text column.
+int DetectLabelColumn(const webtable::WebTable& table,
+                      const std::vector<types::DetectedType>& column_types);
+
+}  // namespace ltee::matching
+
+#endif  // LTEE_MATCHING_LABEL_ATTRIBUTE_H_

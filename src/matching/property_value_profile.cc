@@ -1,0 +1,73 @@
+#include "matching/property_value_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ltee::matching {
+
+namespace {
+using types::DataType;
+}  // namespace
+
+std::string ValueKey(const types::Value& v) {
+  switch (v.type) {
+    case DataType::kText:
+    case DataType::kNominalString:
+    case DataType::kInstanceReference:
+      return util::NormalizeLabel(v.text);
+    case DataType::kDate:
+      return std::to_string(v.date.year);
+    case DataType::kQuantity:
+      return std::to_string(static_cast<long long>(std::llround(v.number)));
+    case DataType::kNominalInteger:
+      return std::to_string(v.integer);
+  }
+  return {};
+}
+
+bool PropertyValueProfile::Fits(const types::Value& v) const {
+  switch (v.type) {
+    case DataType::kQuantity:
+      return has_range && v.number >= min_value * 0.5 &&
+             v.number <= max_value * 1.5;
+    case DataType::kDate:
+      return has_range && v.date.year >= min_value - 2 &&
+             v.date.year <= max_value + 2;
+    default:
+      return keys.count(ValueKey(v)) > 0;
+  }
+}
+
+std::vector<PropertyValueProfile> BuildPropertyValueProfiles(
+    const kb::KnowledgeBase& kb) {
+  std::vector<PropertyValueProfile> profiles(kb.num_properties());
+  for (size_t p = 0; p < kb.num_properties(); ++p) {
+    profiles[p].property = static_cast<kb::PropertyId>(p);
+  }
+  for (const auto& inst : kb.instances()) {
+    for (const auto& fact : inst.facts) {
+      PropertyValueProfile& prof = profiles[fact.property];
+      const types::Value& v = fact.value;
+      if (v.type == DataType::kQuantity || v.type == DataType::kDate) {
+        const double x = v.type == DataType::kQuantity
+                             ? v.number
+                             : static_cast<double>(v.date.year);
+        if (!prof.has_range) {
+          prof.min_value = prof.max_value = x;
+          prof.has_range = true;
+        } else {
+          prof.min_value = std::min(prof.min_value, x);
+          prof.max_value = std::max(prof.max_value, x);
+        }
+        if (v.type == DataType::kDate) prof.keys.insert(ValueKey(v));
+      } else {
+        prof.keys.insert(ValueKey(v));
+      }
+    }
+  }
+  return profiles;
+}
+
+}  // namespace ltee::matching

@@ -1,0 +1,40 @@
+#ifndef LTEE_MATCHING_PROPERTY_VALUE_PROFILE_H_
+#define LTEE_MATCHING_PROPERTY_VALUE_PROFILE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "types/value.h"
+
+namespace ltee::matching {
+
+/// Summary of the value distribution of one KB property, precomputed once
+/// and consulted by the KB-Overlap matcher to test whether a cell value
+/// "generally fits" the property.
+struct PropertyValueProfile {
+  kb::PropertyId property = kb::kInvalidProperty;
+  /// Normalized value keys for categorical types (text, nominal string,
+  /// instance reference, nominal integer).
+  std::unordered_set<std::string> keys;
+  /// Observed numeric range for quantity properties / year range for dates.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  bool has_range = false;
+
+  /// True when `v` plausibly belongs to the property's distribution.
+  bool Fits(const types::Value& v) const;
+};
+
+/// Canonical comparison key of a value (normalized text for categorical
+/// types, year for dates, rounded number for quantities).
+std::string ValueKey(const types::Value& v);
+
+/// Builds profiles for every property of the KB (indexed by property id).
+std::vector<PropertyValueProfile> BuildPropertyValueProfiles(
+    const kb::KnowledgeBase& kb);
+
+}  // namespace ltee::matching
+
+#endif  // LTEE_MATCHING_PROPERTY_VALUE_PROFILE_H_

@@ -1,0 +1,52 @@
+#ifndef LTEE_MATCHING_SCHEMA_MAPPING_H_
+#define LTEE_MATCHING_SCHEMA_MAPPING_H_
+
+#include <map>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "types/data_type.h"
+#include "webtable/web_table.h"
+
+namespace ltee::matching {
+
+/// Match state of one attribute column.
+struct ColumnMatch {
+  types::DetectedType detected = types::DetectedType::kText;
+  /// Matched KB property, or kInvalidProperty when unmatched.
+  kb::PropertyId property = kb::kInvalidProperty;
+  /// Aggregated matcher score of the winning property (0 when unmatched).
+  double score = 0.0;
+};
+
+/// Schema-matching result for one table.
+struct TableMapping {
+  webtable::TableId table = -1;
+  int label_column = -1;
+  kb::ClassId cls = kb::kInvalidClass;
+  double class_score = 0.0;
+  std::vector<ColumnMatch> columns;
+  /// Direct row-to-instance matches produced during table-to-class
+  /// matching (duplicate-based; -1 where no instance matched). Used by the
+  /// KBT fusion scorer and the Table 4 profiling.
+  std::vector<kb::InstanceId> row_instance;
+};
+
+/// Schema-matching result for a corpus, indexed by table id.
+struct SchemaMapping {
+  std::vector<TableMapping> tables;
+
+  const TableMapping& of(webtable::TableId id) const { return tables[id]; }
+};
+
+/// Row -> KB instance correspondences (output of new detection, fed back
+/// into the second schema-matching iteration for KB-Duplicate).
+using RowInstanceMap = std::map<webtable::RowRef, kb::InstanceId>;
+
+/// Row -> cluster id map (output of row clustering, fed back for
+/// WT-Duplicate).
+using RowClusterMap = std::map<webtable::RowRef, int>;
+
+}  // namespace ltee::matching
+
+#endif  // LTEE_MATCHING_SCHEMA_MAPPING_H_

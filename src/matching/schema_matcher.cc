@@ -1,0 +1,327 @@
+#include "matching/schema_matcher.h"
+
+#include <algorithm>
+#include <map>
+
+#include "matching/label_attribute.h"
+#include "util/stats.h"
+
+namespace ltee::matching {
+
+SchemaMatcher::SchemaMatcher(const kb::KnowledgeBase& kb,
+                             const index::LabelIndex& kb_index,
+                             SchemaMatcherOptions options)
+    : kb_(&kb),
+      kb_index_(&kb_index),
+      options_(options),
+      value_profiles_(BuildPropertyValueProfiles(kb)) {}
+
+SchemaMatcher::Prepared SchemaMatcher::PrepareInputs(
+    const webtable::TableCorpus& corpus,
+    const MatcherFeedback& feedback) const {
+  Prepared prep;
+  prep.inputs.kb = kb_;
+  prep.inputs.value_profiles = &value_profiles_;
+  prep.inputs.row_instances = feedback.row_instances;
+  prep.inputs.row_clusters = feedback.row_clusters;
+  prep.inputs.preliminary = feedback.preliminary;
+  if (feedback.preliminary != nullptr) {
+    prep.wt_label = WtLabelStats::Build(corpus, *feedback.preliminary);
+    prep.inputs.wt_label = &prep.wt_label;
+    if (feedback.row_clusters != nullptr) {
+      prep.wt_duplicate = WtDuplicateIndex::Build(
+          corpus, *feedback.preliminary, *feedback.row_clusters, *kb_);
+      prep.inputs.wt_duplicate = &prep.wt_duplicate;
+    }
+  }
+  return prep;
+}
+
+double SchemaMatcher::Aggregate(
+    kb::ClassId cls, const std::array<double, kNumMatchers>& scores) const {
+  std::array<double, kNumMatchers> weights;
+  auto it = weights_.find(cls);
+  if (it != weights_.end()) {
+    weights = it->second;
+  } else {
+    weights.fill(1.0);
+  }
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < kNumMatchers; ++i) {
+    if (scores[i] < 0.0) continue;
+    num += weights[i] * scores[i];
+    den += weights[i];
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+double SchemaMatcher::ThresholdOf(kb::PropertyId property) const {
+  auto it = thresholds_.find(property);
+  return it == thresholds_.end() ? options_.default_threshold : it->second;
+}
+
+TableMapping SchemaMatcher::MatchTableImpl(const webtable::WebTable& table,
+                                           const MatcherInputs& inputs) const {
+  TableMapping mapping;
+  mapping.table = table.id;
+  const auto column_types = DetectColumnTypes(table);
+  mapping.columns.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    mapping.columns[c].detected = column_types[c];
+  }
+  mapping.label_column = DetectLabelColumn(table, column_types);
+  if (mapping.label_column < 0) {
+    mapping.row_instance.assign(table.num_rows(), kb::kInvalidInstance);
+    return mapping;
+  }
+
+  TableToClassResult ttc = MatchTableToClass(
+      table, mapping.label_column, column_types, *kb_, *kb_index_,
+      options_.table_to_class);
+  mapping.cls = ttc.cls;
+  mapping.class_score = ttc.score;
+  mapping.row_instance = std::move(ttc.row_instance);
+  if (mapping.cls == kb::kInvalidClass) return mapping;
+
+  const auto& class_properties = kb_->cls(mapping.cls).properties;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (static_cast<int>(c) == mapping.label_column) continue;
+    kb::PropertyId best_property = kb::kInvalidProperty;
+    double best_score = 0.0;
+    for (kb::PropertyId pid : class_properties) {
+      if (!types::DetectedTypeAdmitsProperty(column_types[c],
+                                             kb_->property(pid).type)) {
+        continue;
+      }
+      const auto scores =
+          RunAllMatchers(inputs, table, static_cast<int>(c), pid);
+      const double agg = Aggregate(mapping.cls, scores);
+      if (agg > best_score) {
+        best_score = agg;
+        best_property = pid;
+      }
+    }
+    // Match only when the winner also clears its per-property threshold.
+    if (best_property != kb::kInvalidProperty &&
+        best_score >= ThresholdOf(best_property)) {
+      mapping.columns[c].property = best_property;
+      mapping.columns[c].score = best_score;
+    }
+  }
+  return mapping;
+}
+
+SchemaMapping SchemaMatcher::Match(const webtable::TableCorpus& corpus,
+                                   const MatcherFeedback& feedback) const {
+  Prepared prep = PrepareInputs(corpus, feedback);
+  SchemaMapping mapping;
+  mapping.tables.resize(corpus.size());
+  for (const auto& table : corpus.tables()) {
+    mapping.tables[table.id] = MatchTableImpl(table, prep.inputs);
+  }
+  return mapping;
+}
+
+TableMapping SchemaMatcher::MatchTable(const webtable::TableCorpus& corpus,
+                                       webtable::TableId table,
+                                       const MatcherFeedback& feedback) const {
+  Prepared prep = PrepareInputs(corpus, feedback);
+  return MatchTableImpl(corpus.table(table), prep.inputs);
+}
+
+namespace {
+
+/// One candidate decision cached for learning: a column, a candidate
+/// property, the matcher scores, and whether the annotation says this is
+/// the correct property.
+struct LearnCandidate {
+  int column_key;  // dense id of (table, column)
+  kb::PropertyId property;
+  std::array<double, kNumMatchers> scores;
+  bool correct;
+};
+
+/// Computes attribute-matching F1 for fixed weights and a single global
+/// threshold over the cached candidates of one class.
+double EvaluateWeights(const std::vector<LearnCandidate>& candidates,
+                       const std::map<int, kb::PropertyId>& annotated,
+                       int num_columns,
+                       const std::array<double, kNumMatchers>& weights,
+                       double threshold,
+                       std::map<int, std::pair<kb::PropertyId, double>>*
+                           decisions_out = nullptr) {
+  // Per column: argmax aggregated score.
+  std::map<int, std::pair<kb::PropertyId, double>> best;
+  for (const auto& cand : candidates) {
+    double num = 0.0, den = 0.0;
+    for (int i = 0; i < kNumMatchers; ++i) {
+      if (cand.scores[i] < 0.0) continue;
+      num += weights[i] * cand.scores[i];
+      den += weights[i];
+    }
+    const double agg = den == 0.0 ? 0.0 : num / den;
+    auto [it, inserted] = best.emplace(
+        cand.column_key, std::make_pair(cand.property, agg));
+    if (!inserted && agg > it->second.second) {
+      it->second = {cand.property, agg};
+    }
+  }
+  if (decisions_out != nullptr) *decisions_out = best;
+
+  int tp = 0, fp = 0, fn = 0;
+  for (const auto& [col, decision] : best) {
+    const auto ann = annotated.find(col);
+    const bool predicted = decision.second >= threshold;
+    if (predicted) {
+      if (ann != annotated.end() && ann->second == decision.first) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+  }
+  for (const auto& [col, prop] : annotated) {
+    auto it = best.find(col);
+    if (it == best.end() || it->second.second < threshold ||
+        it->second.first != prop) {
+      ++fn;
+    }
+  }
+  (void)num_columns;
+  const double p = tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  const double r = tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  return util::F1(p, r);
+}
+
+}  // namespace
+
+void SchemaMatcher::Learn(const webtable::TableCorpus& corpus,
+                          const std::vector<webtable::TableId>& learning_tables,
+                          const std::vector<AttributeAnnotation>& annotations,
+                          const MatcherFeedback& feedback, util::Rng& rng) {
+  Prepared prep = PrepareInputs(corpus, feedback);
+
+  std::map<std::pair<webtable::TableId, int>, kb::PropertyId> annotation_map;
+  for (const auto& a : annotations) {
+    annotation_map[{a.table, a.column}] = a.property;
+  }
+
+  // Cache candidates per class.
+  std::unordered_map<kb::ClassId, std::vector<LearnCandidate>> per_class;
+  std::unordered_map<kb::ClassId, std::map<int, kb::PropertyId>>
+      per_class_annotated;
+  std::unordered_map<kb::ClassId, int> per_class_columns;
+  int next_column_key = 0;
+
+  for (webtable::TableId tid : learning_tables) {
+    const webtable::WebTable& table = corpus.table(tid);
+    const auto column_types = DetectColumnTypes(table);
+    const int label_column = DetectLabelColumn(table, column_types);
+    if (label_column < 0) continue;
+    TableToClassResult ttc =
+        MatchTableToClass(table, label_column, column_types, *kb_, *kb_index_,
+                          options_.table_to_class);
+    if (ttc.cls == kb::kInvalidClass) continue;
+
+    auto& candidates = per_class[ttc.cls];
+    auto& annotated = per_class_annotated[ttc.cls];
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (static_cast<int>(c) == label_column) continue;
+      const int column_key = next_column_key++;
+      per_class_columns[ttc.cls] += 1;
+      auto ann = annotation_map.find({tid, static_cast<int>(c)});
+      if (ann != annotation_map.end()) annotated[column_key] = ann->second;
+      for (kb::PropertyId pid : kb_->cls(ttc.cls).properties) {
+        if (!types::DetectedTypeAdmitsProperty(column_types[c],
+                                               kb_->property(pid).type)) {
+          continue;
+        }
+        LearnCandidate cand;
+        cand.column_key = column_key;
+        cand.property = pid;
+        cand.scores = RunAllMatchers(prep.inputs, table,
+                                     static_cast<int>(c), pid);
+        cand.correct = ann != annotation_map.end() && ann->second == pid;
+        candidates.push_back(std::move(cand));
+      }
+    }
+  }
+
+  // Learn weights per class via GA (genome: 5 weights + global threshold),
+  // then per-property thresholds by sweep under the learned weights.
+  for (auto& [cls, candidates] : per_class) {
+    const auto& annotated = per_class_annotated[cls];
+    if (annotated.empty()) continue;
+    auto fitness = [&](const std::vector<double>& genome) {
+      std::array<double, kNumMatchers> w;
+      for (int i = 0; i < kNumMatchers; ++i) w[i] = genome[i];
+      return EvaluateWeights(candidates, annotated, per_class_columns[cls], w,
+                             genome[kNumMatchers]);
+    };
+    auto genome =
+        ml::GeneticMaximize(kNumMatchers + 1, fitness, rng, options_.genetic);
+    std::array<double, kNumMatchers> weights;
+    for (int i = 0; i < kNumMatchers; ++i) weights[i] = genome[i];
+    weights_[cls] = weights;
+    const double global_threshold = genome[kNumMatchers];
+
+    // Decisions under the final weights (threshold-free argmax).
+    std::map<int, std::pair<kb::PropertyId, double>> decisions;
+    EvaluateWeights(candidates, annotated, per_class_columns[cls], weights,
+                    global_threshold, &decisions);
+
+    // Per-property threshold sweep.
+    for (kb::PropertyId pid : kb_->cls(cls).properties) {
+      std::vector<double> scores;
+      for (const auto& [col, decision] : decisions) {
+        if (decision.first == pid) scores.push_back(decision.second);
+      }
+      if (scores.empty()) {
+        thresholds_[pid] = global_threshold;
+        continue;
+      }
+      std::sort(scores.begin(), scores.end());
+      double best_f1 = -1.0, best_threshold = global_threshold;
+      std::vector<double> trials = scores;
+      trials.push_back(global_threshold);
+      for (double t : trials) {
+        int tp = 0, fp = 0, fn = 0;
+        for (const auto& [col, decision] : decisions) {
+          auto ann = annotated.find(col);
+          const bool is_ann = ann != annotated.end() && ann->second == pid;
+          const bool predicted =
+              decision.first == pid && decision.second >= t;
+          if (predicted && is_ann) ++tp;
+          else if (predicted && !is_ann) ++fp;
+          else if (!predicted && is_ann) ++fn;
+        }
+        const double p =
+            tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+        const double r =
+            tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+        const double f1 = util::F1(p, r);
+        if (f1 > best_f1) {
+          best_f1 = f1;
+          best_threshold = t;
+        }
+      }
+      thresholds_[pid] = best_threshold;
+    }
+  }
+}
+
+std::array<double, kNumMatchers> SchemaMatcher::AverageWeights() const {
+  std::array<double, kNumMatchers> out;
+  out.fill(0.0);
+  if (weights_.empty()) return out;
+  for (const auto& [cls, weights] : weights_) {
+    double sum = 0.0;
+    for (double w : weights) sum += w;
+    if (sum == 0.0) continue;
+    for (int i = 0; i < kNumMatchers; ++i) out[i] += weights[i] / sum;
+  }
+  for (auto& w : out) w /= static_cast<double>(weights_.size());
+  return out;
+}
+
+}  // namespace ltee::matching

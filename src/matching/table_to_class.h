@@ -1,0 +1,46 @@
+#ifndef LTEE_MATCHING_TABLE_TO_CLASS_H_
+#define LTEE_MATCHING_TABLE_TO_CLASS_H_
+
+#include <vector>
+
+#include "index/label_index.h"
+#include "kb/knowledge_base.h"
+#include "types/data_type.h"
+#include "webtable/web_table.h"
+
+namespace ltee::matching {
+
+/// Options of the table-to-class matcher.
+struct TableToClassOptions {
+  /// Candidate instances retrieved per row label.
+  size_t candidates_per_row = 8;
+  /// Minimum Monge-Elkan label similarity for a retrieved instance to
+  /// count as a row candidate.
+  double label_similarity_threshold = 0.82;
+  /// Minimum fraction of rows with a candidate for a class to be
+  /// considered a candidate class.
+  double min_row_support = 0.10;
+};
+
+/// Result: the chosen class, its aggregated score, and the per-row direct
+/// instance matches of that class (duplicate-based verification).
+struct TableToClassResult {
+  kb::ClassId cls = kb::kInvalidClass;
+  double score = 0.0;
+  std::vector<kb::InstanceId> row_instance;
+};
+
+/// Table-to-class matching following Ritze et al. (Section 3.1): row labels
+/// retrieve candidate instances from the KB label index; classes are scored
+/// by row support plus duplicate-based attribute-to-property match counts;
+/// the highest-scoring class wins. `kb_index` must map doc ids to KB
+/// instance ids.
+TableToClassResult MatchTableToClass(
+    const webtable::WebTable& table, int label_column,
+    const std::vector<types::DetectedType>& column_types,
+    const kb::KnowledgeBase& kb, const index::LabelIndex& kb_index,
+    const TableToClassOptions& options = {});
+
+}  // namespace ltee::matching
+
+#endif  // LTEE_MATCHING_TABLE_TO_CLASS_H_

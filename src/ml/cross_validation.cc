@@ -1,0 +1,71 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace ltee::ml {
+
+std::vector<int> AssignFolds(size_t n, const std::vector<int64_t>& group,
+                             const std::vector<int>& stratum, int k,
+                             util::Rng& rng) {
+  // Collect effective groups: explicit group ids plus singletons.
+  struct GroupInfo {
+    std::vector<int> items;
+    int dominant_stratum = 0;
+  };
+  std::unordered_map<int64_t, int> group_index;
+  std::vector<GroupInfo> groups;
+  for (size_t i = 0; i < n; ++i) {
+    int gi;
+    if (group[i] >= 0) {
+      auto [it, inserted] =
+          group_index.emplace(group[i], static_cast<int>(groups.size()));
+      if (inserted) groups.emplace_back();
+      gi = it->second;
+    } else {
+      gi = static_cast<int>(groups.size());
+      groups.emplace_back();
+    }
+    groups[gi].items.push_back(static_cast<int>(i));
+  }
+  for (auto& g : groups) {
+    std::map<int, int> counts;
+    for (int item : g.items) counts[stratum[item]] += 1;
+    int best = 0, best_count = -1;
+    for (auto [s, c] : counts) {
+      if (c > best_count) {
+        best = s;
+        best_count = c;
+      }
+    }
+    g.dominant_stratum = best;
+  }
+
+  // Shuffle groups, then greedily place each into the currently smallest
+  // fold of its dominant stratum — balancing strata across folds.
+  std::vector<int> order(groups.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  rng.Shuffle(&order);
+  // Larger groups first for better balance.
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return groups[a].items.size() > groups[b].items.size();
+  });
+
+  std::map<int, std::vector<int>> load_by_stratum;  // stratum -> per-fold load
+  std::vector<int> fold_of_item(n, 0);
+  for (int gi : order) {
+    const auto& g = groups[gi];
+    auto& load = load_by_stratum[g.dominant_stratum];
+    if (load.empty()) load.assign(k, 0);
+    int best_fold = 0;
+    for (int f = 1; f < k; ++f) {
+      if (load[f] < load[best_fold]) best_fold = f;
+    }
+    load[best_fold] += static_cast<int>(g.items.size());
+    for (int item : g.items) fold_of_item[item] = best_fold;
+  }
+  return fold_of_item;
+}
+
+}  // namespace ltee::ml

@@ -1,0 +1,24 @@
+#ifndef LTEE_ML_CROSS_VALIDATION_H_
+#define LTEE_ML_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ltee::ml {
+
+/// Assigns `n` items to `k` folds such that
+///  - all items sharing a group id land in the same fold ("all clusters of
+///    a homonym group were always placed in one fold"), and
+///  - items are stratified by `stratum` ("we ensured that we evenly split
+///    new clusters").
+/// `group[i]` < 0 means the item is in no group (its own singleton group).
+/// Returns fold index per item, each in [0, k).
+std::vector<int> AssignFolds(size_t n, const std::vector<int64_t>& group,
+                             const std::vector<int>& stratum, int k,
+                             util::Rng& rng);
+
+}  // namespace ltee::ml
+
+#endif  // LTEE_ML_CROSS_VALIDATION_H_

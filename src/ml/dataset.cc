@@ -1,0 +1,38 @@
+#include "ml/dataset.h"
+
+namespace ltee::ml {
+
+std::vector<double> FlattenForForest(const ScoredFeatures& f) {
+  std::vector<double> out;
+  out.reserve(f.sims.size() + f.confs.size());
+  for (double s : f.sims) out.push_back(s < 0.0 ? 0.0 : s);
+  for (double c : f.confs) out.push_back(c);
+  return out;
+}
+
+std::vector<double> SimsOnly(const ScoredFeatures& f) {
+  std::vector<double> out;
+  out.reserve(f.sims.size());
+  for (double s : f.sims) out.push_back(s < 0.0 ? 0.0 : s);
+  return out;
+}
+
+std::vector<Example> BalanceByUpsampling(std::vector<Example> examples,
+                                         util::Rng& rng) {
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    (examples[i].target > 0.0 ? pos : neg).push_back(i);
+  }
+  if (pos.empty() || neg.empty()) return examples;
+  const auto& minority = pos.size() < neg.size() ? pos : neg;
+  const size_t deficit =
+      (pos.size() < neg.size() ? neg.size() - pos.size()
+                               : pos.size() - neg.size());
+  examples.reserve(examples.size() + deficit);
+  for (size_t i = 0; i < deficit; ++i) {
+    examples.push_back(examples[minority[rng.NextBounded(minority.size())]]);
+  }
+  return examples;
+}
+
+}  // namespace ltee::ml

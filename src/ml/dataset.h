@@ -1,0 +1,43 @@
+#ifndef LTEE_ML_DATASET_H_
+#define LTEE_ML_DATASET_H_
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace ltee::ml {
+
+/// Output of a bank of similarity metrics for one comparison (row pair or
+/// entity/instance pair): one similarity score per metric plus an optional
+/// confidence per metric (0 when the metric attaches no confidence).
+/// Similarities are in [0, 1]; a similarity of -1 marks "metric not
+/// applicable" (e.g. ATTRIBUTE with no overlapping value pairs).
+struct ScoredFeatures {
+  std::vector<double> sims;
+  std::vector<double> confs;
+};
+
+/// One labeled training example. `target` is +1.0 for matching pairs and
+/// -1.0 for non-matching pairs, mirroring the paper's regression targets.
+struct Example {
+  ScoredFeatures features;
+  double target = 0.0;
+};
+
+/// Flattens features for model consumption. Weighted-average models see
+/// only the similarity scores; the random forest sees similarities and
+/// confidences ("as features we include both similarity and confidence
+/// scores"). Missing similarities (-1) are imputed to 0.
+std::vector<double> FlattenForForest(const ScoredFeatures& f);
+std::vector<double> SimsOnly(const ScoredFeatures& f);
+
+/// Upsamples the minority class (by duplicating random minority examples)
+/// until matching and non-matching examples are balanced, as the paper does
+/// before learning ("in all cases we upsample to balance the number of
+/// matching and non-matching row pairs").
+std::vector<Example> BalanceByUpsampling(std::vector<Example> examples,
+                                         util::Rng& rng);
+
+}  // namespace ltee::ml
+
+#endif  // LTEE_ML_DATASET_H_

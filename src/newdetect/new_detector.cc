@@ -1,0 +1,298 @@
+#include "newdetect/new_detector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "types/type_similarity.h"
+#include "util/similarity.h"
+#include "util/string_util.h"
+
+namespace ltee::newdetect {
+
+namespace {
+
+const types::TypeSimilarityOptions kSimOptions;
+
+double LabelSimilarity(const fusion::CreatedEntity& entity,
+                       const kb::Instance& instance) {
+  double best = 0.0;
+  for (const auto& a : entity.labels) {
+    for (const auto& b : instance.labels) {
+      best = std::max(best, util::MongeElkanLevenshtein(a, b));
+    }
+  }
+  return best;
+}
+
+std::unordered_set<std::string> InstanceBow(const kb::KnowledgeBase& kb,
+                                            const kb::Instance& instance) {
+  std::unordered_set<std::string> bow;
+  for (const auto& label : instance.labels) {
+    for (auto& tok : util::Tokenize(label)) bow.insert(std::move(tok));
+  }
+  for (const auto& tok : instance.abstract_tokens) bow.insert(tok);
+  for (const auto& fact : instance.facts) {
+    for (auto& tok : util::Tokenize(fact.value.ToString())) {
+      bow.insert(std::move(tok));
+    }
+  }
+  (void)kb;
+  return bow;
+}
+
+std::pair<double, double> AttributeSimilarity(
+    const fusion::CreatedEntity& entity, const kb::KnowledgeBase& kb,
+    kb::InstanceId instance_id) {
+  int pairs = 0;
+  double sum = 0.0;
+  for (const auto& fact : entity.facts) {
+    const types::Value* kb_fact = kb.FactOf(instance_id, fact.property);
+    if (kb_fact == nullptr) continue;
+    ++pairs;
+    sum += types::ValuesEqual(fact.value, *kb_fact, kSimOptions) ? 1.0 : 0.0;
+  }
+  if (pairs == 0) return {-1.0, 0.0};
+  return {sum / pairs, static_cast<double>(pairs)};
+}
+
+std::pair<double, double> ImplicitSimilarity(
+    const fusion::CreatedEntity& entity, const kb::KnowledgeBase& kb,
+    kb::InstanceId instance_id) {
+  double weighted_sum = 0.0, weight = 0.0;
+  for (const auto& implicit : entity.implicit_attrs) {
+    const types::Value* kb_fact = kb.FactOf(instance_id, implicit.property);
+    if (kb_fact == nullptr) continue;
+    const double equal =
+        types::ValuesEqual(implicit.value, *kb_fact, kSimOptions) ? 1.0 : 0.0;
+    weighted_sum += implicit.score * equal;
+    weight += implicit.score;
+  }
+  if (weight == 0.0) return {-1.0, 0.0};
+  return {weighted_sum / weight, weight};
+}
+
+}  // namespace
+
+const char* EntityMetricName(EntityMetric metric) {
+  switch (metric) {
+    case EntityMetric::kLabel: return "LABEL";
+    case EntityMetric::kType: return "TYPE";
+    case EntityMetric::kBow: return "BOW";
+    case EntityMetric::kAttribute: return "ATTRIBUTE";
+    case EntityMetric::kImplicitAtt: return "IMPLICIT_ATT";
+    case EntityMetric::kPopularity: return "POPULARITY";
+  }
+  return "?";
+}
+
+std::vector<bool> FirstKEntityMetrics(int k) {
+  std::vector<bool> mask(kNumEntityMetrics, false);
+  for (int i = 0; i < std::min(k, kNumEntityMetrics); ++i) mask[i] = true;
+  return mask;
+}
+
+NewDetector::NewDetector(const kb::KnowledgeBase& kb,
+                         const index::LabelIndex& kb_index,
+                         NewDetectorOptions options)
+    : kb_(&kb), kb_index_(&kb_index), options_(std::move(options)) {
+  options_.enabled_metrics.resize(kNumEntityMetrics, false);
+}
+
+std::vector<kb::InstanceId> NewDetector::Candidates(
+    const fusion::CreatedEntity& entity) const {
+  std::vector<kb::InstanceId> out;
+  std::unordered_set<kb::InstanceId> seen;
+  for (const auto& label : entity.labels) {
+    for (const auto& hit :
+         kb_index_->Search(label, options_.candidates_per_entity)) {
+      const kb::InstanceId id = static_cast<kb::InstanceId>(hit.doc);
+      if (!seen.insert(id).second) continue;
+      const kb::Instance& instance = kb_->instance(id);
+      if (entity.cls != kb::kInvalidClass &&
+          !kb_->ClassesCompatible(entity.cls, instance.cls)) {
+        continue;
+      }
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+ml::ScoredFeatures NewDetector::Compare(const fusion::CreatedEntity& entity,
+                                        kb::InstanceId instance_id,
+                                        double popularity_rank_score) const {
+  const kb::Instance& instance = kb_->instance(instance_id);
+  ml::ScoredFeatures out;
+  auto push = [&out](double sim, double conf) {
+    out.sims.push_back(sim);
+    out.confs.push_back(conf);
+  };
+  const auto& enabled = options_.enabled_metrics;
+  if (enabled[static_cast<int>(EntityMetric::kLabel)]) {
+    push(LabelSimilarity(entity, instance), 0.0);
+  }
+  if (enabled[static_cast<int>(EntityMetric::kType)]) {
+    push(entity.cls == kb::kInvalidClass
+             ? -1.0
+             : kb_->ClassOverlap(entity.cls, instance.cls),
+         0.0);
+  }
+  if (enabled[static_cast<int>(EntityMetric::kBow)]) {
+    push(util::CosineBinary(entity.bow, InstanceBow(*kb_, instance)), 0.0);
+  }
+  if (enabled[static_cast<int>(EntityMetric::kAttribute)]) {
+    auto [sim, conf] = AttributeSimilarity(entity, *kb_, instance_id);
+    push(sim, conf);
+  }
+  if (enabled[static_cast<int>(EntityMetric::kImplicitAtt)]) {
+    auto [sim, conf] = ImplicitSimilarity(entity, *kb_, instance_id);
+    push(sim, conf);
+  }
+  if (enabled[static_cast<int>(EntityMetric::kPopularity)]) {
+    push(popularity_rank_score, 0.0);
+  }
+  return out;
+}
+
+std::vector<NewDetector::ScoredCandidate> NewDetector::ScoreCandidates(
+    const fusion::CreatedEntity& entity) const {
+  auto candidates = Candidates(entity);
+  // POPULARITY: rank candidates by incoming-page-link popularity; a single
+  // candidate scores 1.0, the k-th most popular scores 1/k.
+  std::vector<kb::InstanceId> by_popularity = candidates;
+  std::sort(by_popularity.begin(), by_popularity.end(),
+            [&](kb::InstanceId a, kb::InstanceId b) {
+              return kb_->instance(a).popularity > kb_->instance(b).popularity;
+            });
+  std::vector<ScoredCandidate> out;
+  out.reserve(candidates.size());
+  for (kb::InstanceId id : candidates) {
+    const auto rank_it =
+        std::find(by_popularity.begin(), by_popularity.end(), id);
+    const double rank = static_cast<double>(rank_it - by_popularity.begin()) + 1.0;
+    const double pop_score = candidates.size() == 1 ? 1.0 : 1.0 / rank;
+    out.push_back({id, aggregator_.Score(Compare(entity, id, pop_score))});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+void NewDetector::Train(const std::vector<fusion::CreatedEntity>& entities,
+                        const std::vector<DetectionLabel>& labels,
+                        util::Rng& rng) {
+  // ---- 1. Pairwise aggregation training. --------------------------------
+  std::vector<ml::Example> examples;
+  for (size_t e = 0; e < entities.size(); ++e) {
+    auto candidates = Candidates(entities[e]);
+    std::vector<kb::InstanceId> by_popularity = candidates;
+    std::sort(by_popularity.begin(), by_popularity.end(),
+              [&](kb::InstanceId a, kb::InstanceId b) {
+                return kb_->instance(a).popularity >
+                       kb_->instance(b).popularity;
+              });
+    for (kb::InstanceId id : candidates) {
+      const auto rank_it =
+          std::find(by_popularity.begin(), by_popularity.end(), id);
+      const double rank =
+          static_cast<double>(rank_it - by_popularity.begin()) + 1.0;
+      const double pop_score = candidates.size() == 1 ? 1.0 : 1.0 / rank;
+      ml::Example ex;
+      ex.features = Compare(entities[e], id, pop_score);
+      ex.target = (!labels[e].is_new && labels[e].instance == id) ? 1.0 : -1.0;
+      examples.push_back(std::move(ex));
+    }
+  }
+  aggregator_.Train(std::move(examples), options_.aggregation, rng);
+
+  // ---- 2. Threshold sweeps. ----------------------------------------------
+  struct EntityScore {
+    double best;
+    kb::InstanceId best_instance;
+    bool is_new;
+    kb::InstanceId gold_instance;
+  };
+  std::vector<EntityScore> scored;
+  for (size_t e = 0; e < entities.size(); ++e) {
+    auto candidates = ScoreCandidates(entities[e]);
+    EntityScore s;
+    s.best = candidates.empty() ? -1.0 : candidates.front().score;
+    s.best_instance =
+        candidates.empty() ? kb::kInvalidInstance : candidates.front().instance;
+    s.is_new = labels[e].is_new;
+    s.gold_instance = labels[e].instance;
+    scored.push_back(s);
+  }
+
+  // new_threshold: maximize new-vs-existing classification accuracy.
+  std::vector<double> trials = {-0.99};
+  for (const auto& s : scored) trials.push_back(s.best + 1e-9);
+  double best_acc = -1.0;
+  for (double t : trials) {
+    int correct = 0;
+    for (const auto& s : scored) {
+      const bool predicted_new = s.best < t;
+      if (predicted_new == s.is_new) ++correct;
+    }
+    const double acc = static_cast<double>(correct) /
+                       static_cast<double>(std::max<size_t>(1, scored.size()));
+    if (acc > best_acc) {
+      best_acc = acc;
+      new_threshold_ = t;
+    }
+  }
+
+  // match_threshold >= new_threshold: maximize existing-match F1.
+  double best_f1 = -1.0;
+  match_threshold_ = new_threshold_;
+  for (double t : trials) {
+    if (t < new_threshold_) continue;
+    int tp = 0, fp = 0, fn = 0;
+    for (const auto& s : scored) {
+      const bool matched = s.best >= t;
+      if (matched) {
+        if (!s.is_new && s.best_instance == s.gold_instance) ++tp;
+        else ++fp;
+      } else if (!s.is_new) {
+        ++fn;
+      }
+    }
+    const double p = tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+    const double r = tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+    const double f1 = p + r == 0.0 ? 0.0 : 2 * p * r / (p + r);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      match_threshold_ = t;
+    }
+  }
+}
+
+std::vector<Detection> NewDetector::Detect(
+    const std::vector<fusion::CreatedEntity>& entities) const {
+  std::vector<Detection> out;
+  out.reserve(entities.size());
+  for (const auto& entity : entities) {
+    auto candidates = ScoreCandidates(entity);
+    Detection detection;
+    if (candidates.empty()) {
+      detection.is_new = true;
+      detection.best_score = -1.0;
+    } else {
+      detection.best_score = candidates.front().score;
+      if (candidates.front().score < new_threshold_) {
+        detection.is_new = true;
+      } else {
+        detection.is_new = false;
+        if (candidates.front().score >= match_threshold_) {
+          detection.instance = candidates.front().instance;
+        }
+      }
+    }
+    out.push_back(detection);
+  }
+  return out;
+}
+
+}  // namespace ltee::newdetect

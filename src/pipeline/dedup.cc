@@ -1,0 +1,101 @@
+#include "pipeline/dedup.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/similarity.h"
+#include "util/string_util.h"
+
+namespace ltee::pipeline {
+
+namespace {
+
+/// True when the overlapping facts of `a` and `b` agree strongly enough.
+bool FactsAgree(const fusion::CreatedEntity& a, const fusion::CreatedEntity& b,
+                const DedupOptions& options, bool* had_overlap) {
+  int overlap = 0, agree = 0;
+  for (const auto& fact : a.facts) {
+    const types::Value* other = b.FactOf(fact.property);
+    if (other == nullptr) continue;
+    ++overlap;
+    if (types::ValuesEqual(fact.value, *other, options.similarity)) ++agree;
+  }
+  *had_overlap = overlap > 0;
+  if (overlap == 0) return options.merge_without_fact_overlap;
+  return static_cast<double>(agree) / overlap >= options.fact_agreement;
+}
+
+bool LabelsSimilar(const fusion::CreatedEntity& a,
+                   const fusion::CreatedEntity& b,
+                   const DedupOptions& options) {
+  for (const auto& la : a.labels) {
+    for (const auto& lb : b.labels) {
+      if (util::MongeElkanLevenshtein(la, lb) >= options.label_threshold) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Absorbs `src` into `dst`: rows, labels, bow, missing facts.
+void Absorb(fusion::CreatedEntity* dst, const fusion::CreatedEntity& src) {
+  for (const auto& row : src.rows) dst->rows.push_back(row);
+  for (const auto& label : src.labels) {
+    if (std::find(dst->labels.begin(), dst->labels.end(), label) ==
+        dst->labels.end()) {
+      dst->labels.push_back(label);
+    }
+  }
+  for (const auto& tok : src.bow) dst->bow.insert(tok);
+  for (const auto& fact : src.facts) {
+    if (dst->FactOf(fact.property) == nullptr) dst->facts.push_back(fact);
+  }
+}
+
+}  // namespace
+
+DedupResult DeduplicateEntities(std::vector<fusion::CreatedEntity> entities,
+                                std::vector<newdetect::Detection> detections,
+                                const DedupOptions& options) {
+  DedupResult result;
+  // Block by normalized primary label to avoid the quadratic scan.
+  std::unordered_map<std::string, std::vector<size_t>> by_label;
+  for (size_t e = 0; e < entities.size(); ++e) {
+    if (entities[e].labels.empty()) continue;
+    by_label[util::NormalizeLabel(entities[e].labels.front())].push_back(e);
+  }
+
+  std::vector<int> merged_into(entities.size(), -1);
+  for (auto& [label, members] : by_label) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      const size_t a = members[i];
+      if (merged_into[a] >= 0) continue;
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        const size_t b = members[j];
+        if (merged_into[b] >= 0) continue;
+        if (!LabelsSimilar(entities[a], entities[b], options)) continue;
+        bool had_overlap = false;
+        if (!FactsAgree(entities[a], entities[b], options, &had_overlap)) {
+          continue;
+        }
+        Absorb(&entities[a], entities[b]);
+        // Prefer an existing-instance detection over "new".
+        if (detections[a].is_new && !detections[b].is_new) {
+          detections[a] = detections[b];
+        }
+        merged_into[b] = static_cast<int>(a);
+        result.merges += 1;
+      }
+    }
+  }
+
+  for (size_t e = 0; e < entities.size(); ++e) {
+    if (merged_into[e] >= 0) continue;
+    result.entities.push_back(std::move(entities[e]));
+    result.detections.push_back(detections[e]);
+  }
+  return result;
+}
+
+}  // namespace ltee::pipeline

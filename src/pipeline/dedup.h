@@ -1,0 +1,46 @@
+#ifndef LTEE_PIPELINE_DEDUP_H_
+#define LTEE_PIPELINE_DEDUP_H_
+
+#include <vector>
+
+#include "fusion/entity.h"
+#include "newdetect/new_detector.h"
+#include "types/type_similarity.h"
+
+namespace ltee::pipeline {
+
+/// Options of the post-clustering entity deduplication pass (proposed in
+/// the paper's Section 5 for the Song class: "we need to implement more
+/// sophisticated row clustering methods or, alternatively, perform
+/// deduplication after clustering").
+struct DedupOptions {
+  /// Minimum Monge-Elkan label similarity for two entities to be
+  /// duplicate candidates.
+  double label_threshold = 0.95;
+  /// Fraction of overlapping facts that must agree.
+  double fact_agreement = 0.75;
+  /// Entities with no overlapping facts: merge only on exact-equal labels.
+  bool merge_without_fact_overlap = false;
+  types::TypeSimilarityOptions similarity;
+};
+
+/// Result of a dedup pass: the merged entity list (facts re-fused from the
+/// union of rows is approximated by keeping the larger entity's facts and
+/// adopting missing ones from the absorbed entity) and the merge count.
+struct DedupResult {
+  std::vector<fusion::CreatedEntity> entities;
+  std::vector<newdetect::Detection> detections;
+  size_t merges = 0;
+};
+
+/// Merges created entities that describe the same instance: near-identical
+/// labels and agreeing overlapping facts. Detections are carried over from
+/// the surviving entity (preferring an existing-match over new).
+DedupResult DeduplicateEntities(
+    std::vector<fusion::CreatedEntity> entities,
+    std::vector<newdetect::Detection> detections,
+    const DedupOptions& options = {});
+
+}  // namespace ltee::pipeline
+
+#endif  // LTEE_PIPELINE_DEDUP_H_

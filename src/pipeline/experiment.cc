@@ -1,0 +1,650 @@
+#include "pipeline/experiment.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ml/cross_validation.h"
+#include "pipeline/gold_artifacts.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace ltee::pipeline {
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+struct GoldExperiment::ClassFoldState {
+  kb::ClassId cls = kb::kInvalidClass;
+  std::vector<int> learning_clusters;
+  std::vector<int> test_clusters;
+  eval::GoldStandard learning_gold;
+  eval::GoldStandard test_gold;
+  /// Row set of the class built from the gold schema mapping.
+  rowcluster::ClassRowSet gold_rows;
+  /// Gold cluster index per row of gold_rows (-1 unannotated).
+  std::vector<int> gold_cluster_of_row;
+  /// Same, but only for learning-cluster rows (-1 elsewhere).
+  std::vector<int> learning_assignment;
+  std::set<int> test_cluster_set;
+  std::set<int> learning_cluster_set;
+};
+
+struct GoldExperiment::FoldState {
+  bool built = false;
+  std::unique_ptr<LteePipeline> pipeline;
+  matching::SchemaMapping gold_mapping;
+  std::vector<ClassFoldState> classes;
+  std::vector<webtable::TableId> learning_tables;
+  std::vector<webtable::TableId> test_tables;
+  std::vector<matching::AttributeAnnotation> annotations;
+  std::unique_ptr<PipelineRunResult> run;
+  util::Rng rng{0};
+};
+
+GoldExperiment::GoldExperiment(const kb::KnowledgeBase& kb,
+                               const webtable::TableCorpus& gs_corpus,
+                               std::vector<eval::GoldStandard> gold,
+                               PipelineOptions options, int num_folds,
+                               uint64_t seed)
+    : kb_(&kb),
+      gs_corpus_(&gs_corpus),
+      gold_(std::move(gold)),
+      options_(std::move(options)),
+      num_folds_(num_folds),
+      seed_(seed) {
+  // The experiment needs at least three iterations for Table 6.
+  options_.iterations = std::max(options_.iterations, 3);
+
+  util::Rng rng(seed_);
+  for (auto& gs : gold_) {
+    gs.BuildLookups();
+    std::vector<int64_t> groups;
+    std::vector<int> strata;
+    for (const auto& cluster : gs.clusters) {
+      groups.push_back(cluster.homonym_group);
+      strata.push_back(cluster.is_new ? 1 : 0);
+    }
+    fold_of_cluster_.push_back(ml::AssignFolds(
+        gs.clusters.size(), groups, strata, num_folds_, rng));
+  }
+  fold_states_.resize(num_folds_);
+}
+
+GoldExperiment::~GoldExperiment() = default;
+
+std::vector<fusion::CreatedEntity> GoldExperiment::GoldClusterEntities(
+    const rowcluster::ClassRowSet& rows, const eval::GoldStandard& gold,
+    const std::vector<int>& cluster_indices,
+    const matching::SchemaMapping& mapping,
+    const fusion::EntityCreator& creator) const {
+  std::map<int, int> dense;  // gold cluster -> dense id
+  for (size_t k = 0; k < cluster_indices.size(); ++k) {
+    dense[cluster_indices[k]] = static_cast<int>(k);
+  }
+  std::vector<int> assignment(rows.rows.size(), -1);
+  for (size_t i = 0; i < rows.rows.size(); ++i) {
+    const int g = gold.ClusterOfRow(rows.rows[i].ref);
+    auto it = dense.find(g);
+    if (it != dense.end()) assignment[i] = it->second;
+  }
+  auto entities = creator.Create(rows, assignment, mapping, *gs_corpus_);
+  entities.resize(cluster_indices.size());
+  for (size_t k = 0; k < entities.size(); ++k) {
+    entities[k].cluster_id = static_cast<int>(k);
+    entities[k].cls = rows.cls;
+  }
+  return entities;
+}
+
+GoldExperiment::FoldState& GoldExperiment::Fold(int fold) {
+  if (fold_states_[fold] == nullptr) {
+    fold_states_[fold] = std::make_unique<FoldState>();
+  }
+  FoldState& state = *fold_states_[fold];
+  if (state.built) return state;
+  state.built = true;
+  state.rng = util::Rng(seed_ * 7919 + fold + 1);
+
+  state.pipeline = std::make_unique<LteePipeline>(*kb_, options_);
+  LteePipeline& pipeline = *state.pipeline;
+
+  // ---- Gold mapping over the GS corpus (all classes merged). -----------
+  state.gold_mapping.tables.resize(gs_corpus_->size());
+  for (const auto& gs : gold_) {
+    auto class_mapping = GoldSchemaMapping(*gs_corpus_, gs, *kb_);
+    MergeGoldMappings(class_mapping, &state.gold_mapping);
+  }
+
+  // ---- Per-class state and component training. --------------------------
+  for (size_t ci = 0; ci < gold_.size(); ++ci) {
+    const eval::GoldStandard& gs = gold_[ci];
+    ClassFoldState cf;
+    cf.cls = gs.cls;
+    for (size_t g = 0; g < gs.clusters.size(); ++g) {
+      if (fold_of_cluster_[ci][g] == fold) {
+        cf.test_clusters.push_back(static_cast<int>(g));
+        cf.test_cluster_set.insert(static_cast<int>(g));
+      } else {
+        cf.learning_clusters.push_back(static_cast<int>(g));
+        cf.learning_cluster_set.insert(static_cast<int>(g));
+      }
+    }
+    cf.learning_gold = eval::FilterClusters(gs, cf.learning_clusters);
+    cf.test_gold = eval::FilterClusters(gs, cf.test_clusters);
+
+    cf.gold_rows = rowcluster::BuildClassRowSet(
+        *gs_corpus_, state.gold_mapping, gs.cls, *kb_, pipeline.kb_index(),
+        options_.row_features);
+    cf.gold_cluster_of_row.resize(cf.gold_rows.rows.size(), -1);
+    cf.learning_assignment.resize(cf.gold_rows.rows.size(), -1);
+    for (size_t i = 0; i < cf.gold_rows.rows.size(); ++i) {
+      const int g = gs.ClusterOfRow(cf.gold_rows.rows[i].ref);
+      cf.gold_cluster_of_row[i] = g;
+      if (g >= 0 && cf.learning_cluster_set.count(g)) {
+        cf.learning_assignment[i] = g;
+      }
+    }
+
+    // Train the row clusterer on learning rows.
+    pipeline.clusterer_for(gs.cls).Train(cf.gold_rows,
+                                         cf.learning_assignment, state.rng);
+
+    // Train the new detector on gold-cluster entities of the learning set.
+    auto creator = pipeline.MakeEntityCreator();
+    auto entities = GoldClusterEntities(cf.gold_rows, gs,
+                                        cf.learning_clusters,
+                                        state.gold_mapping, creator);
+    std::vector<fusion::CreatedEntity> train_entities;
+    std::vector<newdetect::DetectionLabel> train_labels;
+    for (size_t k = 0; k < entities.size(); ++k) {
+      if (entities[k].rows.empty()) continue;
+      const eval::GsCluster& cluster = gs.clusters[cf.learning_clusters[k]];
+      train_entities.push_back(std::move(entities[k]));
+      train_labels.push_back({cluster.is_new, cluster.kb_instance});
+    }
+    pipeline.detector_for(gs.cls).Train(train_entities, train_labels,
+                                        state.rng);
+
+    state.classes.push_back(std::move(cf));
+  }
+
+  // ---- Table folds and schema annotations. -------------------------------
+  for (size_t ci = 0; ci < gold_.size(); ++ci) {
+    const eval::GoldStandard& gs = gold_[ci];
+    for (webtable::TableId tid : gs.tables) {
+      // Majority fold over the table's annotated rows.
+      std::vector<int> fold_count(num_folds_, 0);
+      const webtable::WebTable& table = gs_corpus_->table(tid);
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        const int g = gs.ClusterOfRow({tid, static_cast<int32_t>(r)});
+        if (g >= 0) fold_count[fold_of_cluster_[ci][g]] += 1;
+      }
+      const int majority = static_cast<int>(
+          std::max_element(fold_count.begin(), fold_count.end()) -
+          fold_count.begin());
+      (majority == fold ? state.test_tables : state.learning_tables)
+          .push_back(tid);
+    }
+    for (const auto& attr : gs.attributes) {
+      state.annotations.push_back({attr.table, attr.column, attr.property});
+    }
+  }
+
+  // ---- Schema matcher learning. -------------------------------------------
+  pipeline.schema_matcher_first().Learn(*gs_corpus_, state.learning_tables,
+                                        state.annotations, {}, state.rng);
+  // The refined matcher is learned against *system* feedback: a real
+  // first-iteration run (first matcher + trained clusterers/detectors), so
+  // its weights see the same noise they will face at inference.
+  auto mapping1 = pipeline.schema_matcher_first().Match(*gs_corpus_);
+  std::vector<ClassRunResult> first_pass;
+  for (const auto& gs : gold_) {
+    first_pass.push_back(pipeline.RunClass(*gs_corpus_, mapping1, gs.cls));
+  }
+  matching::RowInstanceMap system_instances;
+  matching::RowClusterMap system_clusters;
+  LteePipeline::CollectFeedback(first_pass, &system_instances,
+                                &system_clusters);
+  matching::MatcherFeedback system_feedback;
+  system_feedback.row_instances = &system_instances;
+  system_feedback.row_clusters = &system_clusters;
+  system_feedback.preliminary = &mapping1;
+  pipeline.schema_matcher_refined().Learn(*gs_corpus_, state.learning_tables,
+                                          state.annotations, system_feedback,
+                                          state.rng);
+
+  LTEE_LOG(kDebug) << "fold " << fold << " trained";
+  return state;
+}
+
+const PipelineRunResult& GoldExperiment::EndToEndRun(int fold) {
+  FoldState& state = Fold(fold);
+  if (state.run == nullptr) {
+    std::vector<kb::ClassId> classes;
+    for (const auto& gs : gold_) classes.push_back(gs.cls);
+    state.run = std::make_unique<PipelineRunResult>(
+        state.pipeline->Run(*gs_corpus_, classes));
+  }
+  return *state.run;
+}
+
+// ---------------------------------------------------------------------------
+// Table 6: schema matching by iteration
+// ---------------------------------------------------------------------------
+
+std::vector<GoldExperiment::PrfMetrics>
+GoldExperiment::SchemaMatchingByIteration(int max_iterations) {
+  std::vector<PrfMetrics> totals(max_iterations);
+  for (int fold = 0; fold < num_folds_; ++fold) {
+    FoldState& state = Fold(fold);
+    const PipelineRunResult& run = EndToEndRun(fold);
+
+    std::map<std::pair<webtable::TableId, int>, kb::PropertyId> annotated;
+    std::set<webtable::TableId> test_set(state.test_tables.begin(),
+                                         state.test_tables.end());
+    for (const auto& a : state.annotations) {
+      if (test_set.count(a.table)) annotated[{a.table, a.column}] = a.property;
+    }
+
+    for (int it = 0; it < max_iterations; ++it) {
+      const matching::SchemaMapping& mapping =
+          run.mappings[std::min<size_t>(it, run.mappings.size() - 1)];
+      int tp = 0, fp = 0, fn = 0;
+      for (webtable::TableId tid : state.test_tables) {
+        const matching::TableMapping& tm = mapping.of(tid);
+        for (size_t c = 0; c < tm.columns.size(); ++c) {
+          const kb::PropertyId predicted = tm.columns[c].property;
+          if (predicted == kb::kInvalidProperty) continue;
+          auto it2 = annotated.find({tid, static_cast<int>(c)});
+          if (it2 != annotated.end() && it2->second == predicted) {
+            ++tp;
+          } else {
+            ++fp;
+          }
+        }
+      }
+      for (const auto& [key, property] : annotated) {
+        const matching::TableMapping& tm = mapping.of(key.first);
+        if (key.second >= static_cast<int>(tm.columns.size()) ||
+            tm.columns[key.second].property != property) {
+          ++fn;
+        }
+      }
+      const double p =
+          tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+      const double r =
+          tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+      totals[it].precision += p;
+      totals[it].recall += r;
+      totals[it].f1 += util::F1(p, r);
+    }
+  }
+  for (auto& m : totals) {
+    m.precision /= num_folds_;
+    m.recall /= num_folds_;
+    m.f1 /= num_folds_;
+  }
+  return totals;
+}
+
+std::vector<double> GoldExperiment::AverageSchemaWeights() {
+  std::vector<double> out(matching::kNumMatchers, 0.0);
+  for (int fold = 0; fold < num_folds_; ++fold) {
+    FoldState& state = Fold(fold);
+    auto weights = state.pipeline->schema_matcher_refined().AverageWeights();
+    for (int i = 0; i < matching::kNumMatchers; ++i) out[i] += weights[i];
+  }
+  for (auto& w : out) w /= num_folds_;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Table 7: row clustering ablation
+// ---------------------------------------------------------------------------
+
+GoldExperiment::ClusteringMetrics GoldExperiment::RowClustering(
+    const std::vector<bool>& metrics, ml::AggregationKind aggregation,
+    bool blocking) {
+  ClusteringMetrics out;
+  int enabled = 0;
+  for (bool b : metrics) enabled += b ? 1 : 0;
+  out.importances.assign(enabled, 0.0);
+  int runs = 0;
+
+  for (int fold = 0; fold < num_folds_; ++fold) {
+    FoldState& state = Fold(fold);
+    for (auto& cf : state.classes) {
+      rowcluster::RowClustererOptions opts = options_.clustering;
+      opts.enabled_metrics = metrics;
+      opts.aggregation = aggregation;
+      opts.enable_blocking = blocking;
+      rowcluster::RowClusterer clusterer(opts);
+      clusterer.Train(cf.gold_rows, cf.learning_assignment, state.rng);
+
+      std::vector<bool> keep(cf.gold_rows.rows.size(), false);
+      for (size_t i = 0; i < keep.size(); ++i) {
+        const int g = cf.gold_cluster_of_row[i];
+        keep[i] = g >= 0 && cf.test_cluster_set.count(g) > 0;
+      }
+      auto test_rows = rowcluster::FilterRows(cf.gold_rows, keep);
+      auto result = clusterer.Cluster(test_rows);
+
+      std::vector<webtable::RowRef> refs;
+      refs.reserve(test_rows.rows.size());
+      for (const auto& row : test_rows.rows) refs.push_back(row.ref);
+      auto grouped = eval::GroupRows(refs, result.cluster_of);
+      auto metrics_result = eval::EvaluateClustering(grouped, cf.test_gold);
+
+      out.penalized_precision += metrics_result.penalized_precision;
+      out.average_recall += metrics_result.average_recall;
+      out.f1 += metrics_result.f1;
+      auto importances = clusterer.MetricImportances();
+      for (size_t k = 0; k < importances.size() && k < out.importances.size();
+           ++k) {
+        out.importances[k] += importances[k];
+      }
+      ++runs;
+    }
+  }
+  if (runs > 0) {
+    out.penalized_precision /= runs;
+    out.average_recall /= runs;
+    out.f1 /= runs;
+    for (auto& imp : out.importances) imp /= runs;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Table 8: new detection ablation
+// ---------------------------------------------------------------------------
+
+GoldExperiment::DetectionMetrics GoldExperiment::NewDetection(
+    const std::vector<bool>& metrics) {
+  DetectionMetrics out;
+  int enabled = 0;
+  for (bool b : metrics) enabled += b ? 1 : 0;
+  out.importances.assign(enabled, 0.0);
+  int runs = 0;
+
+  for (int fold = 0; fold < num_folds_; ++fold) {
+    FoldState& state = Fold(fold);
+    for (size_t ci = 0; ci < state.classes.size(); ++ci) {
+      ClassFoldState& cf = state.classes[ci];
+      const eval::GoldStandard& gs = gold_[ci];
+
+      newdetect::NewDetectorOptions opts = options_.detection;
+      opts.enabled_metrics = metrics;
+      newdetect::NewDetector detector(*kb_, state.pipeline->kb_index(), opts);
+
+      auto creator = state.pipeline->MakeEntityCreator();
+      auto train_entities =
+          GoldClusterEntities(cf.gold_rows, gs, cf.learning_clusters,
+                              state.gold_mapping, creator);
+      std::vector<fusion::CreatedEntity> filtered_entities;
+      std::vector<newdetect::DetectionLabel> labels;
+      for (size_t k = 0; k < train_entities.size(); ++k) {
+        if (train_entities[k].rows.empty()) continue;
+        const auto& cluster = gs.clusters[cf.learning_clusters[k]];
+        filtered_entities.push_back(std::move(train_entities[k]));
+        labels.push_back({cluster.is_new, cluster.kb_instance});
+      }
+      detector.Train(filtered_entities, labels, state.rng);
+
+      auto test_entities = GoldClusterEntities(
+          cf.gold_rows, gs, cf.test_clusters, state.gold_mapping, creator);
+      std::vector<fusion::CreatedEntity> eval_entities;
+      std::vector<const eval::GsCluster*> eval_clusters;
+      for (size_t k = 0; k < test_entities.size(); ++k) {
+        if (test_entities[k].rows.empty()) continue;
+        eval_clusters.push_back(&gs.clusters[cf.test_clusters[k]]);
+        eval_entities.push_back(std::move(test_entities[k]));
+      }
+      auto detections = detector.Detect(eval_entities);
+      auto result = eval::EvaluateNewDetection(detections, eval_clusters);
+
+      out.accuracy += result.accuracy;
+      out.f1_existing += result.f1_existing;
+      out.f1_new += result.f1_new;
+      auto importances = detector.MetricImportances();
+      for (size_t k = 0; k < importances.size() && k < out.importances.size();
+           ++k) {
+        out.importances[k] += importances[k];
+      }
+      ++runs;
+    }
+  }
+  if (runs > 0) {
+    out.accuracy /= runs;
+    out.f1_existing /= runs;
+    out.f1_new /= runs;
+    for (auto& imp : out.importances) imp /= runs;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tables 9 & 10 and Section 6
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Detections implied by the gold standard, parallel to entities created
+/// 1:1 from the given clusters.
+std::vector<newdetect::Detection> GoldDetections(
+    const eval::GoldStandard& gs, const std::vector<int>& clusters) {
+  std::vector<newdetect::Detection> out;
+  for (int g : clusters) {
+    newdetect::Detection d;
+    d.is_new = gs.clusters[g].is_new;
+    d.instance = gs.clusters[g].kb_instance;
+    d.best_score = d.is_new ? -1.0 : 1.0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+eval::InstancesFoundResult GoldExperiment::NewInstancesFound(
+    int class_index, bool gold_clustering) {
+  eval::InstancesFoundResult total;
+  for (int fold = 0; fold < num_folds_; ++fold) {
+    FoldState& state = Fold(fold);
+    const PipelineRunResult& run = EndToEndRun(fold);
+    ClassFoldState& cf = state.classes[class_index];
+    const eval::GoldStandard& gs = gold_[class_index];
+    const matching::SchemaMapping& mapping = run.mappings.back();
+    const ClassRunResult& class_run = run.classes[class_index];
+    auto creator = state.pipeline->MakeEntityCreator();
+
+    std::vector<fusion::CreatedEntity> entities;
+    std::vector<newdetect::Detection> detections;
+    if (gold_clustering) {
+      auto gold_entities = GoldClusterEntities(
+          class_run.rows, gs, cf.test_clusters, mapping, creator);
+      for (auto& entity : gold_entities) {
+        if (!entity.rows.empty()) entities.push_back(std::move(entity));
+      }
+      detections = state.pipeline->detector_for(gs.cls).Detect(entities);
+    } else {
+      // System clustering over test rows (learning rows excluded).
+      std::vector<bool> keep(class_run.rows.rows.size(), false);
+      for (size_t i = 0; i < keep.size(); ++i) {
+        const int g = gs.ClusterOfRow(class_run.rows.rows[i].ref);
+        keep[i] = g < 0 || cf.test_cluster_set.count(g) > 0;
+      }
+      auto test_rows = rowcluster::FilterRows(class_run.rows, keep);
+      auto clustering =
+          state.pipeline->clusterer_for(gs.cls).Cluster(test_rows);
+      entities =
+          creator.Create(test_rows, clustering.cluster_of, mapping, *gs_corpus_);
+      detections = state.pipeline->detector_for(gs.cls).Detect(entities);
+    }
+    auto result = eval::EvaluateNewInstancesFound(entities, detections,
+                                                  cf.test_gold);
+    total.precision += result.precision;
+    total.recall += result.recall;
+    total.f1 += result.f1;
+  }
+  total.precision /= num_folds_;
+  total.recall /= num_folds_;
+  total.f1 /= num_folds_;
+  return total;
+}
+
+eval::FactsFoundResult GoldExperiment::FactsFound(
+    int class_index, bool gold_clustering, bool gold_detection,
+    fusion::ScoringApproach scoring) {
+  eval::FactsFoundResult total;
+  for (int fold = 0; fold < num_folds_; ++fold) {
+    FoldState& state = Fold(fold);
+    const PipelineRunResult& run = EndToEndRun(fold);
+    ClassFoldState& cf = state.classes[class_index];
+    const eval::GoldStandard& gs = gold_[class_index];
+    const matching::SchemaMapping& mapping = run.mappings.back();
+    const ClassRunResult& class_run = run.classes[class_index];
+    auto creator = state.pipeline->MakeEntityCreator(scoring);
+
+    std::vector<fusion::CreatedEntity> entities;
+    std::vector<newdetect::Detection> detections;
+    if (gold_clustering) {
+      auto gold_entities = GoldClusterEntities(
+          class_run.rows, gs, cf.test_clusters, mapping, creator);
+      std::vector<int> kept_clusters;
+      for (size_t k = 0; k < gold_entities.size(); ++k) {
+        if (gold_entities[k].rows.empty()) continue;
+        kept_clusters.push_back(cf.test_clusters[k]);
+        entities.push_back(std::move(gold_entities[k]));
+      }
+      if (gold_detection) {
+        detections = GoldDetections(gs, kept_clusters);
+      } else {
+        detections = state.pipeline->detector_for(gs.cls).Detect(entities);
+      }
+    } else {
+      std::vector<bool> keep(class_run.rows.rows.size(), false);
+      for (size_t i = 0; i < keep.size(); ++i) {
+        const int g = gs.ClusterOfRow(class_run.rows.rows[i].ref);
+        keep[i] = g < 0 || cf.test_cluster_set.count(g) > 0;
+      }
+      auto test_rows = rowcluster::FilterRows(class_run.rows, keep);
+      auto clustering =
+          state.pipeline->clusterer_for(gs.cls).Cluster(test_rows);
+      entities = creator.Create(test_rows, clustering.cluster_of, mapping,
+                                *gs_corpus_);
+      detections = state.pipeline->detector_for(gs.cls).Detect(entities);
+    }
+    auto result =
+        eval::EvaluateFactsFound(entities, detections, cf.test_gold);
+    total.precision += result.precision;
+    total.recall += result.recall;
+    total.f1 += result.f1;
+    total.returned_facts += result.returned_facts;
+    total.correct_facts += result.correct_facts;
+  }
+  total.precision /= num_folds_;
+  total.recall /= num_folds_;
+  total.f1 /= num_folds_;
+  return total;
+}
+
+eval::RankedEvalResult GoldExperiment::RankedNewEntities(size_t cutoff) {
+  // Pool new-classified entities of the full system runs over classes and
+  // folds; rank by distance to the closest existing instance (entities
+  // farthest from any KB instance first).
+  std::vector<std::pair<double, bool>> pool;  // (best_score, correct)
+  for (int fold = 0; fold < num_folds_; ++fold) {
+    FoldState& state = Fold(fold);
+    const PipelineRunResult& run = EndToEndRun(fold);
+    for (size_t ci = 0; ci < state.classes.size(); ++ci) {
+      ClassFoldState& cf = state.classes[ci];
+      const eval::GoldStandard& gs = gold_[ci];
+      const ClassRunResult& class_run = run.classes[ci];
+      auto creator = state.pipeline->MakeEntityCreator();
+
+      std::vector<bool> keep(class_run.rows.rows.size(), false);
+      for (size_t i = 0; i < keep.size(); ++i) {
+        const int g = gs.ClusterOfRow(class_run.rows.rows[i].ref);
+        keep[i] = g < 0 || cf.test_cluster_set.count(g) > 0;
+      }
+      auto test_rows = rowcluster::FilterRows(class_run.rows, keep);
+      auto clustering =
+          state.pipeline->clusterer_for(gs.cls).Cluster(test_rows);
+      auto entities = creator.Create(test_rows, clustering.cluster_of,
+                                     run.mappings.back(), *gs_corpus_);
+      auto detections = state.pipeline->detector_for(gs.cls).Detect(entities);
+      const auto mapping_to_gold =
+          eval::MapEntitiesToGold(entities, cf.test_gold);
+      for (size_t e = 0; e < entities.size(); ++e) {
+        if (!detections[e].is_new) continue;
+        const int g = mapping_to_gold[e];
+        const bool correct = g >= 0 && cf.test_gold.clusters[g].is_new;
+        pool.emplace_back(detections[e].best_score, correct);
+      }
+    }
+  }
+  std::sort(pool.begin(), pool.end());  // lowest similarity first
+  std::vector<bool> correct;
+  correct.reserve(pool.size());
+  for (const auto& [score, ok] : pool) correct.push_back(ok);
+  return eval::EvaluateRanked(correct, cutoff);
+}
+
+GoldExperiment::InstanceMatchMetrics
+GoldExperiment::ExistingInstanceMatching() {
+  InstanceMatchMetrics out;
+  int runs = 0;
+  for (int fold = 0; fold < num_folds_; ++fold) {
+    FoldState& state = Fold(fold);
+    for (size_t ci = 0; ci < state.classes.size(); ++ci) {
+      ClassFoldState& cf = state.classes[ci];
+      const eval::GoldStandard& gs = gold_[ci];
+      auto creator = state.pipeline->MakeEntityCreator();
+      auto entities = GoldClusterEntities(cf.gold_rows, gs, cf.test_clusters,
+                                          state.gold_mapping, creator);
+      std::vector<fusion::CreatedEntity> eval_entities;
+      std::vector<const eval::GsCluster*> clusters;
+      for (size_t k = 0; k < entities.size(); ++k) {
+        if (entities[k].rows.empty()) continue;
+        clusters.push_back(&gs.clusters[cf.test_clusters[k]]);
+        eval_entities.push_back(std::move(entities[k]));
+      }
+      auto detections =
+          state.pipeline->detector_for(gs.cls).Detect(eval_entities);
+
+      int existing_total = 0, matched = 0, predicted = 0, correct = 0;
+      for (size_t e = 0; e < detections.size(); ++e) {
+        const bool gold_existing = !clusters[e]->is_new;
+        if (gold_existing) ++existing_total;
+        if (!detections[e].is_new &&
+            detections[e].instance != kb::kInvalidInstance) {
+          ++predicted;
+          if (gold_existing &&
+              detections[e].instance == clusters[e]->kb_instance) {
+            ++correct;
+            ++matched;
+          }
+        }
+      }
+      const double p =
+          predicted == 0 ? 0.0 : static_cast<double>(correct) / predicted;
+      const double r = existing_total == 0
+                           ? 0.0
+                           : static_cast<double>(matched) / existing_total;
+      out.f1 += util::F1(p, r);
+      out.accuracy += existing_total == 0
+                          ? 0.0
+                          : static_cast<double>(correct) / existing_total;
+      ++runs;
+    }
+  }
+  if (runs > 0) {
+    out.f1 /= runs;
+    out.accuracy /= runs;
+  }
+  return out;
+}
+
+}  // namespace ltee::pipeline

@@ -1,0 +1,80 @@
+#include "pipeline/gold_artifacts.h"
+
+#include "matching/label_attribute.h"
+
+namespace ltee::pipeline {
+
+matching::SchemaMapping GoldSchemaMapping(const webtable::TableCorpus& corpus,
+                                          const eval::GoldStandard& gold,
+                                          const kb::KnowledgeBase& kb) {
+  (void)kb;
+  matching::SchemaMapping mapping;
+  mapping.tables.resize(corpus.size());
+  for (webtable::TableId tid : gold.tables) {
+    const webtable::WebTable& table = corpus.table(tid);
+    matching::TableMapping& tm = mapping.tables[tid];
+    tm.table = tid;
+    tm.cls = gold.cls;
+    tm.class_score = 1.0;
+    const auto column_types = matching::DetectColumnTypes(table);
+    tm.columns.resize(table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      tm.columns[c].detected = column_types[c];
+    }
+    tm.label_column = matching::DetectLabelColumn(table, column_types);
+    tm.row_instance.assign(table.num_rows(), kb::kInvalidInstance);
+  }
+  for (const auto& attr : gold.attributes) {
+    matching::TableMapping& tm = mapping.tables[attr.table];
+    tm.columns[attr.column].property = attr.property;
+    tm.columns[attr.column].score = 1.0;
+  }
+  for (const auto& cluster : gold.clusters) {
+    if (cluster.is_new || cluster.kb_instance == kb::kInvalidInstance) {
+      continue;
+    }
+    for (const auto& row : cluster.rows) {
+      auto& tm = mapping.tables[row.table];
+      if (row.row < static_cast<int>(tm.row_instance.size())) {
+        tm.row_instance[row.row] = cluster.kb_instance;
+      }
+    }
+  }
+  return mapping;
+}
+
+void MergeGoldMappings(const matching::SchemaMapping& from,
+                       matching::SchemaMapping* into) {
+  if (into->tables.size() < from.tables.size()) {
+    into->tables.resize(from.tables.size());
+  }
+  for (size_t t = 0; t < from.tables.size(); ++t) {
+    if (from.tables[t].table >= 0 && into->tables[t].table < 0) {
+      into->tables[t] = from.tables[t];
+    }
+  }
+}
+
+matching::RowInstanceMap GoldRowInstances(const eval::GoldStandard& gold) {
+  matching::RowInstanceMap out;
+  for (const auto& cluster : gold.clusters) {
+    if (cluster.is_new || cluster.kb_instance == kb::kInvalidInstance) {
+      continue;
+    }
+    for (const auto& row : cluster.rows) out[row] = cluster.kb_instance;
+  }
+  return out;
+}
+
+matching::RowClusterMap GoldRowClusters(const eval::GoldStandard& gold,
+                                        int id_offset) {
+  matching::RowClusterMap out;
+  for (size_t c = 0; c < gold.clusters.size(); ++c) {
+    for (const auto& row : gold.clusters[c].rows) {
+      out[row] = id_offset + static_cast<int>(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace ltee::pipeline

@@ -1,0 +1,38 @@
+#ifndef LTEE_PIPELINE_GOLD_ARTIFACTS_H_
+#define LTEE_PIPELINE_GOLD_ARTIFACTS_H_
+
+#include <vector>
+
+#include "eval/gold_standard.h"
+#include "kb/knowledge_base.h"
+#include "matching/schema_mapping.h"
+#include "webtable/web_table.h"
+
+namespace ltee::pipeline {
+
+/// Gold-truth schema mapping for the tables of one gold standard: the
+/// class is the gold class, column-to-property correspondences come from
+/// the annotations (score 1.0), the label column from label-attribute
+/// detection, and row-instance matches from the existing clusters.
+/// The result is sized to `corpus` with non-gold tables left unmapped;
+/// merge several classes' mappings with MergeGoldMappings.
+matching::SchemaMapping GoldSchemaMapping(const webtable::TableCorpus& corpus,
+                                          const eval::GoldStandard& gold,
+                                          const kb::KnowledgeBase& kb);
+
+/// Overlays `from`'s mapped tables onto `into` (tables mapped in both keep
+/// `into`'s entry).
+void MergeGoldMappings(const matching::SchemaMapping& from,
+                       matching::SchemaMapping* into);
+
+/// Row -> instance correspondences implied by the existing gold clusters.
+matching::RowInstanceMap GoldRowInstances(const eval::GoldStandard& gold);
+
+/// Row -> cluster ids implied by the gold clusters, offset by `id_offset`
+/// (so that several classes' clusters stay disjoint).
+matching::RowClusterMap GoldRowClusters(const eval::GoldStandard& gold,
+                                        int id_offset = 0);
+
+}  // namespace ltee::pipeline
+
+#endif  // LTEE_PIPELINE_GOLD_ARTIFACTS_H_

@@ -1,0 +1,98 @@
+#include "pipeline/kb_update.h"
+
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace ltee::pipeline {
+
+namespace {
+
+/// URI-safe slug of a label: lower-case tokens joined by underscores.
+std::string Slug(const std::string& label) {
+  auto tokens = util::Tokenize(label);
+  return util::Join(tokens, "_");
+}
+
+std::string LiteralOf(const types::Value& v) {
+  using types::DataType;
+  switch (v.type) {
+    case DataType::kDate:
+      if (v.date.granularity == types::DateGranularity::kYear) {
+        return "\"" + std::to_string(v.date.year) +
+               "\"^^<http://www.w3.org/2001/XMLSchema#gYear>";
+      }
+      return "\"" + v.ToString() +
+             "\"^^<http://www.w3.org/2001/XMLSchema#date>";
+    case DataType::kQuantity:
+      return "\"" + v.ToString() +
+             "\"^^<http://www.w3.org/2001/XMLSchema#double>";
+    case DataType::kNominalInteger:
+      return "\"" + v.ToString() +
+             "\"^^<http://www.w3.org/2001/XMLSchema#integer>";
+    default:
+      return "\"" + v.text + "\"";
+  }
+}
+
+}  // namespace
+
+KbUpdateResult AddNewEntitiesToKb(
+    kb::KnowledgeBase* kb, const std::vector<fusion::CreatedEntity>& entities,
+    const std::vector<newdetect::Detection>& detections,
+    const KbUpdateOptions& options) {
+  KbUpdateResult result;
+  for (size_t e = 0; e < entities.size(); ++e) {
+    if (!detections[e].is_new) continue;
+    const fusion::CreatedEntity& entity = entities[e];
+    if (entity.labels.empty() || entity.facts.size() < options.min_facts) {
+      continue;
+    }
+    const kb::InstanceId id = kb->AddInstance(entity.cls, entity.labels);
+    for (const auto& fact : entity.facts) {
+      kb->AddFact(id, fact.property, fact.value);
+      result.facts_added += 1;
+    }
+    result.new_instance_ids.push_back(id);
+    result.instances_added += 1;
+  }
+  return result;
+}
+
+void ExportNTriples(const kb::KnowledgeBase& kb,
+                    const std::vector<fusion::CreatedEntity>& entities,
+                    const std::vector<newdetect::Detection>& detections,
+                    const std::string& uri_prefix, std::ostream& out,
+                    const KbUpdateOptions& options) {
+  size_t serial = 0;
+  for (size_t e = 0; e < entities.size(); ++e) {
+    if (!detections[e].is_new) continue;
+    const fusion::CreatedEntity& entity = entities[e];
+    if (entity.labels.empty() || entity.facts.size() < options.min_facts) {
+      continue;
+    }
+    const std::string subject = "<" + uri_prefix + "resource/" +
+                                Slug(entity.labels.front()) + "_" +
+                                std::to_string(serial++) + ">";
+    out << subject
+        << " <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <"
+        << uri_prefix << "ontology/" << kb.cls(entity.cls).name << "> .\n";
+    for (const auto& label : entity.labels) {
+      out << subject << " <http://www.w3.org/2000/01/rdf-schema#label> \""
+          << label << "\" .\n";
+    }
+    for (const auto& fact : entity.facts) {
+      out << subject << " <" << uri_prefix << "ontology/"
+          << kb.property(fact.property).name << "> ";
+      if (fact.value.type == types::DataType::kInstanceReference) {
+        out << "<" << uri_prefix << "resource/" << Slug(fact.value.text)
+            << ">";
+      } else {
+        out << LiteralOf(fact.value);
+      }
+      out << " .\n";
+    }
+  }
+}
+
+}  // namespace ltee::pipeline

@@ -1,0 +1,136 @@
+#include "pipeline/pipeline.h"
+
+#include "util/logging.h"
+
+namespace ltee::pipeline {
+
+index::LabelIndex BuildKbLabelIndex(const kb::KnowledgeBase& kb) {
+  index::LabelIndex index;
+  for (const auto& instance : kb.instances()) {
+    for (const auto& label : instance.labels) {
+      index.Add(static_cast<uint32_t>(instance.id), label);
+    }
+  }
+  index.Build();
+  return index;
+}
+
+LteePipeline::LteePipeline(const kb::KnowledgeBase& kb,
+                           PipelineOptions options)
+    : kb_(&kb), options_(std::move(options)), kb_index_(BuildKbLabelIndex(kb)) {
+  schema_first_ = std::make_unique<matching::SchemaMatcher>(
+      *kb_, kb_index_, options_.schema);
+  schema_refined_ = std::make_unique<matching::SchemaMatcher>(
+      *kb_, kb_index_, options_.schema);
+}
+
+rowcluster::RowClusterer& LteePipeline::clusterer_for(kb::ClassId cls) {
+  auto it = clusterers_.find(cls);
+  if (it == clusterers_.end()) {
+    it = clusterers_.emplace(cls, rowcluster::RowClusterer(options_.clustering))
+             .first;
+  }
+  return it->second;
+}
+
+newdetect::NewDetector& LteePipeline::detector_for(kb::ClassId cls) {
+  auto it = detectors_.find(cls);
+  if (it == detectors_.end()) {
+    it = detectors_
+             .emplace(cls, newdetect::NewDetector(*kb_, kb_index_,
+                                                  options_.detection))
+             .first;
+  }
+  return it->second;
+}
+
+const rowcluster::RowClusterer& LteePipeline::clusterer_for(
+    kb::ClassId cls) const {
+  return clusterers_.at(cls);
+}
+
+const newdetect::NewDetector& LteePipeline::detector_for(
+    kb::ClassId cls) const {
+  return detectors_.at(cls);
+}
+
+ClassRunResult LteePipeline::RunClass(const webtable::TableCorpus& corpus,
+                                      const matching::SchemaMapping& mapping,
+                                      kb::ClassId cls) const {
+  ClassRunResult result;
+  result.cls = cls;
+  result.rows = rowcluster::BuildClassRowSet(corpus, mapping, cls, *kb_,
+                                             kb_index_, options_.row_features);
+  const auto& clusterer = clusterers_.at(cls);
+  auto clustering = clusterer.Cluster(result.rows);
+  result.cluster_of_row = std::move(clustering.cluster_of);
+  result.num_clusters = clustering.num_clusters;
+
+  result.entities = MakeEntityCreator().Create(result.rows,
+                                               result.cluster_of_row, mapping,
+                                               corpus);
+  result.detections = detectors_.at(cls).Detect(result.entities);
+  return result;
+}
+
+void LteePipeline::CollectFeedback(const std::vector<ClassRunResult>& classes,
+                                   matching::RowInstanceMap* instances,
+                                   matching::RowClusterMap* clusters) {
+  int offset = 0;
+  for (const auto& result : classes) {
+    for (size_t i = 0; i < result.rows.rows.size(); ++i) {
+      const auto& ref = result.rows.rows[i].ref;
+      if (result.cluster_of_row[i] >= 0) {
+        (*clusters)[ref] = offset + result.cluster_of_row[i];
+      }
+    }
+    for (size_t e = 0; e < result.entities.size(); ++e) {
+      const auto& detection = result.detections[e];
+      if (!detection.is_new && detection.instance != kb::kInvalidInstance) {
+        for (const auto& ref : result.entities[e].rows) {
+          (*instances)[ref] = detection.instance;
+        }
+      }
+    }
+    offset += result.num_clusters;
+  }
+}
+
+PipelineRunResult LteePipeline::Run(
+    const webtable::TableCorpus& corpus,
+    const std::vector<kb::ClassId>& classes) const {
+  PipelineRunResult out;
+  matching::RowInstanceMap instances;
+  matching::RowClusterMap clusters;
+
+  for (int iteration = 0; iteration < options_.iterations; ++iteration) {
+    matching::SchemaMapping mapping;
+    if (iteration == 0) {
+      mapping = schema_first_->Match(corpus);
+    } else {
+      matching::MatcherFeedback feedback;
+      feedback.row_instances = &instances;
+      feedback.row_clusters = &clusters;
+      feedback.preliminary = &out.mappings.back();
+      mapping = schema_refined_->Match(corpus, feedback);
+    }
+
+    std::vector<ClassRunResult> class_results;
+    for (kb::ClassId cls : classes) {
+      class_results.push_back(RunClass(corpus, mapping, cls));
+    }
+
+    instances.clear();
+    clusters.clear();
+    CollectFeedback(class_results, &instances, &clusters);
+
+    out.mappings.push_back(std::move(mapping));
+    if (iteration == options_.iterations - 1) {
+      out.classes = std::move(class_results);
+    }
+    LTEE_LOG(kDebug) << "pipeline iteration " << (iteration + 1) << " done";
+  }
+  return out;
+}
+
+}  // namespace ltee::pipeline

@@ -1,0 +1,116 @@
+#ifndef LTEE_PIPELINE_PIPELINE_H_
+#define LTEE_PIPELINE_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fusion/entity_creator.h"
+#include "index/label_index.h"
+#include "kb/knowledge_base.h"
+#include "matching/schema_matcher.h"
+#include "newdetect/new_detector.h"
+#include "rowcluster/row_clusterer.h"
+#include "util/random.h"
+#include "webtable/web_table.h"
+
+namespace ltee::pipeline {
+
+/// Configuration of the full pipeline.
+struct PipelineOptions {
+  matching::SchemaMatcherOptions schema;
+  rowcluster::RowFeatureOptions row_features;
+  rowcluster::RowClustererOptions clustering;
+  fusion::EntityCreatorOptions fusion;
+  newdetect::NewDetectorOptions detection;
+  /// Number of pipeline iterations; the paper shows two suffice (Table 6).
+  int iterations = 2;
+};
+
+/// Per-class output of one pipeline pass.
+struct ClassRunResult {
+  kb::ClassId cls = kb::kInvalidClass;
+  rowcluster::ClassRowSet rows;
+  std::vector<int> cluster_of_row;
+  int num_clusters = 0;
+  std::vector<fusion::CreatedEntity> entities;
+  std::vector<newdetect::Detection> detections;
+};
+
+/// Output of a full multi-iteration run.
+struct PipelineRunResult {
+  /// Schema mapping per iteration (mappings.back() is the final one).
+  std::vector<matching::SchemaMapping> mappings;
+  /// Final-iteration class results.
+  std::vector<ClassRunResult> classes;
+};
+
+/// The complete LTEE system (Figure 1): schema matching -> row clustering
+/// -> entity creation -> new detection, iterated twice with the first
+/// run's clusters and correspondences refining the schema mapping.
+///
+/// The pipeline owns one schema matcher per iteration stage (the first has
+/// no duplicate-based matchers to learn against) and per-class clusterers
+/// and detectors (the paper learns weights per class).
+class LteePipeline {
+ public:
+  /// Builds the KB label index internally. `kb` must outlive the pipeline.
+  LteePipeline(const kb::KnowledgeBase& kb, PipelineOptions options);
+
+  const index::LabelIndex& kb_index() const { return kb_index_; }
+  const kb::KnowledgeBase& knowledge_base() const { return *kb_; }
+  const PipelineOptions& options() const { return options_; }
+
+  matching::SchemaMatcher& schema_matcher_first() { return *schema_first_; }
+  matching::SchemaMatcher& schema_matcher_refined() {
+    return *schema_refined_;
+  }
+
+  /// Per-class components; created on first access with the configured
+  /// options.
+  rowcluster::RowClusterer& clusterer_for(kb::ClassId cls);
+  newdetect::NewDetector& detector_for(kb::ClassId cls);
+  const rowcluster::RowClusterer& clusterer_for(kb::ClassId cls) const;
+  const newdetect::NewDetector& detector_for(kb::ClassId cls) const;
+
+  fusion::EntityCreator MakeEntityCreator() const {
+    return fusion::EntityCreator(*kb_, options_.fusion);
+  }
+  fusion::EntityCreator MakeEntityCreator(fusion::ScoringApproach scoring) const {
+    fusion::EntityCreatorOptions opts = options_.fusion;
+    opts.scoring = scoring;
+    return fusion::EntityCreator(*kb_, opts);
+  }
+
+  /// Runs clustering, entity creation and new detection for one class
+  /// under `mapping`. Requires the class components to be trained.
+  ClassRunResult RunClass(const webtable::TableCorpus& corpus,
+                          const matching::SchemaMapping& mapping,
+                          kb::ClassId cls) const;
+
+  /// Full multi-iteration run for `classes`.
+  PipelineRunResult Run(const webtable::TableCorpus& corpus,
+                        const std::vector<kb::ClassId>& classes) const;
+
+  /// Aggregates feedback maps from class results, offsetting cluster ids
+  /// so clusters of different classes never collide.
+  static void CollectFeedback(const std::vector<ClassRunResult>& classes,
+                              matching::RowInstanceMap* instances,
+                              matching::RowClusterMap* clusters);
+
+ private:
+  const kb::KnowledgeBase* kb_;
+  PipelineOptions options_;
+  index::LabelIndex kb_index_;
+  std::unique_ptr<matching::SchemaMatcher> schema_first_;
+  std::unique_ptr<matching::SchemaMatcher> schema_refined_;
+  std::map<kb::ClassId, rowcluster::RowClusterer> clusterers_;
+  std::map<kb::ClassId, newdetect::NewDetector> detectors_;
+};
+
+/// Builds a label index over the instances of `kb` (doc = instance id).
+index::LabelIndex BuildKbLabelIndex(const kb::KnowledgeBase& kb);
+
+}  // namespace ltee::pipeline
+
+#endif  // LTEE_PIPELINE_PIPELINE_H_

@@ -1,0 +1,211 @@
+#include "pipeline/profiling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "pipeline/training.h"
+#include "types/type_similarity.h"
+#include "util/logging.h"
+
+namespace ltee::pipeline {
+
+namespace {
+
+/// Majority world entity among an entity's rows, or -1.
+int MajorityWorldEntity(const fusion::CreatedEntity& entity,
+                        const synth::SyntheticDataset& dataset) {
+  std::unordered_map<int, int> counts;
+  for (const auto& row : entity.rows) {
+    if (row.table < 0 ||
+        row.table >= static_cast<int>(dataset.table_truth.size())) {
+      continue;
+    }
+    const auto& truth = dataset.table_truth[row.table];
+    if (row.row < 0 || row.row >= static_cast<int>(truth.row_entity.size())) {
+      continue;
+    }
+    counts[truth.row_entity[row.row]] += 1;
+  }
+  int best = -1, best_count = 0;
+  for (const auto& [eid, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best = eid;
+    }
+  }
+  if (best < 0 || 2 * best_count < static_cast<int>(entity.rows.size())) {
+    return -1;
+  }
+  return best;
+}
+
+}  // namespace
+
+LargeScaleResult RunLargeScaleProfiling(const synth::SyntheticDataset& dataset,
+                                        const ProfilingOptions& options) {
+  LargeScaleResult out;
+  util::Rng rng(options.seed);
+
+  LteePipeline pipeline(dataset.kb, options.pipeline);
+  TrainPipelineOnGold(&pipeline, dataset.gs_corpus, dataset.gold, rng);
+
+  std::vector<kb::ClassId> classes;
+  for (const auto& gs : dataset.gold) classes.push_back(gs.cls);
+  out.run = pipeline.Run(dataset.corpus, classes);
+
+  const types::TypeSimilarityOptions sim_options;
+
+  for (size_t ci = 0; ci < classes.size(); ++ci) {
+    const kb::ClassId cls = classes[ci];
+    const int profile_index = dataset.ProfileOfClass(cls);
+    const auto& profile = dataset.world.profiles()[profile_index];
+    const ClassRunResult& class_run = out.run.classes[ci];
+
+    // Property id -> index within the profile (for truth comparisons).
+    std::unordered_map<kb::PropertyId, int> property_index;
+    for (size_t k = 0; k < dataset.property_ids[profile_index].size(); ++k) {
+      property_index[dataset.property_ids[profile_index][k]] =
+          static_cast<int>(k);
+    }
+
+    ClassProfilingResult result;
+    result.class_name = profile.name;
+    result.total_rows = class_run.rows.rows.size();
+
+    std::set<kb::InstanceId> matched_instances;
+    std::vector<int> new_entity_ids;
+    for (size_t e = 0; e < class_run.entities.size(); ++e) {
+      const auto& detection = class_run.detections[e];
+      if (detection.is_new) {
+        new_entity_ids.push_back(static_cast<int>(e));
+        result.new_entities += 1;
+        result.new_facts += class_run.entities[e].facts.size();
+      } else {
+        result.existing_entities += 1;
+        if (detection.instance != kb::kInvalidInstance) {
+          matched_instances.insert(detection.instance);
+        }
+      }
+    }
+    result.matched_kb_instances = matched_instances.size();
+    result.matching_ratio =
+        matched_instances.empty()
+            ? 0.0
+            : static_cast<double>(result.existing_entities) /
+                  static_cast<double>(matched_instances.size());
+
+    const kb::ClassStats kb_stats = dataset.kb.StatsOfClass(cls);
+    result.instance_increase =
+        kb_stats.instances == 0
+            ? 0.0
+            : static_cast<double>(result.new_entities) /
+                  static_cast<double>(kb_stats.instances);
+    result.fact_increase = kb_stats.facts == 0
+                               ? 0.0
+                               : static_cast<double>(result.new_facts) /
+                                     static_cast<double>(kb_stats.facts);
+
+    // ---- Table 12: property densities among new entities. ---------------
+    std::unordered_map<kb::PropertyId, size_t> fact_counts;
+    for (int e : new_entity_ids) {
+      for (const auto& fact : class_run.entities[e].facts) {
+        fact_counts[fact.property] += 1;
+      }
+    }
+    for (kb::PropertyId pid : dataset.property_ids[profile_index]) {
+      NewPropertyDensity row;
+      row.property = dataset.kb.property(pid).name;
+      row.facts = fact_counts.count(pid) ? fact_counts[pid] : 0;
+      row.density = result.new_entities == 0
+                        ? 0.0
+                        : static_cast<double>(row.facts) /
+                              static_cast<double>(result.new_entities);
+      result.property_densities.push_back(std::move(row));
+    }
+    std::sort(result.property_densities.begin(),
+              result.property_densities.end(),
+              [](const NewPropertyDensity& a, const NewPropertyDensity& b) {
+                return a.facts > b.facts;
+              });
+
+    // ---- Stratified sample of new entities by fact count. ---------------
+    std::unordered_map<size_t, std::vector<int>> by_fact_count;
+    for (int e : new_entity_ids) {
+      by_fact_count[class_run.entities[e].facts.size()].push_back(e);
+    }
+    std::vector<int> sample;
+    for (auto& [count, ids] : by_fact_count) {
+      rng.Shuffle(&ids);
+      const size_t want = std::max<size_t>(
+          1, static_cast<size_t>(std::llround(
+                 static_cast<double>(options.sample_size) *
+                 static_cast<double>(ids.size()) /
+                 std::max<size_t>(1, new_entity_ids.size()))));
+      for (size_t k = 0; k < std::min(want, ids.size()); ++k) {
+        sample.push_back(ids[k]);
+      }
+    }
+
+    // ---- Accuracies against the synthetic ground truth. ------------------
+    auto entity_correct = [&](int e) {
+      const int world_id =
+          MajorityWorldEntity(class_run.entities[e], dataset);
+      if (world_id < 0) return false;
+      const synth::WorldEntity& world_entity = dataset.world.entity(world_id);
+      return world_entity.profile_index == profile_index &&
+             !world_entity.in_kb;
+    };
+
+    size_t correct_entities = 0;
+    size_t facts_total = 0, facts_correct = 0;
+    std::map<int, std::pair<size_t, size_t>> min_fact_buckets;  // k -> (n, ok)
+    for (int e : sample) {
+      const bool ok = entity_correct(e);
+      if (ok) ++correct_entities;
+      const size_t fact_count = class_run.entities[e].facts.size();
+      for (int k = 2; k <= 3; ++k) {
+        if (fact_count >= static_cast<size_t>(k)) {
+          min_fact_buckets[k].first += 1;
+          min_fact_buckets[k].second += ok ? 1 : 0;
+        }
+      }
+      // Fact accuracy over the sampled entities.
+      const int world_id =
+          MajorityWorldEntity(class_run.entities[e], dataset);
+      for (const auto& fact : class_run.entities[e].facts) {
+        ++facts_total;
+        if (world_id < 0) continue;
+        const synth::WorldEntity& world_entity =
+            dataset.world.entity(world_id);
+        if (world_entity.profile_index != profile_index) continue;
+        auto it = property_index.find(fact.property);
+        if (it == property_index.end()) continue;
+        if (types::ValuesEqual(fact.value, world_entity.truth[it->second],
+                               sim_options)) {
+          ++facts_correct;
+        }
+      }
+    }
+    result.new_entity_accuracy =
+        sample.empty() ? 0.0
+                       : static_cast<double>(correct_entities) /
+                             static_cast<double>(sample.size());
+    result.new_fact_accuracy =
+        facts_total == 0 ? 0.0
+                         : static_cast<double>(facts_correct) /
+                               static_cast<double>(facts_total);
+    for (const auto& [k, bucket] : min_fact_buckets) {
+      result.accuracy_with_min_facts[k] =
+          bucket.first == 0 ? 0.0
+                            : static_cast<double>(bucket.second) /
+                                  static_cast<double>(bucket.first);
+    }
+
+    out.classes.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace ltee::pipeline

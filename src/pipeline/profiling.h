@@ -1,0 +1,66 @@
+#ifndef LTEE_PIPELINE_PROFILING_H_
+#define LTEE_PIPELINE_PROFILING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.h"
+#include "synth/dataset.h"
+#include "util/random.h"
+
+namespace ltee::pipeline {
+
+/// One Table 12 row: facts and density of a property among new entities.
+struct NewPropertyDensity {
+  std::string property;
+  size_t facts = 0;
+  double density = 0.0;
+};
+
+/// One Table 11 row plus the Table 12 block and the Section 5 accuracy-by-
+/// minimum-fact-count analysis for one class.
+struct ClassProfilingResult {
+  std::string class_name;
+  size_t total_rows = 0;
+  size_t existing_entities = 0;
+  size_t matched_kb_instances = 0;
+  double matching_ratio = 0.0;
+  size_t new_entities = 0;
+  size_t new_facts = 0;
+  /// Relative increases vs. the KB's instance / fact counts of the class.
+  double instance_increase = 0.0;
+  double fact_increase = 0.0;
+  /// Accuracies measured on a stratified sample of new entities, checked
+  /// against the synthetic ground truth (the paper's manual annotation).
+  double new_entity_accuracy = 0.0;
+  double new_fact_accuracy = 0.0;
+  /// new_entity_accuracy restricted to entities with >= k facts (Section 5
+  /// discusses k = 2 and 3 for GF-Player).
+  std::map<int, double> accuracy_with_min_facts;
+  std::vector<NewPropertyDensity> property_densities;
+};
+
+/// Full large-scale profiling result (Section 5).
+struct LargeScaleResult {
+  PipelineRunResult run;
+  std::vector<ClassProfilingResult> classes;
+};
+
+/// Options of the profiling run.
+struct ProfilingOptions {
+  PipelineOptions pipeline;
+  /// Stratified sample size per class (the paper samples 50).
+  size_t sample_size = 50;
+  uint64_t seed = 99;
+};
+
+/// Trains the pipeline on the full gold standard, runs it over the entire
+/// corpus, and evaluates the new entities against the synthetic ground
+/// truth with a stratified sample — reproducing Tables 11 and 12.
+LargeScaleResult RunLargeScaleProfiling(const synth::SyntheticDataset& dataset,
+                                        const ProfilingOptions& options = {});
+
+}  // namespace ltee::pipeline
+
+#endif  // LTEE_PIPELINE_PROFILING_H_

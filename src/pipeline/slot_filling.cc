@@ -1,0 +1,45 @@
+#include "pipeline/slot_filling.h"
+
+#include "types/type_similarity.h"
+
+namespace ltee::pipeline {
+
+SlotFillingResult FillSlots(
+    const kb::KnowledgeBase& kb,
+    const std::vector<fusion::CreatedEntity>& entities,
+    const std::vector<newdetect::Detection>& detections) {
+  SlotFillingResult result;
+  const types::TypeSimilarityOptions sim_options;
+  for (size_t e = 0; e < entities.size(); ++e) {
+    const newdetect::Detection& detection = detections[e];
+    if (detection.is_new || detection.instance == kb::kInvalidInstance) {
+      continue;
+    }
+    for (const auto& fact : entities[e].facts) {
+      const types::Value* existing =
+          kb.FactOf(detection.instance, fact.property);
+      if (existing == nullptr) {
+        result.new_facts.push_back({detection.instance, fact.property,
+                                    fact.value, static_cast<int>(e)});
+      } else if (types::ValuesEqual(fact.value, *existing, sim_options)) {
+        result.confirmations += 1;
+      } else {
+        result.conflicts += 1;
+      }
+    }
+  }
+  return result;
+}
+
+size_t ApplySlotFills(kb::KnowledgeBase* kb,
+                      const std::vector<SlotFill>& fills) {
+  size_t added = 0;
+  for (const auto& fill : fills) {
+    if (kb->FactOf(fill.instance, fill.property) != nullptr) continue;
+    kb->AddFact(fill.instance, fill.property, fill.value);
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace ltee::pipeline

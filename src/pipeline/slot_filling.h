@@ -1,0 +1,47 @@
+#ifndef LTEE_PIPELINE_SLOT_FILLING_H_
+#define LTEE_PIPELINE_SLOT_FILLING_H_
+
+#include <vector>
+
+#include "fusion/entity.h"
+#include "kb/knowledge_base.h"
+#include "newdetect/new_detector.h"
+
+namespace ltee::pipeline {
+
+/// One proposed fact for an existing KB instance.
+struct SlotFill {
+  kb::InstanceId instance = kb::kInvalidInstance;
+  kb::PropertyId property = kb::kInvalidProperty;
+  types::Value value;
+  /// Source entity index (provenance).
+  int entity = -1;
+};
+
+/// Outcome of a slot-filling pass.
+struct SlotFillingResult {
+  /// Fused values for empty slots of matched instances (the task of the
+  /// paper's predecessor work [27], Section 6's slot-filling comparison).
+  std::vector<SlotFill> new_facts;
+  /// Values that confirm a fact already in the KB.
+  size_t confirmations = 0;
+  /// Values that conflict with an existing KB fact.
+  size_t conflicts = 0;
+};
+
+/// Byproduct extension: the pipeline's entities that matched *existing*
+/// instances also carry fused facts; slots the KB leaves empty can be
+/// filled from them ("adding missing facts for existing instances").
+/// Returns the proposed fills plus confirmation/conflict counts against
+/// the facts the KB already has.
+SlotFillingResult FillSlots(const kb::KnowledgeBase& kb,
+                            const std::vector<fusion::CreatedEntity>& entities,
+                            const std::vector<newdetect::Detection>& detections);
+
+/// Applies proposed fills to the KB. Returns the number of facts added.
+size_t ApplySlotFills(kb::KnowledgeBase* kb,
+                      const std::vector<SlotFill>& fills);
+
+}  // namespace ltee::pipeline
+
+#endif  // LTEE_PIPELINE_SLOT_FILLING_H_

@@ -1,0 +1,25 @@
+#ifndef LTEE_PIPELINE_TRAINING_H_
+#define LTEE_PIPELINE_TRAINING_H_
+
+#include <vector>
+
+#include "eval/gold_standard.h"
+#include "pipeline/pipeline.h"
+#include "util/random.h"
+#include "webtable/web_table.h"
+
+namespace ltee::pipeline {
+
+/// Trains every learned component of `pipeline` — per-class row clusterers
+/// and new detectors, and both schema matchers — on the *entire* gold
+/// standard (no cross-validation split). Used by the large-scale profiling
+/// run (Section 5), which learns from the full gold standard and applies
+/// the system to the whole corpus.
+void TrainPipelineOnGold(LteePipeline* pipeline,
+                         const webtable::TableCorpus& gs_corpus,
+                         const std::vector<eval::GoldStandard>& gold,
+                         util::Rng& rng);
+
+}  // namespace ltee::pipeline
+
+#endif  // LTEE_PIPELINE_TRAINING_H_

@@ -1,0 +1,212 @@
+#include "rowcluster/row_clusterer.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "index/label_index.h"
+
+namespace ltee::rowcluster {
+
+RowClusterer::RowClusterer(RowClustererOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<std::vector<int32_t>> RowClusterer::BuildBlocks(
+    const ClassRowSet& rows) const {
+  std::vector<std::vector<int32_t>> blocks(rows.rows.size());
+  if (!options_.enable_blocking) {
+    for (auto& b : blocks) b.push_back(0);
+    return blocks;
+  }
+  // One block per distinct normalized label; each row joins its own block
+  // plus the blocks of similar labels retrieved from a Lucene-style index.
+  index::LabelIndex label_index;
+  std::unordered_map<std::string, int32_t> block_of_label;
+  for (const auto& row : rows.rows) {
+    auto [it, inserted] = block_of_label.emplace(
+        row.normalized_label, static_cast<int32_t>(block_of_label.size()));
+    if (inserted) {
+      label_index.Add(static_cast<uint32_t>(it->second),
+                      row.normalized_label);
+    }
+  }
+  label_index.Build();
+  for (size_t i = 0; i < rows.rows.size(); ++i) {
+    const auto& row = rows.rows[i];
+    blocks[i].push_back(block_of_label[row.normalized_label]);
+    for (const auto& hit : label_index.Search(row.normalized_label,
+                                              options_.blocking_candidates)) {
+      const int32_t block = static_cast<int32_t>(hit.doc);
+      if (std::find(blocks[i].begin(), blocks[i].end(), block) ==
+          blocks[i].end()) {
+        blocks[i].push_back(block);
+      }
+    }
+  }
+  return blocks;
+}
+
+void RowClusterer::Train(const ClassRowSet& rows,
+                         const std::vector<int>& gold_cluster_of_row,
+                         util::Rng& rng) {
+  RowMetricBank bank(rows, options_.enabled_metrics);
+  const auto blocks = BuildBlocks(rows);
+
+  // Block -> rows map for hard-negative mining.
+  std::unordered_map<int32_t, std::vector<int>> rows_by_block;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    for (int32_t b : blocks[i]) {
+      rows_by_block[b].push_back(static_cast<int>(i));
+    }
+  }
+
+  std::vector<ml::Example> examples;
+  auto add_pair = [&](int i, int j, bool positive) {
+    ml::Example ex;
+    ex.features = bank.Compare(i, j);
+    ex.target = positive ? 1.0 : -1.0;
+    examples.push_back(std::move(ex));
+  };
+
+  // Positive pairs: all same-cluster pairs of annotated rows.
+  std::unordered_map<int, std::vector<int>> rows_by_cluster;
+  for (size_t i = 0; i < gold_cluster_of_row.size(); ++i) {
+    if (gold_cluster_of_row[i] >= 0) {
+      rows_by_cluster[gold_cluster_of_row[i]].push_back(static_cast<int>(i));
+    }
+  }
+  for (const auto& [cluster, members] : rows_by_cluster) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (examples.size() >= options_.max_training_pairs) break;
+        add_pair(members[i], members[j], true);
+      }
+    }
+  }
+
+  // Negative pairs: block-sharing annotated rows from different clusters
+  // (the hard cases blocking lets through).
+  for (const auto& [block, members] : rows_by_block) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      const int ci = gold_cluster_of_row[members[i]];
+      if (ci < 0) continue;
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        const int cj = gold_cluster_of_row[members[j]];
+        if (cj < 0 || ci == cj) continue;
+        if (examples.size() >= options_.max_training_pairs) break;
+        add_pair(members[i], members[j], false);
+      }
+    }
+  }
+
+  // A sprinkle of random easy negatives keeps the scale calibrated.
+  const size_t random_negatives =
+      std::min<size_t>(examples.size() / 2 + 1, 2000);
+  const size_t n = rows.rows.size();
+  for (size_t k = 0; k < random_negatives && n >= 2; ++k) {
+    const int i = static_cast<int>(rng.NextBounded(n));
+    const int j = static_cast<int>(rng.NextBounded(n));
+    if (i == j) continue;
+    const int ci = gold_cluster_of_row[i], cj = gold_cluster_of_row[j];
+    if (ci < 0 || cj < 0 || ci == cj) continue;
+    add_pair(i, j, false);
+  }
+
+  aggregator_.Train(std::move(examples), options_.aggregation, rng);
+
+  // ---- Cluster-level threshold calibration ------------------------------
+  // Pairwise training calibrates the sign of individual pair scores, but
+  // the greedy correlation clusterer sums scores over cluster members, so
+  // a small systematic bias compounds into over- or under-merging. Sweep a
+  // score offset on the learning rows and keep the one maximizing a
+  // count-penalized pairwise F1 (the clustering analogue of the paper's
+  // learned decision threshold).
+  std::vector<bool> annotated(rows.rows.size(), false);
+  size_t num_annotated = 0;
+  for (size_t i = 0; i < gold_cluster_of_row.size(); ++i) {
+    if (gold_cluster_of_row[i] >= 0) {
+      annotated[i] = true;
+      ++num_annotated;
+    }
+  }
+  if (num_annotated < 10) return;
+  const ClassRowSet learning_rows = FilterRows(rows, annotated);
+  std::vector<int> learning_gold;
+  for (size_t i = 0; i < rows.rows.size(); ++i) {
+    if (annotated[i]) learning_gold.push_back(gold_cluster_of_row[i]);
+  }
+  std::unordered_map<int, int> gold_sizes;
+  for (int g : learning_gold) gold_sizes[g] += 1;
+
+  double best_objective = -1.0;
+  double best_offset = 0.0;
+  for (double offset : {-0.1, 0.0, 0.1, 0.25}) {
+    const auto result = ClusterWithOffset(learning_rows, offset);
+    // Pairwise precision/recall over annotated rows.
+    long long tp = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < learning_gold.size(); ++i) {
+      for (size_t j = i + 1; j < learning_gold.size(); ++j) {
+        const bool same_sys = result.cluster_of[i] == result.cluster_of[j];
+        const bool same_gold = learning_gold[i] == learning_gold[j];
+        if (same_sys && same_gold) ++tp;
+        else if (same_sys && !same_gold) ++fp;
+        else if (!same_sys && same_gold) ++fn;
+      }
+    }
+    const double p = tp + fp == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp);
+    const double r = tp + fn == 0 ? 1.0 : static_cast<double>(tp) / (tp + fn);
+    const double pair_f1 = p + r == 0.0 ? 0.0 : 2 * p * r / (p + r);
+    const double count_ratio =
+        std::min<double>(gold_sizes.size(), result.num_clusters) /
+        std::max<double>(1.0, std::max<double>(gold_sizes.size(),
+                                               result.num_clusters));
+    const double objective = pair_f1 * count_ratio;
+    if (objective > best_objective) {
+      best_objective = objective;
+      best_offset = offset;
+    }
+  }
+  score_offset_ = best_offset;
+}
+
+cluster::ClusteringResult RowClusterer::Cluster(
+    const ClassRowSet& rows) const {
+  return ClusterWithOffset(rows, score_offset_);
+}
+
+cluster::ClusteringResult RowClusterer::ClusterWithOffset(
+    const ClassRowSet& rows, double offset) const {
+  RowMetricBank bank(rows, options_.enabled_metrics);
+  const auto blocks = BuildBlocks(rows);
+
+  // Memoized, thread-safe pair score cache: the greedy and KLj phases
+  // revisit pairs many times.
+  struct Cache {
+    std::unordered_map<uint64_t, double> scores;
+    std::mutex mu;
+  };
+  auto cache = std::make_shared<Cache>();
+  const auto* aggregator = &aggregator_;
+  auto similarity = [&bank, cache, aggregator, offset](int i, int j) -> double {
+    const uint64_t key = (static_cast<uint64_t>(std::min(i, j)) << 32) |
+                         static_cast<uint64_t>(std::max(i, j));
+    {
+      std::lock_guard<std::mutex> lock(cache->mu);
+      auto it = cache->scores.find(key);
+      if (it != cache->scores.end()) return it->second;
+    }
+    const double score = std::clamp(
+        aggregator->Score(bank.Compare(i, j)) + offset, -1.0, 1.0);
+    {
+      std::lock_guard<std::mutex> lock(cache->mu);
+      cache->scores.emplace(key, score);
+    }
+    return score;
+  };
+
+  return cluster::ClusterCorrelation(rows.rows.size(), similarity, blocks,
+                                     options_.clustering);
+}
+
+}  // namespace ltee::rowcluster

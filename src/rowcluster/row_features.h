@@ -1,0 +1,94 @@
+#ifndef LTEE_ROWCLUSTER_ROW_FEATURES_H_
+#define LTEE_ROWCLUSTER_ROW_FEATURES_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "index/label_index.h"
+#include "kb/knowledge_base.h"
+#include "matching/schema_mapping.h"
+#include "types/value.h"
+#include "webtable/web_table.h"
+
+namespace ltee::rowcluster {
+
+/// One implicit property-value combination derived for a table (Section
+/// 3.2, IMPLICIT_ATT): a fact that holds for most rows of the table without
+/// being stated in any cell, with the fraction of supporting rows as score.
+struct ImplicitAttribute {
+  kb::PropertyId property = kb::kInvalidProperty;
+  types::Value value;
+  double score = 0.0;
+};
+
+/// One cell value extracted from a matched column, normalized to the KB
+/// schema, with its column of origin (provenance for the fusion scorers).
+struct RowValue {
+  kb::PropertyId property = kb::kInvalidProperty;
+  int column = -1;
+  types::Value value;
+};
+
+/// Precomputed per-row features consumed by the similarity metrics and by
+/// the downstream entity creation / new detection components.
+struct RowFeature {
+  webtable::RowRef ref;
+  /// Dense index of the row's table within the ClassRowSet.
+  int table_index = -1;
+  std::string raw_label;
+  std::string normalized_label;
+  std::vector<std::string> label_tokens;
+  /// Binary bag-of-words over all cells of the row.
+  std::unordered_set<std::string> bow;
+  /// Values of matched columns, normalized to the KB schema.
+  std::vector<RowValue> values;
+
+  /// First value matched to `property`, or nullptr.
+  const types::Value* ValueOf(kb::PropertyId property) const;
+};
+
+/// All rows of one class: every row of every table matched to the class,
+/// with per-table implicit attributes and PHI vectors.
+struct ClassRowSet {
+  kb::ClassId cls = kb::kInvalidClass;
+  std::vector<webtable::TableId> tables;
+  std::vector<RowFeature> rows;
+  /// Implicit attributes per table (indexed by table_index).
+  std::vector<std::vector<ImplicitAttribute>> table_implicit;
+  /// PHI label-correlation vector per table (indexed by table_index),
+  /// sparse over label ids.
+  std::vector<std::unordered_map<uint32_t, double>> table_phi;
+};
+
+/// Options of the feature extraction.
+struct RowFeatureOptions {
+  /// Candidates per row label for implicit-attribute derivation.
+  size_t implicit_candidates_per_row = 5;
+  double implicit_label_similarity = 0.82;
+  /// Minimum fraction of rows sharing a property-value combination for it
+  /// to become an implicit attribute of the table.
+  double implicit_score_threshold = 0.5;
+  /// Cap on rows per table considered for PHI pair counting (cost guard).
+  size_t phi_max_rows_per_table = 60;
+};
+
+/// Builds the row set of `cls` from every table the schema mapping matched
+/// to that class. `kb_index` is the label index over KB instances used for
+/// implicit-attribute candidate lookup.
+ClassRowSet BuildClassRowSet(const webtable::TableCorpus& corpus,
+                             const matching::SchemaMapping& mapping,
+                             kb::ClassId cls, const kb::KnowledgeBase& kb,
+                             const index::LabelIndex& kb_index,
+                             const RowFeatureOptions& options = {});
+
+/// Copy of `rows` keeping only the rows with `keep[i]` set. Table-level
+/// structures (implicit attributes, PHI vectors) are preserved; table
+/// indices of the kept rows stay valid.
+ClassRowSet FilterRows(const ClassRowSet& rows, const std::vector<bool>& keep);
+
+}  // namespace ltee::rowcluster
+
+#endif  // LTEE_ROWCLUSTER_ROW_FEATURES_H_

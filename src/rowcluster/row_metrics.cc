@@ -1,0 +1,146 @@
+#include "rowcluster/row_metrics.h"
+
+#include <algorithm>
+
+#include "types/type_similarity.h"
+#include "util/similarity.h"
+
+namespace ltee::rowcluster {
+
+const char* RowMetricName(RowMetric metric) {
+  switch (metric) {
+    case RowMetric::kLabel: return "LABEL";
+    case RowMetric::kBow: return "BOW";
+    case RowMetric::kPhi: return "PHI";
+    case RowMetric::kAttribute: return "ATTRIBUTE";
+    case RowMetric::kImplicitAtt: return "IMPLICIT_ATT";
+    case RowMetric::kSameTable: return "SAME_TABLE";
+  }
+  return "?";
+}
+
+std::vector<bool> FirstKMetrics(int k) {
+  std::vector<bool> mask(kNumRowMetrics, false);
+  for (int i = 0; i < std::min(k, kNumRowMetrics); ++i) mask[i] = true;
+  return mask;
+}
+
+RowMetricBank::RowMetricBank(const ClassRowSet& rows,
+                             std::vector<bool> enabled)
+    : rows_(&rows), enabled_(std::move(enabled)) {
+  enabled_.resize(kNumRowMetrics, false);
+  for (bool b : enabled_) num_enabled_ += b ? 1 : 0;
+}
+
+std::vector<std::string> RowMetricBank::EnabledNames() const {
+  std::vector<std::string> out;
+  for (int m = 0; m < kNumRowMetrics; ++m) {
+    if (enabled_[m]) out.push_back(RowMetricName(static_cast<RowMetric>(m)));
+  }
+  return out;
+}
+
+namespace {
+
+const types::TypeSimilarityOptions kSimOptions;
+
+/// ATTRIBUTE: average type-equality of overlapping value pairs, with the
+/// number of compared pairs as confidence.
+std::pair<double, double> AttributeSimilarity(const RowFeature& a,
+                                              const RowFeature& b) {
+  int pairs = 0;
+  double sum = 0.0;
+  for (const auto& rv : a.values) {
+    const types::Value* other = b.ValueOf(rv.property);
+    if (other == nullptr) continue;
+    ++pairs;
+    sum += types::ValuesEqual(rv.value, *other, kSimOptions) ? 1.0 : 0.0;
+  }
+  if (pairs == 0) return {-1.0, 0.0};
+  return {sum / pairs, static_cast<double>(pairs)};
+}
+
+/// One direction of IMPLICIT_ATT: implicit attributes of `a`'s table
+/// against column values and implicit attributes of `b`.
+void CompareImplicitDirected(const ClassRowSet& rows, const RowFeature& a,
+                             const RowFeature& b, double* sum, double* count,
+                             double* confidence) {
+  for (const auto& implicit : rows.table_implicit[a.table_index]) {
+    // Overlap against b's explicit column values.
+    const types::Value* value = b.ValueOf(implicit.property);
+    bool compared = false;
+    double equal = 0.0;
+    if (value != nullptr) {
+      compared = true;
+      equal = types::ValuesEqual(implicit.value, *value, kSimOptions) ? 1.0
+                                                                      : 0.0;
+    } else {
+      // Overlap against b's table-level implicit attributes.
+      for (const auto& other : rows.table_implicit[b.table_index]) {
+        if (other.property != implicit.property) continue;
+        compared = true;
+        equal = types::ValuesEqual(implicit.value, other.value, kSimOptions)
+                    ? 1.0
+                    : 0.0;
+        break;
+      }
+    }
+    if (compared) {
+      *sum += equal;
+      *count += 1.0;
+      *confidence += implicit.score;
+    }
+  }
+}
+
+std::pair<double, double> ImplicitSimilarity(const ClassRowSet& rows,
+                                             const RowFeature& a,
+                                             const RowFeature& b) {
+  if (a.table_index == b.table_index) return {-1.0, 0.0};
+  double sum = 0.0, count = 0.0, confidence = 0.0;
+  CompareImplicitDirected(rows, a, b, &sum, &count, &confidence);
+  CompareImplicitDirected(rows, b, a, &sum, &count, &confidence);
+  if (count == 0.0) return {-1.0, 0.0};
+  return {sum / count, confidence};
+}
+
+}  // namespace
+
+ml::ScoredFeatures RowMetricBank::Compare(int i, int j) const {
+  const RowFeature& a = rows_->rows[i];
+  const RowFeature& b = rows_->rows[j];
+  ml::ScoredFeatures out;
+  out.sims.reserve(num_enabled_);
+  out.confs.reserve(num_enabled_);
+
+  auto push = [&out](double sim, double conf) {
+    out.sims.push_back(sim);
+    out.confs.push_back(conf);
+  };
+
+  if (enabled_[static_cast<int>(RowMetric::kLabel)]) {
+    push(util::MongeElkanLevenshtein(a.label_tokens, b.label_tokens), 0.0);
+  }
+  if (enabled_[static_cast<int>(RowMetric::kBow)]) {
+    push(util::CosineBinary(a.bow, b.bow), 0.0);
+  }
+  if (enabled_[static_cast<int>(RowMetric::kPhi)]) {
+    push(util::CosineSparse(rows_->table_phi[a.table_index],
+                            rows_->table_phi[b.table_index]),
+         0.0);
+  }
+  if (enabled_[static_cast<int>(RowMetric::kAttribute)]) {
+    auto [sim, conf] = AttributeSimilarity(a, b);
+    push(sim, conf);
+  }
+  if (enabled_[static_cast<int>(RowMetric::kImplicitAtt)]) {
+    auto [sim, conf] = ImplicitSimilarity(*rows_, a, b);
+    push(sim, conf);
+  }
+  if (enabled_[static_cast<int>(RowMetric::kSameTable)]) {
+    push(a.table_index == b.table_index ? 0.0 : 1.0, 0.0);
+  }
+  return out;
+}
+
+}  // namespace ltee::rowcluster

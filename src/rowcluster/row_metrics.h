@@ -1,0 +1,56 @@
+#ifndef LTEE_ROWCLUSTER_ROW_METRICS_H_
+#define LTEE_ROWCLUSTER_ROW_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "rowcluster/row_features.h"
+
+namespace ltee::rowcluster {
+
+/// The six row similarity metrics of Section 3.2, in the order the paper's
+/// Table 7 aggregates them.
+enum class RowMetric {
+  kLabel = 0,
+  kBow = 1,
+  kPhi = 2,
+  kAttribute = 3,
+  kImplicitAtt = 4,
+  kSameTable = 5,
+};
+inline constexpr int kNumRowMetrics = 6;
+const char* RowMetricName(RowMetric metric);
+
+/// Computes the enabled row-metric scores for a pair of rows of one
+/// ClassRowSet. Metrics returning -1 are "not applicable" for the pair
+/// (e.g. ATTRIBUTE without overlapping value pairs); confidences are 0 for
+/// metrics that attach none.
+class RowMetricBank {
+ public:
+  /// `enabled[i]` toggles metric i; the produced feature vectors contain
+  /// one slot per *enabled* metric, in metric order.
+  RowMetricBank(const ClassRowSet& rows, std::vector<bool> enabled);
+
+  /// Similarity/confidence features of the pair (i, j).
+  ml::ScoredFeatures Compare(int i, int j) const;
+
+  int num_enabled() const { return num_enabled_; }
+  const std::vector<bool>& enabled() const { return enabled_; }
+
+  /// Names of the enabled metrics, in feature order.
+  std::vector<std::string> EnabledNames() const;
+
+ private:
+  const ClassRowSet* rows_;
+  std::vector<bool> enabled_;
+  int num_enabled_ = 0;
+};
+
+/// Convenience: mask enabling the first `k` metrics (the paper's Table 7
+/// ablation rows), or all six when k >= 6.
+std::vector<bool> FirstKMetrics(int k);
+
+}  // namespace ltee::rowcluster
+
+#endif  // LTEE_ROWCLUSTER_ROW_METRICS_H_

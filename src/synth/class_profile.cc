@@ -1,0 +1,203 @@
+#include "synth/class_profile.h"
+
+namespace ltee::synth {
+
+namespace {
+
+using types::DataType;
+
+ClassProfile GfPlayerProfile() {
+  ClassProfile p;
+  p.name = "GridironFootballPlayer";
+  p.ancestry = {"Agent", "Athlete"};
+  p.label_gen = ValueGen::kWriterRef;  // person names
+  p.kb_instances = 20751;
+  p.longtail_ratio = 0.85;
+  p.homonym_rate = 0.06;
+  p.kb_missing_class_rate = 0.02;
+  p.num_tables = 10432;
+  p.mean_rows_per_table = 18.0;
+  p.table_longtail_bias = 0.30;
+  p.theme_rate = 0.55;
+  p.junk_column_rate = 0.55;
+  p.header_noise_rate = 0.18;
+  p.gs_tables = 192;
+  p.gs_target_clusters = 100;
+  p.gs_new_fraction = 0.19;
+  p.label_headers = {"Name", "Player", "Player Name"};
+  p.properties = {
+      // name, type, gen, kb_density, table_density, qmin, qmax, headers
+      {"birthDate", DataType::kDate, ValueGen::kFullDate, 0.9743, 0.16,
+       1950, 1995, {"Born", "Birth Date", "DOB", "Birthdate"}},
+      {"college", DataType::kInstanceReference, ValueGen::kCollege, 0.9292,
+       0.42, 0, 0, {"College", "School"}},
+      {"birthPlace", DataType::kInstanceReference, ValueGen::kPlaceRef,
+       0.8632, 0.04, 0, 0, {"Birthplace", "Hometown", "Place of Birth"}},
+      {"team", DataType::kInstanceReference, ValueGen::kTeam, 0.6433, 0.46,
+       0, 0, {"Team", "Club", "NFL Team", "Franchise"}},
+      {"number", DataType::kNominalInteger, ValueGen::kSmallInt, 0.5508,
+       0.20, 1, 99, {"Number", "No.", "Jersey", "#"}},
+      {"position", DataType::kNominalString, ValueGen::kPosition, 0.5417,
+       0.55, 0, 0, {"Position", "Pos", "Pos."}},
+      {"height", DataType::kQuantity, ValueGen::kQuantityUniform, 0.4847,
+       0.28, 168, 208, {"Height", "Ht", "Height (cm)"}},
+      {"weight", DataType::kQuantity, ValueGen::kQuantityUniform, 0.4832,
+       0.36, 72, 150, {"Weight", "Wt", "Weight (kg)"}},
+      {"draftYear", DataType::kDate, ValueGen::kYear, 0.3830, 0.05, 1970,
+       2012, {"Draft Year", "Drafted", "Year Drafted"}},
+      {"draftRound", DataType::kNominalInteger, ValueGen::kSmallInt, 0.3822,
+       0.11, 1, 7, {"Round", "Draft Round", "Rd"}},
+      {"draftPick", DataType::kNominalInteger, ValueGen::kSmallInt, 0.3819,
+       0.15, 1, 260, {"Pick", "Draft Pick", "Overall", "Selection"}},
+  };
+  return p;
+}
+
+ClassProfile SongProfile() {
+  ClassProfile p;
+  p.name = "Song";
+  p.ancestry = {"Work", "MusicalWork"};
+  p.label_gen = ValueGen::kAlbumRef;  // song-title generator
+  p.kb_instances = 52533;
+  p.longtail_ratio = 4.2;
+  p.homonym_rate = 0.13;  // cover versions, reused titles
+  p.kb_missing_class_rate = 0.01;
+  p.num_tables = 58594;
+  p.mean_rows_per_table = 14.0;
+  p.table_longtail_bias = 0.50;
+  p.theme_rate = 0.6;
+  p.junk_column_rate = 0.55;
+  p.header_noise_rate = 0.18;
+  p.gs_tables = 152;
+  p.gs_target_clusters = 97;
+  p.gs_new_fraction = 0.65;
+  p.label_headers = {"Title", "Song", "Track", "Song Title"};
+  p.properties = {
+      {"genre", DataType::kNominalString, ValueGen::kGenre, 0.8954, 0.11,
+       0, 0, {"Genre", "Style"}},
+      {"musicalArtist", DataType::kInstanceReference, ValueGen::kArtistRef,
+       0.8585, 0.68, 0, 0, {"Artist", "Performer", "Singer", "By"}},
+      {"recordLabel", DataType::kInstanceReference, ValueGen::kRecordLabel,
+       0.8195, 0.05, 0, 0, {"Label", "Record Label"}},
+      {"runtime", DataType::kQuantity, ValueGen::kQuantityUniform, 0.8002,
+       0.52, 95, 620, {"Length", "Duration", "Time", "Runtime"}},
+      {"album", DataType::kInstanceReference, ValueGen::kAlbumRef, 0.7741,
+       0.26, 0, 0, {"Album", "From Album", "Record"}},
+      {"writer", DataType::kInstanceReference, ValueGen::kWriterRef, 0.6461,
+       0.01, 0, 0, {"Writer", "Written By", "Songwriter"}},
+      {"releaseDate", DataType::kDate, ValueGen::kFullDate, 0.6034, 0.24,
+       1955, 2012, {"Released", "Release Date", "Year", "Date"}},
+  };
+  return p;
+}
+
+ClassProfile SettlementProfile() {
+  ClassProfile p;
+  p.name = "Settlement";
+  p.ancestry = {"Place", "PopulatedPlace"};
+  p.label_gen = ValueGen::kPlaceRef;
+  p.kb_instances = 468986;
+  p.longtail_ratio = 0.035;  // Wikipedia already covers almost all
+  p.homonym_rate = 0.12;     // same village name in different countries
+  p.kb_missing_class_rate = 0.005;
+  p.num_tables = 11757;
+  p.mean_rows_per_table = 30.0;
+  p.table_longtail_bias = 0.05;
+  p.theme_rate = 0.7;  // "cities in Bavaria" style tables are the norm
+  p.stale_rate = 0.14; // outdated population numbers, alternate isPartOf
+  p.junk_column_rate = 0.5;
+  p.header_noise_rate = 0.15;
+  p.gs_tables = 188;
+  p.gs_target_clusters = 74;
+  p.gs_new_fraction = 0.34;
+  p.label_headers = {"Name", "City", "Town", "Municipality", "Settlement"};
+  p.properties = {
+      {"country", DataType::kInstanceReference, ValueGen::kCountry, 0.9251,
+       0.30, 0, 0, {"Country", "Nation"}},
+      {"isPartOf", DataType::kInstanceReference, ValueGen::kRegion, 0.8880,
+       0.48, 0, 0, {"Region", "State", "Province", "District"}},
+      {"populationTotal", DataType::kQuantity, ValueGen::kQuantityZipf,
+       0.6244, 0.42, 200, 2000000, {"Population", "Pop.", "Inhabitants"}},
+      {"postalCode", DataType::kNominalString, ValueGen::kPostalCode,
+       0.3296, 0.24, 0, 0, {"Postal Code", "ZIP", "Zip Code", "Postcode"}},
+      {"elevation", DataType::kQuantity, ValueGen::kQuantityUniform, 0.3126,
+       0.05, 1, 2400, {"Elevation", "Altitude", "Elevation (m)"}},
+  };
+  return p;
+}
+
+ClassProfile BasketballPlayerProfile() {
+  ClassProfile p;
+  p.name = "BasketballPlayer";
+  p.ancestry = {"Agent", "Athlete"};
+  p.is_target = false;
+  p.label_gen = ValueGen::kWriterRef;
+  p.kb_instances = 8000;
+  p.longtail_ratio = 0.4;
+  p.num_tables = 900;
+  p.mean_rows_per_table = 14.0;
+  p.gs_tables = 0;
+  p.label_headers = {"Name", "Player"};
+  p.properties = {
+      {"team", DataType::kInstanceReference, ValueGen::kTeam, 0.7, 0.5, 0, 0,
+       {"Team", "Club"}},
+      {"height", DataType::kQuantity, ValueGen::kQuantityUniform, 0.6, 0.4,
+       175, 226, {"Height", "Ht"}},
+      {"number", DataType::kNominalInteger, ValueGen::kSmallInt, 0.5, 0.3, 0,
+       55, {"Number", "No."}},
+  };
+  return p;
+}
+
+ClassProfile AlbumProfile() {
+  ClassProfile p;
+  p.name = "Album";
+  p.ancestry = {"Work", "MusicalWork"};
+  p.is_target = false;
+  p.label_gen = ValueGen::kAlbumRef;
+  p.kb_instances = 20000;
+  p.longtail_ratio = 1.0;
+  p.homonym_rate = 0.1;
+  p.num_tables = 2500;
+  p.mean_rows_per_table = 10.0;
+  p.gs_tables = 0;
+  p.label_headers = {"Album", "Title"};
+  p.properties = {
+      {"musicalArtist", DataType::kInstanceReference, ValueGen::kArtistRef,
+       0.9, 0.6, 0, 0, {"Artist", "By"}},
+      {"releaseDate", DataType::kDate, ValueGen::kYear, 0.8, 0.4, 1955, 2012,
+       {"Released", "Year"}},
+  };
+  return p;
+}
+
+ClassProfile RegionProfile() {
+  ClassProfile p;
+  p.name = "Region";
+  p.ancestry = {"Place", "PopulatedPlace"};
+  p.is_target = false;
+  p.label_gen = ValueGen::kPlaceRef;  // shares surface forms with settlements
+  p.kb_instances = 6000;
+  p.longtail_ratio = 0.15;
+  p.homonym_rate = 0.08;
+  p.num_tables = 700;
+  p.mean_rows_per_table = 16.0;
+  p.gs_tables = 0;
+  p.label_headers = {"Name", "Region", "Area"};
+  p.properties = {
+      {"country", DataType::kInstanceReference, ValueGen::kCountry, 0.9, 0.5,
+       0, 0, {"Country"}},
+      {"populationTotal", DataType::kQuantity, ValueGen::kQuantityZipf, 0.6,
+       0.4, 20000, 20000000, {"Population", "Pop."}},
+  };
+  return p;
+}
+
+}  // namespace
+
+std::vector<ClassProfile> DefaultProfiles() {
+  return {GfPlayerProfile(),         SongProfile(), SettlementProfile(),
+          BasketballPlayerProfile(), AlbumProfile(), RegionProfile()};
+}
+
+}  // namespace ltee::synth

@@ -1,0 +1,121 @@
+#ifndef LTEE_SYNTH_CLASS_PROFILE_H_
+#define LTEE_SYNTH_CLASS_PROFILE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace ltee::synth {
+
+/// How ground-truth values of a property are generated.
+enum class ValueGen {
+  kCollege,
+  kTeam,
+  kPosition,
+  kGenre,
+  kRecordLabel,
+  kCountry,
+  kRegion,
+  kArtistRef,
+  kAlbumRef,
+  kWriterRef,
+  kPlaceRef,
+  kFullDate,        // day-granular date in [qmin, qmax] years
+  kYear,            // year-granular date in [qmin, qmax]
+  kQuantityUniform, // uniform quantity in [qmin, qmax]
+  kQuantityZipf,    // Zipf-ish heavy-tailed quantity with base qmin
+  kSmallInt,        // nominal integer in [qmin, qmax]
+  kPostalCode,      // 5-digit nominal string
+};
+
+/// Profile of one KB property: its semantic type, the generator of its
+/// ground-truth values, the densities that shape Tables 2 and 12, and the
+/// surface header labels it appears under in web tables.
+struct PropertyProfile {
+  std::string name;
+  types::DataType type = types::DataType::kText;
+  ValueGen gen = ValueGen::kQuantityUniform;
+  /// Fraction of KB instances carrying a fact for this property (Table 2).
+  double kb_density = 0.9;
+  /// Probability that a web table about this class includes this property
+  /// as a column (shapes the new-entity densities of Table 12).
+  double table_density = 0.3;
+  double qmin = 0.0;
+  double qmax = 0.0;
+  /// Header surface forms (first entry doubles as the KB property label
+  /// synonym set; others appear only in tables).
+  std::vector<std::string> header_aliases;
+};
+
+/// Profile of a class: hierarchy, world sizes, corpus parameters, and the
+/// noise model. Counts are the paper's full-scale numbers; the builders
+/// multiply them by a scale factor.
+struct ClassProfile {
+  std::string name;
+  /// Ancestors root-first, e.g. {"Agent", "Athlete"}.
+  std::vector<std::string> ancestry;
+  /// True for GF-Player / Song / Settlement; false for distractor classes
+  /// whose tables exercise table-to-class matching errors.
+  bool is_target = true;
+
+  /// How entity labels are generated.
+  ValueGen label_gen = ValueGen::kPlaceRef;
+
+  // --- world sizes (paper scale, pre-multiplication) ---------------------
+  size_t kb_instances = 1000;
+  /// Long-tail (not-in-KB) entities as a fraction of kb_instances.
+  double longtail_ratio = 0.5;
+  /// Probability that a long-tail entity reuses the label of another
+  /// entity (the homonym problem; high for songs).
+  double homonym_rate = 0.05;
+  /// Probability that a KB instance is missing its class in the KB even
+  /// though it exists (the "athlete not assigned the correct class"
+  /// error source of Section 5).
+  double kb_missing_class_rate = 0.0;
+
+  // --- corpus parameters (paper scale) -----------------------------------
+  size_t num_tables = 1000;
+  /// Mean rows per table about this class (row counts are heavy-tailed).
+  double mean_rows_per_table = 12.0;
+  /// Probability that a sampled row describes a long-tail entity.
+  double table_longtail_bias = 0.35;
+  /// Probability that a table is built around a theme (shared implicit
+  /// property-value combination, e.g. players drafted in the same year).
+  double theme_rate = 0.5;
+  /// Probability that a table gets an extra unmatched junk column.
+  double junk_column_rate = 0.35;
+
+  // --- noise model --------------------------------------------------------
+  double cell_missing_rate = 0.08;
+  double typo_rate = 0.03;
+  /// Probability a rendered value is stale/conflicting (wrong vintage
+  /// population, different-but-valid isPartOf, ...).
+  double stale_rate = 0.05;
+  /// Probability a rendered value is plain wrong (another entity's value).
+  double wrong_value_rate = 0.01;
+  /// Probability a header is replaced by an uninformative one ("Info").
+  double header_noise_rate = 0.10;
+
+  // --- gold standard ------------------------------------------------------
+  size_t gs_tables = 150;
+  size_t gs_target_clusters = 100;
+  /// Fraction of gold-standard clusters describing new instances
+  /// (Table 5: 19% for GF-Player, 65% for Song, 34% for Settlement).
+  double gs_new_fraction = 0.39;
+
+  /// Label-column headers used by tables about this class.
+  std::vector<std::string> label_headers;
+  std::vector<PropertyProfile> properties;
+};
+
+/// The three target class profiles of the paper — GridironFootballPlayer,
+/// Song, Settlement — with Tables 1, 2, 4, 5 and 11 shaping the parameters,
+/// plus distractor classes (BasketballPlayer, Album, Region) that exercise
+/// table-to-class confusion.
+std::vector<ClassProfile> DefaultProfiles();
+
+}  // namespace ltee::synth
+
+#endif  // LTEE_SYNTH_CLASS_PROFILE_H_

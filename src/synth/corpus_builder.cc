@@ -1,0 +1,366 @@
+#include "synth/corpus_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace ltee::synth {
+
+namespace {
+
+using types::DataType;
+using types::DateGranularity;
+using types::Value;
+
+std::string ApplyTypo(std::string s, util::Rng& rng) {
+  if (s.size() < 3) return s;
+  const size_t pos = 1 + rng.NextBounded(s.size() - 2);
+  if (rng.NextBool(0.5)) {
+    std::swap(s[pos], s[pos - 1]);  // transposition
+  } else {
+    s.erase(pos, 1);  // deletion
+  }
+  return s;
+}
+
+std::string FormatThousands(long long v) {
+  char raw[32];
+  std::snprintf(raw, sizeof(raw), "%lld", v);
+  std::string digits(raw);
+  std::string out;
+  const bool negative = !digits.empty() && digits[0] == '-';
+  size_t start = negative ? 1 : 0;
+  size_t len = digits.size() - start;
+  for (size_t i = start; i < digits.size(); ++i) {
+    out.push_back(digits[i]);
+    size_t remaining = len - (i - start) - 1;
+    if (remaining > 0 && remaining % 3 == 0) out.push_back(',');
+  }
+  return negative ? "-" + out : out;
+}
+
+const char* MonthName(int m) {
+  static const char* kNames[] = {"January",   "February", "March",
+                                 "April",     "May",      "June",
+                                 "July",      "August",   "September",
+                                 "October",   "November", "December"};
+  return kNames[(m - 1) % 12];
+}
+
+}  // namespace
+
+std::string RenderValue(const Value& value, util::Rng& rng) {
+  char buf[64];
+  switch (value.type) {
+    case DataType::kText:
+    case DataType::kNominalString:
+    case DataType::kInstanceReference: {
+      std::string s = value.text;
+      if (rng.NextBool(0.08)) s = util::ToLower(s);
+      return s;
+    }
+    case DataType::kDate: {
+      const auto& d = value.date;
+      if (d.granularity == DateGranularity::kYear || rng.NextBool(0.2)) {
+        std::snprintf(buf, sizeof(buf), "%d", d.year);
+        return buf;
+      }
+      switch (rng.NextBounded(3)) {
+        case 0:
+          std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month,
+                        d.day);
+          return buf;
+        case 1:
+          std::snprintf(buf, sizeof(buf), "%d/%d/%04d", d.month, d.day,
+                        d.year);
+          return buf;
+        default:
+          std::snprintf(buf, sizeof(buf), "%s %d, %04d", MonthName(d.month),
+                        d.day, d.year);
+          return buf;
+      }
+    }
+    case DataType::kQuantity: {
+      const long long v = static_cast<long long>(std::llround(value.number));
+      if (std::abs(value.number) >= 1000 && rng.NextBool(0.5)) {
+        return FormatThousands(v);
+      }
+      std::snprintf(buf, sizeof(buf), "%lld", v);
+      return buf;
+    }
+    case DataType::kNominalInteger: {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(value.integer));
+      return buf;
+    }
+  }
+  return "";
+}
+
+namespace {
+
+/// Perturbs a value to model stale / conflicting data.
+Value MakeStale(const Value& value, const PropertyProfile& prop,
+                const NamePools& pools, util::Rng& rng) {
+  Value out = value;
+  switch (value.type) {
+    case DataType::kQuantity:
+      out.number =
+          std::round(value.number * (0.75 + 0.5 * rng.NextDouble()));
+      break;
+    case DataType::kDate:
+      out.date.year = static_cast<int16_t>(out.date.year +
+                                           (rng.NextBool(0.5) ? 1 : -1));
+      break;
+    case DataType::kInstanceReference:
+    case DataType::kNominalString:
+    case DataType::kText:
+      out = GenerateValue(prop, pools, rng);
+      break;
+    case DataType::kNominalInteger:
+      out.integer += rng.NextBool(0.5) ? 1 : -1;
+      break;
+  }
+  return out;
+}
+
+struct ThemeIndex {
+  // property index -> value key -> entity ids sharing that value
+  std::vector<std::unordered_map<std::string, std::vector<int>>> groups;
+};
+
+ThemeIndex BuildThemeIndex(const World& world, int profile_index) {
+  const ClassProfile& profile = world.profiles()[profile_index];
+  ThemeIndex idx;
+  idx.groups.resize(profile.properties.size());
+  for (size_t k = 0; k < profile.properties.size(); ++k) {
+    const auto type = profile.properties[k].type;
+    // Themes make sense for shared categorical values and years.
+    if (type != DataType::kInstanceReference &&
+        type != DataType::kNominalString && type != DataType::kDate &&
+        type != DataType::kNominalInteger) {
+      continue;
+    }
+    for (int eid : world.EntitiesOfProfile(profile_index)) {
+      const auto& v = world.entity(eid).truth[k];
+      std::string key = v.type == DataType::kDate
+                            ? std::to_string(v.date.year)
+                            : v.ToString();
+      idx.groups[k][key].push_back(eid);
+    }
+  }
+  return idx;
+}
+
+}  // namespace
+
+CorpusBuildResult BuildCorpus(const World& world, double scale,
+                              util::Rng& rng) {
+  CorpusBuildResult out;
+  static const std::vector<std::string> kJunkHeaders = {
+      "Rank", "Notes", "Source", "Ref", "Info", "Links"};
+  static const std::vector<std::string> kGenericHeaders = {"Info", "Data",
+                                                           "Column", "Value"};
+
+  for (size_t pi = 0; pi < world.profiles().size(); ++pi) {
+    const ClassProfile& profile = world.profiles()[pi];
+    const auto& entity_ids = world.EntitiesOfProfile(static_cast<int>(pi));
+    if (entity_ids.empty()) continue;
+
+    std::vector<int> head_ids, tail_ids;
+    for (int eid : entity_ids) {
+      (world.entity(eid).in_kb ? head_ids : tail_ids).push_back(eid);
+    }
+    const ThemeIndex themes = BuildThemeIndex(world, static_cast<int>(pi));
+    util::ZipfSampler head_zipf(std::max<size_t>(1, head_ids.size()), 0.8);
+    util::ZipfSampler tail_zipf(std::max<size_t>(1, tail_ids.size()), 0.5);
+
+    const size_t n_tables = std::max<size_t>(
+        40, static_cast<size_t>(std::llround(
+                static_cast<double>(profile.num_tables) * scale)));
+
+    for (size_t t = 0; t < n_tables; ++t) {
+      // Row count: heavy-tailed (exponential), at least 1.
+      double u = rng.NextDouble();
+      int n_rows = std::max(
+          1, static_cast<int>(std::lround(-std::log(1.0 - u) *
+                                          profile.mean_rows_per_table)));
+      n_rows = std::min(n_rows, 400);
+
+      // Theme: a shared property-value combination most rows satisfy.
+      int theme_property = -1;
+      const std::vector<int>* theme_entities = nullptr;
+      if (rng.NextBool(profile.theme_rate)) {
+        // Pick a themable property and a group big enough to fill a table.
+        for (int attempt = 0; attempt < 6 && theme_property < 0; ++attempt) {
+          size_t k = rng.NextBounded(profile.properties.size());
+          if (themes.groups[k].empty()) continue;
+          // Reservoir-pick a random group.
+          size_t target = rng.NextBounded(themes.groups[k].size());
+          auto it = themes.groups[k].begin();
+          std::advance(it, static_cast<long>(target));
+          if (it->second.size() >= 3) {
+            theme_property = static_cast<int>(k);
+            theme_entities = &it->second;
+          }
+        }
+      }
+
+      // Sample distinct entities for the rows.
+      std::vector<int> row_entities;
+      std::unordered_set<int> used;
+      for (int r = 0; r < n_rows; ++r) {
+        int eid = -1;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          if (theme_entities != nullptr && rng.NextBool(0.9)) {
+            eid = (*theme_entities)[rng.NextBounded(theme_entities->size())];
+          } else if (!tail_ids.empty() &&
+                     rng.NextBool(profile.table_longtail_bias)) {
+            eid = tail_ids[tail_zipf.Sample(rng)];
+          } else if (!head_ids.empty()) {
+            eid = head_ids[head_zipf.Sample(rng)];
+          }
+          // Rows of one table usually describe different entities
+          // (SAME_TABLE assumption); tolerate rare duplicates.
+          if (eid >= 0 && (used.insert(eid).second || rng.NextBool(0.02))) {
+            break;
+          }
+          eid = -1;
+        }
+        if (eid < 0) break;
+        row_entities.push_back(eid);
+      }
+      if (row_entities.empty()) continue;
+
+      // Choose columns.
+      TableTruth truth;
+      truth.profile_index = static_cast<int>(pi);
+      truth.theme_property = theme_property;
+      std::vector<int> value_columns;  // property indices
+      for (size_t k = 0; k < profile.properties.size(); ++k) {
+        double density = profile.properties[k].table_density;
+        // Theme columns are usually left out of the table — the shared
+        // value is implied by the page context (IMPLICIT_ATT's premise).
+        if (static_cast<int>(k) == theme_property) density *= 0.25;
+        if (rng.NextBool(density)) value_columns.push_back(static_cast<int>(k));
+      }
+      if (value_columns.empty()) {
+        value_columns.push_back(
+            static_cast<int>(rng.NextBounded(profile.properties.size())));
+      }
+      const bool junk = rng.NextBool(profile.junk_column_rate);
+
+      const int n_cols = 1 + static_cast<int>(value_columns.size()) +
+                         (junk ? 1 : 0);
+      int label_col = rng.NextBool(0.85)
+                          ? 0
+                          : static_cast<int>(rng.NextBounded(
+                                static_cast<uint64_t>(n_cols)));
+      truth.label_column = label_col;
+      truth.column_property.assign(n_cols, TableTruth::kJunkColumn);
+      truth.column_property[label_col] = TableTruth::kLabelColumn;
+      // Scatter value columns into the remaining slots in order.
+      {
+        size_t next_prop = 0;
+        for (int c = 0; c < n_cols && next_prop < value_columns.size(); ++c) {
+          if (c == label_col) continue;
+          // Leave the junk slot for the last unassigned column.
+          truth.column_property[c] = value_columns[next_prop++];
+        }
+      }
+
+      // Headers.
+      webtable::WebTable table;
+      table.page_url = "http://synthetic.example/" + profile.name + "/" +
+                       std::to_string(t);
+      table.headers.resize(n_cols);
+      for (int c = 0; c < n_cols; ++c) {
+        if (rng.NextBool(profile.header_noise_rate)) {
+          table.headers[c] = NamePools::Pick(kGenericHeaders, rng);
+          continue;
+        }
+        const int cp = truth.column_property[c];
+        if (cp == TableTruth::kLabelColumn) {
+          table.headers[c] = NamePools::Pick(profile.label_headers, rng);
+        } else if (cp == TableTruth::kJunkColumn) {
+          table.headers[c] = NamePools::Pick(kJunkHeaders, rng);
+        } else {
+          table.headers[c] =
+              NamePools::Pick(profile.properties[cp].header_aliases, rng);
+        }
+      }
+
+      // Junk columns come in three flavours that exert false-positive
+      // pressure on different matcher types: a rank counter and random
+      // small integers (syntactically fit nominal-integer/quantity
+      // properties), and low-cardinality note phrases (fit text
+      // properties without out-uniquing the label column, as real
+      // "Notes"/"Source" columns behave).
+      const int junk_kind = static_cast<int>(rng.NextBounded(3));
+      static const std::vector<std::string> kJunkPhrases = {
+          "ok", "tbd", "n/a", "see notes", "confirmed", "pending", "source"};
+
+      // Cells.
+      int junk_counter = 1;
+      for (int eid : row_entities) {
+        const WorldEntity& entity = world.entity(eid);
+        std::vector<std::string> row(n_cols);
+        for (int c = 0; c < n_cols; ++c) {
+          const int cp = truth.column_property[c];
+          if (cp == TableTruth::kLabelColumn) {
+            std::string label = entity.label;
+            if (rng.NextBool(profile.typo_rate)) label = ApplyTypo(label, rng);
+            row[c] = label;
+          } else if (cp == TableTruth::kJunkColumn) {
+            switch (junk_kind) {
+              case 0:
+                row[c] = std::to_string(junk_counter);
+                break;
+              case 1:
+                row[c] = std::to_string(1 + rng.NextBounded(150));
+                break;
+              default:
+                row[c] = NamePools::Pick(kJunkPhrases, rng);
+                break;
+            }
+          } else {
+            if (rng.NextBool(profile.cell_missing_rate)) {
+              row[c].clear();
+              continue;
+            }
+            Value value = entity.truth[cp];
+            if (rng.NextBool(profile.wrong_value_rate)) {
+              const int other =
+                  entity_ids[rng.NextBounded(entity_ids.size())];
+              value = world.entity(other).truth[cp];
+            } else if (rng.NextBool(profile.stale_rate)) {
+              value = MakeStale(value, profile.properties[cp], world.pools(),
+                                rng);
+            }
+            std::string cell = RenderValue(value, rng);
+            if (rng.NextBool(profile.typo_rate) &&
+                (value.type == DataType::kText ||
+                 value.type == DataType::kInstanceReference)) {
+              cell = ApplyTypo(cell, rng);
+            }
+            row[c] = std::move(cell);
+          }
+        }
+        table.rows.push_back(std::move(row));
+        truth.row_entity.push_back(eid);
+        ++junk_counter;
+      }
+
+      out.corpus.Add(std::move(table));
+      out.truth.push_back(std::move(truth));
+    }
+  }
+  return out;
+}
+
+}  // namespace ltee::synth

@@ -1,0 +1,51 @@
+#ifndef LTEE_SYNTH_CORPUS_BUILDER_H_
+#define LTEE_SYNTH_CORPUS_BUILDER_H_
+
+#include <vector>
+
+#include "synth/world.h"
+#include "util/random.h"
+#include "webtable/web_table.h"
+
+namespace ltee::synth {
+
+/// Ground-truth provenance of one generated table (never shown to the
+/// pipeline; consumed by the gold standard builder and the evaluations).
+struct TableTruth {
+  /// World profile index of the class the table is about.
+  int profile_index = -1;
+  int label_column = 0;
+  /// Per column: index of the property in the profile's property vector,
+  /// kLabelColumn for the label attribute, kJunkColumn for noise columns.
+  std::vector<int> column_property;
+  /// World entity id per row (-1 for pure-noise rows).
+  std::vector<int> row_entity;
+  /// Property index of the table's theme (-1 when the table has none).
+  int theme_property = -1;
+
+  static constexpr int kLabelColumn = -1;
+  static constexpr int kJunkColumn = -2;
+};
+
+/// The generated corpus plus its provenance, parallel by table id.
+struct CorpusBuildResult {
+  webtable::TableCorpus corpus;
+  std::vector<TableTruth> truth;
+};
+
+/// Generates the web table corpus from the world: for every profile,
+/// `num_tables * scale` tables with heavy-tailed row counts, optional
+/// themes (shared implicit property-value combinations), per-property
+/// column inclusion, heterogeneous headers, and the noise model
+/// (missing cells, typos, stale and wrong values, junk columns).
+CorpusBuildResult BuildCorpus(const World& world, double scale,
+                              util::Rng& rng);
+
+/// Renders a ground-truth value into a surface cell string with realistic
+/// formatting variance (date formats, thousands separators, casing).
+/// Exposed for tests.
+std::string RenderValue(const types::Value& value, util::Rng& rng);
+
+}  // namespace ltee::synth
+
+#endif  // LTEE_SYNTH_CORPUS_BUILDER_H_

@@ -1,0 +1,51 @@
+#include "synth/dataset.h"
+
+#include "synth/gold_standard_builder.h"
+#include "util/logging.h"
+
+namespace ltee::synth {
+
+int SyntheticDataset::ProfileOfClass(kb::ClassId cls) const {
+  for (size_t pi = 0; pi < class_of_profile.size(); ++pi) {
+    if (class_of_profile[pi] == cls) return static_cast<int>(pi);
+  }
+  return -1;
+}
+
+SyntheticDataset BuildDataset(const DatasetOptions& options) {
+  util::Rng rng(options.seed);
+  SyntheticDataset ds;
+
+  std::vector<ClassProfile> profiles =
+      options.profiles.empty() ? DefaultProfiles() : options.profiles;
+  ds.world = BuildWorld(std::move(profiles), options.scale, rng);
+
+  KbBuildResult kb_result = BuildKb(&ds.world, rng);
+  ds.kb = std::move(kb_result.kb);
+  ds.class_of_profile = std::move(kb_result.class_of_profile);
+  ds.property_ids = std::move(kb_result.property_ids);
+
+  CorpusBuildResult corpus_result = BuildCorpus(ds.world, options.scale, rng);
+
+  KbBuildResult mapping;  // shallow mapping view for the GS builder
+  mapping.class_of_profile = ds.class_of_profile;
+  mapping.property_ids = ds.property_ids;
+  GoldStandardBuildResult gs =
+      BuildGoldStandard(ds.world, mapping, corpus_result, rng);
+
+  ds.corpus = std::move(corpus_result.corpus);
+  ds.table_truth = std::move(corpus_result.truth);
+  ds.gs_corpus = std::move(gs.gs_corpus);
+  ds.gs_truth = std::move(gs.gs_truth);
+  ds.gold = std::move(gs.gold);
+  ds.gold_profile = std::move(gs.gold_profile);
+
+  LTEE_LOG(kInfo) << "Synthetic dataset: " << ds.world.entities().size()
+                  << " world entities, " << ds.kb.num_instances()
+                  << " KB instances, " << ds.corpus.size() << " tables ("
+                  << ds.corpus.TotalRows() << " rows), "
+                  << ds.gs_corpus.size() << " gold tables";
+  return ds;
+}
+
+}  // namespace ltee::synth

@@ -1,0 +1,50 @@
+#ifndef LTEE_SYNTH_DATASET_H_
+#define LTEE_SYNTH_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/gold_standard.h"
+#include "synth/corpus_builder.h"
+#include "synth/kb_builder.h"
+#include "synth/world.h"
+
+namespace ltee::synth {
+
+/// Options for generating a complete synthetic experiment environment.
+struct DatasetOptions {
+  /// Multiplier applied to the paper-scale instance/table counts of the
+  /// profiles. 0.01 yields a laptop-size environment in a few seconds.
+  double scale = 0.01;
+  uint64_t seed = 42;
+  /// Profiles to use; empty selects DefaultProfiles().
+  std::vector<ClassProfile> profiles;
+};
+
+/// Everything the experiments need: the ground-truth world, the KB sliced
+/// from its head entities, the large noisy corpus with provenance, and the
+/// per-class gold standards over a dedicated annotated sub-corpus.
+struct SyntheticDataset {
+  World world;
+  kb::KnowledgeBase kb;
+  std::vector<kb::ClassId> class_of_profile;
+  std::vector<std::vector<kb::PropertyId>> property_ids;
+
+  webtable::TableCorpus corpus;
+  std::vector<TableTruth> table_truth;
+
+  webtable::TableCorpus gs_corpus;
+  std::vector<TableTruth> gs_truth;
+  std::vector<eval::GoldStandard> gold;
+  std::vector<int> gold_profile;
+
+  /// Profile index of a KB class id, or -1.
+  int ProfileOfClass(kb::ClassId cls) const;
+};
+
+/// Deterministically builds the full environment from a seed.
+SyntheticDataset BuildDataset(const DatasetOptions& options = {});
+
+}  // namespace ltee::synth
+
+#endif  // LTEE_SYNTH_DATASET_H_

@@ -1,0 +1,224 @@
+#include "synth/gold_standard_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "types/type_similarity.h"
+#include "types/value_parser.h"
+#include "util/string_util.h"
+
+namespace ltee::synth {
+
+namespace {
+
+/// A row occurrence of an entity in the source corpus.
+struct Occurrence {
+  webtable::TableId table;
+  int row;
+};
+
+}  // namespace
+
+GoldStandardBuildResult BuildGoldStandard(const World& world,
+                                          const KbBuildResult& kb_result,
+                                          const CorpusBuildResult& corpus,
+                                          util::Rng& rng) {
+  GoldStandardBuildResult out;
+  const types::TypeSimilarityOptions sim_options;
+
+  for (int pi : world.TargetProfiles()) {
+    const ClassProfile& profile = world.profiles()[pi];
+
+    // ---- 1. Order source tables, prioritizing long-tail-heavy ones. ----
+    std::vector<std::pair<double, webtable::TableId>> pool;
+    for (size_t t = 0; t < corpus.truth.size(); ++t) {
+      const TableTruth& truth = corpus.truth[t];
+      if (truth.profile_index != pi) continue;
+      int tail_rows = 0;
+      for (int eid : truth.row_entity) {
+        if (eid >= 0 && !world.entity(eid).in_kb) ++tail_rows;
+      }
+      const double score = static_cast<double>(tail_rows) + rng.NextDouble();
+      pool.emplace_back(-score, static_cast<webtable::TableId>(t));
+    }
+    std::sort(pool.begin(), pool.end());
+
+    // ---- 2. Entity occurrences across the pool (capped per entity). ----
+    std::unordered_map<int, std::vector<Occurrence>> occurrences;
+    for (const auto& [neg_score, tid] : pool) {
+      const TableTruth& truth = corpus.truth[tid];
+      for (size_t r = 0; r < truth.row_entity.size(); ++r) {
+        const int eid = truth.row_entity[r];
+        if (eid < 0) continue;
+        auto& occ = occurrences[eid];
+        if (occ.size() < 8) occ.push_back({tid, static_cast<int>(r)});
+      }
+    }
+
+    // ---- 3. Select cluster entities. -----------------------------------
+    std::vector<int> new_candidates, existing_candidates;
+    for (const auto& [eid, occ] : occurrences) {
+      const WorldEntity& entity = world.entity(eid);
+      (entity.in_kb ? existing_candidates : new_candidates).push_back(eid);
+    }
+    auto prefer_multirow = [&](std::vector<int>* ids) {
+      rng.Shuffle(ids);
+      std::stable_sort(ids->begin(), ids->end(), [&](int a, int b) {
+        return occurrences[a].size() > occurrences[b].size();
+      });
+    };
+    prefer_multirow(&new_candidates);
+    prefer_multirow(&existing_candidates);
+
+    const size_t want_new = static_cast<size_t>(
+        std::lround(profile.gs_new_fraction *
+                    static_cast<double>(profile.gs_target_clusters)));
+    const size_t want_existing = profile.gs_target_clusters - want_new;
+
+    std::unordered_set<int> selected;
+    auto take = [&](const std::vector<int>& from, size_t want) {
+      size_t taken = 0;
+      for (int eid : from) {
+        if (taken >= want) break;
+        if (selected.insert(eid).second) ++taken;
+      }
+    };
+    take(new_candidates, want_new);
+    take(existing_candidates, want_existing);
+
+    // Pull in homonym mates that also occur in the pool, so that homonym
+    // groups are fully annotated (they stress row clustering).
+    std::unordered_map<int64_t, std::vector<int>> mates_by_group;
+    for (const auto& [eid, occ] : occurrences) {
+      const int64_t g = world.entity(eid).homonym_group;
+      if (g >= 0) mates_by_group[g].push_back(eid);
+    }
+    std::vector<int> extra;
+    for (int eid : selected) {
+      const int64_t g = world.entity(eid).homonym_group;
+      if (g < 0) continue;
+      for (int mate : mates_by_group[g]) extra.push_back(mate);
+    }
+    for (int mate : extra) selected.insert(mate);
+
+    // ---- 4. Fix the table set: tables containing selected rows. --------
+    std::vector<webtable::TableId> gs_source_tables;
+    for (const auto& [neg_score, tid] : pool) {
+      if (gs_source_tables.size() >= profile.gs_tables) break;
+      const TableTruth& truth = corpus.truth[tid];
+      bool has_selected = false;
+      for (int eid : truth.row_entity) {
+        if (eid >= 0 && selected.count(eid)) {
+          has_selected = true;
+          break;
+        }
+      }
+      if (has_selected) gs_source_tables.push_back(tid);
+    }
+    std::unordered_set<webtable::TableId> gs_table_set(
+        gs_source_tables.begin(), gs_source_tables.end());
+
+    // ---- 5. Emit restricted copies of the tables into gs_corpus. -------
+    eval::GoldStandard gold;
+    gold.cls = kb_result.class_of_profile[pi];
+    std::unordered_map<int, eval::GsCluster> cluster_of_entity;
+
+    for (webtable::TableId tid : gs_source_tables) {
+      const webtable::WebTable& src = corpus.corpus.table(tid);
+      const TableTruth& src_truth = corpus.truth[tid];
+      webtable::WebTable copy;
+      copy.headers = src.headers;
+      copy.page_url = src.page_url;
+      TableTruth new_truth;
+      new_truth.profile_index = src_truth.profile_index;
+      new_truth.label_column = src_truth.label_column;
+      new_truth.column_property = src_truth.column_property;
+      new_truth.theme_property = src_truth.theme_property;
+      for (size_t r = 0; r < src.rows.size(); ++r) {
+        const int eid = src_truth.row_entity[r];
+        if (eid < 0 || !selected.count(eid)) continue;
+        copy.rows.push_back(src.rows[r]);
+        new_truth.row_entity.push_back(eid);
+      }
+      if (copy.rows.empty()) continue;
+      const webtable::TableId new_id = out.gs_corpus.Add(std::move(copy));
+      out.gs_truth.push_back(new_truth);
+      gold.tables.push_back(new_id);
+
+      // Attribute annotations for every matched value column.
+      for (size_t c = 0; c < new_truth.column_property.size(); ++c) {
+        const int cp = new_truth.column_property[c];
+        if (cp < 0) continue;
+        gold.attributes.push_back(
+            {new_id, static_cast<int>(c), kb_result.property_ids[pi][cp]});
+      }
+      // Cluster membership rows.
+      for (size_t r = 0; r < new_truth.row_entity.size(); ++r) {
+        const int eid = new_truth.row_entity[r];
+        auto& cluster = cluster_of_entity[eid];
+        cluster.rows.push_back({new_id, static_cast<int>(r)});
+        if (cluster.world_entity < 0) {
+          const WorldEntity& entity = world.entity(eid);
+          cluster.world_entity = eid;
+          cluster.is_new = !entity.in_kb;
+          cluster.kb_instance = entity.kb_id;
+          cluster.homonym_group = entity.homonym_group;
+        }
+      }
+    }
+    (void)gs_table_set;
+
+    for (auto& [eid, cluster] : cluster_of_entity) {
+      gold.clusters.push_back(std::move(cluster));
+    }
+    // Deterministic order: by first row.
+    std::sort(gold.clusters.begin(), gold.clusters.end(),
+              [](const eval::GsCluster& a, const eval::GsCluster& b) {
+                return a.rows.front() < b.rows.front();
+              });
+    gold.BuildLookups();
+
+    // ---- 6. Facts: per (cluster, property) with candidate values. -------
+    for (size_t ci = 0; ci < gold.clusters.size(); ++ci) {
+      const eval::GsCluster& cluster = gold.clusters[ci];
+      const WorldEntity& entity = world.entity(cluster.world_entity);
+      for (size_t k = 0; k < profile.properties.size(); ++k) {
+        const kb::PropertyId prop_id = kb_result.property_ids[pi][k];
+        const types::DataType type = profile.properties[k].type;
+        bool any_candidate = false;
+        bool correct_present = false;
+        for (const auto& row : cluster.rows) {
+          const TableTruth& truth = out.gs_truth[row.table];
+          for (size_t c = 0; c < truth.column_property.size(); ++c) {
+            if (truth.column_property[c] != static_cast<int>(k)) continue;
+            const std::string& cell =
+                out.gs_corpus.cell(row, static_cast<size_t>(c));
+            auto value = types::NormalizeCell(cell, type);
+            if (!value) continue;
+            any_candidate = true;
+            if (types::ValuesEqual(*value, entity.truth[k], sim_options)) {
+              correct_present = true;
+            }
+          }
+        }
+        if (any_candidate) {
+          eval::GsFact fact;
+          fact.cluster = static_cast<int>(ci);
+          fact.property = prop_id;
+          fact.correct_value = entity.truth[k];
+          fact.correct_value_present = correct_present;
+          gold.facts.push_back(std::move(fact));
+        }
+      }
+    }
+
+    out.gold.push_back(std::move(gold));
+    out.gold_profile.push_back(pi);
+  }
+  return out;
+}
+
+}  // namespace ltee::synth

@@ -1,0 +1,39 @@
+#ifndef LTEE_SYNTH_GOLD_STANDARD_BUILDER_H_
+#define LTEE_SYNTH_GOLD_STANDARD_BUILDER_H_
+
+#include <vector>
+
+#include "eval/gold_standard.h"
+#include "synth/corpus_builder.h"
+#include "synth/kb_builder.h"
+#include "synth/world.h"
+#include "util/random.h"
+#include "webtable/web_table.h"
+
+namespace ltee::synth {
+
+/// Output of the gold standard construction: a dedicated small corpus of
+/// annotated tables (one corpus shared by all classes; each GoldStandard
+/// references its table ids) plus provenance truth parallel to it.
+struct GoldStandardBuildResult {
+  webtable::TableCorpus gs_corpus;
+  std::vector<TableTruth> gs_truth;
+  std::vector<eval::GoldStandard> gold;  // one per target profile
+  std::vector<int> gold_profile;         // profile index per gold entry
+};
+
+/// Derives the gold standard from ground truth, following the paper's
+/// construction (Section 2.3): tables with head and long-tail rows,
+/// prioritizing rows unlikely to match the KB; clusters annotated with
+/// new/existing flags and instance correspondences; attribute-to-property
+/// correspondences; facts for every (cluster, property) with candidate
+/// values, flagged with whether the correct value is present in the
+/// tables. Cross-class homonym groups are preserved for the CV split.
+GoldStandardBuildResult BuildGoldStandard(const World& world,
+                                          const KbBuildResult& kb_result,
+                                          const CorpusBuildResult& corpus,
+                                          util::Rng& rng);
+
+}  // namespace ltee::synth
+
+#endif  // LTEE_SYNTH_GOLD_STANDARD_BUILDER_H_

@@ -1,0 +1,82 @@
+#include "synth/kb_builder.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace ltee::synth {
+
+KbBuildResult BuildKb(World* world, util::Rng& rng) {
+  KbBuildResult out;
+  kb::KnowledgeBase& base = out.kb;
+
+  // Ontology: create ancestry chains, deduplicating by name.
+  std::unordered_map<std::string, kb::ClassId> class_ids;
+  auto intern_class = [&](const std::string& name,
+                          kb::ClassId parent) -> kb::ClassId {
+    auto it = class_ids.find(name);
+    if (it != class_ids.end()) return it->second;
+    kb::ClassId id = base.AddClass(name, parent);
+    class_ids.emplace(name, id);
+    return id;
+  };
+
+  const auto& profiles = world->profiles();
+  out.class_of_profile.resize(profiles.size());
+  out.property_ids.resize(profiles.size());
+  std::vector<kb::ClassId> parent_of_profile(profiles.size());
+
+  for (size_t pi = 0; pi < profiles.size(); ++pi) {
+    const ClassProfile& profile = profiles[pi];
+    kb::ClassId parent = kb::kInvalidClass;
+    for (const auto& ancestor : profile.ancestry) {
+      parent = intern_class(ancestor, parent);
+    }
+    parent_of_profile[pi] = parent;
+    kb::ClassId cls = intern_class(profile.name, parent);
+    out.class_of_profile[pi] = cls;
+    for (const auto& prop : profile.properties) {
+      // The KB knows the canonical property name plus at most one common
+      // synonym. Web tables use the full heterogeneous alias pool, so many
+      // headers ("DOB", "Ht", "Duration") are *not* label-matchable — the
+      // gap the duplicate-based matchers close in the second iteration
+      // (Table 6).
+      std::vector<std::string> extra;
+      if (!prop.header_aliases.empty()) {
+        extra.push_back(prop.header_aliases.front());
+      }
+      out.property_ids[pi].push_back(
+          base.AddProperty(cls, prop.name, prop.type, std::move(extra)));
+    }
+  }
+
+  // Instances: head entities only, with density-thinned facts.
+  for (size_t pi = 0; pi < profiles.size(); ++pi) {
+    const ClassProfile& profile = profiles[pi];
+    for (int eid : world->EntitiesOfProfile(static_cast<int>(pi))) {
+      const WorldEntity& entity = world->entity(eid);
+      if (!entity.in_kb) continue;
+      const kb::ClassId cls = entity.kb_has_class
+                                  ? out.class_of_profile[pi]
+                                  : parent_of_profile[pi];
+      kb::InstanceId id =
+          base.AddInstance(cls, {entity.label}, entity.popularity);
+      world->SetKbId(eid, id);
+
+      std::vector<std::string> abstract_tokens =
+          util::Tokenize(entity.label + " " + profile.name);
+      for (size_t k = 0; k < profile.properties.size(); ++k) {
+        if (!rng.NextBool(profile.properties[k].kb_density)) continue;
+        base.AddFact(id, out.property_ids[pi][k], entity.truth[k]);
+        for (auto& tok : util::Tokenize(entity.truth[k].ToString())) {
+          abstract_tokens.push_back(std::move(tok));
+        }
+      }
+      base.SetAbstractTokens(id, std::move(abstract_tokens));
+    }
+  }
+  return out;
+}
+
+}  // namespace ltee::synth

@@ -1,0 +1,32 @@
+#ifndef LTEE_SYNTH_KB_BUILDER_H_
+#define LTEE_SYNTH_KB_BUILDER_H_
+
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "synth/world.h"
+#include "util/random.h"
+
+namespace ltee::synth {
+
+/// Output of slicing the world's head entities into a knowledge base.
+struct KbBuildResult {
+  kb::KnowledgeBase kb;
+  /// Class id per world profile index.
+  std::vector<kb::ClassId> class_of_profile;
+  /// property_ids[profile][k] is the KB property id of the k-th property of
+  /// that profile.
+  std::vector<std::vector<kb::PropertyId>> property_ids;
+};
+
+/// Builds the knowledge base from the world: the ontology (roots Agent /
+/// Work / Place, intermediate classes, leaf classes with typed property
+/// schemas), one instance per head entity (under its parent class when the
+/// world says the class annotation is missing), facts subject to the
+/// per-property KB densities of Table 2, abstract tokens, and popularity.
+/// Also writes each head entity's KB id back into the world.
+KbBuildResult BuildKb(World* world, util::Rng& rng);
+
+}  // namespace ltee::synth
+
+#endif  // LTEE_SYNTH_KB_BUILDER_H_

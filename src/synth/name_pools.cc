@@ -1,0 +1,181 @@
+#include "synth/name_pools.h"
+
+namespace ltee::synth {
+
+NamePools::NamePools() {
+  first_names_ = {
+      "James", "John",   "Robert",  "Michael", "William", "David",  "Richard",
+      "Joseph", "Thomas", "Charles", "Chris",   "Daniel",  "Matt",   "Anthony",
+      "Donald", "Mark",   "Paul",    "Steven",  "Andrew",  "Kenny",  "Josh",
+      "Kevin",  "Brian",  "George",  "Edward",  "Ron",     "Tim",    "Jason",
+      "Jeff",   "Ryan",   "Jacob",   "Gary",    "Nick",    "Eric",   "Jon",
+      "Larry",  "Justin", "Scott",   "Brandon", "Frank",   "Ben",    "Greg",
+      "Sam",    "Ray",    "Pat",     "Alex",    "Jack",    "Dennis", "Jerry",
+      "Tyler",  "Aaron",  "Henry",   "Doug",    "Peter",   "Zach",   "Kyle",
+      "Walt",   "Ethan",  "Jeremy",  "Keith",   "Roger",   "Terry",  "Sean",
+      "Austin", "Carl",   "Arthur",  "Lawrence", "Dylan",  "Jesse",  "Jordan",
+      "Bryan",  "Billy",  "Bruce",   "Gabriel", "Joe",     "Logan",  "Albert",
+      "Willie", "Elijah", "Wayne",   "Randy",   "Mason",   "Vincent", "Liam"};
+  last_names_ = {
+      "Smith",    "Johnson",  "Williams", "Brown",    "Jones",    "Garcia",
+      "Miller",   "Davis",    "Rodriguez", "Martinez", "Hernandez", "Lopez",
+      "Gonzalez", "Wilson",   "Anderson", "Thomas",   "Taylor",   "Moore",
+      "Jackson",  "Martin",   "Lee",      "Perez",    "Thompson", "White",
+      "Harris",   "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+      "Walker",   "Young",    "Allen",    "King",     "Wright",   "Scott",
+      "Torres",   "Nguyen",   "Hill",     "Flores",   "Green",    "Adams",
+      "Nelson",   "Baker",    "Hall",     "Rivera",   "Campbell", "Mitchell",
+      "Carter",   "Roberts",  "Gomez",    "Phillips", "Evans",    "Turner",
+      "Diaz",     "Parker",   "Cruz",     "Edwards",  "Collins",  "Reyes",
+      "Stewart",  "Morris",   "Morales",  "Murphy",   "Cook",     "Rogers",
+      "Gutierrez", "Ortiz",   "Morgan",   "Cooper",   "Peterson", "Bailey",
+      "Reed",     "Kelly",    "Howard",   "Ramos",    "Kim",      "Cox",
+      "Ward",     "Richardson", "Watson", "Brooks",   "Chavez",   "Wood",
+      "James",    "Bennett",  "Gray",     "Mendoza",  "Ruiz",     "Hughes",
+      "Price",    "Alvarez",  "Castillo", "Sanders",  "Patel",    "Myers"};
+  place_prefixes_ = {
+      "Spring", "Oak",   "Maple",  "Cedar",  "Pine",   "Elm",    "River",
+      "Lake",   "Hill",  "Glen",   "Fair",   "Green",  "Clear",  "Stone",
+      "Mill",   "Bridge", "Ash",   "Birch",  "Sunny",  "Silver", "Golden",
+      "Red",    "Black", "White",  "Brook",  "Wood",   "Rock",   "Salt",
+      "Sand",   "Cross", "Church", "King",   "Queen",  "Bell",   "Eagle",
+      "Fox",    "Deer",  "Bear",   "Wolf",   "Hazel",  "Willow", "Chestnut"};
+  place_suffixes_ = {
+      "field", "ton",   "ville", "burg",  "borough", "ford",  "port",
+      "mouth", "dale",  "wood",  "land",  "stead",   "ham",   "wick",
+      "bury",  "view",  "haven", "crest", "side",    "gate",  "bridge",
+      "creek", "falls", "grove", "hurst", "cliff",   "shire", "minster"};
+  place_modifiers_ = {"North", "South", "East", "West", "New", "Old",
+                      "Upper", "Lower", "Fort", "Mount", "Saint", "Lake"};
+  place_extensions_ = {"Heights", "Junction", "Springs",  "Park",
+                       "Corner",  "Hollow",   "Landing",  "Meadows",
+                       "Point",   "Ridge",    "Crossing", "Valley",
+                       "Harbor",  "Beach",    "Terrace",  "Gardens"};
+  song_words_ = {
+      "Love",    "Night",  "Heart",  "Dream",   "Fire",   "Rain",   "Summer",
+      "Blue",    "Golden", "Wild",   "Broken",  "Sweet",  "Lonely", "Dancing",
+      "Midnight", "River", "Angel",  "Shadow",  "Light",  "Star",   "Moon",
+      "Sun",     "Road",   "Home",   "Tears",   "Kiss",   "Soul",   "Time",
+      "Forever", "Tonight", "Baby",  "Crazy",   "Ocean",  "Storm",  "Whisper",
+      "Echo",    "Silent", "Velvet", "Crimson", "Electric", "Neon", "Paper",
+      "Glass",   "Winter", "Autumn", "Morning", "Memory", "Ghost",  "Diamond",
+      "Thunder", "Lightning", "Honey", "Sugar", "Magic",  "Mirror", "Window",
+      "Garden",  "Highway", "Train", "City",    "Desert", "Island", "Mountain",
+      "Castle",  "Bridge",  "Candle", "Feather", "Flame", "Harbor", "Horizon",
+      "Jewel",   "Lantern", "Meadow", "Nightfall", "Opal", "Petal",  "Quiver",
+      "Raven",   "Sapphire", "Tempest", "Umbrella", "Vapor", "Willow", "Zephyr",
+      "Amber",   "Breeze",  "Cascade", "Dawn",   "Ember", "Frost",  "Glow",
+      "Halo",    "Ivory",   "Jade",   "Karma",   "Lull",  "Mist",   "Nova"};
+  artist_adjectives_ = {"Electric", "Velvet",  "Midnight", "Golden", "Silent",
+                        "Crimson",  "Neon",    "Wild",     "Broken", "Lonely",
+                        "Savage",   "Crystal", "Hollow",   "Frozen", "Burning"};
+  artist_nouns_ = {"Tigers",  "Wolves",  "Echoes", "Shadows", "Riders",
+                   "Hearts",  "Kings",   "Queens", "Ravens",  "Saints",
+                   "Strangers", "Drifters", "Rebels", "Ghosts", "Pilots"};
+  colleges_ = {
+      "Alabama",      "Ohio State",   "Michigan",     "Notre Dame",
+      "Texas",        "Oklahoma",     "Nebraska",     "Penn State",
+      "Florida State", "Miami",       "Georgia",      "Tennessee",
+      "Auburn",       "LSU",          "Florida",      "Wisconsin",
+      "Oregon",       "Stanford",     "Washington",   "UCLA",
+      "USC",          "Clemson",      "Iowa",         "Michigan State",
+      "Texas A&M",    "Arkansas",     "Colorado",     "Pittsburgh",
+      "Syracuse",     "Boston College", "Purdue",     "Illinois",
+      "Minnesota",    "Missouri",     "Kansas State", "West Virginia",
+      "Virginia Tech", "North Carolina", "Kentucky",  "Mississippi State"};
+  teams_ = {
+      "Arizona Cardinals",   "Atlanta Falcons",      "Baltimore Ravens",
+      "Buffalo Bills",       "Carolina Panthers",    "Chicago Bears",
+      "Cincinnati Bengals",  "Cleveland Browns",     "Dallas Cowboys",
+      "Denver Broncos",      "Detroit Lions",        "Green Bay Packers",
+      "Houston Texans",      "Indianapolis Colts",   "Jacksonville Jaguars",
+      "Kansas City Chiefs",  "Miami Dolphins",       "Minnesota Vikings",
+      "New England Patriots", "New Orleans Saints",  "New York Giants",
+      "New York Jets",       "Oakland Raiders",      "Philadelphia Eagles",
+      "Pittsburgh Steelers", "San Diego Chargers",   "San Francisco 49ers",
+      "Seattle Seahawks",    "St. Louis Rams",       "Tampa Bay Buccaneers",
+      "Tennessee Titans",    "Washington Redskins"};
+  positions_ = {"Quarterback",    "Running back",  "Wide receiver",
+                "Tight end",      "Center",        "Offensive tackle",
+                "Offensive guard", "Defensive end", "Defensive tackle",
+                "Linebacker",     "Cornerback",    "Safety",
+                "Kicker",         "Punter",        "Fullback",
+                "Long snapper"};
+  genres_ = {"Rock",      "Pop",     "Country", "Hip hop", "R&B",
+             "Jazz",      "Blues",   "Folk",    "Soul",    "Electronic",
+             "Reggae",    "Punk",    "Metal",   "Disco",   "Funk",
+             "Gospel",    "Indie rock", "Alternative rock", "Hard rock",
+             "Soft rock", "Dance",   "House",   "Techno",  "Ska"};
+  record_labels_ = {"Columbia Records",  "Atlantic Records", "Capitol Records",
+                    "RCA Records",       "Warner Bros",      "Motown",
+                    "Island Records",    "Epic Records",     "Mercury Records",
+                    "Decca Records",     "Elektra Records",  "Chrysalis",
+                    "Geffen Records",    "Virgin Records",   "A&M Records",
+                    "Interscope",        "Def Jam",          "Sub Pop"};
+  countries_ = {"United States", "Germany",  "France",   "United Kingdom",
+                "Italy",         "Spain",    "Poland",   "Canada",
+                "Australia",     "Austria",  "Brazil",   "Mexico",
+                "Netherlands",   "Sweden",   "Norway",   "Switzerland",
+                "Czech Republic", "Hungary", "Romania",  "Portugal",
+                "India",         "Japan",    "Turkey",   "Greece"};
+  regions_ = {"Bavaria",      "Saxony",       "Tuscany",    "Provence",
+              "Catalonia",    "Andalusia",    "Ontario",    "Quebec",
+              "Queensland",   "Victoria",     "Texas",      "California",
+              "Ohio",         "Silesia",      "Normandy",   "Brittany",
+              "Lombardy",     "Tyrol",        "Galicia",    "Westphalia",
+              "Saskatchewan", "Bohemia",      "Transylvania", "Castile",
+              "Flanders",     "Wallonia",     "Scania",     "Lapland"};
+  writers_ = {};
+  // Writers reuse person names; generated lazily through PersonName().
+}
+
+const std::string& NamePools::Pick(const std::vector<std::string>& pool,
+                                   util::Rng& rng) {
+  return pool[rng.NextBounded(pool.size())];
+}
+
+std::string NamePools::PersonName(util::Rng& rng) const {
+  return Pick(first_names_, rng) + " " + Pick(last_names_, rng);
+}
+
+std::string NamePools::PlaceName(util::Rng& rng) const {
+  std::string base = Pick(place_prefixes_, rng) + Pick(place_suffixes_, rng);
+  if (rng.NextBool(0.3)) {
+    base = Pick(place_modifiers_, rng) + " " + base;
+  }
+  if (rng.NextBool(0.3)) {
+    base += " " + Pick(place_extensions_, rng);
+  }
+  return base;
+}
+
+std::string NamePools::SongTitle(util::Rng& rng) const {
+  // Mostly 2-3 word titles; single-word titles are rare enough that title
+  // collisions stay a hard-but-bounded phenomenon (the homonym problem).
+  const int words = rng.NextBool(0.08) ? 1 : 2 + static_cast<int>(rng.NextBounded(2));
+  std::string title = Pick(song_words_, rng);
+  for (int w = 1; w < words; ++w) {
+    std::string next = Pick(song_words_, rng);
+    if (next != title) title += " " + next;
+  }
+  if (rng.NextBool(0.15)) title = "The " + title;
+  return title;
+}
+
+std::string NamePools::ArtistName(util::Rng& rng) const {
+  switch (rng.NextBounded(3)) {
+    case 0:
+      return "The " + Pick(artist_adjectives_, rng) + " " +
+             Pick(artist_nouns_, rng);
+    case 1:
+      return PersonName(rng);
+    default:
+      return Pick(artist_adjectives_, rng) + " " + Pick(artist_nouns_, rng);
+  }
+}
+
+std::string NamePools::AlbumName(util::Rng& rng) const {
+  return SongTitle(rng);
+}
+
+}  // namespace ltee::synth

@@ -1,0 +1,65 @@
+#ifndef LTEE_SYNTH_NAME_POOLS_H_
+#define LTEE_SYNTH_NAME_POOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ltee::synth {
+
+/// Vocabulary pools used by the synthetic world generator to produce
+/// realistic labels and categorical values. Compositional pools (person
+/// and place names, song titles) yield naturally colliding labels, which
+/// is what makes the homonym problem of the paper reproducible.
+class NamePools {
+ public:
+  NamePools();
+
+  /// "First Last"; collisions across entities arise naturally.
+  std::string PersonName(util::Rng& rng) const;
+  /// Compositional settlement name, e.g. "Springfield", "North Oakton".
+  std::string PlaceName(util::Rng& rng) const;
+  /// Song title of 1-4 capitalized words.
+  std::string SongTitle(util::Rng& rng) const;
+  std::string ArtistName(util::Rng& rng) const;
+  std::string AlbumName(util::Rng& rng) const;
+
+  const std::vector<std::string>& colleges() const { return colleges_; }
+  const std::vector<std::string>& teams() const { return teams_; }
+  const std::vector<std::string>& positions() const { return positions_; }
+  const std::vector<std::string>& genres() const { return genres_; }
+  const std::vector<std::string>& record_labels() const {
+    return record_labels_;
+  }
+  const std::vector<std::string>& countries() const { return countries_; }
+  const std::vector<std::string>& regions() const { return regions_; }
+  const std::vector<std::string>& writers() const { return writers_; }
+
+  /// Uniformly picks one element of `pool`.
+  static const std::string& Pick(const std::vector<std::string>& pool,
+                                 util::Rng& rng);
+
+ private:
+  std::vector<std::string> first_names_;
+  std::vector<std::string> last_names_;
+  std::vector<std::string> place_prefixes_;
+  std::vector<std::string> place_suffixes_;
+  std::vector<std::string> place_modifiers_;
+  std::vector<std::string> place_extensions_;
+  std::vector<std::string> song_words_;
+  std::vector<std::string> artist_adjectives_;
+  std::vector<std::string> artist_nouns_;
+  std::vector<std::string> colleges_;
+  std::vector<std::string> teams_;
+  std::vector<std::string> positions_;
+  std::vector<std::string> genres_;
+  std::vector<std::string> record_labels_;
+  std::vector<std::string> countries_;
+  std::vector<std::string> regions_;
+  std::vector<std::string> writers_;
+};
+
+}  // namespace ltee::synth
+
+#endif  // LTEE_SYNTH_NAME_POOLS_H_

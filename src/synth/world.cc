@@ -1,0 +1,190 @@
+#include "synth/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ltee::synth {
+
+namespace {
+
+using types::Value;
+
+std::string RandomDigits(int n, util::Rng& rng) {
+  std::string s;
+  s.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>('0' + rng.NextBounded(10)));
+  }
+  if (s[0] == '0') s[0] = '1';
+  return s;
+}
+
+}  // namespace
+
+types::Value GenerateValue(const PropertyProfile& prop, const NamePools& pools,
+                           util::Rng& rng) {
+  switch (prop.gen) {
+    case ValueGen::kCollege:
+      return Value::InstanceRef(NamePools::Pick(pools.colleges(), rng));
+    case ValueGen::kTeam:
+      return Value::InstanceRef(NamePools::Pick(pools.teams(), rng));
+    case ValueGen::kPosition:
+      return Value::Nominal(NamePools::Pick(pools.positions(), rng));
+    case ValueGen::kGenre:
+      return Value::Nominal(NamePools::Pick(pools.genres(), rng));
+    case ValueGen::kRecordLabel:
+      return Value::InstanceRef(NamePools::Pick(pools.record_labels(), rng));
+    case ValueGen::kCountry:
+      return Value::InstanceRef(NamePools::Pick(pools.countries(), rng));
+    case ValueGen::kRegion:
+      return Value::InstanceRef(NamePools::Pick(pools.regions(), rng));
+    case ValueGen::kArtistRef:
+      return Value::InstanceRef(pools.ArtistName(rng));
+    case ValueGen::kAlbumRef:
+      return Value::InstanceRef(pools.AlbumName(rng));
+    case ValueGen::kWriterRef:
+      return Value::InstanceRef(pools.PersonName(rng));
+    case ValueGen::kPlaceRef:
+      return Value::InstanceRef(pools.PlaceName(rng));
+    case ValueGen::kFullDate: {
+      int year = static_cast<int>(rng.NextInt(
+          static_cast<int64_t>(prop.qmin), static_cast<int64_t>(prop.qmax)));
+      int month = static_cast<int>(rng.NextInt(1, 12));
+      int day = static_cast<int>(rng.NextInt(1, 28));
+      return Value::DayDate(year, month, day);
+    }
+    case ValueGen::kYear: {
+      int year = static_cast<int>(rng.NextInt(
+          static_cast<int64_t>(prop.qmin), static_cast<int64_t>(prop.qmax)));
+      return Value::YearDate(year);
+    }
+    case ValueGen::kQuantityUniform: {
+      double v = prop.qmin + rng.NextDouble() * (prop.qmax - prop.qmin);
+      return Value::OfQuantity(std::round(v));
+    }
+    case ValueGen::kQuantityZipf: {
+      // Heavy-tailed: qmin * exp(Exp-ish); clipped at qmax.
+      double u = rng.NextDouble();
+      double v = prop.qmin * std::pow(prop.qmax / prop.qmin, u * u * u);
+      return Value::OfQuantity(std::round(v));
+    }
+    case ValueGen::kSmallInt:
+      return Value::OfInteger(rng.NextInt(static_cast<int64_t>(prop.qmin),
+                                          static_cast<int64_t>(prop.qmax)));
+    case ValueGen::kPostalCode:
+      return Value::Nominal(RandomDigits(5, rng));
+  }
+  return Value::Text("?");
+}
+
+std::vector<int> World::TargetProfiles() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < profiles_.size(); ++i) {
+    if (profiles_[i].is_target) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+namespace {
+
+std::string GenerateLabel(const ClassProfile& profile, const NamePools& pools,
+                          util::Rng& rng) {
+  switch (profile.label_gen) {
+    case ValueGen::kWriterRef:
+      return pools.PersonName(rng);
+    case ValueGen::kAlbumRef:
+      return pools.SongTitle(rng);
+    case ValueGen::kPlaceRef:
+    default:
+      return pools.PlaceName(rng);
+  }
+}
+
+}  // namespace
+
+World BuildWorld(std::vector<ClassProfile> profiles, double scale,
+                 util::Rng& rng) {
+  World world;
+  world.profiles_ = std::move(profiles);
+  world.scale_ = scale;
+  world.by_profile_.resize(world.profiles_.size());
+
+  int64_t next_homonym_group = 0;
+  for (size_t pi = 0; pi < world.profiles_.size(); ++pi) {
+    const ClassProfile& profile = world.profiles_[pi];
+    const size_t n_kb = std::max<size_t>(
+        30, static_cast<size_t>(std::llround(
+                static_cast<double>(profile.kb_instances) * scale)));
+    const size_t n_tail = std::max<size_t>(
+        10, static_cast<size_t>(std::llround(static_cast<double>(n_kb) *
+                                             profile.longtail_ratio)));
+    const size_t total = n_kb + n_tail;
+
+    // Labels of entities created so far for this profile (homonym reuse).
+    std::vector<int> created;
+
+    for (size_t e = 0; e < total; ++e) {
+      WorldEntity entity;
+      entity.id = static_cast<int>(world.entities_.size());
+      entity.profile_index = static_cast<int>(pi);
+      entity.in_kb = e < n_kb;
+
+      int copy_from = -1;
+      const bool homonym =
+          !created.empty() && rng.NextBool(profile.homonym_rate);
+      if (homonym) {
+        copy_from = created[rng.NextBounded(created.size())];
+        entity.label = world.entities_[copy_from].label;
+      } else {
+        entity.label = GenerateLabel(profile, world.pools_, rng);
+      }
+
+      // Popularity: Zipfian in creation order; head entities are earlier
+      // and thus more popular, with noise.
+      const double rank = static_cast<double>(e + 1);
+      entity.popularity =
+          1e6 / std::pow(rank, 0.9) * (0.5 + rng.NextDouble());
+
+      entity.kb_has_class =
+          !entity.in_kb || !rng.NextBool(profile.kb_missing_class_rate);
+
+      entity.truth.reserve(profile.properties.size());
+      for (const auto& prop : profile.properties) {
+        entity.truth.push_back(GenerateValue(prop, world.pools_, rng));
+      }
+      // Cover-version style homonyms: copy some values from the namesake
+      // (slightly perturbed quantities) so they are hard to tell apart.
+      if (copy_from >= 0 && rng.NextBool(0.35)) {
+        const WorldEntity& src = world.entities_[copy_from];
+        for (size_t v = 0; v < entity.truth.size(); ++v) {
+          if (!rng.NextBool(0.5)) continue;
+          types::Value copied = src.truth[v];
+          if (copied.type == types::DataType::kQuantity) {
+            copied.number = std::round(copied.number * (0.98 + 0.04 * rng.NextDouble()));
+          }
+          entity.truth[v] = std::move(copied);
+        }
+      }
+
+      created.push_back(entity.id);
+      world.by_profile_[pi].push_back(entity.id);
+      world.entities_.push_back(std::move(entity));
+    }
+
+    // Post-pass: every label shared by two or more entities (whether by
+    // deliberate reuse or natural pool collision) forms a homonym group.
+    std::unordered_map<std::string, std::vector<int>> by_label;
+    for (int id : world.by_profile_[pi]) {
+      by_label[world.entities_[id].label].push_back(id);
+    }
+    for (const auto& [label, ids] : by_label) {
+      if (ids.size() < 2) continue;
+      for (int id : ids) world.entities_[id].homonym_group = next_homonym_group;
+      ++next_homonym_group;
+    }
+  }
+  return world;
+}
+
+}  // namespace ltee::synth

@@ -1,0 +1,91 @@
+#ifndef LTEE_SYNTH_WORLD_H_
+#define LTEE_SYNTH_WORLD_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "synth/class_profile.h"
+#include "synth/name_pools.h"
+#include "types/value.h"
+#include "util/random.h"
+
+namespace ltee::synth {
+
+/// One ground-truth entity of the synthetic universe. The world is the
+/// oracle from which the KB (head slice), the web table corpus (noisy
+/// renderings), and the gold standard (exact annotations) are derived.
+struct WorldEntity {
+  int id = -1;
+  /// Index into the profile vector of the world.
+  int profile_index = -1;
+  std::string label;
+  /// Ground-truth value per property (parallel to the profile's property
+  /// vector). All slots are populated — density is applied when slicing
+  /// into the KB or rendering tables.
+  std::vector<types::Value> truth;
+  /// Head entity: present in the knowledge base.
+  bool in_kb = false;
+  /// For in-KB entities: whether the KB has the correct class for it
+  /// (false models the "athlete not assigned the correct class" errors).
+  bool kb_has_class = true;
+  /// Filled by KbBuilder for in-KB entities.
+  kb::InstanceId kb_id = kb::kInvalidInstance;
+  /// Page-link-count proxy; Zipfian, higher for head entities.
+  double popularity = 0.0;
+  /// Entities sharing a (near-)identical label share a group; -1 if unique.
+  int64_t homonym_group = -1;
+};
+
+/// The synthetic ground-truth universe.
+class World {
+ public:
+  World() = default;
+  World(World&&) = default;
+  World& operator=(World&&) = default;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  const std::vector<ClassProfile>& profiles() const { return profiles_; }
+  const std::vector<WorldEntity>& entities() const { return entities_; }
+  const WorldEntity& entity(int id) const { return entities_[id]; }
+  const std::vector<int>& EntitiesOfProfile(int profile_index) const {
+    return by_profile_[profile_index];
+  }
+  const NamePools& pools() const { return pools_; }
+  double scale() const { return scale_; }
+
+  /// Indices of target-class profiles (GF-Player, Song, Settlement).
+  std::vector<int> TargetProfiles() const;
+
+  /// Records the KB instance id of a head entity (used by KbBuilder).
+  void SetKbId(int entity_id, kb::InstanceId kb_id) {
+    entities_[entity_id].kb_id = kb_id;
+  }
+
+ private:
+  friend World BuildWorld(std::vector<ClassProfile> profiles, double scale,
+                          util::Rng& rng);
+
+  std::vector<ClassProfile> profiles_;
+  std::vector<WorldEntity> entities_;
+  std::vector<std::vector<int>> by_profile_;
+  NamePools pools_;
+  double scale_ = 1.0;
+};
+
+/// Generates the universe: for each profile, `kb_instances * scale` head
+/// entities plus `longtail_ratio` times as many long-tail entities, with
+/// homonym groups, Zipfian popularity, and fully-populated ground-truth
+/// values.
+World BuildWorld(std::vector<ClassProfile> profiles, double scale,
+                 util::Rng& rng);
+
+/// Generates one ground-truth value for `prop` (exposed for tests).
+types::Value GenerateValue(const PropertyProfile& prop, const NamePools& pools,
+                           util::Rng& rng);
+
+}  // namespace ltee::synth
+
+#endif  // LTEE_SYNTH_WORLD_H_

@@ -1,0 +1,51 @@
+#ifndef LTEE_TYPES_DATA_TYPE_H_
+#define LTEE_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ltee::types {
+
+/// The six semantic data types of the paper (Section 3.1). Each type has a
+/// similarity function and an equivalence threshold (see type_similarity.h).
+enum class DataType : uint8_t {
+  /// Free-form string; two strings need not be exactly equal to be similar
+  /// (e.g. the label of an instance).
+  kText = 0,
+  /// String with all-or-nothing equality (e.g. an ISO country code).
+  kNominalString = 1,
+  /// Reference to another instance (e.g. the team of an athlete).
+  kInstanceReference = 2,
+  /// Date with year or day granularity (e.g. a release date).
+  kDate = 3,
+  /// Numeric quantity where closeness is semantically meaningful
+  /// (e.g. population of a settlement).
+  kQuantity = 4,
+  /// Integer where nearby numbers are *not* related (e.g. a jersey number
+  /// or draft round).
+  kNominalInteger = 5,
+};
+
+inline constexpr int kNumDataTypes = 6;
+
+/// The three syntactic types assignable by the regex-based data-type
+/// detector (Section 3.1). The remaining three semantic types require
+/// knowing the matched KB property and are assigned after
+/// attribute-to-property matching.
+enum class DetectedType : uint8_t { kText = 0, kDate = 1, kQuantity = 2 };
+
+/// Human-readable names (for logs, benches, and debug output).
+std::string_view DataTypeName(DataType t);
+std::string_view DetectedTypeName(DetectedType t);
+
+/// True if a table attribute detected as `detected` may match a KB property
+/// of semantic type `property_type` (the candidate-filtering rule of the
+/// attribute-to-property matcher): text attributes match instance
+/// references, nominal strings and text; quantity attributes match
+/// quantities and nominal integers; date attributes match dates, quantities
+/// and nominal integers.
+bool DetectedTypeAdmitsProperty(DetectedType detected, DataType property_type);
+
+}  // namespace ltee::types
+
+#endif  // LTEE_TYPES_DATA_TYPE_H_

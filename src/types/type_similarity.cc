@@ -1,0 +1,89 @@
+#include "types/type_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/similarity.h"
+
+namespace ltee::types {
+
+namespace {
+
+double DateSimilarity(const Date& a, const Date& b) {
+  if (a.year != b.year) return 0.0;
+  if (a.granularity == DateGranularity::kYear ||
+      b.granularity == DateGranularity::kYear) {
+    // Comparable only at year granularity: equal years are a full match
+    // when both are year-granular, a partial match when one side knows the
+    // exact day.
+    return a.granularity == b.granularity ? 1.0 : 0.5;
+  }
+  return (a.month == b.month && a.day == b.day) ? 1.0 : 0.5;
+}
+
+double QuantitySimilarity(double a, double b) {
+  if (a == b) return 1.0;
+  double denom = std::max(std::abs(a), std::abs(b));
+  if (denom == 0.0) return 1.0;
+  double rel = std::abs(a - b) / denom;
+  return std::max(0.0, 1.0 - rel);
+}
+
+}  // namespace
+
+double ValueSimilarity(const Value& a, const Value& b,
+                       const TypeSimilarityOptions& options) {
+  (void)options;
+  if (a.type != b.type) return 0.0;
+  switch (a.type) {
+    case DataType::kText:
+      return util::MongeElkanLevenshtein(a.text, b.text);
+    case DataType::kNominalString:
+      return a.text == b.text ? 1.0 : 0.0;
+    case DataType::kInstanceReference:
+      if (a.ref >= 0 && b.ref >= 0) return a.ref == b.ref ? 1.0 : 0.0;
+      return util::MongeElkanLevenshtein(a.text, b.text);
+    case DataType::kDate:
+      return DateSimilarity(a.date, b.date);
+    case DataType::kQuantity:
+      return QuantitySimilarity(a.number, b.number);
+    case DataType::kNominalInteger:
+      return a.integer == b.integer ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+bool ValuesEqual(const Value& a, const Value& b,
+                 const TypeSimilarityOptions& options) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case DataType::kText:
+      return util::MongeElkanLevenshtein(a.text, b.text) >=
+             options.text_equal_threshold;
+    case DataType::kNominalString:
+      return a.text == b.text;
+    case DataType::kInstanceReference:
+      if (a.ref >= 0 && b.ref >= 0) return a.ref == b.ref;
+      return util::MongeElkanLevenshtein(a.text, b.text) >=
+             options.instance_ref_equal_threshold;
+    case DataType::kDate: {
+      if (a.date.year != b.date.year) return false;
+      if (a.date.granularity == DateGranularity::kYear ||
+          b.date.granularity == DateGranularity::kYear) {
+        return true;  // equal at the coarser granularity
+      }
+      return a.date.month == b.date.month && a.date.day == b.date.day;
+    }
+    case DataType::kQuantity: {
+      double denom = std::max(std::abs(a.number), std::abs(b.number));
+      if (denom == 0.0) return true;
+      return std::abs(a.number - b.number) / denom <=
+             options.quantity_tolerance;
+    }
+    case DataType::kNominalInteger:
+      return a.integer == b.integer;
+  }
+  return false;
+}
+
+}  // namespace ltee::types

@@ -1,0 +1,45 @@
+#ifndef LTEE_TYPES_TYPE_SIMILARITY_H_
+#define LTEE_TYPES_TYPE_SIMILARITY_H_
+
+#include "types/value.h"
+
+namespace ltee::types {
+
+/// Tunable parameters of the per-type similarity functions. Each data type
+/// has "a corresponding similarity function, and an equivalence threshold,
+/// which is used to determine if the compared values are equal" (Section
+/// 3.1). The quantity tolerance is the "learned tolerance range" used by
+/// the facts-found evaluation; the defaults reproduce the behaviour used
+/// throughout the paper's experiments.
+struct TypeSimilarityOptions {
+  /// Monge-Elkan/Levenshtein threshold above which two text values are
+  /// considered equal.
+  double text_equal_threshold = 0.85;
+  /// Label-similarity threshold for unresolved instance references.
+  double instance_ref_equal_threshold = 0.90;
+  /// Maximum relative difference for two quantities to count as equal.
+  double quantity_tolerance = 0.025;
+};
+
+/// Similarity in [0, 1] between two values of the same data type. Values of
+/// different types score 0. Semantics per type:
+///  - text: Monge-Elkan with Levenshtein inner similarity
+///  - nominal string: exact (1/0) on the normalized form
+///  - instance reference: 1/0 on resolved ids; label similarity otherwise
+///  - date: 1 if equal at the coarser granularity of the two, else 0
+///    (two values sharing only the year when one is day-granular score 0.5)
+///  - quantity: 1 - relative difference, clamped to [0, 1]
+///  - nominal integer: exact (1/0)
+double ValueSimilarity(const Value& a, const Value& b,
+                       const TypeSimilarityOptions& options = {});
+
+/// Applies the type's equivalence threshold: true iff `a` and `b` are
+/// considered equal values. This is the predicate used for grouping during
+/// fusion, the ATTRIBUTE metrics, duplicate-based schema matching, and the
+/// facts-found evaluation.
+bool ValuesEqual(const Value& a, const Value& b,
+                 const TypeSimilarityOptions& options = {});
+
+}  // namespace ltee::types
+
+#endif  // LTEE_TYPES_TYPE_SIMILARITY_H_

@@ -1,0 +1,132 @@
+#include "types/value.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace ltee::types {
+
+std::string_view DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kText: return "text";
+    case DataType::kNominalString: return "nominal_string";
+    case DataType::kInstanceReference: return "instance_reference";
+    case DataType::kDate: return "date";
+    case DataType::kQuantity: return "quantity";
+    case DataType::kNominalInteger: return "nominal_integer";
+  }
+  return "?";
+}
+
+std::string_view DetectedTypeName(DetectedType t) {
+  switch (t) {
+    case DetectedType::kText: return "text";
+    case DetectedType::kDate: return "date";
+    case DetectedType::kQuantity: return "quantity";
+  }
+  return "?";
+}
+
+bool DetectedTypeAdmitsProperty(DetectedType detected, DataType property_type) {
+  switch (detected) {
+    case DetectedType::kText:
+      return property_type == DataType::kInstanceReference ||
+             property_type == DataType::kNominalString ||
+             property_type == DataType::kText;
+    case DetectedType::kQuantity:
+      return property_type == DataType::kQuantity ||
+             property_type == DataType::kNominalInteger;
+    case DetectedType::kDate:
+      return property_type == DataType::kDate ||
+             property_type == DataType::kQuantity ||
+             property_type == DataType::kNominalInteger;
+  }
+  return false;
+}
+
+Value Value::Text(std::string s) {
+  Value v;
+  v.type = DataType::kText;
+  v.text = std::move(s);
+  return v;
+}
+
+Value Value::Nominal(std::string s) {
+  Value v;
+  v.type = DataType::kNominalString;
+  v.text = std::move(s);
+  return v;
+}
+
+Value Value::InstanceRef(std::string label, int32_t ref_id) {
+  Value v;
+  v.type = DataType::kInstanceReference;
+  v.text = std::move(label);
+  v.ref = ref_id;
+  return v;
+}
+
+Value Value::OfQuantity(double q) {
+  Value v;
+  v.type = DataType::kQuantity;
+  v.number = q;
+  return v;
+}
+
+Value Value::OfInteger(int64_t i) {
+  Value v;
+  v.type = DataType::kNominalInteger;
+  v.integer = i;
+  return v;
+}
+
+Value Value::OfDate(Date d) {
+  Value v;
+  v.type = DataType::kDate;
+  v.date = d;
+  return v;
+}
+
+Value Value::YearDate(int year) {
+  Date d;
+  d.year = static_cast<int16_t>(year);
+  d.granularity = DateGranularity::kYear;
+  return OfDate(d);
+}
+
+Value Value::DayDate(int year, int month, int day) {
+  Date d;
+  d.year = static_cast<int16_t>(year);
+  d.month = static_cast<int8_t>(month);
+  d.day = static_cast<int8_t>(day);
+  d.granularity = DateGranularity::kDay;
+  return OfDate(d);
+}
+
+std::string Value::ToString() const {
+  char buf[64];
+  switch (type) {
+    case DataType::kText:
+    case DataType::kNominalString:
+      return text;
+    case DataType::kInstanceReference:
+      return "@" + text;
+    case DataType::kDate:
+      if (date.granularity == DateGranularity::kYear) {
+        std::snprintf(buf, sizeof(buf), "%d", date.year);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", date.year,
+                      date.month, date.day);
+      }
+      return buf;
+    case DataType::kQuantity:
+      std::snprintf(buf, sizeof(buf), "%g", number);
+      return buf;
+    case DataType::kNominalInteger:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(integer));
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace ltee::types

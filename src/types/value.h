@@ -1,0 +1,59 @@
+#ifndef LTEE_TYPES_VALUE_H_
+#define LTEE_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "types/data_type.h"
+
+namespace ltee::types {
+
+/// Granularity of a date value: the paper distinguishes dates known only to
+/// the year (draft year) from full dates (birth date).
+enum class DateGranularity : uint8_t { kYear = 0, kDay = 1 };
+
+/// A calendar date with explicit granularity.
+struct Date {
+  int16_t year = 0;
+  int8_t month = 0;  // 1-12; 0 when granularity is kYear
+  int8_t day = 0;    // 1-31; 0 when granularity is kYear
+  DateGranularity granularity = DateGranularity::kYear;
+
+  friend bool operator==(const Date&, const Date&) = default;
+};
+
+/// A typed value: a cell after normalization, a KB fact, or a fused fact of
+/// a created entity. A tagged struct (not std::variant) keeps the hot
+/// comparison paths simple and cache-friendly.
+///
+/// Field usage per type:
+///  - kText / kNominalString: `text` holds the normalized string.
+///  - kInstanceReference: `text` holds the normalized referenced label and
+///    `ref` the KB instance id when resolved (-1 otherwise).
+///  - kDate: `date`.
+///  - kQuantity: `number`.
+///  - kNominalInteger: `integer`.
+struct Value {
+  DataType type = DataType::kText;
+  std::string text;
+  double number = 0.0;
+  int64_t integer = 0;
+  int32_t ref = -1;
+  Date date;
+
+  static Value Text(std::string s);
+  static Value Nominal(std::string s);
+  static Value InstanceRef(std::string label, int32_t ref_id = -1);
+  static Value OfQuantity(double q);
+  static Value OfInteger(int64_t i);
+  static Value OfDate(Date d);
+  static Value YearDate(int year);
+  static Value DayDate(int year, int month, int day);
+
+  /// Compact human-readable rendering for logs and benches.
+  std::string ToString() const;
+};
+
+}  // namespace ltee::types
+
+#endif  // LTEE_TYPES_VALUE_H_

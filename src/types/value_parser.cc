@@ -1,0 +1,198 @@
+#include "types/value_parser.h"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ltee::types {
+
+namespace {
+
+using util::IsDigits;
+using util::NormalizeLabel;
+using util::ParseNumberLenient;
+using util::Split;
+using util::ToLower;
+using util::Trim;
+
+constexpr std::array<std::string_view, 12> kMonthNames = {
+    "january", "february", "march",     "april",   "may",      "june",
+    "july",    "august",   "september", "october", "november", "december"};
+
+int MonthFromName(std::string_view name) {
+  std::string lower = ToLower(name);
+  for (size_t i = 0; i < kMonthNames.size(); ++i) {
+    // Accept both full names and 3-letter abbreviations ("jan", "sep").
+    if (lower == kMonthNames[i] || (lower.size() >= 3 && kMonthNames[i].substr(0, 3) == lower.substr(0, 3) && lower.size() <= 4)) {
+      return static_cast<int>(i) + 1;
+    }
+  }
+  return 0;
+}
+
+bool ValidYmd(int y, int m, int d) {
+  return y >= 1000 && y <= 2999 && m >= 1 && m <= 12 && d >= 1 && d <= 31;
+}
+
+int ToInt(std::string_view s) {
+  int v = 0;
+  for (char c : s) v = v * 10 + (c - '0');
+  return v;
+}
+
+}  // namespace
+
+std::optional<Date> ParseDate(std::string_view raw) {
+  std::string_view s = Trim(raw);
+  if (s.empty()) return std::nullopt;
+
+  // Bare year: "1987".
+  if (s.size() == 4 && IsDigits(s)) {
+    int y = ToInt(s);
+    if (y >= 1000 && y <= 2999) {
+      Date d;
+      d.year = static_cast<int16_t>(y);
+      d.granularity = DateGranularity::kYear;
+      return d;
+    }
+    return std::nullopt;
+  }
+
+  // ISO "YYYY-MM-DD".
+  {
+    auto parts = Split(s, "-");
+    if (parts.size() == 3 && parts[0].size() == 4 && IsDigits(parts[0]) &&
+        IsDigits(parts[1]) && IsDigits(parts[2])) {
+      int y = ToInt(parts[0]), m = ToInt(parts[1]), d = ToInt(parts[2]);
+      if (ValidYmd(y, m, d)) {
+        Date out;
+        out.year = static_cast<int16_t>(y);
+        out.month = static_cast<int8_t>(m);
+        out.day = static_cast<int8_t>(d);
+        out.granularity = DateGranularity::kDay;
+        return out;
+      }
+    }
+  }
+
+  // US "MM/DD/YYYY".
+  {
+    auto parts = Split(s, "/");
+    if (parts.size() == 3 && IsDigits(parts[0]) && IsDigits(parts[1]) &&
+        parts[2].size() == 4 && IsDigits(parts[2])) {
+      int m = ToInt(parts[0]), d = ToInt(parts[1]), y = ToInt(parts[2]);
+      if (ValidYmd(y, m, d)) {
+        Date out;
+        out.year = static_cast<int16_t>(y);
+        out.month = static_cast<int8_t>(m);
+        out.day = static_cast<int8_t>(d);
+        out.granularity = DateGranularity::kDay;
+        return out;
+      }
+    }
+  }
+
+  // "Month DD, YYYY" or "DD Month YYYY".
+  {
+    auto parts = Split(s, " ,");
+    if (parts.size() == 3) {
+      int m = MonthFromName(parts[0]);
+      if (m > 0 && IsDigits(parts[1]) && parts[2].size() == 4 &&
+          IsDigits(parts[2])) {
+        int d = ToInt(parts[1]), y = ToInt(parts[2]);
+        if (ValidYmd(y, m, d)) {
+          Date out;
+          out.year = static_cast<int16_t>(y);
+          out.month = static_cast<int8_t>(m);
+          out.day = static_cast<int8_t>(d);
+          out.granularity = DateGranularity::kDay;
+          return out;
+        }
+      }
+      m = MonthFromName(parts[1]);
+      if (m > 0 && IsDigits(parts[0]) && parts[2].size() == 4 &&
+          IsDigits(parts[2])) {
+        int d = ToInt(parts[0]), y = ToInt(parts[2]);
+        if (ValidYmd(y, m, d)) {
+          Date out;
+          out.year = static_cast<int16_t>(y);
+          out.month = static_cast<int8_t>(m);
+          out.day = static_cast<int8_t>(d);
+          out.granularity = DateGranularity::kDay;
+          return out;
+        }
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+CellClassification ClassifyCell(std::string_view cell) {
+  CellClassification out;
+  std::string_view s = Trim(cell);
+  if (auto d = ParseDate(s)) {
+    out.type = DetectedType::kDate;
+    out.value = Value::OfDate(*d);
+    return out;
+  }
+  double num = 0.0;
+  if (ParseNumberLenient(s, &num)) {
+    out.type = DetectedType::kQuantity;
+    out.value = Value::OfQuantity(num);
+    return out;
+  }
+  out.type = DetectedType::kText;
+  out.value = Value::Text(NormalizeLabel(s));
+  return out;
+}
+
+DetectedType DetectColumnType(const std::vector<std::string>& cells) {
+  int counts[3] = {0, 0, 0};
+  for (const auto& cell : cells) {
+    if (Trim(cell).empty()) continue;
+    counts[static_cast<int>(ClassifyCell(cell).type)] += 1;
+  }
+  // Majority vote; ties break toward text, then date (matching the
+  // conservative behaviour of the original regex cascade).
+  int best = 0;
+  for (int t = 1; t < 3; ++t) {
+    if (counts[t] > counts[best]) best = t;
+  }
+  return static_cast<DetectedType>(best);
+}
+
+std::optional<Value> NormalizeCell(std::string_view cell, DataType target) {
+  std::string_view s = Trim(cell);
+  if (s.empty()) return std::nullopt;
+  switch (target) {
+    case DataType::kText:
+      return Value::Text(NormalizeLabel(s));
+    case DataType::kNominalString:
+      return Value::Nominal(NormalizeLabel(s));
+    case DataType::kInstanceReference:
+      return Value::InstanceRef(NormalizeLabel(s));
+    case DataType::kDate: {
+      auto d = ParseDate(s);
+      if (!d) return std::nullopt;
+      return Value::OfDate(*d);
+    }
+    case DataType::kQuantity: {
+      double num = 0.0;
+      if (!ParseNumberLenient(s, &num)) return std::nullopt;
+      return Value::OfQuantity(num);
+    }
+    case DataType::kNominalInteger: {
+      double num = 0.0;
+      if (!ParseNumberLenient(s, &num)) return std::nullopt;
+      double rounded = std::round(num);
+      if (std::abs(num - rounded) > 1e-9) return std::nullopt;
+      return Value::OfInteger(static_cast<int64_t>(rounded));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ltee::types

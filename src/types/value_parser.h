@@ -1,0 +1,47 @@
+#ifndef LTEE_TYPES_VALUE_PARSER_H_
+#define LTEE_TYPES_VALUE_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/value.h"
+
+namespace ltee::types {
+
+/// Result of syntactically classifying one raw cell string.
+struct CellClassification {
+  DetectedType type = DetectedType::kText;
+  /// Parsed payload for date/quantity cells; normalized text otherwise.
+  Value value;
+};
+
+/// Classifies a single cell string into one of the three detected types and
+/// parses its payload. The recognizers are compiled equivalents of the
+/// paper's "manually defined regular expressions":
+///   dates:      "YYYY" (1000..2999), "YYYY-MM-DD", "MM/DD/YYYY",
+///               "Month DD, YYYY", "DD Month YYYY"
+///   quantities: optional sign, digits with optional thousands separators
+///               and decimal point, optional unit suffix
+///   text:       everything else
+CellClassification ClassifyCell(std::string_view cell);
+
+/// Majority vote over the non-empty cells of an attribute column: the
+/// detected type of the attribute is the most common cell type (Section
+/// 3.1, "we decide the data type of an attribute based on the majority data
+/// type among its values"). Ties break toward text, then date.
+DetectedType DetectColumnType(const std::vector<std::string>& cells);
+
+/// Parses and normalizes a raw cell string into a value of the *semantic*
+/// type `target` (after the attribute has been matched to a KB property).
+/// Returns nullopt when the cell cannot be interpreted as `target`, e.g. a
+/// prose cell for a quantity property.
+std::optional<Value> NormalizeCell(std::string_view cell, DataType target);
+
+/// Attempts to parse a date in any supported surface form.
+std::optional<Date> ParseDate(std::string_view s);
+
+}  // namespace ltee::types
+
+#endif  // LTEE_TYPES_VALUE_PARSER_H_

@@ -1,0 +1,30 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ltee::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+}  // namespace internal
+
+}  // namespace ltee::util

@@ -1,0 +1,37 @@
+#ifndef LTEE_UTIL_LOGGING_H_
+#define LTEE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ltee::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted to stderr. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Emit(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace ltee::util
+
+#define LTEE_LOG(level)                                               \
+  if (::ltee::util::LogLevel::level < ::ltee::util::GetLogLevel()) {  \
+  } else                                                              \
+    ::ltee::util::internal::LogMessage(::ltee::util::LogLevel::level).stream()
+
+#endif  // LTEE_UTIL_LOGGING_H_

@@ -1,0 +1,111 @@
+#include "util/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ltee::util {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size(), m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  std::vector<int> prev(n + 1), cur(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= m; ++j) {
+    cur[0] = static_cast<int>(j);
+    for (size_t i = 1; i <= n; ++i) {
+      int sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+namespace {
+
+double MongeElkanDirected(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  if (a.empty()) return b.empty() ? 1.0 : 0.0;
+  double sum = 0.0;
+  for (const auto& ta : a) {
+    double best = 0.0;
+    for (const auto& tb : b) best = std::max(best, LevenshteinSimilarity(ta, tb));
+    sum += best;
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+double MongeElkanLevenshtein(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  return std::max(MongeElkanDirected(a, b), MongeElkanDirected(b, a));
+}
+
+double MongeElkanLevenshtein(std::string_view a, std::string_view b) {
+  return MongeElkanLevenshtein(Tokenize(a), Tokenize(b));
+}
+
+double CosineBinary(const std::unordered_set<std::string>& a,
+                    const std::unordered_set<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t inter = 0;
+  for (const auto& t : small) inter += large.count(t);
+  return static_cast<double>(inter) /
+         (std::sqrt(static_cast<double>(a.size())) *
+          std::sqrt(static_cast<double>(b.size())));
+}
+
+double CosineSparse(const std::unordered_map<uint32_t, double>& a,
+                    const std::unordered_map<uint32_t, double>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [k, v] : small) {
+    auto it = large.find(k);
+    if (it != large.end()) dot += v * it->second;
+  }
+  double na = 0.0, nb = 0.0;
+  for (const auto& [k, v] : a) na += v * v;
+  for (const auto& [k, v] : b) nb += v * v;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double CosineDense(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace ltee::util

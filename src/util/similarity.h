@@ -1,0 +1,47 @@
+#ifndef LTEE_UTIL_SIMILARITY_H_
+#define LTEE_UTIL_SIMILARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ltee::util {
+
+/// Levenshtein edit distance between `a` and `b`.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalized Levenshtein similarity in [0, 1]:
+/// 1 - distance / max(|a|, |b|). Two empty strings are fully similar.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of two token sets.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Monge-Elkan similarity with Levenshtein as the inner similarity
+/// function, as used by the paper's LABEL metrics: the mean over tokens of
+/// `a` of the best inner similarity against tokens of `b`. The returned
+/// value is symmetrized: max(ME(a,b), ME(b,a)).
+double MongeElkanLevenshtein(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+
+/// Convenience overload operating on raw strings (tokenizes internally).
+double MongeElkanLevenshtein(std::string_view a, std::string_view b);
+
+/// Cosine similarity of two *binary* term vectors represented as sets.
+double CosineBinary(const std::unordered_set<std::string>& a,
+                    const std::unordered_set<std::string>& b);
+
+/// Cosine similarity of two sparse real vectors keyed by uint32 ids.
+double CosineSparse(const std::unordered_map<uint32_t, double>& a,
+                    const std::unordered_map<uint32_t, double>& b);
+
+/// Cosine similarity of two dense vectors (must be equal length).
+double CosineDense(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_SIMILARITY_H_

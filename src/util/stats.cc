@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltee::util {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double WeightedMedian(std::vector<std::pair<double, double>> value_weight) {
+  if (value_weight.empty()) return 0.0;
+  std::sort(value_weight.begin(), value_weight.end());
+  double total = 0.0;
+  for (const auto& [v, w] : value_weight) total += w;
+  double acc = 0.0;
+  for (const auto& [v, w] : value_weight) {
+    acc += w;
+    if (acc >= total / 2.0) return v;
+  }
+  return value_weight.back().first;
+}
+
+double F1(double precision, double recall) {
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+Summary Summarize(std::vector<double> v) {
+  Summary s;
+  if (v.empty()) return s;
+  s.average = Mean(v);
+  s.median = Median(v);
+  s.min = *std::min_element(v.begin(), v.end());
+  s.max = *std::max_element(v.begin(), v.end());
+  return s;
+}
+
+}  // namespace ltee::util

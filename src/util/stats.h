@@ -1,0 +1,37 @@
+#ifndef LTEE_UTIL_STATS_H_
+#define LTEE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ltee::util {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population variance; 0 for inputs of size < 2.
+double Variance(const std::vector<double>& v);
+
+/// Median (average of middle two for even sizes); 0 for an empty input.
+double Median(std::vector<double> v);
+
+/// Weighted median: the smallest value v such that the summed weight of
+/// elements <= v reaches half the total weight. Used by the paper's fusion
+/// step for quantity and date properties.
+double WeightedMedian(std::vector<std::pair<double, double>> value_weight);
+
+/// Harmonic mean of precision and recall; 0 when both are 0.
+double F1(double precision, double recall);
+
+/// Summary statistics of a sample: average, median, min, max (Table 3).
+struct Summary {
+  double average = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+Summary Summarize(std::vector<double> v);
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_STATS_H_

@@ -1,0 +1,97 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ltee::util {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Split(std::string_view s, std::string_view separators) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || separators.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+std::string NormalizeLabel(std::string_view s) {
+  return Join(Tokenize(s), " ");
+}
+
+bool IsDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool ParseNumberLenient(std::string_view s, double* out) {
+  std::string cleaned;
+  cleaned.reserve(s.size());
+  bool seen_digit = false;
+  for (char c : Trim(s)) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      seen_digit = true;
+      cleaned.push_back(c);
+    } else if (c == ',' && seen_digit) {
+      continue;  // thousands separator
+    } else if ((c == '.' || c == '-' || c == '+') &&
+               (cleaned.empty() || c == '.')) {
+      cleaned.push_back(c);
+    } else if (seen_digit) {
+      break;  // trailing unit suffix
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      return false;  // leading junk
+    }
+  }
+  if (!seen_digit) return false;
+  char* end = nullptr;
+  double v = std::strtod(cleaned.c_str(), &end);
+  if (end == cleaned.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace ltee::util

@@ -1,0 +1,42 @@
+#ifndef LTEE_UTIL_STRING_UTIL_H_
+#define LTEE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ltee::util {
+
+/// Returns a copy of `s` with all ASCII letters lower-cased.
+std::string ToLower(std::string_view s);
+
+/// Returns `s` without leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits `s` on any character contained in `separators`; empty pieces are
+/// dropped.
+std::vector<std::string> Split(std::string_view s, std::string_view separators);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Tokenizes a cell or label into lower-case alphanumeric tokens. Any
+/// non-alphanumeric character is treated as a separator. This is the shared
+/// normalization used by the BOW metrics, the label index, and blocking.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// Normalizes a label for blocking and indexing: lower-case, punctuation
+/// stripped, whitespace collapsed to single spaces.
+std::string NormalizeLabel(std::string_view s);
+
+/// True if every character of `s` is an ASCII digit (and `s` is non-empty).
+bool IsDigits(std::string_view s);
+
+/// Parses a double out of `s`, tolerating thousands separators (commas) and
+/// surrounding junk such as unit suffixes ("1,234 m" -> 1234). Returns false
+/// if no leading numeric prefix exists.
+bool ParseNumberLenient(std::string_view s, double* out);
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_STRING_UTIL_H_

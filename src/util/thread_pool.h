@@ -1,0 +1,52 @@
+#ifndef LTEE_UTIL_THREAD_POOL_H_
+#define LTEE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ltee::util {
+
+/// Fixed-size worker pool used by the parallel greedy clustering step.
+/// Kept deliberately simple: submit void() tasks, wait for drain.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 selects hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n), partitioned into contiguous chunks across
+  /// the pool, and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_THREAD_POOL_H_

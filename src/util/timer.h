@@ -1,0 +1,28 @@
+#ifndef LTEE_UTIL_TIMER_H_
+#define LTEE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ltee::util {
+
+/// Wall-clock timer for coarse pipeline-stage timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_TIMER_H_

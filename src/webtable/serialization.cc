@@ -1,0 +1,96 @@
+#include "webtable/serialization.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "kb/serialization.h"
+#include "util/logging.h"
+
+namespace ltee::webtable {
+
+namespace {
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == '\t') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+void SaveCorpus(const TableCorpus& corpus, std::ostream& out) {
+  for (const auto& table : corpus.tables()) {
+    out << "T\t" << kb::EscapeField(table.page_url) << '\n';
+    out << 'H';
+    for (const auto& header : table.headers) {
+      out << '\t' << kb::EscapeField(header);
+    }
+    out << '\n';
+    for (const auto& row : table.rows) {
+      out << 'R';
+      for (const auto& cell : row) out << '\t' << kb::EscapeField(cell);
+      out << '\n';
+    }
+  }
+}
+
+std::optional<TableCorpus> LoadCorpus(std::istream& in) {
+  TableCorpus corpus;
+  std::optional<WebTable> current;
+  std::string line;
+  int line_number = 0;
+  auto flush = [&] {
+    if (current) {
+      corpus.Add(std::move(*current));
+      current.reset();
+    }
+  };
+  auto fail = [&](const char* what) {
+    LTEE_LOG(kError) << "LoadCorpus: " << what << " at line " << line_number;
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = SplitTabs(line);
+    if (fields[0] == "T") {
+      flush();
+      current.emplace();
+      if (fields.size() > 1) {
+        current->page_url = kb::UnescapeField(fields[1]);
+      }
+    } else if (fields[0] == "H") {
+      if (!current) return fail("header before table");
+      for (size_t f = 1; f < fields.size(); ++f) {
+        current->headers.push_back(kb::UnescapeField(fields[f]));
+      }
+    } else if (fields[0] == "R") {
+      if (!current) return fail("row before table");
+      std::vector<std::string> row;
+      for (size_t f = 1; f < fields.size(); ++f) {
+        row.push_back(kb::UnescapeField(fields[f]));
+      }
+      if (row.size() != current->headers.size()) {
+        return fail("row width mismatch");
+      }
+      current->rows.push_back(std::move(row));
+    } else {
+      return fail("unknown record kind");
+    }
+  }
+  flush();
+  return corpus;
+}
+
+}  // namespace ltee::webtable

@@ -1,0 +1,25 @@
+#ifndef LTEE_WEBTABLE_SERIALIZATION_H_
+#define LTEE_WEBTABLE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <optional>
+
+#include "webtable/web_table.h"
+
+namespace ltee::webtable {
+
+/// Serializes a corpus into a line-based format:
+///
+///   T <url>
+///   H <header>*        (tab separated, escaped)
+///   R <cell>*          (one line per row)
+///
+/// Tables appear in id order; ids are reassigned densely on load.
+void SaveCorpus(const TableCorpus& corpus, std::ostream& out);
+
+/// Parses the format written by SaveCorpus; nullopt on malformed input.
+std::optional<TableCorpus> LoadCorpus(std::istream& in);
+
+}  // namespace ltee::webtable
+
+#endif  // LTEE_WEBTABLE_SERIALIZATION_H_

@@ -1,0 +1,32 @@
+#include "webtable/web_table.h"
+
+namespace ltee::webtable {
+
+TableId TableCorpus::Add(WebTable table) {
+  table.id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::move(table));
+  return tables_.back().id;
+}
+
+size_t TableCorpus::TotalRows() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t.num_rows();
+  return n;
+}
+
+CorpusStats TableCorpus::Stats() const {
+  CorpusStats stats;
+  stats.num_tables = tables_.size();
+  std::vector<double> rows, cols;
+  rows.reserve(tables_.size());
+  cols.reserve(tables_.size());
+  for (const auto& t : tables_) {
+    rows.push_back(static_cast<double>(t.num_rows()));
+    cols.push_back(static_cast<double>(t.num_columns()));
+  }
+  stats.rows = util::Summarize(std::move(rows));
+  stats.columns = util::Summarize(std::move(cols));
+  return stats;
+}
+
+}  // namespace ltee::webtable

@@ -1,0 +1,83 @@
+#ifndef LTEE_WEBTABLE_WEB_TABLE_H_
+#define LTEE_WEBTABLE_WEB_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace ltee::webtable {
+
+using TableId = int32_t;
+
+/// A relational HTML table extracted from the Web: one header row naming
+/// the attributes, then data rows. One attribute (discovered later by label
+/// attribute detection) carries the entity labels; the remaining columns
+/// carry candidate values.
+struct WebTable {
+  TableId id = -1;
+  /// Attribute header labels (raw, as they appeared on the page).
+  std::vector<std::string> headers;
+  /// rows[r][c] is the raw cell string of row r, column c.
+  std::vector<std::vector<std::string>> rows;
+  /// Synthetic provenance: URL of the page the table was extracted from.
+  std::string page_url;
+
+  size_t num_columns() const { return headers.size(); }
+  size_t num_rows() const { return rows.size(); }
+  const std::string& cell(size_t row, size_t col) const {
+    return rows[row][col];
+  }
+};
+
+/// Identifies one row in a corpus. Rows are the unit of clustering.
+struct RowRef {
+  TableId table = -1;
+  int32_t row = -1;
+
+  friend bool operator==(const RowRef&, const RowRef&) = default;
+  friend auto operator<=>(const RowRef&, const RowRef&) = default;
+};
+
+/// Corpus-level aggregate characteristics (Table 3).
+struct CorpusStats {
+  size_t num_tables = 0;
+  util::Summary rows;
+  util::Summary columns;
+};
+
+/// A corpus of web tables (the role of the WDC 2012 English relational
+/// subset in the paper).
+class TableCorpus {
+ public:
+  TableCorpus() = default;
+  TableCorpus(TableCorpus&&) = default;
+  TableCorpus& operator=(TableCorpus&&) = default;
+  TableCorpus(const TableCorpus&) = delete;
+  TableCorpus& operator=(const TableCorpus&) = delete;
+
+  /// Appends `table` and assigns its id. Returns the id.
+  TableId Add(WebTable table);
+
+  size_t size() const { return tables_.size(); }
+  const WebTable& table(TableId id) const { return tables_[id]; }
+  const std::vector<WebTable>& tables() const { return tables_; }
+
+  const std::string& cell(RowRef ref, size_t col) const {
+    return tables_[ref.table].rows[ref.row][col];
+  }
+
+  /// Total number of data rows across all tables.
+  size_t TotalRows() const;
+
+  /// Table 3 style statistics.
+  CorpusStats Stats() const;
+
+ private:
+  std::vector<WebTable> tables_;
+};
+
+}  // namespace ltee::webtable
+
+#endif  // LTEE_WEBTABLE_WEB_TABLE_H_

@@ -1,0 +1,154 @@
+// Additional behavioural coverage: corpus themes, feedback id-spaces,
+// index and parser edge cases.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "index/label_index.h"
+#include "pipeline/pipeline.h"
+#include "synth/corpus_builder.h"
+#include "test_dataset.h"
+#include "types/type_similarity.h"
+#include "types/value_parser.h"
+
+namespace ltee {
+namespace {
+
+using ::ltee::testing::SharedDataset;
+
+// ---------------------------------------------------------------------------
+// Corpus builder: themes
+// ---------------------------------------------------------------------------
+
+TEST(CorpusThemeTest, ThemedTablesShareTheThemeValue) {
+  const auto& ds = SharedDataset();
+  const types::TypeSimilarityOptions sim;
+  size_t themed_tables = 0, coherent = 0;
+  for (size_t t = 0; t < ds.table_truth.size(); ++t) {
+    const auto& truth = ds.table_truth[t];
+    if (truth.theme_property < 0 || truth.row_entity.size() < 5) continue;
+    ++themed_tables;
+    // The dominant truth value of the theme property across rows should
+    // cover the vast majority of rows (the theme's defining feature).
+    std::map<std::string, int> counts;
+    for (int eid : truth.row_entity) {
+      const auto& v = ds.world.entity(eid).truth[truth.theme_property];
+      std::string key = v.type == types::DataType::kDate
+                            ? std::to_string(v.date.year)
+                            : v.ToString();
+      counts[key] += 1;
+    }
+    int best = 0;
+    for (const auto& [key, count] : counts) best = std::max(best, count);
+    // The dominant theme value must cover at least half the rows (theme
+    // sampling retries dilute full coherence on larger tables).
+    if (best * 2 >= static_cast<int>(truth.row_entity.size())) {
+      ++coherent;
+    }
+  }
+  ASSERT_GT(themed_tables, 10u);
+  EXPECT_GT(static_cast<double>(coherent) / themed_tables, 0.75);
+}
+
+TEST(CorpusThemeTest, ThemeColumnsAreUsuallyOmitted) {
+  // IMPLICIT_ATT's premise: the theme value is implied by context, not
+  // stated in a cell. Most themed tables must not carry the theme column.
+  const auto& ds = SharedDataset();
+  size_t themed = 0, with_theme_column = 0;
+  for (const auto& truth : ds.table_truth) {
+    if (truth.theme_property < 0) continue;
+    ++themed;
+    for (int cp : truth.column_property) {
+      if (cp == truth.theme_property) {
+        ++with_theme_column;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(themed, 10u);
+  EXPECT_LT(static_cast<double>(with_theme_column) / themed, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline feedback id spaces
+// ---------------------------------------------------------------------------
+
+TEST(CollectFeedbackTest, ClusterIdsDisjointAcrossClasses) {
+  pipeline::ClassRunResult a, b;
+  a.cls = 0;
+  a.num_clusters = 3;
+  b.cls = 1;
+  b.num_clusters = 2;
+  for (int i = 0; i < 4; ++i) {
+    rowcluster::RowFeature row;
+    row.ref = {0, i};
+    a.rows.rows.push_back(row);
+    row.ref = {1, i};
+    b.rows.rows.push_back(row);
+  }
+  a.cluster_of_row = {0, 1, 2, 0};
+  b.cluster_of_row = {0, 0, 1, 1};
+  a.detections.resize(0);
+  b.detections.resize(0);
+
+  matching::RowInstanceMap instances;
+  matching::RowClusterMap clusters;
+  pipeline::LteePipeline::CollectFeedback({a, b}, &instances, &clusters);
+  std::set<int> a_ids, b_ids;
+  for (int i = 0; i < 4; ++i) {
+    a_ids.insert(clusters[{0, i}]);
+    b_ids.insert(clusters[{1, i}]);
+  }
+  for (int id : a_ids) EXPECT_EQ(b_ids.count(id), 0u);
+  // Class b's ids start after class a's cluster count.
+  EXPECT_EQ(*b_ids.begin(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Index and parser edges
+// ---------------------------------------------------------------------------
+
+TEST(LabelIndexEdgeTest, ZeroKAndEmptyQuery) {
+  index::LabelIndex index;
+  index.Add(0, "springfield");
+  index.Build();
+  EXPECT_TRUE(index.Search("springfield", 0).empty());
+  EXPECT_TRUE(index.Search("", 5).empty());
+  EXPECT_TRUE(index.Search("   ", 5).empty());
+}
+
+TEST(LabelIndexEdgeTest, EmptyIndexSearches) {
+  index::LabelIndex index;
+  index.Build();
+  EXPECT_TRUE(index.Search("anything", 5).empty());
+  EXPECT_EQ(index.BlockOf("anything"), -1);
+}
+
+TEST(ParserEdgeTest, DateRejectsInvalidCalendarFields) {
+  EXPECT_FALSE(types::ParseDate("13/40/1990").has_value());
+  EXPECT_FALSE(types::ParseDate("0/5/1990").has_value());
+  EXPECT_FALSE(types::ParseDate("June 45, 1987").has_value());
+  EXPECT_FALSE(types::ParseDate("1987-13-01").has_value());
+  EXPECT_FALSE(types::ParseDate("1987-00-10").has_value());
+}
+
+TEST(ParserEdgeTest, MonthAbbreviations) {
+  auto d = types::ParseDate("Dec 25, 1999");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->month, 12);
+  // Ambiguous prefixes that are not months stay unparsed.
+  EXPECT_FALSE(types::ParseDate("Xyz 25, 1999").has_value());
+}
+
+TEST(ParserEdgeTest, WhitespaceOnlyCellsStayEmptyEverywhere) {
+  for (auto type : {types::DataType::kText, types::DataType::kQuantity,
+                    types::DataType::kDate, types::DataType::kNominalInteger,
+                    types::DataType::kNominalString,
+                    types::DataType::kInstanceReference}) {
+    EXPECT_FALSE(types::NormalizeCell("   \t ", type).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace ltee

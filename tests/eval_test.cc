@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "eval/clustering_eval.h"
+#include "eval/gold_standard.h"
+#include "eval/pipeline_eval.h"
+
+namespace ltee::eval {
+namespace {
+
+/// Gold standard with three clusters over synthetic row refs:
+///   cluster 0 (existing, instance 7): rows (0,0) (0,1) (1,0)
+///   cluster 1 (new):                  rows (1,1) (2,0)
+///   cluster 2 (new):                  rows (2,1)
+GoldStandard MakeGold() {
+  GoldStandard gold;
+  gold.cls = 0;
+  gold.tables = {0, 1, 2};
+  GsCluster c0;
+  c0.rows = {{0, 0}, {0, 1}, {1, 0}};
+  c0.is_new = false;
+  c0.kb_instance = 7;
+  GsCluster c1;
+  c1.rows = {{1, 1}, {2, 0}};
+  c1.is_new = true;
+  GsCluster c2;
+  c2.rows = {{2, 1}};
+  c2.is_new = true;
+  gold.clusters = {c0, c1, c2};
+  GsFact f0;
+  f0.cluster = 1;
+  f0.property = 3;
+  f0.correct_value = types::Value::OfQuantity(100);
+  f0.correct_value_present = true;
+  GsFact f1;
+  f1.cluster = 2;
+  f1.property = 3;
+  f1.correct_value = types::Value::OfQuantity(500);
+  f1.correct_value_present = false;
+  gold.facts = {f0, f1};
+  gold.BuildLookups();
+  return gold;
+}
+
+TEST(GoldStandardTest, LookupsAndFilter) {
+  auto gold = MakeGold();
+  EXPECT_EQ(gold.ClusterOfRow({0, 1}), 0);
+  EXPECT_EQ(gold.ClusterOfRow({2, 1}), 2);
+  EXPECT_EQ(gold.ClusterOfRow({9, 9}), -1);
+
+  auto filtered = FilterClusters(gold, {1, 2});
+  EXPECT_EQ(filtered.clusters.size(), 2u);
+  EXPECT_EQ(filtered.ClusterOfRow({0, 0}), -1);  // cluster 0 dropped
+  EXPECT_EQ(filtered.ClusterOfRow({1, 1}), 0);   // re-indexed
+  ASSERT_EQ(filtered.facts.size(), 2u);
+  EXPECT_EQ(filtered.facts[0].cluster, 0);
+  EXPECT_EQ(filtered.facts[1].cluster, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Clustering evaluation
+// ---------------------------------------------------------------------------
+
+TEST(ClusteringEvalTest, PerfectClusteringScoresOne) {
+  auto gold = MakeGold();
+  std::vector<std::vector<webtable::RowRef>> returned = {
+      {{0, 0}, {0, 1}, {1, 0}}, {{1, 1}, {2, 0}}, {{2, 1}}};
+  auto result = EvaluateClustering(returned, gold);
+  EXPECT_DOUBLE_EQ(result.penalized_precision, 1.0);
+  EXPECT_DOUBLE_EQ(result.average_recall, 1.0);
+  EXPECT_DOUBLE_EQ(result.f1, 1.0);
+}
+
+TEST(ClusteringEvalTest, OverMergingHurtsPrecisionAndCount) {
+  auto gold = MakeGold();
+  // Everything in one big cluster.
+  std::vector<std::vector<webtable::RowRef>> returned = {
+      {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}}};
+  auto result = EvaluateClustering(returned, gold);
+  // Pairs: C(6,2)=15; correct: C(3,2)+C(2,2)=3+1=4 -> precision 4/15.
+  // Penalty: |C|=1, |G|=3, |M|=1 -> 1/3.
+  EXPECT_NEAR(result.unpenalized_precision, 4.0 / 15.0, 1e-9);
+  EXPECT_NEAR(result.penalized_precision, 4.0 / 45.0, 1e-9);
+  // Only one gold cluster is mapped; its recall is 1 -> AR = 1/3.
+  EXPECT_NEAR(result.average_recall, 1.0 / 3.0, 1e-9);
+}
+
+TEST(ClusteringEvalTest, AllSingletonsPenalizedByCount) {
+  auto gold = MakeGold();
+  std::vector<std::vector<webtable::RowRef>> returned = {
+      {{0, 0}}, {{0, 1}}, {{1, 0}}, {{1, 1}}, {{2, 0}}, {{2, 1}}};
+  auto result = EvaluateClustering(returned, gold);
+  EXPECT_DOUBLE_EQ(result.unpenalized_precision, 1.0);  // no wrong pairs
+  // Penalty: min(6,3,3)/max(6,3,3) = 0.5.
+  EXPECT_DOUBLE_EQ(result.penalized_precision, 0.5);
+  // Mapped clusters contribute partial recalls: 1/3 + 1/2 + 1 over 3.
+  EXPECT_NEAR(result.average_recall, (1.0 / 3 + 0.5 + 1.0) / 3, 1e-9);
+}
+
+TEST(ClusteringEvalTest, UnannotatedRowsIgnored) {
+  auto gold = MakeGold();
+  std::vector<std::vector<webtable::RowRef>> returned = {
+      {{0, 0}, {0, 1}, {1, 0}, {8, 8}},  // one unannotated row mixed in
+      {{1, 1}, {2, 0}},
+      {{2, 1}},
+      {{9, 9}}};  // fully unannotated cluster
+  auto result = EvaluateClustering(returned, gold);
+  EXPECT_DOUBLE_EQ(result.f1, 1.0);
+}
+
+TEST(ClusteringEvalTest, MappingIsOneToOne) {
+  auto gold = MakeGold();
+  // Two returned clusters both overlap gold cluster 0.
+  std::vector<std::vector<webtable::RowRef>> returned = {
+      {{0, 0}, {0, 1}}, {{1, 0}}, {{1, 1}, {2, 0}}, {{2, 1}}};
+  auto mapping = MapClustersToGold(returned, gold);
+  int to_zero = 0;
+  for (int g : mapping) to_zero += g == 0 ? 1 : 0;
+  EXPECT_EQ(to_zero, 1);  // only one may claim gold cluster 0
+}
+
+// ---------------------------------------------------------------------------
+// New detection evaluation
+// ---------------------------------------------------------------------------
+
+TEST(NewDetectionEvalTest, AccuracyAndF1s) {
+  auto gold = MakeGold();
+  std::vector<const GsCluster*> clusters = {&gold.clusters[0],
+                                            &gold.clusters[1],
+                                            &gold.clusters[2]};
+  std::vector<newdetect::Detection> detections(3);
+  detections[0].is_new = false;
+  detections[0].instance = 7;   // correct match
+  detections[1].is_new = true;  // correct new
+  detections[2].is_new = false;
+  detections[2].instance = 9;   // wrong: should be new
+  auto result = EvaluateNewDetection(detections, clusters);
+  EXPECT_NEAR(result.accuracy, 2.0 / 3.0, 1e-9);
+  // New: tp=1, fp=0, fn=1 -> P=1, R=0.5, F1=2/3.
+  EXPECT_NEAR(result.f1_new, 2.0 / 3.0, 1e-9);
+  // Existing: tp=1, fp=1, fn=0 -> P=0.5, R=1 -> F1=2/3.
+  EXPECT_NEAR(result.f1_existing, 2.0 / 3.0, 1e-9);
+}
+
+TEST(NewDetectionEvalTest, WrongInstanceMatchIsIncorrect) {
+  auto gold = MakeGold();
+  std::vector<const GsCluster*> clusters = {&gold.clusters[0]};
+  std::vector<newdetect::Detection> detections(1);
+  detections[0].is_new = false;
+  detections[0].instance = 99;  // exists but wrong instance
+  auto result = EvaluateNewDetection(detections, clusters);
+  EXPECT_DOUBLE_EQ(result.accuracy, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// New instances found / facts found
+// ---------------------------------------------------------------------------
+
+fusion::CreatedEntity MakeEntity(std::vector<webtable::RowRef> rows) {
+  fusion::CreatedEntity entity;
+  entity.rows = std::move(rows);
+  return entity;
+}
+
+TEST(InstancesFoundTest, PerfectSystem) {
+  auto gold = MakeGold();
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity({{0, 0}, {0, 1}, {1, 0}}), MakeEntity({{1, 1}, {2, 0}}),
+      MakeEntity({{2, 1}})};
+  std::vector<newdetect::Detection> detections(3);
+  detections[0].is_new = false;
+  detections[0].instance = 7;
+  detections[1].is_new = true;
+  detections[2].is_new = true;
+  auto result = EvaluateNewInstancesFound(entities, detections, gold);
+  EXPECT_DOUBLE_EQ(result.precision, 1.0);
+  EXPECT_DOUBLE_EQ(result.recall, 1.0);
+}
+
+TEST(InstancesFoundTest, MajorityConditionsEnforced) {
+  auto gold = MakeGold();
+  // Entity holds only a minority of gold cluster 1's rows plus junk.
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity({{1, 1}, {5, 5}, {6, 6}})};
+  std::vector<newdetect::Detection> detections(1);
+  detections[0].is_new = true;
+  auto result = EvaluateNewInstancesFound(entities, detections, gold);
+  // Majority of entity rows are unannotated -> no mapping -> precision 0.
+  EXPECT_DOUBLE_EQ(result.precision, 0.0);
+  EXPECT_DOUBLE_EQ(result.recall, 0.0);
+}
+
+TEST(InstancesFoundTest, ExistingClusterClassifiedNewHurtsPrecision) {
+  auto gold = MakeGold();
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity({{0, 0}, {0, 1}, {1, 0}}),  // existing cluster
+      MakeEntity({{1, 1}, {2, 0}})};         // new cluster
+  std::vector<newdetect::Detection> detections(2);
+  detections[0].is_new = true;  // wrong
+  detections[1].is_new = true;  // right
+  auto result = EvaluateNewInstancesFound(entities, detections, gold);
+  EXPECT_DOUBLE_EQ(result.precision, 0.5);
+  EXPECT_DOUBLE_EQ(result.recall, 0.5);  // cluster 2 not found
+}
+
+TEST(FactsFoundTest, CorrectAndWrongFacts) {
+  auto gold = MakeGold();
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity({{1, 1}, {2, 0}})};
+  entities[0].facts.push_back(
+      kb::Fact{3, types::Value::OfQuantity(101)});  // within tolerance
+  entities[0].facts.push_back(
+      kb::Fact{4, types::Value::OfQuantity(5)});  // no gold fact -> wrong
+  std::vector<newdetect::Detection> detections(1);
+  detections[0].is_new = true;
+  auto result = EvaluateFactsFound(entities, detections, gold);
+  EXPECT_DOUBLE_EQ(result.precision, 0.5);
+  // Recallable facts: cluster 1's fact (present). Cluster 2's is absent.
+  EXPECT_DOUBLE_EQ(result.recall, 1.0);
+  EXPECT_NEAR(result.f1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(FactsFoundTest, FactsOfWronglyNewEntitiesAreWrong) {
+  auto gold = MakeGold();
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity({{0, 0}, {0, 1}, {1, 0}})};  // existing cluster
+  entities[0].facts.push_back(kb::Fact{3, types::Value::OfQuantity(100)});
+  std::vector<newdetect::Detection> detections(1);
+  detections[0].is_new = true;  // wrongly classified as new
+  auto result = EvaluateFactsFound(entities, detections, gold);
+  EXPECT_DOUBLE_EQ(result.precision, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Ranked evaluation
+// ---------------------------------------------------------------------------
+
+TEST(RankedEvalTest, PerfectRanking) {
+  std::vector<bool> correct(30, true);
+  auto result = EvaluateRanked(correct);
+  EXPECT_DOUBLE_EQ(result.map, 1.0);
+  EXPECT_DOUBLE_EQ(result.p_at_5, 1.0);
+  EXPECT_DOUBLE_EQ(result.p_at_20, 1.0);
+}
+
+TEST(RankedEvalTest, KnownAveragePrecision) {
+  // Correct at ranks 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+  std::vector<bool> correct = {true, false, true, false};
+  auto result = EvaluateRanked(correct);
+  EXPECT_NEAR(result.map, 5.0 / 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.p_at_5, 0.5);  // fewer than 5 results
+}
+
+TEST(RankedEvalTest, CutoffTruncates) {
+  std::vector<bool> correct(300, false);
+  correct[0] = true;
+  correct[299] = true;  // beyond the 256 cutoff
+  auto result = EvaluateRanked(correct, 256);
+  EXPECT_DOUBLE_EQ(result.map, 1.0);  // only the rank-1 hit counts
+}
+
+TEST(RankedEvalTest, EmptyInput) {
+  auto result = EvaluateRanked({});
+  EXPECT_DOUBLE_EQ(result.map, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_at_5, 0.0);
+}
+
+}  // namespace
+}  // namespace ltee::eval

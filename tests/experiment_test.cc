@@ -1,0 +1,98 @@
+// Smoke tests of the two experiment drivers at tiny scale: the 3-fold gold
+// experiment (Tables 6-10) and the large-scale profiling run (Tables
+// 11-12). These are integration tests — they assert structural sanity and
+// metric bounds, not absolute values.
+
+#include <gtest/gtest.h>
+
+#include "pipeline/experiment.h"
+#include "pipeline/profiling.h"
+#include "synth/dataset.h"
+
+namespace ltee::pipeline {
+namespace {
+
+const synth::SyntheticDataset& TinyDataset() {
+  static const synth::SyntheticDataset* dataset = [] {
+    synth::DatasetOptions options;
+    options.scale = 0.0015;
+    options.seed = 5;
+    return new synth::SyntheticDataset(synth::BuildDataset(options));
+  }();
+  return *dataset;
+}
+
+TEST(GoldExperimentTest, SchemaIterationsAndClusteringAreSane) {
+  const auto& ds = TinyDataset();
+  GoldExperiment experiment(ds.kb, ds.gs_corpus, ds.gold, {}, 2, 11);
+  ASSERT_EQ(experiment.num_classes(), 3);
+
+  auto iterations = experiment.SchemaMatchingByIteration(2);
+  ASSERT_EQ(iterations.size(), 2u);
+  for (const auto& it : iterations) {
+    EXPECT_GE(it.precision, 0.0);
+    EXPECT_LE(it.precision, 1.0);
+    EXPECT_GE(it.recall, 0.0);
+    EXPECT_LE(it.recall, 1.0);
+    EXPECT_LE(it.f1, 1.0);
+  }
+  // Matching is learnable on this data at all.
+  EXPECT_GT(iterations[1].f1, 0.3);
+
+  auto weights = experiment.AverageSchemaWeights();
+  double sum = 0.0;
+  for (double w : weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+
+  auto clustering = experiment.RowClustering(
+      rowcluster::FirstKMetrics(rowcluster::kNumRowMetrics),
+      ml::AggregationKind::kCombined);
+  EXPECT_GT(clustering.f1, 0.2);
+  EXPECT_LE(clustering.f1, 1.0);
+  EXPECT_EQ(clustering.importances.size(), 6u);
+
+  auto detection = experiment.NewDetection(
+      newdetect::FirstKEntityMetrics(newdetect::kNumEntityMetrics));
+  EXPECT_GT(detection.accuracy, 0.4);
+  EXPECT_LE(detection.accuracy, 1.0);
+
+  auto instances = experiment.NewInstancesFound(0, /*gold_clustering=*/true);
+  EXPECT_GE(instances.f1, 0.0);
+  EXPECT_LE(instances.f1, 1.0);
+
+  auto facts = experiment.FactsFound(0, true, true,
+                                     fusion::ScoringApproach::kVoting);
+  EXPECT_GE(facts.f1, 0.0);
+  EXPECT_LE(facts.f1, 1.0);
+}
+
+TEST(ProfilingTest, LargeScaleRunProducesCoherentTables) {
+  const auto& ds = TinyDataset();
+  ProfilingOptions options;
+  options.sample_size = 20;
+  auto result = RunLargeScaleProfiling(ds, options);
+  ASSERT_EQ(result.classes.size(), 3u);
+  for (const auto& row : result.classes) {
+    EXPECT_GT(row.total_rows, 0u);
+    EXPECT_GE(row.new_entity_accuracy, 0.0);
+    EXPECT_LE(row.new_entity_accuracy, 1.0);
+    EXPECT_GE(row.new_fact_accuracy, 0.0);
+    EXPECT_LE(row.new_fact_accuracy, 1.0);
+    // Property densities cover the class schema and are in [0, 1].
+    EXPECT_FALSE(row.property_densities.empty());
+    size_t fact_sum = 0;
+    for (const auto& density : row.property_densities) {
+      EXPECT_GE(density.density, 0.0);
+      EXPECT_LE(density.density, 1.0);
+      fact_sum += density.facts;
+    }
+    EXPECT_EQ(fact_sum, row.new_facts);
+    // Existing/new split covers all entities of the final run.
+  }
+  // Run artifacts exposed for downstream processing.
+  EXPECT_EQ(result.run.classes.size(), 3u);
+  EXPECT_EQ(result.run.mappings.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ltee::pipeline

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pipeline/dedup.h"
+#include "pipeline/kb_update.h"
+#include "pipeline/slot_filling.h"
+
+namespace ltee::pipeline {
+namespace {
+
+fusion::CreatedEntity MakeEntity(kb::ClassId cls, std::string label,
+                                 std::vector<kb::Fact> facts) {
+  fusion::CreatedEntity entity;
+  entity.cls = cls;
+  entity.labels = {std::move(label)};
+  entity.facts = std::move(facts);
+  entity.rows = {{0, 0}};
+  return entity;
+}
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cls_ = kb_.AddClass("C");
+    team_ = kb_.AddProperty(cls_, "team", types::DataType::kInstanceReference);
+    pop_ = kb_.AddProperty(cls_, "pop", types::DataType::kQuantity);
+    existing_ = kb_.AddInstance(cls_, {"Springfield"});
+    kb_.AddFact(existing_, team_, types::Value::InstanceRef("red team"));
+    // pop slot of `existing_` is empty.
+  }
+  kb::KnowledgeBase kb_;
+  kb::ClassId cls_;
+  kb::PropertyId team_, pop_;
+  kb::InstanceId existing_;
+};
+
+// ---------------------------------------------------------------------------
+// AddNewEntitiesToKb / ExportNTriples
+// ---------------------------------------------------------------------------
+
+TEST_F(ExtensionsTest, AddNewEntitiesCreatesInstancesWithFacts) {
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity(cls_, "Newtown",
+                 {{team_, types::Value::InstanceRef("blue team")},
+                  {pop_, types::Value::OfQuantity(1234)}}),
+      MakeEntity(cls_, "Springfield", {})};
+  std::vector<newdetect::Detection> detections(2);
+  detections[0].is_new = true;
+  detections[1].is_new = false;
+  detections[1].instance = existing_;
+
+  const size_t before = kb_.num_instances();
+  auto result = AddNewEntitiesToKb(&kb_, entities, detections);
+  EXPECT_EQ(result.instances_added, 1u);
+  EXPECT_EQ(result.facts_added, 2u);
+  EXPECT_EQ(kb_.num_instances(), before + 1);
+  const auto& added = kb_.instance(result.new_instance_ids[0]);
+  EXPECT_EQ(added.labels.front(), "Newtown");
+  EXPECT_EQ(added.cls, cls_);
+  ASSERT_NE(kb_.FactOf(added.id, pop_), nullptr);
+  EXPECT_DOUBLE_EQ(kb_.FactOf(added.id, pop_)->number, 1234.0);
+}
+
+TEST_F(ExtensionsTest, MinFactsFilterSkipsThinEntities) {
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity(cls_, "Thin",
+                 {{pop_, types::Value::OfQuantity(5)}}),
+      MakeEntity(cls_, "Rich",
+                 {{team_, types::Value::InstanceRef("blue team")},
+                  {pop_, types::Value::OfQuantity(1)}})};
+  std::vector<newdetect::Detection> detections(2);
+  detections[0].is_new = detections[1].is_new = true;
+  KbUpdateOptions options;
+  options.min_facts = 2;
+  auto result = AddNewEntitiesToKb(&kb_, entities, detections, options);
+  EXPECT_EQ(result.instances_added, 1u);
+  EXPECT_EQ(kb_.instance(result.new_instance_ids[0]).labels.front(), "Rich");
+}
+
+TEST_F(ExtensionsTest, NTriplesExportShapes) {
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity(cls_, "New Town",
+                 {{team_, types::Value::InstanceRef("blue team")},
+                  {pop_, types::Value::OfQuantity(1234)}})};
+  std::vector<newdetect::Detection> detections(1);
+  detections[0].is_new = true;
+  std::stringstream out;
+  ExportNTriples(kb_, entities, detections, "http://example.org/", out);
+  const std::string triples = out.str();
+  EXPECT_NE(triples.find("<http://example.org/resource/new_town_0>"),
+            std::string::npos);
+  EXPECT_NE(triples.find("rdf-syntax-ns#type"), std::string::npos);
+  EXPECT_NE(triples.find("<http://example.org/ontology/team> "
+                         "<http://example.org/resource/blue_team>"),
+            std::string::npos);
+  EXPECT_NE(triples.find("XMLSchema#double"), std::string::npos);
+  // Every line is a triple terminated by " .".
+  std::istringstream lines(triples);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.substr(line.size() - 2), " .");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slot filling
+// ---------------------------------------------------------------------------
+
+TEST_F(ExtensionsTest, SlotFillingFillsOnlyEmptySlots) {
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity(cls_, "Springfield",
+                 {{team_, types::Value::InstanceRef("red team")},  // confirm
+                  {pop_, types::Value::OfQuantity(777)}})};        // fill
+  std::vector<newdetect::Detection> detections(1);
+  detections[0].is_new = false;
+  detections[0].instance = existing_;
+
+  auto result = FillSlots(kb_, entities, detections);
+  EXPECT_EQ(result.confirmations, 1u);
+  EXPECT_EQ(result.conflicts, 0u);
+  ASSERT_EQ(result.new_facts.size(), 1u);
+  EXPECT_EQ(result.new_facts[0].property, pop_);
+  EXPECT_EQ(result.new_facts[0].instance, existing_);
+
+  EXPECT_EQ(ApplySlotFills(&kb_, result.new_facts), 1u);
+  ASSERT_NE(kb_.FactOf(existing_, pop_), nullptr);
+  EXPECT_DOUBLE_EQ(kb_.FactOf(existing_, pop_)->number, 777.0);
+  // Idempotent: applying again adds nothing.
+  EXPECT_EQ(ApplySlotFills(&kb_, result.new_facts), 0u);
+}
+
+TEST_F(ExtensionsTest, SlotFillingCountsConflicts) {
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity(cls_, "Springfield",
+                 {{team_, types::Value::InstanceRef("blue team")}})};
+  std::vector<newdetect::Detection> detections(1);
+  detections[0].is_new = false;
+  detections[0].instance = existing_;
+  auto result = FillSlots(kb_, entities, detections);
+  EXPECT_EQ(result.conflicts, 1u);
+  EXPECT_TRUE(result.new_facts.empty());
+}
+
+TEST_F(ExtensionsTest, SlotFillingIgnoresNewEntities) {
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity(cls_, "Newtown", {{pop_, types::Value::OfQuantity(5)}})};
+  std::vector<newdetect::Detection> detections(1);
+  detections[0].is_new = true;
+  auto result = FillSlots(kb_, entities, detections);
+  EXPECT_TRUE(result.new_facts.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Entity deduplication
+// ---------------------------------------------------------------------------
+
+TEST_F(ExtensionsTest, DedupMergesAgreeingDuplicates) {
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity(cls_, "Blue Moon",
+                 {{team_, types::Value::InstanceRef("blue team")},
+                  {pop_, types::Value::OfQuantity(100)}}),
+      MakeEntity(cls_, "Blue Moon",
+                 {{team_, types::Value::InstanceRef("blue team")}})};
+  std::vector<newdetect::Detection> detections(2);
+  detections[0].is_new = true;
+  detections[1].is_new = false;
+  detections[1].instance = existing_;
+
+  auto result = DeduplicateEntities(entities, detections);
+  EXPECT_EQ(result.merges, 1u);
+  ASSERT_EQ(result.entities.size(), 1u);
+  // Rows and facts merged; the existing-match detection survives.
+  EXPECT_EQ(result.entities[0].rows.size(), 2u);
+  EXPECT_EQ(result.entities[0].facts.size(), 2u);
+  EXPECT_FALSE(result.detections[0].is_new);
+  EXPECT_EQ(result.detections[0].instance, existing_);
+}
+
+TEST_F(ExtensionsTest, DedupKeepsDisagreeingHomonymsApart) {
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity(cls_, "Blue Moon",
+                 {{team_, types::Value::InstanceRef("blue team")}}),
+      MakeEntity(cls_, "Blue Moon",
+                 {{team_, types::Value::InstanceRef("red team")}})};
+  std::vector<newdetect::Detection> detections(2);
+  detections[0].is_new = detections[1].is_new = true;
+  auto result = DeduplicateEntities(entities, detections);
+  EXPECT_EQ(result.merges, 0u);
+  EXPECT_EQ(result.entities.size(), 2u);
+}
+
+TEST_F(ExtensionsTest, DedupWithoutFactOverlapIsConservative) {
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity(cls_, "Blue Moon",
+                 {{team_, types::Value::InstanceRef("blue team")}}),
+      MakeEntity(cls_, "Blue Moon", {{pop_, types::Value::OfQuantity(9)}})};
+  std::vector<newdetect::Detection> detections(2);
+  detections[0].is_new = detections[1].is_new = true;
+  auto result = DeduplicateEntities(entities, detections);
+  EXPECT_EQ(result.merges, 0u);  // no overlapping facts -> no merge
+
+  DedupOptions loose;
+  loose.merge_without_fact_overlap = true;
+  auto merged = DeduplicateEntities(entities, detections, loose);
+  EXPECT_EQ(merged.merges, 1u);
+}
+
+TEST_F(ExtensionsTest, DedupDifferentLabelsNeverMerge) {
+  std::vector<fusion::CreatedEntity> entities = {
+      MakeEntity(cls_, "Blue Moon", {{pop_, types::Value::OfQuantity(9)}}),
+      MakeEntity(cls_, "Red Sun", {{pop_, types::Value::OfQuantity(9)}})};
+  std::vector<newdetect::Detection> detections(2);
+  detections[0].is_new = detections[1].is_new = true;
+  auto result = DeduplicateEntities(entities, detections);
+  EXPECT_EQ(result.merges, 0u);
+}
+
+}  // namespace
+}  // namespace ltee::pipeline

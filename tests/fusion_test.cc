@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "fusion/entity_creator.h"
+#include "matching/schema_mapping.h"
+#include "rowcluster/row_features.h"
+#include "util/string_util.h"
+
+namespace ltee::fusion {
+namespace {
+
+/// Hand-built fixture: one class with three typed properties, two tables,
+/// one cluster of three rows with conflicting values.
+class EntityCreatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cls_ = kb_.AddClass("C");
+    team_ = kb_.AddProperty(cls_, "team", types::DataType::kInstanceReference);
+    pop_ = kb_.AddProperty(cls_, "pop", types::DataType::kQuantity);
+    round_ =
+        kb_.AddProperty(cls_, "round", types::DataType::kNominalInteger);
+    instance_ = kb_.AddInstance(cls_, {"Springfield"});
+    kb_.AddFact(instance_, team_, types::Value::InstanceRef("real value"));
+    kb_.AddFact(instance_, pop_, types::Value::OfQuantity(1000));
+
+    // Two tables; column 1 of each is matched to a property.
+    webtable::WebTable t0;
+    t0.headers = {"Name", "Team", "Pop"};
+    t0.rows = {{"Springfield", "real value", "1000"},
+               {"Oakton", "other value", "2000"}};
+    webtable::WebTable t1;
+    t1.headers = {"Name", "Team"};
+    t1.rows = {{"Springfield", "wrong value"}};
+    corpus_.Add(std::move(t0));
+    corpus_.Add(std::move(t1));
+
+    mapping_.tables.resize(2);
+    for (int t = 0; t < 2; ++t) {
+      mapping_.tables[t].table = t;
+      mapping_.tables[t].cls = cls_;
+      mapping_.tables[t].label_column = 0;
+      mapping_.tables[t].columns.resize(corpus_.table(t).num_columns());
+      mapping_.tables[t].columns[1].property = team_;
+      mapping_.tables[t].columns[1].score = t == 0 ? 0.9 : 0.2;
+      mapping_.tables[t].row_instance.assign(corpus_.table(t).num_rows(),
+                                             kb::kInvalidInstance);
+    }
+    mapping_.tables[0].columns[2].property = pop_;
+    mapping_.tables[0].columns[2].score = 0.8;
+    mapping_.tables[0].row_instance[0] = instance_;
+
+    rows_.cls = cls_;
+    rows_.tables = {0, 1};
+    rows_.table_implicit.resize(2);
+    rows_.table_phi.resize(2);
+    rows_.table_implicit[0].push_back(
+        {pop_, types::Value::OfQuantity(1000), 0.8});
+
+    auto add_row = [&](int table, int row, const std::string& label) {
+      rowcluster::RowFeature feature;
+      feature.ref = {table, row};
+      feature.table_index = table;
+      feature.raw_label = label;
+      feature.normalized_label = util::NormalizeLabel(label);
+      feature.bow.insert(feature.normalized_label);
+      rows_.rows.push_back(std::move(feature));
+    };
+    add_row(0, 0, "Springfield");
+    add_row(1, 0, "Springfield");
+    add_row(0, 1, "Oakton");
+    // Row values mirror the matched columns.
+    rows_.rows[0].values.push_back(
+        {team_, 1, types::Value::InstanceRef("real value")});
+    rows_.rows[0].values.push_back({pop_, 2, types::Value::OfQuantity(1000)});
+    rows_.rows[1].values.push_back(
+        {team_, 1, types::Value::InstanceRef("wrong value")});
+    rows_.rows[2].values.push_back(
+        {team_, 1, types::Value::InstanceRef("other value")});
+    rows_.rows[2].values.push_back({pop_, 2, types::Value::OfQuantity(2000)});
+
+    cluster_of_row_ = {0, 0, 1};  // Springfield rows together, Oakton alone
+  }
+
+  kb::KnowledgeBase kb_;
+  kb::ClassId cls_;
+  kb::PropertyId team_, pop_, round_;
+  kb::InstanceId instance_;
+  webtable::TableCorpus corpus_;
+  matching::SchemaMapping mapping_;
+  rowcluster::ClassRowSet rows_;
+  std::vector<int> cluster_of_row_;
+};
+
+TEST_F(EntityCreatorTest, CollectsLabelsRowsAndBow) {
+  EntityCreator creator(kb_);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  ASSERT_EQ(entities.size(), 2u);
+  EXPECT_EQ(entities[0].rows.size(), 2u);
+  EXPECT_EQ(entities[0].labels,
+            (std::vector<std::string>{"Springfield"}));
+  EXPECT_TRUE(entities[0].bow.count("springfield"));
+  EXPECT_EQ(entities[1].labels, (std::vector<std::string>{"Oakton"}));
+}
+
+TEST_F(EntityCreatorTest, VotingFusesByMajorityWithinSelectedGroup) {
+  EntityCreator creator(kb_);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  // Cluster 0 team candidates: "real value", "wrong value" — two groups of
+  // one; VOTING ties, the first group wins. Both rows supply one value, so
+  // check that exactly one was selected.
+  const types::Value* team = entities[0].FactOf(team_);
+  ASSERT_NE(team, nullptr);
+  EXPECT_TRUE(team->text == "real value" || team->text == "wrong value");
+  const types::Value* pop = entities[0].FactOf(pop_);
+  ASSERT_NE(pop, nullptr);
+  EXPECT_DOUBLE_EQ(pop->number, 1000.0);
+}
+
+TEST_F(EntityCreatorTest, MatchingScoringPrefersHighScoredColumn) {
+  EntityCreatorOptions options;
+  options.scoring = ScoringApproach::kMatching;
+  EntityCreator creator(kb_, options);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  // Table 0's team column has score 0.9 vs table 1's 0.2.
+  const types::Value* team = entities[0].FactOf(team_);
+  ASSERT_NE(team, nullptr);
+  EXPECT_EQ(team->text, "real value");
+}
+
+TEST_F(EntityCreatorTest, KbtScoringTrustsVerifiedColumn) {
+  EntityCreatorOptions options;
+  options.scoring = ScoringApproach::kKbt;
+  EntityCreator creator(kb_, options);
+  // Column trust of table 0 / column 1: row 0 matched to instance whose
+  // team fact equals the cell -> trust 1.0. Table 1 has no matched rows ->
+  // default 0.5.
+  EXPECT_DOUBLE_EQ(creator.ColumnTrust(corpus_, mapping_.tables[0], 1), 1.0);
+  EXPECT_DOUBLE_EQ(creator.ColumnTrust(corpus_, mapping_.tables[1], 1), 0.5);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  EXPECT_EQ(entities[0].FactOf(team_)->text, "real value");
+}
+
+TEST_F(EntityCreatorTest, QuantityGroupsFuseByWeightedMedian) {
+  // Put three conflicting pops in one cluster: 1000, 1000, 2000.
+  rows_.rows[1].values.push_back({pop_, 1, types::Value::OfQuantity(1010)});
+  EntityCreator creator(kb_);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  // 1000 and 1010 group together (within tolerance); median of the group.
+  const types::Value* pop = entities[0].FactOf(pop_);
+  ASSERT_NE(pop, nullptr);
+  EXPECT_NEAR(pop->number, 1005.0, 5.0);
+}
+
+TEST_F(EntityCreatorTest, EntityImplicitAttributesAveragePerRow) {
+  EntityCreator creator(kb_);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  // Cluster 0 has two rows; only table 0 contributes the implicit attr with
+  // table-level score 0.8 -> entity-level 0.8 / 2 = 0.4.
+  ASSERT_EQ(entities[0].implicit_attrs.size(), 1u);
+  EXPECT_EQ(entities[0].implicit_attrs[0].property, pop_);
+  EXPECT_NEAR(entities[0].implicit_attrs[0].score, 0.4, 1e-9);
+}
+
+TEST_F(EntityCreatorTest, ScoringApproachNames) {
+  EXPECT_STREQ(ScoringApproachName(ScoringApproach::kVoting), "VOTING");
+  EXPECT_STREQ(ScoringApproachName(ScoringApproach::kKbt), "KBT");
+  EXPECT_STREQ(ScoringApproachName(ScoringApproach::kMatching), "MATCHING");
+}
+
+}  // namespace
+}  // namespace ltee::fusion

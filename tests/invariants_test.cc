@@ -1,0 +1,272 @@
+// Property-style invariant sweeps: randomized inputs, structural
+// invariants checked, parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/correlation_clusterer.h"
+#include "eval/clustering_eval.h"
+#include "eval/gold_standard.h"
+#include "ml/cross_validation.h"
+#include "types/type_similarity.h"
+#include "types/value_parser.h"
+#include "util/random.h"
+#include "util/similarity.h"
+
+namespace ltee {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+// ---------------------------------------------------------------------------
+// Correlation clustering invariants
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededTest, ClusteringProducesDenseIdsAndRespectsBlocks) {
+  util::Rng rng(GetParam());
+  const int n = 40 + static_cast<int>(rng.NextBounded(60));
+  // Random ground truth and noisy similarity.
+  std::vector<int> truth(n);
+  for (auto& t : truth) t = static_cast<int>(rng.NextBounded(12));
+  std::vector<std::vector<int32_t>> blocks(n);
+  for (int i = 0; i < n; ++i) {
+    blocks[i] = {truth[i] % 5, static_cast<int32_t>(5 + rng.NextBounded(3))};
+  }
+  util::Rng noise(GetParam() ^ 0xabcdef);
+  std::map<std::pair<int, int>, double> pair_noise;
+  auto sim = [&](int i, int j) {
+    auto key = std::minmax(i, j);
+    auto [it, inserted] = pair_noise.emplace(
+        std::make_pair(key.first, key.second),
+        (noise.NextDouble() - 0.5) * 0.6);
+    return (truth[i] == truth[j] ? 0.7 : -0.7) + it->second;
+  };
+  auto result = cluster::ClusterCorrelation(n, sim, blocks);
+
+  // (1) Every item assigned; ids dense 0..k-1.
+  std::set<int> used(result.cluster_of.begin(), result.cluster_of.end());
+  EXPECT_EQ(static_cast<int>(used.size()), result.num_clusters);
+  EXPECT_EQ(*used.begin(), 0);
+  EXPECT_EQ(*used.rbegin(), result.num_clusters - 1);
+
+  // (2) No cluster spans items that share no block with any other member
+  // chain — weaker but checkable form: every pair in a cluster is
+  // connected through the block graph.
+  std::map<int, std::vector<int>> members;
+  for (int i = 0; i < n; ++i) members[result.cluster_of[i]].push_back(i);
+  for (const auto& [c, items] : members) {
+    // BFS over block-sharing within the cluster.
+    std::set<int> visited = {items[0]};
+    std::vector<int> queue = {items[0]};
+    while (!queue.empty()) {
+      int cur = queue.back();
+      queue.pop_back();
+      for (int other : items) {
+        if (visited.count(other)) continue;
+        bool share = false;
+        for (int32_t b : blocks[cur]) {
+          for (int32_t ob : blocks[other]) {
+            if (b == ob) share = true;
+          }
+        }
+        if (share) {
+          visited.insert(other);
+          queue.push_back(other);
+        }
+      }
+    }
+    EXPECT_EQ(visited.size(), items.size()) << "cluster not block-connected";
+  }
+}
+
+TEST_P(SeededTest, KljNeverDecreasesFitness) {
+  util::Rng rng(GetParam() * 31 + 7);
+  const int n = 30 + static_cast<int>(rng.NextBounded(40));
+  std::vector<int> truth(n);
+  for (auto& t : truth) t = static_cast<int>(rng.NextBounded(8));
+  std::vector<std::vector<int32_t>> blocks(n, {0});
+  util::Rng noise(GetParam());
+  std::map<std::pair<int, int>, double> cache;
+  auto sim = [&](int i, int j) {
+    auto key = std::minmax(i, j);
+    auto [it, inserted] = cache.emplace(
+        std::make_pair(key.first, key.second),
+        (noise.NextDouble() - 0.5) * 1.2);
+    return (truth[i] == truth[j] ? 0.5 : -0.5) + it->second;
+  };
+  cluster::ClusteringOptions with;
+  cluster::ClusteringOptions without;
+  without.enable_klj = false;
+  auto refined = cluster::ClusterCorrelation(n, sim, blocks, with);
+  auto greedy_only = cluster::ClusterCorrelation(n, sim, blocks, without);
+  EXPECT_GE(refined.fitness, greedy_only.fitness - 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Type system invariants
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededTest, ValueSimilarityIsSymmetricAndBounded) {
+  util::Rng rng(GetParam() * 17 + 3);
+  auto random_value = [&rng]() {
+    switch (rng.NextBounded(6)) {
+      case 0: return types::Value::Text("tok" + std::to_string(rng.NextBounded(20)) + " x" + std::to_string(rng.NextBounded(9)));
+      case 1: return types::Value::Nominal(std::to_string(rng.NextBounded(50)));
+      case 2: return types::Value::InstanceRef("label " + std::to_string(rng.NextBounded(30)));
+      case 3: return rng.NextBool(0.5)
+                   ? types::Value::YearDate(1950 + static_cast<int>(rng.NextBounded(70)))
+                   : types::Value::DayDate(1950 + static_cast<int>(rng.NextBounded(70)),
+                                           1 + static_cast<int>(rng.NextBounded(12)),
+                                           1 + static_cast<int>(rng.NextBounded(28)));
+      case 4: return types::Value::OfQuantity(static_cast<double>(rng.NextBounded(100000)));
+      default: return types::Value::OfInteger(static_cast<int64_t>(rng.NextBounded(300)));
+    }
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_value();
+    const auto b = random_value();
+    const double sab = types::ValueSimilarity(a, b);
+    const double sba = types::ValueSimilarity(b, a);
+    EXPECT_DOUBLE_EQ(sab, sba);
+    EXPECT_GE(sab, 0.0);
+    EXPECT_LE(sab, 1.0);
+    EXPECT_EQ(types::ValuesEqual(a, b), types::ValuesEqual(b, a));
+    // Reflexivity.
+    EXPECT_TRUE(types::ValuesEqual(a, a));
+    EXPECT_DOUBLE_EQ(types::ValueSimilarity(a, a), 1.0);
+  }
+}
+
+TEST_P(SeededTest, MongeElkanBoundedAndReflexive) {
+  util::Rng rng(GetParam() + 5);
+  const char* words[] = {"spring", "field", "north", "lake", "john", "doe"};
+  auto random_label = [&]() {
+    std::string s;
+    const int n = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < n; ++i) {
+      if (i) s += " ";
+      s += words[rng.NextBounded(6)];
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string a = random_label(), b = random_label();
+    const double s = util::MongeElkanLevenshtein(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_DOUBLE_EQ(util::MongeElkanLevenshtein(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(s, util::MongeElkanLevenshtein(b, a));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation invariants
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededTest, ClusteringEvalPerfectIsOneAndBounded) {
+  util::Rng rng(GetParam() * 11 + 1);
+  // Random gold standard over synthetic row refs.
+  eval::GoldStandard gold;
+  gold.cls = 0;
+  int table = 0, row = 0;
+  const int num_clusters = 3 + static_cast<int>(rng.NextBounded(10));
+  for (int c = 0; c < num_clusters; ++c) {
+    eval::GsCluster cluster;
+    const int size = 1 + static_cast<int>(rng.NextBounded(5));
+    for (int r = 0; r < size; ++r) {
+      cluster.rows.push_back({table, row++});
+      if (row > 3) {
+        ++table;
+        row = 0;
+      }
+    }
+    cluster.is_new = rng.NextBool(0.4);
+    gold.clusters.push_back(std::move(cluster));
+  }
+  gold.BuildLookups();
+
+  // Perfect clustering scores exactly 1.
+  std::vector<std::vector<webtable::RowRef>> perfect;
+  for (const auto& c : gold.clusters) perfect.push_back(c.rows);
+  auto result = eval::EvaluateClustering(perfect, gold);
+  EXPECT_DOUBLE_EQ(result.f1, 1.0);
+
+  // Random clusterings stay bounded in [0, 1].
+  std::vector<webtable::RowRef> all_rows;
+  for (const auto& c : gold.clusters) {
+    for (const auto& r : c.rows) all_rows.push_back(r);
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(all_rows.size()));
+    std::vector<std::vector<webtable::RowRef>> random_clusters(k);
+    for (const auto& r : all_rows) {
+      random_clusters[rng.NextBounded(k)].push_back(r);
+    }
+    auto rr = eval::EvaluateClustering(random_clusters, gold);
+    EXPECT_GE(rr.penalized_precision, 0.0);
+    EXPECT_LE(rr.penalized_precision, 1.0);
+    EXPECT_GE(rr.average_recall, 0.0);
+    EXPECT_LE(rr.average_recall, 1.0);
+    EXPECT_LE(rr.f1, 1.0);
+  }
+}
+
+TEST_P(SeededTest, FoldAssignmentPartitionsEverything) {
+  util::Rng rng(GetParam() * 3 + 11);
+  const size_t n = 20 + rng.NextBounded(100);
+  std::vector<int64_t> group(n, -1);
+  std::vector<int> stratum(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) group[i] = static_cast<int64_t>(rng.NextBounded(8));
+    stratum[i] = static_cast<int>(rng.NextBounded(2));
+  }
+  const int k = 2 + static_cast<int>(rng.NextBounded(4));
+  auto folds = ml::AssignFolds(n, group, stratum, k, rng);
+  ASSERT_EQ(folds.size(), n);
+  std::map<int64_t, std::set<int>> folds_per_group;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GE(folds[i], 0);
+    EXPECT_LT(folds[i], k);
+    if (group[i] >= 0) folds_per_group[group[i]].insert(folds[i]);
+  }
+  for (const auto& [g, fold_set] : folds_per_group) {
+    EXPECT_EQ(fold_set.size(), 1u) << "group " << g << " split across folds";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser fuzz: no crashes, classified output always self-consistent
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededTest, CellClassifierNeverMisbehavesOnRandomBytes) {
+  util::Rng rng(GetParam() * 131 + 17);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string cell;
+    const size_t len = rng.NextBounded(24);
+    for (size_t i = 0; i < len; ++i) {
+      cell.push_back(static_cast<char>(32 + rng.NextBounded(95)));
+    }
+    const auto result = types::ClassifyCell(cell);
+    switch (result.type) {
+      case types::DetectedType::kDate:
+        EXPECT_EQ(result.value.type, types::DataType::kDate);
+        EXPECT_GE(result.value.date.year, 1000);
+        EXPECT_LE(result.value.date.year, 2999);
+        break;
+      case types::DetectedType::kQuantity:
+        EXPECT_EQ(result.value.type, types::DataType::kQuantity);
+        break;
+      case types::DetectedType::kText:
+        EXPECT_EQ(result.value.type, types::DataType::kText);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+}  // namespace
+}  // namespace ltee

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "index/label_index.h"
+#include "util/similarity.h"
+#include "matching/attribute_matchers.h"
+#include "matching/label_attribute.h"
+#include "matching/property_value_profile.h"
+#include "matching/schema_matcher.h"
+#include "matching/table_to_class.h"
+#include "pipeline/pipeline.h"
+#include "test_dataset.h"
+
+namespace ltee::matching {
+namespace {
+
+using ::ltee::testing::SharedDataset;
+
+webtable::WebTable MakePlayerTable() {
+  webtable::WebTable table;
+  table.id = 0;
+  table.headers = {"Player", "Team", "Height"};
+  table.rows = {{"John Smith", "Dallas Cowboys", "190"},
+                {"Jane Doe", "Chicago Bears", "185"},
+                {"Jim Poe", "Miami Dolphins", "200"}};
+  return table;
+}
+
+TEST(LabelAttributeTest, PicksTextColumnWithMostUniqueValues) {
+  auto table = MakePlayerTable();
+  const auto types = DetectColumnTypes(table);
+  EXPECT_EQ(types[0], types::DetectedType::kText);
+  EXPECT_EQ(types[2], types::DetectedType::kQuantity);
+  EXPECT_EQ(DetectLabelColumn(table, types), 0);
+}
+
+TEST(LabelAttributeTest, TieBreaksLeftmost) {
+  webtable::WebTable table;
+  table.headers = {"A", "B"};
+  table.rows = {{"x", "p"}, {"y", "q"}};
+  const auto types = DetectColumnTypes(table);
+  EXPECT_EQ(DetectLabelColumn(table, types), 0);
+}
+
+TEST(LabelAttributeTest, NoTextColumnYieldsMinusOne) {
+  webtable::WebTable table;
+  table.headers = {"A", "B"};
+  table.rows = {{"1", "2"}, {"3", "4"}};
+  const auto types = DetectColumnTypes(table);
+  EXPECT_EQ(DetectLabelColumn(table, types), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Property value profiles (KB-Overlap substrate)
+// ---------------------------------------------------------------------------
+
+TEST(PropertyValueProfileTest, CategoricalMembershipAndNumericRanges) {
+  kb::KnowledgeBase kb;
+  auto cls = kb.AddClass("C");
+  auto team = kb.AddProperty(cls, "team", types::DataType::kInstanceReference);
+  auto pop = kb.AddProperty(cls, "pop", types::DataType::kQuantity);
+  auto i = kb.AddInstance(cls, {"a"});
+  kb.AddFact(i, team, types::Value::InstanceRef("Dallas Cowboys"));
+  kb.AddFact(i, pop, types::Value::OfQuantity(1000));
+  auto j = kb.AddInstance(cls, {"b"});
+  kb.AddFact(j, pop, types::Value::OfQuantity(5000));
+
+  const auto profiles = BuildPropertyValueProfiles(kb);
+  EXPECT_TRUE(profiles[team].Fits(types::Value::InstanceRef("dallas cowboys")));
+  EXPECT_FALSE(profiles[team].Fits(types::Value::InstanceRef("unknown club")));
+  EXPECT_TRUE(profiles[pop].Fits(types::Value::OfQuantity(3000)));
+  EXPECT_TRUE(profiles[pop].Fits(types::Value::OfQuantity(600)));  // 0.5x slack
+  EXPECT_FALSE(profiles[pop].Fits(types::Value::OfQuantity(1000000)));
+}
+
+TEST(ValueKeyTest, CanonicalForms) {
+  EXPECT_EQ(ValueKey(types::Value::Text("The  Song")), "the song");
+  EXPECT_EQ(ValueKey(types::Value::YearDate(1987)), "1987");
+  EXPECT_EQ(ValueKey(types::Value::OfQuantity(12.4)), "12");
+  EXPECT_EQ(ValueKey(types::Value::OfInteger(9)), "9");
+}
+
+TEST(ExactValueKeyTest, DayDatesKeepFullDate) {
+  EXPECT_EQ(ExactValueKey(types::Value::DayDate(1987, 6, 5)), "1987|6|5");
+  EXPECT_EQ(ExactValueKey(types::Value::YearDate(1987)), "1987");
+}
+
+// ---------------------------------------------------------------------------
+// Table-to-class matching on the shared synthetic dataset
+// ---------------------------------------------------------------------------
+
+class TableToClassTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_ = pipeline::BuildKbLabelIndex(SharedDataset().kb);
+  }
+  index::LabelIndex index_;
+};
+
+TEST_F(TableToClassTest, MajorityOfGoldTablesMatchTheirClass) {
+  const auto& ds = SharedDataset();
+  int total = 0, correct = 0;
+  for (size_t g = 0; g < ds.gold.size(); ++g) {
+    const auto& gs = ds.gold[g];
+    for (size_t k = 0; k < gs.tables.size() && k < 40; ++k) {
+      const auto& table = ds.gs_corpus.table(gs.tables[k]);
+      const auto column_types = DetectColumnTypes(table);
+      const int label = DetectLabelColumn(table, column_types);
+      if (label < 0) continue;
+      auto result =
+          MatchTableToClass(table, label, column_types, ds.kb, index_);
+      ++total;
+      if (result.cls == gs.cls) ++correct;
+    }
+  }
+  ASSERT_GT(total, 50);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.7);
+}
+
+TEST_F(TableToClassTest, RowInstancesPointToMatchingLabels) {
+  const auto& ds = SharedDataset();
+  const auto& gs = ds.gold.front();
+  const auto& table = ds.gs_corpus.table(gs.tables.front());
+  const auto column_types = DetectColumnTypes(table);
+  const int label = DetectLabelColumn(table, column_types);
+  ASSERT_GE(label, 0);
+  auto result = MatchTableToClass(table, label, column_types, ds.kb, index_);
+  ASSERT_EQ(result.row_instance.size(), table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (result.row_instance[r] == kb::kInvalidInstance) continue;
+    const auto& instance = ds.kb.instance(result.row_instance[r]);
+    double best = 0.0;
+    for (const auto& lbl : instance.labels) {
+      best = std::max(best, util::MongeElkanLevenshtein(
+                                table.cell(r, label), lbl));
+    }
+    EXPECT_GE(best, 0.8);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Individual attribute matchers
+// ---------------------------------------------------------------------------
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cls_ = kb_.AddClass("C");
+    team_ = kb_.AddProperty(cls_, "team", types::DataType::kInstanceReference,
+                            {"Club"});
+    height_ = kb_.AddProperty(cls_, "height", types::DataType::kQuantity);
+    auto a = kb_.AddInstance(cls_, {"John Smith"});
+    kb_.AddFact(a, team_, types::Value::InstanceRef("dallas cowboys"));
+    kb_.AddFact(a, height_, types::Value::OfQuantity(190));
+    auto b = kb_.AddInstance(cls_, {"Jane Doe"});
+    kb_.AddFact(b, team_, types::Value::InstanceRef("chicago bears"));
+    kb_.AddFact(b, height_, types::Value::OfQuantity(185));
+    profiles_ = BuildPropertyValueProfiles(kb_);
+    inputs_.kb = &kb_;
+    inputs_.value_profiles = &profiles_;
+    table_ = MakePlayerTable();
+  }
+
+  kb::KnowledgeBase kb_;
+  kb::ClassId cls_;
+  kb::PropertyId team_, height_;
+  std::vector<PropertyValueProfile> profiles_;
+  MatcherInputs inputs_;
+  webtable::WebTable table_;
+};
+
+TEST_F(MatcherTest, KbOverlapPrefersFittingColumn) {
+  const double team_col =
+      RunMatcher(MatcherId::kKbOverlap, inputs_, table_, 1, team_);
+  const double label_col =
+      RunMatcher(MatcherId::kKbOverlap, inputs_, table_, 0, team_);
+  EXPECT_GT(team_col, 0.5);   // two of three teams exist in the KB
+  EXPECT_LT(label_col, team_col);
+  const double height_col =
+      RunMatcher(MatcherId::kKbOverlap, inputs_, table_, 2, height_);
+  EXPECT_DOUBLE_EQ(height_col, 1.0);  // all heights inside the range
+}
+
+TEST_F(MatcherTest, KbLabelMatchesHeaderToPropertyLabels) {
+  EXPECT_DOUBLE_EQ(RunMatcher(MatcherId::kKbLabel, inputs_, table_, 1, team_),
+                   1.0);  // "Team" == label "team"
+  EXPECT_LT(RunMatcher(MatcherId::kKbLabel, inputs_, table_, 2, team_), 0.6);
+  EXPECT_DOUBLE_EQ(
+      RunMatcher(MatcherId::kKbLabel, inputs_, table_, 2, height_), 1.0);
+}
+
+TEST_F(MatcherTest, KbDuplicateNeedsCorrespondences) {
+  EXPECT_DOUBLE_EQ(
+      RunMatcher(MatcherId::kKbDuplicate, inputs_, table_, 1, team_), -1.0);
+  RowInstanceMap instances;
+  instances[{0, 0}] = 0;  // John Smith
+  instances[{0, 1}] = 1;  // Jane Doe
+  inputs_.row_instances = &instances;
+  EXPECT_DOUBLE_EQ(
+      RunMatcher(MatcherId::kKbDuplicate, inputs_, table_, 1, team_), 1.0);
+  EXPECT_DOUBLE_EQ(
+      RunMatcher(MatcherId::kKbDuplicate, inputs_, table_, 2, team_), 0.0);
+}
+
+TEST_F(MatcherTest, WtMatchersNeedFeedback) {
+  EXPECT_DOUBLE_EQ(RunMatcher(MatcherId::kWtLabel, inputs_, table_, 1, team_),
+                   -1.0);
+  EXPECT_DOUBLE_EQ(
+      RunMatcher(MatcherId::kWtDuplicate, inputs_, table_, 1, team_), -1.0);
+}
+
+TEST_F(MatcherTest, WtLabelScoresFromPreliminaryMapping) {
+  webtable::TableCorpus corpus;
+  corpus.Add(MakePlayerTable());
+  SchemaMapping preliminary;
+  preliminary.tables.resize(1);
+  preliminary.tables[0].table = 0;
+  preliminary.tables[0].columns.resize(3);
+  preliminary.tables[0].columns[1].property = team_;
+  auto stats = WtLabelStats::Build(corpus, preliminary);
+  EXPECT_DOUBLE_EQ(stats.Score("Team", team_), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Score("Team", height_), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Score("Unseen Header", team_), -1.0);
+}
+
+TEST_F(MatcherTest, WtDuplicateCountsClusterValues) {
+  webtable::TableCorpus corpus;
+  auto t0 = MakePlayerTable();
+  auto t1 = MakePlayerTable();  // same content, second table
+  corpus.Add(std::move(t0));
+  corpus.Add(std::move(t1));
+  SchemaMapping preliminary;
+  preliminary.tables.resize(2);
+  for (int t = 0; t < 2; ++t) {
+    preliminary.tables[t].table = t;
+    preliminary.tables[t].columns.resize(3);
+    preliminary.tables[t].columns[1].property = team_;
+  }
+  RowClusterMap clusters;
+  for (int t = 0; t < 2; ++t) {
+    for (int r = 0; r < 3; ++r) clusters[{t, r}] = r;  // row r = cluster r
+  }
+  auto index = WtDuplicateIndex::Build(corpus, preliminary, clusters, kb_);
+  EXPECT_EQ(index.Count(0, team_, "dallas cowboys"), 2);
+  EXPECT_EQ(index.Count(1, team_, "dallas cowboys"), 0);
+
+  inputs_.row_clusters = &clusters;
+  inputs_.wt_duplicate = &index;
+  inputs_.preliminary = &preliminary;
+  const double score = RunMatcher(MatcherId::kWtDuplicate, inputs_,
+                                  corpus.table(0), 1, team_);
+  EXPECT_DOUBLE_EQ(score, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end schema matcher on the shared dataset
+// ---------------------------------------------------------------------------
+
+TEST(SchemaMatcherTest, LearnsAndMatchesGoldTables) {
+  const auto& ds = SharedDataset();
+  auto kb_index = pipeline::BuildKbLabelIndex(ds.kb);
+  SchemaMatcher matcher(ds.kb, kb_index);
+  util::Rng rng(17);
+
+  std::vector<webtable::TableId> tables;
+  std::vector<AttributeAnnotation> annotations;
+  for (const auto& gs : ds.gold) {
+    for (auto t : gs.tables) tables.push_back(t);
+    for (const auto& a : gs.attributes) {
+      annotations.push_back({a.table, a.column, a.property});
+    }
+  }
+  matcher.Learn(ds.gs_corpus, tables, annotations, {}, rng);
+  auto mapping = matcher.Match(ds.gs_corpus);
+
+  // In-sample attribute matching should reach a solid F1.
+  int tp = 0, fp = 0, fn = 0;
+  std::map<std::pair<webtable::TableId, int>, kb::PropertyId> annotated;
+  for (const auto& a : annotations) annotated[{a.table, a.column}] = a.property;
+  for (const auto& tm : mapping.tables) {
+    if (tm.table < 0) continue;
+    for (size_t c = 0; c < tm.columns.size(); ++c) {
+      if (tm.columns[c].property == kb::kInvalidProperty) continue;
+      auto it = annotated.find({tm.table, static_cast<int>(c)});
+      if (it != annotated.end() && it->second == tm.columns[c].property) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+  }
+  for (const auto& [key, prop] : annotated) {
+    const auto& tm = mapping.tables[key.first];
+    if (key.second >= static_cast<int>(tm.columns.size()) ||
+        tm.columns[key.second].property != prop) {
+      ++fn;
+    }
+  }
+  const double p = tp + fp == 0 ? 0 : static_cast<double>(tp) / (tp + fp);
+  const double r = tp + fn == 0 ? 0 : static_cast<double>(tp) / (tp + fn);
+  EXPECT_GT(p, 0.6);
+  EXPECT_GT(r, 0.4);
+}
+
+}  // namespace
+}  // namespace ltee::matching

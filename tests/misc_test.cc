@@ -1,0 +1,122 @@
+// Remaining coverage: logging levels, clusterer option edges, schema
+// matcher defaults, fusion date resolution, detector popularity handling.
+
+#include <gtest/gtest.h>
+
+#include "cluster/correlation_clusterer.h"
+#include "fusion/entity_creator.h"
+#include "matching/schema_matcher.h"
+#include "pipeline/pipeline.h"
+#include "test_dataset.h"
+#include "util/logging.h"
+
+namespace ltee {
+namespace {
+
+using ::ltee::testing::SharedDataset;
+
+TEST(LoggingTest, LevelGate) {
+  const auto previous = util::GetLogLevel();
+  util::SetLogLevel(util::LogLevel::kError);
+  EXPECT_EQ(util::GetLogLevel(), util::LogLevel::kError);
+  // Below-threshold logging must not crash and must be cheap.
+  LTEE_LOG(kDebug) << "suppressed";
+  LTEE_LOG(kInfo) << "suppressed";
+  util::SetLogLevel(previous);
+}
+
+TEST(ClusteringOptionsTest, CandidateClusterCapHolds) {
+  // 40 items, all mutually similar, all sharing one block, but the
+  // candidate cap of 1 forces the greedy phase to consider only one
+  // cluster per item; the KLj phase then merges what remains.
+  cluster::ClusteringOptions options;
+  options.max_candidate_clusters = 1;
+  options.batch_size = 1;
+  auto result = cluster::ClusterCorrelation(
+      40, [](int, int) { return 1.0; },
+      std::vector<std::vector<int32_t>>(40, {0}), options);
+  EXPECT_EQ(result.num_clusters, 1);
+}
+
+TEST(SchemaMatcherTest, UnlearnedMatcherUsesUniformWeightsAndDefaults) {
+  const auto& ds = SharedDataset();
+  auto index = pipeline::BuildKbLabelIndex(ds.kb);
+  matching::SchemaMatcherOptions options;
+  options.default_threshold = 0.99;  // practically unmatchable
+  matching::SchemaMatcher matcher(ds.kb, index, options);
+  auto mapping = matcher.MatchTable(ds.gs_corpus, ds.gold.front().tables[0]);
+  // With a prohibitive default threshold and no learned per-property
+  // thresholds, (almost) nothing may match.
+  size_t matched = 0;
+  for (const auto& col : mapping.columns) {
+    matched += col.property != kb::kInvalidProperty &&
+                       col.score < options.default_threshold
+                   ? 1
+                   : 0;
+  }
+  EXPECT_EQ(matched, 0u);
+}
+
+TEST(DateFusionTest, ResolvesToClosestMember) {
+  kb::KnowledgeBase kb;
+  auto cls = kb.AddClass("C");
+  auto date_prop = kb.AddProperty(cls, "released", types::DataType::kDate);
+
+  rowcluster::ClassRowSet rows;
+  rows.cls = cls;
+  rows.tables = {0};
+  rows.table_implicit.resize(1);
+  rows.table_phi.resize(1);
+  for (int r = 0; r < 3; ++r) {
+    rowcluster::RowFeature feature;
+    feature.ref = {0, r};
+    feature.table_index = 0;
+    feature.raw_label = "Song";
+    feature.normalized_label = "song";
+    rows.rows.push_back(std::move(feature));
+  }
+  // Three dates in the same year (grouped equal at year granularity when
+  // one side is year-granular): 1987-03-02, 1987-03-04, 1987 (year).
+  rows.rows[0].values.push_back(
+      {date_prop, 1, types::Value::DayDate(1987, 3, 2)});
+  rows.rows[1].values.push_back(
+      {date_prop, 1, types::Value::DayDate(1987, 3, 4)});
+  rows.rows[2].values.push_back({date_prop, 1, types::Value::YearDate(1987)});
+
+  webtable::TableCorpus corpus;
+  webtable::WebTable table;
+  table.headers = {"Title", "Released"};
+  table.rows = {{"Song", "x"}, {"Song", "y"}, {"Song", "z"}};
+  corpus.Add(std::move(table));
+  matching::SchemaMapping mapping;
+  mapping.tables.resize(1);
+  mapping.tables[0].table = 0;
+  mapping.tables[0].columns.resize(2);
+
+  fusion::EntityCreator creator(kb);
+  auto entities = creator.Create(rows, {0, 0, 0}, mapping, corpus);
+  ASSERT_EQ(entities.size(), 1u);
+  const types::Value* fused = entities[0].FactOf(date_prop);
+  ASSERT_NE(fused, nullptr);
+  EXPECT_EQ(fused->date.year, 1987);
+  // The fused value is one of the actual members, not an invented date.
+  const bool is_member = (fused->date.granularity ==
+                              types::DateGranularity::kYear) ||
+                         (fused->date.month == 3 &&
+                          (fused->date.day == 2 || fused->date.day == 4));
+  EXPECT_TRUE(is_member);
+}
+
+TEST(PipelineOptionsTest, EntityCreatorFactoryAppliesScoringOverride) {
+  const auto& ds = SharedDataset();
+  pipeline::PipelineOptions options;
+  options.fusion.scoring = fusion::ScoringApproach::kVoting;
+  pipeline::LteePipeline pipe(ds.kb, options);
+  // MakeEntityCreator(scoring) must not mutate the pipeline's defaults.
+  auto kbt = pipe.MakeEntityCreator(fusion::ScoringApproach::kKbt);
+  (void)kbt;
+  EXPECT_EQ(pipe.options().fusion.scoring, fusion::ScoringApproach::kVoting);
+}
+
+}  // namespace
+}  // namespace ltee

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pipeline/gold_artifacts.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/training.h"
+#include "test_dataset.h"
+
+namespace ltee::pipeline {
+namespace {
+
+using ::ltee::testing::SharedDataset;
+
+TEST(GoldArtifactsTest, GoldMappingReflectsAnnotations) {
+  const auto& ds = SharedDataset();
+  const auto& gs = ds.gold.front();
+  auto mapping = GoldSchemaMapping(ds.gs_corpus, gs, ds.kb);
+  ASSERT_EQ(mapping.tables.size(), ds.gs_corpus.size());
+  for (const auto& attr : gs.attributes) {
+    const auto& tm = mapping.tables[attr.table];
+    EXPECT_EQ(tm.cls, gs.cls);
+    EXPECT_EQ(tm.columns[attr.column].property, attr.property);
+  }
+  // Tables of other classes stay unmapped.
+  size_t mapped = 0;
+  for (const auto& tm : mapping.tables) mapped += tm.table >= 0 ? 1 : 0;
+  EXPECT_EQ(mapped, gs.tables.size());
+}
+
+TEST(GoldArtifactsTest, RowInstancesOnlyForExistingClusters) {
+  const auto& ds = SharedDataset();
+  const auto& gs = ds.gold.front();
+  auto instances = GoldRowInstances(gs);
+  for (const auto& cluster : gs.clusters) {
+    for (const auto& row : cluster.rows) {
+      if (cluster.is_new) {
+        EXPECT_EQ(instances.count(row), 0u);
+      } else {
+        ASSERT_EQ(instances.count(row), 1u);
+        EXPECT_EQ(instances[row], cluster.kb_instance);
+      }
+    }
+  }
+}
+
+TEST(GoldArtifactsTest, RowClustersOffsetApplied) {
+  const auto& ds = SharedDataset();
+  const auto& gs = ds.gold.front();
+  auto clusters = GoldRowClusters(gs, 1000);
+  for (const auto& [row, cluster] : clusters) {
+    EXPECT_GE(cluster, 1000);
+    EXPECT_LT(cluster, 1000 + static_cast<int>(gs.clusters.size()));
+  }
+}
+
+TEST(KbLabelIndexTest, FindsInstancesByLabel) {
+  const auto& ds = SharedDataset();
+  auto index = BuildKbLabelIndex(ds.kb);
+  const auto& instance = ds.kb.instances().front();
+  auto hits = index.Search(instance.labels.front(), 5);
+  ASSERT_FALSE(hits.empty());
+  bool found = false;
+  for (const auto& hit : hits) {
+    if (static_cast<kb::InstanceId>(hit.doc) == instance.id) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+/// End-to-end: trained pipeline over the gold-standard corpus. Built once.
+struct TrainedRun {
+  std::unique_ptr<LteePipeline> pipeline;
+  PipelineRunResult run;
+};
+
+const TrainedRun& SharedRun() {
+  static const TrainedRun* state = [] {
+    const auto& ds = SharedDataset();
+    auto* s = new TrainedRun;
+    PipelineOptions options;
+    s->pipeline = std::make_unique<LteePipeline>(ds.kb, options);
+    util::Rng rng(41);
+    TrainPipelineOnGold(s->pipeline.get(), ds.gs_corpus, ds.gold, rng);
+    std::vector<kb::ClassId> classes;
+    for (const auto& gs : ds.gold) classes.push_back(gs.cls);
+    s->run = s->pipeline->Run(ds.gs_corpus, classes);
+    return s;
+  }();
+  return *state;
+}
+
+TEST(PipelineTest, RunProducesOneMappingPerIteration) {
+  const auto& run = SharedRun().run;
+  EXPECT_EQ(run.mappings.size(), 2u);
+  EXPECT_EQ(run.classes.size(), 3u);
+}
+
+TEST(PipelineTest, ClassResultsAreInternallyConsistent) {
+  const auto& run = SharedRun().run;
+  for (const auto& class_run : run.classes) {
+    EXPECT_EQ(class_run.cluster_of_row.size(), class_run.rows.rows.size());
+    EXPECT_EQ(class_run.detections.size(), class_run.entities.size());
+    std::set<int> clusters(class_run.cluster_of_row.begin(),
+                           class_run.cluster_of_row.end());
+    EXPECT_EQ(static_cast<int>(clusters.size()), class_run.num_clusters);
+    for (const auto& entity : class_run.entities) {
+      EXPECT_EQ(entity.cls, class_run.cls);
+      EXPECT_FALSE(entity.rows.empty());
+    }
+  }
+}
+
+TEST(PipelineTest, SecondIterationMatchesAtLeastAsManyColumns) {
+  const auto& run = SharedRun().run;
+  auto count_matched = [](const matching::SchemaMapping& mapping) {
+    size_t matched = 0;
+    for (const auto& tm : mapping.tables) {
+      for (const auto& col : tm.columns) {
+        matched += col.property != kb::kInvalidProperty ? 1 : 0;
+      }
+    }
+    return matched;
+  };
+  // The duplicate-based matchers add signals; the refined mapping should
+  // not collapse.
+  EXPECT_GE(count_matched(run.mappings[1]) * 10,
+            count_matched(run.mappings[0]) * 7);
+}
+
+TEST(PipelineTest, DetectionsFindBothNewAndExisting) {
+  const auto& run = SharedRun().run;
+  size_t new_count = 0, existing_count = 0;
+  for (const auto& class_run : run.classes) {
+    for (const auto& detection : class_run.detections) {
+      (detection.is_new ? new_count : existing_count) += 1;
+    }
+  }
+  EXPECT_GT(new_count, 0u);
+  EXPECT_GT(existing_count, 0u);
+}
+
+TEST(PipelineTest, FeedbackMapsCoverClusteredRows) {
+  const auto& run = SharedRun().run;
+  matching::RowInstanceMap instances;
+  matching::RowClusterMap clusters;
+  LteePipeline::CollectFeedback(run.classes, &instances, &clusters);
+  size_t total_rows = 0;
+  for (const auto& class_run : run.classes) {
+    total_rows += class_run.rows.rows.size();
+  }
+  EXPECT_EQ(clusters.size(), total_rows);
+  EXPECT_LE(instances.size(), total_rows);
+  EXPECT_GT(instances.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ltee::pipeline

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kb/serialization.h"
+#include "test_dataset.h"
+#include "eval/gold_serialization.h"
+#include "webtable/serialization.h"
+
+namespace ltee {
+namespace {
+
+using ::ltee::testing::SharedDataset;
+
+TEST(EscapeTest, RoundTripsSpecials) {
+  const std::string nasty = "a\tb\nc\\d";
+  EXPECT_EQ(kb::UnescapeField(kb::EscapeField(nasty)), nasty);
+  EXPECT_EQ(kb::EscapeField("plain"), "plain");
+}
+
+TEST(ValueSerializationTest, RoundTripsEveryType) {
+  const types::Value values[] = {
+      types::Value::Text("hello world"),
+      types::Value::Nominal("iso-3166"),
+      types::Value::InstanceRef("dallas cowboys", 42),
+      types::Value::InstanceRef("unresolved"),
+      types::Value::YearDate(1987),
+      types::Value::DayDate(1987, 6, 5),
+      types::Value::OfQuantity(12345.5),
+      types::Value::OfInteger(-7),
+  };
+  for (const auto& v : values) {
+    auto round = kb::DeserializeValue(kb::SerializeValue(v));
+    ASSERT_TRUE(round.has_value()) << kb::SerializeValue(v);
+    EXPECT_EQ(round->type, v.type);
+    EXPECT_EQ(round->text, v.text);
+    EXPECT_EQ(round->ref, v.ref);
+    EXPECT_EQ(round->integer, v.integer);
+    EXPECT_DOUBLE_EQ(round->number, v.number);
+    EXPECT_EQ(round->date, v.date);
+  }
+}
+
+TEST(ValueSerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(kb::DeserializeValue("").has_value());
+  EXPECT_FALSE(kb::DeserializeValue("notavalue").has_value());
+  EXPECT_FALSE(kb::DeserializeValue("99:payload").has_value());
+  EXPECT_FALSE(kb::DeserializeValue("3:garbagedate|X").has_value());
+}
+
+TEST(KbSerializationTest, RoundTripsSyntheticKb) {
+  const auto& ds = SharedDataset();
+  std::stringstream stream;
+  kb::SaveKnowledgeBase(ds.kb, stream);
+  auto loaded = kb::LoadKnowledgeBase(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_classes(), ds.kb.num_classes());
+  ASSERT_EQ(loaded->num_properties(), ds.kb.num_properties());
+  ASSERT_EQ(loaded->num_instances(), ds.kb.num_instances());
+  // Spot-check schema and facts.
+  for (size_t c = 0; c < ds.kb.num_classes(); ++c) {
+    EXPECT_EQ(loaded->cls(static_cast<kb::ClassId>(c)).name,
+              ds.kb.cls(static_cast<kb::ClassId>(c)).name);
+    EXPECT_EQ(loaded->cls(static_cast<kb::ClassId>(c)).parent,
+              ds.kb.cls(static_cast<kb::ClassId>(c)).parent);
+  }
+  for (size_t p = 0; p < ds.kb.num_properties(); ++p) {
+    const auto& a = ds.kb.property(static_cast<kb::PropertyId>(p));
+    const auto& b = loaded->property(static_cast<kb::PropertyId>(p));
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.labels, b.labels);
+  }
+  for (size_t i = 0; i < ds.kb.num_instances(); i += 37) {
+    const auto& a = ds.kb.instance(static_cast<kb::InstanceId>(i));
+    const auto& b = loaded->instance(static_cast<kb::InstanceId>(i));
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.cls, b.cls);
+    ASSERT_EQ(a.facts.size(), b.facts.size());
+    for (size_t f = 0; f < a.facts.size(); ++f) {
+      EXPECT_EQ(a.facts[f].property, b.facts[f].property);
+      EXPECT_EQ(a.facts[f].value.ToString(), b.facts[f].value.ToString());
+    }
+    EXPECT_EQ(a.abstract_tokens, b.abstract_tokens);
+  }
+}
+
+TEST(KbSerializationTest, RejectsMalformedInput) {
+  std::stringstream bad("X\tunknown\trecord\n");
+  EXPECT_FALSE(kb::LoadKnowledgeBase(bad).has_value());
+  std::stringstream truncated("C\t0\n");
+  EXPECT_FALSE(kb::LoadKnowledgeBase(truncated).has_value());
+}
+
+TEST(CorpusSerializationTest, RoundTripsSyntheticCorpus) {
+  const auto& ds = SharedDataset();
+  std::stringstream stream;
+  webtable::SaveCorpus(ds.gs_corpus, stream);
+  auto loaded = webtable::LoadCorpus(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), ds.gs_corpus.size());
+  for (size_t t = 0; t < ds.gs_corpus.size(); t += 11) {
+    const auto& a = ds.gs_corpus.table(static_cast<int>(t));
+    const auto& b = loaded->table(static_cast<int>(t));
+    EXPECT_EQ(a.headers, b.headers);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.page_url, b.page_url);
+  }
+}
+
+TEST(CorpusSerializationTest, RejectsRowWidthMismatch) {
+  std::stringstream bad("T\turl\nH\ta\tb\nR\tonly-one-cell\n");
+  EXPECT_FALSE(webtable::LoadCorpus(bad).has_value());
+}
+
+TEST(CorpusSerializationTest, EmptyCorpusRoundTrips) {
+  webtable::TableCorpus corpus;
+  std::stringstream stream;
+  webtable::SaveCorpus(corpus, stream);
+  auto loaded = webtable::LoadCorpus(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+
+TEST(GoldSerializationTest, RoundTripsSyntheticGold) {
+  const auto& ds = SharedDataset();
+  std::stringstream stream;
+  eval::SaveGoldStandards(ds.gold, stream);
+  auto loaded = eval::LoadGoldStandards(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), ds.gold.size());
+  for (size_t g = 0; g < ds.gold.size(); ++g) {
+    const auto& a = ds.gold[g];
+    const auto& b = (*loaded)[g];
+    EXPECT_EQ(a.cls, b.cls);
+    EXPECT_EQ(a.tables, b.tables);
+    ASSERT_EQ(a.clusters.size(), b.clusters.size());
+    for (size_t c = 0; c < a.clusters.size(); ++c) {
+      EXPECT_EQ(a.clusters[c].rows, b.clusters[c].rows);
+      EXPECT_EQ(a.clusters[c].is_new, b.clusters[c].is_new);
+      EXPECT_EQ(a.clusters[c].kb_instance, b.clusters[c].kb_instance);
+      EXPECT_EQ(a.clusters[c].homonym_group, b.clusters[c].homonym_group);
+    }
+    ASSERT_EQ(a.facts.size(), b.facts.size());
+    for (size_t f = 0; f < a.facts.size(); ++f) {
+      EXPECT_EQ(a.facts[f].cluster, b.facts[f].cluster);
+      EXPECT_EQ(a.facts[f].property, b.facts[f].property);
+      EXPECT_EQ(a.facts[f].correct_value_present,
+                b.facts[f].correct_value_present);
+      EXPECT_EQ(a.facts[f].correct_value.ToString(),
+                b.facts[f].correct_value.ToString());
+    }
+    // Lookups rebuilt.
+    EXPECT_EQ(b.ClusterOfRow(a.clusters[0].rows[0]), 0);
+  }
+}
+
+TEST(GoldSerializationTest, RejectsMalformedInput) {
+  std::stringstream no_header("K 1 -1 -1 -1 0:0\n");
+  EXPECT_FALSE(eval::LoadGoldStandards(no_header).has_value());
+  std::stringstream bad_fact("G 0\nF 0 0 1 garbage\n");
+  EXPECT_FALSE(eval::LoadGoldStandards(bad_fact).has_value());
+}
+
+}  // namespace
+}  // namespace ltee

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/string_util.h"
+
+#include "synth/corpus_builder.h"
+#include "synth/dataset.h"
+#include "synth/world.h"
+#include "test_dataset.h"
+#include "types/type_similarity.h"
+#include "types/value_parser.h"
+
+namespace ltee::synth {
+namespace {
+
+using ::ltee::testing::SharedDataset;
+
+// ---------------------------------------------------------------------------
+// World generation
+// ---------------------------------------------------------------------------
+
+TEST(WorldTest, SizesScaleWithProfiles) {
+  util::Rng rng(1);
+  auto world = BuildWorld(DefaultProfiles(), 0.002, rng);
+  ASSERT_EQ(world.profiles().size(), 6u);
+  for (size_t pi = 0; pi < world.profiles().size(); ++pi) {
+    const auto& profile = world.profiles()[pi];
+    size_t in_kb = 0;
+    for (int eid : world.EntitiesOfProfile(static_cast<int>(pi))) {
+      in_kb += world.entity(eid).in_kb ? 1 : 0;
+    }
+    // At least the floor of 30 head entities.
+    EXPECT_GE(in_kb, 30u) << profile.name;
+    EXPECT_GT(world.EntitiesOfProfile(static_cast<int>(pi)).size(), in_kb);
+  }
+}
+
+TEST(WorldTest, DeterministicForSameSeed) {
+  util::Rng rng_a(5), rng_b(5);
+  auto a = BuildWorld(DefaultProfiles(), 0.001, rng_a);
+  auto b = BuildWorld(DefaultProfiles(), 0.001, rng_b);
+  ASSERT_EQ(a.entities().size(), b.entities().size());
+  for (size_t i = 0; i < a.entities().size(); ++i) {
+    EXPECT_EQ(a.entity(i).label, b.entity(i).label);
+  }
+}
+
+TEST(WorldTest, HomonymGroupsShareLabels) {
+  util::Rng rng(2);
+  auto world = BuildWorld(DefaultProfiles(), 0.003, rng);
+  std::map<int64_t, std::set<std::string>> labels_by_group;
+  size_t grouped = 0;
+  for (const auto& entity : world.entities()) {
+    if (entity.homonym_group >= 0) {
+      labels_by_group[entity.homonym_group].insert(entity.label);
+      ++grouped;
+    }
+  }
+  EXPECT_GT(grouped, 0u);  // the Song profile guarantees homonyms
+  for (const auto& [group, labels] : labels_by_group) {
+    EXPECT_EQ(labels.size(), 1u) << "group " << group;
+  }
+}
+
+TEST(WorldTest, TruthValuesMatchPropertyTypes) {
+  util::Rng rng(3);
+  auto world = BuildWorld(DefaultProfiles(), 0.001, rng);
+  for (const auto& entity : world.entities()) {
+    const auto& profile = world.profiles()[entity.profile_index];
+    ASSERT_EQ(entity.truth.size(), profile.properties.size());
+    for (size_t k = 0; k < entity.truth.size(); ++k) {
+      EXPECT_EQ(entity.truth[k].type, profile.properties[k].type);
+    }
+  }
+}
+
+TEST(GenerateValueTest, RangesRespected) {
+  NamePools pools;
+  util::Rng rng(4);
+  PropertyProfile prop;
+  prop.type = types::DataType::kNominalInteger;
+  prop.gen = ValueGen::kSmallInt;
+  prop.qmin = 1;
+  prop.qmax = 7;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = GenerateValue(prop, pools, rng);
+    EXPECT_GE(v.integer, 1);
+    EXPECT_LE(v.integer, 7);
+  }
+  prop.type = types::DataType::kDate;
+  prop.gen = ValueGen::kYear;
+  prop.qmin = 1970;
+  prop.qmax = 2012;
+  for (int i = 0; i < 50; ++i) {
+    const auto v = GenerateValue(prop, pools, rng);
+    EXPECT_GE(v.date.year, 1970);
+    EXPECT_LE(v.date.year, 2012);
+    EXPECT_EQ(v.date.granularity, types::DateGranularity::kYear);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Value rendering round-trips
+// ---------------------------------------------------------------------------
+
+TEST(RenderValueTest, QuantityRoundTripsThroughParser) {
+  util::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double q = std::floor(rng.NextDouble() * 2000000);
+    const std::string cell = RenderValue(types::Value::OfQuantity(q), rng);
+    auto parsed = types::NormalizeCell(cell, types::DataType::kQuantity);
+    ASSERT_TRUE(parsed.has_value()) << cell;
+    EXPECT_DOUBLE_EQ(parsed->number, q) << cell;
+  }
+}
+
+TEST(RenderValueTest, DayDateRoundTripsThroughParser) {
+  util::Rng rng(7);
+  const auto value = types::Value::DayDate(1987, 6, 5);
+  for (int i = 0; i < 50; ++i) {
+    const std::string cell = RenderValue(value, rng);
+    auto parsed = types::NormalizeCell(cell, types::DataType::kDate);
+    ASSERT_TRUE(parsed.has_value()) << cell;
+    EXPECT_EQ(parsed->date.year, 1987) << cell;
+    // Year-only renderings legitimately lose the day.
+    if (parsed->date.granularity == types::DateGranularity::kDay) {
+      EXPECT_EQ(parsed->date.month, 6);
+      EXPECT_EQ(parsed->date.day, 5);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Knowledge base construction
+// ---------------------------------------------------------------------------
+
+TEST(KbBuilderTest, KbContainsOnlyHeadEntities) {
+  const auto& ds = SharedDataset();
+  for (const auto& entity : ds.world.entities()) {
+    if (entity.in_kb) {
+      EXPECT_NE(entity.kb_id, kb::kInvalidInstance);
+    } else {
+      EXPECT_EQ(entity.kb_id, kb::kInvalidInstance);
+    }
+  }
+}
+
+TEST(KbBuilderTest, DensitiesApproximateProfiles) {
+  const auto& ds = SharedDataset();
+  for (size_t pi = 0; pi < ds.world.profiles().size(); ++pi) {
+    const auto& profile = ds.world.profiles()[pi];
+    if (!profile.is_target) continue;
+    const size_t n = std::max<size_t>(
+        1, ds.kb.InstancesOfClass(ds.class_of_profile[pi]).size());
+    double total_abs_diff = 0.0;
+    for (size_t k = 0; k < profile.properties.size(); ++k) {
+      const auto stats = ds.kb.StatsOfProperty(ds.property_ids[pi][k]);
+      const double p = profile.properties[k].kb_density;
+      // Binomial sampling noise band: 4 standard deviations.
+      const double tolerance =
+          std::max(0.1, 4.0 * std::sqrt(p * (1.0 - p) /
+                                        static_cast<double>(n)));
+      EXPECT_NEAR(stats.density, p, tolerance)
+          << profile.name << "/" << profile.properties[k].name;
+      total_abs_diff += std::abs(stats.density - p);
+    }
+    // Densities track the profile on average even at tiny scales.
+    EXPECT_LT(total_abs_diff / profile.properties.size(), 0.12)
+        << profile.name;
+  }
+}
+
+TEST(KbBuilderTest, OntologyHasSharedRoots) {
+  const auto& ds = SharedDataset();
+  const auto player = ds.kb.FindClass("GridironFootballPlayer");
+  const auto basketball = ds.kb.FindClass("BasketballPlayer");
+  ASSERT_NE(player, kb::kInvalidClass);
+  ASSERT_NE(basketball, kb::kInvalidClass);
+  EXPECT_TRUE(ds.kb.ClassesCompatible(player, basketball));  // siblings
+  const auto song = ds.kb.FindClass("Song");
+  EXPECT_FALSE(ds.kb.ClassesCompatible(player, song));
+}
+
+// ---------------------------------------------------------------------------
+// Corpus construction
+// ---------------------------------------------------------------------------
+
+TEST(CorpusBuilderTest, TruthAlignsWithTables) {
+  const auto& ds = SharedDataset();
+  ASSERT_EQ(ds.table_truth.size(), ds.corpus.size());
+  for (size_t t = 0; t < ds.corpus.size(); ++t) {
+    const auto& table = ds.corpus.table(static_cast<int>(t));
+    const auto& truth = ds.table_truth[t];
+    EXPECT_EQ(truth.row_entity.size(), table.num_rows());
+    EXPECT_EQ(truth.column_property.size(), table.num_columns());
+    ASSERT_GE(truth.label_column, 0);
+    EXPECT_LT(truth.label_column, static_cast<int>(table.num_columns()));
+    EXPECT_EQ(truth.column_property[truth.label_column],
+              TableTruth::kLabelColumn);
+  }
+}
+
+TEST(CorpusBuilderTest, LabelCellsUsuallyMatchEntityLabels) {
+  const auto& ds = SharedDataset();
+  size_t checked = 0, exact = 0;
+  for (size_t t = 0; t < ds.corpus.size() && checked < 2000; ++t) {
+    const auto& table = ds.corpus.table(static_cast<int>(t));
+    const auto& truth = ds.table_truth[t];
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const auto& entity = ds.world.entity(truth.row_entity[r]);
+      ++checked;
+      if (util::NormalizeLabel(
+              table.cell(r, static_cast<size_t>(truth.label_column))) ==
+          util::NormalizeLabel(entity.label)) {
+        ++exact;
+      }
+    }
+  }
+  // Typos exist but must be rare.
+  EXPECT_GT(static_cast<double>(exact) / checked, 0.9);
+}
+
+TEST(CorpusBuilderTest, MostCellsOfMatchedColumnsHoldTrueValues) {
+  const auto& ds = SharedDataset();
+  const types::TypeSimilarityOptions sim;
+  size_t comparable = 0, correct = 0;
+  for (size_t t = 0; t < ds.corpus.size(); ++t) {
+    const auto& table = ds.corpus.table(static_cast<int>(t));
+    const auto& truth = ds.table_truth[t];
+    const auto& profile = ds.world.profiles()[truth.profile_index];
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const int cp = truth.column_property[c];
+      if (cp < 0) continue;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        auto value = types::NormalizeCell(table.cell(r, c),
+                                          profile.properties[cp].type);
+        if (!value) continue;
+        ++comparable;
+        const auto& entity = ds.world.entity(truth.row_entity[r]);
+        if (types::ValuesEqual(*value, entity.truth[cp], sim)) ++correct;
+      }
+    }
+  }
+  ASSERT_GT(comparable, 1000u);
+  const double accuracy = static_cast<double>(correct) / comparable;
+  EXPECT_GT(accuracy, 0.6);   // noise exists...
+  EXPECT_LT(accuracy, 0.995); // ...but is not overwhelming
+}
+
+// ---------------------------------------------------------------------------
+// Gold standard construction
+// ---------------------------------------------------------------------------
+
+TEST(GoldStandardBuilderTest, OnePerTargetClass) {
+  const auto& ds = SharedDataset();
+  EXPECT_EQ(ds.gold.size(), 3u);
+  std::set<kb::ClassId> classes;
+  for (const auto& gs : ds.gold) classes.insert(gs.cls);
+  EXPECT_EQ(classes.size(), 3u);
+}
+
+TEST(GoldStandardBuilderTest, ClustersAreConsistent) {
+  const auto& ds = SharedDataset();
+  for (const auto& gs : ds.gold) {
+    EXPECT_GT(gs.clusters.size(), 10u);
+    for (const auto& cluster : gs.clusters) {
+      EXPECT_FALSE(cluster.rows.empty());
+      if (!cluster.is_new) {
+        EXPECT_NE(cluster.kb_instance, kb::kInvalidInstance);
+      } else {
+        EXPECT_EQ(cluster.kb_instance, kb::kInvalidInstance);
+      }
+      for (const auto& row : cluster.rows) {
+        ASSERT_GE(row.table, 0);
+        ASSERT_LT(row.table, static_cast<int>(ds.gs_corpus.size()));
+        ASSERT_GE(row.row, 0);
+        ASSERT_LT(row.row,
+                  static_cast<int>(ds.gs_corpus.table(row.table).num_rows()));
+      }
+    }
+  }
+}
+
+TEST(GoldStandardBuilderTest, EveryGsRowBelongsToExactlyOneCluster) {
+  const auto& ds = SharedDataset();
+  for (const auto& gs : ds.gold) {
+    std::map<webtable::RowRef, int> seen;
+    for (size_t c = 0; c < gs.clusters.size(); ++c) {
+      for (const auto& row : gs.clusters[c].rows) {
+        EXPECT_EQ(seen.count(row), 0u);
+        seen[row] = static_cast<int>(c);
+      }
+    }
+    // All rows of the class's gold tables are annotated.
+    for (webtable::TableId tid : gs.tables) {
+      for (size_t r = 0; r < ds.gs_corpus.table(tid).num_rows(); ++r) {
+        EXPECT_TRUE(seen.count({tid, static_cast<int32_t>(r)}));
+      }
+    }
+  }
+}
+
+TEST(GoldStandardBuilderTest, FactsReferenceValidClustersAndProperties) {
+  const auto& ds = SharedDataset();
+  for (const auto& gs : ds.gold) {
+    EXPECT_FALSE(gs.facts.empty());
+    for (const auto& fact : gs.facts) {
+      ASSERT_GE(fact.cluster, 0);
+      ASSERT_LT(fact.cluster, static_cast<int>(gs.clusters.size()));
+      ASSERT_GE(fact.property, 0);
+      ASSERT_LT(fact.property, static_cast<int>(ds.kb.num_properties()));
+      EXPECT_EQ(fact.correct_value.type,
+                ds.kb.property(fact.property).type);
+    }
+  }
+}
+
+TEST(GoldStandardBuilderTest, NewFractionTracksProfile) {
+  const auto& ds = SharedDataset();
+  for (size_t g = 0; g < ds.gold.size(); ++g) {
+    const auto& gs = ds.gold[g];
+    const auto& profile = ds.world.profiles()[ds.gold_profile[g]];
+    size_t new_count = 0;
+    for (const auto& cluster : gs.clusters) new_count += cluster.is_new;
+    const double fraction =
+        static_cast<double>(new_count) / gs.clusters.size();
+    EXPECT_NEAR(fraction, profile.gs_new_fraction, 0.25) << profile.name;
+  }
+}
+
+TEST(GoldStandardBuilderTest, OverviewCountsAreCoherent) {
+  const auto& ds = SharedDataset();
+  for (const auto& gs : ds.gold) {
+    const auto overview = gs.Overview(ds.gs_corpus);
+    EXPECT_EQ(overview.tables, gs.tables.size());
+    EXPECT_EQ(overview.existing_clusters + overview.new_clusters,
+              gs.clusters.size());
+    EXPECT_EQ(overview.value_groups, gs.facts.size());
+    EXPECT_LE(overview.correct_value_present, overview.value_groups);
+    EXPECT_GT(overview.rows, 0u);
+  }
+}
+
+TEST(DatasetTest, ProfileOfClassRoundTrips) {
+  const auto& ds = SharedDataset();
+  for (size_t pi = 0; pi < ds.class_of_profile.size(); ++pi) {
+    EXPECT_EQ(ds.ProfileOfClass(ds.class_of_profile[pi]),
+              static_cast<int>(pi));
+  }
+  EXPECT_EQ(ds.ProfileOfClass(kb::kInvalidClass), -1);
+}
+
+}  // namespace
+}  // namespace ltee::synth

@@ -1,0 +1,22 @@
+#ifndef LTEE_TESTS_TEST_DATASET_H_
+#define LTEE_TESTS_TEST_DATASET_H_
+
+#include "synth/dataset.h"
+
+namespace ltee::testing {
+
+/// Shared small synthetic dataset, built once per test binary. Tests must
+/// treat it as read-only.
+inline const synth::SyntheticDataset& SharedDataset() {
+  static const synth::SyntheticDataset* dataset = [] {
+    synth::DatasetOptions options;
+    options.scale = 0.002;
+    options.seed = 20190326;  // EDBT 2019 :-)
+    return new synth::SyntheticDataset(synth::BuildDataset(options));
+  }();
+  return *dataset;
+}
+
+}  // namespace ltee::testing
+
+#endif  // LTEE_TESTS_TEST_DATASET_H_

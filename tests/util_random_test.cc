@@ -1,0 +1,108 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ltee::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, GaussianHasRoughlyUnitMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.Fork();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(ZipfSamplerTest, RankZeroMostProbable) {
+  ZipfSampler zipf(100, 1.0);
+  EXPECT_GT(zipf.Probability(0), zipf.Probability(1));
+  EXPECT_GT(zipf.Probability(1), zipf.Probability(50));
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(50, 0.8);
+  double sum = 0.0;
+  for (size_t r = 0; r < 50; ++r) sum += zipf.Probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, EmpiricalDistributionSkewsToHead) {
+  ZipfSampler zipf(10, 1.2);
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)] += 1;
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], 3 * counts[9]);
+}
+
+}  // namespace
+}  // namespace ltee::util

@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace ltee::util {
+namespace {
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(VarianceTest, Basic) {
+  EXPECT_DOUBLE_EQ(Variance({2, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Variance({5}), 0.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(WeightedMedianTest, EqualWeightsMatchMedian) {
+  EXPECT_DOUBLE_EQ(WeightedMedian({{1, 1}, {2, 1}, {3, 1}}), 2.0);
+}
+
+TEST(WeightedMedianTest, HeavyWeightDominates) {
+  EXPECT_DOUBLE_EQ(WeightedMedian({{1, 10}, {2, 1}, {3, 1}}), 1.0);
+  EXPECT_DOUBLE_EQ(WeightedMedian({{1, 1}, {2, 1}, {100, 5}}), 100.0);
+}
+
+TEST(WeightedMedianTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(WeightedMedian({}), 0.0);
+}
+
+TEST(F1Test, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(F1(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(F1(0.0, 0.0), 0.0);
+  EXPECT_NEAR(F1(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SummarizeTest, ComputesAllFourStatistics) {
+  Summary s = Summarize({4, 1, 3, 2});
+  EXPECT_DOUBLE_EQ(s.average, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i] += 1; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitDrainsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&counter] { counter += 1; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace ltee::util

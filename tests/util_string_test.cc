@@ -1,0 +1,84 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ltee::util {
+namespace {
+
+TEST(ToLowerTest, LowersAsciiOnly) {
+  EXPECT_EQ(ToLower("AbC-12xY"), "abc-12xy");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  abc \t\n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(SplitTest, SplitsAndDropsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ","), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a b-c", " -"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(Split("", ",").empty());
+  EXPECT_TRUE(Split(",,,", ",").empty());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(TokenizeTest, LowercasesAndSplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("New York City!"),
+            (std::vector<std::string>{"new", "york", "city"}));
+  EXPECT_EQ(Tokenize("AC/DC - T.N.T."),
+            (std::vector<std::string>{"ac", "dc", "t", "n", "t"}));
+  EXPECT_TRUE(Tokenize("...").empty());
+}
+
+TEST(NormalizeLabelTest, CollapsesToCanonicalForm) {
+  EXPECT_EQ(NormalizeLabel("  St. Louis  Rams "), "st louis rams");
+  EXPECT_EQ(NormalizeLabel("SPRINGFIELD"), "springfield");
+  EXPECT_EQ(NormalizeLabel(""), "");
+}
+
+TEST(IsDigitsTest, AcceptsOnlyNonEmptyDigitStrings) {
+  EXPECT_TRUE(IsDigits("0123"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12a"));
+  EXPECT_FALSE(IsDigits("-12"));
+}
+
+TEST(ParseNumberLenientTest, ParsesPlainNumbers) {
+  double v = 0;
+  ASSERT_TRUE(ParseNumberLenient("42", &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+  ASSERT_TRUE(ParseNumberLenient("-3.5", &v));
+  EXPECT_DOUBLE_EQ(v, -3.5);
+}
+
+TEST(ParseNumberLenientTest, HandlesThousandsSeparators) {
+  double v = 0;
+  ASSERT_TRUE(ParseNumberLenient("1,234,567", &v));
+  EXPECT_DOUBLE_EQ(v, 1234567.0);
+}
+
+TEST(ParseNumberLenientTest, HandlesUnitSuffix) {
+  double v = 0;
+  ASSERT_TRUE(ParseNumberLenient("1,234 m", &v));
+  EXPECT_DOUBLE_EQ(v, 1234.0);
+  ASSERT_TRUE(ParseNumberLenient(" 95 kg", &v));
+  EXPECT_DOUBLE_EQ(v, 95.0);
+}
+
+TEST(ParseNumberLenientTest, RejectsLeadingJunkAndNonNumbers) {
+  double v = 0;
+  EXPECT_FALSE(ParseNumberLenient("abc", &v));
+  EXPECT_FALSE(ParseNumberLenient("ca. 1200", &v));
+  EXPECT_FALSE(ParseNumberLenient("", &v));
+}
+
+}  // namespace
+}  // namespace ltee::util

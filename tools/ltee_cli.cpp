@@ -1,0 +1,237 @@
+// Command-line interface to the LTEE library: generate a synthetic
+// experiment environment to files, inspect knowledge bases and corpora,
+// and run the full pipeline over file-based inputs, exporting discovered
+// long-tail entities as RDF N-Triples.
+//
+// Usage:
+//   ltee_cli generate --out DIR [--scale S] [--seed N]
+//   ltee_cli stats --kb FILE | --corpus FILE
+//   ltee_cli run --kb FILE --corpus FILE --gs-corpus FILE --gold FILE
+//            [--ntriples FILE] [--min-facts N] [--dedup] [--seed N]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "eval/gold_serialization.h"
+#include "kb/serialization.h"
+#include "pipeline/dedup.h"
+#include "pipeline/kb_update.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/training.h"
+#include "synth/dataset.h"
+#include "webtable/serialization.h"
+
+namespace {
+
+using namespace ltee;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    std::string key = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ltee_cli generate --out DIR [--scale S] [--seed N]\n"
+               "  ltee_cli stats --kb FILE | --corpus FILE\n"
+               "  ltee_cli run --kb FILE --corpus FILE --gs-corpus FILE "
+               "--gold FILE [--ntriples FILE] [--min-facts N] [--dedup] "
+               "[--seed N]\n");
+  return 2;
+}
+
+int Generate(const std::map<std::string, std::string>& flags) {
+  auto out_it = flags.find("out");
+  if (out_it == flags.end()) return Usage();
+  const std::string dir = out_it->second;
+
+  synth::DatasetOptions options;
+  if (auto it = flags.find("scale"); it != flags.end()) {
+    options.scale = std::atof(it->second.c_str());
+  }
+  if (auto it = flags.find("seed"); it != flags.end()) {
+    options.seed = std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  auto dataset = synth::BuildDataset(options);
+
+  auto write = [&dir](const std::string& name, auto&& saver) {
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    saver(out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+  bool ok = true;
+  ok &= write("kb.tsv", [&](std::ostream& out) {
+    kb::SaveKnowledgeBase(dataset.kb, out);
+  });
+  ok &= write("corpus.tsv", [&](std::ostream& out) {
+    webtable::SaveCorpus(dataset.corpus, out);
+  });
+  ok &= write("gs_corpus.tsv", [&](std::ostream& out) {
+    webtable::SaveCorpus(dataset.gs_corpus, out);
+  });
+  ok &= write("gold.tsv", [&](std::ostream& out) {
+    eval::SaveGoldStandards(dataset.gold, out);
+  });
+  return ok ? 0 : 1;
+}
+
+int Stats(const std::map<std::string, std::string>& flags) {
+  if (auto it = flags.find("kb"); it != flags.end()) {
+    std::ifstream in(it->second);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", it->second.c_str());
+      return 1;
+    }
+    auto kb = kb::LoadKnowledgeBase(in);
+    if (!kb) return 1;
+    std::printf("%zu classes, %zu properties, %zu instances\n",
+                kb->num_classes(), kb->num_properties(), kb->num_instances());
+    for (size_t c = 0; c < kb->num_classes(); ++c) {
+      const auto stats = kb->StatsOfClass(static_cast<kb::ClassId>(c));
+      if (stats.instances == 0) continue;
+      std::printf("  %-26s %8zu instances %10zu facts\n",
+                  kb->cls(static_cast<kb::ClassId>(c)).name.c_str(),
+                  stats.instances, stats.facts);
+    }
+    return 0;
+  }
+  if (auto it = flags.find("corpus"); it != flags.end()) {
+    std::ifstream in(it->second);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", it->second.c_str());
+      return 1;
+    }
+    auto corpus = webtable::LoadCorpus(in);
+    if (!corpus) return 1;
+    const auto stats = corpus->Stats();
+    std::printf("%zu tables, %zu rows\n", stats.num_tables,
+                corpus->TotalRows());
+    std::printf("rows    avg %.2f median %.1f min %.0f max %.0f\n",
+                stats.rows.average, stats.rows.median, stats.rows.min,
+                stats.rows.max);
+    std::printf("columns avg %.2f median %.1f min %.0f max %.0f\n",
+                stats.columns.average, stats.columns.median,
+                stats.columns.min, stats.columns.max);
+    return 0;
+  }
+  return Usage();
+}
+
+int Run(const std::map<std::string, std::string>& flags) {
+  for (const char* required : {"kb", "corpus", "gs-corpus", "gold"}) {
+    if (!flags.count(required)) return Usage();
+  }
+  std::ifstream kb_in(flags.at("kb"));
+  auto kb = kb::LoadKnowledgeBase(kb_in);
+  std::ifstream corpus_in(flags.at("corpus"));
+  auto corpus = webtable::LoadCorpus(corpus_in);
+  std::ifstream gs_in(flags.at("gs-corpus"));
+  auto gs_corpus = webtable::LoadCorpus(gs_in);
+  std::ifstream gold_in(flags.at("gold"));
+  auto gold = eval::LoadGoldStandards(gold_in);
+  if (!kb || !corpus || !gs_corpus || !gold) {
+    std::fprintf(stderr, "failed to load inputs\n");
+    return 1;
+  }
+
+  uint64_t seed = 7;
+  if (auto it = flags.find("seed"); it != flags.end()) {
+    seed = std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  pipeline::PipelineOptions options;
+  pipeline::LteePipeline pipe(*kb, options);
+  util::Rng rng(seed);
+  pipeline::TrainPipelineOnGold(&pipe, *gs_corpus, *gold, rng);
+
+  std::vector<kb::ClassId> classes;
+  for (const auto& gs : *gold) classes.push_back(gs.cls);
+  auto run = pipe.Run(*corpus, classes);
+
+  pipeline::KbUpdateOptions update_options;
+  if (auto it = flags.find("min-facts"); it != flags.end()) {
+    update_options.min_facts =
+        static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  std::ofstream ntriples;
+  const bool export_nt = flags.count("ntriples") > 0;
+  if (export_nt) {
+    ntriples.open(flags.at("ntriples"));
+    if (!ntriples) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   flags.at("ntriples").c_str());
+      return 1;
+    }
+  }
+
+  size_t total_new = 0, total_facts = 0;
+  for (auto& class_run : run.classes) {
+    std::vector<fusion::CreatedEntity> entities = class_run.entities;
+    std::vector<newdetect::Detection> detections = class_run.detections;
+    size_t merges = 0;
+    if (flags.count("dedup")) {
+      auto deduped = pipeline::DeduplicateEntities(std::move(entities),
+                                                   std::move(detections));
+      entities = std::move(deduped.entities);
+      detections = std::move(deduped.detections);
+      merges = deduped.merges;
+    }
+    size_t new_count = 0, facts = 0;
+    for (size_t e = 0; e < entities.size(); ++e) {
+      if (!detections[e].is_new ||
+          entities[e].facts.size() < update_options.min_facts) {
+        continue;
+      }
+      ++new_count;
+      facts += entities[e].facts.size();
+    }
+    std::printf("%-26s rows=%zu clusters=%d new=%zu facts=%zu merges=%zu\n",
+                kb->cls(class_run.cls).name.c_str(),
+                class_run.rows.rows.size(), class_run.num_clusters,
+                new_count, facts, merges);
+    total_new += new_count;
+    total_facts += facts;
+    if (export_nt) {
+      pipeline::ExportNTriples(*kb, entities, detections,
+                               "http://ltee.example.org/", ntriples,
+                               update_options);
+    }
+  }
+  std::printf("total: %zu new entities, %zu facts\n", total_new, total_facts);
+  if (export_nt) {
+    std::printf("N-Triples written to %s\n", flags.at("ntriples").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return Generate(flags);
+  if (command == "stats") return Stats(flags);
+  if (command == "run") return Run(flags);
+  return Usage();
+}
