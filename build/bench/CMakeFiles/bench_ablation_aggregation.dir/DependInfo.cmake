@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_aggregation.cpp" "bench/CMakeFiles/bench_ablation_aggregation.dir/bench_ablation_aggregation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_aggregation.dir/bench_ablation_aggregation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/ltee_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ltee_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ltee_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/newdetect/CMakeFiles/ltee_newdetect.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/ltee_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/rowcluster/CMakeFiles/ltee_rowcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ltee_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ltee_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/ltee_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/webtable/CMakeFiles/ltee_webtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/ltee_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ltee_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ltee_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ltee_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ltee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dedup.dir/bench_ext_dedup.cpp.o"
+  "CMakeFiles/bench_ext_dedup.dir/bench_ext_dedup.cpp.o.d"
+  "bench_ext_dedup"
+  "bench_ext_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_slot_filling.dir/bench_ext_slot_filling.cpp.o"
+  "CMakeFiles/bench_ext_slot_filling.dir/bench_ext_slot_filling.cpp.o.d"
+  "bench_ext_slot_filling"
+  "bench_ext_slot_filling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_slot_filling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

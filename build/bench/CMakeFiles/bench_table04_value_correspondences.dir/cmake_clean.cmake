@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_value_correspondences.dir/bench_table04_value_correspondences.cpp.o"
+  "CMakeFiles/bench_table04_value_correspondences.dir/bench_table04_value_correspondences.cpp.o.d"
+  "bench_table04_value_correspondences"
+  "bench_table04_value_correspondences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_value_correspondences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

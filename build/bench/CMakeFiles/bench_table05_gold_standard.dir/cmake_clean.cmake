@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_gold_standard.dir/bench_table05_gold_standard.cpp.o"
+  "CMakeFiles/bench_table05_gold_standard.dir/bench_table05_gold_standard.cpp.o.d"
+  "bench_table05_gold_standard"
+  "bench_table05_gold_standard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_gold_standard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table06_schema_matching_iterations.
+# This may be replaced when dependencies are built.

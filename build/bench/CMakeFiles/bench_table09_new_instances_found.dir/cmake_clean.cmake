@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_new_instances_found.dir/bench_table09_new_instances_found.cpp.o"
+  "CMakeFiles/bench_table09_new_instances_found.dir/bench_table09_new_instances_found.cpp.o.d"
+  "bench_table09_new_instances_found"
+  "bench_table09_new_instances_found.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_new_instances_found.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_facts_found.dir/bench_table10_facts_found.cpp.o"
+  "CMakeFiles/bench_table10_facts_found.dir/bench_table10_facts_found.cpp.o.d"
+  "bench_table10_facts_found"
+  "bench_table10_facts_found.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_facts_found.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

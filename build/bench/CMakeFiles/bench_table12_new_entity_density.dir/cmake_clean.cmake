@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_new_entity_density.dir/bench_table12_new_entity_density.cpp.o"
+  "CMakeFiles/bench_table12_new_entity_density.dir/bench_table12_new_entity_density.cpp.o.d"
+  "bench_table12_new_entity_density"
+  "bench_table12_new_entity_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_new_entity_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

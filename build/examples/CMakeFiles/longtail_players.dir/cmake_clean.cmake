@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_players.dir/longtail_players.cpp.o"
+  "CMakeFiles/longtail_players.dir/longtail_players.cpp.o.d"
+  "longtail_players"
+  "longtail_players.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_players.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for longtail_players.
+# This may be replaced when dependencies are built.

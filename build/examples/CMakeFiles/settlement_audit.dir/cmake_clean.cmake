@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/settlement_audit.dir/settlement_audit.cpp.o"
+  "CMakeFiles/settlement_audit.dir/settlement_audit.cpp.o.d"
+  "settlement_audit"
+  "settlement_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/settlement_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

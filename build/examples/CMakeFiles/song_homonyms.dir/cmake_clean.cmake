@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/song_homonyms.dir/song_homonyms.cpp.o"
+  "CMakeFiles/song_homonyms.dir/song_homonyms.cpp.o.d"
+  "song_homonyms"
+  "song_homonyms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/song_homonyms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("types")
+subdirs("kb")
+subdirs("webtable")
+subdirs("index")
+subdirs("ml")
+subdirs("cluster")
+subdirs("synth")
+subdirs("baselines")
+subdirs("matching")
+subdirs("rowcluster")
+subdirs("fusion")
+subdirs("newdetect")
+subdirs("eval")
+subdirs("pipeline")

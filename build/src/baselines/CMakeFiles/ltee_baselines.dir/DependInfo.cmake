@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/row_matching.cc" "src/baselines/CMakeFiles/ltee_baselines.dir/row_matching.cc.o" "gcc" "src/baselines/CMakeFiles/ltee_baselines.dir/row_matching.cc.o.d"
+  "/root/repo/src/baselines/set_expansion.cc" "src/baselines/CMakeFiles/ltee_baselines.dir/set_expansion.cc.o" "gcc" "src/baselines/CMakeFiles/ltee_baselines.dir/set_expansion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matching/CMakeFiles/ltee_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ltee_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/ltee_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/webtable/CMakeFiles/ltee_webtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ltee_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ltee_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ltee_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

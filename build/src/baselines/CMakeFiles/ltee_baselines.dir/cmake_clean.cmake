@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_baselines.dir/row_matching.cc.o"
+  "CMakeFiles/ltee_baselines.dir/row_matching.cc.o.d"
+  "CMakeFiles/ltee_baselines.dir/set_expansion.cc.o"
+  "CMakeFiles/ltee_baselines.dir/set_expansion.cc.o.d"
+  "libltee_baselines.a"
+  "libltee_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_cluster.dir/correlation_clusterer.cc.o"
+  "CMakeFiles/ltee_cluster.dir/correlation_clusterer.cc.o.d"
+  "libltee_cluster.a"
+  "libltee_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_eval.dir/clustering_eval.cc.o"
+  "CMakeFiles/ltee_eval.dir/clustering_eval.cc.o.d"
+  "CMakeFiles/ltee_eval.dir/gold_serialization.cc.o"
+  "CMakeFiles/ltee_eval.dir/gold_serialization.cc.o.d"
+  "CMakeFiles/ltee_eval.dir/gold_standard.cc.o"
+  "CMakeFiles/ltee_eval.dir/gold_standard.cc.o.d"
+  "CMakeFiles/ltee_eval.dir/pipeline_eval.cc.o"
+  "CMakeFiles/ltee_eval.dir/pipeline_eval.cc.o.d"
+  "libltee_eval.a"
+  "libltee_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

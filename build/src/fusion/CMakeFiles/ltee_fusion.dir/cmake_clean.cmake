@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_fusion.dir/entity_creator.cc.o"
+  "CMakeFiles/ltee_fusion.dir/entity_creator.cc.o.d"
+  "libltee_fusion.a"
+  "libltee_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_index.dir/label_index.cc.o"
+  "CMakeFiles/ltee_index.dir/label_index.cc.o.d"
+  "libltee_index.a"
+  "libltee_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

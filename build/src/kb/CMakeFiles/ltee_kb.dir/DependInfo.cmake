@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/knowledge_base.cc" "src/kb/CMakeFiles/ltee_kb.dir/knowledge_base.cc.o" "gcc" "src/kb/CMakeFiles/ltee_kb.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/kb/serialization.cc" "src/kb/CMakeFiles/ltee_kb.dir/serialization.cc.o" "gcc" "src/kb/CMakeFiles/ltee_kb.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/ltee_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ltee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

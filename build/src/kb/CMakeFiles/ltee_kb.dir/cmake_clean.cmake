@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/ltee_kb.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/ltee_kb.dir/serialization.cc.o"
+  "CMakeFiles/ltee_kb.dir/serialization.cc.o.d"
+  "libltee_kb.a"
+  "libltee_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

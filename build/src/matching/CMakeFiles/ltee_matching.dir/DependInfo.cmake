@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/attribute_matchers.cc" "src/matching/CMakeFiles/ltee_matching.dir/attribute_matchers.cc.o" "gcc" "src/matching/CMakeFiles/ltee_matching.dir/attribute_matchers.cc.o.d"
+  "/root/repo/src/matching/label_attribute.cc" "src/matching/CMakeFiles/ltee_matching.dir/label_attribute.cc.o" "gcc" "src/matching/CMakeFiles/ltee_matching.dir/label_attribute.cc.o.d"
+  "/root/repo/src/matching/property_value_profile.cc" "src/matching/CMakeFiles/ltee_matching.dir/property_value_profile.cc.o" "gcc" "src/matching/CMakeFiles/ltee_matching.dir/property_value_profile.cc.o.d"
+  "/root/repo/src/matching/schema_matcher.cc" "src/matching/CMakeFiles/ltee_matching.dir/schema_matcher.cc.o" "gcc" "src/matching/CMakeFiles/ltee_matching.dir/schema_matcher.cc.o.d"
+  "/root/repo/src/matching/table_to_class.cc" "src/matching/CMakeFiles/ltee_matching.dir/table_to_class.cc.o" "gcc" "src/matching/CMakeFiles/ltee_matching.dir/table_to_class.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/ltee_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/ltee_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/webtable/CMakeFiles/ltee_webtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ltee_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ltee_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ltee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

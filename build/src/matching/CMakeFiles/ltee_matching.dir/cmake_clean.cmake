@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_matching.dir/attribute_matchers.cc.o"
+  "CMakeFiles/ltee_matching.dir/attribute_matchers.cc.o.d"
+  "CMakeFiles/ltee_matching.dir/label_attribute.cc.o"
+  "CMakeFiles/ltee_matching.dir/label_attribute.cc.o.d"
+  "CMakeFiles/ltee_matching.dir/property_value_profile.cc.o"
+  "CMakeFiles/ltee_matching.dir/property_value_profile.cc.o.d"
+  "CMakeFiles/ltee_matching.dir/schema_matcher.cc.o"
+  "CMakeFiles/ltee_matching.dir/schema_matcher.cc.o.d"
+  "CMakeFiles/ltee_matching.dir/table_to_class.cc.o"
+  "CMakeFiles/ltee_matching.dir/table_to_class.cc.o.d"
+  "libltee_matching.a"
+  "libltee_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

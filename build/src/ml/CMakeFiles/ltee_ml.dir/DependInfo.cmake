@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/aggregator.cc" "src/ml/CMakeFiles/ltee_ml.dir/aggregator.cc.o" "gcc" "src/ml/CMakeFiles/ltee_ml.dir/aggregator.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/ltee_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/ltee_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/ltee_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/ltee_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/genetic.cc" "src/ml/CMakeFiles/ltee_ml.dir/genetic.cc.o" "gcc" "src/ml/CMakeFiles/ltee_ml.dir/genetic.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/ltee_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/ltee_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/weighted_average.cc" "src/ml/CMakeFiles/ltee_ml.dir/weighted_average.cc.o" "gcc" "src/ml/CMakeFiles/ltee_ml.dir/weighted_average.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ltee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

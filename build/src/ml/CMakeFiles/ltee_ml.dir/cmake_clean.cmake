@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_ml.dir/aggregator.cc.o"
+  "CMakeFiles/ltee_ml.dir/aggregator.cc.o.d"
+  "CMakeFiles/ltee_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/ltee_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/ltee_ml.dir/dataset.cc.o"
+  "CMakeFiles/ltee_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/ltee_ml.dir/genetic.cc.o"
+  "CMakeFiles/ltee_ml.dir/genetic.cc.o.d"
+  "CMakeFiles/ltee_ml.dir/random_forest.cc.o"
+  "CMakeFiles/ltee_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/ltee_ml.dir/weighted_average.cc.o"
+  "CMakeFiles/ltee_ml.dir/weighted_average.cc.o.d"
+  "libltee_ml.a"
+  "libltee_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

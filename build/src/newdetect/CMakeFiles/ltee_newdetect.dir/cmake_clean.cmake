@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_newdetect.dir/new_detector.cc.o"
+  "CMakeFiles/ltee_newdetect.dir/new_detector.cc.o.d"
+  "libltee_newdetect.a"
+  "libltee_newdetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_newdetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ltee_newdetect.
+# This may be replaced when dependencies are built.

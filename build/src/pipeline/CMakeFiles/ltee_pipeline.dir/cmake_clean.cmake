@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_pipeline.dir/dedup.cc.o"
+  "CMakeFiles/ltee_pipeline.dir/dedup.cc.o.d"
+  "CMakeFiles/ltee_pipeline.dir/experiment.cc.o"
+  "CMakeFiles/ltee_pipeline.dir/experiment.cc.o.d"
+  "CMakeFiles/ltee_pipeline.dir/gold_artifacts.cc.o"
+  "CMakeFiles/ltee_pipeline.dir/gold_artifacts.cc.o.d"
+  "CMakeFiles/ltee_pipeline.dir/kb_update.cc.o"
+  "CMakeFiles/ltee_pipeline.dir/kb_update.cc.o.d"
+  "CMakeFiles/ltee_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/ltee_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/ltee_pipeline.dir/profiling.cc.o"
+  "CMakeFiles/ltee_pipeline.dir/profiling.cc.o.d"
+  "CMakeFiles/ltee_pipeline.dir/slot_filling.cc.o"
+  "CMakeFiles/ltee_pipeline.dir/slot_filling.cc.o.d"
+  "CMakeFiles/ltee_pipeline.dir/training.cc.o"
+  "CMakeFiles/ltee_pipeline.dir/training.cc.o.d"
+  "libltee_pipeline.a"
+  "libltee_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_rowcluster.dir/row_clusterer.cc.o"
+  "CMakeFiles/ltee_rowcluster.dir/row_clusterer.cc.o.d"
+  "CMakeFiles/ltee_rowcluster.dir/row_features.cc.o"
+  "CMakeFiles/ltee_rowcluster.dir/row_features.cc.o.d"
+  "CMakeFiles/ltee_rowcluster.dir/row_metrics.cc.o"
+  "CMakeFiles/ltee_rowcluster.dir/row_metrics.cc.o.d"
+  "libltee_rowcluster.a"
+  "libltee_rowcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_rowcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

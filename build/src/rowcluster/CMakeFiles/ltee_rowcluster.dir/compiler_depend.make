@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ltee_rowcluster.
+# This may be replaced when dependencies are built.

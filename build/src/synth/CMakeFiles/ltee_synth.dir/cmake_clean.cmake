@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_synth.dir/class_profile.cc.o"
+  "CMakeFiles/ltee_synth.dir/class_profile.cc.o.d"
+  "CMakeFiles/ltee_synth.dir/corpus_builder.cc.o"
+  "CMakeFiles/ltee_synth.dir/corpus_builder.cc.o.d"
+  "CMakeFiles/ltee_synth.dir/dataset.cc.o"
+  "CMakeFiles/ltee_synth.dir/dataset.cc.o.d"
+  "CMakeFiles/ltee_synth.dir/gold_standard_builder.cc.o"
+  "CMakeFiles/ltee_synth.dir/gold_standard_builder.cc.o.d"
+  "CMakeFiles/ltee_synth.dir/kb_builder.cc.o"
+  "CMakeFiles/ltee_synth.dir/kb_builder.cc.o.d"
+  "CMakeFiles/ltee_synth.dir/name_pools.cc.o"
+  "CMakeFiles/ltee_synth.dir/name_pools.cc.o.d"
+  "CMakeFiles/ltee_synth.dir/world.cc.o"
+  "CMakeFiles/ltee_synth.dir/world.cc.o.d"
+  "libltee_synth.a"
+  "libltee_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

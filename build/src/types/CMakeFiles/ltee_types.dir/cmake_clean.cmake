@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_types.dir/type_similarity.cc.o"
+  "CMakeFiles/ltee_types.dir/type_similarity.cc.o.d"
+  "CMakeFiles/ltee_types.dir/value.cc.o"
+  "CMakeFiles/ltee_types.dir/value.cc.o.d"
+  "CMakeFiles/ltee_types.dir/value_parser.cc.o"
+  "CMakeFiles/ltee_types.dir/value_parser.cc.o.d"
+  "libltee_types.a"
+  "libltee_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

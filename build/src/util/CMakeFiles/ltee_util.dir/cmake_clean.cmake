@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_util.dir/logging.cc.o"
+  "CMakeFiles/ltee_util.dir/logging.cc.o.d"
+  "CMakeFiles/ltee_util.dir/random.cc.o"
+  "CMakeFiles/ltee_util.dir/random.cc.o.d"
+  "CMakeFiles/ltee_util.dir/similarity.cc.o"
+  "CMakeFiles/ltee_util.dir/similarity.cc.o.d"
+  "CMakeFiles/ltee_util.dir/stats.cc.o"
+  "CMakeFiles/ltee_util.dir/stats.cc.o.d"
+  "CMakeFiles/ltee_util.dir/string_util.cc.o"
+  "CMakeFiles/ltee_util.dir/string_util.cc.o.d"
+  "CMakeFiles/ltee_util.dir/thread_pool.cc.o"
+  "CMakeFiles/ltee_util.dir/thread_pool.cc.o.d"
+  "libltee_util.a"
+  "libltee_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

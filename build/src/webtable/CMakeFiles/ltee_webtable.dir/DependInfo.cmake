@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webtable/serialization.cc" "src/webtable/CMakeFiles/ltee_webtable.dir/serialization.cc.o" "gcc" "src/webtable/CMakeFiles/ltee_webtable.dir/serialization.cc.o.d"
+  "/root/repo/src/webtable/web_table.cc" "src/webtable/CMakeFiles/ltee_webtable.dir/web_table.cc.o" "gcc" "src/webtable/CMakeFiles/ltee_webtable.dir/web_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/ltee_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ltee_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ltee_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

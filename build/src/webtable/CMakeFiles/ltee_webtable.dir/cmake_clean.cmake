@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_webtable.dir/serialization.cc.o"
+  "CMakeFiles/ltee_webtable.dir/serialization.cc.o.d"
+  "CMakeFiles/ltee_webtable.dir/web_table.cc.o"
+  "CMakeFiles/ltee_webtable.dir/web_table.cc.o.d"
+  "libltee_webtable.a"
+  "libltee_webtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_webtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

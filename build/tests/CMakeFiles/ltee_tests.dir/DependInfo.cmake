@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/ltee_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/ltee_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/coverage_test.cc" "tests/CMakeFiles/ltee_tests.dir/coverage_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/coverage_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/ltee_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "tests/CMakeFiles/ltee_tests.dir/experiment_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/experiment_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/ltee_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/fusion_test.cc" "tests/CMakeFiles/ltee_tests.dir/fusion_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/fusion_test.cc.o.d"
+  "/root/repo/tests/invariants_test.cc" "tests/CMakeFiles/ltee_tests.dir/invariants_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/invariants_test.cc.o.d"
+  "/root/repo/tests/kb_webtable_index_test.cc" "tests/CMakeFiles/ltee_tests.dir/kb_webtable_index_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/kb_webtable_index_test.cc.o.d"
+  "/root/repo/tests/matching_test.cc" "tests/CMakeFiles/ltee_tests.dir/matching_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/matching_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/ltee_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/ltee_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/newdetect_test.cc" "tests/CMakeFiles/ltee_tests.dir/newdetect_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/newdetect_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/ltee_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/rowcluster_test.cc" "tests/CMakeFiles/ltee_tests.dir/rowcluster_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/rowcluster_test.cc.o.d"
+  "/root/repo/tests/serialization_test.cc" "tests/CMakeFiles/ltee_tests.dir/serialization_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/serialization_test.cc.o.d"
+  "/root/repo/tests/synth_test.cc" "tests/CMakeFiles/ltee_tests.dir/synth_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/synth_test.cc.o.d"
+  "/root/repo/tests/types_test.cc" "tests/CMakeFiles/ltee_tests.dir/types_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/types_test.cc.o.d"
+  "/root/repo/tests/util_random_test.cc" "tests/CMakeFiles/ltee_tests.dir/util_random_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/util_random_test.cc.o.d"
+  "/root/repo/tests/util_similarity_test.cc" "tests/CMakeFiles/ltee_tests.dir/util_similarity_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/util_similarity_test.cc.o.d"
+  "/root/repo/tests/util_stats_test.cc" "tests/CMakeFiles/ltee_tests.dir/util_stats_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/util_stats_test.cc.o.d"
+  "/root/repo/tests/util_string_test.cc" "tests/CMakeFiles/ltee_tests.dir/util_string_test.cc.o" "gcc" "tests/CMakeFiles/ltee_tests.dir/util_string_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/ltee_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ltee_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ltee_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/newdetect/CMakeFiles/ltee_newdetect.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/ltee_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/rowcluster/CMakeFiles/ltee_rowcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ltee_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ltee_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/ltee_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/webtable/CMakeFiles/ltee_webtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/ltee_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ltee_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ltee_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ltee_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ltee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltee_cli.dir/ltee_cli.cpp.o"
+  "CMakeFiles/ltee_cli.dir/ltee_cli.cpp.o.d"
+  "ltee_cli"
+  "ltee_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltee_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
