@@ -1,19 +1,34 @@
 // Micro-benchmarks (google-benchmark) of the hot primitives behind the
-// pipeline's scalability story: string similarities, value parsing, label
-// index retrieval, row-pair metric computation, correlation clustering,
-// and random forest prediction. Not a paper table — these document the
-// cost model behind the Section 3.2 scalability design (parallel greedy +
-// KLj + blocking).
+// pipeline's scalability story: string similarities (raw-string and
+// interned-token-id variants), tokenize/intern, value parsing, label index
+// retrieval, correlation clustering, and random forest prediction — plus
+// an end-to-end prepared-vs-raw pipeline timing. Not a paper table — these
+// document the cost model behind the Section 3.2 scalability design
+// (prepared corpus + parallel greedy + KLj + blocking).
+//
+// Output: one JSON line per benchmark on stdout (the `BENCH_*.json` perf
+// trajectory format), e.g.
+//   {"bench":"BM_MongeElkanIds","ns_per_iter":132.4,"iters":5000000}
+// Human-readable console output goes to stderr.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench_common.h"
 #include "cluster/correlation_clusterer.h"
 #include "index/label_index.h"
 #include "ml/random_forest.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/training.h"
+#include "synth/dataset.h"
 #include "types/value_parser.h"
 #include "util/random.h"
 #include "util/similarity.h"
 #include "util/string_util.h"
+#include "util/timer.h"
+#include "util/token_dictionary.h"
+#include "webtable/prepared_corpus.h"
 
 namespace {
 
@@ -44,6 +59,67 @@ void BM_Tokenize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Tokenize);
+
+void BM_TokenizeAndIntern(benchmark::State& state) {
+  util::TokenDictionary dict;
+  const std::string s = "the quick brown fox jumps over 42 lazy dogs";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.InternTokens(s));
+  }
+}
+BENCHMARK(BM_TokenizeAndIntern);
+
+void BM_InternHotToken(benchmark::State& state) {
+  util::TokenDictionary dict;
+  dict.Intern("springfield");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Intern("springfield"));
+  }
+}
+BENCHMARK(BM_InternHotToken);
+
+/// The raw-string kernels re-tokenize and hash per call; the token-id
+/// overloads below are what the prepared corpus feeds the hot paths.
+void BM_JaccardStrings(benchmark::State& state) {
+  const std::vector<std::string> a = {"john", "ronald", "smith"};
+  const std::vector<std::string> b = {"jon", "r", "smith"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::JaccardSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaccardStrings);
+
+void BM_JaccardIds(benchmark::State& state) {
+  util::TokenDictionary dict;
+  const auto a = util::SortedUnique(dict.InternTokens("john ronald smith"));
+  const auto b = util::SortedUnique(dict.InternTokens("jon r smith"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::JaccardSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaccardIds);
+
+void BM_MongeElkanIds(benchmark::State& state) {
+  util::TokenDictionary dict;
+  const auto a = dict.InternTokens("john ronald smith");
+  const auto b = dict.InternTokens("jon r smith");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::MongeElkanLevenshtein(a, b, dict));
+  }
+}
+BENCHMARK(BM_MongeElkanIds);
+
+void BM_CosineBinaryIds(benchmark::State& state) {
+  util::TokenDictionary dict;
+  const auto a =
+      util::SortedUnique(dict.InternTokens("gridiron football player usa"));
+  const auto b =
+      util::SortedUnique(dict.InternTokens("american football players"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::CosineBinary(a, b));
+  }
+}
+BENCHMARK(BM_CosineBinaryIds);
 
 void BM_ParseDate(benchmark::State& state) {
   for (auto _ : state) {
@@ -114,6 +190,95 @@ void BM_RandomForestPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomForestPredict);
 
+/// Emits one JSON line per benchmark run on stdout (the machine-readable
+/// perf trajectory) and a short human-readable line on stderr.
+class JsonLineReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    std::fprintf(stderr, "# %d CPU(s), %.1f MHz\n", context.cpu_info.num_cpus,
+                 context.cpu_info.cycles_per_second / 1e6);
+    return true;
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        std::fprintf(stderr, "# ERROR %s\n", run.benchmark_name().c_str());
+        continue;
+      }
+      // Escape is unnecessary: benchmark names here are identifier-like.
+      std::printf("{\"bench\":\"%s\",\"ns_per_iter\":%.3f,\"iters\":%lld}\n",
+                  run.benchmark_name().c_str(), run.GetAdjustedRealTime(),
+                  static_cast<long long>(run.iterations));
+      std::fprintf(stderr, "%-40s %12.1f ns\n", run.benchmark_name().c_str(),
+                   run.GetAdjustedRealTime());
+    }
+    std::fflush(stdout);
+  }
+};
+
+void EmitSeconds(const char* name, double seconds) {
+  std::printf("{\"bench\":\"%s\",\"seconds\":%.4f}\n", name, seconds);
+  std::fprintf(stderr, "%-40s %12.3f s\n", name, seconds);
+  std::fflush(stdout);
+}
+
+/// End-to-end prepared-vs-raw timing. "Raw" means the pipeline receives a
+/// corpus it has never seen: Run pays the full PreparedCorpus build
+/// (tokenize + intern + typed parses) inside the timed region, which is
+/// exactly the work the pre-refactor pipeline re-derived on the fly.
+/// "Prepared" reruns on the now-memoized corpus and times the pipeline
+/// proper. The standalone PreparedCorpus build is reported separately so
+/// the trajectory can watch the one-time pass in isolation.
+void RunEndToEndTimings() {
+  using namespace ltee;
+  synth::DatasetOptions dopt;
+  dopt.scale = bench::ScaleOrDefault(0.002);
+  dopt.seed = bench::kSeed;
+  const auto ds = synth::BuildDataset(dopt);
+  std::fprintf(stderr, "# e2e dataset: scale=%g, %zu gold tables\n",
+               dopt.scale, ds.gs_corpus.size());
+
+  {
+    util::WallTimer timer;
+    webtable::PreparedCorpus prepared(ds.gs_corpus);
+    EmitSeconds("E2E_PrepareCorpus", timer.ElapsedSeconds());
+  }
+
+  pipeline::PipelineOptions options;
+  pipeline::LteePipeline pipe(ds.kb, options);
+  util::Rng rng(41);
+  pipeline::TrainPipelineOnGold(&pipe, ds.gs_corpus, ds.gold, rng);
+  std::vector<kb::ClassId> classes;
+  for (const auto& gs : ds.gold) classes.push_back(gs.cls);
+
+  // A fresh copy of the gold corpus: same tables, different identity, so
+  // the pipeline's per-corpus memo misses and Run prepares from raw.
+  webtable::TableCorpus raw_corpus;
+  for (const auto& table : ds.gs_corpus.tables()) raw_corpus.Add(table);
+
+  {
+    util::WallTimer timer;
+    auto run = pipe.Run(raw_corpus, classes);
+    benchmark::DoNotOptimize(run);
+    EmitSeconds("E2E_PipelineRunRaw", timer.ElapsedSeconds());
+  }
+  {
+    util::WallTimer timer;
+    auto run = pipe.Run(raw_corpus, classes);
+    benchmark::DoNotOptimize(run);
+    EmitSeconds("E2E_PipelineRunPrepared", timer.ElapsedSeconds());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  RunEndToEndTimings();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,7 +22,8 @@ int main() {
   pipeline::TrainPipelineOnGold(&ltee_pipeline, dataset.gs_corpus,
                                 dataset.gold, rng);
   util::WallTimer timer;
-  auto mapping = ltee_pipeline.schema_matcher_first().Match(dataset.corpus);
+  auto mapping = ltee_pipeline.schema_matcher_first().Match(
+      ltee_pipeline.Prepared(dataset.corpus));
   std::printf("# schema matching over the corpus took %.1fs\n\n",
               timer.ElapsedSeconds());
 

@@ -29,21 +29,23 @@ int main() {
   }
   if (gold == nullptr) return 1;
 
-  auto kb_index = pipeline::BuildKbLabelIndex(dataset.kb);
+  auto dict = std::make_shared<util::TokenDictionary>();
+  auto kb_index = pipeline::BuildKbLabelIndex(dataset.kb, dict);
+  webtable::PreparedCorpus prepared(dataset.gs_corpus, dict);
   matching::SchemaMapping mapping;
   mapping.tables.resize(dataset.gs_corpus.size());
   for (const auto& gs : dataset.gold) {
     auto m = pipeline::GoldSchemaMapping(dataset.gs_corpus, gs, dataset.kb);
     pipeline::MergeGoldMappings(m, &mapping);
   }
-  auto rows = rowcluster::BuildClassRowSet(dataset.gs_corpus, mapping,
+  auto rows = rowcluster::BuildClassRowSet(prepared, mapping,
                                            gold->cls, dataset.kb, kb_index);
   std::vector<int> assignment(rows.rows.size(), -1);
   for (size_t i = 0; i < rows.rows.size(); ++i) {
     assignment[i] = gold->ClusterOfRow(rows.rows[i].ref);
   }
   fusion::EntityCreator creator(dataset.kb);
-  auto entities = creator.Create(rows, assignment, mapping, dataset.gs_corpus);
+  auto entities = creator.Create(rows, assignment, mapping, prepared);
 
   // Train new detection on all gold clusters, then audit.
   std::vector<fusion::CreatedEntity> train;

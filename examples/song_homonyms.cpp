@@ -34,14 +34,16 @@ int main() {
   }
 
   // Gold schema mapping + row features for the Song class.
-  auto kb_index = pipeline::BuildKbLabelIndex(dataset.kb);
+  auto dict = std::make_shared<util::TokenDictionary>();
+  auto kb_index = pipeline::BuildKbLabelIndex(dataset.kb, dict);
+  webtable::PreparedCorpus prepared(dataset.gs_corpus, dict);
   matching::SchemaMapping mapping;
   mapping.tables.resize(dataset.gs_corpus.size());
   for (const auto& gs : dataset.gold) {
     auto m = pipeline::GoldSchemaMapping(dataset.gs_corpus, gs, dataset.kb);
     pipeline::MergeGoldMappings(m, &mapping);
   }
-  auto rows = rowcluster::BuildClassRowSet(dataset.gs_corpus, mapping,
+  auto rows = rowcluster::BuildClassRowSet(prepared, mapping,
                                            song_gold->cls, dataset.kb,
                                            kb_index);
   std::vector<int> gold_assignment(rows.rows.size(), -1);

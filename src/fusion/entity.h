@@ -1,8 +1,8 @@
 #ifndef LTEE_FUSION_ENTITY_H_
 #define LTEE_FUSION_ENTITY_H_
 
+#include <cstdint>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "kb/knowledge_base.h"
@@ -24,8 +24,9 @@ struct CreatedEntity {
   std::vector<webtable::RowRef> rows;
   /// Fused facts, one per property at most.
   std::vector<kb::Fact> facts;
-  /// Union of the rows' bag-of-words vectors.
-  std::unordered_set<std::string> bow;
+  /// Union of the rows' bag-of-words vectors: sorted, deduplicated token
+  /// ids of the row set's dictionary.
+  std::vector<uint32_t> bow;
   /// Entity-level implicit attributes with entity-level confidences.
   std::vector<rowcluster::ImplicitAttribute> implicit_attrs;
 

@@ -8,6 +8,7 @@
 #include "types/value_parser.h"
 #include "util/stats.h"
 #include "util/string_util.h"
+#include "util/token_dictionary.h"
 
 namespace ltee::fusion {
 
@@ -44,23 +45,23 @@ EntityCreator::EntityCreator(const kb::KnowledgeBase& kb,
                              EntityCreatorOptions options)
     : kb_(&kb), options_(options) {}
 
-double EntityCreator::ColumnTrust(const webtable::TableCorpus& corpus,
+double EntityCreator::ColumnTrust(const webtable::PreparedCorpus& prepared,
                                   const matching::TableMapping& mapping,
                                   int column) const {
   const kb::PropertyId property = mapping.columns[column].property;
   if (property == kb::kInvalidProperty) return options_.kbt_default_trust;
-  const webtable::WebTable& table = corpus.table(mapping.table);
+  const webtable::PreparedTable& table = prepared.table(mapping.table);
   const DataType type = kb_->property(property).type;
   int compared = 0, correct = 0;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
+  for (size_t r = 0; r < table.num_rows; ++r) {
     const kb::InstanceId inst = mapping.row_instance.empty()
                                     ? kb::kInvalidInstance
                                     : mapping.row_instance[r];
     if (inst == kb::kInvalidInstance) continue;
     const Value* fact = kb_->FactOf(inst, property);
     if (fact == nullptr) continue;
-    auto value = types::NormalizeCell(
-        table.cell(r, static_cast<size_t>(column)), type);
+    const auto& value =
+        table.cell(r, static_cast<size_t>(column)).parsed_as(type);
     if (!value) continue;
     ++compared;
     if (types::ValuesEqual(*value, *fact, options_.similarity)) ++correct;
@@ -72,7 +73,7 @@ double EntityCreator::ColumnTrust(const webtable::TableCorpus& corpus,
 std::vector<CreatedEntity> EntityCreator::Create(
     const rowcluster::ClassRowSet& rows, const std::vector<int>& cluster_of_row,
     const matching::SchemaMapping& mapping,
-    const webtable::TableCorpus& corpus) const {
+    const webtable::PreparedCorpus& prepared) const {
   int num_clusters = 0;
   for (int c : cluster_of_row) num_clusters = std::max(num_clusters, c + 1);
 
@@ -82,7 +83,7 @@ std::vector<CreatedEntity> EntityCreator::Create(
     auto key = std::make_pair(table, column);
     auto it = trust_cache.find(key);
     if (it != trust_cache.end()) return it->second;
-    const double trust = ColumnTrust(corpus, mapping.of(table), column);
+    const double trust = ColumnTrust(prepared, mapping.of(table), column);
     trust_cache.emplace(key, trust);
     return trust;
   };
@@ -112,7 +113,7 @@ std::vector<CreatedEntity> EntityCreator::Create(
         entity.labels.end()) {
       entity.labels.push_back(row.raw_label);
     }
-    for (const auto& tok : row.bow) entity.bow.insert(tok);
+    entity.bow.insert(entity.bow.end(), row.bow.begin(), row.bow.end());
     for (const auto& rv : row.values) {
       double score = 1.0;
       switch (options_.scoring) {
@@ -132,6 +133,10 @@ std::vector<CreatedEntity> EntityCreator::Create(
       }
       candidates[c][rv.property].push_back({rv.value, score});
     }
+  }
+
+  for (auto& entity : entities) {
+    entity.bow = util::SortedUnique(std::move(entity.bow));
   }
 
   // ---- Entity-level implicit attributes. --------------------------------

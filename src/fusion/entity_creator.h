@@ -7,7 +7,7 @@
 #include "matching/schema_mapping.h"
 #include "rowcluster/row_features.h"
 #include "types/type_similarity.h"
-#include "webtable/web_table.h"
+#include "webtable/prepared_corpus.h"
 
 namespace ltee::fusion {
 
@@ -40,16 +40,16 @@ class EntityCreator {
   EntityCreator(const kb::KnowledgeBase& kb, EntityCreatorOptions options = {});
 
   /// Creates one entity per cluster id in `cluster_of_row` (dense ids).
-  /// `mapping` and `corpus` supply column scores and KBT trust inputs.
+  /// `mapping` and `prepared` supply column scores and KBT trust inputs.
   std::vector<CreatedEntity> Create(
       const rowcluster::ClassRowSet& rows, const std::vector<int>& cluster_of_row,
       const matching::SchemaMapping& mapping,
-      const webtable::TableCorpus& corpus) const;
+      const webtable::PreparedCorpus& prepared) const;
 
   /// Measured KBT trust of one column (exposed for tests and benches):
   /// fraction of cells equal to the KB fact of the row's matched instance,
   /// among comparable cells.
-  double ColumnTrust(const webtable::TableCorpus& corpus,
+  double ColumnTrust(const webtable::PreparedCorpus& prepared,
                      const matching::TableMapping& mapping, int column) const;
 
  private:

@@ -8,9 +8,14 @@
 
 namespace ltee::index {
 
-uint32_t LabelIndex::InternToken(const std::string& token) {
-  auto [it, inserted] =
-      token_ids_.emplace(token, static_cast<uint32_t>(token_ids_.size()));
+LabelIndex::LabelIndex(std::shared_ptr<util::TokenDictionary> dict)
+    : dict_(std::move(dict)) {
+  if (dict_ == nullptr) dict_ = std::make_shared<util::TokenDictionary>();
+}
+
+uint32_t LabelIndex::LocalId(uint32_t global) {
+  auto [it, inserted] = local_of_global_.emplace(
+      global, static_cast<uint32_t>(local_of_global_.size()));
   if (inserted) postings_.emplace_back();
   return it->second;
 }
@@ -24,7 +29,27 @@ void LabelIndex::Add(uint32_t doc, std::string_view label) {
   Entry entry;
   entry.doc = doc;
   for (const auto& tok : util::Tokenize(normalized)) {
-    entry.tokens.push_back(InternToken(tok));
+    const uint32_t global = dict_->Intern(tok);
+    entry.ordered.push_back(global);
+    entry.tokens.push_back(LocalId(global));
+  }
+  std::sort(entry.tokens.begin(), entry.tokens.end());
+  entry.tokens.erase(std::unique(entry.tokens.begin(), entry.tokens.end()),
+                     entry.tokens.end());
+  entries_.push_back(std::move(entry));
+}
+
+void LabelIndex::AddTokens(uint32_t doc, std::string_view normalized,
+                           std::span<const uint32_t> tokens) {
+  assert(!built_);
+  if (normalized.empty()) return;
+  block_by_label_.emplace(std::string(normalized),
+                          static_cast<int32_t>(block_by_label_.size()));
+  Entry entry;
+  entry.doc = doc;
+  entry.ordered.assign(tokens.begin(), tokens.end());
+  for (uint32_t global : tokens) {
+    entry.tokens.push_back(LocalId(global));
   }
   std::sort(entry.tokens.begin(), entry.tokens.end());
   entry.tokens.erase(std::unique(entry.tokens.begin(), entry.tokens.end()),
@@ -38,6 +63,7 @@ void LabelIndex::Build() {
     for (uint32_t tok : entries_[e].tokens) {
       postings_[tok].push_back(static_cast<uint32_t>(e));
     }
+    entries_of_doc_[entries_[e].doc].push_back(static_cast<uint32_t>(e));
   }
   const double n = static_cast<double>(std::max<size_t>(1, entries_.size()));
   idf_.resize(postings_.size());
@@ -54,18 +80,52 @@ void LabelIndex::Build() {
 
 std::vector<LabelHit> LabelIndex::Search(std::string_view label,
                                          size_t k) const {
+  auto raw = util::Tokenize(label);
+  std::vector<QueryToken> tokens;
+  tokens.reserve(raw.size());
+  for (const auto& tok : raw) {
+    const uint32_t global = dict_->Find(tok);
+    if (global == util::TokenDictionary::kNoToken) continue;
+    tokens.push_back({tok, global});
+  }
+  // `tokens` views into `raw`, which stays alive for the whole call.
+  return SearchResolved(std::move(tokens), k);
+}
+
+std::vector<LabelHit> LabelIndex::Search(std::span<const uint32_t> tokens,
+                                         size_t k) const {
+  std::vector<QueryToken> resolved;
+  resolved.reserve(tokens.size());
+  for (uint32_t global : tokens) {
+    if (global == util::TokenDictionary::kNoToken) continue;
+    resolved.push_back({dict_->token(global), global});
+  }
+  return SearchResolved(std::move(resolved), k);
+}
+
+std::vector<LabelHit> LabelIndex::SearchResolved(
+    std::vector<QueryToken> tokens, size_t k) const {
   assert(built_);
   std::vector<LabelHit> out;
   if (k == 0) return out;
-  auto tokens = util::Tokenize(label);
-  std::sort(tokens.begin(), tokens.end());
-  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  // Canonical lexicographic query order: scores must not depend on the
+  // dictionary's interning order (ids are sorted by their token string, the
+  // order the string overload has always used).
+  std::sort(tokens.begin(), tokens.end(),
+            [](const QueryToken& a, const QueryToken& b) {
+              return a.text < b.text;
+            });
+  tokens.erase(std::unique(tokens.begin(), tokens.end(),
+                           [](const QueryToken& a, const QueryToken& b) {
+                             return a.text == b.text;
+                           }),
+               tokens.end());
 
   std::unordered_map<uint32_t, double> entry_score;  // entry index -> score
   double query_norm = 0.0;
   for (const auto& tok : tokens) {
-    auto it = token_ids_.find(tok);
-    if (it == token_ids_.end()) continue;
+    auto it = local_of_global_.find(tok.global);
+    if (it == local_of_global_.end()) continue;
     const double w = idf_[it->second];
     query_norm += w * w;
     for (uint32_t e : postings_[it->second]) {
@@ -97,6 +157,24 @@ std::vector<LabelHit> LabelIndex::Search(std::string_view label,
 
 int32_t LabelIndex::BlockOf(std::string_view label) const {
   auto it = block_by_label_.find(util::NormalizeLabel(label));
+  return it == block_by_label_.end() ? -1 : it->second;
+}
+
+std::vector<std::span<const uint32_t>> LabelIndex::LabelTokensOf(
+    uint32_t doc) const {
+  assert(built_);
+  std::vector<std::span<const uint32_t>> out;
+  auto it = entries_of_doc_.find(doc);
+  if (it == entries_of_doc_.end()) return out;
+  out.reserve(it->second.size());
+  for (uint32_t e : it->second) {
+    out.push_back(entries_[e].ordered);
+  }
+  return out;
+}
+
+int32_t LabelIndex::BlockOfNormalized(std::string_view normalized) const {
+  auto it = block_by_label_.find(std::string(normalized));
   return it == block_by_label_.end() ? -1 : it->second;
 }
 

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "types/type_similarity.h"
-#include "types/value_parser.h"
 #include "util/similarity.h"
 #include "util/string_util.h"
 
@@ -39,16 +38,16 @@ std::string ExactValueKey(const types::Value& v) {
   return ValueKey(v);
 }
 
-WtLabelStats WtLabelStats::Build(const webtable::TableCorpus& corpus,
+WtLabelStats WtLabelStats::Build(const webtable::PreparedCorpus& prepared,
                                  const SchemaMapping& preliminary) {
   WtLabelStats stats;
   for (const auto& mapping : preliminary.tables) {
     if (mapping.table < 0) continue;
-    const webtable::WebTable& table = corpus.table(mapping.table);
+    const webtable::PreparedTable& table = prepared.table(mapping.table);
     for (size_t c = 0; c < mapping.columns.size(); ++c) {
       const ColumnMatch& match = mapping.columns[c];
       if (match.property == kb::kInvalidProperty) continue;
-      std::string header = util::NormalizeLabel(table.headers[c]);
+      const std::string& header = table.normalized_headers[c];
       if (header.empty()) continue;
       auto& entry = stats.counts_[header];
       entry.per_property[match.property] += 1;
@@ -67,23 +66,22 @@ double WtLabelStats::Score(const std::string& header,
   return static_cast<double>(count) / static_cast<double>(it->second.total);
 }
 
-WtDuplicateIndex WtDuplicateIndex::Build(const webtable::TableCorpus& corpus,
-                                         const SchemaMapping& preliminary,
-                                         const RowClusterMap& clusters,
-                                         const kb::KnowledgeBase& kb) {
+WtDuplicateIndex WtDuplicateIndex::Build(
+    const webtable::PreparedCorpus& prepared, const SchemaMapping& preliminary,
+    const RowClusterMap& clusters, const kb::KnowledgeBase& kb) {
   WtDuplicateIndex index;
   for (const auto& mapping : preliminary.tables) {
     if (mapping.table < 0) continue;
-    const webtable::WebTable& table = corpus.table(mapping.table);
+    const webtable::PreparedTable& table = prepared.table(mapping.table);
     for (size_t c = 0; c < mapping.columns.size(); ++c) {
       const ColumnMatch& match = mapping.columns[c];
       if (match.property == kb::kInvalidProperty) continue;
       const DataType type = kb.property(match.property).type;
-      for (size_t r = 0; r < table.num_rows(); ++r) {
+      for (size_t r = 0; r < table.num_rows; ++r) {
         auto cit = clusters.find(
             {mapping.table, static_cast<int32_t>(r)});
         if (cit == clusters.end()) continue;
-        auto value = types::NormalizeCell(table.cell(r, c), type);
+        const auto& value = table.cell(r, c).parsed_as(type);
         if (!value) continue;
         index.index_[PackClusterProperty(cit->second, match.property)]
                     [ExactValueKey(*value)] += 1;
@@ -103,25 +101,31 @@ int WtDuplicateIndex::Count(int cluster, kb::PropertyId property,
 
 namespace {
 
-double KbOverlapScore(const MatcherInputs& in, const webtable::WebTable& table,
-                      int column, kb::PropertyId property) {
+double KbOverlapScore(const MatcherInputs& in,
+                      const webtable::PreparedTable& table, int column,
+                      kb::PropertyId property) {
   const DataType type = in.kb->property(property).type;
   const PropertyValueProfile& profile = (*in.value_profiles)[property];
   int non_empty = 0, fits = 0;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string& cell = table.cell(r, static_cast<size_t>(column));
-    if (util::Trim(cell).empty()) continue;
+  for (size_t r = 0; r < table.num_rows; ++r) {
+    const webtable::PreparedCell& cell =
+        table.cell(r, static_cast<size_t>(column));
+    if (cell.empty) continue;
     ++non_empty;
-    auto value = types::NormalizeCell(cell, type);
+    const auto& value = cell.parsed_as(type);
     if (value && profile.Fits(*value)) ++fits;
   }
   if (non_empty == 0) return -1.0;
   return static_cast<double>(fits) / static_cast<double>(non_empty);
 }
 
-double KbLabelScore(const MatcherInputs& in, const webtable::WebTable& table,
-                    int column, kb::PropertyId property) {
-  const std::string& header = table.headers[column];
+double KbLabelScore(const MatcherInputs& in,
+                    const webtable::PreparedTable& table, int column,
+                    kb::PropertyId property) {
+  // Property labels are compared as raw strings (they live outside the
+  // table dictionary), so read the raw header of the table.
+  const std::string& header =
+      in.prepared->corpus().table(table.id).headers[column];
   if (util::Trim(header).empty()) return -1.0;
   double best = 0.0;
   for (const auto& label : in.kb->property(property).labels) {
@@ -131,20 +135,21 @@ double KbLabelScore(const MatcherInputs& in, const webtable::WebTable& table,
 }
 
 double KbDuplicateScore(const MatcherInputs& in,
-                        const webtable::WebTable& table, int column,
+                        const webtable::PreparedTable& table, int column,
                         kb::PropertyId property) {
   if (in.row_instances == nullptr) return -1.0;
   const DataType type = in.kb->property(property).type;
   const types::TypeSimilarityOptions sim_options;
   int compared = 0, equal = 0;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
+  for (size_t r = 0; r < table.num_rows; ++r) {
     auto it = in.row_instances->find({table.id, static_cast<int32_t>(r)});
     if (it == in.row_instances->end()) continue;
     const types::Value* fact = in.kb->FactOf(it->second, property);
     if (fact == nullptr) continue;
-    const std::string& cell = table.cell(r, static_cast<size_t>(column));
-    if (util::Trim(cell).empty()) continue;
-    auto value = types::NormalizeCell(cell, type);
+    const webtable::PreparedCell& cell =
+        table.cell(r, static_cast<size_t>(column));
+    if (cell.empty) continue;
+    const auto& value = cell.parsed_as(type);
     ++compared;
     if (value && types::ValuesEqual(*value, *fact, sim_options)) ++equal;
   }
@@ -152,16 +157,17 @@ double KbDuplicateScore(const MatcherInputs& in,
   return static_cast<double>(equal) / static_cast<double>(compared);
 }
 
-double WtLabelScore(const MatcherInputs& in, const webtable::WebTable& table,
-                    int column, kb::PropertyId property) {
+double WtLabelScore(const MatcherInputs& in,
+                    const webtable::PreparedTable& table, int column,
+                    kb::PropertyId property) {
   if (in.wt_label == nullptr) return -1.0;
-  return in.wt_label->Score(table.headers[column], property);
+  return in.wt_label->Score(table.normalized_headers[column], property);
 }
 
 /// Whether this very column fed the WT-Duplicate index under `property`
 /// (it was matched to it in the preliminary mapping); in that case every
 /// cell of the column indexed itself once.
-bool SelfIndexed(const MatcherInputs& in, const webtable::WebTable& table,
+bool SelfIndexed(const MatcherInputs& in, const webtable::PreparedTable& table,
                  int column, kb::PropertyId property) {
   if (in.preliminary == nullptr ||
       table.id >= static_cast<int>(in.preliminary->tables.size())) {
@@ -173,16 +179,16 @@ bool SelfIndexed(const MatcherInputs& in, const webtable::WebTable& table,
 }
 
 double WtDuplicateScore(const MatcherInputs& in,
-                        const webtable::WebTable& table, int column,
+                        const webtable::PreparedTable& table, int column,
                         kb::PropertyId property) {
   if (in.wt_duplicate == nullptr || in.row_clusters == nullptr) return -1.0;
   const DataType type = in.kb->property(property).type;
   int considered = 0, supported = 0;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
+  for (size_t r = 0; r < table.num_rows; ++r) {
     auto cit = in.row_clusters->find({table.id, static_cast<int32_t>(r)});
     if (cit == in.row_clusters->end()) continue;
-    auto value =
-        types::NormalizeCell(table.cell(r, static_cast<size_t>(column)), type);
+    const auto& value =
+        table.cell(r, static_cast<size_t>(column)).parsed_as(type);
     if (!value) continue;
     ++considered;
     // The cell itself may be indexed (when this column was matched in the
@@ -201,7 +207,7 @@ double WtDuplicateScore(const MatcherInputs& in,
 }  // namespace
 
 double RunMatcher(MatcherId id, const MatcherInputs& inputs,
-                  const webtable::WebTable& table, int column,
+                  const webtable::PreparedTable& table, int column,
                   kb::PropertyId property) {
   switch (id) {
     case MatcherId::kKbOverlap:
@@ -218,10 +224,9 @@ double RunMatcher(MatcherId id, const MatcherInputs& inputs,
   return -1.0;
 }
 
-std::array<double, kNumMatchers> RunAllMatchers(const MatcherInputs& inputs,
-                                                const webtable::WebTable& table,
-                                                int column,
-                                                kb::PropertyId property) {
+std::array<double, kNumMatchers> RunAllMatchers(
+    const MatcherInputs& inputs, const webtable::PreparedTable& table,
+    int column, kb::PropertyId property) {
   std::array<double, kNumMatchers> out;
   for (int i = 0; i < kNumMatchers; ++i) {
     out[i] = RunMatcher(static_cast<MatcherId>(i), inputs, table, column,

@@ -9,7 +9,7 @@
 #include "kb/knowledge_base.h"
 #include "matching/property_value_profile.h"
 #include "matching/schema_mapping.h"
-#include "webtable/web_table.h"
+#include "webtable/prepared_corpus.h"
 
 namespace ltee::matching {
 
@@ -34,8 +34,9 @@ std::string ExactValueKey(const types::Value& v);
 /// matched to each property in the preliminary mapping.
 class WtLabelStats {
  public:
-  /// Scans every matched column of `preliminary` over `corpus`.
-  static WtLabelStats Build(const webtable::TableCorpus& corpus,
+  /// Scans every matched column of `preliminary` over the prepared corpus
+  /// (headers are read pre-normalized).
+  static WtLabelStats Build(const webtable::PreparedCorpus& prepared,
                             const SchemaMapping& preliminary);
 
   /// P(property | header label), or -1 when the label was never seen.
@@ -54,7 +55,7 @@ class WtLabelStats {
 /// rows.
 class WtDuplicateIndex {
  public:
-  static WtDuplicateIndex Build(const webtable::TableCorpus& corpus,
+  static WtDuplicateIndex Build(const webtable::PreparedCorpus& prepared,
                                 const SchemaMapping& preliminary,
                                 const RowClusterMap& clusters,
                                 const kb::KnowledgeBase& kb);
@@ -72,6 +73,9 @@ class WtDuplicateIndex {
 /// on the first iteration, which disables the duplicate-based matchers.
 struct MatcherInputs {
   const kb::KnowledgeBase* kb = nullptr;
+  /// Prepared corpus the matched tables belong to (typed cell parses,
+  /// normalized headers); must be set.
+  const webtable::PreparedCorpus* prepared = nullptr;
   const std::vector<PropertyValueProfile>* value_profiles = nullptr;
   const RowInstanceMap* row_instances = nullptr;   // for KB-Duplicate
   const RowClusterMap* row_clusters = nullptr;     // for WT-Duplicate
@@ -82,17 +86,17 @@ struct MatcherInputs {
 };
 
 /// Runs matcher `id` for (table, column) against candidate `property`.
-/// Returns a score in [0, 1], or -1 when the matcher is not applicable
-/// (no feedback available, no comparable cells, ...).
+/// `table` must belong to `inputs.prepared`. Returns a score in [0, 1], or
+/// -1 when the matcher is not applicable (no feedback available, no
+/// comparable cells, ...).
 double RunMatcher(MatcherId id, const MatcherInputs& inputs,
-                  const webtable::WebTable& table, int column,
+                  const webtable::PreparedTable& table, int column,
                   kb::PropertyId property);
 
 /// Runs all five matchers; out[i] corresponds to MatcherId(i).
-std::array<double, kNumMatchers> RunAllMatchers(const MatcherInputs& inputs,
-                                                const webtable::WebTable& table,
-                                                int column,
-                                                kb::PropertyId property);
+std::array<double, kNumMatchers> RunAllMatchers(
+    const MatcherInputs& inputs, const webtable::PreparedTable& table,
+    int column, kb::PropertyId property);
 
 }  // namespace ltee::matching
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 
-#include "matching/label_attribute.h"
 #include "util/stats.h"
 
 namespace ltee::matching {
@@ -17,20 +16,21 @@ SchemaMatcher::SchemaMatcher(const kb::KnowledgeBase& kb,
       value_profiles_(BuildPropertyValueProfiles(kb)) {}
 
 SchemaMatcher::Prepared SchemaMatcher::PrepareInputs(
-    const webtable::TableCorpus& corpus,
+    const webtable::PreparedCorpus& prepared,
     const MatcherFeedback& feedback) const {
   Prepared prep;
   prep.inputs.kb = kb_;
+  prep.inputs.prepared = &prepared;
   prep.inputs.value_profiles = &value_profiles_;
   prep.inputs.row_instances = feedback.row_instances;
   prep.inputs.row_clusters = feedback.row_clusters;
   prep.inputs.preliminary = feedback.preliminary;
   if (feedback.preliminary != nullptr) {
-    prep.wt_label = WtLabelStats::Build(corpus, *feedback.preliminary);
+    prep.wt_label = WtLabelStats::Build(prepared, *feedback.preliminary);
     prep.inputs.wt_label = &prep.wt_label;
     if (feedback.row_clusters != nullptr) {
       prep.wt_duplicate = WtDuplicateIndex::Build(
-          corpus, *feedback.preliminary, *feedback.row_clusters, *kb_);
+          prepared, *feedback.preliminary, *feedback.row_clusters, *kb_);
       prep.inputs.wt_duplicate = &prep.wt_duplicate;
     }
   }
@@ -60,31 +60,30 @@ double SchemaMatcher::ThresholdOf(kb::PropertyId property) const {
   return it == thresholds_.end() ? options_.default_threshold : it->second;
 }
 
-TableMapping SchemaMatcher::MatchTableImpl(const webtable::WebTable& table,
+TableMapping SchemaMatcher::MatchTableImpl(const webtable::PreparedTable& table,
                                            const MatcherInputs& inputs) const {
   TableMapping mapping;
   mapping.table = table.id;
-  const auto column_types = DetectColumnTypes(table);
-  mapping.columns.resize(table.num_columns());
-  for (size_t c = 0; c < table.num_columns(); ++c) {
+  const auto& column_types = table.column_types;
+  mapping.columns.resize(table.num_columns);
+  for (size_t c = 0; c < table.num_columns; ++c) {
     mapping.columns[c].detected = column_types[c];
   }
-  mapping.label_column = DetectLabelColumn(table, column_types);
+  mapping.label_column = table.label_column;
   if (mapping.label_column < 0) {
-    mapping.row_instance.assign(table.num_rows(), kb::kInvalidInstance);
+    mapping.row_instance.assign(table.num_rows, kb::kInvalidInstance);
     return mapping;
   }
 
   TableToClassResult ttc = MatchTableToClass(
-      table, mapping.label_column, column_types, *kb_, *kb_index_,
-      options_.table_to_class);
+      table, mapping.label_column, *kb_, *kb_index_, options_.table_to_class);
   mapping.cls = ttc.cls;
   mapping.class_score = ttc.score;
   mapping.row_instance = std::move(ttc.row_instance);
   if (mapping.cls == kb::kInvalidClass) return mapping;
 
   const auto& class_properties = kb_->cls(mapping.cls).properties;
-  for (size_t c = 0; c < table.num_columns(); ++c) {
+  for (size_t c = 0; c < table.num_columns; ++c) {
     if (static_cast<int>(c) == mapping.label_column) continue;
     kb::PropertyId best_property = kb::kInvalidProperty;
     double best_score = 0.0;
@@ -111,22 +110,23 @@ TableMapping SchemaMatcher::MatchTableImpl(const webtable::WebTable& table,
   return mapping;
 }
 
-SchemaMapping SchemaMatcher::Match(const webtable::TableCorpus& corpus,
+SchemaMapping SchemaMatcher::Match(const webtable::PreparedCorpus& prepared,
                                    const MatcherFeedback& feedback) const {
-  Prepared prep = PrepareInputs(corpus, feedback);
+  Prepared prep = PrepareInputs(prepared, feedback);
   SchemaMapping mapping;
-  mapping.tables.resize(corpus.size());
-  for (const auto& table : corpus.tables()) {
+  mapping.tables.resize(prepared.size());
+  for (size_t t = 0; t < prepared.size(); ++t) {
+    const auto& table = prepared.table(static_cast<webtable::TableId>(t));
     mapping.tables[table.id] = MatchTableImpl(table, prep.inputs);
   }
   return mapping;
 }
 
-TableMapping SchemaMatcher::MatchTable(const webtable::TableCorpus& corpus,
+TableMapping SchemaMatcher::MatchTable(const webtable::PreparedCorpus& prepared,
                                        webtable::TableId table,
                                        const MatcherFeedback& feedback) const {
-  Prepared prep = PrepareInputs(corpus, feedback);
-  return MatchTableImpl(corpus.table(table), prep.inputs);
+  Prepared prep = PrepareInputs(prepared, feedback);
+  return MatchTableImpl(prepared.table(table), prep.inputs);
 }
 
 namespace {
@@ -195,11 +195,11 @@ double EvaluateWeights(const std::vector<LearnCandidate>& candidates,
 
 }  // namespace
 
-void SchemaMatcher::Learn(const webtable::TableCorpus& corpus,
+void SchemaMatcher::Learn(const webtable::PreparedCorpus& prepared,
                           const std::vector<webtable::TableId>& learning_tables,
                           const std::vector<AttributeAnnotation>& annotations,
                           const MatcherFeedback& feedback, util::Rng& rng) {
-  Prepared prep = PrepareInputs(corpus, feedback);
+  Prepared prep = PrepareInputs(prepared, feedback);
 
   std::map<std::pair<webtable::TableId, int>, kb::PropertyId> annotation_map;
   for (const auto& a : annotations) {
@@ -214,18 +214,18 @@ void SchemaMatcher::Learn(const webtable::TableCorpus& corpus,
   int next_column_key = 0;
 
   for (webtable::TableId tid : learning_tables) {
-    const webtable::WebTable& table = corpus.table(tid);
-    const auto column_types = DetectColumnTypes(table);
-    const int label_column = DetectLabelColumn(table, column_types);
+    const webtable::PreparedTable& table = prepared.table(tid);
+    const auto& column_types = table.column_types;
+    const int label_column = table.label_column;
     if (label_column < 0) continue;
-    TableToClassResult ttc =
-        MatchTableToClass(table, label_column, column_types, *kb_, *kb_index_,
-                          options_.table_to_class);
+    TableToClassResult ttc = MatchTableToClass(table, label_column, *kb_,
+                                               *kb_index_,
+                                               options_.table_to_class);
     if (ttc.cls == kb::kInvalidClass) continue;
 
     auto& candidates = per_class[ttc.cls];
     auto& annotated = per_class_annotated[ttc.cls];
-    for (size_t c = 0; c < table.num_columns(); ++c) {
+    for (size_t c = 0; c < table.num_columns; ++c) {
       if (static_cast<int>(c) == label_column) continue;
       const int column_key = next_column_key++;
       per_class_columns[ttc.cls] += 1;

@@ -12,6 +12,7 @@
 #include "matching/table_to_class.h"
 #include "ml/genetic.h"
 #include "util/random.h"
+#include "webtable/prepared_corpus.h"
 #include "webtable/web_table.h"
 
 namespace ltee::matching {
@@ -55,19 +56,20 @@ class SchemaMatcher {
   /// Learns per-class matcher weights (genetic algorithm maximizing
   /// attribute-matching F1) and per-property decision thresholds from
   /// `annotations` over `learning_tables`.
-  void Learn(const webtable::TableCorpus& corpus,
+  void Learn(const webtable::PreparedCorpus& prepared,
              const std::vector<webtable::TableId>& learning_tables,
              const std::vector<AttributeAnnotation>& annotations,
              const MatcherFeedback& feedback, util::Rng& rng);
 
-  /// Matches every table of `corpus`. Pass an empty feedback on the first
-  /// iteration; the duplicate-based matchers activate automatically when
-  /// feedback is present.
-  SchemaMapping Match(const webtable::TableCorpus& corpus,
+  /// Matches every table of the prepared corpus. Pass an empty feedback on
+  /// the first iteration; the duplicate-based matchers activate
+  /// automatically when feedback is present. The prepared corpus must share
+  /// the KB index's token dictionary.
+  SchemaMapping Match(const webtable::PreparedCorpus& prepared,
                       const MatcherFeedback& feedback = {}) const;
 
   /// Matches a single table (the corpus is still needed to identify it).
-  TableMapping MatchTable(const webtable::TableCorpus& corpus,
+  TableMapping MatchTable(const webtable::PreparedCorpus& prepared,
                           webtable::TableId table,
                           const MatcherFeedback& feedback = {}) const;
 
@@ -84,9 +86,9 @@ class SchemaMatcher {
     MatcherInputs inputs;
   };
 
-  Prepared PrepareInputs(const webtable::TableCorpus& corpus,
+  Prepared PrepareInputs(const webtable::PreparedCorpus& prepared,
                          const MatcherFeedback& feedback) const;
-  TableMapping MatchTableImpl(const webtable::WebTable& table,
+  TableMapping MatchTableImpl(const webtable::PreparedTable& table,
                               const MatcherInputs& inputs) const;
   double Aggregate(kb::ClassId cls,
                    const std::array<double, kNumMatchers>& scores) const;

@@ -6,7 +6,6 @@
 #include "types/type_similarity.h"
 #include "types/value_parser.h"
 #include "util/similarity.h"
-#include "util/string_util.h"
 
 namespace ltee::matching {
 
@@ -20,25 +19,27 @@ struct RowCandidate {
 }  // namespace
 
 TableToClassResult MatchTableToClass(
-    const webtable::WebTable& table, int label_column,
-    const std::vector<types::DetectedType>& column_types,
+    const webtable::PreparedTable& table, int label_column,
     const kb::KnowledgeBase& kb, const index::LabelIndex& kb_index,
     const TableToClassOptions& options) {
   TableToClassResult result;
-  result.row_instance.assign(table.num_rows(), kb::kInvalidInstance);
-  if (label_column < 0 || table.num_rows() == 0) return result;
+  result.row_instance.assign(table.num_rows, kb::kInvalidInstance);
+  if (label_column < 0 || table.num_rows == 0) return result;
+  const util::TokenDictionary& dict = kb_index.dict();
 
   // --- 1. Row label lookup: candidate instances per row. ----------------
-  std::vector<std::vector<RowCandidate>> row_candidates(table.num_rows());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string& label = table.cell(r, static_cast<size_t>(label_column));
-    if (util::Trim(label).empty()) continue;
-    for (const auto& hit : kb_index.Search(label, options.candidates_per_row)) {
+  std::vector<std::vector<RowCandidate>> row_candidates(table.num_rows);
+  for (size_t r = 0; r < table.num_rows; ++r) {
+    const webtable::PreparedCell& label =
+        table.cell(r, static_cast<size_t>(label_column));
+    if (label.empty) continue;
+    for (const auto& hit :
+         kb_index.Search(label.tokens, options.candidates_per_row)) {
       const kb::Instance& inst = kb.instance(static_cast<int>(hit.doc));
       double best_sim = 0.0;
-      for (const auto& inst_label : inst.labels) {
-        best_sim = std::max(best_sim,
-                            util::MongeElkanLevenshtein(label, inst_label));
+      for (const auto& inst_tokens : kb_index.LabelTokensOf(hit.doc)) {
+        best_sim = std::max(best_sim, util::MongeElkanLevenshtein(
+                                          label.tokens, inst_tokens, dict));
       }
       if (best_sim >= options.label_similarity_threshold) {
         row_candidates[r].push_back({inst.id, best_sim});
@@ -57,7 +58,7 @@ TableToClassResult MatchTableToClass(
   }
   const int min_support = std::max(
       1, static_cast<int>(options.min_row_support *
-                          static_cast<double>(table.num_rows())));
+                          static_cast<double>(table.num_rows)));
 
   // --- 3. Score candidate classes: row support + duplicate-based
   //        attribute matching. -------------------------------------------
@@ -72,25 +73,25 @@ TableToClassResult MatchTableToClass(
     // Per (column, property) matched-cell counts; per row the best
     // candidate instance by fact matches.
     std::unordered_map<int64_t, int> cell_matches;  // (col<<16|prop) -> count
-    std::vector<kb::InstanceId> rows(table.num_rows(), kb::kInvalidInstance);
-    std::vector<int> row_fact_matches(table.num_rows(), -1);
+    std::vector<kb::InstanceId> rows(table.num_rows, kb::kInvalidInstance);
+    std::vector<int> row_fact_matches(table.num_rows, -1);
 
-    for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t r = 0; r < table.num_rows; ++r) {
       for (const auto& cand : row_candidates[r]) {
         const kb::Instance& inst = kb.instance(cand.instance);
         if (inst.cls != cls) continue;
         int fact_matches = 0;
-        for (size_t c = 0; c < table.num_columns(); ++c) {
+        for (size_t c = 0; c < table.num_columns; ++c) {
           if (static_cast<int>(c) == label_column) continue;
-          const std::string& cell = table.cell(r, c);
-          if (util::Trim(cell).empty()) continue;
+          const webtable::PreparedCell& cell = table.cell(r, c);
+          if (cell.empty) continue;
           for (const auto& fact : inst.facts) {
             const kb::PropertySpec& prop = kb.property(fact.property);
-            if (!types::DetectedTypeAdmitsProperty(column_types[c],
+            if (!types::DetectedTypeAdmitsProperty(table.column_types[c],
                                                    prop.type)) {
               continue;
             }
-            auto value = types::NormalizeCell(cell, prop.type);
+            const auto& value = cell.parsed_as(prop.type);
             if (!value) continue;
             if (types::ValuesEqual(*value, fact.value, sim_options)) {
               cell_matches[(static_cast<int64_t>(c) << 16) |

@@ -5,8 +5,7 @@
 
 #include "index/label_index.h"
 #include "kb/knowledge_base.h"
-#include "types/data_type.h"
-#include "webtable/web_table.h"
+#include "webtable/prepared_corpus.h"
 
 namespace ltee::matching {
 
@@ -33,11 +32,11 @@ struct TableToClassResult {
 /// Table-to-class matching following Ritze et al. (Section 3.1): row labels
 /// retrieve candidate instances from the KB label index; classes are scored
 /// by row support plus duplicate-based attribute-to-property match counts;
-/// the highest-scoring class wins. `kb_index` must map doc ids to KB
-/// instance ids.
+/// the highest-scoring class wins. Reads tokens, typed parses and column
+/// types from the prepared table. `kb_index` must map doc ids to KB
+/// instance ids and share the prepared corpus's token dictionary.
 TableToClassResult MatchTableToClass(
-    const webtable::WebTable& table, int label_column,
-    const std::vector<types::DetectedType>& column_types,
+    const webtable::PreparedTable& table, int label_column,
     const kb::KnowledgeBase& kb, const index::LabelIndex& kb_index,
     const TableToClassOptions& options = {});
 

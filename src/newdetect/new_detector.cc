@@ -6,39 +6,13 @@
 #include "types/type_similarity.h"
 #include "util/similarity.h"
 #include "util/string_util.h"
+#include "util/token_dictionary.h"
 
 namespace ltee::newdetect {
 
 namespace {
 
 const types::TypeSimilarityOptions kSimOptions;
-
-double LabelSimilarity(const fusion::CreatedEntity& entity,
-                       const kb::Instance& instance) {
-  double best = 0.0;
-  for (const auto& a : entity.labels) {
-    for (const auto& b : instance.labels) {
-      best = std::max(best, util::MongeElkanLevenshtein(a, b));
-    }
-  }
-  return best;
-}
-
-std::unordered_set<std::string> InstanceBow(const kb::KnowledgeBase& kb,
-                                            const kb::Instance& instance) {
-  std::unordered_set<std::string> bow;
-  for (const auto& label : instance.labels) {
-    for (auto& tok : util::Tokenize(label)) bow.insert(std::move(tok));
-  }
-  for (const auto& tok : instance.abstract_tokens) bow.insert(tok);
-  for (const auto& fact : instance.facts) {
-    for (auto& tok : util::Tokenize(fact.value.ToString())) {
-      bow.insert(std::move(tok));
-    }
-  }
-  (void)kb;
-  return bow;
-}
 
 std::pair<double, double> AttributeSimilarity(
     const fusion::CreatedEntity& entity, const kb::KnowledgeBase& kb,
@@ -118,10 +92,55 @@ std::vector<kb::InstanceId> NewDetector::Candidates(
   return out;
 }
 
+std::vector<std::vector<uint32_t>> NewDetector::EntityLabelTokens(
+    const fusion::CreatedEntity& entity) const {
+  util::TokenDictionary* dict = kb_index_->dict_ptr().get();
+  std::vector<std::vector<uint32_t>> out;
+  out.reserve(entity.labels.size());
+  for (const auto& label : entity.labels) {
+    out.push_back(dict->InternTokens(label));
+  }
+  return out;
+}
+
+const std::vector<uint32_t>& NewDetector::InstanceBowIds(
+    kb::InstanceId id) const {
+  std::lock_guard<std::mutex> lock(bow_cache_->mu);
+  auto it = bow_cache_->bows.find(id);
+  if (it != bow_cache_->bows.end()) return it->second;
+
+  util::TokenDictionary* dict = kb_index_->dict_ptr().get();
+  const kb::Instance& instance = kb_->instance(id);
+  std::vector<uint32_t> bow;
+  for (const auto& label : instance.labels) {
+    for (uint32_t tok : dict->InternTokens(label)) bow.push_back(tok);
+  }
+  for (const auto& tok : instance.abstract_tokens) {
+    bow.push_back(dict->Intern(tok));
+  }
+  for (const auto& fact : instance.facts) {
+    for (uint32_t tok : dict->InternTokens(fact.value.ToString())) {
+      bow.push_back(tok);
+    }
+  }
+  auto [inserted, unused] =
+      bow_cache_->bows.emplace(id, util::SortedUnique(std::move(bow)));
+  return inserted->second;
+}
+
 ml::ScoredFeatures NewDetector::Compare(const fusion::CreatedEntity& entity,
                                         kb::InstanceId instance_id,
                                         double popularity_rank_score) const {
+  return CompareImpl(entity, EntityLabelTokens(entity), instance_id,
+                     popularity_rank_score);
+}
+
+ml::ScoredFeatures NewDetector::CompareImpl(
+    const fusion::CreatedEntity& entity,
+    const std::vector<std::vector<uint32_t>>& label_tokens,
+    kb::InstanceId instance_id, double popularity_rank_score) const {
   const kb::Instance& instance = kb_->instance(instance_id);
+  const util::TokenDictionary& dict = kb_index_->dict();
   ml::ScoredFeatures out;
   auto push = [&out](double sim, double conf) {
     out.sims.push_back(sim);
@@ -129,7 +148,18 @@ ml::ScoredFeatures NewDetector::Compare(const fusion::CreatedEntity& entity,
   };
   const auto& enabled = options_.enabled_metrics;
   if (enabled[static_cast<int>(EntityMetric::kLabel)]) {
-    push(LabelSimilarity(entity, instance), 0.0);
+    // Max Monge-Elkan over (entity label, indexed instance label) pairs;
+    // labels normalizing to nothing score zero against the non-empty
+    // entity labels, exactly as they would if compared directly.
+    double best = 0.0;
+    const auto instance_labels =
+        kb_index_->LabelTokensOf(static_cast<uint32_t>(instance_id));
+    for (const auto& a : label_tokens) {
+      for (const auto& b : instance_labels) {
+        best = std::max(best, util::MongeElkanLevenshtein(a, b, dict));
+      }
+    }
+    push(best, 0.0);
   }
   if (enabled[static_cast<int>(EntityMetric::kType)]) {
     push(entity.cls == kb::kInvalidClass
@@ -138,7 +168,7 @@ ml::ScoredFeatures NewDetector::Compare(const fusion::CreatedEntity& entity,
          0.0);
   }
   if (enabled[static_cast<int>(EntityMetric::kBow)]) {
-    push(util::CosineBinary(entity.bow, InstanceBow(*kb_, instance)), 0.0);
+    push(util::CosineBinary(entity.bow, InstanceBowIds(instance_id)), 0.0);
   }
   if (enabled[static_cast<int>(EntityMetric::kAttribute)]) {
     auto [sim, conf] = AttributeSimilarity(entity, *kb_, instance_id);
@@ -157,6 +187,7 @@ ml::ScoredFeatures NewDetector::Compare(const fusion::CreatedEntity& entity,
 std::vector<NewDetector::ScoredCandidate> NewDetector::ScoreCandidates(
     const fusion::CreatedEntity& entity) const {
   auto candidates = Candidates(entity);
+  const auto label_tokens = EntityLabelTokens(entity);
   // POPULARITY: rank candidates by incoming-page-link popularity; a single
   // candidate scores 1.0, the k-th most popular scores 1/k.
   std::vector<kb::InstanceId> by_popularity = candidates;
@@ -171,7 +202,9 @@ std::vector<NewDetector::ScoredCandidate> NewDetector::ScoreCandidates(
         std::find(by_popularity.begin(), by_popularity.end(), id);
     const double rank = static_cast<double>(rank_it - by_popularity.begin()) + 1.0;
     const double pop_score = candidates.size() == 1 ? 1.0 : 1.0 / rank;
-    out.push_back({id, aggregator_.Score(Compare(entity, id, pop_score))});
+    out.push_back(
+        {id, aggregator_.Score(CompareImpl(entity, label_tokens, id,
+                                           pop_score))});
   }
   std::sort(out.begin(), out.end(),
             [](const ScoredCandidate& a, const ScoredCandidate& b) {
@@ -187,6 +220,7 @@ void NewDetector::Train(const std::vector<fusion::CreatedEntity>& entities,
   std::vector<ml::Example> examples;
   for (size_t e = 0; e < entities.size(); ++e) {
     auto candidates = Candidates(entities[e]);
+    const auto label_tokens = EntityLabelTokens(entities[e]);
     std::vector<kb::InstanceId> by_popularity = candidates;
     std::sort(by_popularity.begin(), by_popularity.end(),
               [&](kb::InstanceId a, kb::InstanceId b) {
@@ -200,7 +234,7 @@ void NewDetector::Train(const std::vector<fusion::CreatedEntity>& entities,
           static_cast<double>(rank_it - by_popularity.begin()) + 1.0;
       const double pop_score = candidates.size() == 1 ? 1.0 : 1.0 / rank;
       ml::Example ex;
-      ex.features = Compare(entities[e], id, pop_score);
+      ex.features = CompareImpl(entities[e], label_tokens, id, pop_score);
       ex.target = (!labels[e].is_new && labels[e].instance == id) ? 1.0 : -1.0;
       examples.push_back(std::move(ex));
     }

@@ -1,7 +1,11 @@
 #ifndef LTEE_NEWDETECT_NEW_DETECTOR_H_
 #define LTEE_NEWDETECT_NEW_DETECTOR_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fusion/entity.h"
@@ -98,10 +102,32 @@ class NewDetector {
   std::vector<ScoredCandidate> ScoreCandidates(
       const fusion::CreatedEntity& entity) const;
 
+  /// Interned token lists of the entity's labels (one per label), computed
+  /// once per entity so per-candidate comparisons skip re-tokenizing.
+  std::vector<std::vector<uint32_t>> EntityLabelTokens(
+      const fusion::CreatedEntity& entity) const;
+
+  /// Compare with the entity's label tokens already computed.
+  ml::ScoredFeatures CompareImpl(
+      const fusion::CreatedEntity& entity,
+      const std::vector<std::vector<uint32_t>>& label_tokens,
+      kb::InstanceId instance_id, double popularity_rank_score) const;
+
+  /// Sorted-unique interned bag-of-words of a KB instance (labels,
+  /// abstract tokens, fact values), cached across comparisons.
+  const std::vector<uint32_t>& InstanceBowIds(kb::InstanceId id) const;
+
   const kb::KnowledgeBase* kb_;
   const index::LabelIndex* kb_index_;
   NewDetectorOptions options_;
   ml::ScoreAggregator aggregator_;
+  /// Lazily-built instance bow cache (behind a shared_ptr so the detector
+  /// stays movable; guarded for concurrent Detect calls).
+  struct BowCache {
+    std::mutex mu;
+    std::unordered_map<kb::InstanceId, std::vector<uint32_t>> bows;
+  };
+  std::shared_ptr<BowCache> bow_cache_ = std::make_shared<BowCache>();
   /// Entities whose best candidate scores below this are new.
   double new_threshold_ = 0.0;
   /// Entities whose best candidate scores at or above this receive a

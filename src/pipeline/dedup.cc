@@ -1,6 +1,7 @@
 #include "pipeline/dedup.h"
 
 #include <algorithm>
+#include <iterator>
 #include <unordered_map>
 
 #include "util/similarity.h"
@@ -47,7 +48,11 @@ void Absorb(fusion::CreatedEntity* dst, const fusion::CreatedEntity& src) {
       dst->labels.push_back(label);
     }
   }
-  for (const auto& tok : src.bow) dst->bow.insert(tok);
+  std::vector<uint32_t> merged_bow;
+  merged_bow.reserve(dst->bow.size() + src.bow.size());
+  std::set_union(dst->bow.begin(), dst->bow.end(), src.bow.begin(),
+                 src.bow.end(), std::back_inserter(merged_bow));
+  dst->bow = std::move(merged_bow);
   for (const auto& fact : src.facts) {
     if (dst->FactOf(fact.property) == nullptr) dst->facts.push_back(fact);
   }

@@ -77,7 +77,8 @@ std::vector<fusion::CreatedEntity> GoldExperiment::GoldClusterEntities(
     const rowcluster::ClassRowSet& rows, const eval::GoldStandard& gold,
     const std::vector<int>& cluster_indices,
     const matching::SchemaMapping& mapping,
-    const fusion::EntityCreator& creator) const {
+    const fusion::EntityCreator& creator,
+    const webtable::PreparedCorpus& prepared) const {
   std::map<int, int> dense;  // gold cluster -> dense id
   for (size_t k = 0; k < cluster_indices.size(); ++k) {
     dense[cluster_indices[k]] = static_cast<int>(k);
@@ -88,7 +89,7 @@ std::vector<fusion::CreatedEntity> GoldExperiment::GoldClusterEntities(
     auto it = dense.find(g);
     if (it != dense.end()) assignment[i] = it->second;
   }
-  auto entities = creator.Create(rows, assignment, mapping, *gs_corpus_);
+  auto entities = creator.Create(rows, assignment, mapping, prepared);
   entities.resize(cluster_indices.size());
   for (size_t k = 0; k < entities.size(); ++k) {
     entities[k].cluster_id = static_cast<int>(k);
@@ -108,6 +109,7 @@ GoldExperiment::FoldState& GoldExperiment::Fold(int fold) {
 
   state.pipeline = std::make_unique<LteePipeline>(*kb_, options_);
   LteePipeline& pipeline = *state.pipeline;
+  const webtable::PreparedCorpus& prepared = pipeline.Prepared(*gs_corpus_);
 
   // ---- Gold mapping over the GS corpus (all classes merged). -----------
   state.gold_mapping.tables.resize(gs_corpus_->size());
@@ -134,7 +136,7 @@ GoldExperiment::FoldState& GoldExperiment::Fold(int fold) {
     cf.test_gold = eval::FilterClusters(gs, cf.test_clusters);
 
     cf.gold_rows = rowcluster::BuildClassRowSet(
-        *gs_corpus_, state.gold_mapping, gs.cls, *kb_, pipeline.kb_index(),
+        prepared, state.gold_mapping, gs.cls, *kb_, pipeline.kb_index(),
         options_.row_features);
     cf.gold_cluster_of_row.resize(cf.gold_rows.rows.size(), -1);
     cf.learning_assignment.resize(cf.gold_rows.rows.size(), -1);
@@ -154,7 +156,7 @@ GoldExperiment::FoldState& GoldExperiment::Fold(int fold) {
     auto creator = pipeline.MakeEntityCreator();
     auto entities = GoldClusterEntities(cf.gold_rows, gs,
                                         cf.learning_clusters,
-                                        state.gold_mapping, creator);
+                                        state.gold_mapping, creator, prepared);
     std::vector<fusion::CreatedEntity> train_entities;
     std::vector<newdetect::DetectionLabel> train_labels;
     for (size_t k = 0; k < entities.size(); ++k) {
@@ -192,12 +194,12 @@ GoldExperiment::FoldState& GoldExperiment::Fold(int fold) {
   }
 
   // ---- Schema matcher learning. -------------------------------------------
-  pipeline.schema_matcher_first().Learn(*gs_corpus_, state.learning_tables,
+  pipeline.schema_matcher_first().Learn(prepared, state.learning_tables,
                                         state.annotations, {}, state.rng);
   // The refined matcher is learned against *system* feedback: a real
   // first-iteration run (first matcher + trained clusterers/detectors), so
   // its weights see the same noise they will face at inference.
-  auto mapping1 = pipeline.schema_matcher_first().Match(*gs_corpus_);
+  auto mapping1 = pipeline.schema_matcher_first().Match(prepared);
   std::vector<ClassRunResult> first_pass;
   for (const auto& gs : gold_) {
     first_pass.push_back(pipeline.RunClass(*gs_corpus_, mapping1, gs.cls));
@@ -210,7 +212,7 @@ GoldExperiment::FoldState& GoldExperiment::Fold(int fold) {
   system_feedback.row_instances = &system_instances;
   system_feedback.row_clusters = &system_clusters;
   system_feedback.preliminary = &mapping1;
-  pipeline.schema_matcher_refined().Learn(*gs_corpus_, state.learning_tables,
+  pipeline.schema_matcher_refined().Learn(prepared, state.learning_tables,
                                           state.annotations, system_feedback,
                                           state.rng);
 
@@ -379,9 +381,11 @@ GoldExperiment::DetectionMetrics GoldExperiment::NewDetection(
       newdetect::NewDetector detector(*kb_, state.pipeline->kb_index(), opts);
 
       auto creator = state.pipeline->MakeEntityCreator();
+      const webtable::PreparedCorpus& prepared =
+          state.pipeline->Prepared(*gs_corpus_);
       auto train_entities =
           GoldClusterEntities(cf.gold_rows, gs, cf.learning_clusters,
-                              state.gold_mapping, creator);
+                              state.gold_mapping, creator, prepared);
       std::vector<fusion::CreatedEntity> filtered_entities;
       std::vector<newdetect::DetectionLabel> labels;
       for (size_t k = 0; k < train_entities.size(); ++k) {
@@ -392,8 +396,9 @@ GoldExperiment::DetectionMetrics GoldExperiment::NewDetection(
       }
       detector.Train(filtered_entities, labels, state.rng);
 
-      auto test_entities = GoldClusterEntities(
-          cf.gold_rows, gs, cf.test_clusters, state.gold_mapping, creator);
+      auto test_entities =
+          GoldClusterEntities(cf.gold_rows, gs, cf.test_clusters,
+                              state.gold_mapping, creator, prepared);
       std::vector<fusion::CreatedEntity> eval_entities;
       std::vector<const eval::GsCluster*> eval_clusters;
       for (size_t k = 0; k < test_entities.size(); ++k) {
@@ -461,9 +466,11 @@ eval::InstancesFoundResult GoldExperiment::NewInstancesFound(
 
     std::vector<fusion::CreatedEntity> entities;
     std::vector<newdetect::Detection> detections;
+    const webtable::PreparedCorpus& prepared =
+        state.pipeline->Prepared(*gs_corpus_);
     if (gold_clustering) {
       auto gold_entities = GoldClusterEntities(
-          class_run.rows, gs, cf.test_clusters, mapping, creator);
+          class_run.rows, gs, cf.test_clusters, mapping, creator, prepared);
       for (auto& entity : gold_entities) {
         if (!entity.rows.empty()) entities.push_back(std::move(entity));
       }
@@ -479,7 +486,7 @@ eval::InstancesFoundResult GoldExperiment::NewInstancesFound(
       auto clustering =
           state.pipeline->clusterer_for(gs.cls).Cluster(test_rows);
       entities =
-          creator.Create(test_rows, clustering.cluster_of, mapping, *gs_corpus_);
+          creator.Create(test_rows, clustering.cluster_of, mapping, prepared);
       detections = state.pipeline->detector_for(gs.cls).Detect(entities);
     }
     auto result = eval::EvaluateNewInstancesFound(entities, detections,
@@ -509,9 +516,11 @@ eval::FactsFoundResult GoldExperiment::FactsFound(
 
     std::vector<fusion::CreatedEntity> entities;
     std::vector<newdetect::Detection> detections;
+    const webtable::PreparedCorpus& prepared =
+        state.pipeline->Prepared(*gs_corpus_);
     if (gold_clustering) {
       auto gold_entities = GoldClusterEntities(
-          class_run.rows, gs, cf.test_clusters, mapping, creator);
+          class_run.rows, gs, cf.test_clusters, mapping, creator, prepared);
       std::vector<int> kept_clusters;
       for (size_t k = 0; k < gold_entities.size(); ++k) {
         if (gold_entities[k].rows.empty()) continue;
@@ -533,7 +542,7 @@ eval::FactsFoundResult GoldExperiment::FactsFound(
       auto clustering =
           state.pipeline->clusterer_for(gs.cls).Cluster(test_rows);
       entities = creator.Create(test_rows, clustering.cluster_of, mapping,
-                                *gs_corpus_);
+                                prepared);
       detections = state.pipeline->detector_for(gs.cls).Detect(entities);
     }
     auto result =
@@ -572,8 +581,9 @@ eval::RankedEvalResult GoldExperiment::RankedNewEntities(size_t cutoff) {
       auto test_rows = rowcluster::FilterRows(class_run.rows, keep);
       auto clustering =
           state.pipeline->clusterer_for(gs.cls).Cluster(test_rows);
-      auto entities = creator.Create(test_rows, clustering.cluster_of,
-                                     run.mappings.back(), *gs_corpus_);
+      auto entities =
+          creator.Create(test_rows, clustering.cluster_of, run.mappings.back(),
+                         state.pipeline->Prepared(*gs_corpus_));
       auto detections = state.pipeline->detector_for(gs.cls).Detect(entities);
       const auto mapping_to_gold =
           eval::MapEntitiesToGold(entities, cf.test_gold);
@@ -602,8 +612,10 @@ GoldExperiment::ExistingInstanceMatching() {
       ClassFoldState& cf = state.classes[ci];
       const eval::GoldStandard& gs = gold_[ci];
       auto creator = state.pipeline->MakeEntityCreator();
-      auto entities = GoldClusterEntities(cf.gold_rows, gs, cf.test_clusters,
-                                          state.gold_mapping, creator);
+      auto entities =
+          GoldClusterEntities(cf.gold_rows, gs, cf.test_clusters,
+                              state.gold_mapping, creator,
+                              state.pipeline->Prepared(*gs_corpus_));
       std::vector<fusion::CreatedEntity> eval_entities;
       std::vector<const eval::GsCluster*> clusters;
       for (size_t k = 0; k < entities.size(); ++k) {

@@ -111,7 +111,8 @@ class GoldExperiment {
       const rowcluster::ClassRowSet& rows, const eval::GoldStandard& gold,
       const std::vector<int>& cluster_indices,
       const matching::SchemaMapping& mapping,
-      const fusion::EntityCreator& creator) const;
+      const fusion::EntityCreator& creator,
+      const webtable::PreparedCorpus& prepared) const;
 
   const kb::KnowledgeBase* kb_;
   const webtable::TableCorpus* gs_corpus_;

@@ -4,8 +4,9 @@
 
 namespace ltee::pipeline {
 
-index::LabelIndex BuildKbLabelIndex(const kb::KnowledgeBase& kb) {
-  index::LabelIndex index;
+index::LabelIndex BuildKbLabelIndex(const kb::KnowledgeBase& kb,
+                                    std::shared_ptr<util::TokenDictionary> dict) {
+  index::LabelIndex index(std::move(dict));
   for (const auto& instance : kb.instances()) {
     for (const auto& label : instance.labels) {
       index.Add(static_cast<uint32_t>(instance.id), label);
@@ -17,11 +18,34 @@ index::LabelIndex BuildKbLabelIndex(const kb::KnowledgeBase& kb) {
 
 LteePipeline::LteePipeline(const kb::KnowledgeBase& kb,
                            PipelineOptions options)
-    : kb_(&kb), options_(std::move(options)), kb_index_(BuildKbLabelIndex(kb)) {
+    : kb_(&kb),
+      options_(std::move(options)),
+      dict_(std::make_shared<util::TokenDictionary>()),
+      kb_index_(BuildKbLabelIndex(kb, dict_)) {
   schema_first_ = std::make_unique<matching::SchemaMatcher>(
       *kb_, kb_index_, options_.schema);
   schema_refined_ = std::make_unique<matching::SchemaMatcher>(
       *kb_, kb_index_, options_.schema);
+}
+
+util::ThreadPool& LteePipeline::Pool() const {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        options_.num_threads > 0 ? static_cast<size_t>(options_.num_threads)
+                                 : 0);
+  }
+  return *pool_;
+}
+
+const webtable::PreparedCorpus& LteePipeline::Prepared(
+    const webtable::TableCorpus& corpus) const {
+  std::unique_lock<std::mutex> lock(prepared_mu_);
+  auto it = prepared_.find(&corpus);
+  if (it != prepared_.end()) return *it->second;
+  util::ThreadPool& pool = Pool();
+  auto built = std::make_unique<webtable::PreparedCorpus>(corpus, dict_, &pool);
+  it = prepared_.emplace(&corpus, std::move(built)).first;
+  return *it->second;
 }
 
 rowcluster::RowClusterer& LteePipeline::clusterer_for(kb::ClassId cls) {
@@ -57,9 +81,10 @@ const newdetect::NewDetector& LteePipeline::detector_for(
 ClassRunResult LteePipeline::RunClass(const webtable::TableCorpus& corpus,
                                       const matching::SchemaMapping& mapping,
                                       kb::ClassId cls) const {
+  const webtable::PreparedCorpus& prepared = Prepared(corpus);
   ClassRunResult result;
   result.cls = cls;
-  result.rows = rowcluster::BuildClassRowSet(corpus, mapping, cls, *kb_,
+  result.rows = rowcluster::BuildClassRowSet(prepared, mapping, cls, *kb_,
                                              kb_index_, options_.row_features);
   const auto& clusterer = clusterers_.at(cls);
   auto clustering = clusterer.Cluster(result.rows);
@@ -68,7 +93,7 @@ ClassRunResult LteePipeline::RunClass(const webtable::TableCorpus& corpus,
 
   result.entities = MakeEntityCreator().Create(result.rows,
                                                result.cluster_of_row, mapping,
-                                               corpus);
+                                               prepared);
   result.detections = detectors_.at(cls).Detect(result.entities);
   return result;
 }
@@ -103,22 +128,31 @@ PipelineRunResult LteePipeline::Run(
   matching::RowInstanceMap instances;
   matching::RowClusterMap clusters;
 
+  const webtable::PreparedCorpus& prepared = Prepared(corpus);
+
   for (int iteration = 0; iteration < options_.iterations; ++iteration) {
     matching::SchemaMapping mapping;
     if (iteration == 0) {
-      mapping = schema_first_->Match(corpus);
+      mapping = schema_first_->Match(prepared);
     } else {
       matching::MatcherFeedback feedback;
       feedback.row_instances = &instances;
       feedback.row_clusters = &clusters;
       feedback.preliminary = &out.mappings.back();
-      mapping = schema_refined_->Match(corpus, feedback);
+      mapping = schema_refined_->Match(prepared, feedback);
     }
 
-    std::vector<ClassRunResult> class_results;
-    for (kb::ClassId cls : classes) {
-      class_results.push_back(RunClass(corpus, mapping, cls));
+    // Classes are independent given the mapping; run them on the pool and
+    // collect into class order so feedback merging stays deterministic.
+    std::vector<ClassRunResult> class_results(classes.size());
+    util::ThreadPool* pool = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(prepared_mu_);
+      pool = &Pool();
     }
+    pool->ParallelFor(classes.size(), [&](size_t i) {
+      class_results[i] = RunClass(corpus, mapping, classes[i]);
+    });
 
     instances.clear();
     clusters.clear();

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "fusion/entity_creator.h"
@@ -12,6 +13,9 @@
 #include "newdetect/new_detector.h"
 #include "rowcluster/row_clusterer.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/token_dictionary.h"
+#include "webtable/prepared_corpus.h"
 #include "webtable/web_table.h"
 
 namespace ltee::pipeline {
@@ -25,6 +29,10 @@ struct PipelineOptions {
   newdetect::NewDetectorOptions detection;
   /// Number of pipeline iterations; the paper shows two suffice (Table 6).
   int iterations = 2;
+  /// Worker threads for corpus preparation and per-class execution
+  /// (0 = hardware concurrency). Results are independent of this value:
+  /// classes are merged back in deterministic class order.
+  int num_threads = 0;
 };
 
 /// Per-class output of one pipeline pass.
@@ -60,6 +68,16 @@ class LteePipeline {
   const index::LabelIndex& kb_index() const { return kb_index_; }
   const kb::KnowledgeBase& knowledge_base() const { return *kb_; }
   const PipelineOptions& options() const { return options_; }
+
+  /// Pipeline-wide token dictionary shared by the KB index, the prepared
+  /// corpora and every downstream component.
+  const std::shared_ptr<util::TokenDictionary>& dict() const { return dict_; }
+
+  /// Prepared (tokenized + typed) view of `corpus`, built on first use and
+  /// memoized per corpus. The corpus must stay alive while the pipeline
+  /// uses it. Thread-safe.
+  const webtable::PreparedCorpus& Prepared(
+      const webtable::TableCorpus& corpus) const;
 
   matching::SchemaMatcher& schema_matcher_first() { return *schema_first_; }
   matching::SchemaMatcher& schema_matcher_refined() {
@@ -99,17 +117,34 @@ class LteePipeline {
                               matching::RowClusterMap* clusters);
 
  private:
+  /// Worker pool shared by preparation and per-class execution, created on
+  /// first use (guarded by prepared_mu_).
+  util::ThreadPool& Pool() const;
+
   const kb::KnowledgeBase* kb_;
   PipelineOptions options_;
+  /// Created before kb_index_ so KB tokens intern first (declaration order
+  /// matters: kb_index_ is initialized from dict_).
+  std::shared_ptr<util::TokenDictionary> dict_;
   index::LabelIndex kb_index_;
   std::unique_ptr<matching::SchemaMatcher> schema_first_;
   std::unique_ptr<matching::SchemaMatcher> schema_refined_;
   std::map<kb::ClassId, rowcluster::RowClusterer> clusterers_;
   std::map<kb::ClassId, newdetect::NewDetector> detectors_;
+  mutable std::mutex prepared_mu_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+  mutable std::map<const webtable::TableCorpus*,
+                   std::unique_ptr<webtable::PreparedCorpus>>
+      prepared_;
 };
 
 /// Builds a label index over the instances of `kb` (doc = instance id).
-index::LabelIndex BuildKbLabelIndex(const kb::KnowledgeBase& kb);
+/// Tokens intern into `dict` when given (pass the pipeline dictionary so
+/// prepared corpora share the id space); a private one is created
+/// otherwise.
+index::LabelIndex BuildKbLabelIndex(
+    const kb::KnowledgeBase& kb,
+    std::shared_ptr<util::TokenDictionary> dict = nullptr);
 
 }  // namespace ltee::pipeline
 

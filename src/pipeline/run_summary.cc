@@ -1,0 +1,258 @@
+#include "pipeline/run_summary.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ltee::pipeline {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendInt(std::string* out, long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  out->append(buf);
+}
+
+void AppendValue(std::string* out, const types::Value& v) {
+  switch (v.type) {
+    case types::DataType::kText:
+      out->append("T:");
+      out->append(v.text);
+      break;
+    case types::DataType::kNominalString:
+      out->append("N:");
+      out->append(v.text);
+      break;
+    case types::DataType::kInstanceReference:
+      out->append("R:");
+      AppendInt(out, v.ref);
+      out->push_back(':');
+      out->append(v.text);
+      break;
+    case types::DataType::kDate:
+      out->append("D:");
+      AppendInt(out, v.date.year);
+      out->push_back('-');
+      AppendInt(out, v.date.month);
+      out->push_back('-');
+      AppendInt(out, v.date.day);
+      out->push_back(':');
+      AppendInt(out, static_cast<int>(v.date.granularity));
+      break;
+    case types::DataType::kQuantity:
+      out->append("Q:");
+      AppendDouble(out, v.number);
+      break;
+    case types::DataType::kNominalInteger:
+      out->append("I:");
+      AppendInt(out, v.integer);
+      break;
+  }
+}
+
+/// Entity bag-of-words as sorted token strings — representation-independent
+/// (the in-memory container, token ids and their ordering are implementation
+/// details).
+std::vector<std::string> SortedBow(const fusion::CreatedEntity& entity,
+                                   const util::TokenDictionary& dict) {
+  std::vector<std::string> tokens;
+  tokens.reserve(entity.bow.size());
+  for (uint32_t id : entity.bow) tokens.emplace_back(dict.token(id));
+  std::sort(tokens.begin(), tokens.end());
+  return tokens;
+}
+
+void AppendMapping(std::string* out, const matching::SchemaMapping& mapping) {
+  for (const auto& tm : mapping.tables) {
+    if (tm.table < 0) continue;
+    out->append("table ");
+    AppendInt(out, tm.table);
+    out->append(" lc ");
+    AppendInt(out, tm.label_column);
+    out->append(" cls ");
+    AppendInt(out, tm.cls);
+    out->append(" score ");
+    AppendDouble(out, tm.class_score);
+    out->push_back('\n');
+    for (size_t c = 0; c < tm.columns.size(); ++c) {
+      const auto& col = tm.columns[c];
+      out->append("  col ");
+      AppendInt(out, static_cast<long long>(c));
+      out->append(" det ");
+      AppendInt(out, static_cast<int>(col.detected));
+      out->append(" prop ");
+      AppendInt(out, col.property);
+      out->append(" score ");
+      AppendDouble(out, col.score);
+      out->push_back('\n');
+    }
+    out->append("  rowinst");
+    for (kb::InstanceId inst : tm.row_instance) {
+      out->push_back(' ');
+      AppendInt(out, inst);
+    }
+    out->push_back('\n');
+  }
+}
+
+void AppendClassRun(std::string* out, const ClassRunResult& run) {
+  out->append("class ");
+  AppendInt(out, run.cls);
+  out->append(" rows ");
+  AppendInt(out, static_cast<long long>(run.rows.rows.size()));
+  out->append(" clusters ");
+  AppendInt(out, run.num_clusters);
+  out->push_back('\n');
+
+  out->append("tables");
+  for (webtable::TableId tid : run.rows.tables) {
+    out->push_back(' ');
+    AppendInt(out, tid);
+  }
+  out->push_back('\n');
+
+  for (size_t i = 0; i < run.rows.rows.size(); ++i) {
+    const auto& row = run.rows.rows[i];
+    out->append("row ");
+    AppendInt(out, row.ref.table);
+    out->push_back(':');
+    AppendInt(out, row.ref.row);
+    out->append(" ti ");
+    AppendInt(out, row.table_index);
+    out->append(" label ");
+    out->append(row.normalized_label);
+    out->push_back('\n');
+    for (const auto& value : row.values) {
+      out->append("  val ");
+      AppendInt(out, value.property);
+      out->append(" c ");
+      AppendInt(out, value.column);
+      out->push_back(' ');
+      AppendValue(out, value.value);
+      out->push_back('\n');
+    }
+  }
+
+  for (size_t t = 0; t < run.rows.table_implicit.size(); ++t) {
+    out->append("implicit ");
+    AppendInt(out, static_cast<long long>(t));
+    out->push_back('\n');
+    for (const auto& attr : run.rows.table_implicit[t]) {
+      out->append("  ia ");
+      AppendInt(out, attr.property);
+      out->push_back(' ');
+      AppendValue(out, attr.value);
+      out->append(" s ");
+      AppendDouble(out, attr.score);
+      out->push_back('\n');
+    }
+  }
+
+  for (size_t t = 0; t < run.rows.table_phi.size(); ++t) {
+    std::map<uint32_t, double> sorted(run.rows.table_phi[t].begin(),
+                                      run.rows.table_phi[t].end());
+    out->append("phi ");
+    AppendInt(out, static_cast<long long>(t));
+    for (const auto& [label, weight] : sorted) {
+      out->push_back(' ');
+      AppendInt(out, label);
+      out->push_back('=');
+      AppendDouble(out, weight);
+    }
+    out->push_back('\n');
+  }
+
+  out->append("assign");
+  for (int c : run.cluster_of_row) {
+    out->push_back(' ');
+    AppendInt(out, c);
+  }
+  out->push_back('\n');
+
+  for (const auto& entity : run.entities) {
+    out->append("entity ");
+    AppendInt(out, entity.cluster_id);
+    out->append(" cls ");
+    AppendInt(out, entity.cls);
+    out->push_back('\n');
+    for (const auto& label : entity.labels) {
+      out->append("  label ");
+      out->append(label);
+      out->push_back('\n');
+    }
+    out->append("  rows");
+    for (const auto& ref : entity.rows) {
+      out->push_back(' ');
+      AppendInt(out, ref.table);
+      out->push_back(':');
+      AppendInt(out, ref.row);
+    }
+    out->push_back('\n');
+    for (const auto& fact : entity.facts) {
+      out->append("  fact ");
+      AppendInt(out, fact.property);
+      out->push_back(' ');
+      AppendValue(out, fact.value);
+      out->push_back('\n');
+    }
+    out->append("  bow");
+    for (const auto& token : SortedBow(entity, *run.rows.dict)) {
+      out->push_back(' ');
+      out->append(token);
+    }
+    out->push_back('\n');
+    for (const auto& attr : entity.implicit_attrs) {
+      out->append("  ia ");
+      AppendInt(out, attr.property);
+      out->push_back(' ');
+      AppendValue(out, attr.value);
+      out->append(" s ");
+      AppendDouble(out, attr.score);
+      out->push_back('\n');
+    }
+  }
+
+  for (const auto& det : run.detections) {
+    out->append("det new ");
+    AppendInt(out, det.is_new ? 1 : 0);
+    out->append(" inst ");
+    AppendInt(out, det.instance);
+    out->append(" score ");
+    AppendDouble(out, det.best_score);
+    out->push_back('\n');
+  }
+}
+
+}  // namespace
+
+std::string SummarizeRun(const PipelineRunResult& run) {
+  std::string out;
+  out.append("ltee run summary v1\n");
+  out.append("mappings ");
+  AppendInt(&out, static_cast<long long>(run.mappings.size()));
+  out.push_back('\n');
+  for (size_t m = 0; m < run.mappings.size(); ++m) {
+    out.append("mapping ");
+    AppendInt(&out, static_cast<long long>(m));
+    out.push_back('\n');
+    AppendMapping(&out, run.mappings[m]);
+  }
+  out.append("classes ");
+  AppendInt(&out, static_cast<long long>(run.classes.size()));
+  out.push_back('\n');
+  for (const auto& class_run : run.classes) {
+    AppendClassRun(&out, class_run);
+  }
+  return out;
+}
+
+}  // namespace ltee::pipeline

@@ -1,0 +1,19 @@
+#ifndef LTEE_PIPELINE_RUN_SUMMARY_H_
+#define LTEE_PIPELINE_RUN_SUMMARY_H_
+
+#include <string>
+
+#include "pipeline/pipeline.h"
+
+namespace ltee::pipeline {
+
+/// Deterministic, full-precision text rendering of a PipelineRunResult.
+/// Every score is printed with enough digits to round-trip a double, so two
+/// summaries are byte-identical iff the runs are numerically identical.
+/// Used by the golden pipeline regression test and the `golden_pipeline`
+/// tool that regenerates the checked-in summary.
+std::string SummarizeRun(const PipelineRunResult& run);
+
+}  // namespace ltee::pipeline
+
+#endif  // LTEE_PIPELINE_RUN_SUMMARY_H_

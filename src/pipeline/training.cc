@@ -21,10 +21,12 @@ void TrainPipelineOnGold(LteePipeline* pipeline,
   std::vector<webtable::TableId> all_tables;
   std::vector<matching::AttributeAnnotation> annotations;
 
+  const webtable::PreparedCorpus& prepared = pipeline->Prepared(gs_corpus);
+
   for (const auto& gs : gold) {
     // Row set of the class under the gold mapping.
     auto rows = rowcluster::BuildClassRowSet(
-        gs_corpus, gold_mapping, gs.cls, pipeline->knowledge_base(),
+        prepared, gold_mapping, gs.cls, pipeline->knowledge_base(),
         pipeline->kb_index(), pipeline->options().row_features);
     std::vector<int> assignment(rows.rows.size(), -1);
     for (size_t i = 0; i < rows.rows.size(); ++i) {
@@ -39,7 +41,7 @@ void TrainPipelineOnGold(LteePipeline* pipeline,
       dense_assignment[i] = assignment[i];
     }
     auto entities =
-        creator.Create(rows, dense_assignment, gold_mapping, gs_corpus);
+        creator.Create(rows, dense_assignment, gold_mapping, prepared);
     std::vector<fusion::CreatedEntity> train_entities;
     std::vector<newdetect::DetectionLabel> labels;
     for (size_t k = 0; k < entities.size() && k < gs.clusters.size(); ++k) {
@@ -55,11 +57,11 @@ void TrainPipelineOnGold(LteePipeline* pipeline,
     }
   }
 
-  pipeline->schema_matcher_first().Learn(gs_corpus, all_tables, annotations,
+  pipeline->schema_matcher_first().Learn(prepared, all_tables, annotations,
                                          {}, rng);
   // Learn the refined matcher against real first-iteration system feedback
   // so its weights match inference-time conditions.
-  auto mapping1 = pipeline->schema_matcher_first().Match(gs_corpus);
+  auto mapping1 = pipeline->schema_matcher_first().Match(prepared);
   std::vector<ClassRunResult> first_pass;
   for (const auto& gs : gold) {
     first_pass.push_back(pipeline->RunClass(gs_corpus, mapping1, gs.cls));
@@ -72,7 +74,7 @@ void TrainPipelineOnGold(LteePipeline* pipeline,
   feedback.row_instances = &system_instances;
   feedback.row_clusters = &system_clusters;
   feedback.preliminary = &mapping1;
-  pipeline->schema_matcher_refined().Learn(gs_corpus, all_tables, annotations,
+  pipeline->schema_matcher_refined().Learn(prepared, all_tables, annotations,
                                            feedback, rng);
   LTEE_LOG(kInfo) << "pipeline trained on full gold standard";
 }

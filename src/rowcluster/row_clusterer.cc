@@ -1,11 +1,15 @@
 #include "rowcluster/row_clusterer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "index/label_index.h"
+#include "util/thread_pool.h"
 
 namespace ltee::rowcluster {
 
@@ -21,21 +25,23 @@ std::vector<std::vector<int32_t>> RowClusterer::BuildBlocks(
   }
   // One block per distinct normalized label; each row joins its own block
   // plus the blocks of similar labels retrieved from a Lucene-style index.
-  index::LabelIndex label_index;
+  // Labels arrive pre-tokenized from the prepared corpus, so the index is
+  // fed and queried with interned token ids.
+  index::LabelIndex label_index(rows.dict);
   std::unordered_map<std::string, int32_t> block_of_label;
   for (const auto& row : rows.rows) {
     auto [it, inserted] = block_of_label.emplace(
         row.normalized_label, static_cast<int32_t>(block_of_label.size()));
     if (inserted) {
-      label_index.Add(static_cast<uint32_t>(it->second),
-                      row.normalized_label);
+      label_index.AddTokens(static_cast<uint32_t>(it->second),
+                            row.normalized_label, row.label_tokens);
     }
   }
   label_index.Build();
   for (size_t i = 0; i < rows.rows.size(); ++i) {
     const auto& row = rows.rows[i];
     blocks[i].push_back(block_of_label[row.normalized_label]);
-    for (const auto& hit : label_index.Search(row.normalized_label,
+    for (const auto& hit : label_index.Search(row.label_tokens,
                                               options_.blocking_candidates)) {
       const int32_t block = static_cast<int32_t>(hit.doc);
       if (std::find(blocks[i].begin(), blocks[i].end(), block) ==
@@ -175,20 +181,68 @@ cluster::ClusteringResult RowClusterer::Cluster(
   return ClusterWithOffset(rows, score_offset_);
 }
 
+namespace {
+
+/// Above this row count the dense pair-score table (n^2/2 doubles) is no
+/// longer worth its memory; fall back to the memoized hash cache.
+constexpr size_t kDensePairLimit = 4096;
+
+/// Index of pair (i, j), i < j, in an upper-triangular row-major layout.
+inline size_t TriIndex(size_t i, size_t j, size_t n) {
+  return i * (2 * n - i - 1) / 2 + (j - i - 1);
+}
+
+}  // namespace
+
 cluster::ClusteringResult RowClusterer::ClusterWithOffset(
     const ClassRowSet& rows, double offset) const {
   RowMetricBank bank(rows, options_.enabled_metrics);
   const auto blocks = BuildBlocks(rows);
+  const size_t n = rows.rows.size();
+  const auto* aggregator = &aggregator_;
+  auto score_pair = [&bank, aggregator, offset](int i, int j) -> double {
+    return std::clamp(aggregator->Score(bank.Compare(i, j)) + offset, -1.0,
+                      1.0);
+  };
 
-  // Memoized, thread-safe pair score cache: the greedy and KLj phases
-  // revisit pairs many times.
+  // The greedy and KLj phases revisit pairs many times. Each pair score is
+  // a pure function of (i, j), so for moderate row counts a lazy dense
+  // triangular cache serves repeat lookups lock-free: NaN marks "not yet
+  // computed", and a racing duplicate computation stores the identical
+  // value, so no synchronization beyond the atomic slot is needed.
+  if (n >= 2 && n <= kDensePairLimit) {
+    const size_t num_pairs = n * (n - 1) / 2;
+    auto scores =
+        std::make_shared<std::unique_ptr<std::atomic<double>[]>>(
+            new std::atomic<double>[num_pairs]);
+    for (size_t k = 0; k < num_pairs; ++k) {
+      (*scores)[k].store(std::numeric_limits<double>::quiet_NaN(),
+                         std::memory_order_relaxed);
+    }
+    auto similarity = [scores, score_pair, n](int i, int j) -> double {
+      const size_t lo = static_cast<size_t>(std::min(i, j));
+      const size_t hi = static_cast<size_t>(std::max(i, j));
+      std::atomic<double>& slot = (*scores)[TriIndex(lo, hi, n)];
+      double s = slot.load(std::memory_order_relaxed);
+      if (!std::isnan(s)) return s;
+      // Caller argument order matters: ATTRIBUTE and IMPLICIT_ATT are not
+      // perfectly symmetric, and the cached value has always been the one
+      // computed at the pair's first encounter.
+      s = score_pair(i, j);
+      slot.store(s, std::memory_order_relaxed);
+      return s;
+    };
+    return cluster::ClusterCorrelation(n, similarity, blocks,
+                                       options_.clustering);
+  }
+
+  // Memoized, thread-safe pair score cache for large row sets.
   struct Cache {
     std::unordered_map<uint64_t, double> scores;
     std::mutex mu;
   };
   auto cache = std::make_shared<Cache>();
-  const auto* aggregator = &aggregator_;
-  auto similarity = [&bank, cache, aggregator, offset](int i, int j) -> double {
+  auto similarity = [cache, score_pair](int i, int j) -> double {
     const uint64_t key = (static_cast<uint64_t>(std::min(i, j)) << 32) |
                          static_cast<uint64_t>(std::max(i, j));
     {
@@ -196,8 +250,7 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
       auto it = cache->scores.find(key);
       if (it != cache->scores.end()) return it->second;
     }
-    const double score = std::clamp(
-        aggregator->Score(bank.Compare(i, j)) + offset, -1.0, 1.0);
+    const double score = score_pair(i, j);
     {
       std::lock_guard<std::mutex> lock(cache->mu);
       cache->scores.emplace(key, score);
@@ -205,7 +258,7 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
     return score;
   };
 
-  return cluster::ClusterCorrelation(rows.rows.size(), similarity, blocks,
+  return cluster::ClusterCorrelation(n, similarity, blocks,
                                      options_.clustering);
 }
 

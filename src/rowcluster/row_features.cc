@@ -1,12 +1,12 @@
 #include "rowcluster/row_features.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <unordered_set>
 
 #include "matching/attribute_matchers.h"
-#include "types/value_parser.h"
 #include "util/similarity.h"
-#include "util/string_util.h"
 
 namespace ltee::rowcluster {
 
@@ -23,11 +23,12 @@ namespace {
 /// combinations present for at least one label candidate of a large enough
 /// fraction of rows.
 std::vector<ImplicitAttribute> DeriveImplicitAttributes(
-    const webtable::WebTable& table, int label_column,
+    const webtable::PreparedTable& table, int label_column,
     const kb::KnowledgeBase& kb, const index::LabelIndex& kb_index,
     const RowFeatureOptions& options) {
   std::vector<ImplicitAttribute> out;
-  if (label_column < 0 || table.num_rows() == 0) return out;
+  if (label_column < 0 || table.num_rows == 0) return out;
+  const util::TokenDictionary& dict = kb_index.dict();
 
   struct ComboStat {
     types::Value value;
@@ -37,20 +38,21 @@ std::vector<ImplicitAttribute> DeriveImplicitAttributes(
   std::unordered_map<std::string, ComboStat> combos;
 
   int considered_rows = 0;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string& label = table.cell(r, static_cast<size_t>(label_column));
-    if (util::Trim(label).empty()) continue;
+  for (size_t r = 0; r < table.num_rows; ++r) {
+    const webtable::PreparedCell& label =
+        table.cell(r, static_cast<size_t>(label_column));
+    if (label.empty) continue;
     ++considered_rows;
     // Property-value combinations of any candidate instance of this row.
     std::unordered_set<std::string> row_combos;
     std::unordered_map<std::string, ComboStat> row_new;
     for (const auto& hit :
-         kb_index.Search(label, options.implicit_candidates_per_row)) {
+         kb_index.Search(label.tokens, options.implicit_candidates_per_row)) {
       const kb::Instance& inst = kb.instance(static_cast<int>(hit.doc));
       double best_sim = 0.0;
-      for (const auto& inst_label : inst.labels) {
-        best_sim = std::max(best_sim,
-                            util::MongeElkanLevenshtein(label, inst_label));
+      for (const auto& inst_tokens : kb_index.LabelTokensOf(hit.doc)) {
+        best_sim = std::max(best_sim, util::MongeElkanLevenshtein(
+                                          label.tokens, inst_tokens, dict));
       }
       if (best_sim < options.implicit_label_similarity) continue;
       for (const auto& fact : inst.facts) {
@@ -88,6 +90,7 @@ ClassRowSet FilterRows(const ClassRowSet& rows,
                        const std::vector<bool>& keep) {
   ClassRowSet out;
   out.cls = rows.cls;
+  out.dict = rows.dict;
   out.tables = rows.tables;
   out.table_implicit = rows.table_implicit;
   out.table_phi = rows.table_phi;
@@ -97,47 +100,54 @@ ClassRowSet FilterRows(const ClassRowSet& rows,
   return out;
 }
 
-ClassRowSet BuildClassRowSet(const webtable::TableCorpus& corpus,
+ClassRowSet BuildClassRowSet(const webtable::PreparedCorpus& prepared,
                              const matching::SchemaMapping& mapping,
                              kb::ClassId cls, const kb::KnowledgeBase& kb,
                              const index::LabelIndex& kb_index,
                              const RowFeatureOptions& options) {
+  // Token ids are only meaningful across components when everyone resolves
+  // them against the same dictionary.
+  assert(&kb_index.dict() == &prepared.dict());
   ClassRowSet out;
   out.cls = cls;
+  out.dict = prepared.dict_ptr();
 
   for (const auto& table_mapping : mapping.tables) {
     if (table_mapping.cls != cls || table_mapping.label_column < 0) continue;
-    const webtable::WebTable& table = corpus.table(table_mapping.table);
+    const webtable::PreparedTable& table = prepared.table(table_mapping.table);
+    const webtable::WebTable& raw_table =
+        prepared.corpus().table(table_mapping.table);
     const int table_index = static_cast<int>(out.tables.size());
     out.tables.push_back(table_mapping.table);
     out.table_implicit.push_back(DeriveImplicitAttributes(
         table, table_mapping.label_column, kb, kb_index, options));
 
-    for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t r = 0; r < table.num_rows; ++r) {
+      const webtable::PreparedCell& label_cell =
+          table.cell(r, static_cast<size_t>(table_mapping.label_column));
+      if (label_cell.normalized.empty()) continue;  // unusable row
       RowFeature row;
       row.ref = {table_mapping.table, static_cast<int32_t>(r)};
       row.table_index = table_index;
       row.raw_label =
-          table.cell(r, static_cast<size_t>(table_mapping.label_column));
-      row.normalized_label = util::NormalizeLabel(row.raw_label);
-      row.label_tokens = util::Tokenize(row.normalized_label);
-      for (size_t c = 0; c < table.num_columns(); ++c) {
-        for (auto& tok : util::Tokenize(table.cell(r, c))) {
-          row.bow.insert(std::move(tok));
-        }
+          raw_table.cell(r, static_cast<size_t>(table_mapping.label_column));
+      row.normalized_label = label_cell.normalized;
+      row.label_tokens = label_cell.tokens;
+      for (size_t c = 0; c < table.num_columns; ++c) {
+        const webtable::PreparedCell& cell = table.cell(r, c);
+        row.bow.insert(row.bow.end(), cell.token_set.begin(),
+                       cell.token_set.end());
         const matching::ColumnMatch& match = table_mapping.columns[c];
         if (match.property == kb::kInvalidProperty ||
             static_cast<int>(c) == table_mapping.label_column) {
           continue;
         }
-        auto value = types::NormalizeCell(table.cell(r, c),
-                                          kb.property(match.property).type);
+        const auto& value = cell.parsed_as(kb.property(match.property).type);
         if (value) {
-          row.values.push_back({match.property, static_cast<int>(c),
-                                std::move(*value)});
+          row.values.push_back({match.property, static_cast<int>(c), *value});
         }
       }
-      if (row.normalized_label.empty()) continue;  // unusable row
+      row.bow = util::SortedUnique(std::move(row.bow));
       out.rows.push_back(std::move(row));
     }
   }

@@ -1,9 +1,10 @@
 #ifndef LTEE_ROWCLUSTER_ROW_FEATURES_H_
 #define LTEE_ROWCLUSTER_ROW_FEATURES_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "kb/knowledge_base.h"
 #include "matching/schema_mapping.h"
 #include "types/value.h"
+#include "util/token_dictionary.h"
+#include "webtable/prepared_corpus.h"
 #include "webtable/web_table.h"
 
 namespace ltee::rowcluster {
@@ -33,16 +36,19 @@ struct RowValue {
 };
 
 /// Precomputed per-row features consumed by the similarity metrics and by
-/// the downstream entity creation / new detection components.
+/// the downstream entity creation / new detection components. Token fields
+/// hold ids of the ClassRowSet's shared dictionary.
 struct RowFeature {
   webtable::RowRef ref;
   /// Dense index of the row's table within the ClassRowSet.
   int table_index = -1;
   std::string raw_label;
   std::string normalized_label;
-  std::vector<std::string> label_tokens;
-  /// Binary bag-of-words over all cells of the row.
-  std::unordered_set<std::string> bow;
+  /// Ordered dictionary token ids of the label (duplicates kept).
+  std::vector<uint32_t> label_tokens;
+  /// Binary bag-of-words over all cells of the row: sorted, deduplicated
+  /// dictionary token ids.
+  std::vector<uint32_t> bow;
   /// Values of matched columns, normalized to the KB schema.
   std::vector<RowValue> values;
 
@@ -54,6 +60,8 @@ struct RowFeature {
 /// with per-table implicit attributes and PHI vectors.
 struct ClassRowSet {
   kb::ClassId cls = kb::kInvalidClass;
+  /// Dictionary resolving the token ids stored in the rows.
+  std::shared_ptr<util::TokenDictionary> dict;
   std::vector<webtable::TableId> tables;
   std::vector<RowFeature> rows;
   /// Implicit attributes per table (indexed by table_index).
@@ -76,9 +84,11 @@ struct RowFeatureOptions {
 };
 
 /// Builds the row set of `cls` from every table the schema mapping matched
-/// to that class. `kb_index` is the label index over KB instances used for
-/// implicit-attribute candidate lookup.
-ClassRowSet BuildClassRowSet(const webtable::TableCorpus& corpus,
+/// to that class, reading normalized labels, token ids and typed values
+/// from the prepared corpus. `kb_index` is the label index over KB
+/// instances used for implicit-attribute candidate lookup; it must share
+/// the prepared corpus's token dictionary.
+ClassRowSet BuildClassRowSet(const webtable::PreparedCorpus& prepared,
                              const matching::SchemaMapping& mapping,
                              kb::ClassId cls, const kb::KnowledgeBase& kb,
                              const index::LabelIndex& kb_index,

@@ -1,6 +1,8 @@
 #include "rowcluster/row_metrics.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_map>
 
 #include "types/type_similarity.h"
 #include "util/similarity.h"
@@ -25,11 +27,99 @@ std::vector<bool> FirstKMetrics(int k) {
   return mask;
 }
 
+namespace {
+
+/// Vocabularies larger than this skip the LABEL precompute: the quadratic
+/// similarity matrix would cost more than it saves.
+constexpr size_t kMaxLabelVocab = 2048;
+
+}  // namespace
+
 RowMetricBank::RowMetricBank(const ClassRowSet& rows,
                              std::vector<bool> enabled)
     : rows_(&rows), enabled_(std::move(enabled)) {
   enabled_.resize(kNumRowMetrics, false);
   for (bool b : enabled_) num_enabled_ += b ? 1 : 0;
+
+  if (enabled_[static_cast<int>(RowMetric::kLabel)] && rows.dict != nullptr) {
+    // Dense remap of every token id appearing in a row label, in first
+    // appearance order (the order does not affect the similarity values).
+    std::unordered_map<uint32_t, uint32_t> local_of;
+    label_local_.reserve(rows.rows.size());
+    for (const auto& row : rows.rows) {
+      std::vector<uint32_t> local(row.label_tokens.size());
+      for (size_t t = 0; t < row.label_tokens.size(); ++t) {
+        auto [it, inserted] = local_of.emplace(
+            row.label_tokens[t], static_cast<uint32_t>(local_of.size()));
+        local[t] = it->second;
+      }
+      label_local_.push_back(std::move(local));
+    }
+    vocab_ = local_of.size();
+    if (vocab_ == 0 || vocab_ > kMaxLabelVocab) {
+      vocab_ = 0;
+      label_local_.clear();
+    } else {
+      std::vector<std::string_view> token_str(vocab_);
+      for (const auto& [id, local] : local_of) {
+        token_str[local] = rows.dict->token(id);
+      }
+      token_sim_.assign(vocab_ * vocab_, 1.0);
+      for (size_t x = 0; x < vocab_; ++x) {
+        for (size_t y = x + 1; y < vocab_; ++y) {
+          const double sim =
+              util::LevenshteinSimilarity(token_str[x], token_str[y]);
+          token_sim_[x * vocab_ + y] = sim;
+          token_sim_[y * vocab_ + x] = sim;
+        }
+      }
+    }
+  }
+
+  if (enabled_[static_cast<int>(RowMetric::kPhi)]) {
+    num_tables_ = rows.table_phi.size();
+    phi_sim_.assign(num_tables_ * num_tables_, 0.0);
+    // Both ordered directions are computed: CosineSparse accumulates the
+    // dot product over whichever map it iterates first, so (x, y) and
+    // (y, x) can differ in the last bit when the maps have equal size.
+    for (size_t x = 0; x < num_tables_; ++x) {
+      for (size_t y = 0; y < num_tables_; ++y) {
+        phi_sim_[x * num_tables_ + y] =
+            util::CosineSparse(rows.table_phi[x], rows.table_phi[y]);
+      }
+    }
+  }
+}
+
+double RowMetricBank::LabelSimilarity(int i, int j) const {
+  if (vocab_ == 0) {
+    return util::MongeElkanLevenshtein(rows_->rows[i].label_tokens,
+                                       rows_->rows[j].label_tokens,
+                                       *rows_->dict);
+  }
+  const std::vector<uint32_t>& ta = label_local_[i];
+  const std::vector<uint32_t>& tb = label_local_[j];
+  // Mirrors MongeElkanDirectedIds in util/similarity.cc: same loop order,
+  // same early-out on equal tokens, same accumulation — the doubles match
+  // the dict-resolving implementation bit for bit.
+  auto directed = [this](const std::vector<uint32_t>& x,
+                         const std::vector<uint32_t>& y) -> double {
+    if (x.empty()) return y.empty() ? 1.0 : 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      double best = 0.0;
+      for (size_t j = 0; j < y.size(); ++j) {
+        if (x[i] == y[j]) {
+          best = 1.0;
+          break;
+        }
+        best = std::max(best, token_sim_[x[i] * vocab_ + y[j]]);
+      }
+      sum += best;
+    }
+    return sum / static_cast<double>(x.size());
+  };
+  return std::max(directed(ta, tb), directed(tb, ta));
 }
 
 std::vector<std::string> RowMetricBank::EnabledNames() const {
@@ -119,14 +209,16 @@ ml::ScoredFeatures RowMetricBank::Compare(int i, int j) const {
   };
 
   if (enabled_[static_cast<int>(RowMetric::kLabel)]) {
-    push(util::MongeElkanLevenshtein(a.label_tokens, b.label_tokens), 0.0);
+    push(LabelSimilarity(i, j), 0.0);
   }
   if (enabled_[static_cast<int>(RowMetric::kBow)]) {
     push(util::CosineBinary(a.bow, b.bow), 0.0);
   }
   if (enabled_[static_cast<int>(RowMetric::kPhi)]) {
-    push(util::CosineSparse(rows_->table_phi[a.table_index],
-                            rows_->table_phi[b.table_index]),
+    push(num_tables_ == 0
+             ? util::CosineSparse(rows_->table_phi[a.table_index],
+                                  rows_->table_phi[b.table_index])
+             : phi_sim_[a.table_index * num_tables_ + b.table_index],
          0.0);
   }
   if (enabled_[static_cast<int>(RowMetric::kAttribute)]) {

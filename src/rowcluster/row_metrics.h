@@ -42,9 +42,27 @@ class RowMetricBank {
   std::vector<std::string> EnabledNames() const;
 
  private:
+  /// LABEL via the precomputed token-similarity matrix; bit-identical to
+  /// util::MongeElkanLevenshtein over the same tokens.
+  double LabelSimilarity(int i, int j) const;
+
   const ClassRowSet* rows_;
   std::vector<bool> enabled_;
   int num_enabled_ = 0;
+
+  // LABEL fast path: label token ids remapped to a dense local vocabulary,
+  // with all pairwise Levenshtein similarities precomputed once. Class row
+  // sets reuse a small label vocabulary across hundreds of thousands of row
+  // pairs, so this turns the Monge-Elkan inner loop into table lookups.
+  // Disabled (empty) when the vocabulary is too large or rows lack a dict.
+  std::vector<std::vector<uint32_t>> label_local_;  // per row, dense ids
+  std::vector<double> token_sim_;                   // vocab_ * vocab_
+  size_t vocab_ = 0;
+
+  // PHI fast path: the metric only depends on the two table indices, so the
+  // full table-by-table cosine matrix is precomputed up front.
+  std::vector<double> phi_sim_;  // num_tables_ * num_tables_
+  size_t num_tables_ = 0;
 };
 
 /// Convenience: mask enabling the first `k` metrics (the paper's Table 7

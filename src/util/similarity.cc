@@ -4,8 +4,31 @@
 #include <cmath>
 
 #include "util/string_util.h"
+#include "util/token_dictionary.h"
 
 namespace ltee::util {
+
+namespace {
+
+/// Intersection size of two sorted duplicate-free id ranges.
+size_t SortedIntersectionSize(std::span<const uint32_t> a,
+                              std::span<const uint32_t> b) {
+  size_t inter = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  return inter;
+}
+
+}  // namespace
 
 int LevenshteinDistance(std::string_view a, std::string_view b) {
   if (a.size() > b.size()) std::swap(a, b);
@@ -42,6 +65,15 @@ double JaccardSimilarity(const std::vector<std::string>& a,
   return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
 }
 
+double JaccardSimilarity(std::span<const uint32_t> a_sorted,
+                         std::span<const uint32_t> b_sorted) {
+  if (a_sorted.empty() && b_sorted.empty()) return 1.0;
+  const size_t inter = SortedIntersectionSize(a_sorted, b_sorted);
+  const size_t uni = a_sorted.size() + b_sorted.size() - inter;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
 namespace {
 
 double MongeElkanDirected(const std::vector<std::string>& a,
@@ -67,6 +99,40 @@ double MongeElkanLevenshtein(std::string_view a, std::string_view b) {
   return MongeElkanLevenshtein(Tokenize(a), Tokenize(b));
 }
 
+namespace {
+
+double MongeElkanDirectedIds(std::span<const uint32_t> a,
+                             std::span<const uint32_t> b,
+                             std::span<const std::string_view> a_str,
+                             std::span<const std::string_view> b_str) {
+  if (a.empty()) return b.empty() ? 1.0 : 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double best = 0.0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (a[i] == b[j]) {
+        best = 1.0;
+        break;  // LevenshteinSimilarity(x, x) == 1.0, the maximum
+      }
+      best = std::max(best, LevenshteinSimilarity(a_str[i], b_str[j]));
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+double MongeElkanLevenshtein(std::span<const uint32_t> a,
+                             std::span<const uint32_t> b,
+                             const TokenDictionary& dict) {
+  std::vector<std::string_view> a_str(a.size()), b_str(b.size());
+  for (size_t i = 0; i < a.size(); ++i) a_str[i] = dict.token(a[i]);
+  for (size_t j = 0; j < b.size(); ++j) b_str[j] = dict.token(b[j]);
+  return std::max(MongeElkanDirectedIds(a, b, a_str, b_str),
+                  MongeElkanDirectedIds(b, a, b_str, a_str));
+}
+
 double CosineBinary(const std::unordered_set<std::string>& a,
                     const std::unordered_set<std::string>& b) {
   if (a.empty() || b.empty()) return 0.0;
@@ -77,6 +143,15 @@ double CosineBinary(const std::unordered_set<std::string>& a,
   return static_cast<double>(inter) /
          (std::sqrt(static_cast<double>(a.size())) *
           std::sqrt(static_cast<double>(b.size())));
+}
+
+double CosineBinary(std::span<const uint32_t> a_sorted,
+                    std::span<const uint32_t> b_sorted) {
+  if (a_sorted.empty() || b_sorted.empty()) return 0.0;
+  const size_t inter = SortedIntersectionSize(a_sorted, b_sorted);
+  return static_cast<double>(inter) /
+         (std::sqrt(static_cast<double>(a_sorted.size())) *
+          std::sqrt(static_cast<double>(b_sorted.size())));
 }
 
 double CosineSparse(const std::unordered_map<uint32_t, double>& a,

@@ -2,6 +2,7 @@
 #define LTEE_UTIL_SIMILARITY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -9,6 +10,8 @@
 #include <vector>
 
 namespace ltee::util {
+
+class TokenDictionary;
 
 /// Levenshtein edit distance between `a` and `b`.
 int LevenshteinDistance(std::string_view a, std::string_view b);
@@ -21,6 +24,12 @@ double LevenshteinSimilarity(std::string_view a, std::string_view b);
 double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b);
 
+/// Jaccard similarity of two interned token sets. Both spans must be
+/// sorted and duplicate-free (see util::SortedUnique). Numerically
+/// identical to the string overload on the same token sets.
+double JaccardSimilarity(std::span<const uint32_t> a_sorted,
+                         std::span<const uint32_t> b_sorted);
+
 /// Monge-Elkan similarity with Levenshtein as the inner similarity
 /// function, as used by the paper's LABEL metrics: the mean over tokens of
 /// `a` of the best inner similarity against tokens of `b`. The returned
@@ -31,9 +40,22 @@ double MongeElkanLevenshtein(const std::vector<std::string>& a,
 /// Convenience overload operating on raw strings (tokenizes internally).
 double MongeElkanLevenshtein(std::string_view a, std::string_view b);
 
+/// Monge-Elkan over interned token lists (ordered, duplicates kept, like
+/// Tokenize output). Ids are resolved through `dict` for the inner
+/// Levenshtein similarity; equal ids short-circuit to 1.0. Numerically
+/// identical to the string overload on the same token lists.
+double MongeElkanLevenshtein(std::span<const uint32_t> a,
+                             std::span<const uint32_t> b,
+                             const TokenDictionary& dict);
+
 /// Cosine similarity of two *binary* term vectors represented as sets.
 double CosineBinary(const std::unordered_set<std::string>& a,
                     const std::unordered_set<std::string>& b);
+
+/// Cosine similarity of binary term vectors as sorted-unique interned
+/// token sets. Numerically identical to the set-of-strings overload.
+double CosineBinary(std::span<const uint32_t> a_sorted,
+                    std::span<const uint32_t> b_sorted);
 
 /// Cosine similarity of two sparse real vectors keyed by uint32 ids.
 double CosineSparse(const std::unordered_map<uint32_t, double>& a,

@@ -37,19 +37,78 @@ void ThreadPool::Wait() {
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+
+/// Completion latch of one ParallelFor call. Chunk tasks count down;
+/// the issuing thread waits on `cv` (shared_ptr keeps it alive in case the
+/// issuer returns between a chunk's decrement and its notify).
+struct ForLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = 0;
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   const size_t chunks = std::min(n, threads_.size() * 4);
+  if (chunks <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const size_t chunk_size = (n + chunks - 1) / chunks;
+  auto latch = std::make_shared<ForLatch>();
+  size_t submitted = 0;
   for (size_t c = 0; c < chunks; ++c) {
+    if (c * chunk_size >= n) break;
+    ++submitted;
+  }
+  latch->remaining = submitted;
+  for (size_t c = 0; c < submitted; ++c) {
     const size_t begin = c * chunk_size;
     const size_t end = std::min(n, begin + chunk_size);
-    if (begin >= end) break;
-    Submit([begin, end, &fn] {
+    Submit([begin, end, &fn, latch] {
       for (size_t i = begin; i < end; ++i) fn(i);
+      {
+        std::unique_lock<std::mutex> lock(latch->mu);
+        --latch->remaining;
+      }
+      latch->cv.notify_all();
     });
   }
-  Wait();
+  // Help drain the queue while our chunks are pending. Running unrelated
+  // queued tasks is fine — it only speeds up the pool; the latch alone
+  // decides when this call is done.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(latch->mu);
+      if (latch->remaining == 0) return;
+    }
+    if (!RunOneTask()) {
+      // Queue empty: our chunks are executing on workers; wait for them.
+      std::unique_lock<std::mutex> lock(latch->mu);
+      latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+      return;
+    }
+  }
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --in_flight_;
+    if (in_flight_ == 0) cv_done_.notify_all();
+  }
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {

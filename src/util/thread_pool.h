@@ -26,17 +26,26 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed. Must not be called
+  /// from a worker thread (the calling task counts as in-flight and would
+  /// deadlock); use ParallelFor for nested fan-out.
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
 
   /// Runs `fn(i)` for i in [0, n), partitioned into contiguous chunks across
-  /// the pool, and waits for completion.
+  /// the pool, and waits for completion. Safe to call from a worker thread:
+  /// completion is tracked by a per-call latch (not Wait), and the caller
+  /// helps execute queued tasks while its chunks are pending, so nested
+  /// ParallelFor calls make progress even when every worker is blocked in
+  /// one.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
+
+  /// Pops and runs one queued task. Returns false if the queue was empty.
+  bool RunOneTask();
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> queue_;

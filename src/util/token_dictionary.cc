@@ -1,0 +1,59 @@
+#include "util/token_dictionary.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/string_util.h"
+
+namespace ltee::util {
+
+uint32_t TokenDictionary::Intern(std::string_view tok) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(tok);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(tok);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(tokens_.size());
+  tokens_.emplace_back(tok);
+  ids_.emplace(std::string_view(tokens_.back()), id);
+  return id;
+}
+
+uint32_t TokenDictionary::Find(std::string_view tok) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(tok);
+  return it == ids_.end() ? kNoToken : it->second;
+}
+
+std::string_view TokenDictionary::token(uint32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tokens_[id];
+}
+
+size_t TokenDictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tokens_.size();
+}
+
+std::vector<uint32_t> TokenDictionary::InternTokens(std::string_view text) {
+  std::vector<uint32_t> out;
+  for (const auto& tok : Tokenize(text)) out.push_back(Intern(tok));
+  return out;
+}
+
+std::vector<uint32_t> TokenDictionary::FindTokens(std::string_view text) const {
+  std::vector<uint32_t> out;
+  for (const auto& tok : Tokenize(text)) out.push_back(Find(tok));
+  return out;
+}
+
+std::vector<uint32_t> SortedUnique(std::vector<uint32_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace ltee::util

@@ -1,0 +1,67 @@
+#ifndef LTEE_UTIL_TOKEN_DICTIONARY_H_
+#define LTEE_UTIL_TOKEN_DICTIONARY_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ltee::util {
+
+/// Process-wide string interner mapping tokens to dense uint32 ids.
+///
+/// One dictionary is shared by the prepared corpus, the label indexes and
+/// every id-based similarity kernel, so a token interned anywhere compares
+/// by integer equality everywhere. Thread-safe: Intern takes a writer lock,
+/// lookups a reader lock, which lets the corpus preparation pass intern from
+/// ThreadPool workers. Id values therefore depend on interning order and
+/// carry no meaning beyond equality — nothing may order or hash *output* by
+/// raw id (sort resolved strings instead, as LabelIndex::Search does).
+///
+/// Token storage is a deque so `token(id)` string_views stay valid across
+/// growth; the dictionary never shrinks.
+class TokenDictionary {
+ public:
+  /// Sentinel returned by Find for unknown tokens.
+  static constexpr uint32_t kNoToken = 0xffffffffu;
+
+  TokenDictionary() = default;
+  TokenDictionary(const TokenDictionary&) = delete;
+  TokenDictionary& operator=(const TokenDictionary&) = delete;
+
+  /// Id of `tok`, interning it if unseen.
+  uint32_t Intern(std::string_view tok);
+
+  /// Id of `tok`, or kNoToken if it was never interned.
+  uint32_t Find(std::string_view tok) const;
+
+  /// The token string of `id`. The view stays valid for the dictionary's
+  /// lifetime. `id` must come from Intern/Find.
+  std::string_view token(uint32_t id) const;
+
+  size_t size() const;
+
+  /// Interns every token of util::Tokenize(text), in order, duplicates
+  /// kept — the id-level equivalent of Tokenize.
+  std::vector<uint32_t> InternTokens(std::string_view text);
+
+  /// Lookup-only variant: unknown tokens map to kNoToken.
+  std::vector<uint32_t> FindTokens(std::string_view text) const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> tokens_;
+  /// Keys view into tokens_ (stable storage).
+  std::unordered_map<std::string_view, uint32_t> ids_;
+};
+
+/// `ids` sorted + deduplicated — the canonical token-set form consumed by
+/// the set-based similarity kernels.
+std::vector<uint32_t> SortedUnique(std::vector<uint32_t> ids);
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_TOKEN_DICTIONARY_H_

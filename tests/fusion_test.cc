@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "fusion/entity_creator.h"
 #include "matching/schema_mapping.h"
 #include "rowcluster/row_features.h"
 #include "util/string_util.h"
+#include "util/token_dictionary.h"
+#include "webtable/prepared_corpus.h"
 
 namespace ltee::fusion {
 namespace {
@@ -49,6 +53,8 @@ class EntityCreatorTest : public ::testing::Test {
     mapping_.tables[0].row_instance[0] = instance_;
 
     rows_.cls = cls_;
+    rows_.dict = std::make_shared<util::TokenDictionary>();
+    prepared_ = std::make_unique<webtable::PreparedCorpus>(corpus_, rows_.dict);
     rows_.tables = {0, 1};
     rows_.table_implicit.resize(2);
     rows_.table_phi.resize(2);
@@ -61,7 +67,8 @@ class EntityCreatorTest : public ::testing::Test {
       feature.table_index = table;
       feature.raw_label = label;
       feature.normalized_label = util::NormalizeLabel(label);
-      feature.bow.insert(feature.normalized_label);
+      feature.label_tokens = rows_.dict->InternTokens(feature.normalized_label);
+      feature.bow = util::SortedUnique(feature.label_tokens);
       rows_.rows.push_back(std::move(feature));
     };
     add_row(0, 0, "Springfield");
@@ -85,6 +92,7 @@ class EntityCreatorTest : public ::testing::Test {
   kb::PropertyId team_, pop_, round_;
   kb::InstanceId instance_;
   webtable::TableCorpus corpus_;
+  std::unique_ptr<webtable::PreparedCorpus> prepared_;
   matching::SchemaMapping mapping_;
   rowcluster::ClassRowSet rows_;
   std::vector<int> cluster_of_row_;
@@ -92,18 +100,21 @@ class EntityCreatorTest : public ::testing::Test {
 
 TEST_F(EntityCreatorTest, CollectsLabelsRowsAndBow) {
   EntityCreator creator(kb_);
-  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, *prepared_);
   ASSERT_EQ(entities.size(), 2u);
   EXPECT_EQ(entities[0].rows.size(), 2u);
   EXPECT_EQ(entities[0].labels,
             (std::vector<std::string>{"Springfield"}));
-  EXPECT_TRUE(entities[0].bow.count("springfield"));
+  const uint32_t springfield = rows_.dict->Find("springfield");
+  ASSERT_NE(springfield, util::TokenDictionary::kNoToken);
+  EXPECT_TRUE(std::binary_search(entities[0].bow.begin(),
+                                 entities[0].bow.end(), springfield));
   EXPECT_EQ(entities[1].labels, (std::vector<std::string>{"Oakton"}));
 }
 
 TEST_F(EntityCreatorTest, VotingFusesByMajorityWithinSelectedGroup) {
   EntityCreator creator(kb_);
-  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, *prepared_);
   // Cluster 0 team candidates: "real value", "wrong value" — two groups of
   // one; VOTING ties, the first group wins. Both rows supply one value, so
   // check that exactly one was selected.
@@ -119,7 +130,7 @@ TEST_F(EntityCreatorTest, MatchingScoringPrefersHighScoredColumn) {
   EntityCreatorOptions options;
   options.scoring = ScoringApproach::kMatching;
   EntityCreator creator(kb_, options);
-  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, *prepared_);
   // Table 0's team column has score 0.9 vs table 1's 0.2.
   const types::Value* team = entities[0].FactOf(team_);
   ASSERT_NE(team, nullptr);
@@ -133,9 +144,9 @@ TEST_F(EntityCreatorTest, KbtScoringTrustsVerifiedColumn) {
   // Column trust of table 0 / column 1: row 0 matched to instance whose
   // team fact equals the cell -> trust 1.0. Table 1 has no matched rows ->
   // default 0.5.
-  EXPECT_DOUBLE_EQ(creator.ColumnTrust(corpus_, mapping_.tables[0], 1), 1.0);
-  EXPECT_DOUBLE_EQ(creator.ColumnTrust(corpus_, mapping_.tables[1], 1), 0.5);
-  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  EXPECT_DOUBLE_EQ(creator.ColumnTrust(*prepared_, mapping_.tables[0], 1), 1.0);
+  EXPECT_DOUBLE_EQ(creator.ColumnTrust(*prepared_, mapping_.tables[1], 1), 0.5);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, *prepared_);
   EXPECT_EQ(entities[0].FactOf(team_)->text, "real value");
 }
 
@@ -143,7 +154,7 @@ TEST_F(EntityCreatorTest, QuantityGroupsFuseByWeightedMedian) {
   // Put three conflicting pops in one cluster: 1000, 1000, 2000.
   rows_.rows[1].values.push_back({pop_, 1, types::Value::OfQuantity(1010)});
   EntityCreator creator(kb_);
-  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, *prepared_);
   // 1000 and 1010 group together (within tolerance); median of the group.
   const types::Value* pop = entities[0].FactOf(pop_);
   ASSERT_NE(pop, nullptr);
@@ -152,7 +163,7 @@ TEST_F(EntityCreatorTest, QuantityGroupsFuseByWeightedMedian) {
 
 TEST_F(EntityCreatorTest, EntityImplicitAttributesAveragePerRow) {
   EntityCreator creator(kb_);
-  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, corpus_);
+  auto entities = creator.Create(rows_, cluster_of_row_, mapping_, *prepared_);
   // Cluster 0 has two rows; only table 0 contributes the implicit attr with
   // table-level score 0.8 -> entity-level 0.8 / 2 = 0.4.
   ASSERT_EQ(entities[0].implicit_attrs.size(), 1u);

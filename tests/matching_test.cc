@@ -94,9 +94,14 @@ TEST(ExactValueKeyTest, DayDatesKeepFullDate) {
 class TableToClassTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    index_ = pipeline::BuildKbLabelIndex(SharedDataset().kb);
+    dict_ = std::make_shared<util::TokenDictionary>();
+    index_ = pipeline::BuildKbLabelIndex(SharedDataset().kb, dict_);
+    prepared_ = std::make_unique<webtable::PreparedCorpus>(
+        SharedDataset().gs_corpus, dict_);
   }
+  std::shared_ptr<util::TokenDictionary> dict_;
   index::LabelIndex index_;
+  std::unique_ptr<webtable::PreparedCorpus> prepared_;
 };
 
 TEST_F(TableToClassTest, MajorityOfGoldTablesMatchTheirClass) {
@@ -105,12 +110,10 @@ TEST_F(TableToClassTest, MajorityOfGoldTablesMatchTheirClass) {
   for (size_t g = 0; g < ds.gold.size(); ++g) {
     const auto& gs = ds.gold[g];
     for (size_t k = 0; k < gs.tables.size() && k < 40; ++k) {
-      const auto& table = ds.gs_corpus.table(gs.tables[k]);
-      const auto column_types = DetectColumnTypes(table);
-      const int label = DetectLabelColumn(table, column_types);
-      if (label < 0) continue;
+      const auto& table = prepared_->table(gs.tables[k]);
+      if (table.label_column < 0) continue;
       auto result =
-          MatchTableToClass(table, label, column_types, ds.kb, index_);
+          MatchTableToClass(table, table.label_column, ds.kb, index_);
       ++total;
       if (result.cls == gs.cls) ++correct;
     }
@@ -123,10 +126,10 @@ TEST_F(TableToClassTest, RowInstancesPointToMatchingLabels) {
   const auto& ds = SharedDataset();
   const auto& gs = ds.gold.front();
   const auto& table = ds.gs_corpus.table(gs.tables.front());
-  const auto column_types = DetectColumnTypes(table);
-  const int label = DetectLabelColumn(table, column_types);
+  const auto& ptable = prepared_->table(gs.tables.front());
+  const int label = ptable.label_column;
   ASSERT_GE(label, 0);
-  auto result = MatchTableToClass(table, label, column_types, ds.kb, index_);
+  auto result = MatchTableToClass(ptable, label, ds.kb, index_);
   ASSERT_EQ(result.row_instance.size(), table.num_rows());
   for (size_t r = 0; r < table.num_rows(); ++r) {
     if (result.row_instance[r] == kb::kInvalidInstance) continue;
@@ -158,57 +161,63 @@ class MatcherTest : public ::testing::Test {
     kb_.AddFact(b, team_, types::Value::InstanceRef("chicago bears"));
     kb_.AddFact(b, height_, types::Value::OfQuantity(185));
     profiles_ = BuildPropertyValueProfiles(kb_);
+    corpus_.Add(MakePlayerTable());
+    prepared_ = std::make_unique<webtable::PreparedCorpus>(corpus_);
     inputs_.kb = &kb_;
     inputs_.value_profiles = &profiles_;
-    table_ = MakePlayerTable();
+    inputs_.prepared = prepared_.get();
   }
+
+  /// Prepared view of MakePlayerTable() (table id 0).
+  const webtable::PreparedTable& table() const { return prepared_->table(0); }
 
   kb::KnowledgeBase kb_;
   kb::ClassId cls_;
   kb::PropertyId team_, height_;
   std::vector<PropertyValueProfile> profiles_;
+  webtable::TableCorpus corpus_;
+  std::unique_ptr<webtable::PreparedCorpus> prepared_;
   MatcherInputs inputs_;
-  webtable::WebTable table_;
 };
 
 TEST_F(MatcherTest, KbOverlapPrefersFittingColumn) {
   const double team_col =
-      RunMatcher(MatcherId::kKbOverlap, inputs_, table_, 1, team_);
+      RunMatcher(MatcherId::kKbOverlap, inputs_, table(), 1, team_);
   const double label_col =
-      RunMatcher(MatcherId::kKbOverlap, inputs_, table_, 0, team_);
+      RunMatcher(MatcherId::kKbOverlap, inputs_, table(), 0, team_);
   EXPECT_GT(team_col, 0.5);   // two of three teams exist in the KB
   EXPECT_LT(label_col, team_col);
   const double height_col =
-      RunMatcher(MatcherId::kKbOverlap, inputs_, table_, 2, height_);
+      RunMatcher(MatcherId::kKbOverlap, inputs_, table(), 2, height_);
   EXPECT_DOUBLE_EQ(height_col, 1.0);  // all heights inside the range
 }
 
 TEST_F(MatcherTest, KbLabelMatchesHeaderToPropertyLabels) {
-  EXPECT_DOUBLE_EQ(RunMatcher(MatcherId::kKbLabel, inputs_, table_, 1, team_),
+  EXPECT_DOUBLE_EQ(RunMatcher(MatcherId::kKbLabel, inputs_, table(), 1, team_),
                    1.0);  // "Team" == label "team"
-  EXPECT_LT(RunMatcher(MatcherId::kKbLabel, inputs_, table_, 2, team_), 0.6);
+  EXPECT_LT(RunMatcher(MatcherId::kKbLabel, inputs_, table(), 2, team_), 0.6);
   EXPECT_DOUBLE_EQ(
-      RunMatcher(MatcherId::kKbLabel, inputs_, table_, 2, height_), 1.0);
+      RunMatcher(MatcherId::kKbLabel, inputs_, table(), 2, height_), 1.0);
 }
 
 TEST_F(MatcherTest, KbDuplicateNeedsCorrespondences) {
   EXPECT_DOUBLE_EQ(
-      RunMatcher(MatcherId::kKbDuplicate, inputs_, table_, 1, team_), -1.0);
+      RunMatcher(MatcherId::kKbDuplicate, inputs_, table(), 1, team_), -1.0);
   RowInstanceMap instances;
   instances[{0, 0}] = 0;  // John Smith
   instances[{0, 1}] = 1;  // Jane Doe
   inputs_.row_instances = &instances;
   EXPECT_DOUBLE_EQ(
-      RunMatcher(MatcherId::kKbDuplicate, inputs_, table_, 1, team_), 1.0);
+      RunMatcher(MatcherId::kKbDuplicate, inputs_, table(), 1, team_), 1.0);
   EXPECT_DOUBLE_EQ(
-      RunMatcher(MatcherId::kKbDuplicate, inputs_, table_, 2, team_), 0.0);
+      RunMatcher(MatcherId::kKbDuplicate, inputs_, table(), 2, team_), 0.0);
 }
 
 TEST_F(MatcherTest, WtMatchersNeedFeedback) {
-  EXPECT_DOUBLE_EQ(RunMatcher(MatcherId::kWtLabel, inputs_, table_, 1, team_),
+  EXPECT_DOUBLE_EQ(RunMatcher(MatcherId::kWtLabel, inputs_, table(), 1, team_),
                    -1.0);
   EXPECT_DOUBLE_EQ(
-      RunMatcher(MatcherId::kWtDuplicate, inputs_, table_, 1, team_), -1.0);
+      RunMatcher(MatcherId::kWtDuplicate, inputs_, table(), 1, team_), -1.0);
 }
 
 TEST_F(MatcherTest, WtLabelScoresFromPreliminaryMapping) {
@@ -219,7 +228,8 @@ TEST_F(MatcherTest, WtLabelScoresFromPreliminaryMapping) {
   preliminary.tables[0].table = 0;
   preliminary.tables[0].columns.resize(3);
   preliminary.tables[0].columns[1].property = team_;
-  auto stats = WtLabelStats::Build(corpus, preliminary);
+  webtable::PreparedCorpus prepared(corpus);
+  auto stats = WtLabelStats::Build(prepared, preliminary);
   EXPECT_DOUBLE_EQ(stats.Score("Team", team_), 1.0);
   EXPECT_DOUBLE_EQ(stats.Score("Team", height_), 0.0);
   EXPECT_DOUBLE_EQ(stats.Score("Unseen Header", team_), -1.0);
@@ -242,7 +252,8 @@ TEST_F(MatcherTest, WtDuplicateCountsClusterValues) {
   for (int t = 0; t < 2; ++t) {
     for (int r = 0; r < 3; ++r) clusters[{t, r}] = r;  // row r = cluster r
   }
-  auto index = WtDuplicateIndex::Build(corpus, preliminary, clusters, kb_);
+  webtable::PreparedCorpus prepared(corpus);
+  auto index = WtDuplicateIndex::Build(prepared, preliminary, clusters, kb_);
   EXPECT_EQ(index.Count(0, team_, "dallas cowboys"), 2);
   EXPECT_EQ(index.Count(1, team_, "dallas cowboys"), 0);
 
@@ -250,7 +261,7 @@ TEST_F(MatcherTest, WtDuplicateCountsClusterValues) {
   inputs_.wt_duplicate = &index;
   inputs_.preliminary = &preliminary;
   const double score = RunMatcher(MatcherId::kWtDuplicate, inputs_,
-                                  corpus.table(0), 1, team_);
+                                  prepared.table(0), 1, team_);
   EXPECT_DOUBLE_EQ(score, 1.0);
 }
 
@@ -260,7 +271,9 @@ TEST_F(MatcherTest, WtDuplicateCountsClusterValues) {
 
 TEST(SchemaMatcherTest, LearnsAndMatchesGoldTables) {
   const auto& ds = SharedDataset();
-  auto kb_index = pipeline::BuildKbLabelIndex(ds.kb);
+  auto dict = std::make_shared<util::TokenDictionary>();
+  auto kb_index = pipeline::BuildKbLabelIndex(ds.kb, dict);
+  webtable::PreparedCorpus prepared(ds.gs_corpus, dict);
   SchemaMatcher matcher(ds.kb, kb_index);
   util::Rng rng(17);
 
@@ -272,8 +285,8 @@ TEST(SchemaMatcherTest, LearnsAndMatchesGoldTables) {
       annotations.push_back({a.table, a.column, a.property});
     }
   }
-  matcher.Learn(ds.gs_corpus, tables, annotations, {}, rng);
-  auto mapping = matcher.Match(ds.gs_corpus);
+  matcher.Learn(prepared, tables, annotations, {}, rng);
+  auto mapping = matcher.Match(prepared);
 
   // In-sample attribute matching should reach a solid F1.
   int tp = 0, fp = 0, fn = 0;

@@ -40,11 +40,13 @@ TEST(ClusteringOptionsTest, CandidateClusterCapHolds) {
 
 TEST(SchemaMatcherTest, UnlearnedMatcherUsesUniformWeightsAndDefaults) {
   const auto& ds = SharedDataset();
-  auto index = pipeline::BuildKbLabelIndex(ds.kb);
+  auto dict = std::make_shared<util::TokenDictionary>();
+  auto index = pipeline::BuildKbLabelIndex(ds.kb, dict);
+  webtable::PreparedCorpus prepared(ds.gs_corpus, dict);
   matching::SchemaMatcherOptions options;
   options.default_threshold = 0.99;  // practically unmatchable
   matching::SchemaMatcher matcher(ds.kb, index, options);
-  auto mapping = matcher.MatchTable(ds.gs_corpus, ds.gold.front().tables[0]);
+  auto mapping = matcher.MatchTable(prepared, ds.gold.front().tables[0]);
   // With a prohibitive default threshold and no learned per-property
   // thresholds, (almost) nothing may match.
   size_t matched = 0;
@@ -94,7 +96,8 @@ TEST(DateFusionTest, ResolvesToClosestMember) {
   mapping.tables[0].columns.resize(2);
 
   fusion::EntityCreator creator(kb);
-  auto entities = creator.Create(rows, {0, 0, 0}, mapping, corpus);
+  webtable::PreparedCorpus prepared(corpus);
+  auto entities = creator.Create(rows, {0, 0, 0}, mapping, prepared);
   ASSERT_EQ(entities.size(), 1u);
   const types::Value* fused = entities[0].FactOf(date_prop);
   ASSERT_NE(fused, nullptr);

@@ -22,7 +22,9 @@ const GoldEntities& SharedGoldEntities() {
   static const GoldEntities* state = [] {
     const auto& ds = SharedDataset();
     auto* s = new GoldEntities;
-    s->kb_index = pipeline::BuildKbLabelIndex(ds.kb);
+    auto dict = std::make_shared<util::TokenDictionary>();
+    s->kb_index = pipeline::BuildKbLabelIndex(ds.kb, dict);
+    webtable::PreparedCorpus prepared(ds.gs_corpus, dict);
     matching::SchemaMapping mapping;
     mapping.tables.resize(ds.gs_corpus.size());
     for (const auto& gs : ds.gold) {
@@ -30,14 +32,14 @@ const GoldEntities& SharedGoldEntities() {
       pipeline::MergeGoldMappings(m, &mapping);
     }
     const auto& gs = ds.gold.front();
-    auto rows = rowcluster::BuildClassRowSet(ds.gs_corpus, mapping, gs.cls,
+    auto rows = rowcluster::BuildClassRowSet(prepared, mapping, gs.cls,
                                              ds.kb, s->kb_index);
     std::vector<int> assignment(rows.rows.size(), -1);
     for (size_t i = 0; i < rows.rows.size(); ++i) {
       assignment[i] = gs.ClusterOfRow(rows.rows[i].ref);
     }
     fusion::EntityCreator creator(ds.kb);
-    auto entities = creator.Create(rows, assignment, mapping, ds.gs_corpus);
+    auto entities = creator.Create(rows, assignment, mapping, prepared);
     for (size_t k = 0; k < entities.size() && k < gs.clusters.size(); ++k) {
       if (entities[k].rows.empty()) continue;
       s->entities.push_back(std::move(entities[k]));

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "pipeline/gold_artifacts.h"
 #include "pipeline/pipeline.h"
+#include "pipeline/run_summary.h"
 #include "pipeline/training.h"
 #include "test_dataset.h"
 
@@ -151,6 +156,39 @@ TEST(PipelineTest, FeedbackMapsCoverClusteredRows) {
   EXPECT_EQ(clusters.size(), total_rows);
   EXPECT_LE(instances.size(), total_rows);
   EXPECT_GT(instances.size(), 0u);
+}
+
+// Golden regression: the fixed-seed run must stay byte-identical to the
+// checked-in summary (tools/golden_pipeline regenerates it; see also
+// LTEE_REGEN_GOLDEN below). This pins down the determinism contract of the
+// prepared-corpus layer and the parallel per-class execution: interning
+// order and thread schedule must not leak into results.
+TEST(PipelineTest, RunMatchesGoldenSummary) {
+  const std::string golden_path =
+      std::string(LTEE_GOLDEN_DIR) + "/pipeline_summary.txt";
+  const std::string summary = SummarizeRun(SharedRun().run);
+  if (std::getenv("LTEE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << summary;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden summary: " << golden_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string golden = buffer.str();
+  ASSERT_EQ(summary.size(), golden.size())
+      << "summary size drifted; run tools/golden_pipeline or set "
+         "LTEE_REGEN_GOLDEN=1 if the change is intentional";
+  // Avoid dumping half a megabyte on failure: report the first divergence.
+  if (summary != golden) {
+    size_t pos = 0;
+    while (pos < summary.size() && summary[pos] == golden[pos]) ++pos;
+    const size_t line = 1 + static_cast<size_t>(std::count(
+                                golden.begin(), golden.begin() + pos, '\n'));
+    FAIL() << "summary diverges from golden at byte " << pos << " (line "
+           << line << ")";
+  }
 }
 
 }  // namespace

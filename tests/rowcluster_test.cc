@@ -18,7 +18,9 @@ using ::ltee::testing::SharedDataset;
 /// Shared per-binary fixture: the gold-mapping row set of the first gold
 /// class (GF-Player) with its gold cluster assignment.
 struct GoldRows {
+  std::shared_ptr<util::TokenDictionary> dict;
   index::LabelIndex kb_index;
+  std::unique_ptr<webtable::PreparedCorpus> prepared;
   matching::SchemaMapping mapping;
   ClassRowSet rows;
   std::vector<int> gold_cluster;
@@ -28,14 +30,17 @@ const GoldRows& SharedGoldRows() {
   static const GoldRows* state = [] {
     const auto& ds = SharedDataset();
     auto* s = new GoldRows;
-    s->kb_index = pipeline::BuildKbLabelIndex(ds.kb);
+    s->dict = std::make_shared<util::TokenDictionary>();
+    s->kb_index = pipeline::BuildKbLabelIndex(ds.kb, s->dict);
+    s->prepared =
+        std::make_unique<webtable::PreparedCorpus>(ds.gs_corpus, s->dict);
     s->mapping.tables.resize(ds.gs_corpus.size());
     for (const auto& gs : ds.gold) {
       auto m = pipeline::GoldSchemaMapping(ds.gs_corpus, gs, ds.kb);
       pipeline::MergeGoldMappings(m, &s->mapping);
     }
     const auto& gs = ds.gold.front();
-    s->rows = BuildClassRowSet(ds.gs_corpus, s->mapping, gs.cls, ds.kb,
+    s->rows = BuildClassRowSet(*s->prepared, s->mapping, gs.cls, ds.kb,
                                s->kb_index);
     s->gold_cluster.resize(s->rows.rows.size());
     for (size_t i = 0; i < s->rows.rows.size(); ++i) {
@@ -159,12 +164,14 @@ TEST(RowMetricsTest, SameTableMetricIsZeroWithinTable) {
 TEST(RowMetricsTest, AttributeMetricNotApplicableWithoutOverlap) {
   ClassRowSet rows;
   rows.cls = 0;
+  rows.dict = std::make_shared<util::TokenDictionary>();
   rows.tables = {0, 1};
   rows.table_implicit.resize(2);
   rows.table_phi.resize(2);
   RowFeature a;
   a.table_index = 0;
   a.normalized_label = "x";
+  a.label_tokens = rows.dict->InternTokens(a.normalized_label);
   RowFeature b = a;
   b.table_index = 1;
   a.values.push_back({0, 1, types::Value::OfQuantity(5)});

@@ -21,8 +21,11 @@ TEST(LevenshteinSimilarityTest, NormalizedToUnitInterval) {
 
 TEST(JaccardTest, SetOverlap) {
   EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
-  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
-  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(std::vector<std::string>{},
+                                     std::vector<std::string>{}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, std::vector<std::string>{}),
+                   0.0);
   // Duplicates are set-collapsed.
   EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a"}, {"a"}), 1.0);
 }

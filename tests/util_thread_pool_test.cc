@@ -1,0 +1,94 @@
+// Stress coverage for the thread pool paths the parallel pipeline Run
+// leans on: empty and undersized ParallelFor ranges, nested fan-out from
+// worker threads, and teardown with work still queued.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace ltee::util {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForZeroItemsReturnsImmediately) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  std::vector<std::atomic<int>> seen(3);
+  pool.ParallelFor(3, [&](size_t i) {
+    seen[i].fetch_add(1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> seen(kN);
+  pool.ParallelFor(kN, [&](size_t i) { seen[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.Submit([&] {
+    // A task submitting more tasks must not deadlock the queue.
+    for (int k = 0; k < 16; ++k) {
+      pool.Submit([&] { inner.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  // Outer ParallelFor occupies every worker; the nested calls only finish
+  // because the blocked callers help drain the queue.
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, DestructionWithQueuedTasksRunsThemAll) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int k = 0; k < 64; ++k) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor must drain the queue, not drop tasks.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 5);
+}
+
+}  // namespace
+}  // namespace ltee::util

@@ -1,0 +1,64 @@
+// Regenerates the golden pipeline summary used by the golden regression
+// test, and reports the end-to-end Run wall-clock on the synthetic
+// multi-class dataset.
+//
+// Usage: golden_pipeline [output-path]
+//
+// The dataset configuration must stay in lockstep with tests/test_dataset.h
+// and the SharedRun() fixture of tests/pipeline_test.cc (scale 0.002, seed
+// 20190326, default PipelineOptions, Rng(41)); the golden test replays
+// exactly this run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/run_summary.h"
+#include "pipeline/training.h"
+#include "synth/dataset.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace ltee;
+
+  synth::DatasetOptions dataset_options;
+  dataset_options.scale = 0.002;
+  dataset_options.seed = 20190326;
+  const char* env = std::getenv("LTEE_SCALE");
+  if (env != nullptr && std::atof(env) > 0.0) {
+    dataset_options.scale = std::atof(env);
+  }
+  std::printf("dataset scale=%g seed=%llu\n", dataset_options.scale,
+              static_cast<unsigned long long>(dataset_options.seed));
+  auto ds = synth::BuildDataset(dataset_options);
+
+  pipeline::PipelineOptions options;
+  pipeline::LteePipeline pipe(ds.kb, options);
+  util::Rng rng(41);
+  util::WallTimer train_timer;
+  pipeline::TrainPipelineOnGold(&pipe, ds.gs_corpus, ds.gold, rng);
+  std::printf("train_seconds %.3f\n", train_timer.ElapsedSeconds());
+
+  std::vector<kb::ClassId> classes;
+  for (const auto& gs : ds.gold) classes.push_back(gs.cls);
+
+  util::WallTimer run_timer;
+  auto run = pipe.Run(ds.gs_corpus, classes);
+  std::printf("run_seconds %.3f\n", run_timer.ElapsedSeconds());
+
+  const std::string summary = pipeline::SummarizeRun(run);
+  std::printf("summary_bytes %zu\n", summary.size());
+  if (argc > 1) {
+    std::ofstream out(argv[1], std::ios::binary);
+    out << summary;
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", argv[1]);
+      return 1;
+    }
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return 0;
+}
