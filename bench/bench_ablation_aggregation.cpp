@@ -31,6 +31,8 @@ int main() {
     std::printf("%-18s %8.2f %8.2f %8.2f\n", config.name,
                 metrics.penalized_precision, metrics.average_recall,
                 metrics.f1);
+    bench::EmitResult(std::string("ablation_aggregation.") + config.name,
+                      "f1", metrics.f1);
   }
   std::printf("\npaper: weighted average F1 0.81, random forest 0.82, "
               "combined 0.83\n");

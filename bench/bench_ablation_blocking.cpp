@@ -26,6 +26,10 @@ int main() {
                 blocking ? "enabled" : "disabled",
                 metrics.penalized_precision, metrics.average_recall,
                 metrics.f1, timer.ElapsedSeconds());
+    const std::string name =
+        std::string("ablation_blocking.") + (blocking ? "enabled" : "disabled");
+    bench::EmitResult(name, "f1", metrics.f1);
+    bench::EmitResult(name, "seconds", timer.ElapsedSeconds());
   }
   std::printf("\npaper: blocking yields no decrease in F1\n");
   return 0;

@@ -15,6 +15,7 @@
 #include "pipeline/pipeline.h"
 #include "pipeline/training.h"
 #include "synth/dataset.h"
+#include "util/json.h"
 #include "util/timer.h"
 
 namespace ltee::bench {
@@ -65,6 +66,29 @@ inline void PrintTitle(const std::string& title) {
 inline std::string ShortClassName(const std::string& name) {
   if (name == "GridironFootballPlayer") return "GF-Player";
   return name;
+}
+
+/// Machine-readable result line shared by every bench binary (the
+/// `BENCH_*.json` perf/metric trajectory format):
+///   {"bench":"<name>","metric":"<metric>","value":<v>}
+/// with an optional trailing "iters" field for iteration-normalized
+/// metrics. Lines go to stdout; keep human-readable tables around them —
+/// trajectory consumers select lines starting with `{"bench"`.
+inline void EmitResult(const std::string& bench, const std::string& metric,
+                       double value, long long iters = -1) {
+  std::string line = "{\"bench\":";
+  line += util::JsonQuote(bench);
+  line += ",\"metric\":";
+  line += util::JsonQuote(metric);
+  line += ",\"value\":";
+  util::AppendJsonNumber(&line, value);
+  if (iters >= 0) {
+    line += ",\"iters\":";
+    line += std::to_string(iters);
+  }
+  line += "}";
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
 }
 
 }  // namespace ltee::bench

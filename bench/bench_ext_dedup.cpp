@@ -55,11 +55,18 @@ int main() {
   };
 
   for (const auto& class_run : run.classes) {
-    report("", class_run.entities, class_run.detections, class_run.cls, 0);
+    const std::string cls =
+        bench::ShortClassName(dataset.kb.cls(class_run.cls).name);
+    const double before =
+        report("", class_run.entities, class_run.detections, class_run.cls, 0);
     auto deduped = pipeline::DeduplicateEntities(class_run.entities,
                                                  class_run.detections);
-    report("*", deduped.entities, deduped.detections, class_run.cls,
-           deduped.merges);
+    const double after = report("*", deduped.entities, deduped.detections,
+                                class_run.cls, deduped.merges);
+    bench::EmitResult("ext_dedup." + cls, "ratio_before", before);
+    bench::EmitResult("ext_dedup." + cls, "ratio_after", after);
+    bench::EmitResult("ext_dedup." + cls, "merges",
+                      static_cast<double>(deduped.merges));
   }
   std::printf("\n(* = after deduplication; paper Song matching ratio 1.39, "
               "ideal 1.0 — dedup should move each ratio toward 1)\n");

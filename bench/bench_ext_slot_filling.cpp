@@ -52,14 +52,17 @@ int main() {
     }
     const size_t applied =
         pipeline::ApplySlotFills(&dataset.kb, result.new_facts);
-    std::printf("%-12s %10zu %14zu %10zu %10zu %10.2f\n",
-                bench::ShortClassName(
-                    dataset.kb.cls(class_run.cls).name).c_str(),
+    const double accuracy = checked == 0 ? 0.0
+                                         : static_cast<double>(correct) /
+                                               static_cast<double>(checked);
+    const std::string cls =
+        bench::ShortClassName(dataset.kb.cls(class_run.cls).name);
+    std::printf("%-12s %10zu %14zu %10zu %10zu %10.2f\n", cls.c_str(),
                 result.new_facts.size(), result.confirmations,
-                result.conflicts, applied,
-                checked == 0 ? 0.0
-                             : static_cast<double>(correct) /
-                                   static_cast<double>(checked));
+                result.conflicts, applied, accuracy);
+    bench::EmitResult("ext_slot_filling." + cls, "facts_applied",
+                      static_cast<double>(applied));
+    bench::EmitResult("ext_slot_filling." + cls, "fact_accuracy", accuracy);
   }
   std::printf("\npaper's predecessor slot-filling work [27]: F1 0.71; "
               "fact accuracy here should be comparable or better\n");

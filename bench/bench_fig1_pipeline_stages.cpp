@@ -75,5 +75,10 @@ int main() {
               "correspondences, %zu row-cluster assignments\n",
               instances.size(), clusters.size());
   std::printf("total pipeline wall time: %.1fs\n", elapsed);
+
+  bench::EmitResult("fig1", "pipeline_seconds", elapsed);
+  for (const auto& stage : run.report.stages) {
+    bench::EmitResult("fig1", "stage_seconds." + stage.stage, stage.seconds);
+  }
   return 0;
 }

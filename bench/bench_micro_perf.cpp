@@ -6,9 +6,9 @@
 // document the cost model behind the Section 3.2 scalability design
 // (prepared corpus + parallel greedy + KLj + blocking).
 //
-// Output: one JSON line per benchmark on stdout (the `BENCH_*.json` perf
-// trajectory format), e.g.
-//   {"bench":"BM_MongeElkanIds","ns_per_iter":132.4,"iters":5000000}
+// Output: one JSON line per benchmark on stdout via bench::EmitResult
+// (the `BENCH_*.json` perf trajectory format shared by every bench), e.g.
+//   {"bench":"BM_MongeElkanIds","metric":"ns_per_iter","value":132.4,"iters":5000000}
 // Human-readable console output goes to stderr.
 
 #include <benchmark/benchmark.h>
@@ -206,10 +206,9 @@ class JsonLineReporter : public benchmark::BenchmarkReporter {
         std::fprintf(stderr, "# ERROR %s\n", run.benchmark_name().c_str());
         continue;
       }
-      // Escape is unnecessary: benchmark names here are identifier-like.
-      std::printf("{\"bench\":\"%s\",\"ns_per_iter\":%.3f,\"iters\":%lld}\n",
-                  run.benchmark_name().c_str(), run.GetAdjustedRealTime(),
-                  static_cast<long long>(run.iterations));
+      bench::EmitResult(run.benchmark_name(), "ns_per_iter",
+                        run.GetAdjustedRealTime(),
+                        static_cast<long long>(run.iterations));
       std::fprintf(stderr, "%-40s %12.1f ns\n", run.benchmark_name().c_str(),
                    run.GetAdjustedRealTime());
     }
@@ -218,9 +217,8 @@ class JsonLineReporter : public benchmark::BenchmarkReporter {
 };
 
 void EmitSeconds(const char* name, double seconds) {
-  std::printf("{\"bench\":\"%s\",\"seconds\":%.4f}\n", name, seconds);
+  bench::EmitResult(name, "seconds", seconds);
   std::fprintf(stderr, "%-40s %12.3f s\n", name, seconds);
-  std::fflush(stdout);
 }
 
 /// End-to-end prepared-vs-raw timing. "Raw" means the pipeline receives a

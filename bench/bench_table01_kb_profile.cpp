@@ -16,12 +16,16 @@ int main() {
   for (size_t g = 0; g < dataset.gold.size(); ++g) {
     const kb::ClassId cls = dataset.gold[g].cls;
     const auto stats = dataset.kb.StatsOfClass(cls);
-    std::printf("%-14s %12zu %12zu %18.2f\n",
-                bench::ShortClassName(dataset.kb.cls(cls).name).c_str(),
-                stats.instances, stats.facts,
+    const std::string name = bench::ShortClassName(dataset.kb.cls(cls).name);
+    std::printf("%-14s %12zu %12zu %18.2f\n", name.c_str(), stats.instances,
+                stats.facts,
                 stats.instances == 0
                     ? 0.0
                     : static_cast<double>(stats.facts) / stats.instances);
+    bench::EmitResult("table01." + name, "instances",
+                      static_cast<double>(stats.instances));
+    bench::EmitResult("table01." + name, "facts",
+                      static_cast<double>(stats.facts));
   }
   std::printf("\npaper (full scale): GF-Player 20751/137319, "
               "Song 52533/315414, Settlement 468986/1444316\n");

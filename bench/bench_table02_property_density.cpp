@@ -35,6 +35,9 @@ int main() {
                   profile.properties[k].name.c_str(), stats[k].facts,
                   100.0 * stats[k].density,
                   100.0 * profile.properties[k].kb_density);
+      bench::EmitResult("table02." + bench::ShortClassName(profile.name) +
+                            "." + profile.properties[k].name,
+                        "density", stats[k].density);
     }
   }
   return 0;

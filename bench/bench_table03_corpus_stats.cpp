@@ -21,6 +21,10 @@ int main() {
               stats.columns.max);
   std::printf("\n# %zu tables, %zu rows total\n", stats.num_tables,
               dataset.corpus.TotalRows());
+  bench::EmitResult("table03", "rows_average", stats.rows.average);
+  bench::EmitResult("table03", "rows_median", stats.rows.median);
+  bench::EmitResult("table03", "columns_average", stats.columns.average);
+  bench::EmitResult("table03", "columns_median", stats.columns.median);
   std::printf("paper: rows 10.37/2/1/35640, columns 3.48/3/2/713\n");
   return 0;
 }

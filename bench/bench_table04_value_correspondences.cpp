@@ -51,9 +51,13 @@ int main() {
       }
       if (has_matched_column) ++tables;
     }
-    std::printf("%-14s %10zu %12zu %12zu\n",
-                bench::ShortClassName(dataset.kb.cls(cls).name).c_str(),
-                tables, matched, unmatched);
+    const std::string name = bench::ShortClassName(dataset.kb.cls(cls).name);
+    std::printf("%-14s %10zu %12zu %12zu\n", name.c_str(), tables, matched,
+                unmatched);
+    bench::EmitResult("table04." + name, "matched_values",
+                      static_cast<double>(matched));
+    bench::EmitResult("table04." + name, "unmatched_values",
+                      static_cast<double>(unmatched));
   }
   std::printf("\npaper: GF-Player 10432/206847/35968, "
               "Song 58594/1315381/443194, Settlement 11757/82816/13735\n");

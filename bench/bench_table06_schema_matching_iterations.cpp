@@ -24,6 +24,8 @@ int main() {
     std::printf("%-10s %8.3f %8.3f %8.3f\n", names[it],
                 by_iteration[it].precision, by_iteration[it].recall,
                 by_iteration[it].f1);
+    bench::EmitResult("table06.iter" + std::to_string(it + 1), "f1",
+                      by_iteration[it].f1);
   }
   std::printf("\npaper: 0.929/0.608/0.735, 0.924/0.916/0.920, "
               "0.929/0.916/0.922\n");

@@ -35,6 +35,10 @@ int main() {
                   bench::ShortClassName(class_row.class_name).c_str(),
                   density.property.c_str(), density.facts,
                   100.0 * density.density, 100.0 * kb_density);
+      bench::EmitResult("table12." +
+                            bench::ShortClassName(class_row.class_name) + "." +
+                            density.property,
+                        "density", density.density);
     }
   }
   std::printf("\npaper (GF-Player): position 65.8%%, team 54.6%%, college "

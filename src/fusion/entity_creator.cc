@@ -6,9 +6,11 @@
 
 #include "matching/attribute_matchers.h"
 #include "types/value_parser.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/token_dictionary.h"
+#include "util/trace.h"
 
 namespace ltee::fusion {
 
@@ -76,6 +78,9 @@ std::vector<CreatedEntity> EntityCreator::Create(
     const webtable::PreparedCorpus& prepared) const {
   int num_clusters = 0;
   for (int c : cluster_of_row) num_clusters = std::max(num_clusters, c + 1);
+  util::trace::ScopedSpan span("fusion.create");
+  span.AddArg("rows", rows.rows.size());
+  span.AddArg("clusters", static_cast<long long>(num_clusters));
 
   // KBT: column trust cache, keyed by (table, column).
   std::map<std::pair<webtable::TableId, int>, double> trust_cache;
@@ -263,6 +268,12 @@ std::vector<CreatedEntity> EntityCreator::Create(
       entities[c].facts.push_back(kb::Fact{property, std::move(fused)});
     }
   }
+  size_t facts = 0;
+  for (const auto& entity : entities) facts += entity.facts.size();
+  span.AddArg("facts", facts);
+  util::Metrics().GetCounter("ltee.fusion.entities_created")
+      .Increment(entities.size());
+  util::Metrics().GetCounter("ltee.fusion.facts_fused").Increment(facts);
   return entities;
 }
 

@@ -1,8 +1,10 @@
 #include "matching/attribute_matchers.h"
 
 #include <cmath>
+#include <string>
 
 #include "types/type_similarity.h"
+#include "util/metrics.h"
 #include "util/similarity.h"
 #include "util/string_util.h"
 
@@ -224,13 +226,43 @@ double RunMatcher(MatcherId id, const MatcherInputs& inputs,
   return -1.0;
 }
 
+namespace {
+
+/// Per-matcher run/applicability counters
+/// (`ltee.matching.matcher.<name>.{runs,applicable}`), registered once.
+/// A matcher is "applicable" when it produced a score (>= 0) for the
+/// candidate — the per-matcher accounting behind the Table 6 iteration
+/// effect (WT-* matchers only apply from iteration 2 on).
+struct MatcherCounters {
+  std::array<util::Counter*, kNumMatchers> runs;
+  std::array<util::Counter*, kNumMatchers> applicable;
+  MatcherCounters() {
+    for (int i = 0; i < kNumMatchers; ++i) {
+      const std::string base = std::string("ltee.matching.matcher.") +
+                               MatcherName(static_cast<MatcherId>(i));
+      runs[i] = &util::Metrics().GetCounter(base + ".runs");
+      applicable[i] = &util::Metrics().GetCounter(base + ".applicable");
+    }
+  }
+};
+
+MatcherCounters& GetMatcherCounters() {
+  static MatcherCounters* counters = new MatcherCounters();
+  return *counters;
+}
+
+}  // namespace
+
 std::array<double, kNumMatchers> RunAllMatchers(
     const MatcherInputs& inputs, const webtable::PreparedTable& table,
     int column, kb::PropertyId property) {
+  MatcherCounters& counters = GetMatcherCounters();
   std::array<double, kNumMatchers> out;
   for (int i = 0; i < kNumMatchers; ++i) {
     out[i] = RunMatcher(static_cast<MatcherId>(i), inputs, table, column,
                         property);
+    counters.runs[i]->Increment();
+    if (out[i] >= 0.0) counters.applicable[i]->Increment();
   }
   return out;
 }

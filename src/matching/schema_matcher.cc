@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "util/metrics.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace ltee::matching {
 
@@ -112,13 +114,31 @@ TableMapping SchemaMatcher::MatchTableImpl(const webtable::PreparedTable& table,
 
 SchemaMapping SchemaMatcher::Match(const webtable::PreparedCorpus& prepared,
                                    const MatcherFeedback& feedback) const {
+  const bool refined = feedback.preliminary != nullptr;
+  util::trace::ScopedSpan span("matching.schema_match");
+  span.AddArg("tables", prepared.size());
+  span.AddArg("refined", refined ? "true" : "false");
   Prepared prep = PrepareInputs(prepared, feedback);
   SchemaMapping mapping;
   mapping.tables.resize(prepared.size());
+  size_t tables_mapped = 0, columns_matched = 0;
   for (size_t t = 0; t < prepared.size(); ++t) {
     const auto& table = prepared.table(static_cast<webtable::TableId>(t));
-    mapping.tables[table.id] = MatchTableImpl(table, prep.inputs);
+    TableMapping& out = mapping.tables[table.id];
+    out = MatchTableImpl(table, prep.inputs);
+    if (out.cls != kb::kInvalidClass) ++tables_mapped;
+    for (const ColumnMatch& match : out.columns) {
+      if (match.property != kb::kInvalidProperty) ++columns_matched;
+    }
   }
+  span.AddArg("tables_mapped", tables_mapped);
+  span.AddArg("columns_matched", columns_matched);
+  util::Metrics()
+      .GetCounter("ltee.matching.tables_mapped")
+      .Increment(tables_mapped);
+  util::Metrics()
+      .GetCounter("ltee.matching.columns_matched")
+      .Increment(columns_matched);
   return mapping;
 }
 

@@ -4,9 +4,11 @@
 #include <unordered_set>
 
 #include "types/type_similarity.h"
+#include "util/metrics.h"
 #include "util/similarity.h"
 #include "util/string_util.h"
 #include "util/token_dictionary.h"
+#include "util/trace.h"
 
 namespace ltee::newdetect {
 
@@ -305,6 +307,9 @@ void NewDetector::Train(const std::vector<fusion::CreatedEntity>& entities,
 
 std::vector<Detection> NewDetector::Detect(
     const std::vector<fusion::CreatedEntity>& entities) const {
+  util::trace::ScopedSpan span("newdetect.detect");
+  span.AddArg("entities", entities.size());
+  size_t new_entities = 0, matched = 0;
   std::vector<Detection> out;
   out.reserve(entities.size());
   for (const auto& entity : entities) {
@@ -324,8 +329,21 @@ std::vector<Detection> NewDetector::Detect(
         }
       }
     }
+    if (detection.is_new) {
+      ++new_entities;
+    } else if (detection.instance != kb::kInvalidInstance) {
+      ++matched;
+    }
     out.push_back(detection);
   }
+  span.AddArg("new", new_entities);
+  span.AddArg("matched", matched);
+  util::Metrics().GetCounter("ltee.newdetect.entities_scored")
+      .Increment(entities.size());
+  util::Metrics().GetCounter("ltee.newdetect.new_entities")
+      .Increment(new_entities);
+  util::Metrics().GetCounter("ltee.newdetect.matched_entities")
+      .Increment(matched);
   return out;
 }
 

@@ -4,8 +4,10 @@
 #include <iterator>
 #include <unordered_map>
 
+#include "util/metrics.h"
 #include "util/similarity.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace ltee::pipeline {
 
@@ -63,6 +65,8 @@ void Absorb(fusion::CreatedEntity* dst, const fusion::CreatedEntity& src) {
 DedupResult DeduplicateEntities(std::vector<fusion::CreatedEntity> entities,
                                 std::vector<newdetect::Detection> detections,
                                 const DedupOptions& options) {
+  util::trace::ScopedSpan span("pipeline.dedup");
+  span.AddArg("entities", entities.size());
   DedupResult result;
   // Block by normalized primary label to avoid the quadratic scan.
   std::unordered_map<std::string, std::vector<size_t>> by_label;
@@ -100,6 +104,9 @@ DedupResult DeduplicateEntities(std::vector<fusion::CreatedEntity> entities,
     result.entities.push_back(std::move(entities[e]));
     result.detections.push_back(detections[e]);
   }
+  span.AddArg("merges", static_cast<long long>(result.merges));
+  util::Metrics().GetCounter("ltee.dedup.merges").Increment(
+      static_cast<uint64_t>(result.merges));
   return result;
 }
 

@@ -2,7 +2,9 @@
 
 #include <ostream>
 
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace ltee::pipeline {
 
@@ -41,6 +43,8 @@ KbUpdateResult AddNewEntitiesToKb(
     kb::KnowledgeBase* kb, const std::vector<fusion::CreatedEntity>& entities,
     const std::vector<newdetect::Detection>& detections,
     const KbUpdateOptions& options) {
+  util::trace::ScopedSpan span("pipeline.kb_update");
+  span.AddArg("entities", entities.size());
   KbUpdateResult result;
   for (size_t e = 0; e < entities.size(); ++e) {
     if (!detections[e].is_new) continue;
@@ -56,6 +60,12 @@ KbUpdateResult AddNewEntitiesToKb(
     result.new_instance_ids.push_back(id);
     result.instances_added += 1;
   }
+  span.AddArg("instances_added", static_cast<long long>(result.instances_added));
+  span.AddArg("facts_added", static_cast<long long>(result.facts_added));
+  util::Metrics().GetCounter("ltee.kbupdate.instances_added")
+      .Increment(static_cast<uint64_t>(result.instances_added));
+  util::Metrics().GetCounter("ltee.kbupdate.facts_added")
+      .Increment(static_cast<uint64_t>(result.facts_added));
   return result;
 }
 

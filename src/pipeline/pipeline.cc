@@ -1,6 +1,8 @@
 #include "pipeline/pipeline.h"
 
 #include "util/logging.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace ltee::pipeline {
 
@@ -82,19 +84,38 @@ ClassRunResult LteePipeline::RunClass(const webtable::TableCorpus& corpus,
                                       const matching::SchemaMapping& mapping,
                                       kb::ClassId cls) const {
   const webtable::PreparedCorpus& prepared = Prepared(corpus);
+  util::trace::ScopedSpan span("pipeline.run_class");
+  span.AddArg("cls", static_cast<long long>(cls));
+  util::WallTimer class_timer;
   ClassRunResult result;
   result.cls = cls;
+
+  util::WallTimer stage_timer;
   result.rows = rowcluster::BuildClassRowSet(prepared, mapping, cls, *kb_,
                                              kb_index_, options_.row_features);
+  result.stage_seconds.push_back(
+      {"build_rows", stage_timer.ElapsedSeconds()});
+
+  stage_timer.Restart();
   const auto& clusterer = clusterers_.at(cls);
   auto clustering = clusterer.Cluster(result.rows);
   result.cluster_of_row = std::move(clustering.cluster_of);
   result.num_clusters = clustering.num_clusters;
+  result.stage_seconds.push_back({"cluster", stage_timer.ElapsedSeconds()});
 
+  stage_timer.Restart();
   result.entities = MakeEntityCreator().Create(result.rows,
                                                result.cluster_of_row, mapping,
                                                prepared);
+  result.stage_seconds.push_back({"fuse", stage_timer.ElapsedSeconds()});
+
+  stage_timer.Restart();
   result.detections = detectors_.at(cls).Detect(result.entities);
+  result.stage_seconds.push_back({"detect", stage_timer.ElapsedSeconds()});
+
+  result.total_seconds = class_timer.ElapsedSeconds();
+  span.AddArg("rows", result.rows.rows.size());
+  span.AddArg("clusters", static_cast<long long>(result.num_clusters));
   return result;
 }
 
@@ -128,35 +149,69 @@ PipelineRunResult LteePipeline::Run(
   matching::RowInstanceMap instances;
   matching::RowClusterMap clusters;
 
+  util::trace::ScopedSpan run_span("pipeline.run");
+  run_span.AddArg("classes", classes.size());
+  run_span.AddArg("iterations", static_cast<long long>(options_.iterations));
+  util::WallTimer run_timer;
+  util::WallTimer stage_timer;
+
   const webtable::PreparedCorpus& prepared = Prepared(corpus);
+  out.report.stages.push_back(
+      {"prepare_corpus", stage_timer.ElapsedSeconds()});
 
   for (int iteration = 0; iteration < options_.iterations; ++iteration) {
+    const std::string iter_suffix = ".iter" + std::to_string(iteration + 1);
     matching::SchemaMapping mapping;
-    if (iteration == 0) {
-      mapping = schema_first_->Match(prepared);
-    } else {
-      matching::MatcherFeedback feedback;
-      feedback.row_instances = &instances;
-      feedback.row_clusters = &clusters;
-      feedback.preliminary = &out.mappings.back();
-      mapping = schema_refined_->Match(prepared, feedback);
+    stage_timer.Restart();
+    {
+      util::trace::ScopedSpan match_span("pipeline.schema_match");
+      match_span.AddArg("iteration", static_cast<long long>(iteration + 1));
+      if (iteration == 0) {
+        mapping = schema_first_->Match(prepared);
+      } else {
+        matching::MatcherFeedback feedback;
+        feedback.row_instances = &instances;
+        feedback.row_clusters = &clusters;
+        feedback.preliminary = &out.mappings.back();
+        mapping = schema_refined_->Match(prepared, feedback);
+      }
     }
+    out.report.stages.push_back(
+        {"schema_match" + iter_suffix, stage_timer.ElapsedSeconds()});
 
     // Classes are independent given the mapping; run them on the pool and
     // collect into class order so feedback merging stays deterministic.
+    stage_timer.Restart();
     std::vector<ClassRunResult> class_results(classes.size());
-    util::ThreadPool* pool = nullptr;
     {
-      std::unique_lock<std::mutex> lock(prepared_mu_);
-      pool = &Pool();
+      util::trace::ScopedSpan classes_span("pipeline.class_sweep");
+      classes_span.AddArg("iteration", static_cast<long long>(iteration + 1));
+      util::ThreadPool* pool = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(prepared_mu_);
+        pool = &Pool();
+      }
+      pool->ParallelFor(classes.size(), [&](size_t i) {
+        class_results[i] = RunClass(corpus, mapping, classes[i]);
+      });
     }
-    pool->ParallelFor(classes.size(), [&](size_t i) {
-      class_results[i] = RunClass(corpus, mapping, classes[i]);
-    });
+    out.report.stages.push_back(
+        {"class_sweep" + iter_suffix, stage_timer.ElapsedSeconds()});
+    for (const ClassRunResult& result : class_results) {
+      ClassStageReport report;
+      report.cls = result.cls;
+      report.iteration = iteration + 1;
+      report.stages = result.stage_seconds;
+      report.total_seconds = result.total_seconds;
+      out.report.classes.push_back(std::move(report));
+    }
 
+    stage_timer.Restart();
     instances.clear();
     clusters.clear();
     CollectFeedback(class_results, &instances, &clusters);
+    out.report.stages.push_back(
+        {"collect_feedback" + iter_suffix, stage_timer.ElapsedSeconds()});
 
     out.mappings.push_back(std::move(mapping));
     if (iteration == options_.iterations - 1) {
@@ -164,6 +219,8 @@ PipelineRunResult LteePipeline::Run(
     }
     LTEE_LOG(kDebug) << "pipeline iteration " << (iteration + 1) << " done";
   }
+  out.report.total_seconds = run_timer.ElapsedSeconds();
+  out.report.metrics = util::Metrics().Snapshot();
   return out;
 }
 

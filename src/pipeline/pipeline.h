@@ -11,6 +11,7 @@
 #include "kb/knowledge_base.h"
 #include "matching/schema_matcher.h"
 #include "newdetect/new_detector.h"
+#include "pipeline/run_report.h"
 #include "rowcluster/row_clusterer.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -43,6 +44,10 @@ struct ClassRunResult {
   int num_clusters = 0;
   std::vector<fusion::CreatedEntity> entities;
   std::vector<newdetect::Detection> detections;
+  /// Wall time per stage of this class pass (build_rows, cluster, fuse,
+  /// detect), recorded by RunClass for the run report.
+  std::vector<StageTiming> stage_seconds;
+  double total_seconds = 0.0;
 };
 
 /// Output of a full multi-iteration run.
@@ -51,6 +56,10 @@ struct PipelineRunResult {
   std::vector<matching::SchemaMapping> mappings;
   /// Final-iteration class results.
   std::vector<ClassRunResult> classes;
+  /// Per-stage / per-class wall times and the metrics snapshot taken at
+  /// the end of the run (ignored by SummarizeRun, so golden summaries are
+  /// unaffected).
+  RunReport report;
 };
 
 /// The complete LTEE system (Figure 1): schema matching -> row clustering

@@ -1,0 +1,50 @@
+#include "pipeline/run_report.h"
+
+#include "util/json.h"
+
+namespace ltee::pipeline {
+
+namespace {
+
+void AppendStages(std::string* out, const std::vector<StageTiming>& stages) {
+  out->push_back('[');
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->append("{\"stage\":");
+    out->append(util::JsonQuote(stages[i].stage));
+    out->append(",\"seconds\":");
+    util::AppendJsonNumber(out, stages[i].seconds);
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+std::string RunReportToJson(const RunReport& report) {
+  std::string out;
+  out.append("{\"total_seconds\":");
+  util::AppendJsonNumber(&out, report.total_seconds);
+  out.append(",\"stages\":");
+  AppendStages(&out, report.stages);
+  out.append(",\"classes\":[");
+  for (size_t c = 0; c < report.classes.size(); ++c) {
+    const ClassStageReport& cls = report.classes[c];
+    if (c > 0) out.push_back(',');
+    out.append("{\"cls\":");
+    out.append(std::to_string(cls.cls));
+    out.append(",\"iteration\":");
+    out.append(std::to_string(cls.iteration));
+    out.append(",\"total_seconds\":");
+    util::AppendJsonNumber(&out, cls.total_seconds);
+    out.append(",\"stages\":");
+    AppendStages(&out, cls.stages);
+    out.push_back('}');
+  }
+  out.append("],\"metrics\":");
+  out.append(report.metrics.ToJson());
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace ltee::pipeline

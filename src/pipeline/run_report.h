@@ -1,0 +1,48 @@
+#ifndef LTEE_PIPELINE_RUN_REPORT_H_
+#define LTEE_PIPELINE_RUN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "util/metrics.h"
+
+namespace ltee::pipeline {
+
+/// Wall time of one named pipeline stage.
+struct StageTiming {
+  std::string stage;
+  double seconds = 0.0;
+};
+
+/// Stage timings of one class in one iteration of a Run.
+struct ClassStageReport {
+  kb::ClassId cls = kb::kInvalidClass;
+  int iteration = 0;
+  std::vector<StageTiming> stages;
+  double total_seconds = 0.0;
+};
+
+/// Structured per-run accounting attached to every PipelineRunResult:
+/// pipeline-level stage wall times (corpus preparation, each matching
+/// iteration, each parallel class sweep), per-class × per-stage wall
+/// times, and a snapshot of the process metrics registry taken when the
+/// run finished. The paper's Section 5 profiles the pipeline per class
+/// over ~17k tables; this is the machine-readable equivalent for our
+/// runs.
+struct RunReport {
+  std::vector<StageTiming> stages;
+  std::vector<ClassStageReport> classes;
+  double total_seconds = 0.0;
+  util::MetricsSnapshot metrics;
+};
+
+/// Serializes the report as one JSON object:
+/// {"total_seconds":..,"stages":[{"stage":..,"seconds":..},..],
+///  "classes":[{"cls":..,"iteration":..,"stages":[..]},..],
+///  "metrics":{"counters":..,"gauges":..,"histograms":..}}.
+std::string RunReportToJson(const RunReport& report);
+
+}  // namespace ltee::pipeline
+
+#endif  // LTEE_PIPELINE_RUN_REPORT_H_

@@ -1,6 +1,8 @@
 #include "pipeline/slot_filling.h"
 
 #include "types/type_similarity.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace ltee::pipeline {
 
@@ -8,6 +10,8 @@ SlotFillingResult FillSlots(
     const kb::KnowledgeBase& kb,
     const std::vector<fusion::CreatedEntity>& entities,
     const std::vector<newdetect::Detection>& detections) {
+  util::trace::ScopedSpan span("pipeline.slot_filling");
+  span.AddArg("entities", entities.size());
   SlotFillingResult result;
   const types::TypeSimilarityOptions sim_options;
   for (size_t e = 0; e < entities.size(); ++e) {
@@ -28,6 +32,14 @@ SlotFillingResult FillSlots(
       }
     }
   }
+  span.AddArg("new_facts", result.new_facts.size());
+  span.AddArg("conflicts", static_cast<long long>(result.conflicts));
+  util::Metrics().GetCounter("ltee.slotfill.new_facts")
+      .Increment(result.new_facts.size());
+  util::Metrics().GetCounter("ltee.slotfill.confirmations")
+      .Increment(static_cast<uint64_t>(result.confirmations));
+  util::Metrics().GetCounter("ltee.slotfill.conflicts")
+      .Increment(static_cast<uint64_t>(result.conflicts));
   return result;
 }
 

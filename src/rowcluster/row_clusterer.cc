@@ -9,7 +9,10 @@
 #include <unordered_map>
 
 #include "index/label_index.h"
+#include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace ltee::rowcluster {
 
@@ -178,7 +181,17 @@ void RowClusterer::Train(const ClassRowSet& rows,
 
 cluster::ClusteringResult RowClusterer::Cluster(
     const ClassRowSet& rows) const {
-  return ClusterWithOffset(rows, score_offset_);
+  cluster::ClusteringResult result = ClusterWithOffset(rows, score_offset_);
+  if (result.num_clusters > 0) {
+    std::vector<uint64_t> sizes(static_cast<size_t>(result.num_clusters), 0);
+    for (int c : result.cluster_of) {
+      if (c >= 0 && c < result.num_clusters) ++sizes[static_cast<size_t>(c)];
+    }
+    util::Histogram& hist = util::Metrics().GetHistogram(
+        "ltee.rowcluster.cluster_size", util::ExponentialBuckets(1.0, 2.0, 10));
+    for (uint64_t size : sizes) hist.Observe(static_cast<double>(size));
+  }
+  return result;
 }
 
 namespace {
@@ -194,6 +207,39 @@ inline size_t TriIndex(size_t i, size_t j, size_t n) {
 
 }  // namespace
 
+namespace {
+
+/// Call-local pair-cache tallies. Lookups bump these relaxed atomics (one
+/// shared struct per ClusterWithOffset call, so contention stays within
+/// that call's workers) and the totals are flushed to the registry once
+/// clustering finishes — the hot path never touches registry counters.
+struct PairCacheStats {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+};
+
+/// Flushes one call's tallies into `ltee.rowcluster.pair_cache.*` and
+/// refreshes the process-wide hit-ratio gauge.
+void FlushPairCacheStats(const PairCacheStats& stats) {
+  const uint64_t hits = stats.hits.load(std::memory_order_relaxed);
+  const uint64_t misses = stats.misses.load(std::memory_order_relaxed);
+  util::MetricsRegistry& metrics = util::Metrics();
+  util::Counter& hit_counter =
+      metrics.GetCounter("ltee.rowcluster.pair_cache.hits");
+  util::Counter& miss_counter =
+      metrics.GetCounter("ltee.rowcluster.pair_cache.misses");
+  hit_counter.Increment(hits);
+  miss_counter.Increment(misses);
+  const uint64_t total_hits = hit_counter.value();
+  const uint64_t total = total_hits + miss_counter.value();
+  if (total > 0) {
+    metrics.GetGauge("ltee.rowcluster.pair_cache.hit_ratio")
+        .Set(static_cast<double>(total_hits) / static_cast<double>(total));
+  }
+}
+
+}  // namespace
+
 cluster::ClusteringResult RowClusterer::ClusterWithOffset(
     const ClassRowSet& rows, double offset) const {
   RowMetricBank bank(rows, options_.enabled_metrics);
@@ -205,6 +251,10 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
                       1.0);
   };
 
+  util::trace::ScopedSpan span("rowcluster.cluster");
+  span.AddArg("rows", n);
+  auto stats = std::make_shared<PairCacheStats>();
+
   // The greedy and KLj phases revisit pairs many times. Each pair score is
   // a pure function of (i, j), so for moderate row counts a lazy dense
   // triangular cache serves repeat lookups lock-free: NaN marks "not yet
@@ -212,6 +262,20 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
   // value, so no synchronization beyond the atomic slot is needed.
   if (n >= 2 && n <= kDensePairLimit) {
     const size_t num_pairs = n * (n - 1) / 2;
+    const size_t dense_bytes = num_pairs * sizeof(std::atomic<double>);
+    span.AddArg("pair_cache", "dense");
+    span.AddArg("dense_bytes", dense_bytes);
+    util::Metrics()
+        .GetGauge("ltee.rowcluster.pair_cache.dense_bytes")
+        .Max(static_cast<double>(dense_bytes));
+    if (dense_bytes > options_.dense_cache_byte_budget) {
+      LTEE_LOG(kWarning) << "dense pair cache for " << n << " rows needs "
+                         << dense_bytes << " bytes, over the configured "
+                         << "budget of " << options_.dense_cache_byte_budget
+                         << " bytes; allocating anyway (raise "
+                         << "RowClustererOptions::dense_cache_byte_budget "
+                         << "to silence)";
+    }
     auto scores =
         std::make_shared<std::unique_ptr<std::atomic<double>[]>>(
             new std::atomic<double>[num_pairs]);
@@ -219,12 +283,16 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
       (*scores)[k].store(std::numeric_limits<double>::quiet_NaN(),
                          std::memory_order_relaxed);
     }
-    auto similarity = [scores, score_pair, n](int i, int j) -> double {
+    auto similarity = [scores, score_pair, stats, n](int i, int j) -> double {
       const size_t lo = static_cast<size_t>(std::min(i, j));
       const size_t hi = static_cast<size_t>(std::max(i, j));
       std::atomic<double>& slot = (*scores)[TriIndex(lo, hi, n)];
       double s = slot.load(std::memory_order_relaxed);
-      if (!std::isnan(s)) return s;
+      if (!std::isnan(s)) {
+        stats->hits.fetch_add(1, std::memory_order_relaxed);
+        return s;
+      }
+      stats->misses.fetch_add(1, std::memory_order_relaxed);
       // Caller argument order matters: ATTRIBUTE and IMPLICIT_ATT are not
       // perfectly symmetric, and the cached value has always been the one
       // computed at the pair's first encounter.
@@ -232,24 +300,32 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
       slot.store(s, std::memory_order_relaxed);
       return s;
     };
-    return cluster::ClusterCorrelation(n, similarity, blocks,
-                                       options_.clustering);
+    auto result = cluster::ClusterCorrelation(n, similarity, blocks,
+                                              options_.clustering);
+    FlushPairCacheStats(*stats);
+    span.AddArg("clusters", static_cast<long long>(result.num_clusters));
+    return result;
   }
 
   // Memoized, thread-safe pair score cache for large row sets.
+  span.AddArg("pair_cache", "hashed");
   struct Cache {
     std::unordered_map<uint64_t, double> scores;
     std::mutex mu;
   };
   auto cache = std::make_shared<Cache>();
-  auto similarity = [cache, score_pair](int i, int j) -> double {
+  auto similarity = [cache, score_pair, stats](int i, int j) -> double {
     const uint64_t key = (static_cast<uint64_t>(std::min(i, j)) << 32) |
                          static_cast<uint64_t>(std::max(i, j));
     {
       std::lock_guard<std::mutex> lock(cache->mu);
       auto it = cache->scores.find(key);
-      if (it != cache->scores.end()) return it->second;
+      if (it != cache->scores.end()) {
+        stats->hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
     }
+    stats->misses.fetch_add(1, std::memory_order_relaxed);
     const double score = score_pair(i, j);
     {
       std::lock_guard<std::mutex> lock(cache->mu);
@@ -258,8 +334,11 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
     return score;
   };
 
-  return cluster::ClusterCorrelation(n, similarity, blocks,
-                                     options_.clustering);
+  auto result = cluster::ClusterCorrelation(n, similarity, blocks,
+                                            options_.clustering);
+  FlushPairCacheStats(*stats);
+  span.AddArg("clusters", static_cast<long long>(result.num_clusters));
+  return result;
 }
 
 }  // namespace ltee::rowcluster

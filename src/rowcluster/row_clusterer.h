@@ -21,6 +21,11 @@ struct RowClustererOptions {
   bool enable_blocking = true;
   /// Cap on training pairs sampled per class.
   size_t max_training_pairs = 20000;
+  /// Byte budget for the lazy dense pair-score cache. Exceeding it only
+  /// logs a warning (the cache is still allocated — correctness does not
+  /// depend on the budget), and the footprint is exported as the
+  /// `ltee.rowcluster.pair_cache.dense_bytes` gauge.
+  size_t dense_cache_byte_budget = 64u << 20;
 };
 
 /// Row clustering (Section 3.2): a learned aggregation of six similarity

@@ -5,7 +5,9 @@
 #include <unordered_map>
 
 #include "types/type_similarity.h"
+#include "util/metrics.h"
 #include "util/similarity.h"
+#include "util/trace.h"
 
 namespace ltee::rowcluster {
 
@@ -38,6 +40,8 @@ constexpr size_t kMaxLabelVocab = 2048;
 RowMetricBank::RowMetricBank(const ClassRowSet& rows,
                              std::vector<bool> enabled)
     : rows_(&rows), enabled_(std::move(enabled)) {
+  util::trace::ScopedSpan span("rowcluster.metric_bank");
+  span.AddArg("rows", rows.rows.size());
   enabled_.resize(kNumRowMetrics, false);
   for (bool b : enabled_) num_enabled_ += b ? 1 : 0;
 
@@ -64,6 +68,9 @@ RowMetricBank::RowMetricBank(const ClassRowSet& rows,
       for (const auto& [id, local] : local_of) {
         token_str[local] = rows.dict->token(id);
       }
+      util::Metrics()
+          .GetGauge("ltee.rowcluster.metric_bank.token_sim_bytes")
+          .Max(static_cast<double>(vocab_ * vocab_ * sizeof(double)));
       token_sim_.assign(vocab_ * vocab_, 1.0);
       for (size_t x = 0; x < vocab_; ++x) {
         for (size_t y = x + 1; y < vocab_; ++y) {
@@ -78,6 +85,9 @@ RowMetricBank::RowMetricBank(const ClassRowSet& rows,
 
   if (enabled_[static_cast<int>(RowMetric::kPhi)]) {
     num_tables_ = rows.table_phi.size();
+    util::Metrics()
+        .GetGauge("ltee.rowcluster.metric_bank.phi_sim_bytes")
+        .Max(static_cast<double>(num_tables_ * num_tables_ * sizeof(double)));
     phi_sim_.assign(num_tables_ * num_tables_, 0.0);
     // Both ordered directions are computed: CosineSparse accumulates the
     // dot product over whichever map it iterates first, so (x, y) and
@@ -89,6 +99,8 @@ RowMetricBank::RowMetricBank(const ClassRowSet& rows,
       }
     }
   }
+  span.AddArg("label_vocab", vocab_);
+  span.AddArg("phi_tables", num_tables_);
 }
 
 double RowMetricBank::LabelSimilarity(int i, int j) const {

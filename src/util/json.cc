@@ -1,0 +1,240 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace ltee::util {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  AppendJsonEscaped(&out, s);
+  out.push_back('"');
+  return out;
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+namespace {
+
+/// Recursive-descent JSON validator over a string_view. Tracks position;
+/// every Parse* returns false after recording an error.
+class Validator {
+ public:
+  explicit Validator(std::string_view s) : s_(s) {}
+
+  bool Validate(std::string* error) {
+    SkipWs();
+    if (!ParseValue()) {
+      if (error != nullptr) {
+        *error = error_ + " at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    SkipWs();
+    if (pos_ != s_.size()) {
+      if (error != nullptr) {
+        *error = "trailing data at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const char* message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue() {
+    if (++depth_ > 256) return Fail("nesting too deep");
+    bool ok;
+    if (pos_ >= s_.size()) {
+      ok = Fail("unexpected end of input");
+    } else {
+      switch (s_[pos_]) {
+        case '{': ok = ParseObject(); break;
+        case '[': ok = ParseArray(); break;
+        case '"': ok = ParseString(); break;
+        case 't': ok = ParseLiteral("true"); break;
+        case 'f': ok = ParseLiteral("false"); break;
+        case 'n': ok = ParseLiteral("null"); break;
+        default: ok = ParseNumber(); break;
+      }
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool ParseLiteral(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return Fail("invalid literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseObject() {
+    Eat('{');
+    SkipWs();
+    if (Eat('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      if (!ParseString()) return false;
+      SkipWs();
+      if (!Eat(':')) return Fail("expected ':'");
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray() {
+    Eat('[');
+    SkipWs();
+    if (Eat(']')) return true;
+    for (;;) {
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString() {
+    Eat('"');
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return Fail("dangling escape");
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (pos_ + k >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_ + k]))) {
+              return Fail("invalid \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("invalid escape");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    Eat('-');
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      return Fail("invalid number");
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Eat('.')) {
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Fail("digit expected after '.'");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Fail("digit expected in exponent");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonIsValid(std::string_view s, std::string* error) {
+  return Validator(s).Validate(error);
+}
+
+}  // namespace ltee::util

@@ -1,0 +1,29 @@
+#ifndef LTEE_UTIL_JSON_H_
+#define LTEE_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace ltee::util {
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters). Does not add the surrounding quotes.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// `s` escaped as above, surrounded by double quotes.
+std::string JsonQuote(std::string_view s);
+
+/// Appends a double as a valid JSON number (JSON has no NaN/Infinity;
+/// those are emitted as null).
+void AppendJsonNumber(std::string* out, double v);
+
+/// Minimal RFC 8259 validity check: returns true iff `s` is exactly one
+/// well-formed JSON value (with surrounding whitespace allowed). Used by
+/// trace/metrics round-trip tests and the validate_trace tool — this is a
+/// validator, not a DOM parser. On failure, `error` (when non-null)
+/// receives a short description with the byte offset.
+bool JsonIsValid(std::string_view s, std::string* error = nullptr);
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_JSON_H_

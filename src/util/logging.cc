@@ -1,12 +1,26 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 namespace ltee::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("LTEE_LOG_LEVEL");
+  if (env != nullptr) {
+    if (auto parsed = ParseLogLevel(env); parsed.has_value()) return *parsed;
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{LevelFromEnv()};
+
 const char* LevelName(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -16,15 +30,55 @@ const char* LevelName(LogLevel l) {
   }
   return "?";
 }
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
-namespace internal {
-void Emit(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+std::optional<LogLevel> ParseLogLevel(std::string_view s) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (char c : s) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return std::nullopt;
 }
+
+uint32_t StableThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+namespace internal {
+
+void Emit(LogLevel level, const std::string& message) {
+  // ISO-8601 UTC timestamp with millisecond precision.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  char stamp[80];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  std::fprintf(stderr, "%s [%s] [t%u] %s\n", stamp, LevelName(level),
+               StableThreadId(), message.c_str());
+}
+
 }  // namespace internal
 
 }  // namespace ltee::util

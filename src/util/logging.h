@@ -1,16 +1,29 @@
 #ifndef LTEE_UTIL_LOGGING_H_
 #define LTEE_UTIL_LOGGING_H_
 
+#include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ltee::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted to stderr. Defaults to kInfo.
+/// Sets the minimum level that is emitted to stderr. Defaults to kInfo,
+/// overridable at process start with the LTEE_LOG_LEVEL environment
+/// variable (debug|info|warning|error or 0-3, case-insensitive).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name or digit as accepted by LTEE_LOG_LEVEL.
+std::optional<LogLevel> ParseLogLevel(std::string_view s);
+
+/// Small dense id of the calling thread, stable for the thread's lifetime
+/// (also stamped onto every emitted log line). Not the OS tid: ids start
+/// at 1 in first-use order, so they stay readable in logs and traces.
+uint32_t StableThreadId();
 
 namespace internal {
 void Emit(LogLevel level, const std::string& message);

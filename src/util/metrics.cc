@@ -1,0 +1,160 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+#include "util/json.h"
+
+namespace ltee::util {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out.append("{\"counters\":{");
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(JsonQuote(counters[i].first));
+    out.push_back(':');
+    out.append(std::to_string(counters[i].second));
+  }
+  out.append("},\"gauges\":{");
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(JsonQuote(gauges[i].first));
+    out.push_back(':');
+    AppendJsonNumber(&out, gauges[i].second);
+  }
+  out.append("},\"histograms\":{");
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramData& h = histograms[i];
+    if (i > 0) out.push_back(',');
+    out.append(JsonQuote(h.name));
+    out.append(":{\"bounds\":[");
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      AppendJsonNumber(&out, h.bounds[b]);
+    }
+    out.append("],\"buckets\":[");
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      out.append(std::to_string(h.buckets[b]));
+    }
+    out.append("],\"count\":");
+    out.append(std::to_string(h.count));
+    out.append(",\"sum\":");
+    AppendJsonNumber(&out, h.sum);
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData h;
+    h.name = name;
+    h.bounds = histogram->bounds();
+    h.buckets.resize(h.bounds.size() + 1);
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      h.buckets[i] = histogram->bucket_count(i);
+    }
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& Metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace ltee::util

@@ -1,0 +1,132 @@
+#ifndef LTEE_UTIL_METRICS_H_
+#define LTEE_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ltee::util {
+
+/// Monotonic event counter. The hot path is one relaxed atomic add; the
+/// exact cross-thread sum is recovered at snapshot time (relaxed ordering
+/// is sufficient because fetch_add is a read-modify-write — no increments
+/// are lost, only momentarily unordered).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, cache bytes, ratios).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  /// Raises the gauge to `v` if it is below (high-water marks).
+  void Max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency/size histogram. `bounds` are inclusive upper
+/// bounds; one implicit overflow bucket catches everything above the last
+/// bound. Observe is a bucket scan (bounds are few) plus two relaxed
+/// atomic adds — cheap enough for per-task thread-pool accounting.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_count(i) for i in [0, bounds().size()] — the last entry is the
+  /// overflow bucket.
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` exponentially growing bucket bounds starting at `start`.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramData> histograms;
+
+  /// Serializes as {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+};
+
+/// Thread-safe registry of named metrics. Metric names follow the
+/// `ltee.<component>.<name>` convention. Get* registers on first use and
+/// returns a reference that stays valid for the registry's lifetime, so
+/// callers hoist the lookup out of hot loops and pay only the atomic op
+/// per event afterwards.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `bounds` are used only when the histogram does not exist yet.
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every metric (tests and repeated CLI runs). Registered metric
+  /// objects stay alive — held references remain valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every component reports into.
+MetricsRegistry& Metrics();
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_METRICS_H_

@@ -1,16 +1,59 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace ltee::util {
+
+namespace {
+
+/// Pool-wide instrumentation, registered once and shared by every pool in
+/// the process (`ltee.threadpool.*`). References are hoisted here so the
+/// per-task cost is the atomic ops alone.
+struct PoolMetrics {
+  Counter& tasks_completed =
+      Metrics().GetCounter("ltee.threadpool.tasks_completed");
+  Gauge& queue_depth = Metrics().GetGauge("ltee.threadpool.queue_depth");
+  Gauge& queue_depth_peak =
+      Metrics().GetGauge("ltee.threadpool.queue_depth_peak");
+  Gauge& workers = Metrics().GetGauge("ltee.threadpool.workers");
+  /// Summed wall time spent inside tasks; utilization over an interval is
+  /// busy_seconds / (workers * interval).
+  Gauge& busy_seconds = Metrics().GetGauge("ltee.threadpool.busy_seconds");
+  Histogram& task_seconds = Metrics().GetHistogram(
+      "ltee.threadpool.task_seconds", ExponentialBuckets(1e-5, 4.0, 12));
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics* metrics = new PoolMetrics();
+  return *metrics;
+}
+
+/// Runs one dequeued task with latency/utilization accounting.
+void RunTimedTask(const std::function<void()>& task) {
+  PoolMetrics& metrics = GetPoolMetrics();
+  WallTimer timer;
+  task();
+  const double seconds = timer.ElapsedSeconds();
+  metrics.tasks_completed.Increment();
+  metrics.busy_seconds.Add(seconds);
+  metrics.task_seconds.Observe(seconds);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  GetPoolMetrics().workers.Set(static_cast<double>(num_threads));
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -28,6 +71,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push(std::move(task));
     ++in_flight_;
+    PoolMetrics& metrics = GetPoolMetrics();
+    metrics.queue_depth.Set(static_cast<double>(queue_.size()));
+    metrics.queue_depth_peak.Max(static_cast<double>(queue_.size()));
   }
   cv_task_.notify_one();
 }
@@ -101,8 +147,9 @@ bool ThreadPool::RunOneTask() {
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop();
+    GetPoolMetrics().queue_depth.Set(static_cast<double>(queue_.size()));
   }
-  task();
+  RunTimedTask(task);
   {
     std::unique_lock<std::mutex> lock(mu_);
     --in_flight_;
@@ -111,7 +158,8 @@ bool ThreadPool::RunOneTask() {
   return true;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  trace::SetCurrentThreadName("ltee-worker-" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> task;
     {
@@ -120,8 +168,9 @@ void ThreadPool::WorkerLoop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      GetPoolMetrics().queue_depth.Set(static_cast<double>(queue_.size()));
     }
-    task();
+    RunTimedTask(task);
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -42,7 +42,7 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   /// Pops and runs one queued task. Returns false if the queue was empty.
   bool RunOneTask();

@@ -1,0 +1,203 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <cstdio>
+#include <ostream>
+
+#include "util/json.h"
+
+namespace ltee::util::trace {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("LTEE_TRACE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+std::atomic<bool> g_enabled{EnabledFromEnv()};
+
+/// Nanoseconds since the first trace call (a process-wide steady epoch so
+/// spans from different threads share a time base).
+uint64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+/// Span storage of one thread. The registry keeps a shared_ptr so events
+/// survive the owning thread; `mu` is only ever contended by an export or
+/// Clear racing the owner's append.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+  std::string name;
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    b->tid = registry.next_tid++;
+    registry.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool IsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+ScopedSpan::ScopedSpan(std::string_view name, const char* category)
+    : enabled_(IsEnabled()) {
+  if (!enabled_) return;
+  event_.name.assign(name);
+  event_.category = category;
+  event_.start_ns = NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!enabled_) return;
+  event_.duration_ns = NowNs() - event_.start_ns;
+  ThreadBuffer& buffer = LocalBuffer();
+  event_.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event_));
+}
+
+void ScopedSpan::AddArg(std::string_view key, std::string_view value) {
+  if (!enabled_) return;
+  event_.args.emplace_back(std::string(key), std::string(value));
+}
+
+void ScopedSpan::AddArg(std::string_view key, long long value) {
+  if (!enabled_) return;
+  event_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+void ScopedSpan::AddArg(std::string_view key, unsigned long long value) {
+  if (!enabled_) return;
+  event_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+void ScopedSpan::AddArg(std::string_view key, double value) {
+  if (!enabled_) return;
+  std::string repr;
+  AppendJsonNumber(&repr, value);
+  event_.args.emplace_back(std::string(key), std::move(repr));
+}
+
+void SetCurrentThreadName(std::string name) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.name = std::move(name);
+}
+
+uint32_t CurrentThreadId() { return LocalBuffer().tid; }
+
+size_t EventCount() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  size_t total = 0;
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void Clear() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+namespace {
+
+void AppendEvent(std::string* out, const TraceEvent& event) {
+  out->append("{\"name\":");
+  out->append(JsonQuote(event.name));
+  out->append(",\"cat\":");
+  out->append(JsonQuote(event.category));
+  out->append(",\"ph\":\"X\",\"pid\":1,\"tid\":");
+  out->append(std::to_string(event.tid));
+  // Chrome timestamps are microseconds; keep nanosecond precision in the
+  // fraction.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                static_cast<double>(event.start_ns) / 1e3,
+                static_cast<double>(event.duration_ns) / 1e3);
+  out->append(buf);
+  if (!event.args.empty()) {
+    out->append(",\"args\":{");
+    for (size_t a = 0; a < event.args.size(); ++a) {
+      if (a > 0) out->push_back(',');
+      out->append(JsonQuote(event.args[a].first));
+      out->push_back(':');
+      out->append(JsonQuote(event.args[a].second));
+    }
+    out->push_back('}');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string ExportChromeTrace() {
+  BufferRegistry& registry = Registry();
+  std::string out;
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    if (!buffer->name.empty()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+      out.append(std::to_string(buffer->tid));
+      out.append(",\"args\":{\"name\":");
+      out.append(JsonQuote(buffer->name));
+      out.append("}}");
+    }
+    for (const TraceEvent& event : buffer->events) {
+      if (!first) out.push_back(',');
+      first = false;
+      AppendEvent(&out, event);
+    }
+  }
+  out.append("]}");
+  return out;
+}
+
+void ExportChromeTrace(std::ostream& out) { out << ExportChromeTrace(); }
+
+}  // namespace ltee::util::trace

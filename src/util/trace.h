@@ -1,0 +1,93 @@
+#ifndef LTEE_UTIL_TRACE_H_
+#define LTEE_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ltee::util::trace {
+
+/// Runtime switch. Off by default; initialized from the LTEE_TRACE
+/// environment variable at process start (any value except "" and "0"
+/// enables). When off, a ScopedSpan is one relaxed atomic load and two
+/// member stores — the instrumented hot paths are effectively free.
+void SetEnabled(bool enabled);
+bool IsEnabled();
+
+/// One completed span. Times are nanoseconds on the process-wide steady
+/// clock (zero at the first trace use), converted to microseconds in the
+/// Chrome export.
+struct TraceEvent {
+  std::string name;
+  const char* category = "ltee";
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// RAII span: records [construction, destruction) into the calling
+/// thread's buffer when tracing is enabled. Buffers are per thread — the
+/// append path takes a mutex only its owner thread ever contends for
+/// (exports lock it briefly), so spans on pool workers never serialize
+/// against each other.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, const char* category = "ltee");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key/value argument (shown in the Perfetto span details).
+  /// No-ops when the span is disabled.
+  void AddArg(std::string_view key, std::string_view value);
+  void AddArg(std::string_view key, long long value);
+  void AddArg(std::string_view key, unsigned long long value);
+  void AddArg(std::string_view key, double value);
+  void AddArg(std::string_view key, size_t value) {
+    AddArg(key, static_cast<unsigned long long>(value));
+  }
+  void AddArg(std::string_view key, int value) {
+    AddArg(key, static_cast<long long>(value));
+  }
+
+ private:
+  bool enabled_;
+  TraceEvent event_;
+};
+
+/// Names the calling thread in exported traces (Perfetto track label).
+/// The thread-pool workers call this with "ltee-worker-N".
+void SetCurrentThreadName(std::string name);
+
+/// Stable dense id of the calling thread, also used as the Chrome `tid`.
+uint32_t CurrentThreadId();
+
+/// Number of buffered events across all threads (alive or finished).
+size_t EventCount();
+
+/// Drops all buffered events (thread name registrations survive).
+void Clear();
+
+/// Serializes every buffered event as Chrome trace-event JSON — an object
+/// with a `traceEvents` array of complete ("ph":"X") events plus
+/// thread_name metadata — loadable in Perfetto / chrome://tracing.
+std::string ExportChromeTrace();
+void ExportChromeTrace(std::ostream& out);
+
+}  // namespace ltee::util::trace
+
+#define LTEE_TRACE_CONCAT_IMPL(a, b) a##b
+#define LTEE_TRACE_CONCAT(a, b) LTEE_TRACE_CONCAT_IMPL(a, b)
+
+/// Anonymous function-scope span covering the rest of the block.
+#define LTEE_TRACE_SPAN(name)                  \
+  ::ltee::util::trace::ScopedSpan LTEE_TRACE_CONCAT( \
+      ltee_trace_span_, __LINE__)(name)
+
+#endif  // LTEE_UTIL_TRACE_H_

@@ -4,7 +4,9 @@
 #include <unordered_set>
 
 #include "types/value_parser.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace ltee::webtable {
 
@@ -112,6 +114,9 @@ PreparedCorpus::PreparedCorpus(const TableCorpus& corpus,
                                std::shared_ptr<util::TokenDictionary> dict,
                                util::ThreadPool* pool)
     : corpus_(&corpus), dict_(std::move(dict)) {
+  util::trace::ScopedSpan span("webtable.prepare_corpus");
+  span.AddArg("tables", corpus.size());
+  span.AddArg("parallel", pool != nullptr ? "true" : "false");
   if (dict_ == nullptr) dict_ = std::make_shared<util::TokenDictionary>();
   tables_.resize(corpus.size());
   auto prepare_one = [this, &corpus](size_t t) {
@@ -123,6 +128,16 @@ PreparedCorpus::PreparedCorpus(const TableCorpus& corpus,
   } else {
     for (size_t t = 0; t < tables_.size(); ++t) prepare_one(t);
   }
+  size_t cells = 0;
+  for (const PreparedTable& table : tables_) cells += table.cells.size();
+  span.AddArg("cells", cells);
+  util::Metrics()
+      .GetCounter("ltee.prepared.tables")
+      .Increment(tables_.size());
+  util::Metrics().GetCounter("ltee.prepared.cells").Increment(cells);
+  util::Metrics()
+      .GetGauge("ltee.prepared.dict_tokens")
+      .Set(static_cast<double>(dict_->size()));
 }
 
 }  // namespace ltee::webtable

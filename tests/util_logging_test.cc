@@ -1,0 +1,95 @@
+// Tests of the logging layer: ISO-8601 timestamped stderr lines with
+// stable thread ids, level filtering, and LTEE_LOG_LEVEL parsing.
+
+#include "util/logging.h"
+
+#include <regex>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace ltee::util {
+namespace {
+
+bool ContainsPattern(const std::string& text, const std::string& pattern) {
+  return std::regex_search(text, std::regex(pattern));
+}
+
+/// Restores the process log level on scope exit so tests compose.
+struct LogLevelGuard {
+  LogLevel saved = GetLogLevel();
+  ~LogLevelGuard() { SetLogLevel(saved); }
+};
+
+TEST(LoggingTest, EmitsIso8601TimestampLevelAndThreadId) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  LTEE_LOG(kInfo) << "hello " << 42;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // e.g. "2026-08-07T12:34:56.789Z [INFO] [t1] hello 42"
+  EXPECT_TRUE(ContainsPattern(
+      out, "^\\d{4}-\\d{2}-\\d{2}T\\d{2}:\\d{2}:\\d{2}"
+           "\\.\\d{3}Z \\[INFO\\] \\[t\\d+\\] hello 42\n"))
+      << "got: " << out;
+}
+
+TEST(LoggingTest, LevelsBelowThresholdAreSuppressed) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  LTEE_LOG(kDebug) << "debug hidden";
+  LTEE_LOG(kInfo) << "info hidden";
+  LTEE_LOG(kWarning) << "warning shown";
+  LTEE_LOG(kError) << "error shown";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_TRUE(
+      ContainsPattern(out, "\\[WARN\\] \\[t\\d+\\] warning shown"))
+      << "got: " << out;
+  EXPECT_TRUE(
+      ContainsPattern(out, "\\[ERROR\\] \\[t\\d+\\] error shown"))
+      << "got: " << out;
+}
+
+TEST(LoggingTest, SuppressedLinesDoNotEvaluateStream) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  LTEE_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  LTEE_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndDigits) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("2"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("3"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("4"), std::nullopt);
+}
+
+TEST(LoggingTest, StableThreadIdsAreDistinctAndStable) {
+  const uint32_t mine = StableThreadId();
+  EXPECT_EQ(StableThreadId(), mine);
+  uint32_t other = 0;
+  std::thread t([&other] { other = StableThreadId(); });
+  t.join();
+  EXPECT_NE(other, 0u);
+  EXPECT_NE(other, mine);
+}
+
+}  // namespace
+}  // namespace ltee::util

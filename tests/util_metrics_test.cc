@@ -1,0 +1,133 @@
+// Tests of the metrics registry: exact cross-thread sums under concurrent
+// hammering, histogram bucketing, snapshot JSON validity and reference
+// stability across ResetAll.
+
+#include "util/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace ltee::util {
+namespace {
+
+TEST(MetricsTest, CounterConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, GaugeAddAndMaxConcurrent) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kPerThread);
+
+  Gauge high_water;
+  std::vector<std::thread> maxers;
+  for (int t = 0; t < kThreads; ++t) {
+    maxers.emplace_back([&high_water, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        high_water.Max(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : maxers) t.join();
+  EXPECT_DOUBLE_EQ(high_water.value(), kThreads * kPerThread - 1);
+}
+
+TEST(MetricsTest, HistogramConcurrentObservationsSumExactly) {
+  Histogram hist({1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Observe(static_cast<double>(i % 4) * 50.0);  // 0, 50, 100, 150
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(hist.count(), total);
+  // Values cycle 0,50,100,150: bucket <=1 gets 0s, <=100 gets 50s and
+  // 100s, overflow gets 150s.
+  EXPECT_EQ(hist.bucket_count(0), total / 4);
+  EXPECT_EQ(hist.bucket_count(1), 0u);
+  EXPECT_EQ(hist.bucket_count(2), total / 2);
+  EXPECT_EQ(hist.bucket_count(3), total / 4);
+  EXPECT_DOUBLE_EQ(hist.sum(), static_cast<double>(total) / 4.0 * 300.0);
+}
+
+TEST(MetricsTest, ExponentialBuckets) {
+  const auto bounds = ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferencesAndSnapshots) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("ltee.test.a");
+  Counter& a_again = registry.GetCounter("ltee.test.a");
+  EXPECT_EQ(&a, &a_again);
+  a.Increment(3);
+  registry.GetGauge("ltee.test.g").Set(1.5);
+  registry.GetHistogram("ltee.test.h", {1.0, 2.0}).Observe(1.5);
+
+  auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].first, "ltee.test.a");
+  EXPECT_EQ(snapshot.counters[0].second, 3u);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1u);
+
+  std::string error;
+  EXPECT_TRUE(JsonIsValid(snapshot.ToJson(), &error)) << error;
+
+  registry.ResetAll();
+  EXPECT_EQ(a.value(), 0u);  // same object, zeroed
+  a.Increment();             // held reference still valid
+  EXPECT_EQ(registry.Snapshot().counters[0].second, 1u);
+}
+
+TEST(MetricsTest, RegistryConcurrentGetAndIncrement) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Get inside the loop: exercises concurrent registration + lookup.
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.GetCounter("ltee.test.shared").Increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("ltee.test.shared").value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace ltee::util

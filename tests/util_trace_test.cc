@@ -1,0 +1,121 @@
+// Tests of the tracing layer: enable/disable semantics, span recording
+// from multiple threads, and Chrome trace-event JSON export validity.
+
+#include "util/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace ltee::util::trace {
+namespace {
+
+/// RAII guard: every test leaves tracing disabled and the buffers empty so
+/// unrelated tests in this binary are unaffected.
+struct TraceSandbox {
+  TraceSandbox() {
+    Clear();
+    SetEnabled(true);
+  }
+  ~TraceSandbox() {
+    SetEnabled(false);
+    Clear();
+  }
+};
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  Clear();
+  SetEnabled(false);
+  {
+    ScopedSpan span("should.not.appear");
+    span.AddArg("key", "value");
+  }
+  EXPECT_EQ(EventCount(), 0u);
+}
+
+TEST(TraceTest, RecordsSpansWithArgs) {
+  TraceSandbox sandbox;
+  {
+    ScopedSpan span("test.outer");
+    span.AddArg("text", "hello \"quoted\"");
+    span.AddArg("count", static_cast<long long>(42));
+    span.AddArg("ratio", 0.5);
+    ScopedSpan inner("test.inner");
+  }
+  EXPECT_EQ(EventCount(), 2u);
+
+  const std::string json = ExportChromeTrace();
+  std::string error;
+  ASSERT_TRUE(JsonIsValid(json, &error)) << error;
+  EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":\"42\""), std::string::npos);
+  EXPECT_NE(json.find("hello \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceTest, MacroAndThreadNames) {
+  TraceSandbox sandbox;
+  SetCurrentThreadName("trace-test-main");
+  { LTEE_TRACE_SPAN("test.macro_span"); }
+  const std::string json = ExportChromeTrace();
+  std::string error;
+  ASSERT_TRUE(JsonIsValid(json, &error)) << error;
+  EXPECT_NE(json.find("\"test.macro_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace-test-main\""), std::string::npos);
+}
+
+TEST(TraceTest, SpansFromManyThreadsAllSurvive) {
+  TraceSandbox sandbox;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      SetCurrentThreadName("trace-test-" + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span("test.threaded");
+        span.AddArg("i", static_cast<long long>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Buffers outlive their threads: every span must still be exported.
+  EXPECT_EQ(EventCount(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  const std::string json = ExportChromeTrace();
+  std::string error;
+  EXPECT_TRUE(JsonIsValid(json, &error)) << error;
+
+  // Distinct threads have distinct tids in the export.
+  EXPECT_NE(json.find("\"trace-test-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace-test-7\""), std::string::npos);
+}
+
+TEST(TraceTest, ClearDropsEvents) {
+  TraceSandbox sandbox;
+  { ScopedSpan span("test.cleared"); }
+  EXPECT_GT(EventCount(), 0u);
+  Clear();
+  EXPECT_EQ(EventCount(), 0u);
+}
+
+TEST(JsonTest, ValidatorAcceptsAndRejects) {
+  std::string error;
+  EXPECT_TRUE(JsonIsValid(R"({"a":[1,2.5,-3e4],"b":{"c":null},"d":"é"})",
+                          &error))
+      << error;
+  EXPECT_FALSE(JsonIsValid("{\"a\":}", &error));
+  EXPECT_FALSE(JsonIsValid("[1,2", &error));
+  EXPECT_FALSE(JsonIsValid("{} trailing", &error));
+  EXPECT_FALSE(JsonIsValid("{\"a\":01}", &error));
+}
+
+}  // namespace
+}  // namespace ltee::util::trace

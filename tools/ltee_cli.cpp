@@ -1,18 +1,28 @@
 // Command-line interface to the LTEE library: generate a synthetic
 // experiment environment to files, inspect knowledge bases and corpora,
-// and run the full pipeline over file-based inputs, exporting discovered
-// long-tail entities as RDF N-Triples.
+// and run the full pipeline over file-based inputs (or a default
+// synthetic dataset), exporting discovered long-tail entities as RDF
+// N-Triples plus optional observability artifacts.
 //
 // Usage:
 //   ltee_cli generate --out DIR [--scale S] [--seed N]
 //   ltee_cli stats --kb FILE | --corpus FILE
-//   ltee_cli run --kb FILE --corpus FILE --gs-corpus FILE --gold FILE
-//            [--ntriples FILE] [--min-facts N] [--dedup] [--seed N]
+//   ltee_cli run [--kb FILE --corpus FILE --gs-corpus FILE --gold FILE]
+//            [--scale S] [--ntriples FILE] [--min-facts N] [--dedup]
+//            [--seed N] [--trace-out FILE] [--metrics-out FILE]
+//            [--log-level LEVEL]
+//
+// Without the four input files, `run` builds the default synthetic
+// dataset in memory. --trace-out enables tracing and writes Chrome
+// trace-event JSON (open in Perfetto); --metrics-out writes the run
+// report (per-stage wall times + metrics snapshot) as JSON; --log-level
+// overrides LTEE_LOG_LEVEL.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "eval/gold_serialization.h"
@@ -20,8 +30,12 @@
 #include "pipeline/dedup.h"
 #include "pipeline/kb_update.h"
 #include "pipeline/pipeline.h"
+#include "pipeline/slot_filling.h"
 #include "pipeline/training.h"
 #include "synth/dataset.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "webtable/serialization.h"
 
 namespace {
@@ -49,9 +63,12 @@ int Usage() {
                "usage:\n"
                "  ltee_cli generate --out DIR [--scale S] [--seed N]\n"
                "  ltee_cli stats --kb FILE | --corpus FILE\n"
-               "  ltee_cli run --kb FILE --corpus FILE --gs-corpus FILE "
-               "--gold FILE [--ntriples FILE] [--min-facts N] [--dedup] "
-               "[--seed N]\n");
+               "  ltee_cli run [--kb FILE --corpus FILE --gs-corpus FILE "
+               "--gold FILE] [--scale S] [--ntriples FILE] [--min-facts N] "
+               "[--dedup] [--seed N] [--trace-out FILE] [--metrics-out FILE] "
+               "[--log-level debug|info|warning|error]\n"
+               "run uses the default synthetic dataset when the four input "
+               "files are omitted\n");
   return 2;
 }
 
@@ -139,20 +156,55 @@ int Stats(const std::map<std::string, std::string>& flags) {
 }
 
 int Run(const std::map<std::string, std::string>& flags) {
-  for (const char* required : {"kb", "corpus", "gs-corpus", "gold"}) {
-    if (!flags.count(required)) return Usage();
-  }
-  std::ifstream kb_in(flags.at("kb"));
-  auto kb = kb::LoadKnowledgeBase(kb_in);
-  std::ifstream corpus_in(flags.at("corpus"));
-  auto corpus = webtable::LoadCorpus(corpus_in);
-  std::ifstream gs_in(flags.at("gs-corpus"));
-  auto gs_corpus = webtable::LoadCorpus(gs_in);
-  std::ifstream gold_in(flags.at("gold"));
-  auto gold = eval::LoadGoldStandards(gold_in);
-  if (!kb || !corpus || !gs_corpus || !gold) {
-    std::fprintf(stderr, "failed to load inputs\n");
-    return 1;
+  // --trace-out implies tracing on (LTEE_TRACE=1 enables it without a
+  // flag; the export then has to be requested explicitly).
+  const bool want_trace = flags.count("trace-out") > 0;
+  if (want_trace) util::trace::SetEnabled(true);
+
+  const bool any_file = flags.count("kb") || flags.count("corpus") ||
+                        flags.count("gs-corpus") || flags.count("gold");
+  std::optional<synth::SyntheticDataset> dataset;
+  std::optional<kb::KnowledgeBase> kb_storage;
+  std::optional<webtable::TableCorpus> corpus_storage, gs_storage;
+  std::optional<std::vector<eval::GoldStandard>> gold_storage;
+  kb::KnowledgeBase* kb = nullptr;
+  const webtable::TableCorpus* corpus = nullptr;
+  const webtable::TableCorpus* gs_corpus = nullptr;
+  const std::vector<eval::GoldStandard>* gold = nullptr;
+
+  if (any_file) {
+    for (const char* required : {"kb", "corpus", "gs-corpus", "gold"}) {
+      if (!flags.count(required)) return Usage();
+    }
+    std::ifstream kb_in(flags.at("kb"));
+    kb_storage = kb::LoadKnowledgeBase(kb_in);
+    std::ifstream corpus_in(flags.at("corpus"));
+    corpus_storage = webtable::LoadCorpus(corpus_in);
+    std::ifstream gs_in(flags.at("gs-corpus"));
+    gs_storage = webtable::LoadCorpus(gs_in);
+    std::ifstream gold_in(flags.at("gold"));
+    gold_storage = eval::LoadGoldStandards(gold_in);
+    if (!kb_storage || !corpus_storage || !gs_storage || !gold_storage) {
+      std::fprintf(stderr, "failed to load inputs\n");
+      return 1;
+    }
+    kb = &*kb_storage;
+    corpus = &*corpus_storage;
+    gs_corpus = &*gs_storage;
+    gold = &*gold_storage;
+  } else {
+    synth::DatasetOptions dataset_options;
+    if (auto it = flags.find("scale"); it != flags.end()) {
+      dataset_options.scale = std::atof(it->second.c_str());
+    }
+    if (auto it = flags.find("seed"); it != flags.end()) {
+      dataset_options.seed = std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+    dataset = synth::BuildDataset(dataset_options);
+    kb = &dataset->kb;
+    corpus = &dataset->corpus;
+    gs_corpus = &dataset->gs_corpus;
+    gold = &dataset->gold;
   }
 
   uint64_t seed = 7;
@@ -184,7 +236,7 @@ int Run(const std::map<std::string, std::string>& flags) {
     }
   }
 
-  size_t total_new = 0, total_facts = 0;
+  size_t total_new = 0, total_facts = 0, total_slot_fills = 0;
   for (auto& class_run : run.classes) {
     std::vector<fusion::CreatedEntity> entities = class_run.entities;
     std::vector<newdetect::Detection> detections = class_run.detections;
@@ -196,30 +248,52 @@ int Run(const std::map<std::string, std::string>& flags) {
       detections = std::move(deduped.detections);
       merges = deduped.merges;
     }
-    size_t new_count = 0, facts = 0;
-    for (size_t e = 0; e < entities.size(); ++e) {
-      if (!detections[e].is_new ||
-          entities[e].facts.size() < update_options.min_facts) {
-        continue;
-      }
-      ++new_count;
-      facts += entities[e].facts.size();
-    }
-    std::printf("%-26s rows=%zu clusters=%d new=%zu facts=%zu merges=%zu\n",
-                kb->cls(class_run.cls).name.c_str(),
-                class_run.rows.rows.size(), class_run.num_clusters,
-                new_count, facts, merges);
-    total_new += new_count;
-    total_facts += facts;
     if (export_nt) {
       pipeline::ExportNTriples(*kb, entities, detections,
                                "http://ltee.example.org/", ntriples,
                                update_options);
     }
+    // Apply the run to the in-memory KB: fill slots of matched instances,
+    // then add the detected-new entities.
+    auto fills = pipeline::FillSlots(*kb, entities, detections);
+    total_slot_fills += pipeline::ApplySlotFills(kb, fills.new_facts);
+    auto update =
+        pipeline::AddNewEntitiesToKb(kb, entities, detections, update_options);
+    std::printf("%-26s rows=%zu clusters=%d new=%zu facts=%zu merges=%zu\n",
+                kb->cls(class_run.cls).name.c_str(),
+                class_run.rows.rows.size(), class_run.num_clusters,
+                update.instances_added, update.facts_added, merges);
+    total_new += update.instances_added;
+    total_facts += update.facts_added;
   }
-  std::printf("total: %zu new entities, %zu facts\n", total_new, total_facts);
+  std::printf("total: %zu new entities, %zu facts, %zu slot fills\n",
+              total_new, total_facts, total_slot_fills);
   if (export_nt) {
     std::printf("N-Triples written to %s\n", flags.at("ntriples").c_str());
+  }
+
+  if (auto it = flags.find("metrics-out"); it != flags.end()) {
+    // Re-snapshot so the post-run stages (dedup, slot filling, KB update)
+    // are part of the exported report.
+    run.report.metrics = util::Metrics().Snapshot();
+    std::ofstream out(it->second);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", it->second.c_str());
+      return 1;
+    }
+    out << pipeline::RunReportToJson(run.report) << "\n";
+    std::printf("metrics written to %s\n", it->second.c_str());
+  }
+  if (want_trace) {
+    const std::string& path = flags.at("trace-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    util::trace::ExportChromeTrace(out);
+    std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                path.c_str());
   }
   return 0;
 }
@@ -230,6 +304,14 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv, 2);
+  if (auto it = flags.find("log-level"); it != flags.end()) {
+    const auto level = ltee::util::ParseLogLevel(it->second);
+    if (!level) {
+      std::fprintf(stderr, "unknown log level '%s'\n", it->second.c_str());
+      return Usage();
+    }
+    ltee::util::SetLogLevel(*level);
+  }
   if (command == "generate") return Generate(flags);
   if (command == "stats") return Stats(flags);
   if (command == "run") return Run(flags);

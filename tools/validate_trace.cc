@@ -1,0 +1,111 @@
+// Observability smoke check, run as a ctest: executes the pipeline (plus
+// the dedup / slot-filling / KB-update post-stages) over a tiny synthetic
+// dataset with tracing force-enabled, then fails unless
+//   - the Chrome trace export is valid JSON,
+//   - every instrumented pipeline stage produced at least one span,
+//   - the metrics snapshot serializes to valid JSON and the thread-pool
+//     and pair-cache counters are non-zero.
+//
+// Exit code 0 on success; prints the first failure to stderr otherwise.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pipeline/dedup.h"
+#include "pipeline/kb_update.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/slot_filling.h"
+#include "pipeline/training.h"
+#include "synth/dataset.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace {
+
+using namespace ltee;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "validate_trace: FAIL: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  util::trace::SetEnabled(true);
+  util::trace::Clear();
+  util::trace::SetCurrentThreadName("validate-trace-main");
+
+  synth::DatasetOptions dataset_options;
+  dataset_options.scale = 0.004;
+  dataset_options.seed = 20190326;
+  auto dataset = synth::BuildDataset(dataset_options);
+
+  pipeline::PipelineOptions options;
+  pipeline::LteePipeline pipe(dataset.kb, options);
+  util::Rng rng(7);
+  pipeline::TrainPipelineOnGold(&pipe, dataset.gs_corpus, dataset.gold, rng);
+
+  std::vector<kb::ClassId> classes;
+  for (const auto& gs : dataset.gold) classes.push_back(gs.cls);
+  auto run = pipe.Run(dataset.corpus, classes);
+
+  // Post-pipeline stages so their spans are part of the validated trace.
+  // The dataset KB is mutated in place; the pipeline is not used after
+  // this point.
+  kb::KnowledgeBase& kb = dataset.kb;
+  for (const auto& class_run : run.classes) {
+    auto deduped = pipeline::DeduplicateEntities(class_run.entities,
+                                                 class_run.detections);
+    auto fills = pipeline::FillSlots(kb, deduped.entities, deduped.detections);
+    pipeline::ApplySlotFills(&kb, fills.new_facts);
+    pipeline::AddNewEntitiesToKb(&kb, deduped.entities, deduped.detections);
+  }
+
+  if (util::trace::EventCount() == 0) return Fail("no trace events recorded");
+
+  const std::string trace = util::trace::ExportChromeTrace();
+  std::string error;
+  if (!util::JsonIsValid(trace, &error)) {
+    return Fail("trace JSON invalid: " + error);
+  }
+
+  const char* required_spans[] = {
+      "webtable.prepare_corpus", "matching.schema_match",
+      "pipeline.schema_match",   "pipeline.class_sweep",
+      "pipeline.run_class",      "rowcluster.metric_bank",
+      "rowcluster.cluster",      "fusion.create",
+      "newdetect.detect",        "pipeline.dedup",
+      "pipeline.slot_filling",   "pipeline.kb_update",
+      "pipeline.run",
+  };
+  for (const char* span : required_spans) {
+    if (trace.find(std::string("\"") + span + "\"") == std::string::npos) {
+      return Fail(std::string("missing span: ") + span);
+    }
+  }
+
+  const auto snapshot = util::Metrics().Snapshot();
+  const std::string metrics_json = snapshot.ToJson();
+  if (!util::JsonIsValid(metrics_json, &error)) {
+    return Fail("metrics JSON invalid: " + error);
+  }
+  for (const char* counter :
+       {"ltee.threadpool.tasks_completed", "ltee.rowcluster.pair_cache.misses",
+        "ltee.prepared.tables", "ltee.fusion.entities_created"}) {
+    bool found = false;
+    for (const auto& [name, value] : snapshot.counters) {
+      if (name == counter && value > 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Fail(std::string("counter missing or zero: ") + counter);
+  }
+
+  std::printf("validate_trace: OK (%zu events, %zu bytes of trace JSON)\n",
+              util::trace::EventCount(), trace.size());
+  return 0;
+}
