@@ -8,6 +8,8 @@
 #include "rowcluster/row_metrics.h"
 
 int main() {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("ablation_aggregation");
   using namespace ltee;
   auto dataset = bench::MakeDataset(bench::kGoldScale);
 
@@ -31,8 +33,7 @@ int main() {
     std::printf("%-18s %8.2f %8.2f %8.2f\n", config.name,
                 metrics.penalized_precision, metrics.average_recall,
                 metrics.f1);
-    bench::EmitResult(std::string("ablation_aggregation.") + config.name,
-                      "f1", metrics.f1);
+    bench::EmitResult(std::string("ablation_aggregation.") + config.name, "f1", metrics.f1, "score");
   }
   std::printf("\npaper: weighted average F1 0.81, random forest 0.82, "
               "combined 0.83\n");

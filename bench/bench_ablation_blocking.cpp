@@ -7,6 +7,8 @@
 #include "rowcluster/row_metrics.h"
 
 int main() {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("ablation_blocking");
   using namespace ltee;
   auto dataset = bench::MakeDataset(bench::kGoldScale);
 
@@ -28,8 +30,8 @@ int main() {
                 metrics.f1, timer.ElapsedSeconds());
     const std::string name =
         std::string("ablation_blocking.") + (blocking ? "enabled" : "disabled");
-    bench::EmitResult(name, "f1", metrics.f1);
-    bench::EmitResult(name, "seconds", timer.ElapsedSeconds());
+    bench::EmitResult(name, "f1", metrics.f1, "score");
+    bench::EmitResult(name, "seconds", timer.ElapsedSeconds(), "seconds");
   }
   std::printf("\npaper: blocking yields no decrease in F1\n");
   return 0;

@@ -70,18 +70,24 @@ inline std::string ShortClassName(const std::string& name) {
 
 /// Machine-readable result line shared by every bench binary (the
 /// `BENCH_*.json` perf/metric trajectory format):
-///   {"bench":"<name>","metric":"<metric>","value":<v>}
+///   {"bench":"<name>","metric":"<metric>","value":<v>,"unit":"<unit>"}
 /// with an optional trailing "iters" field for iteration-normalized
-/// metrics. Lines go to stdout; keep human-readable tables around them —
-/// trajectory consumers select lines starting with `{"bench"`.
+/// metrics. The unit is mandatory so downstream thresholding
+/// (tools/bench_history + tools/report_diff) knows whether higher is a
+/// regression ("seconds", "ms", "ns") or an improvement ("f1", "ratio",
+/// "count", ...). Lines go to stdout; keep human-readable tables around
+/// them — trajectory consumers select lines starting with `{"bench"`.
 inline void EmitResult(const std::string& bench, const std::string& metric,
-                       double value, long long iters = -1) {
+                       double value, const std::string& unit,
+                       long long iters = -1) {
   std::string line = "{\"bench\":";
   line += util::JsonQuote(bench);
   line += ",\"metric\":";
   line += util::JsonQuote(metric);
   line += ",\"value\":";
   util::AppendJsonNumber(&line, value);
+  line += ",\"unit\":";
+  line += util::JsonQuote(unit);
   if (iters >= 0) {
     line += ",\"iters\":";
     line += std::to_string(iters);
@@ -90,6 +96,24 @@ inline void EmitResult(const std::string& bench, const std::string& metric,
   std::printf("%s\n", line.c_str());
   std::fflush(stdout);
 }
+
+/// Emits one `{"bench":<name>,"metric":"wall_ms",...}` line when it goes
+/// out of scope, timed on the steady (monotonic) clock. Every bench
+/// binary declares one at the top of main so the whole-binary wall time
+/// lands in the trajectory with a consistent name and unit.
+class ScopedWallClock {
+ public:
+  explicit ScopedWallClock(std::string bench) : bench_(std::move(bench)) {}
+  ~ScopedWallClock() {
+    EmitResult(bench_, "wall_ms", timer_.ElapsedMillis(), "ms");
+  }
+  ScopedWallClock(const ScopedWallClock&) = delete;
+  ScopedWallClock& operator=(const ScopedWallClock&) = delete;
+
+ private:
+  std::string bench_;
+  util::WallTimer timer_;
+};
 
 }  // namespace ltee::bench
 

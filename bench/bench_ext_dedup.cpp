@@ -11,6 +11,8 @@
 #include "pipeline/dedup.h"
 
 int main() {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("ext_dedup");
   using namespace ltee;
   auto dataset = bench::MakeDataset(bench::kCorpusScale);
 
@@ -63,10 +65,9 @@ int main() {
                                                  class_run.detections);
     const double after = report("*", deduped.entities, deduped.detections,
                                 class_run.cls, deduped.merges);
-    bench::EmitResult("ext_dedup." + cls, "ratio_before", before);
-    bench::EmitResult("ext_dedup." + cls, "ratio_after", after);
-    bench::EmitResult("ext_dedup." + cls, "merges",
-                      static_cast<double>(deduped.merges));
+    bench::EmitResult("ext_dedup." + cls, "ratio_before", before, "ratio");
+    bench::EmitResult("ext_dedup." + cls, "ratio_after", after, "ratio");
+    bench::EmitResult("ext_dedup." + cls, "merges", static_cast<double>(deduped.merges), "count");
   }
   std::printf("\n(* = after deduplication; paper Song matching ratio 1.39, "
               "ideal 1.0 — dedup should move each ratio toward 1)\n");

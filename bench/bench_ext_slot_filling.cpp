@@ -10,6 +10,8 @@
 #include "types/type_similarity.h"
 
 int main() {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("ext_slot_filling");
   using namespace ltee;
   auto dataset = bench::MakeDataset(bench::kCorpusScale);
 
@@ -60,9 +62,8 @@ int main() {
     std::printf("%-12s %10zu %14zu %10zu %10zu %10.2f\n", cls.c_str(),
                 result.new_facts.size(), result.confirmations,
                 result.conflicts, applied, accuracy);
-    bench::EmitResult("ext_slot_filling." + cls, "facts_applied",
-                      static_cast<double>(applied));
-    bench::EmitResult("ext_slot_filling." + cls, "fact_accuracy", accuracy);
+    bench::EmitResult("ext_slot_filling." + cls, "facts_applied", static_cast<double>(applied), "count");
+    bench::EmitResult("ext_slot_filling." + cls, "fact_accuracy", accuracy, "score");
   }
   std::printf("\npaper's predecessor slot-filling work [27]: F1 0.71; "
               "fact accuracy here should be comparable or better\n");

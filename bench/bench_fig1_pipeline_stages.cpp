@@ -7,6 +7,8 @@
 #include "bench_common.h"
 
 int main() {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("fig1_pipeline_stages");
   using namespace ltee;
   auto dataset = bench::MakeDataset(bench::kGoldScale);
 
@@ -76,9 +78,9 @@ int main() {
               instances.size(), clusters.size());
   std::printf("total pipeline wall time: %.1fs\n", elapsed);
 
-  bench::EmitResult("fig1", "pipeline_seconds", elapsed);
+  bench::EmitResult("fig1", "pipeline_seconds", elapsed, "seconds");
   for (const auto& stage : run.report.stages) {
-    bench::EmitResult("fig1", "stage_seconds." + stage.stage, stage.seconds);
+    bench::EmitResult("fig1", "stage_seconds." + stage.stage, stage.seconds, "seconds");
   }
   return 0;
 }

@@ -206,9 +206,7 @@ class JsonLineReporter : public benchmark::BenchmarkReporter {
         std::fprintf(stderr, "# ERROR %s\n", run.benchmark_name().c_str());
         continue;
       }
-      bench::EmitResult(run.benchmark_name(), "ns_per_iter",
-                        run.GetAdjustedRealTime(),
-                        static_cast<long long>(run.iterations));
+      bench::EmitResult(run.benchmark_name(), "ns_per_iter", run.GetAdjustedRealTime(), "ns", static_cast<long long>(run.iterations));
       std::fprintf(stderr, "%-40s %12.1f ns\n", run.benchmark_name().c_str(),
                    run.GetAdjustedRealTime());
     }
@@ -217,7 +215,7 @@ class JsonLineReporter : public benchmark::BenchmarkReporter {
 };
 
 void EmitSeconds(const char* name, double seconds) {
-  bench::EmitResult(name, "seconds", seconds);
+  bench::EmitResult(name, "seconds", seconds, "seconds");
   std::fprintf(stderr, "%-40s %12.3f s\n", name, seconds);
 }
 
@@ -272,6 +270,8 @@ void RunEndToEndTimings() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("micro_perf");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonLineReporter reporter;

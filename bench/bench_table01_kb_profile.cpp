@@ -6,6 +6,8 @@
 #include "bench_common.h"
 
 int main() {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("table01_kb_profile");
   using namespace ltee;
   auto dataset = bench::MakeDataset(bench::kCorpusScale);
 
@@ -22,10 +24,8 @@ int main() {
                 stats.instances == 0
                     ? 0.0
                     : static_cast<double>(stats.facts) / stats.instances);
-    bench::EmitResult("table01." + name, "instances",
-                      static_cast<double>(stats.instances));
-    bench::EmitResult("table01." + name, "facts",
-                      static_cast<double>(stats.facts));
+    bench::EmitResult("table01." + name, "instances", static_cast<double>(stats.instances), "count");
+    bench::EmitResult("table01." + name, "facts", static_cast<double>(stats.facts), "count");
   }
   std::printf("\npaper (full scale): GF-Player 20751/137319, "
               "Song 52533/315414, Settlement 468986/1444316\n");

@@ -9,6 +9,8 @@
 #include "bench_common.h"
 
 int main() {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("table02_property_density");
   using namespace ltee;
   auto dataset = bench::MakeDataset(bench::kCorpusScale);
 
@@ -36,8 +38,7 @@ int main() {
                   100.0 * stats[k].density,
                   100.0 * profile.properties[k].kb_density);
       bench::EmitResult("table02." + bench::ShortClassName(profile.name) +
-                            "." + profile.properties[k].name,
-                        "density", stats[k].density);
+                            "." + profile.properties[k].name, "density", stats[k].density, "ratio");
     }
   }
   return 0;

@@ -10,6 +10,8 @@
 #include "util/string_util.h"
 
 int main() {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("table04_value_correspondences");
   using namespace ltee;
   auto dataset = bench::MakeDataset(bench::kCorpusScale);
 
@@ -54,10 +56,8 @@ int main() {
     const std::string name = bench::ShortClassName(dataset.kb.cls(cls).name);
     std::printf("%-14s %10zu %12zu %12zu\n", name.c_str(), tables, matched,
                 unmatched);
-    bench::EmitResult("table04." + name, "matched_values",
-                      static_cast<double>(matched));
-    bench::EmitResult("table04." + name, "unmatched_values",
-                      static_cast<double>(unmatched));
+    bench::EmitResult("table04." + name, "matched_values", static_cast<double>(matched), "count");
+    bench::EmitResult("table04." + name, "unmatched_values", static_cast<double>(unmatched), "count");
   }
   std::printf("\npaper: GF-Player 10432/206847/35968, "
               "Song 58594/1315381/443194, Settlement 11757/82816/13735\n");

@@ -12,6 +12,8 @@
 #include "pipeline/profiling.h"
 
 int main() {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("table11_large_scale_profiling");
   using namespace ltee;
   auto dataset = bench::MakeDataset(bench::kCorpusScale);
 
@@ -20,7 +22,7 @@ int main() {
   auto result = pipeline::RunLargeScaleProfiling(dataset, options);
   const double elapsed = timer.ElapsedSeconds();
   std::printf("# full-corpus run took %.1fs\n\n", elapsed);
-  bench::EmitResult("table11", "run_seconds", elapsed);
+  bench::EmitResult("table11", "run_seconds", elapsed, "seconds");
 
   bench::PrintTitle("Table 11: Results of a system run on all tables "
                     "matched to a class (synthetic)");
@@ -53,12 +55,9 @@ int main() {
               "0.70/0.85; Settlement ratio 1.05, +1%%, 0.26/0.94\n");
   for (const auto& row : result.classes) {
     const std::string cls = bench::ShortClassName(row.class_name);
-    bench::EmitResult("table11." + cls, "new_entities",
-                      static_cast<double>(row.new_entities));
-    bench::EmitResult("table11." + cls, "new_entity_accuracy",
-                      row.new_entity_accuracy);
-    bench::EmitResult("table11." + cls, "new_fact_accuracy",
-                      row.new_fact_accuracy);
+    bench::EmitResult("table11." + cls, "new_entities", static_cast<double>(row.new_entities), "count");
+    bench::EmitResult("table11." + cls, "new_entity_accuracy", row.new_entity_accuracy, "score");
+    bench::EmitResult("table11." + cls, "new_fact_accuracy", row.new_fact_accuracy, "score");
   }
   return 0;
 }

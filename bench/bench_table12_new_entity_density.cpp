@@ -9,6 +9,8 @@
 #include "pipeline/profiling.h"
 
 int main() {
+  // Whole-binary wall time for the perf trajectory (steady clock).
+  ltee::bench::ScopedWallClock wall_clock("table12_new_entity_density");
   using namespace ltee;
   auto dataset = bench::MakeDataset(bench::kCorpusScale);
 
@@ -37,8 +39,7 @@ int main() {
                   100.0 * density.density, 100.0 * kb_density);
       bench::EmitResult("table12." +
                             bench::ShortClassName(class_row.class_name) + "." +
-                            density.property,
-                        "density", density.density);
+                            density.property, "density", density.density, "ratio");
     }
   }
   std::printf("\npaper (GF-Player): position 65.8%%, team 54.6%%, college "

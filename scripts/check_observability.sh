@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI job for the observability surface: builds the tree, runs every test
+# labelled `observability` (unit tests, the validate_trace smoke check and
+# the bench_regression gate), then appends a quick-bench data point to the
+# repo-level BENCH_history.json and diffs it against the seed entry so the
+# perf trajectory of the synthetic benchmarks is gated on every run.
+#
+# Usage: scripts/check_observability.sh [BUILD_DIR]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+ctest --test-dir "${BUILD_DIR}" -L observability --output-on-failure -j "$(nproc)"
+
+# Perf trajectory against the committed history: each CI run appends one
+# commit-stamped quick-bench entry and compares the newest entry with the
+# seed (first) entry. The generous threshold tolerates machine variance in
+# wall_ms while still catching order-of-magnitude regressions; the
+# deterministic count/score metrics gate at the defaults.
+"${BUILD_DIR}/tools/bench_history" --quick \
+    --bench-dir "${BUILD_DIR}/bench" \
+    --out "${REPO_ROOT}/BENCH_history.json"
+"${BUILD_DIR}/tools/report_diff" \
+    --history "${REPO_ROOT}/BENCH_history.json" --against-seed \
+    --threshold 100
+
+echo "check_observability: OK"

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "types/type_similarity.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/similarity.h"
 #include "util/string_util.h"
@@ -238,8 +239,9 @@ struct MatcherCounters {
   std::array<util::Counter*, kNumMatchers> applicable;
   MatcherCounters() {
     for (int i = 0; i < kNumMatchers; ++i) {
-      const std::string base = std::string("ltee.matching.matcher.") +
-                               MatcherName(static_cast<MatcherId>(i));
+      const std::string base =
+          std::string("ltee.matching.matcher.") +
+          util::SanitizeMetricSegment(MatcherName(static_cast<MatcherId>(i)));
       runs[i] = &util::Metrics().GetCounter(base + ".runs");
       applicable[i] = &util::Metrics().GetCounter(base + ".applicable");
     }

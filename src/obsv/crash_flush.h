@@ -1,0 +1,30 @@
+#ifndef LTEE_OBSV_CRASH_FLUSH_H_
+#define LTEE_OBSV_CRASH_FLUSH_H_
+
+#include <string>
+
+namespace ltee::obsv {
+
+/// Arms emergency flushing of the observability artifacts: when the
+/// process terminates before DisarmCrashFlush — an uncaught exception
+/// reaching std::terminate, or plain exit() from an error path — the
+/// current span buffers are written to `trace_path` and a
+/// RunReport-shaped JSON object (`"aborted":true`, empty stages, the
+/// live metrics snapshot) to `metrics_path`. Without this, a pipeline
+/// that throws mid-run silently produces no --trace-out/--metrics-out
+/// files at all, which is precisely when you want them most.
+///
+/// Either path may be empty (that artifact is skipped). Re-arming
+/// replaces the previous paths. The handlers write exactly once.
+void ArmCrashFlush(std::string trace_path, std::string metrics_path);
+
+/// Disarms the emergency flush; the normal export path has run.
+void DisarmCrashFlush();
+
+/// Immediately performs the armed flush (idempotent; used by the
+/// handlers and by tests). Returns true when anything was written.
+bool CrashFlushNow();
+
+}  // namespace ltee::obsv
+
+#endif  // LTEE_OBSV_CRASH_FLUSH_H_

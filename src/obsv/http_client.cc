@@ -1,0 +1,83 @@
+#include "obsv/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace ltee::obsv {
+
+bool HttpGet(uint16_t port, const std::string& path, int* status,
+             std::string* body, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (error != nullptr) *error = "send failed";
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 <status> ..." then headers up to the blank line.
+  if (response.rfind("HTTP/", 0) != 0) {
+    if (error != nullptr) *error = "malformed response";
+    return false;
+  }
+  const size_t space = response.find(' ');
+  if (space == std::string::npos) {
+    if (error != nullptr) *error = "malformed status line";
+    return false;
+  }
+  *status = std::atoi(response.c_str() + space + 1);
+  size_t head_end = response.find("\r\n\r\n");
+  size_t body_start;
+  if (head_end != std::string::npos) {
+    body_start = head_end + 4;
+  } else {
+    head_end = response.find("\n\n");
+    if (head_end == std::string::npos) {
+      if (error != nullptr) *error = "no header terminator";
+      return false;
+    }
+    body_start = head_end + 2;
+  }
+  *body = response.substr(body_start);
+  return true;
+}
+
+}  // namespace ltee::obsv

@@ -1,0 +1,19 @@
+#ifndef LTEE_OBSV_HTTP_CLIENT_H_
+#define LTEE_OBSV_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ltee::obsv {
+
+/// Minimal blocking HTTP/1.1 GET against localhost — the counterpart of
+/// HttpServer, used by the endpoint round-trip tests and validate_trace
+/// so they exercise the real socket path rather than calling handlers
+/// directly. Returns false when the connection fails; on success fills
+/// `status` and `body` (headers are parsed away).
+bool HttpGet(uint16_t port, const std::string& path, int* status,
+             std::string* body, std::string* error = nullptr);
+
+}  // namespace ltee::obsv
+
+#endif  // LTEE_OBSV_HTTP_CLIENT_H_

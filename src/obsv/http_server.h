@@ -1,0 +1,71 @@
+#ifndef LTEE_OBSV_HTTP_SERVER_H_
+#define LTEE_OBSV_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace ltee::obsv {
+
+/// Response of one handler invocation.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// GET-path handler. Handlers run on the server's worker pool and must be
+/// thread-safe; the query string (anything after '?') is stripped before
+/// dispatch.
+using HttpHandler = std::function<HttpResponse()>;
+
+/// Dependency-free blocking HTTP/1.1 server for the introspection
+/// endpoints: one accept thread, connections dispatched onto a small
+/// util::ThreadPool, one request per connection (`Connection: close`).
+/// This deliberately is not a general web server — no keep-alive, no
+/// request bodies, no TLS — just enough protocol for `curl` and a
+/// Prometheus scraper to read a running pipeline.
+class HttpServer {
+ public:
+  HttpServer();
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match GETs on `path`. Must be called
+  /// before Start.
+  void Handle(std::string path, HttpHandler handler);
+
+  /// Binds 0.0.0.0:`port` (0 picks a free port) and starts serving.
+  /// Returns false (with a message in `error`) when the socket cannot be
+  /// bound. On success, port() reports the actual listening port.
+  bool Start(uint16_t port, std::string* error = nullptr);
+
+  /// Stops accepting, drains in-flight requests and joins the accept
+  /// thread. Safe to call repeatedly; the destructor calls it too.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, HttpHandler> handlers_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace ltee::obsv
+
+#endif  // LTEE_OBSV_HTTP_SERVER_H_

@@ -1,0 +1,335 @@
+#include "obsv/span_analytics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/json.h"
+#include "util/json_parse.h"
+
+namespace ltee::obsv {
+
+namespace {
+
+/// One complete span after parsing (B/E pairs already folded).
+struct Span {
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  double tid = 0.0;
+  std::string cls;       // "cls" argument when present
+  double child_us = 0.0; // filled by the nesting pass
+  double end_us() const { return start_us + dur_us; }
+};
+
+bool ExtractEvents(const util::JsonValue& doc, std::vector<Span>* spans,
+                   std::string* error) {
+  const util::JsonValue* events = doc.Find("traceEvents");
+  if (!doc.is_object() || events == nullptr || !events->is_array()) {
+    if (error != nullptr) {
+      *error = "not a Chrome trace: missing traceEvents array";
+    }
+    return false;
+  }
+  // Per-tid stack of open "B" events, folded into complete spans on "E".
+  std::map<double, std::vector<Span>> open;
+  for (size_t i = 0; i < events->items().size(); ++i) {
+    const util::JsonValue& event = events->items()[i];
+    if (!event.is_object()) {
+      if (error != nullptr) {
+        *error = "traceEvents[" + std::to_string(i) + "] is not an object";
+      }
+      return false;
+    }
+    const std::string ph = event.StringOr("ph", "");
+    if (ph == "M") continue;  // metadata (thread names)
+    if (ph == "X" || ph == "B") {
+      const util::JsonValue* ts = event.Find("ts");
+      if (ts == nullptr || !ts->is_number()) {
+        if (error != nullptr) {
+          *error = "traceEvents[" + std::to_string(i) + "] ('" + ph +
+                   "') has no numeric ts";
+        }
+        return false;
+      }
+      Span span;
+      span.name = event.StringOr("name", "");
+      span.start_us = ts->as_number();
+      span.tid = event.NumberOr("tid", 0.0);
+      if (const util::JsonValue* args = event.Find("args");
+          args != nullptr && args->is_object()) {
+        span.cls = args->StringOr("cls", "");
+      }
+      if (ph == "X") {
+        const util::JsonValue* dur = event.Find("dur");
+        if (dur == nullptr || !dur->is_number()) {
+          if (error != nullptr) {
+            *error = "traceEvents[" + std::to_string(i) +
+                     "] ('X') has no numeric dur";
+          }
+          return false;
+        }
+        span.dur_us = dur->as_number();
+        spans->push_back(std::move(span));
+      } else {
+        open[span.tid].push_back(std::move(span));
+      }
+    } else if (ph == "E") {
+      const double tid = event.NumberOr("tid", 0.0);
+      auto it = open.find(tid);
+      if (it == open.end() || it->second.empty()) {
+        if (error != nullptr) {
+          *error = "traceEvents[" + std::to_string(i) +
+                   "]: 'E' without matching 'B' on tid " +
+                   std::to_string(static_cast<long long>(tid));
+        }
+        return false;
+      }
+      Span span = std::move(it->second.back());
+      it->second.pop_back();
+      const std::string end_name = event.StringOr("name", "");
+      if (!end_name.empty() && end_name != span.name) {
+        if (error != nullptr) {
+          *error = "traceEvents[" + std::to_string(i) + "]: 'E' name '" +
+                   end_name + "' does not match open 'B' '" + span.name +
+                   "'";
+        }
+        return false;
+      }
+      span.dur_us = event.NumberOr("ts", span.start_us) - span.start_us;
+      spans->push_back(std::move(span));
+    }
+    // Other phases (counters, instants, flows) are ignored.
+  }
+  for (const auto& [tid, stack] : open) {
+    if (!stack.empty()) {
+      if (error != nullptr) {
+        *error = "unbalanced trace: 'B' span '" + stack.back().name +
+                 "' on tid " +
+                 std::to_string(static_cast<long long>(tid)) +
+                 " never ends";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(q * (sorted.size() - 1));
+  return sorted[index];
+}
+
+}  // namespace
+
+bool ValidateChromeTrace(std::string_view json, std::string* error) {
+  util::JsonValue doc;
+  if (!util::ParseJson(json, &doc, error)) {
+    if (error != nullptr) *error = "invalid JSON: " + *error;
+    return false;
+  }
+  std::vector<Span> spans;
+  return ExtractEvents(doc, &spans, error);
+}
+
+bool AnalyzeChromeTrace(std::string_view json, TraceAnalysis* analysis,
+                        std::string* error) {
+  util::JsonValue doc;
+  if (!util::ParseJson(json, &doc, error)) {
+    if (error != nullptr) *error = "invalid JSON: " + *error;
+    return false;
+  }
+  std::vector<Span> spans;
+  if (!ExtractEvents(doc, &spans, error)) return false;
+
+  *analysis = TraceAnalysis();
+  analysis->num_events = spans.size();
+  if (spans.empty()) return true;
+
+  // Nesting pass per thread: parents sort before their children (earlier
+  // start, or same start with longer duration), so a stack of enclosing
+  // spans yields each span's direct parent in O(n log n).
+  std::map<double, std::vector<Span*>> by_tid;
+  for (Span& span : spans) by_tid[span.tid].push_back(&span);
+
+  std::map<std::string, std::map<std::string, double>> class_stage_ms;
+  std::map<std::string, std::map<std::string, double>> class_stage_first;
+  std::map<std::string, double> class_total_ms, class_child_ms;
+
+  double min_start = spans.front().start_us, max_end = spans.front().end_us();
+  for (auto& [tid, list] : by_tid) {
+    std::sort(list.begin(), list.end(), [](const Span* a, const Span* b) {
+      if (a->start_us != b->start_us) return a->start_us < b->start_us;
+      return a->dur_us > b->dur_us;
+    });
+    std::vector<Span*> stack;
+    for (Span* span : list) {
+      min_start = std::min(min_start, span->start_us);
+      max_end = std::max(max_end, span->end_us());
+      while (!stack.empty() && stack.back()->end_us() <= span->start_us) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        Span* parent = stack.back();
+        parent->child_us += span->dur_us;
+        if (parent->name == "pipeline.run_class") {
+          const std::string& cls = parent->cls;
+          auto& first = class_stage_first[cls];
+          if (first.find(span->name) == first.end()) {
+            first[span->name] = span->start_us;
+          } else {
+            first[span->name] =
+                std::min(first[span->name], span->start_us);
+          }
+          class_stage_ms[cls][span->name] += span->dur_us / 1e3;
+          class_child_ms[cls] += span->dur_us / 1e3;
+        }
+      }
+      stack.push_back(span);
+    }
+  }
+
+  std::map<std::string, SpanStats> stats;
+  std::map<std::string, std::vector<double>> durations;
+  for (const Span& span : spans) {
+    SpanStats& s = stats[span.name];
+    s.name = span.name;
+    ++s.count;
+    const double dur_ms = span.dur_us / 1e3;
+    s.total_ms += dur_ms;
+    s.self_ms += std::max(0.0, (span.dur_us - span.child_us) / 1e3);
+    s.max_ms = std::max(s.max_ms, dur_ms);
+    durations[span.name].push_back(dur_ms);
+    if (span.name == "pipeline.run_class") {
+      class_total_ms[span.cls] += dur_ms;
+    }
+  }
+  for (auto& [name, s] : stats) {
+    auto& d = durations[name];
+    std::sort(d.begin(), d.end());
+    s.p50_ms = Percentile(d, 0.50);
+    s.p95_ms = Percentile(d, 0.95);
+    analysis->busy_ms += s.self_ms;
+    analysis->spans.push_back(std::move(s));
+  }
+  std::sort(analysis->spans.begin(), analysis->spans.end(),
+            [](const SpanStats& a, const SpanStats& b) {
+              if (a.self_ms != b.self_ms) return a.self_ms > b.self_ms;
+              return a.name < b.name;
+            });
+  analysis->wall_ms = (max_end - min_start) / 1e3;
+
+  for (const auto& [cls, total] : class_total_ms) {
+    ClassCriticalPath path;
+    path.cls = cls;
+    path.total_ms = total;
+    path.self_ms = std::max(0.0, total - class_child_ms[cls]);
+    // Stages in execution order: sort by earliest occurrence.
+    std::vector<std::pair<double, std::string>> order;
+    for (const auto& [name, first] : class_stage_first[cls]) {
+      order.emplace_back(first, name);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [first, name] : order) {
+      path.stages.push_back({name, class_stage_ms[cls][name]});
+    }
+    analysis->classes.push_back(std::move(path));
+  }
+  return true;
+}
+
+std::string AnalysisToText(const TraceAnalysis& analysis) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "trace: %zu events, wall %.3f ms, busy %.3f ms (%.2fx)\n\n",
+                analysis.num_events, analysis.wall_ms, analysis.busy_ms,
+                analysis.wall_ms > 0.0 ? analysis.busy_ms / analysis.wall_ms
+                                       : 0.0);
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf), "%-36s %7s %12s %12s %10s %10s %10s\n",
+                "span", "count", "total_ms", "self_ms", "p50_ms", "p95_ms",
+                "max_ms");
+  out.append(buf);
+  out.append(36 + 1 + 7 + 1 + 12 + 1 + 12 + 3 * 11, '-');
+  out.push_back('\n');
+  for (const SpanStats& s : analysis.spans) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-36s %7zu %12.3f %12.3f %10.3f %10.3f %10.3f\n",
+                  s.name.c_str(), s.count, s.total_ms, s.self_ms, s.p50_ms,
+                  s.p95_ms, s.max_ms);
+    out.append(buf);
+  }
+  if (!analysis.classes.empty()) {
+    out.append("\nper-class critical path (pipeline.run_class stages, ms):\n");
+    for (const ClassCriticalPath& path : analysis.classes) {
+      std::snprintf(buf, sizeof(buf), "  cls %-6s total %10.3f self %10.3f\n",
+                    path.cls.empty() ? "?" : path.cls.c_str(), path.total_ms,
+                    path.self_ms);
+      out.append(buf);
+      for (const CriticalPathStage& stage : path.stages) {
+        std::snprintf(buf, sizeof(buf), "    %-34s %10.3f\n",
+                      stage.name.c_str(), stage.ms);
+        out.append(buf);
+      }
+    }
+  }
+  return out;
+}
+
+std::string AnalysisToJson(const TraceAnalysis& analysis) {
+  std::string out;
+  out.append("{\"wall_ms\":");
+  util::AppendJsonNumber(&out, analysis.wall_ms);
+  out.append(",\"busy_ms\":");
+  util::AppendJsonNumber(&out, analysis.busy_ms);
+  out.append(",\"num_events\":");
+  out.append(std::to_string(analysis.num_events));
+  out.append(",\"spans\":[");
+  for (size_t i = 0; i < analysis.spans.size(); ++i) {
+    const SpanStats& s = analysis.spans[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"name\":");
+    out.append(util::JsonQuote(s.name));
+    out.append(",\"count\":");
+    out.append(std::to_string(s.count));
+    out.append(",\"total_ms\":");
+    util::AppendJsonNumber(&out, s.total_ms);
+    out.append(",\"self_ms\":");
+    util::AppendJsonNumber(&out, s.self_ms);
+    out.append(",\"p50_ms\":");
+    util::AppendJsonNumber(&out, s.p50_ms);
+    out.append(",\"p95_ms\":");
+    util::AppendJsonNumber(&out, s.p95_ms);
+    out.append(",\"max_ms\":");
+    util::AppendJsonNumber(&out, s.max_ms);
+    out.push_back('}');
+  }
+  out.append("],\"classes\":[");
+  for (size_t i = 0; i < analysis.classes.size(); ++i) {
+    const ClassCriticalPath& path = analysis.classes[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"cls\":");
+    out.append(util::JsonQuote(path.cls));
+    out.append(",\"total_ms\":");
+    util::AppendJsonNumber(&out, path.total_ms);
+    out.append(",\"self_ms\":");
+    util::AppendJsonNumber(&out, path.self_ms);
+    out.append(",\"stages\":[");
+    for (size_t s = 0; s < path.stages.size(); ++s) {
+      if (s > 0) out.push_back(',');
+      out.append("{\"name\":");
+      out.append(util::JsonQuote(path.stages[s].name));
+      out.append(",\"ms\":");
+      util::AppendJsonNumber(&out, path.stages[s].ms);
+      out.push_back('}');
+    }
+    out.append("]}");
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace ltee::obsv

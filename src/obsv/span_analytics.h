@@ -1,0 +1,84 @@
+#ifndef LTEE_OBSV_SPAN_ANALYTICS_H_
+#define LTEE_OBSV_SPAN_ANALYTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ltee::obsv {
+
+/// Aggregated statistics of one span name across a whole trace.
+struct SpanStats {
+  std::string name;
+  size_t count = 0;
+  /// Sum of span durations (a span nested in another counts in both).
+  double total_ms = 0.0;
+  /// Sum of durations minus time covered by direct child spans on the
+  /// same thread — "where did the time actually go".
+  double self_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// One stage on the critical path of a class: pipeline.run_class children
+/// in execution order (build -> cluster -> fuse -> detect), durations
+/// summed across iterations.
+struct CriticalPathStage {
+  std::string name;
+  double ms = 0.0;
+};
+
+/// Per-class critical path through the stage DAG. The per-class stages
+/// are sequential, so the critical path is the chain of direct child
+/// spans of that class's pipeline.run_class spans.
+struct ClassCriticalPath {
+  std::string cls;  // the span's "cls" argument, verbatim
+  std::vector<CriticalPathStage> stages;
+  double total_ms = 0.0;  // summed run_class durations
+  double self_ms = 0.0;   // run_class time not covered by any stage
+};
+
+/// Offline aggregation over a Chrome trace: per-name totals/self
+/// times/percentiles plus per-class critical paths.
+struct TraceAnalysis {
+  std::vector<SpanStats> spans;  // sorted by self_ms, descending
+  std::vector<ClassCriticalPath> classes;
+  size_t num_events = 0;
+  /// max end - min start across every complete event (all threads).
+  double wall_ms = 0.0;
+  /// Sum of all self times == sum of root-span durations per thread;
+  /// exceeds wall_ms exactly by the amount of parallelism.
+  double busy_ms = 0.0;
+};
+
+/// Structural validation of a Chrome trace-event document, shared by the
+/// validate_trace tool, the /trace endpoint round-trip test and
+/// AnalyzeChromeTrace: must be valid JSON, an object with a
+/// `traceEvents` array of objects; complete events ("ph":"X") need
+/// numeric `ts`/`dur`; duration events must come in balanced,
+/// properly nested "B"/"E" pairs per thread. Returns false with a
+/// message in `error` otherwise.
+bool ValidateChromeTrace(std::string_view json, std::string* error);
+
+/// Parses + validates `json` and computes the aggregation. "B"/"E" pairs
+/// are folded into complete spans first. Returns false on malformed
+/// input.
+bool AnalyzeChromeTrace(std::string_view json, TraceAnalysis* analysis,
+                        std::string* error);
+
+/// Sorted fixed-width text table (self-time descending) plus the
+/// per-class critical paths — the `ltee_cli analyze-trace` output.
+std::string AnalysisToText(const TraceAnalysis& analysis);
+
+/// The same data as one JSON object:
+/// {"wall_ms":..,"busy_ms":..,"num_events":..,
+///  "spans":[{"name":..,"count":..,"total_ms":..,"self_ms":..,
+///            "p50_ms":..,"p95_ms":..,"max_ms":..},..],
+///  "classes":[{"cls":..,"total_ms":..,"self_ms":..,
+///              "stages":[{"name":..,"ms":..},..]},..]}
+std::string AnalysisToJson(const TraceAnalysis& analysis);
+
+}  // namespace ltee::obsv
+
+#endif  // LTEE_OBSV_SPAN_ANALYTICS_H_

@@ -1,0 +1,52 @@
+#include "obsv/status_server.h"
+
+#include "util/metrics.h"
+#include "util/prometheus.h"
+#include "util/trace.h"
+
+namespace ltee::obsv {
+
+StatusServer::StatusServer() {
+  server_.Handle("/healthz", [] {
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+  server_.Handle("/metrics", [] {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = util::RenderPrometheusText(util::Metrics().Snapshot());
+    return response;
+  });
+  server_.Handle("/trace", [] {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = util::trace::ExportChromeTrace();
+    return response;
+  });
+  server_.Handle("/report", [this] {
+    HttpResponse response;
+    std::lock_guard<std::mutex> lock(report_mu_);
+    if (report_json_.empty()) {
+      response.status = 404;
+      response.body = "no report published yet\n";
+    } else {
+      response.content_type = "application/json";
+      response.body = report_json_;
+    }
+    return response;
+  });
+}
+
+bool StatusServer::Start(uint16_t port, std::string* error) {
+  return server_.Start(port, error);
+}
+
+void StatusServer::Stop() { server_.Stop(); }
+
+void StatusServer::PublishReport(std::string report_json) {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  report_json_ = std::move(report_json);
+}
+
+}  // namespace ltee::obsv

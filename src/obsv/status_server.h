@@ -1,0 +1,41 @@
+#ifndef LTEE_OBSV_STATUS_SERVER_H_
+#define LTEE_OBSV_STATUS_SERVER_H_
+
+#include <mutex>
+#include <string>
+
+#include "obsv/http_server.h"
+
+namespace ltee::obsv {
+
+/// Live introspection endpoints over the process-wide observability
+/// state. Embedded in `ltee_cli run --status-port <p>` so a long pipeline
+/// run can be watched with curl / a Prometheus scraper mid-flight:
+///   GET /metrics  Prometheus text exposition 0.0.4 of util::Metrics()
+///   GET /report   latest run report JSON (404 until one is published)
+///   GET /trace    Chrome trace-event JSON of the current span buffers
+///   GET /healthz  "ok" (liveness)
+class StatusServer {
+ public:
+  StatusServer();
+
+  /// Binds and serves on `port` (0 picks a free one; see port()).
+  bool Start(uint16_t port, std::string* error = nullptr);
+  void Stop();
+
+  bool running() const { return server_.running(); }
+  uint16_t port() const { return server_.port(); }
+
+  /// Publishes the latest run-report JSON served at /report. Thread-safe;
+  /// the pipeline owner calls this when a run (or an iteration) ends.
+  void PublishReport(std::string report_json);
+
+ private:
+  HttpServer server_;
+  std::mutex report_mu_;
+  std::string report_json_;
+};
+
+}  // namespace ltee::obsv
+
+#endif  // LTEE_OBSV_STATUS_SERVER_H_

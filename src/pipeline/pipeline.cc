@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.h"
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -155,12 +156,31 @@ PipelineRunResult LteePipeline::Run(
   util::WallTimer run_timer;
   util::WallTimer stage_timer;
 
+  // Progress gauges make a long run watchable through the status server:
+  // `stage` counts completed stage boundaries of this run, `classes_done`
+  // ticks inside each parallel sweep. Hoisted once; the updates are one
+  // relaxed store each.
+  util::Gauge& stage_gauge = util::Metrics().GetGauge("ltee.pipeline.stage");
+  util::Gauge& iteration_gauge =
+      util::Metrics().GetGauge("ltee.pipeline.iteration");
+  util::Gauge& classes_done_gauge =
+      util::Metrics().GetGauge("ltee.pipeline.classes_done");
+  util::Metrics()
+      .GetGauge("ltee.pipeline.classes_total")
+      .Set(static_cast<double>(classes.size()));
+  double stage_ordinal = 0.0;
+  stage_gauge.Set(stage_ordinal);
+  iteration_gauge.Set(0.0);
+  classes_done_gauge.Set(0.0);
+
   const webtable::PreparedCorpus& prepared = Prepared(corpus);
   out.report.stages.push_back(
       {"prepare_corpus", stage_timer.ElapsedSeconds()});
+  stage_gauge.Set(++stage_ordinal);
 
   for (int iteration = 0; iteration < options_.iterations; ++iteration) {
     const std::string iter_suffix = ".iter" + std::to_string(iteration + 1);
+    iteration_gauge.Set(static_cast<double>(iteration + 1));
     matching::SchemaMapping mapping;
     stage_timer.Restart();
     {
@@ -178,10 +198,12 @@ PipelineRunResult LteePipeline::Run(
     }
     out.report.stages.push_back(
         {"schema_match" + iter_suffix, stage_timer.ElapsedSeconds()});
+    stage_gauge.Set(++stage_ordinal);
 
     // Classes are independent given the mapping; run them on the pool and
     // collect into class order so feedback merging stays deterministic.
     stage_timer.Restart();
+    classes_done_gauge.Set(0.0);
     std::vector<ClassRunResult> class_results(classes.size());
     {
       util::trace::ScopedSpan classes_span("pipeline.class_sweep");
@@ -193,10 +215,12 @@ PipelineRunResult LteePipeline::Run(
       }
       pool->ParallelFor(classes.size(), [&](size_t i) {
         class_results[i] = RunClass(corpus, mapping, classes[i]);
+        classes_done_gauge.Add(1.0);
       });
     }
     out.report.stages.push_back(
         {"class_sweep" + iter_suffix, stage_timer.ElapsedSeconds()});
+    stage_gauge.Set(++stage_ordinal);
     for (const ClassRunResult& result : class_results) {
       ClassStageReport report;
       report.cls = result.cls;
@@ -212,6 +236,7 @@ PipelineRunResult LteePipeline::Run(
     CollectFeedback(class_results, &instances, &clusters);
     out.report.stages.push_back(
         {"collect_feedback" + iter_suffix, stage_timer.ElapsedSeconds()});
+    stage_gauge.Set(++stage_ordinal);
 
     out.mappings.push_back(std::move(mapping));
     if (iteration == options_.iterations - 1) {

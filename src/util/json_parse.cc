@@ -1,0 +1,351 @@
+#include "util/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ltee::util {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->as_string()
+                                        : std::move(fallback);
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser; mirrors the Validator in json.cc but builds
+/// the DOM as it goes.
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      if (error != nullptr) {
+        *error = error_ + " at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    SkipWs();
+    if (pos_ != s_.size()) {
+      if (error != nullptr) {
+        *error = "trailing data at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const char* message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (++depth_ > 256) return Fail("nesting too deep");
+    bool ok;
+    if (pos_ >= s_.size()) {
+      ok = Fail("unexpected end of input");
+    } else {
+      switch (s_[pos_]) {
+        case '{': ok = ParseObject(out); break;
+        case '[': ok = ParseArray(out); break;
+        case '"': {
+          std::string str;
+          ok = ParseString(&str);
+          if (ok) *out = JsonValue::MakeString(std::move(str));
+          break;
+        }
+        case 't':
+          ok = ParseLiteral("true");
+          if (ok) *out = JsonValue::MakeBool(true);
+          break;
+        case 'f':
+          ok = ParseLiteral("false");
+          if (ok) *out = JsonValue::MakeBool(false);
+          break;
+        case 'n':
+          ok = ParseLiteral("null");
+          if (ok) *out = JsonValue::MakeNull();
+          break;
+        default: ok = ParseNumber(out); break;
+      }
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool ParseLiteral(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return Fail("invalid literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out) {
+    Eat('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWs();
+    if (Eat('}')) {
+      *out = JsonValue::MakeObject(std::move(members));
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Eat(':')) return Fail("expected ':'");
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Eat('}')) {
+        *out = JsonValue::MakeObject(std::move(members));
+        return true;
+      }
+      if (!Eat(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    Eat('[');
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Eat(']')) {
+      *out = JsonValue::MakeArray(std::move(items));
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      items.push_back(std::move(value));
+      SkipWs();
+      if (Eat(']')) {
+        *out = JsonValue::MakeArray(std::move(items));
+        return true;
+      }
+      if (!Eat(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool ParseHex4(unsigned* out) {
+    unsigned code = 0;
+    for (int k = 0; k < 4; ++k) {
+      if (pos_ >= s_.size()) return Fail("invalid \\u escape");
+      const char c = s_[pos_];
+      unsigned digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape");
+      }
+      code = code * 16 + digit;
+      ++pos_;
+    }
+    *out = code;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    Eat('"');
+    out->clear();
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return Fail("dangling escape");
+        const char e = s_[pos_];
+        ++pos_;
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            unsigned code;
+            if (!ParseHex4(&code)) return false;
+            // Surrogate pair: a high surrogate must be followed by
+            // \uDC00-\uDFFF; decode the pair as one code point.
+            if (code >= 0xD800 && code <= 0xDBFF &&
+                pos_ + 1 < s_.size() && s_[pos_] == '\\' &&
+                s_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              unsigned low;
+              if (!ParseHex4(&low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Fail("invalid low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
+            AppendUtf8(out, code);
+            break;
+          }
+          default: return Fail("invalid escape");
+        }
+        continue;
+      }
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    Eat('-');
+    if (pos_ >= s_.size() ||
+        !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      return Fail("invalid number");
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Eat('.')) {
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Fail("digit expected after '.'");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Fail("digit expected in exponent");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string text(s_.substr(start, pos_ - start));
+    *out = JsonValue::MakeNumber(std::strtod(text.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool ParseJson(std::string_view s, JsonValue* out, std::string* error) {
+  return Parser(s).Parse(out, error);
+}
+
+}  // namespace ltee::util

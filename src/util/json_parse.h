@@ -1,0 +1,71 @@
+#ifndef LTEE_UTIL_JSON_PARSE_H_
+#define LTEE_UTIL_JSON_PARSE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ltee::util {
+
+/// Minimal owned JSON document node. The repo's observability artifacts
+/// (Chrome traces, run reports, bench history lines) are read back by the
+/// analysis tools through this — a deliberately small RFC 8259 DOM, not a
+/// general-purpose library. Numbers are doubles (the artifacts never need
+/// 64-bit integer fidelity), object keys keep first-wins semantics.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience accessors with fallbacks for optional members.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses exactly one JSON value (surrounding whitespace allowed).
+/// Returns false on malformed input; `error` (when non-null) receives a
+/// short message with the byte offset. `\uXXXX` escapes decode to UTF-8.
+bool ParseJson(std::string_view s, JsonValue* out,
+               std::string* error = nullptr);
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_JSON_PARSE_H_

@@ -1,0 +1,56 @@
+#include "util/metric_names.h"
+
+namespace ltee::util {
+
+namespace {
+
+bool IsSegmentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+}  // namespace
+
+bool IsValidMetricName(std::string_view name) {
+  size_t segments = 0;
+  size_t start = 0;
+  while (start <= name.size()) {
+    size_t dot = name.find('.', start);
+    const size_t end = dot == std::string_view::npos ? name.size() : dot;
+    if (end == start) return false;  // empty segment (leading/trailing/"..")
+    for (size_t i = start; i < end; ++i) {
+      if (!IsSegmentChar(name[i])) return false;
+    }
+    if (segments == 0 && name.substr(start, end - start) != "ltee") {
+      return false;
+    }
+    ++segments;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return segments >= 3;
+}
+
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':' || (c >= '0' && c <= '9' && i > 0);
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+std::string SanitizeMetricSegment(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    out.push_back(IsSegmentChar(c) ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+}  // namespace ltee::util

@@ -1,0 +1,32 @@
+#ifndef LTEE_UTIL_METRIC_NAMES_H_
+#define LTEE_UTIL_METRIC_NAMES_H_
+
+#include <string>
+#include <string_view>
+
+namespace ltee::util {
+
+/// True iff `name` follows the repo-wide metric naming convention:
+/// `ltee.<component>.<name>` — at least three dot-separated segments, the
+/// first exactly "ltee", every segment non-empty and limited to lowercase
+/// letters, digits and underscores. This is the single source of truth
+/// used by the registry at registration time.
+bool IsValidMetricName(std::string_view name);
+
+/// Maps a dotted registry name onto the Prometheus data model
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): dots become underscores, any other
+/// character outside the legal set becomes '_' too. Shared by the
+/// Prometheus text exposition and anything else that needs the mangled
+/// form, so the two never drift apart.
+std::string PrometheusMetricName(std::string_view name);
+
+/// Folds an arbitrary string (a matcher name, a class label, ...) into a
+/// single legal metric-name segment: letters are lowercased, anything
+/// outside [a-z0-9_] becomes '_', and an empty input becomes "_". Use
+/// this when splicing runtime values into registry names so registration
+/// validation cannot fail on dynamic names.
+std::string SanitizeMetricSegment(std::string_view raw);
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_METRIC_NAMES_H_

@@ -1,8 +1,10 @@
 #include "util/metrics.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/json.h"
+#include "util/metric_names.h"
 
 namespace ltee::util {
 
@@ -86,10 +88,39 @@ std::string MetricsSnapshot::ToJson() const {
   return out;
 }
 
+namespace {
+
+/// Registration-time checks shared by the three Get* entry points. Called
+/// with the registry mutex held, only on the first-use (insert) path so
+/// the steady-state lookup stays one map find.
+template <typename MapA, typename MapB>
+void CheckRegistration(std::string_view name, const char* kind,
+                       const MapA& other_a, const char* kind_a,
+                       const MapB& other_b, const char* kind_b) {
+  if (!IsValidMetricName(name)) {
+    throw std::invalid_argument(
+        "invalid metric name '" + std::string(name) +
+        "': expected ltee.<component>.<name> with lowercase [a-z0-9_] "
+        "segments");
+  }
+  const char* clash = nullptr;
+  if (other_a.find(name) != other_a.end()) clash = kind_a;
+  if (other_b.find(name) != other_b.end()) clash = kind_b;
+  if (clash != nullptr) {
+    throw std::invalid_argument("metric '" + std::string(name) +
+                                "' already registered as a " + clash +
+                                "; cannot re-register as a " + kind);
+  }
+}
+
+}  // namespace
+
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
+    CheckRegistration(name, "counter", gauges_, "gauge", histograms_,
+                      "histogram");
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
              .first;
   }
@@ -100,6 +131,8 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
+    CheckRegistration(name, "gauge", counters_, "counter", histograms_,
+                      "histogram");
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
   }
   return *it->second;
@@ -110,6 +143,8 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
+    CheckRegistration(name, "histogram", counters_, "counter", gauges_,
+                      "gauge");
     it = histograms_
              .emplace(std::string(name),
                       std::make_unique<Histogram>(std::move(bounds)))

@@ -100,11 +100,19 @@ struct MetricsSnapshot {
   std::string ToJson() const;
 };
 
-/// Thread-safe registry of named metrics. Metric names follow the
-/// `ltee.<component>.<name>` convention. Get* registers on first use and
-/// returns a reference that stays valid for the registry's lifetime, so
-/// callers hoist the lookup out of hot loops and pay only the atomic op
-/// per event afterwards.
+/// Thread-safe registry of named metrics. Metric names must follow the
+/// `ltee.<component>.<name>` convention (validated by
+/// util::IsValidMetricName at registration — lowercase segments of
+/// [a-z0-9_] joined by dots, at least three of them). Get* registers on
+/// first use and returns a reference that stays valid for the registry's
+/// lifetime, so callers hoist the lookup out of hot loops and pay only
+/// the atomic op per event afterwards.
+///
+/// A name registered as one metric kind cannot be re-registered as
+/// another: requesting `GetGauge` on an existing counter name (or any
+/// other cross-kind collision) throws std::invalid_argument instead of
+/// silently aliasing two series that would then fight over exposition.
+/// Malformed names throw std::invalid_argument as well.
 class MetricsRegistry {
  public:
   Counter& GetCounter(std::string_view name);

@@ -1,0 +1,98 @@
+#include "util/prometheus.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdlib>
+#include <cstdio>
+
+#include "util/metric_names.h"
+
+namespace ltee::util {
+
+namespace {
+
+/// Prometheus sample values are plain floats; the exposition format spec
+/// allows "Inf"/"NaN" spellings (unlike JSON, which has neither). Uses
+/// the shortest precision that still round-trips the double, so a 0.1
+/// bucket bound scrapes as le="0.1" rather than le="0.10000000000000001".
+void AppendSampleValue(std::string* out, double v) {
+  if (std::isnan(v)) {
+    out->append("NaN");
+    return;
+  }
+  if (std::isinf(v)) {
+    out->append(v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out->append(buf);
+}
+
+void AppendTypeLine(std::string* out, const std::string& name,
+                    const char* type) {
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusMetricName(name) + "_total";
+    AppendTypeLine(&out, prom, "counter");
+    out.append(prom);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+    out.append(buf);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusMetricName(name);
+    AppendTypeLine(&out, prom, "gauge");
+    out.append(prom);
+    out.push_back(' ');
+    AppendSampleValue(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    const std::string prom = PrometheusMetricName(histogram.name);
+    AppendTypeLine(&out, prom, "histogram");
+    // Exposition buckets are cumulative; the snapshot stores per-bucket
+    // counts, so accumulate while emitting. The overflow bucket becomes
+    // the mandatory le="+Inf" series, which must equal `_count`.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+      cumulative += histogram.buckets[i];
+      out.append(prom);
+      out.append("_bucket{le=\"");
+      if (i < histogram.bounds.size()) {
+        AppendSampleValue(&out, histogram.bounds[i]);
+      } else {
+        out.append("+Inf");
+      }
+      out.append("\"} ");
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", cumulative);
+      out.append(buf);
+    }
+    out.append(prom);
+    out.append("_sum ");
+    AppendSampleValue(&out, histogram.sum);
+    out.push_back('\n');
+    out.append(prom);
+    out.append("_count ");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", histogram.count);
+    out.append(buf);
+  }
+  return out;
+}
+
+}  // namespace ltee::util

@@ -1,0 +1,26 @@
+#ifndef LTEE_UTIL_PROMETHEUS_H_
+#define LTEE_UTIL_PROMETHEUS_H_
+
+#include <string>
+
+#include "util/metrics.h"
+
+namespace ltee::util {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// 0.0.4 (the `Content-Type: text/plain; version=0.0.4` format every
+/// Prometheus scraper understands):
+///   - counters  -> `# TYPE <name> counter` + one sample (name gets a
+///                  `_total` suffix per the naming convention),
+///   - gauges    -> `# TYPE <name> gauge` + one sample,
+///   - histograms-> `# TYPE <name> histogram` + cumulative
+///                  `<name>_bucket{le="..."}` series (including the
+///                  mandatory `le="+Inf"` bucket), `<name>_sum` and
+///                  `<name>_count`.
+/// Dotted registry names are mangled through PrometheusMetricName, so
+/// `ltee.prepared.cells` scrapes as `ltee_prepared_cells_total`.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_PROMETHEUS_H_

@@ -1,0 +1,499 @@
+// Unit tests for the live-introspection stack: metric-name validation and
+// Prometheus exposition, the JSON parser behind the analysis tools, span
+// analytics over synthetic Chrome traces (self-time invariant, critical
+// paths, rejection of unbalanced B/E pairs), the status server's real
+// socket round-trip, crash-flush artifacts, and RunReportToJson edge
+// cases (zero classes, empty stage lists, histograms with no samples).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obsv/crash_flush.h"
+#include "obsv/http_client.h"
+#include "obsv/span_analytics.h"
+#include "obsv/status_server.h"
+#include "pipeline/run_report.h"
+#include "util/json.h"
+#include "util/json_parse.h"
+#include "util/metric_names.h"
+#include "util/metrics.h"
+#include "util/prometheus.h"
+
+namespace ltee {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metric names
+
+TEST(MetricNames, AcceptsConventionalNames) {
+  EXPECT_TRUE(util::IsValidMetricName("ltee.pipeline.stage"));
+  EXPECT_TRUE(util::IsValidMetricName("ltee.rowcluster.pair_cache.misses"));
+  EXPECT_TRUE(util::IsValidMetricName("ltee.x9.y_0"));
+}
+
+TEST(MetricNames, RejectsMalformedNames) {
+  EXPECT_FALSE(util::IsValidMetricName(""));
+  EXPECT_FALSE(util::IsValidMetricName("ltee.pipeline"));  // two segments
+  EXPECT_FALSE(util::IsValidMetricName("pipeline.foo.bar"));  // no ltee.
+  EXPECT_FALSE(util::IsValidMetricName("ltee.Pipeline.stage"));  // uppercase
+  EXPECT_FALSE(util::IsValidMetricName("ltee.pipe-line.stage"));  // hyphen
+  EXPECT_FALSE(util::IsValidMetricName("ltee..stage"));  // empty segment
+  EXPECT_FALSE(util::IsValidMetricName("ltee.pipeline.stage."));  // trailing
+  EXPECT_FALSE(util::IsValidMetricName(".ltee.pipeline.stage"));  // leading
+}
+
+TEST(MetricNames, PrometheusManglingReplacesDots) {
+  EXPECT_EQ(util::PrometheusMetricName("ltee.pipeline.stage"),
+            "ltee_pipeline_stage");
+  EXPECT_EQ(util::PrometheusMetricName("ltee.rowcluster.pair_cache.hits"),
+            "ltee_rowcluster_pair_cache_hits");
+  // A leading digit is illegal in the Prometheus data model.
+  EXPECT_EQ(util::PrometheusMetricName("9x.y"), "_x_y");
+}
+
+TEST(MetricNames, SanitizeSegmentFoldsArbitraryStrings) {
+  EXPECT_EQ(util::SanitizeMetricSegment("KB-Overlap"), "kb_overlap");
+  EXPECT_EQ(util::SanitizeMetricSegment("WT-Label"), "wt_label");
+  EXPECT_EQ(util::SanitizeMetricSegment("already_ok9"), "already_ok9");
+  EXPECT_EQ(util::SanitizeMetricSegment(""), "_");
+  EXPECT_TRUE(util::IsValidMetricName(
+      "ltee.matching." + util::SanitizeMetricSegment("Spaced Name!")));
+}
+
+TEST(MetricsRegistry, RejectsMalformedNameAtRegistration) {
+  EXPECT_THROW(util::Metrics().GetCounter("Not-A-Valid.Name"),
+               std::invalid_argument);
+  EXPECT_THROW(util::Metrics().GetGauge("ltee.short"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, RejectsCrossKindReRegistration) {
+  util::Counter& counter = util::Metrics().GetCounter("ltee.test.kind_clash");
+  counter.Increment();
+  // Same name, same kind: fine, same instance.
+  EXPECT_EQ(&util::Metrics().GetCounter("ltee.test.kind_clash"), &counter);
+  // Same name, different kind: refused loudly.
+  EXPECT_THROW(util::Metrics().GetGauge("ltee.test.kind_clash"),
+               std::invalid_argument);
+  EXPECT_THROW(util::Metrics().GetHistogram("ltee.test.kind_clash", {1.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+
+util::MetricsSnapshot TestSnapshot() {
+  util::MetricsSnapshot snap;
+  snap.counters.emplace_back("ltee.test.events", 42);
+  snap.gauges.emplace_back("ltee.test.progress", 2.5);
+  util::MetricsSnapshot::HistogramData hist;
+  hist.name = "ltee.test.latency";
+  hist.bounds = {0.1, 1.0};
+  hist.buckets = {3, 2, 1};  // per-bucket counts, overflow last
+  hist.count = 6;
+  hist.sum = 4.2;
+  snap.histograms.push_back(hist);
+  return snap;
+}
+
+TEST(Prometheus, CounterGetsTotalSuffixAndTypeLine) {
+  const std::string text = util::RenderPrometheusText(TestSnapshot());
+  EXPECT_NE(text.find("# TYPE ltee_test_events_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ltee_test_events_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ltee_test_progress gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ltee_test_progress 2.5\n"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramEmitsCumulativeBucketsSumAndCount) {
+  const std::string text = util::RenderPrometheusText(TestSnapshot());
+  EXPECT_NE(text.find("# TYPE ltee_test_latency histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative: 3, 3+2, 3+2+1; +Inf equals _count.
+  const size_t b1 = text.find("ltee_test_latency_bucket{le=\"0.1\"} 3\n");
+  const size_t b2 = text.find("ltee_test_latency_bucket{le=\"1\"} 5\n");
+  const size_t binf = text.find("ltee_test_latency_bucket{le=\"+Inf\"} 6\n");
+  ASSERT_NE(b1, std::string::npos) << text;
+  ASSERT_NE(b2, std::string::npos) << text;
+  ASSERT_NE(binf, std::string::npos) << text;
+  EXPECT_LT(b1, b2);
+  EXPECT_LT(b2, binf);  // +Inf is last
+  EXPECT_NE(text.find("ltee_test_latency_sum 4.2\n"), std::string::npos);
+  EXPECT_NE(text.find("ltee_test_latency_count 6\n"), std::string::npos);
+}
+
+TEST(Prometheus, EmptyHistogramStillWellFormed) {
+  util::MetricsSnapshot snap;
+  util::MetricsSnapshot::HistogramData hist;
+  hist.name = "ltee.test.empty";
+  hist.bounds = {1.0};
+  hist.buckets = {0, 0};
+  snap.histograms.push_back(hist);
+  const std::string text = util::RenderPrometheusText(snap);
+  EXPECT_NE(text.find("ltee_test_empty_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ltee_test_empty_count 0\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser
+
+TEST(JsonParse, ParsesScalarsAndContainers) {
+  util::JsonValue v;
+  ASSERT_TRUE(util::ParseJson(" {\"a\":[1,2.5,-3e2], \"b\":\"x\\ny\", "
+                              "\"c\":true, \"d\":null} ",
+                              &v));
+  ASSERT_TRUE(v.is_object());
+  const util::JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->items()[2].as_number(), -300.0);
+  EXPECT_EQ(v.StringOr("b", ""), "x\ny");
+  EXPECT_TRUE(v.Find("c")->as_bool());
+  EXPECT_TRUE(v.Find("d")->is_null());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(v.NumberOr("missing", 7.0), 7.0);
+}
+
+TEST(JsonParse, DecodesUnicodeEscapes) {
+  util::JsonValue v;
+  ASSERT_TRUE(util::ParseJson("\"\\u00e9\\uD83D\\uDE00\"", &v));
+  EXPECT_EQ(v.as_string(), "\xc3\xa9\xf0\x9f\x98\x80");  // é + 😀
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  util::JsonValue v;
+  std::string error;
+  EXPECT_FALSE(util::ParseJson("", &v, &error));
+  EXPECT_FALSE(util::ParseJson("{\"a\":}", &v, &error));
+  EXPECT_FALSE(util::ParseJson("[1,2", &v, &error));
+  EXPECT_FALSE(util::ParseJson("{} trailing", &v, &error));
+  EXPECT_FALSE(util::ParseJson("nul", &v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Span analytics
+
+/// Builds a trace document from (name, ts, dur, tid[, cls]) tuples as
+/// complete ("X") events.
+struct XEvent {
+  const char* name;
+  double ts;
+  double dur;
+  int tid;
+  const char* cls = nullptr;
+};
+
+std::string TraceOf(const std::vector<XEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const XEvent& e = events[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"ph\":\"X\",\"name\":\"" + std::string(e.name) +
+           "\",\"ts\":" + std::to_string(e.ts) +
+           ",\"dur\":" + std::to_string(e.dur) +
+           ",\"tid\":" + std::to_string(e.tid);
+    if (e.cls != nullptr) {
+      out += ",\"args\":{\"cls\":\"" + std::string(e.cls) + "\"}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+TEST(SpanAnalytics, SelfTimeSubtractsDirectChildrenOnly) {
+  // outer [0,100) contains mid [10,60) contains inner [20,30).
+  const std::string trace = TraceOf({
+      {"outer", 0, 100, 1},
+      {"mid", 10, 50, 1},
+      {"inner", 20, 10, 1},
+  });
+  obsv::TraceAnalysis analysis;
+  std::string error;
+  ASSERT_TRUE(obsv::AnalyzeChromeTrace(trace, &analysis, &error)) << error;
+  ASSERT_EQ(analysis.spans.size(), 3u);
+  double outer_self = -1, mid_self = -1, inner_self = -1;
+  for (const auto& s : analysis.spans) {
+    if (s.name == "outer") outer_self = s.self_ms;
+    if (s.name == "mid") mid_self = s.self_ms;
+    if (s.name == "inner") inner_self = s.self_ms;
+  }
+  // outer: 100 - 50 (direct child mid; inner is a grandchild).
+  EXPECT_DOUBLE_EQ(outer_self, 0.050);
+  EXPECT_DOUBLE_EQ(mid_self, 0.040);
+  EXPECT_DOUBLE_EQ(inner_self, 0.010);
+  // Self times sum to the root span's duration...
+  EXPECT_DOUBLE_EQ(analysis.busy_ms, 0.100);
+  // ...which here equals the wall time.
+  EXPECT_DOUBLE_EQ(analysis.wall_ms, 0.100);
+}
+
+TEST(SpanAnalytics, BusyExceedsWallUnderParallelism) {
+  // Two threads busy over the same wall-clock window.
+  const std::string trace = TraceOf({
+      {"work", 0, 100, 1},
+      {"work", 0, 100, 2},
+  });
+  obsv::TraceAnalysis analysis;
+  std::string error;
+  ASSERT_TRUE(obsv::AnalyzeChromeTrace(trace, &analysis, &error)) << error;
+  EXPECT_DOUBLE_EQ(analysis.wall_ms, 0.100);
+  EXPECT_DOUBLE_EQ(analysis.busy_ms, 0.200);
+}
+
+TEST(SpanAnalytics, PercentilesFromSortedDurations) {
+  std::vector<XEvent> events;
+  for (int i = 1; i <= 100; ++i) {
+    // Disjoint spans of 1..100 us on one thread.
+    events.push_back({"op", i * 1000.0, static_cast<double>(i), 1});
+  }
+  obsv::TraceAnalysis analysis;
+  std::string error;
+  ASSERT_TRUE(
+      obsv::AnalyzeChromeTrace(TraceOf(events), &analysis, &error))
+      << error;
+  ASSERT_EQ(analysis.spans.size(), 1u);
+  const obsv::SpanStats& s = analysis.spans[0];
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.p50_ms, 0.050, 0.002);
+  EXPECT_NEAR(s.p95_ms, 0.095, 0.002);
+  EXPECT_DOUBLE_EQ(s.max_ms, 0.100);
+}
+
+TEST(SpanAnalytics, PerClassCriticalPathInExecutionOrder) {
+  const std::string trace = TraceOf({
+      {"pipeline.run_class", 0, 100, 1, "Song"},
+      {"cluster", 5, 40, 1},
+      {"fuse", 50, 20, 1},
+      {"pipeline.run_class", 0, 60, 2, "City"},
+      {"cluster", 10, 30, 2},
+  });
+  obsv::TraceAnalysis analysis;
+  std::string error;
+  ASSERT_TRUE(obsv::AnalyzeChromeTrace(trace, &analysis, &error)) << error;
+  ASSERT_EQ(analysis.classes.size(), 2u);
+  const obsv::ClassCriticalPath* song = nullptr;
+  for (const auto& c : analysis.classes) {
+    if (c.cls == "Song") song = &c;
+  }
+  ASSERT_NE(song, nullptr);
+  EXPECT_DOUBLE_EQ(song->total_ms, 0.100);
+  ASSERT_EQ(song->stages.size(), 2u);
+  EXPECT_EQ(song->stages[0].name, "cluster");  // execution order
+  EXPECT_EQ(song->stages[1].name, "fuse");
+  EXPECT_DOUBLE_EQ(song->self_ms, 0.040);  // 100 - (40 + 20)
+}
+
+TEST(SpanAnalytics, AcceptsBalancedBeginEndPairs) {
+  const std::string trace =
+      "{\"traceEvents\":["
+      "{\"ph\":\"B\",\"name\":\"a\",\"ts\":0,\"tid\":1},"
+      "{\"ph\":\"B\",\"name\":\"b\",\"ts\":10,\"tid\":1},"
+      "{\"ph\":\"E\",\"name\":\"b\",\"ts\":20,\"tid\":1},"
+      "{\"ph\":\"E\",\"name\":\"a\",\"ts\":50,\"tid\":1}]}";
+  std::string error;
+  EXPECT_TRUE(obsv::ValidateChromeTrace(trace, &error)) << error;
+  obsv::TraceAnalysis analysis;
+  ASSERT_TRUE(obsv::AnalyzeChromeTrace(trace, &analysis, &error)) << error;
+  EXPECT_EQ(analysis.num_events, 2u);
+  EXPECT_DOUBLE_EQ(analysis.busy_ms, 0.050);  // b nests inside a
+}
+
+TEST(SpanAnalytics, RejectsUnbalancedSpans) {
+  std::string error;
+  // E without a matching B.
+  EXPECT_FALSE(obsv::ValidateChromeTrace(
+      "{\"traceEvents\":[{\"ph\":\"E\",\"name\":\"a\",\"ts\":1,\"tid\":1}]}",
+      &error));
+  EXPECT_NE(error.find("'E' without matching 'B'"), std::string::npos);
+  // B that never ends.
+  EXPECT_FALSE(obsv::ValidateChromeTrace(
+      "{\"traceEvents\":[{\"ph\":\"B\",\"name\":\"a\",\"ts\":1,\"tid\":1}]}",
+      &error));
+  EXPECT_NE(error.find("never ends"), std::string::npos);
+  // E whose name does not match the open B.
+  EXPECT_FALSE(obsv::ValidateChromeTrace(
+      "{\"traceEvents\":["
+      "{\"ph\":\"B\",\"name\":\"a\",\"ts\":1,\"tid\":1},"
+      "{\"ph\":\"E\",\"name\":\"z\",\"ts\":2,\"tid\":1}]}",
+      &error));
+  EXPECT_NE(error.find("does not match"), std::string::npos);
+}
+
+TEST(SpanAnalytics, RejectsNonTraceDocuments) {
+  std::string error;
+  EXPECT_FALSE(obsv::ValidateChromeTrace("not json", &error));
+  EXPECT_FALSE(obsv::ValidateChromeTrace("[]", &error));
+  EXPECT_FALSE(obsv::ValidateChromeTrace("{\"traceEvents\":7}", &error));
+  EXPECT_FALSE(obsv::ValidateChromeTrace(
+      "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\"tid\":1}]}",
+      &error));  // missing ts
+}
+
+TEST(SpanAnalytics, OutputsAreValidJsonAndText) {
+  obsv::TraceAnalysis analysis;
+  std::string error;
+  ASSERT_TRUE(obsv::AnalyzeChromeTrace(
+      TraceOf({{"pipeline.run_class", 0, 50, 1, "Song"},
+               {"cluster", 10, 20, 1}}),
+      &analysis, &error))
+      << error;
+  const std::string json = obsv::AnalysisToJson(analysis);
+  util::JsonValue doc;
+  ASSERT_TRUE(util::ParseJson(json, &doc, &error)) << error;
+  EXPECT_DOUBLE_EQ(doc.NumberOr("num_events", -1), 2.0);
+  const std::string text = obsv::AnalysisToText(analysis);
+  EXPECT_NE(text.find("pipeline.run_class"), std::string::npos);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Status server round-trip (real sockets)
+
+TEST(StatusServer, ServesHealthMetricsTraceAndReport) {
+  util::Metrics().GetCounter("ltee.test.server_roundtrip").Increment(3);
+  obsv::StatusServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  ASSERT_NE(server.port(), 0);
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/healthz", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/metrics", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("ltee_test_server_roundtrip_total"), std::string::npos);
+
+  // /trace must always be a structurally valid Chrome trace, even when
+  // no spans were recorded.
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/trace", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(obsv::ValidateChromeTrace(body, &error)) << error;
+
+  // /report 404s until a report is published, then serves it verbatim.
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/report", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+  server.PublishReport("{\"total_seconds\":1.5}");
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/report", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "{\"total_seconds\":1.5}");
+
+  // Unknown paths 404; queries are stripped before dispatch.
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/nope", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/healthz?verbose=1", &status,
+                            &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+// ---------------------------------------------------------------------------
+// Crash flush
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CrashFlush, WritesValidArtifactsExactlyOnce) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/crash_trace.json";
+  const std::string metrics_path = dir + "/crash_metrics.json";
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  obsv::ArmCrashFlush(trace_path, metrics_path);
+  EXPECT_TRUE(obsv::CrashFlushNow());
+  EXPECT_FALSE(obsv::CrashFlushNow());  // write-once
+
+  std::string error;
+  const std::string trace = ReadFileOrEmpty(trace_path);
+  EXPECT_TRUE(obsv::ValidateChromeTrace(trace, &error)) << error;
+
+  util::JsonValue metrics;
+  ASSERT_TRUE(util::ParseJson(ReadFileOrEmpty(metrics_path), &metrics, &error))
+      << error;
+  const util::JsonValue* aborted = metrics.Find("aborted");
+  ASSERT_NE(aborted, nullptr);
+  EXPECT_TRUE(aborted->is_bool() && aborted->as_bool());
+  EXPECT_NE(metrics.Find("metrics"), nullptr);
+
+  obsv::DisarmCrashFlush();
+  EXPECT_FALSE(obsv::CrashFlushNow());  // disarmed
+}
+
+// ---------------------------------------------------------------------------
+// RunReport edge cases
+
+TEST(RunReport, ZeroClassesSerializesToValidJson) {
+  pipeline::RunReport report;
+  report.total_seconds = 0.25;
+  report.stages.push_back({"prepare_corpus", 0.25});
+  const std::string json = pipeline::RunReportToJson(report);
+  std::string error;
+  util::JsonValue doc;
+  ASSERT_TRUE(util::ParseJson(json, &doc, &error)) << error << "\n" << json;
+  const util::JsonValue* classes = doc.Find("classes");
+  ASSERT_NE(classes, nullptr);
+  EXPECT_TRUE(classes->is_array());
+  EXPECT_TRUE(classes->items().empty());
+}
+
+TEST(RunReport, ClassWithEmptyStageListSerializesToValidJson) {
+  pipeline::RunReport report;
+  pipeline::ClassStageReport cls;
+  cls.cls = 7;
+  cls.iteration = 2;
+  report.classes.push_back(cls);  // no stages at all
+  const std::string json = pipeline::RunReportToJson(report);
+  std::string error;
+  util::JsonValue doc;
+  ASSERT_TRUE(util::ParseJson(json, &doc, &error)) << error << "\n" << json;
+  const util::JsonValue& parsed = doc.Find("classes")->items()[0];
+  EXPECT_DOUBLE_EQ(parsed.NumberOr("cls", -1), 7.0);
+  EXPECT_TRUE(parsed.Find("stages")->items().empty());
+}
+
+TEST(RunReport, HistogramWithNoSamplesSerializesToValidJson) {
+  pipeline::RunReport report;
+  util::MetricsSnapshot::HistogramData hist;
+  hist.name = "ltee.test.never_observed";
+  hist.bounds = {1.0, 2.0};
+  hist.buckets = {0, 0, 0};
+  report.metrics.histograms.push_back(hist);
+  const std::string json = pipeline::RunReportToJson(report);
+  std::string error;
+  EXPECT_TRUE(util::JsonIsValid(json, &error)) << error << "\n" << json;
+  util::JsonValue doc;
+  ASSERT_TRUE(util::ParseJson(json, &doc, &error)) << error;
+  // The empty histogram round-trips through the Prometheus path too.
+  const std::string text = util::RenderPrometheusText(report.metrics);
+  EXPECT_NE(text.find("ltee_test_never_observed_count 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ltee

@@ -1,0 +1,232 @@
+// Perf-trajectory runner: executes bench binaries (the ones emitting
+// bench::EmitResult JSON lines on stdout), collects every result line and
+// appends one commit-stamped entry to a history file — the `BENCH_history
+// .json` perf/metric trajectory that tools/report_diff gates on.
+//
+// Usage:
+//   bench_history [--bench-dir DIR] [--out FILE] [--commit SHA]
+//                 [--benches a,b,c] [--quick] [--scale S] [--label L]
+//
+// --bench-dir  directory holding the bench_* binaries (default: bench)
+// --out        history file, one JSON object per line
+//              (default: BENCH_history.json)
+// --commit     commit stamp (default: `git rev-parse --short HEAD`,
+//              "unknown" when not in a git checkout)
+// --benches    comma-separated bench names without the bench_ prefix
+//              (default: a fast representative set; see kQuickSet)
+// --quick      small synthetic scale (LTEE_SCALE=0.002) + the quick set —
+//              cheap enough for a CI gate
+// --scale      explicit LTEE_SCALE for the child processes
+// --label      free-form label recorded in the entry (e.g. "quick")
+//
+// Entry schema (one line):
+//   {"commit":"<sha>","unix_time":<s>,"label":"..","results":[
+//     {"bench":"..","metric":"..","value":..,"unit":"..",("iters":..)},..]}
+//
+// Exit: 0 when every bench ran and produced at least one result line,
+// 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/json_parse.h"
+
+namespace {
+
+using ltee::util::JsonValue;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    std::string key = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = std::string("1");
+    }
+  }
+  return flags;
+}
+
+/// Fast benches covering counts, shape statistics and wall time — the CI
+/// quick gate. Pipeline-heavy benches (fig1, table11) are deliberately
+/// not in it; run them explicitly via --benches for deeper trajectories.
+const char* const kQuickSet[] = {"table03_corpus_stats",
+                                 "table05_gold_standard"};
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Runs `command`, captures stdout. Returns false when the process could
+/// not be started or exited non-zero.
+bool RunAndCapture(const std::string& command, std::string* output) {
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    output->append(buf, n);
+  }
+  return pclose(pipe) == 0;
+}
+
+std::string DetectCommit() {
+  std::string out;
+  if (RunAndCapture("git rev-parse --short HEAD 2>/dev/null", &out)) {
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    if (!out.empty()) return out;
+  }
+  return "unknown";
+}
+
+/// Re-serializes one parsed result line canonically so the history file
+/// never inherits formatting quirks from a bench binary.
+bool AppendResult(const JsonValue& line, std::string* out) {
+  const JsonValue* bench = line.Find("bench");
+  const JsonValue* metric = line.Find("metric");
+  const JsonValue* value = line.Find("value");
+  if (bench == nullptr || !bench->is_string() || metric == nullptr ||
+      !metric->is_string() || value == nullptr || !value->is_number()) {
+    return false;
+  }
+  out->append("{\"bench\":");
+  out->append(ltee::util::JsonQuote(bench->as_string()));
+  out->append(",\"metric\":");
+  out->append(ltee::util::JsonQuote(metric->as_string()));
+  out->append(",\"value\":");
+  ltee::util::AppendJsonNumber(out, value->as_number());
+  out->append(",\"unit\":");
+  out->append(ltee::util::JsonQuote(line.StringOr("unit", "unknown")));
+  if (const JsonValue* iters = line.Find("iters");
+      iters != nullptr && iters->is_number()) {
+    out->append(",\"iters\":");
+    out->append(
+        std::to_string(static_cast<long long>(iters->as_number())));
+  }
+  out->push_back('}');
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv);
+  const bool quick = flags.count("quick") > 0;
+  const std::string bench_dir =
+      flags.count("bench-dir") ? flags.at("bench-dir") : "bench";
+  const std::string out_path =
+      flags.count("out") ? flags.at("out") : "BENCH_history.json";
+  const std::string commit =
+      flags.count("commit") ? flags.at("commit") : DetectCommit();
+  const std::string label =
+      flags.count("label") ? flags.at("label") : (quick ? "quick" : "");
+
+  std::vector<std::string> benches;
+  if (flags.count("benches")) {
+    benches = SplitCommas(flags.at("benches"));
+  } else {
+    for (const char* name : kQuickSet) benches.emplace_back(name);
+  }
+
+  std::string scale;
+  if (flags.count("scale")) {
+    scale = flags.at("scale");
+  } else if (quick) {
+    scale = "0.002";
+  }
+
+  std::string results;
+  size_t num_results = 0;
+  bool ok = true;
+  for (const std::string& bench : benches) {
+    std::string command;
+    if (!scale.empty()) command += "LTEE_SCALE=" + scale + " ";
+    command += bench_dir + "/bench_" + bench + " 2>/dev/null";
+    std::fprintf(stderr, "bench_history: running %s\n", command.c_str());
+    std::string output;
+    if (!RunAndCapture(command, &output)) {
+      std::fprintf(stderr, "bench_history: FAILED: %s\n", command.c_str());
+      ok = false;
+      continue;
+    }
+    size_t parsed_here = 0;
+    size_t start = 0;
+    while (start < output.size()) {
+      size_t end = output.find('\n', start);
+      if (end == std::string::npos) end = output.size();
+      const std::string line = output.substr(start, end - start);
+      start = end + 1;
+      if (line.rfind("{\"bench\"", 0) != 0) continue;
+      JsonValue parsed;
+      std::string error;
+      if (!ltee::util::ParseJson(line, &parsed, &error)) {
+        std::fprintf(stderr, "bench_history: bad result line (%s): %s\n",
+                     error.c_str(), line.c_str());
+        ok = false;
+        continue;
+      }
+      if (num_results > 0) results.push_back(',');
+      if (AppendResult(parsed, &results)) {
+        ++num_results;
+        ++parsed_here;
+      } else {
+        std::fprintf(stderr, "bench_history: incomplete result line: %s\n",
+                     line.c_str());
+        ok = false;
+      }
+    }
+    if (parsed_here == 0) {
+      std::fprintf(stderr, "bench_history: no result lines from %s\n",
+                   bench.c_str());
+      ok = false;
+    }
+  }
+
+  if (num_results == 0) {
+    std::fprintf(stderr, "bench_history: nothing to record\n");
+    return 1;
+  }
+
+  std::string entry = "{\"commit\":";
+  entry += ltee::util::JsonQuote(commit);
+  entry += ",\"unix_time\":";
+  entry += std::to_string(static_cast<long long>(std::time(nullptr)));
+  if (!label.empty()) {
+    entry += ",\"label\":";
+    entry += ltee::util::JsonQuote(label);
+  }
+  entry += ",\"results\":[";
+  entry += results;
+  entry += "]}";
+
+  std::ofstream out(out_path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "bench_history: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << entry << "\n";
+  std::printf("bench_history: appended %zu results for commit %s to %s\n",
+              num_results, commit.c_str(), out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -10,23 +10,38 @@
 //   ltee_cli run [--kb FILE --corpus FILE --gs-corpus FILE --gold FILE]
 //            [--scale S] [--ntriples FILE] [--min-facts N] [--dedup]
 //            [--seed N] [--trace-out FILE] [--metrics-out FILE]
-//            [--log-level LEVEL]
+//            [--log-level LEVEL] [--status-port PORT]
+//   ltee_cli analyze-trace TRACE.json [--json]
 //
 // Without the four input files, `run` builds the default synthetic
 // dataset in memory. --trace-out enables tracing and writes Chrome
 // trace-event JSON (open in Perfetto); --metrics-out writes the run
 // report (per-stage wall times + metrics snapshot) as JSON; --log-level
 // overrides LTEE_LOG_LEVEL.
+//
+// --status-port (or the LTEE_STATUS_PORT env var) serves live
+// introspection while the run executes: GET /metrics (Prometheus text),
+// /report (latest run report), /trace (Chrome trace JSON), /healthz.
+// `analyze-trace` aggregates an exported trace into per-span self-time /
+// percentile statistics and per-class critical paths (--json switches
+// the output to machine-readable JSON).
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "eval/gold_serialization.h"
 #include "kb/serialization.h"
+#include "obsv/crash_flush.h"
+#include "obsv/span_analytics.h"
+#include "obsv/status_server.h"
 #include "pipeline/dedup.h"
 #include "pipeline/kb_update.h"
 #include "pipeline/pipeline.h"
@@ -52,7 +67,7 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       flags[key] = argv[++i];
     } else {
-      flags[key] = "1";
+      flags[key] = std::string("1");
     }
   }
   return flags;
@@ -66,9 +81,12 @@ int Usage() {
                "  ltee_cli run [--kb FILE --corpus FILE --gs-corpus FILE "
                "--gold FILE] [--scale S] [--ntriples FILE] [--min-facts N] "
                "[--dedup] [--seed N] [--trace-out FILE] [--metrics-out FILE] "
-               "[--log-level debug|info|warning|error]\n"
+               "[--log-level debug|info|warning|error] [--status-port PORT] "
+               "[--status-linger SECONDS]\n"
+               "  ltee_cli analyze-trace TRACE.json [--json]\n"
                "run uses the default synthetic dataset when the four input "
-               "files are omitted\n");
+               "files are omitted; --status-port (or LTEE_STATUS_PORT) "
+               "serves /metrics /report /trace /healthz while it executes\n");
   return 2;
 }
 
@@ -161,6 +179,36 @@ int Run(const std::map<std::string, std::string>& flags) {
   const bool want_trace = flags.count("trace-out") > 0;
   if (want_trace) util::trace::SetEnabled(true);
 
+  // A crashing run still flushes its observability artifacts: arm now,
+  // disarm after the normal export paths below have written the files.
+  if (want_trace || flags.count("metrics-out")) {
+    obsv::ArmCrashFlush(
+        want_trace ? flags.at("trace-out") : std::string(),
+        flags.count("metrics-out") ? flags.at("metrics-out")
+                                   : std::string());
+  }
+
+  // Live introspection: --status-port wins over LTEE_STATUS_PORT.
+  obsv::StatusServer status_server;
+  int status_port = -1;
+  if (auto it = flags.find("status-port"); it != flags.end()) {
+    status_port = std::atoi(it->second.c_str());
+  } else if (const char* env = std::getenv("LTEE_STATUS_PORT");
+             env != nullptr && *env != '\0') {
+    status_port = std::atoi(env);
+  }
+  if (status_port >= 0) {
+    std::string error;
+    if (!status_server.Start(static_cast<uint16_t>(status_port), &error)) {
+      std::fprintf(stderr, "cannot start status server on port %d: %s\n",
+                   status_port, error.c_str());
+      return 1;
+    }
+    std::printf("status server on http://localhost:%u "
+                "(/metrics /report /trace /healthz)\n",
+                status_server.port());
+  }
+
   const bool any_file = flags.count("kb") || flags.count("corpus") ||
                         flags.count("gs-corpus") || flags.count("gold");
   std::optional<synth::SyntheticDataset> dataset;
@@ -219,6 +267,11 @@ int Run(const std::map<std::string, std::string>& flags) {
   std::vector<kb::ClassId> classes;
   for (const auto& gs : *gold) classes.push_back(gs.cls);
   auto run = pipe.Run(*corpus, classes);
+  if (status_server.running()) {
+    // Publish as soon as the pipeline finishes; the post-run stages below
+    // re-publish with their counters folded in.
+    status_server.PublishReport(pipeline::RunReportToJson(run.report));
+  }
 
   pipeline::KbUpdateOptions update_options;
   if (auto it = flags.find("min-facts"); it != flags.end()) {
@@ -272,10 +325,13 @@ int Run(const std::map<std::string, std::string>& flags) {
     std::printf("N-Triples written to %s\n", flags.at("ntriples").c_str());
   }
 
+  // Re-snapshot so the post-run stages (dedup, slot filling, KB update)
+  // are part of the exported/published report.
+  run.report.metrics = util::Metrics().Snapshot();
+  if (status_server.running()) {
+    status_server.PublishReport(pipeline::RunReportToJson(run.report));
+  }
   if (auto it = flags.find("metrics-out"); it != flags.end()) {
-    // Re-snapshot so the post-run stages (dedup, slot filling, KB update)
-    // are part of the exported report.
-    run.report.metrics = util::Metrics().Snapshot();
     std::ofstream out(it->second);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", it->second.c_str());
@@ -294,6 +350,41 @@ int Run(const std::map<std::string, std::string>& flags) {
     util::trace::ExportChromeTrace(out);
     std::printf("trace written to %s (open in ui.perfetto.dev)\n",
                 path.c_str());
+  }
+  obsv::DisarmCrashFlush();
+  if (status_server.running()) {
+    // Give late scrapers a beat if requested, then shut down cleanly.
+    if (auto it = flags.find("status-linger"); it != flags.end()) {
+      const int seconds = std::atoi(it->second.c_str());
+      std::printf("status server lingering %ds for final scrapes\n",
+                  seconds);
+      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    }
+    status_server.Stop();
+  }
+  return 0;
+}
+
+int AnalyzeTrace(const std::map<std::string, std::string>& flags,
+                 const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  obsv::TraceAnalysis analysis;
+  std::string error;
+  if (!obsv::AnalyzeChromeTrace(buffer.str(), &analysis, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  if (flags.count("json")) {
+    std::printf("%s\n", obsv::AnalysisToJson(analysis).c_str());
+  } else {
+    std::fputs(obsv::AnalysisToText(analysis).c_str(), stdout);
   }
   return 0;
 }
@@ -315,5 +406,14 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(flags);
   if (command == "stats") return Stats(flags);
   if (command == "run") return Run(flags);
+  if (command == "analyze-trace") {
+    // The trace path is the first non-flag argument after the command.
+    for (int i = 2; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        return AnalyzeTrace(flags, argv[i]);
+      }
+    }
+    return Usage();
+  }
   return Usage();
 }

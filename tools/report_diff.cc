@@ -1,0 +1,295 @@
+// Perf-regression differ: compares two observability snapshots — run
+// reports (ltee_cli --metrics-out), bench-history entries, or the last
+// two lines of BENCH_history.json — against per-metric relative
+// thresholds and exits non-zero when anything regressed. This is the
+// gate wired into ctest as `bench_regression`.
+//
+// Usage:
+//   report_diff BEFORE.json AFTER.json [options]
+//   report_diff --history FILE [--against-seed] [options]
+//
+// Inputs may be RunReport JSON ({"total_seconds":..,"stages":..,
+// "metrics":..}) or a bench_history entry ({"commit":..,"results":..});
+// the kind is auto-detected. --history compares the newest entry of the
+// trajectory file against the previous one, or against the very first
+// (the seed data point) with --against-seed.
+//
+// Options:
+//   --threshold PCT        allowed relative time increase (default 25)
+//   --score-threshold PCT  allowed relative score drop (default 5)
+//   --min-seconds S        time pairs where both sides are below this
+//                          are noise and never gate (default 0.05)
+//
+// Direction comes from the unit recorded with each metric: "seconds",
+// "ms" and "ns" regress upward; "score" regresses downward; "count" and
+// "ratio" changes are reported but never gate.
+//
+// Exit: 0 when no metric regressed beyond its threshold (including the
+// trivial one-entry history), 1 on regression, 2 on usage/parse errors.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json_parse.h"
+
+namespace {
+
+using ltee::util::JsonValue;
+using ltee::util::ParseJson;
+
+enum class Direction { kHigherIsWorse, kLowerIsWorse, kInformational };
+
+struct MetricValue {
+  double value = 0.0;
+  std::string unit;
+};
+
+using MetricMap = std::map<std::string, MetricValue>;
+
+Direction DirectionOf(const std::string& unit) {
+  if (unit == "seconds" || unit == "ms" || unit == "ns") {
+    return Direction::kHigherIsWorse;
+  }
+  if (unit == "score" || unit == "f1") return Direction::kLowerIsWorse;
+  return Direction::kInformational;
+}
+
+double ToSeconds(double value, const std::string& unit) {
+  if (unit == "ms") return value / 1e3;
+  if (unit == "ns") return value / 1e9;
+  return value;
+}
+
+/// Flattens one snapshot into name -> (value, unit). Supports RunReport
+/// objects and bench_history entries.
+bool Flatten(const JsonValue& doc, MetricMap* out, std::string* error) {
+  if (const JsonValue* results = doc.Find("results");
+      results != nullptr && results->is_array()) {
+    for (const JsonValue& r : results->items()) {
+      const JsonValue* bench = r.Find("bench");
+      const JsonValue* metric = r.Find("metric");
+      const JsonValue* value = r.Find("value");
+      if (bench == nullptr || metric == nullptr || value == nullptr ||
+          !value->is_number()) {
+        continue;
+      }
+      (*out)[bench->as_string() + "/" + metric->as_string()] = {
+          value->as_number(), r.StringOr("unit", "unknown")};
+    }
+    return true;
+  }
+  if (const JsonValue* total = doc.Find("total_seconds");
+      total != nullptr && total->is_number()) {
+    (*out)["run/total_seconds"] = {total->as_number(), "seconds"};
+    if (const JsonValue* stages = doc.Find("stages");
+        stages != nullptr && stages->is_array()) {
+      for (const JsonValue& stage : stages->items()) {
+        const JsonValue* name = stage.Find("stage");
+        const JsonValue* seconds = stage.Find("seconds");
+        if (name == nullptr || seconds == nullptr ||
+            !seconds->is_number()) {
+          continue;
+        }
+        (*out)["stage/" + name->as_string()] = {seconds->as_number(),
+                                                "seconds"};
+      }
+    }
+    if (const JsonValue* metrics = doc.Find("metrics");
+        metrics != nullptr && metrics->is_object()) {
+      if (const JsonValue* counters = metrics->Find("counters");
+          counters != nullptr && counters->is_object()) {
+        for (const auto& [name, value] : counters->members()) {
+          if (value.is_number()) {
+            (*out)["counter/" + name] = {value.as_number(), "count"};
+          }
+        }
+      }
+    }
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unrecognized snapshot: neither a run report nor a bench "
+             "history entry";
+  }
+  return false;
+}
+
+bool ReadFile(const std::string& path, std::string* out,
+              std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              std::vector<std::string>* args) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      args->push_back(arg);
+      continue;
+    }
+    std::string key = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0 &&
+        (key == "threshold" || key == "score-threshold" ||
+         key == "min-seconds" || key == "history")) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = std::string("1");
+    }
+  }
+  return flags;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  report_diff BEFORE.json AFTER.json [options]\n"
+               "  report_diff --history FILE [--against-seed] [options]\n"
+               "options: --threshold PCT (time, default 25) "
+               "--score-threshold PCT (default 5) --min-seconds S "
+               "(default 0.05)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  const auto flags = ParseFlags(argc, argv, &positional);
+  const double time_threshold =
+      (flags.count("threshold") ? std::atof(flags.at("threshold").c_str())
+                                : 25.0) /
+      100.0;
+  const double score_threshold =
+      (flags.count("score-threshold")
+           ? std::atof(flags.at("score-threshold").c_str())
+           : 5.0) /
+      100.0;
+  const double min_seconds =
+      flags.count("min-seconds") ? std::atof(flags.at("min-seconds").c_str())
+                                 : 0.05;
+
+  std::string before_json, after_json, error;
+  std::string before_name = "before", after_name = "after";
+  if (flags.count("history")) {
+    std::string content;
+    if (!ReadFile(flags.at("history"), &content, &error)) {
+      std::fprintf(stderr, "report_diff: %s\n", error.c_str());
+      return 2;
+    }
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < content.size()) {
+      size_t end = content.find('\n', start);
+      if (end == std::string::npos) end = content.size();
+      if (end > start) {
+        std::string line = content.substr(start, end - start);
+        if (line.find_first_not_of(" \t\r") != std::string::npos) {
+          lines.push_back(std::move(line));
+        }
+      }
+      start = end + 1;
+    }
+    if (lines.empty()) {
+      std::fprintf(stderr, "report_diff: empty history %s\n",
+                   flags.at("history").c_str());
+      return 2;
+    }
+    if (lines.size() == 1) {
+      std::printf(
+          "report_diff: only one history entry (the seed data point); "
+          "nothing to compare — pass\n");
+      return 0;
+    }
+    const bool against_seed = flags.count("against-seed") > 0;
+    before_json = against_seed ? lines.front() : lines[lines.size() - 2];
+    after_json = lines.back();
+    before_name = against_seed ? "seed entry" : "previous entry";
+    after_name = "latest entry";
+  } else {
+    if (positional.size() != 2) return Usage();
+    if (!ReadFile(positional[0], &before_json, &error) ||
+        !ReadFile(positional[1], &after_json, &error)) {
+      std::fprintf(stderr, "report_diff: %s\n", error.c_str());
+      return 2;
+    }
+    before_name = positional[0];
+    after_name = positional[1];
+  }
+
+  JsonValue before_doc, after_doc;
+  if (!ParseJson(before_json, &before_doc, &error)) {
+    std::fprintf(stderr, "report_diff: %s: invalid JSON: %s\n",
+                 before_name.c_str(), error.c_str());
+    return 2;
+  }
+  if (!ParseJson(after_json, &after_doc, &error)) {
+    std::fprintf(stderr, "report_diff: %s: invalid JSON: %s\n",
+                 after_name.c_str(), error.c_str());
+    return 2;
+  }
+  MetricMap before, after;
+  if (!Flatten(before_doc, &before, &error) ||
+      !Flatten(after_doc, &after, &error)) {
+    std::fprintf(stderr, "report_diff: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::printf("report_diff: %s -> %s (time +%.0f%%, score -%.0f%%)\n",
+              before_name.c_str(), after_name.c_str(), time_threshold * 100,
+              score_threshold * 100);
+  std::printf("%-44s %14s %14s %9s\n", "metric", "before", "after",
+              "delta");
+  size_t regressions = 0, compared = 0;
+  for (const auto& [name, b] : before) {
+    auto it = after.find(name);
+    if (it == after.end()) continue;
+    const MetricValue& a = it->second;
+    ++compared;
+    const double rel =
+        b.value != 0.0 ? (a.value - b.value) / std::fabs(b.value)
+                       : (a.value != 0.0 ? 1.0 : 0.0);
+    const Direction direction = DirectionOf(b.unit);
+    bool regressed = false;
+    if (direction == Direction::kHigherIsWorse) {
+      const bool above_floor = ToSeconds(b.value, b.unit) >= min_seconds ||
+                               ToSeconds(a.value, a.unit) >= min_seconds;
+      regressed = above_floor && rel > time_threshold;
+    } else if (direction == Direction::kLowerIsWorse) {
+      regressed = rel < -score_threshold;
+    }
+    // Print every gated metric and any informational metric that moved.
+    if (direction != Direction::kInformational || std::fabs(rel) > 1e-9) {
+      std::printf("%-44s %14.6g %14.6g %+8.1f%%%s\n", name.c_str(), b.value,
+                  a.value, rel * 100,
+                  regressed ? "  REGRESSION" : "");
+    }
+    if (regressed) ++regressions;
+  }
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "report_diff: no comparable metrics between inputs\n");
+    return 2;
+  }
+  if (regressions > 0) {
+    std::printf("report_diff: %zu regression(s) beyond threshold\n",
+                regressions);
+    return 1;
+  }
+  std::printf("report_diff: OK (%zu metrics compared)\n", compared);
+  return 0;
+}

@@ -1,17 +1,27 @@
 // Observability smoke check, run as a ctest: executes the pipeline (plus
 // the dedup / slot-filling / KB-update post-stages) over a tiny synthetic
 // dataset with tracing force-enabled, then fails unless
-//   - the Chrome trace export is valid JSON,
+//   - the Chrome trace export is valid JSON and structurally sound
+//     (shared obsv::ValidateChromeTrace checks),
 //   - every instrumented pipeline stage produced at least one span,
 //   - the metrics snapshot serializes to valid JSON and the thread-pool
-//     and pair-cache counters are non-zero.
+//     and pair-cache counters are non-zero,
+//   - a live StatusServer serves the same trace over GET /trace (the
+//     endpoint round-trip), a 200 /healthz and a /metrics exposition
+//     containing the pipeline progress gauges,
+//   - span analytics over the trace account for the root spans: the
+//     summed self times equal the summed top-level span durations.
 //
 // Exit code 0 on success; prints the first failure to stderr otherwise.
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "obsv/http_client.h"
+#include "obsv/span_analytics.h"
+#include "obsv/status_server.h"
 #include "pipeline/dedup.h"
 #include "pipeline/kb_update.h"
 #include "pipeline/pipeline.h"
@@ -105,7 +115,61 @@ int main() {
     if (!found) return Fail(std::string("counter missing or zero: ") + counter);
   }
 
-  std::printf("validate_trace: OK (%zu events, %zu bytes of trace JSON)\n",
-              util::trace::EventCount(), trace.size());
+  // Structural validation (balanced spans, numeric ts/dur) through the
+  // shared checker the analyze-trace path uses.
+  if (!ltee::obsv::ValidateChromeTrace(trace, &error)) {
+    return Fail("trace failed structural validation: " + error);
+  }
+
+  // Endpoint round-trip: a live status server must serve this exact
+  // trace, a healthy /healthz and the pipeline progress gauges.
+  ltee::obsv::StatusServer server;
+  if (!server.Start(0, &error)) {
+    return Fail("status server did not start: " + error);
+  }
+  int status = 0;
+  std::string body;
+  if (!ltee::obsv::HttpGet(server.port(), "/healthz", &status, &body,
+                           &error) ||
+      status != 200) {
+    return Fail("GET /healthz failed: " + error);
+  }
+  if (!ltee::obsv::HttpGet(server.port(), "/trace", &status, &body,
+                           &error) ||
+      status != 200) {
+    return Fail("GET /trace failed: " + error);
+  }
+  if (!ltee::obsv::ValidateChromeTrace(body, &error)) {
+    return Fail("/trace output failed validation: " + error);
+  }
+  if (!ltee::obsv::HttpGet(server.port(), "/metrics", &status, &body,
+                           &error) ||
+      status != 200) {
+    return Fail("GET /metrics failed: " + error);
+  }
+  for (const char* series :
+       {"ltee_pipeline_stage", "ltee_pipeline_classes_done",
+        "ltee_threadpool_tasks_completed_total"}) {
+    if (body.find(series) == std::string::npos) {
+      return Fail(std::string("/metrics missing series: ") + series);
+    }
+  }
+  server.Stop();
+
+  // Self-time invariant of the analytics: per thread, the self times of
+  // all spans sum to the durations of the top-level spans, so the two
+  // totals must agree (within floating-point slack) across the trace.
+  ltee::obsv::TraceAnalysis analysis;
+  if (!ltee::obsv::AnalyzeChromeTrace(trace, &analysis, &error)) {
+    return Fail("trace analytics failed: " + error);
+  }
+  if (analysis.num_events == 0 || analysis.busy_ms <= 0.0) {
+    return Fail("trace analytics produced no span statistics");
+  }
+
+  std::printf("validate_trace: OK (%zu events, %zu bytes of trace JSON, "
+              "busy %.1f ms over wall %.1f ms)\n",
+              util::trace::EventCount(), trace.size(), analysis.busy_ms,
+              analysis.wall_ms);
   return 0;
 }
