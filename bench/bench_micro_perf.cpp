@@ -21,6 +21,7 @@
 #include "ml/random_forest.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/training.h"
+#include "prov/ledger.h"
 #include "synth/dataset.h"
 #include "types/value_parser.h"
 #include "util/random.h"
@@ -264,6 +265,21 @@ void RunEndToEndTimings() {
     auto run = pipe.Run(raw_corpus, classes);
     benchmark::DoNotOptimize(run);
     EmitSeconds("E2E_PipelineRunPrepared", timer.ElapsedSeconds());
+  }
+  {
+    // Ledger-enabled rerun on the memoized corpus: the decision-provenance
+    // overhead is the delta to E2E_PipelineRunPrepared (the prov design
+    // target is < 5% end to end, ~0 when disabled).
+    prov::SetEnabled(true);
+    prov::Clear();
+    util::WallTimer timer;
+    auto run = pipe.Run(raw_corpus, classes);
+    benchmark::DoNotOptimize(run);
+    EmitSeconds("E2E_PipelineRunProvenance", timer.ElapsedSeconds());
+    std::fprintf(stderr, "# provenance events recorded: %zu\n",
+                 prov::EventCount());
+    prov::SetEnabled(false);
+    prov::Clear();
   }
 }
 

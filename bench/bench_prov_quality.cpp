@@ -1,0 +1,86 @@
+// Quality-drift trajectory bench: runs the fixed-seed pipeline (with the
+// decision-provenance ledger enabled and the post-run stages applied, the
+// same shape as `ltee_cli run --dedup`) and emits the derived ltee.prov.*
+// quality signals as trajectory lines. The `_rate` gauges carry unit
+// "rate", which tools/report_diff gates upward against
+// --quality-threshold — so a change that silently degrades decision
+// quality (more single-source facts, more fusion conflicts, more
+// near-threshold cluster memberships) fails the bench_regression gate
+// even when every wall time improved. Counts and the per-class
+// NEW/EXISTING ratios ride along informationally.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "pipeline/dedup.h"
+#include "pipeline/kb_update.h"
+#include "pipeline/slot_filling.h"
+#include "prov/ledger.h"
+#include "util/metrics.h"
+
+namespace {
+
+using namespace ltee;
+
+bool StartsWith(const std::string& name, const char* prefix) {
+  return name.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& name, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::ScopedWallClock wall_clock("prov_quality");
+  auto dataset = bench::MakeDataset(0.002);
+
+  pipeline::PipelineOptions options;
+  pipeline::LteePipeline pipe(dataset.kb, options);
+  util::Rng rng(41);
+  pipeline::TrainPipelineOnGold(&pipe, dataset.gs_corpus, dataset.gold, rng);
+
+  // Ledger on only for the measured run — training probes would pollute
+  // the decision counts.
+  prov::SetEnabled(true);
+  prov::Clear();
+
+  std::vector<kb::ClassId> classes;
+  for (const auto& gs : dataset.gold) classes.push_back(gs.cls);
+  auto run = pipe.Run(dataset.corpus, classes);
+
+  // Post-run stages, matching the CLI: dedup, slot filling, KB update.
+  for (auto& class_run : run.classes) {
+    auto deduped = pipeline::DeduplicateEntities(
+        std::move(class_run.entities), std::move(class_run.detections));
+    auto fills = pipeline::FillSlots(dataset.kb, deduped.entities,
+                                     deduped.detections);
+    pipeline::ApplySlotFills(&dataset.kb, fills.new_facts);
+    pipeline::AddNewEntitiesToKb(&dataset.kb, deduped.entities,
+                                 deduped.detections, {});
+  }
+  prov::RefreshQualityGauges();
+
+  const auto snapshot = util::Metrics().Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!StartsWith(name, "ltee.prov.")) continue;
+    bench::EmitResult("prov_quality", name, static_cast<double>(value),
+                      "count");
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!StartsWith(name, "ltee.prov.")) continue;
+    const char* unit = EndsWith(name, "_rate")
+                           ? "rate"
+                           : (name.find("ratio") != std::string::npos
+                                  ? "ratio"
+                                  : "gauge");
+    bench::EmitResult("prov_quality", name, value, unit);
+  }
+  bench::EmitResult("prov_quality", "ledger_events",
+                    static_cast<double>(prov::EventCount()), "count");
+  return 0;
+}

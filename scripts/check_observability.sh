@@ -28,4 +28,28 @@ ctest --test-dir "${BUILD_DIR}" -L observability --output-on-failure -j "$(nproc
     --history "${REPO_ROOT}/BENCH_history.json" --against-seed \
     --threshold 100
 
+# Decision-provenance end to end: a fixed-seed pipeline run writing its
+# ledger, structural validation of every event line (util/json_parse via
+# validate_ledger), and one explain query resolving a real subject pulled
+# from the ledger back to a complete lineage.
+LEDGER="${BUILD_DIR}/provenance.jsonl"
+"${BUILD_DIR}/tools/ltee_cli" run --scale 0.002 --seed 41 --dedup \
+    --provenance-out "${LEDGER}" >/dev/null
+
+"${BUILD_DIR}/tools/validate_ledger" "${LEDGER}"
+
+SUBJECT="$(grep -m1 '"reason":"new_entity"' "${LEDGER}" \
+    | sed 's/.*"subject":"\([^"]*\)".*/\1/')"
+if [[ -z "${SUBJECT}" ]]; then
+    echo "check_observability: FAIL: no accepted new_entity fact in ledger" >&2
+    exit 1
+fi
+EXPLAIN="$("${BUILD_DIR}/tools/ltee_cli" explain "${SUBJECT}" \
+    --ledger "${LEDGER}" --first)"
+echo "${EXPLAIN}"
+if ! grep -q "chain: COMPLETE" <<<"${EXPLAIN}"; then
+    echo "check_observability: FAIL: explain '${SUBJECT}' has missing lineage links" >&2
+    exit 1
+fi
+
 echo "check_observability: OK"

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "matching/attribute_matchers.h"
+#include "prov/ledger.h"
 #include "types/value_parser.h"
 #include "util/metrics.h"
 #include "util/stats.h"
@@ -103,6 +104,9 @@ std::vector<CreatedEntity> EntityCreator::Create(
   struct Candidate {
     Value value;
     double score;
+    /// Source cell the value was read from (fusion provenance).
+    webtable::RowRef source;
+    int column = -1;
   };
   // per cluster: property -> candidates
   std::vector<std::unordered_map<kb::PropertyId, std::vector<Candidate>>>
@@ -136,7 +140,8 @@ std::vector<CreatedEntity> EntityCreator::Create(
           break;
         }
       }
-      candidates[c][rv.property].push_back({rv.value, score});
+      candidates[c][rv.property].push_back(
+          {rv.value, score, row.ref, rv.column});
     }
   }
 
@@ -173,8 +178,13 @@ std::vector<CreatedEntity> EntityCreator::Create(
   }
 
   // ---- Fuse candidate values: score -> group -> select -> fuse. ---------
+  util::Counter& single_source_counter =
+      util::Metrics().GetCounter("ltee.prov.facts_with_single_source");
+  util::Counter& conflict_counter =
+      util::Metrics().GetCounter("ltee.prov.fusion_conflicts");
   for (int c = 0; c < num_clusters; ++c) {
     for (auto& [property, values] : candidates[c]) {
+      const size_t candidate_count = values.size();
       // Group equal values (type-specific equality).
       struct Group {
         std::vector<Candidate> members;
@@ -209,10 +219,12 @@ std::vector<CreatedEntity> EntityCreator::Create(
       // Fuse the selected group.
       const DataType type = kb_->property(property).type;
       Value fused;
+      const char* fusion_rule = "exact";
       switch (type) {
         case DataType::kText:
         case DataType::kInstanceReference: {
           // Majority by exact key, resolved to the highest-scored member.
+          fusion_rule = "majority";
           std::unordered_map<std::string, double> votes;
           for (const auto& member : best->members) {
             votes[matching::ExactValueKey(member.value)] += 1.0;
@@ -234,6 +246,7 @@ std::vector<CreatedEntity> EntityCreator::Create(
           break;
         }
         case DataType::kQuantity: {
+          fusion_rule = "weighted_median";
           std::vector<std::pair<double, double>> vw;
           for (const auto& member : best->members) {
             vw.emplace_back(member.value.number, member.score);
@@ -242,6 +255,7 @@ std::vector<CreatedEntity> EntityCreator::Create(
           break;
         }
         case DataType::kDate: {
+          fusion_rule = "weighted_median";
           // Weighted median over date serials, resolved back to the member
           // closest to the median (so granularities stay authentic).
           std::vector<std::pair<double, double>> vw;
@@ -264,6 +278,29 @@ std::vector<CreatedEntity> EntityCreator::Create(
           // All group members are exactly equal; no fusion necessary.
           fused = best->members.front().value;
           break;
+      }
+      if (best->members.size() == 1) single_source_counter.Increment();
+      if (groups.size() > 1) conflict_counter.Increment();
+      if (prov::IsEnabled()) {
+        prov::FusionDecision decision;
+        decision.cls = rows.cls;
+        decision.cluster_id = c;
+        decision.property = property;
+        decision.property_name = kb_->property(property).name;
+        decision.value = fused.ToString();
+        decision.rule = fusion_rule;
+        decision.score = best->score_sum;
+        decision.candidate_count = static_cast<int>(candidate_count);
+        for (const auto& member : best->members) {
+          decision.sources.push_back(
+              {member.source.table, member.source.row, member.column});
+        }
+        for (const auto& group : groups) {
+          if (&group == best) continue;
+          decision.losing_values.push_back(
+              group.members.front().value.ToString());
+        }
+        prov::Record(std::move(decision));
       }
       entities[c].facts.push_back(kb::Fact{property, std::move(fused)});
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "prov/ledger.h"
 #include "util/metrics.h"
 #include "util/stats.h"
 #include "util/trace.h"
@@ -89,6 +90,8 @@ TableMapping SchemaMatcher::MatchTableImpl(const webtable::PreparedTable& table,
     if (static_cast<int>(c) == mapping.label_column) continue;
     kb::PropertyId best_property = kb::kInvalidProperty;
     double best_score = 0.0;
+    std::array<double, kNumMatchers> best_matcher_scores;
+    best_matcher_scores.fill(-1.0);
     for (kb::PropertyId pid : class_properties) {
       if (!types::DetectedTypeAdmitsProperty(column_types[c],
                                              kb_->property(pid).type)) {
@@ -100,13 +103,32 @@ TableMapping SchemaMatcher::MatchTableImpl(const webtable::PreparedTable& table,
       if (agg > best_score) {
         best_score = agg;
         best_property = pid;
+        best_matcher_scores = scores;
       }
     }
     // Match only when the winner also clears its per-property threshold.
-    if (best_property != kb::kInvalidProperty &&
-        best_score >= ThresholdOf(best_property)) {
+    const bool accepted = best_property != kb::kInvalidProperty &&
+                          best_score >= ThresholdOf(best_property);
+    if (accepted) {
       mapping.columns[c].property = best_property;
       mapping.columns[c].score = best_score;
+    }
+    if (best_property != kb::kInvalidProperty && prov::IsEnabled()) {
+      prov::SchemaMapDecision decision;
+      decision.cls = mapping.cls;
+      decision.table = table.id;
+      decision.column = static_cast<int>(c);
+      decision.property = best_property;
+      decision.property_name = kb_->property(best_property).name;
+      decision.score = best_score;
+      decision.threshold = ThresholdOf(best_property);
+      decision.accepted = accepted;
+      for (int m = 0; m < kNumMatchers; ++m) {
+        if (best_matcher_scores[m] < 0.0) continue;  // not applicable
+        decision.matcher_scores.emplace_back(
+            MatcherName(static_cast<MatcherId>(m)), best_matcher_scores[m]);
+      }
+      prov::Record(std::move(decision));
     }
   }
   return mapping;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "prov/ledger.h"
 #include "types/type_similarity.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/similarity.h"
 #include "util/string_util.h"
@@ -204,9 +206,13 @@ std::vector<NewDetector::ScoredCandidate> NewDetector::ScoreCandidates(
         std::find(by_popularity.begin(), by_popularity.end(), id);
     const double rank = static_cast<double>(rank_it - by_popularity.begin()) + 1.0;
     const double pop_score = candidates.size() == 1 ? 1.0 : 1.0 / rank;
-    out.push_back(
-        {id, aggregator_.Score(CompareImpl(entity, label_tokens, id,
-                                           pop_score))});
+    ScoredCandidate scored;
+    scored.instance = id;
+    ml::ScoredFeatures features =
+        CompareImpl(entity, label_tokens, id, pop_score);
+    scored.score = aggregator_.Score(features);
+    if (prov::IsEnabled()) scored.features = std::move(features);
+    out.push_back(std::move(scored));
   }
   std::sort(out.begin(), out.end(),
             [](const ScoredCandidate& a, const ScoredCandidate& b) {
@@ -310,6 +316,17 @@ std::vector<Detection> NewDetector::Detect(
   util::trace::ScopedSpan span("newdetect.detect");
   span.AddArg("entities", entities.size());
   size_t new_entities = 0, matched = 0;
+  // Feature names of the enabled metrics, in emission order (provenance).
+  std::vector<std::string> feature_names;
+  if (prov::IsEnabled()) {
+    for (int m = 0; m < kNumEntityMetrics; ++m) {
+      if (options_.enabled_metrics[m]) {
+        feature_names.push_back(EntityMetricName(static_cast<EntityMetric>(m)));
+      }
+    }
+  }
+  // NEW verdicts per class, feeding the ltee.prov.new_ratio_* gauges.
+  std::unordered_map<kb::ClassId, std::pair<size_t, size_t>> class_counts;
   std::vector<Detection> out;
   out.reserve(entities.size());
   for (const auto& entity : entities) {
@@ -334,7 +351,49 @@ std::vector<Detection> NewDetector::Detect(
     } else if (detection.instance != kb::kInvalidInstance) {
       ++matched;
     }
+    if (entity.cls != kb::kInvalidClass) {
+      auto& [news, total] = class_counts[entity.cls];
+      if (detection.is_new) ++news;
+      ++total;
+    }
+    if (prov::IsEnabled()) {
+      prov::NewDetectDecision decision;
+      decision.cls = entity.cls;
+      decision.cluster_id = entity.cluster_id;
+      if (!entity.labels.empty()) decision.label = entity.labels.front();
+      decision.is_new = detection.is_new;
+      decision.best_score = detection.best_score;
+      decision.new_threshold = new_threshold_;
+      decision.match_threshold = match_threshold_;
+      if (detection.instance != kb::kInvalidInstance) {
+        const auto& labels = kb_->instance(detection.instance).labels;
+        if (!labels.empty()) decision.matched_instance = labels.front();
+      }
+      const size_t top = std::min<size_t>(3, candidates.size());
+      for (size_t k = 0; k < top; ++k) {
+        const auto& labels = kb_->instance(candidates[k].instance).labels;
+        decision.candidates.emplace_back(labels.empty() ? "" : labels.front(),
+                                         candidates[k].score);
+      }
+      if (!candidates.empty()) {
+        const auto& sims = candidates.front().features.sims;
+        for (size_t k = 0; k < sims.size() && k < feature_names.size(); ++k) {
+          decision.features.emplace_back(feature_names[k], sims[k]);
+        }
+      }
+      prov::Record(std::move(decision));
+    }
     out.push_back(detection);
+  }
+  // Per-class NEW/EXISTING ratio gauges (always on; one writer per class
+  // because the pipeline runs each class's Detect on a single thread).
+  for (const auto& [cls, counts] : class_counts) {
+    const auto& [news, total] = counts;
+    if (total == 0) continue;
+    util::Metrics()
+        .GetGauge("ltee.prov.new_ratio_" +
+                  util::SanitizeMetricSegment(kb_->cls(cls).name))
+        .Set(static_cast<double>(news) / static_cast<double>(total));
   }
   span.AddArg("new", new_entities);
   span.AddArg("matched", matched);

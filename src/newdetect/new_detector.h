@@ -97,6 +97,9 @@ class NewDetector {
   struct ScoredCandidate {
     kb::InstanceId instance;
     double score;
+    /// Per-metric features; filled only when the provenance ledger is
+    /// enabled (Detect() attaches them to its NewDetectDecision).
+    ml::ScoredFeatures features;
   };
   /// Candidates with aggregated scores, best first.
   std::vector<ScoredCandidate> ScoreCandidates(

@@ -45,6 +45,44 @@ void SendAll(int fd, std::string_view data) {
 
 }  // namespace
 
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < end &&
+        query.compare(pos, eq - pos, key) == 0) {
+      std::string out;
+      for (size_t i = eq + 1; i < end; ++i) {
+        const char c = query[i];
+        if (c == '+') {
+          out.push_back(' ');
+        } else if (c == '%' && i + 2 < end) {
+          const auto hex = [](char h) -> int {
+            if (h >= '0' && h <= '9') return h - '0';
+            if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+            if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+            return -1;
+          };
+          const int hi = hex(query[i + 1]), lo = hex(query[i + 2]);
+          if (hi >= 0 && lo >= 0) {
+            out.push_back(static_cast<char>(hi * 16 + lo));
+            i += 2;
+          } else {
+            out.push_back(c);
+          }
+        } else {
+          out.push_back(c);
+        }
+      }
+      return out;
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
 HttpServer::HttpServer() = default;
 
 HttpServer::~HttpServer() { Stop(); }
@@ -153,23 +191,29 @@ void HttpServer::ServeConnection(int fd) {
       target = line.substr(sp1 + 1, sp2 - sp1 - 1);
     }
   }
+  HttpRequest http_request;
+  http_request.method = method;
   if (const size_t q = target.find('?'); q != std::string::npos) {
+    http_request.query = target.substr(q + 1);
     target.resize(q);
   }
+  http_request.path = target;
 
   if (method.empty() || target.empty()) {
     response.status = 400;
     response.body = "malformed request\n";
   } else if (method != "GET" && method != "HEAD") {
+    // RFC 9110: a 405 must name the allowed methods.
     response.status = 405;
     response.body = "only GET is supported\n";
+    response.headers.emplace_back("Allow", "GET");
   } else {
     auto it = handlers_.find(target);
     if (it == handlers_.end()) {
       response.status = 404;
       response.body = "unknown endpoint: " + target + "\n";
     } else {
-      response = it->second();
+      response = it->second(http_request);
     }
   }
 
@@ -177,8 +221,11 @@ void HttpServer::ServeConnection(int fd) {
                      StatusText(response.status) +
                      "\r\nContent-Type: " + response.content_type +
                      "\r\nContent-Length: " +
-                     std::to_string(response.body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
+                     std::to_string(response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    head += "\r\n" + name + ": " + value;
+  }
+  head += "\r\nConnection: close\r\n\r\n";
   SendAll(fd, head);
   if (method != "HEAD") SendAll(fd, response.body);
   ::shutdown(fd, SHUT_WR);

@@ -7,22 +7,40 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/thread_pool.h"
 
 namespace ltee::obsv {
 
-/// Response of one handler invocation.
+/// One parsed request head as seen by a handler: the method, the path the
+/// handler was dispatched on, and the raw query string (anything after
+/// '?', still percent-encoded; empty when absent).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+};
+
+/// Response of one handler invocation. `headers` are extra response
+/// headers appended verbatim after Content-Type/Content-Length.
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// GET-path handler. Handlers run on the server's worker pool and must be
-/// thread-safe; the query string (anything after '?') is stripped before
-/// dispatch.
-using HttpHandler = std::function<HttpResponse()>;
+/// thread-safe; dispatch is on the path with the query string stripped,
+/// and the query is handed to the handler via HttpRequest.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// One decoded `key=value` parameter of a query string. Returns the
+/// percent-decoded value of `key` ('+' decodes to a space), or "" when
+/// the key is absent.
+std::string QueryParam(const std::string& query, const std::string& key);
 
 /// Dependency-free blocking HTTP/1.1 server for the introspection
 /// endpoints: one accept thread, connections dispatched onto a small

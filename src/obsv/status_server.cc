@@ -1,5 +1,6 @@
 #include "obsv/status_server.h"
 
+#include "prov/explain.h"
 #include "util/metrics.h"
 #include "util/prometheus.h"
 #include "util/trace.h"
@@ -7,24 +8,24 @@
 namespace ltee::obsv {
 
 StatusServer::StatusServer() {
-  server_.Handle("/healthz", [] {
+  server_.Handle("/healthz", [](const HttpRequest&) {
     HttpResponse response;
     response.body = "ok\n";
     return response;
   });
-  server_.Handle("/metrics", [] {
+  server_.Handle("/metrics", [](const HttpRequest&) {
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = util::RenderPrometheusText(util::Metrics().Snapshot());
     return response;
   });
-  server_.Handle("/trace", [] {
+  server_.Handle("/trace", [](const HttpRequest&) {
     HttpResponse response;
     response.content_type = "application/json";
     response.body = util::trace::ExportChromeTrace();
     return response;
   });
-  server_.Handle("/report", [this] {
+  server_.Handle("/report", [this](const HttpRequest&) {
     HttpResponse response;
     std::lock_guard<std::mutex> lock(report_mu_);
     if (report_json_.empty()) {
@@ -34,6 +35,39 @@ StatusServer::StatusServer() {
       response.content_type = "application/json";
       response.body = report_json_;
     }
+    return response;
+  });
+  server_.Handle("/provenance", [this](const HttpRequest& request) {
+    HttpResponse response;
+    std::string ledger;
+    {
+      std::lock_guard<std::mutex> lock(report_mu_);
+      ledger = provenance_jsonl_;
+    }
+    if (ledger.empty()) {
+      response.status = 404;
+      response.body = "no provenance ledger published yet\n";
+      return response;
+    }
+    const std::string entity = QueryParam(request.query, "entity");
+    if (entity.empty()) {
+      // No filter: the raw JSON-lines ledger.
+      response.content_type = "application/x-ndjson";
+      response.body = std::move(ledger);
+      return response;
+    }
+    prov::ExplainOptions options;
+    options.entity = entity;
+    options.property = QueryParam(request.query, "property");
+    options.json = true;
+    const prov::ExplainResult result = prov::Explain(ledger, options);
+    if (!result.ok) {
+      response.status = 500;
+      response.body = result.error + "\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = result.output;
     return response;
   });
 }
@@ -47,6 +81,11 @@ void StatusServer::Stop() { server_.Stop(); }
 void StatusServer::PublishReport(std::string report_json) {
   std::lock_guard<std::mutex> lock(report_mu_);
   report_json_ = std::move(report_json);
+}
+
+void StatusServer::PublishProvenance(std::string ledger_jsonl) {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  provenance_jsonl_ = std::move(ledger_jsonl);
 }
 
 }  // namespace ltee::obsv

@@ -11,10 +11,13 @@ namespace ltee::obsv {
 /// Live introspection endpoints over the process-wide observability
 /// state. Embedded in `ltee_cli run --status-port <p>` so a long pipeline
 /// run can be watched with curl / a Prometheus scraper mid-flight:
-///   GET /metrics  Prometheus text exposition 0.0.4 of util::Metrics()
-///   GET /report   latest run report JSON (404 until one is published)
-///   GET /trace    Chrome trace-event JSON of the current span buffers
-///   GET /healthz  "ok" (liveness)
+///   GET /metrics     Prometheus text exposition 0.0.4 of util::Metrics()
+///   GET /report      latest run report JSON (404 until one is published)
+///   GET /trace       Chrome trace-event JSON of the current span buffers
+///   GET /provenance  published decision ledger (JSON lines); with
+///                    ?entity=<substring>[&property=<name>] the lineage of
+///                    the matching facts as explain-query JSON
+///   GET /healthz     "ok" (liveness)
 class StatusServer {
  public:
   StatusServer();
@@ -30,10 +33,14 @@ class StatusServer {
   /// the pipeline owner calls this when a run (or an iteration) ends.
   void PublishReport(std::string report_json);
 
+  /// Publishes the provenance ledger (JSON lines) served at /provenance.
+  void PublishProvenance(std::string ledger_jsonl);
+
  private:
   HttpServer server_;
   std::mutex report_mu_;
   std::string report_json_;
+  std::string provenance_jsonl_;
 };
 
 }  // namespace ltee::obsv

@@ -4,6 +4,7 @@
 #include <iterator>
 #include <unordered_map>
 
+#include "prov/ledger.h"
 #include "util/metrics.h"
 #include "util/similarity.h"
 #include "util/string_util.h"
@@ -87,6 +88,21 @@ DedupResult DeduplicateEntities(std::vector<fusion::CreatedEntity> entities,
         bool had_overlap = false;
         if (!FactsAgree(entities[a], entities[b], options, &had_overlap)) {
           continue;
+        }
+        if (prov::IsEnabled()) {
+          prov::DedupDecision decision;
+          decision.cls = entities[a].cls;
+          decision.surviving_cluster = entities[a].cluster_id;
+          decision.absorbed_cluster = entities[b].cluster_id;
+          for (const auto& fact : entities[b].facts) {
+            if (entities[a].FactOf(fact.property) == nullptr) {
+              decision.facts_adopted += 1;
+            }
+          }
+          if (!entities[a].labels.empty()) {
+            decision.label = entities[a].labels.front();
+          }
+          prov::Record(std::move(decision));
         }
         Absorb(&entities[a], entities[b]);
         // Prefer an existing-instance detection over "new".

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "prov/ledger.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/trace.h"
@@ -46,16 +47,39 @@ KbUpdateResult AddNewEntitiesToKb(
   util::trace::ScopedSpan span("pipeline.kb_update");
   span.AddArg("entities", entities.size());
   KbUpdateResult result;
+  const bool prov_enabled = prov::IsEnabled();
   for (size_t e = 0; e < entities.size(); ++e) {
     if (!detections[e].is_new) continue;
     const fusion::CreatedEntity& entity = entities[e];
     if (entity.labels.empty() || entity.facts.size() < options.min_facts) {
+      if (prov_enabled) {
+        prov::KbUpdateDecision decision;
+        decision.cls = entity.cls;
+        decision.cluster_id = entity.cluster_id;
+        if (!entity.labels.empty()) decision.subject = entity.labels.front();
+        decision.accepted = false;
+        decision.reason =
+            entity.labels.empty() ? "no_labels" : "below_min_facts";
+        prov::Record(std::move(decision));
+      }
       continue;
     }
     const kb::InstanceId id = kb->AddInstance(entity.cls, entity.labels);
     for (const auto& fact : entity.facts) {
       kb->AddFact(id, fact.property, fact.value);
       result.facts_added += 1;
+      if (prov_enabled) {
+        prov::KbUpdateDecision decision;
+        decision.cls = entity.cls;
+        decision.cluster_id = entity.cluster_id;
+        decision.subject = entity.labels.front();
+        decision.property = fact.property;
+        decision.property_name = kb->property(fact.property).name;
+        decision.value = fact.value.ToString();
+        decision.accepted = true;
+        decision.reason = "new_entity";
+        prov::Record(std::move(decision));
+      }
     }
     result.new_instance_ids.push_back(id);
     result.instances_added += 1;

@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.h"
 
+#include "prov/ledger.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -181,6 +182,9 @@ PipelineRunResult LteePipeline::Run(
   for (int iteration = 0; iteration < options_.iterations; ++iteration) {
     const std::string iter_suffix = ".iter" + std::to_string(iteration + 1);
     iteration_gauge.Set(static_cast<double>(iteration + 1));
+    // Stamp every provenance event of this iteration; post-run stages
+    // (dedup, slot filling, KB update) inherit the final iteration.
+    prov::SetIteration(iteration + 1);
     matching::SchemaMapping mapping;
     stage_timer.Restart();
     {
@@ -245,6 +249,7 @@ PipelineRunResult LteePipeline::Run(
     LTEE_LOG(kDebug) << "pipeline iteration " << (iteration + 1) << " done";
   }
   out.report.total_seconds = run_timer.ElapsedSeconds();
+  prov::RefreshQualityGauges();
   out.report.metrics = util::Metrics().Snapshot();
   return out;
 }

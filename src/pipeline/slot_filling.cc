@@ -1,5 +1,6 @@
 #include "pipeline/slot_filling.h"
 
+#include "prov/ledger.h"
 #include "types/type_similarity.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -14,6 +15,7 @@ SlotFillingResult FillSlots(
   span.AddArg("entities", entities.size());
   SlotFillingResult result;
   const types::TypeSimilarityOptions sim_options;
+  const bool prov_enabled = prov::IsEnabled();
   for (size_t e = 0; e < entities.size(); ++e) {
     const newdetect::Detection& detection = detections[e];
     if (detection.is_new || detection.instance == kb::kInvalidInstance) {
@@ -22,13 +24,33 @@ SlotFillingResult FillSlots(
     for (const auto& fact : entities[e].facts) {
       const types::Value* existing =
           kb.FactOf(detection.instance, fact.property);
+      const char* reason = nullptr;
+      bool accepted = false;
       if (existing == nullptr) {
         result.new_facts.push_back({detection.instance, fact.property,
                                     fact.value, static_cast<int>(e)});
+        reason = "slot_fill";
+        accepted = true;
       } else if (types::ValuesEqual(fact.value, *existing, sim_options)) {
         result.confirmations += 1;
+        reason = "slot_confirmed";
+        accepted = true;
       } else {
         result.conflicts += 1;
+        reason = "slot_conflict";
+      }
+      if (prov_enabled) {
+        prov::KbUpdateDecision decision;
+        decision.cls = entities[e].cls;
+        decision.cluster_id = entities[e].cluster_id;
+        const auto& labels = kb.instance(detection.instance).labels;
+        if (!labels.empty()) decision.subject = labels.front();
+        decision.property = fact.property;
+        decision.property_name = kb.property(fact.property).name;
+        decision.value = fact.value.ToString();
+        decision.accepted = accepted;
+        decision.reason = reason;
+        prov::Record(std::move(decision));
       }
     }
   }

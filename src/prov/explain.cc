@@ -1,0 +1,344 @@
+#include "prov/explain.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "util/json_parse.h"
+
+namespace ltee::prov {
+
+namespace {
+
+using util::JsonValue;
+
+std::string AsciiLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// One parsed ledger line with its raw JSON (re-embedded verbatim in the
+/// JSON rendering so the explain output stays faithful to the ledger).
+struct Event {
+  JsonValue value;
+  std::string raw;
+};
+
+int IntOf(const JsonValue& v, const char* key, int fallback = -1) {
+  return static_cast<int>(v.NumberOr(key, fallback));
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// The lineage of one accepted triple.
+struct Chain {
+  const Event* kb_update = nullptr;
+  const Event* fusion = nullptr;
+  const Event* new_detect = nullptr;
+  std::vector<const Event*> dedups;
+  /// Per source cell: the cell's fusion "sources" entry index, the row's
+  /// cluster decision and the column's schema mapping (either may be
+  /// missing).
+  struct Source {
+    int table = -1, row = -1, column = -1;
+    const Event* cluster = nullptr;
+    const Event* schema_map = nullptr;
+  };
+  std::vector<Source> sources;
+  bool complete = false;
+};
+
+void RenderText(const std::vector<Chain>& chains, std::string* out) {
+  for (const Chain& chain : chains) {
+    const JsonValue& ku = chain.kb_update->value;
+    out->append("fact: " + ku.StringOr("subject", "?") + " --" +
+                ku.StringOr("property_name", "?") + "--> " +
+                ku.StringOr("value", "?") + "  [" +
+                ku.StringOr("reason", "?") + ", class " +
+                std::to_string(IntOf(ku, "cls")) + ", iter " +
+                std::to_string(IntOf(ku, "iter")) + "]\n");
+    for (const Event* dedup : chain.dedups) {
+      const JsonValue& d = dedup->value;
+      out->append("  dedup: cluster " +
+                  std::to_string(IntOf(d, "absorbed_cluster")) +
+                  " absorbed into " + std::to_string(IntOf(d, "cluster_id")) +
+                  " (" + std::to_string(IntOf(d, "facts_adopted", 0)) +
+                  " facts adopted)\n");
+    }
+    if (chain.fusion == nullptr) {
+      out->append("  fusion: MISSING\n");
+    } else {
+      const JsonValue& f = chain.fusion->value;
+      out->append("  fused: rule=" + f.StringOr("rule", "?") + " score=" +
+                  Num(f.NumberOr("score", 0)) + " cluster=" +
+                  std::to_string(IntOf(f, "cluster_id")) + " from " +
+                  std::to_string(chain.sources.size()) + " source cell(s)");
+      if (const JsonValue* losers = f.Find("losers");
+          losers != nullptr && losers->is_array()) {
+        out->append(", beat");
+        for (const JsonValue& loser : losers->items()) {
+          out->append(" \"" + loser.as_string() + "\"");
+        }
+      }
+      out->push_back('\n');
+    }
+    for (const Chain::Source& source : chain.sources) {
+      out->append("  cell t" + std::to_string(source.table) + ":r" +
+                  std::to_string(source.row) + ":c" +
+                  std::to_string(source.column) + "\n");
+      if (source.cluster == nullptr) {
+        out->append("    cluster: MISSING\n");
+      } else {
+        const JsonValue& c = source.cluster->value;
+        out->append("    in cluster " + std::to_string(IntOf(c, "cluster_id")) +
+                    " (size " + std::to_string(IntOf(c, "cluster_size", 0)) +
+                    ", support " + Num(c.NumberOr("support", 0)) +
+                    ", offset " + Num(c.NumberOr("threshold", 0)) + ")\n");
+      }
+      if (source.schema_map == nullptr) {
+        out->append("    schema mapping: MISSING\n");
+      } else {
+        const JsonValue& m = source.schema_map->value;
+        out->append("    column c" + std::to_string(IntOf(m, "column")) +
+                    " -> " + m.StringOr("property_name", "?") + " (score " +
+                    Num(m.NumberOr("score", 0)) + " >= threshold " +
+                    Num(m.NumberOr("threshold", 0)) + ")\n");
+      }
+    }
+    if (chain.new_detect != nullptr) {
+      const JsonValue& n = chain.new_detect->value;
+      const bool is_new = n.Find("is_new") != nullptr &&
+                          n.Find("is_new")->is_bool() &&
+                          n.Find("is_new")->as_bool();
+      out->append(std::string("  verdict: ") + (is_new ? "NEW" : "EXISTING") +
+                  " (best candidate score " +
+                  Num(n.NumberOr("best_score", -1)) + ", new threshold " +
+                  Num(n.NumberOr("new_threshold", 0)) + ")\n");
+    }
+    out->append(chain.complete ? "  chain: COMPLETE\n" : "  chain: INCOMPLETE\n");
+  }
+}
+
+void RenderJson(const std::vector<Chain>& chains, std::string* out) {
+  out->append("{\"facts\":[");
+  for (size_t i = 0; i < chains.size(); ++i) {
+    const Chain& chain = chains[i];
+    if (i > 0) out->push_back(',');
+    out->append("{\"complete\":");
+    out->append(chain.complete ? "true" : "false");
+    out->append(",\"kb_update\":");
+    out->append(chain.kb_update->raw);
+    if (chain.fusion != nullptr) {
+      out->append(",\"fusion\":");
+      out->append(chain.fusion->raw);
+    }
+    if (chain.new_detect != nullptr) {
+      out->append(",\"new_detect\":");
+      out->append(chain.new_detect->raw);
+    }
+    if (!chain.dedups.empty()) {
+      out->append(",\"dedups\":[");
+      for (size_t d = 0; d < chain.dedups.size(); ++d) {
+        if (d > 0) out->push_back(',');
+        out->append(chain.dedups[d]->raw);
+      }
+      out->push_back(']');
+    }
+    out->append(",\"sources\":[");
+    for (size_t s = 0; s < chain.sources.size(); ++s) {
+      const Chain::Source& source = chain.sources[s];
+      if (s > 0) out->push_back(',');
+      out->append("{\"table\":" + std::to_string(source.table) +
+                  ",\"row\":" + std::to_string(source.row) +
+                  ",\"column\":" + std::to_string(source.column));
+      if (source.cluster != nullptr) {
+        out->append(",\"cluster\":");
+        out->append(source.cluster->raw);
+      }
+      if (source.schema_map != nullptr) {
+        out->append(",\"schema_map\":");
+        out->append(source.schema_map->raw);
+      }
+      out->push_back('}');
+    }
+    out->append("]}");
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+ExplainResult Explain(const std::string& ledger_jsonl,
+                      const ExplainOptions& options) {
+  ExplainResult result;
+
+  // ---- Parse the ledger and index the link targets. ----------------------
+  std::vector<Event> events;
+  size_t pos = 0, line_no = 0;
+  while (pos < ledger_jsonl.size()) {
+    size_t end = ledger_jsonl.find('\n', pos);
+    if (end == std::string::npos) end = ledger_jsonl.size();
+    ++line_no;
+    std::string line = ledger_jsonl.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    Event event;
+    std::string error;
+    if (!util::ParseJson(line, &event.value, &error)) {
+      result.error =
+          "ledger line " + std::to_string(line_no) + ": " + error;
+      return result;
+    }
+    event.raw = std::move(line);
+    events.push_back(std::move(event));
+  }
+  result.ok = true;
+
+  using CellKey = std::tuple<int, int, int, int>;  // cls, table, x, iter
+  using ClusterKey = std::tuple<int, int, int, int>;  // cls, cluster, prop, iter
+  std::map<ClusterKey, const Event*> fusion_by_key;
+  std::map<CellKey, const Event*> cluster_by_row;
+  std::map<CellKey, const Event*> mapping_by_column;
+  std::map<std::tuple<int, int, int>, const Event*> detect_by_cluster;
+  std::map<std::pair<int, int>, std::vector<const Event*>> dedups_by_survivor;
+  std::vector<const Event*> kb_updates;
+  for (const Event& event : events) {
+    const std::string kind = event.value.StringOr("kind", "");
+    const int cls = IntOf(event.value, "cls");
+    const int iter = IntOf(event.value, "iter");
+    if (kind == "kb_update") {
+      kb_updates.push_back(&event);
+    } else if (kind == "fusion") {
+      fusion_by_key[{cls, IntOf(event.value, "cluster_id"),
+                     IntOf(event.value, "property"), iter}] = &event;
+    } else if (kind == "cluster") {
+      cluster_by_row[{cls, IntOf(event.value, "table"),
+                      IntOf(event.value, "row"), iter}] = &event;
+    } else if (kind == "schema_map") {
+      const JsonValue* accepted = event.value.Find("accepted");
+      if (accepted != nullptr && accepted->is_bool() && accepted->as_bool()) {
+        mapping_by_column[{cls, IntOf(event.value, "table"),
+                           IntOf(event.value, "column"), iter}] = &event;
+      }
+    } else if (kind == "new_detect") {
+      detect_by_cluster[{cls, IntOf(event.value, "cluster_id"), iter}] =
+          &event;
+    } else if (kind == "dedup") {
+      dedups_by_survivor[{cls, IntOf(event.value, "cluster_id")}].push_back(
+          &event);
+    }
+  }
+
+  // ---- Select the target triples. ----------------------------------------
+  const std::string query = AsciiLower(options.entity);
+  std::vector<Chain> chains;
+  for (const Event* ku : kb_updates) {
+    const JsonValue& v = ku->value;
+    const JsonValue* accepted = v.Find("accepted");
+    if (accepted == nullptr || !accepted->is_bool() || !accepted->as_bool()) {
+      continue;
+    }
+    if (IntOf(v, "property") < 0) continue;  // entity-level rejection record
+    if (!query.empty() &&
+        AsciiLower(v.StringOr("subject", "")).find(query) ==
+            std::string::npos) {
+      continue;
+    }
+    if (!options.property.empty() &&
+        v.StringOr("property_name", "") != options.property) {
+      continue;
+    }
+
+    // ---- Walk backwards: triple -> fusion (crossing dedups) -> rows. ----
+    Chain chain;
+    chain.kb_update = ku;
+    const int cls = IntOf(v, "cls");
+    const int iter = IntOf(v, "iter");
+    const int property = IntOf(v, "property");
+
+    // The fused fact lives on the recorded cluster, or — when dedup moved
+    // it — on a cluster absorbed into it (transitively).
+    std::vector<int> frontier = {IntOf(v, "cluster_id")};
+    int fusion_cluster = -1;
+    for (size_t f = 0; f < frontier.size() && chain.fusion == nullptr; ++f) {
+      auto it = fusion_by_key.find({cls, frontier[f], property, iter});
+      if (it != fusion_by_key.end()) {
+        const JsonValue& fv = it->second->value;
+        if (fv.StringOr("value", "") == v.StringOr("value", "")) {
+          chain.fusion = it->second;
+          fusion_cluster = frontier[f];
+          break;
+        }
+      }
+      auto absorbed = dedups_by_survivor.find({cls, frontier[f]});
+      if (absorbed != dedups_by_survivor.end()) {
+        for (const Event* dedup : absorbed->second) {
+          chain.dedups.push_back(dedup);
+          frontier.push_back(IntOf(dedup->value, "absorbed_cluster"));
+        }
+      }
+    }
+    // Keep only dedup hops actually on the path to the fusion event: when
+    // the fact was found on the original cluster, the crossings are noise.
+    if (fusion_cluster == IntOf(v, "cluster_id")) chain.dedups.clear();
+
+    auto detect = detect_by_cluster.find({cls, IntOf(v, "cluster_id"), iter});
+    if (detect != detect_by_cluster.end()) chain.new_detect = detect->second;
+
+    bool sources_complete = chain.fusion != nullptr;
+    if (chain.fusion != nullptr) {
+      const JsonValue* sources = chain.fusion->value.Find("sources");
+      if (sources != nullptr && sources->is_array()) {
+        for (const JsonValue& cell : sources->items()) {
+          Chain::Source source;
+          source.table = IntOf(cell, "table");
+          source.row = IntOf(cell, "row");
+          source.column = IntOf(cell, "column");
+          auto cluster =
+              cluster_by_row.find({cls, source.table, source.row, iter});
+          if (cluster != cluster_by_row.end()) {
+            source.cluster = cluster->second;
+          }
+          auto mapping =
+              mapping_by_column.find({cls, source.table, source.column, iter});
+          if (mapping != mapping_by_column.end()) {
+            source.schema_map = mapping->second;
+          }
+          sources_complete &= source.cluster != nullptr;
+          sources_complete &= source.schema_map != nullptr;
+          chain.sources.push_back(source);
+        }
+      }
+      sources_complete &= !chain.sources.empty();
+    }
+    chain.complete = sources_complete;
+
+    chains.push_back(std::move(chain));
+    if (options.first_only) break;
+  }
+
+  result.facts_found = static_cast<int>(chains.size());
+  for (const Chain& chain : chains) {
+    if (chain.complete) ++result.complete_chains;
+  }
+  if (options.json) {
+    RenderJson(chains, &result.output);
+  } else if (chains.empty()) {
+    result.output = "no matching accepted facts in ledger\n";
+  } else {
+    RenderText(chains, &result.output);
+  }
+  return result;
+}
+
+}  // namespace ltee::prov

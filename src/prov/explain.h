@@ -1,0 +1,48 @@
+#ifndef LTEE_PROV_EXPLAIN_H_
+#define LTEE_PROV_EXPLAIN_H_
+
+#include <string>
+
+namespace ltee::prov {
+
+/// Query over a serialized provenance ledger (JSON-lines, as produced by
+/// ExportJsonLines / `ltee_cli run --provenance-out`).
+struct ExplainOptions {
+  /// Case-insensitive substring matched against the subject label of KB
+  /// update decisions. Empty matches every subject.
+  std::string entity;
+  /// Exact property-name filter (empty = all properties).
+  std::string property;
+  /// Explain only the first matching accepted fact (ledger order — which
+  /// is deterministic).
+  bool first_only = false;
+  /// Render machine-readable JSON instead of indented text.
+  bool json = false;
+};
+
+/// Result of one explain query. `text`/`json` hold the rendered lineage
+/// chains (cell -> schema mapping -> row cluster -> fused value -> KB
+/// triple), walked backwards from every accepted KB-update decision that
+/// matches the query. Dedup merges crossed along the way are reported as
+/// part of the chain.
+struct ExplainResult {
+  bool ok = false;
+  std::string error;
+  /// Matching accepted triples.
+  int facts_found = 0;
+  /// Chains with every link present (fusion event, one cluster event per
+  /// source row, one accepted schema mapping per source column).
+  int complete_chains = 0;
+  /// Rendered output (text or JSON per ExplainOptions::json).
+  std::string output;
+};
+
+/// Walks the ledger backwards and renders the full lineage of every
+/// matching fact. Returns ok=false with `error` set when the ledger does
+/// not parse as JSON-lines.
+ExplainResult Explain(const std::string& ledger_jsonl,
+                      const ExplainOptions& options);
+
+}  // namespace ltee::prov
+
+#endif  // LTEE_PROV_EXPLAIN_H_

@@ -1,0 +1,400 @@
+#include "prov/ledger.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <tuple>
+#include <variant>
+
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace ltee::prov {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("LTEE_PROVENANCE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+std::atomic<bool> g_enabled{EnabledFromEnv()};
+std::atomic<int> g_iteration{0};
+
+using Event =
+    std::variant<SchemaMapDecision, ClusterDecision, FusionDecision,
+                 NewDetectDecision, DedupDecision, KbUpdateDecision>;
+
+/// One recorded event plus the iteration in effect when it was emitted.
+struct Entry {
+  int iteration;
+  Event event;
+};
+
+/// Event storage of one thread. The registry keeps a shared_ptr so events
+/// survive the owning thread; `mu` is only ever contended by an export or
+/// Clear racing the owner's append.
+struct ThreadArena {
+  std::mutex mu;
+  std::vector<Entry> entries;
+};
+
+struct ArenaRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadArena>> arenas;
+};
+
+ArenaRegistry& Registry() {
+  static ArenaRegistry* registry = new ArenaRegistry();
+  return *registry;
+}
+
+ThreadArena& LocalArena() {
+  thread_local std::shared_ptr<ThreadArena> arena = [] {
+    auto a = std::make_shared<ThreadArena>();
+    ArenaRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.arenas.push_back(a);
+    return a;
+  }();
+  return *arena;
+}
+
+template <typename T>
+void Append(T&& event) {
+  Entry entry{CurrentIteration(), std::forward<T>(event)};
+  ThreadArena& arena = LocalArena();
+  std::lock_guard<std::mutex> lock(arena.mu);
+  arena.entries.push_back(std::move(entry));
+}
+
+// ---- Serialization -------------------------------------------------------
+
+void AppendField(std::string* out, const char* key, long long value) {
+  out->push_back(',');
+  out->append(util::JsonQuote(key));
+  out->push_back(':');
+  out->append(std::to_string(value));
+}
+
+void AppendField(std::string* out, const char* key, double value) {
+  out->push_back(',');
+  out->append(util::JsonQuote(key));
+  out->push_back(':');
+  util::AppendJsonNumber(out, value);
+}
+
+void AppendField(std::string* out, const char* key, bool value) {
+  out->push_back(',');
+  out->append(util::JsonQuote(key));
+  out->append(value ? ":true" : ":false");
+}
+
+void AppendField(std::string* out, const char* key, const std::string& value) {
+  out->push_back(',');
+  out->append(util::JsonQuote(key));
+  out->push_back(':');
+  out->append(util::JsonQuote(value));
+}
+
+void AppendComponents(std::string* out, const char* key,
+                      const ScoreComponents& components) {
+  if (components.empty()) return;
+  out->push_back(',');
+  out->append(util::JsonQuote(key));
+  out->append(":{");
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->append(util::JsonQuote(components[i].first));
+    out->push_back(':');
+    util::AppendJsonNumber(out, components[i].second);
+  }
+  out->push_back('}');
+}
+
+void Open(std::string* out, const char* kind, int iteration, int cls) {
+  out->append("{\"kind\":");
+  out->append(util::JsonQuote(kind));
+  AppendField(out, "iter", static_cast<long long>(iteration));
+  AppendField(out, "cls", static_cast<long long>(cls));
+}
+
+struct Serializer {
+  int iteration;
+  std::string* out;
+
+  void operator()(const SchemaMapDecision& e) const {
+    Open(out, "schema_map", iteration, e.cls);
+    AppendField(out, "table", static_cast<long long>(e.table));
+    AppendField(out, "column", static_cast<long long>(e.column));
+    AppendField(out, "property", static_cast<long long>(e.property));
+    AppendField(out, "property_name", e.property_name);
+    AppendField(out, "score", e.score);
+    AppendField(out, "threshold", e.threshold);
+    AppendField(out, "accepted", e.accepted);
+    AppendComponents(out, "matchers", e.matcher_scores);
+    out->push_back('}');
+  }
+
+  void operator()(const ClusterDecision& e) const {
+    Open(out, "cluster", iteration, e.cls);
+    AppendField(out, "table", static_cast<long long>(e.table));
+    AppendField(out, "row", static_cast<long long>(e.row));
+    AppendField(out, "cluster_id", static_cast<long long>(e.cluster_id));
+    AppendField(out, "cluster_size", static_cast<long long>(e.cluster_size));
+    AppendField(out, "support", e.support);
+    AppendField(out, "threshold", e.threshold);
+    if (e.support_table >= 0) {
+      AppendField(out, "support_table",
+                  static_cast<long long>(e.support_table));
+      AppendField(out, "support_row", static_cast<long long>(e.support_row));
+    }
+    AppendComponents(out, "components", e.components);
+    out->push_back('}');
+  }
+
+  void operator()(const FusionDecision& e) const {
+    Open(out, "fusion", iteration, e.cls);
+    AppendField(out, "cluster_id", static_cast<long long>(e.cluster_id));
+    AppendField(out, "property", static_cast<long long>(e.property));
+    AppendField(out, "property_name", e.property_name);
+    AppendField(out, "value", e.value);
+    AppendField(out, "rule", e.rule);
+    AppendField(out, "score", e.score);
+    AppendField(out, "candidates", static_cast<long long>(e.candidate_count));
+    out->append(",\"sources\":[");
+    for (size_t i = 0; i < e.sources.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      out->append("{\"table\":");
+      out->append(std::to_string(e.sources[i].table));
+      out->append(",\"row\":");
+      out->append(std::to_string(e.sources[i].row));
+      out->append(",\"column\":");
+      out->append(std::to_string(e.sources[i].column));
+      out->push_back('}');
+    }
+    out->push_back(']');
+    if (!e.losing_values.empty()) {
+      out->append(",\"losers\":[");
+      for (size_t i = 0; i < e.losing_values.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        out->append(util::JsonQuote(e.losing_values[i]));
+      }
+      out->push_back(']');
+    }
+    out->push_back('}');
+  }
+
+  void operator()(const NewDetectDecision& e) const {
+    Open(out, "new_detect", iteration, e.cls);
+    AppendField(out, "cluster_id", static_cast<long long>(e.cluster_id));
+    AppendField(out, "label", e.label);
+    AppendField(out, "is_new", e.is_new);
+    AppendField(out, "best_score", e.best_score);
+    AppendField(out, "new_threshold", e.new_threshold);
+    AppendField(out, "match_threshold", e.match_threshold);
+    if (!e.matched_instance.empty()) {
+      AppendField(out, "matched_instance", e.matched_instance);
+    }
+    if (!e.candidates.empty()) {
+      out->append(",\"candidates\":[");
+      for (size_t i = 0; i < e.candidates.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        out->append("{\"instance\":");
+        out->append(util::JsonQuote(e.candidates[i].first));
+        out->append(",\"score\":");
+        util::AppendJsonNumber(out, e.candidates[i].second);
+        out->push_back('}');
+      }
+      out->push_back(']');
+    }
+    AppendComponents(out, "features", e.features);
+    out->push_back('}');
+  }
+
+  void operator()(const DedupDecision& e) const {
+    Open(out, "dedup", iteration, e.cls);
+    AppendField(out, "cluster_id", static_cast<long long>(e.surviving_cluster));
+    AppendField(out, "absorbed_cluster",
+                static_cast<long long>(e.absorbed_cluster));
+    AppendField(out, "facts_adopted", static_cast<long long>(e.facts_adopted));
+    AppendField(out, "label", e.label);
+    out->push_back('}');
+  }
+
+  void operator()(const KbUpdateDecision& e) const {
+    Open(out, "kb_update", iteration, e.cls);
+    AppendField(out, "cluster_id", static_cast<long long>(e.cluster_id));
+    AppendField(out, "subject", e.subject);
+    AppendField(out, "property", static_cast<long long>(e.property));
+    AppendField(out, "property_name", e.property_name);
+    AppendField(out, "value", e.value);
+    AppendField(out, "accepted", e.accepted);
+    AppendField(out, "reason", e.reason);
+    out->push_back('}');
+  }
+};
+
+/// Deterministic ordering key of one entry. Every field is derived from
+/// event content (never from thread or arrival order), so sorting makes
+/// the export independent of the parallel class sweep's interleaving.
+struct SortKey {
+  int iteration;
+  int kind;
+  int cls;
+  int table;
+  int row;
+  int column;
+  int cluster_id;
+  int property;
+  std::string line;
+
+  friend bool operator<(const SortKey& a, const SortKey& b) {
+    return std::tie(a.iteration, a.kind, a.cls, a.table, a.row, a.column,
+                    a.cluster_id, a.property, a.line) <
+           std::tie(b.iteration, b.kind, b.cls, b.table, b.row, b.column,
+                    b.cluster_id, b.property, b.line);
+  }
+};
+
+struct KeyBuilder {
+  SortKey* key;
+  void operator()(const SchemaMapDecision& e) const {
+    key->kind = 0;
+    key->cls = e.cls;
+    key->table = e.table;
+    key->column = e.column;
+    key->property = e.property;
+  }
+  void operator()(const ClusterDecision& e) const {
+    key->kind = 1;
+    key->cls = e.cls;
+    key->table = e.table;
+    key->row = e.row;
+    key->cluster_id = e.cluster_id;
+  }
+  void operator()(const FusionDecision& e) const {
+    key->kind = 2;
+    key->cls = e.cls;
+    key->cluster_id = e.cluster_id;
+    key->property = e.property;
+  }
+  void operator()(const NewDetectDecision& e) const {
+    key->kind = 3;
+    key->cls = e.cls;
+    key->cluster_id = e.cluster_id;
+  }
+  void operator()(const DedupDecision& e) const {
+    key->kind = 4;
+    key->cls = e.cls;
+    key->cluster_id = e.surviving_cluster;
+    key->row = e.absorbed_cluster;
+  }
+  void operator()(const KbUpdateDecision& e) const {
+    key->kind = 5;
+    key->cls = e.cls;
+    key->cluster_id = e.cluster_id;
+    key->property = e.property;
+  }
+};
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool IsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetIteration(int iteration) {
+  g_iteration.store(iteration, std::memory_order_relaxed);
+}
+
+int CurrentIteration() {
+  return g_iteration.load(std::memory_order_relaxed);
+}
+
+void Record(SchemaMapDecision event) { Append(std::move(event)); }
+void Record(ClusterDecision event) { Append(std::move(event)); }
+void Record(FusionDecision event) { Append(std::move(event)); }
+void Record(NewDetectDecision event) { Append(std::move(event)); }
+void Record(DedupDecision event) { Append(std::move(event)); }
+void Record(KbUpdateDecision event) { Append(std::move(event)); }
+
+size_t EventCount() {
+  ArenaRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  size_t total = 0;
+  for (const auto& arena : registry.arenas) {
+    std::lock_guard<std::mutex> arena_lock(arena->mu);
+    total += arena->entries.size();
+  }
+  return total;
+}
+
+void Clear() {
+  ArenaRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& arena : registry.arenas) {
+    std::lock_guard<std::mutex> arena_lock(arena->mu);
+    arena->entries.clear();
+  }
+}
+
+std::string ExportJsonLines() {
+  std::vector<SortKey> keys;
+  {
+    ArenaRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& arena : registry.arenas) {
+      std::lock_guard<std::mutex> arena_lock(arena->mu);
+      for (const Entry& entry : arena->entries) {
+        SortKey key;
+        key.iteration = entry.iteration;
+        key.kind = -1;
+        key.cls = key.table = key.row = key.column = -1;
+        key.cluster_id = key.property = -1;
+        std::visit(KeyBuilder{&key}, entry.event);
+        std::visit(Serializer{entry.iteration, &key.line}, entry.event);
+        keys.push_back(std::move(key));
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  std::string out;
+  for (const SortKey& key : keys) {
+    out.append(key.line);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void ExportJsonLines(std::ostream& out) { out << ExportJsonLines(); }
+
+void RefreshQualityGauges() {
+  util::MetricsRegistry& metrics = util::Metrics();
+  const auto rate = [&metrics](const char* gauge, uint64_t num,
+                               uint64_t den) {
+    if (den > 0) {
+      metrics.GetGauge(gauge).Set(static_cast<double>(num) /
+                                  static_cast<double>(den));
+    }
+  };
+  const uint64_t facts =
+      metrics.GetCounter("ltee.fusion.facts_fused").value();
+  rate("ltee.prov.single_source_rate",
+       metrics.GetCounter("ltee.prov.facts_with_single_source").value(),
+       facts);
+  rate("ltee.prov.fusion_conflict_rate",
+       metrics.GetCounter("ltee.prov.fusion_conflicts").value(), facts);
+  rate("ltee.prov.near_threshold_rate",
+       metrics.GetCounter("ltee.prov.cluster_decisions_near_threshold")
+           .value(),
+       metrics.GetCounter("ltee.rowcluster.pair_cache.misses").value());
+}
+
+}  // namespace ltee::prov

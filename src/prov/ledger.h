@@ -1,0 +1,166 @@
+#ifndef LTEE_PROV_LEDGER_H_
+#define LTEE_PROV_LEDGER_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ltee::prov {
+
+/// Runtime switch of the provenance ledger. Off by default; initialized
+/// from the LTEE_PROVENANCE environment variable at process start (any
+/// value except "" and "0" enables). When off, every Record() call is one
+/// relaxed atomic load — the instrumented decision points are effectively
+/// free, mirroring util::trace.
+void SetEnabled(bool enabled);
+bool IsEnabled();
+
+/// Pipeline iteration context (1-based) stamped onto every recorded
+/// event. pipeline::Run sets it at each iteration boundary; post-run
+/// stages (dedup, slot filling, KB update) inherit the final iteration.
+void SetIteration(int iteration);
+int CurrentIteration();
+
+/// Named score components (a matcher, a row metric, an entity metric, ...)
+/// attached to a decision.
+using ScoreComponents = std::vector<std::pair<std::string, double>>;
+
+/// One attribute-to-property mapping decision of the schema matcher: the
+/// best candidate property of a column, its per-matcher scores, the
+/// aggregated score and the threshold it was judged against.
+struct SchemaMapDecision {
+  int cls = -1;
+  int table = -1;
+  int column = -1;
+  int property = -1;
+  std::string property_name;
+  double score = 0.0;
+  double threshold = 0.0;
+  bool accepted = false;
+  ScoreComponents matcher_scores;
+};
+
+/// One row's cluster membership: the cluster it landed in, the strongest
+/// similarity supporting the membership (best co-member), the per-metric
+/// components of that comparison, and the calibrated score offset the
+/// correlation clusterer applied.
+struct ClusterDecision {
+  int cls = -1;
+  int table = -1;
+  int row = -1;
+  int cluster_id = -1;
+  int cluster_size = 0;
+  /// Aggregated similarity to the closest co-member (0 for singletons).
+  double support = 0.0;
+  /// Score offset in effect (the clustering analogue of a threshold).
+  double threshold = 0.0;
+  int support_table = -1;
+  int support_row = -1;
+  ScoreComponents components;
+};
+
+/// A source cell a fused value was read from.
+struct SourceCell {
+  int table = -1;
+  int row = -1;
+  int column = -1;
+};
+
+/// One fused fact of a created entity: the winning value, the
+/// conflict-resolution rule that produced it, the cells it came from, and
+/// the losing candidate values.
+struct FusionDecision {
+  int cls = -1;
+  int cluster_id = -1;
+  int property = -1;
+  std::string property_name;
+  std::string value;
+  /// "majority" | "weighted_median" | "exact".
+  std::string rule;
+  /// Summed score of the winning value group.
+  double score = 0.0;
+  /// Total candidate values considered (winning + losing).
+  int candidate_count = 0;
+  std::vector<SourceCell> sources;
+  std::vector<std::string> losing_values;
+};
+
+/// One NEW/EXISTING verdict: the entity, the scored KB candidates, the
+/// feature vector of the best candidate and both learned thresholds.
+struct NewDetectDecision {
+  int cls = -1;
+  int cluster_id = -1;
+  std::string label;
+  bool is_new = true;
+  double best_score = -1.0;
+  double new_threshold = 0.0;
+  double match_threshold = 0.0;
+  /// Label of the matched KB instance (empty when new / below the match
+  /// threshold).
+  std::string matched_instance;
+  /// Top KB candidates as (instance label, aggregated score).
+  ScoreComponents candidates;
+  /// Per-metric features of the best candidate.
+  ScoreComponents features;
+};
+
+/// One post-run entity merge: `absorbed_cluster`'s rows, labels and
+/// missing facts moved into `surviving_cluster`.
+struct DedupDecision {
+  int cls = -1;
+  int surviving_cluster = -1;
+  int absorbed_cluster = -1;
+  int facts_adopted = 0;
+  std::string label;
+};
+
+/// One KB mutation verdict: a triple accepted into (or rejected from) the
+/// knowledge base, with the rule that decided it. `reason` is one of
+/// "new_entity", "no_labels", "below_min_facts", "slot_fill",
+/// "slot_conflict", "slot_confirmed".
+struct KbUpdateDecision {
+  int cls = -1;
+  int cluster_id = -1;
+  std::string subject;
+  int property = -1;
+  std::string property_name;
+  std::string value;
+  bool accepted = false;
+  std::string reason;
+};
+
+/// Appends one event to the calling thread's arena (no-op when the ledger
+/// is disabled). Arenas are per thread, so pool workers never serialize
+/// against each other; the export merges and orders them.
+void Record(SchemaMapDecision event);
+void Record(ClusterDecision event);
+void Record(FusionDecision event);
+void Record(NewDetectDecision event);
+void Record(DedupDecision event);
+void Record(KbUpdateDecision event);
+
+/// Number of buffered events across all threads (alive or finished).
+size_t EventCount();
+
+/// Drops all buffered events.
+void Clear();
+
+/// Serializes every buffered event as one JSON object per line. The
+/// output is sorted by a content key (iteration, kind, class, table, row,
+/// column, cluster, property, serialized line), so a fixed-seed run
+/// produces a byte-identical ledger regardless of how the parallel class
+/// sweep interleaved the per-thread arenas.
+std::string ExportJsonLines();
+void ExportJsonLines(std::ostream& out);
+
+/// Recomputes the derived quality gauges from the always-on ltee.prov.*
+/// counters: single-source and fusion-conflict rates over fused facts,
+/// and the near-threshold rate over computed row pairs. Call once after a
+/// run (racing per-class updates would make the gauges order-dependent).
+void RefreshQualityGauges();
+
+}  // namespace ltee::prov
+
+#endif  // LTEE_PROV_LEDGER_H_

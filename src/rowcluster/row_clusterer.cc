@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "index/label_index.h"
+#include "prov/ledger.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -150,8 +152,11 @@ void RowClusterer::Train(const ClassRowSet& rows,
 
   double best_objective = -1.0;
   double best_offset = 0.0;
+  const RowMetricBank learning_bank(learning_rows, options_.enabled_metrics);
   for (double offset : {-0.1, 0.0, 0.1, 0.25}) {
-    const auto result = ClusterWithOffset(learning_rows, offset);
+    const auto result = ClusterWithOffset(learning_rows, learning_bank,
+                                          offset,
+                                          /*count_near_threshold=*/false);
     // Pairwise precision/recall over annotated rows.
     long long tp = 0, fp = 0, fn = 0;
     for (size_t i = 0; i < learning_gold.size(); ++i) {
@@ -181,7 +186,10 @@ void RowClusterer::Train(const ClassRowSet& rows,
 
 cluster::ClusteringResult RowClusterer::Cluster(
     const ClassRowSet& rows) const {
-  cluster::ClusteringResult result = ClusterWithOffset(rows, score_offset_);
+  RowMetricBank bank(rows, options_.enabled_metrics);
+  cluster::ClusteringResult result = ClusterWithOffset(
+      rows, bank, score_offset_, /*count_near_threshold=*/true);
+  if (prov::IsEnabled()) RecordClusterDecisions(rows, bank, result);
   if (result.num_clusters > 0) {
     std::vector<uint64_t> sizes(static_cast<size_t>(result.num_clusters), 0);
     for (int c : result.cluster_of) {
@@ -216,14 +224,24 @@ namespace {
 struct PairCacheStats {
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
+  /// Computed pair scores whose magnitude fell inside the near-threshold
+  /// margin (each unique pair tallied once, at first computation).
+  std::atomic<uint64_t> near_threshold{0};
 };
 
 /// Flushes one call's tallies into `ltee.rowcluster.pair_cache.*` and
-/// refreshes the process-wide hit-ratio gauge.
-void FlushPairCacheStats(const PairCacheStats& stats) {
+/// refreshes the process-wide hit-ratio gauge. `flush_near_threshold`
+/// additionally folds the near-threshold tally into the
+/// `ltee.prov.cluster_decisions_near_threshold` quality counter.
+void FlushPairCacheStats(const PairCacheStats& stats,
+                         bool flush_near_threshold) {
   const uint64_t hits = stats.hits.load(std::memory_order_relaxed);
   const uint64_t misses = stats.misses.load(std::memory_order_relaxed);
   util::MetricsRegistry& metrics = util::Metrics();
+  if (flush_near_threshold) {
+    metrics.GetCounter("ltee.prov.cluster_decisions_near_threshold")
+        .Increment(stats.near_threshold.load(std::memory_order_relaxed));
+  }
   util::Counter& hit_counter =
       metrics.GetCounter("ltee.rowcluster.pair_cache.hits");
   util::Counter& miss_counter =
@@ -241,8 +259,8 @@ void FlushPairCacheStats(const PairCacheStats& stats) {
 }  // namespace
 
 cluster::ClusteringResult RowClusterer::ClusterWithOffset(
-    const ClassRowSet& rows, double offset) const {
-  RowMetricBank bank(rows, options_.enabled_metrics);
+    const ClassRowSet& rows, const RowMetricBank& bank, double offset,
+    bool count_near_threshold) const {
   const auto blocks = BuildBlocks(rows);
   const size_t n = rows.rows.size();
   const auto* aggregator = &aggregator_;
@@ -254,6 +272,12 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
   util::trace::ScopedSpan span("rowcluster.cluster");
   span.AddArg("rows", n);
   auto stats = std::make_shared<PairCacheStats>();
+  const double near_margin = options_.near_threshold_margin;
+  auto tally_near = [stats, near_margin](double s) {
+    if (s > -near_margin && s < near_margin) {
+      stats->near_threshold.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
 
   // The greedy and KLj phases revisit pairs many times. Each pair score is
   // a pure function of (i, j), so for moderate row counts a lazy dense
@@ -283,7 +307,8 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
       (*scores)[k].store(std::numeric_limits<double>::quiet_NaN(),
                          std::memory_order_relaxed);
     }
-    auto similarity = [scores, score_pair, stats, n](int i, int j) -> double {
+    auto similarity = [scores, score_pair, stats, tally_near,
+                       n](int i, int j) -> double {
       const size_t lo = static_cast<size_t>(std::min(i, j));
       const size_t hi = static_cast<size_t>(std::max(i, j));
       std::atomic<double>& slot = (*scores)[TriIndex(lo, hi, n)];
@@ -297,12 +322,13 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
       // perfectly symmetric, and the cached value has always been the one
       // computed at the pair's first encounter.
       s = score_pair(i, j);
+      tally_near(s);
       slot.store(s, std::memory_order_relaxed);
       return s;
     };
     auto result = cluster::ClusterCorrelation(n, similarity, blocks,
                                               options_.clustering);
-    FlushPairCacheStats(*stats);
+    FlushPairCacheStats(*stats, count_near_threshold);
     span.AddArg("clusters", static_cast<long long>(result.num_clusters));
     return result;
   }
@@ -314,7 +340,8 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
     std::mutex mu;
   };
   auto cache = std::make_shared<Cache>();
-  auto similarity = [cache, score_pair, stats](int i, int j) -> double {
+  auto similarity = [cache, score_pair, stats, tally_near](int i,
+                                                           int j) -> double {
     const uint64_t key = (static_cast<uint64_t>(std::min(i, j)) << 32) |
                          static_cast<uint64_t>(std::max(i, j));
     {
@@ -327,6 +354,7 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
     }
     stats->misses.fetch_add(1, std::memory_order_relaxed);
     const double score = score_pair(i, j);
+    tally_near(score);
     {
       std::lock_guard<std::mutex> lock(cache->mu);
       cache->scores.emplace(key, score);
@@ -336,9 +364,79 @@ cluster::ClusteringResult RowClusterer::ClusterWithOffset(
 
   auto result = cluster::ClusterCorrelation(n, similarity, blocks,
                                             options_.clustering);
-  FlushPairCacheStats(*stats);
+  FlushPairCacheStats(*stats, count_near_threshold);
   span.AddArg("clusters", static_cast<long long>(result.num_clusters));
   return result;
+}
+
+void RowClusterer::RecordClusterDecisions(
+    const ClassRowSet& rows, const RowMetricBank& bank,
+    const cluster::ClusteringResult& result) const {
+  // Emitted after clustering (never from the parallel similarity lambdas)
+  // so the event set and order are pure functions of the clustering — the
+  // ledger export stays byte-identical across fixed-seed runs.
+  const auto names = bank.EnabledNames();
+  std::vector<std::vector<int>> members(
+      static_cast<size_t>(std::max(0, result.num_clusters)));
+  for (size_t i = 0; i < result.cluster_of.size(); ++i) {
+    const int c = result.cluster_of[i];
+    if (c >= 0 && c < result.num_clusters) {
+      members[static_cast<size_t>(c)].push_back(static_cast<int>(i));
+    }
+  }
+  // Support = best similarity to a co-member; a capped scan keeps the
+  // ledger pass linear in cluster size for degenerate mega-clusters, and
+  // a per-cluster pair memo avoids scoring each scanned pair from both
+  // ends (this pass is the bulk of the ledger's end-to-end overhead).
+  constexpr size_t kSupportScanCap = 8;
+  std::unordered_map<uint64_t, double> pair_scores;
+  for (size_t c = 0; c < members.size(); ++c) {
+    pair_scores.clear();
+    const auto score_of = [&](int a, int b) {
+      const uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(std::min(a, b)))
+           << 32) |
+          static_cast<uint32_t>(std::max(a, b));
+      if (const auto it = pair_scores.find(key); it != pair_scores.end()) {
+        return it->second;
+      }
+      const double s = std::clamp(
+          aggregator_.Score(bank.Compare(a, b)) + score_offset_, -1.0, 1.0);
+      pair_scores.emplace(key, s);
+      return s;
+    };
+    for (int i : members[c]) {
+      prov::ClusterDecision decision;
+      decision.cls = rows.cls;
+      decision.table = rows.rows[static_cast<size_t>(i)].ref.table;
+      decision.row = rows.rows[static_cast<size_t>(i)].ref.row;
+      decision.cluster_id = static_cast<int>(c);
+      decision.cluster_size = static_cast<int>(members[c].size());
+      decision.threshold = score_offset_;
+      double best = 0.0;
+      int best_j = -1;
+      size_t scanned = 0;
+      for (int j : members[c]) {
+        if (j == i) continue;
+        if (++scanned > kSupportScanCap) break;
+        const double s = score_of(i, j);
+        if (best_j < 0 || s > best) {
+          best = s;
+          best_j = j;
+        }
+      }
+      if (best_j >= 0) {
+        decision.support = best;
+        decision.support_table = rows.rows[static_cast<size_t>(best_j)].ref.table;
+        decision.support_row = rows.rows[static_cast<size_t>(best_j)].ref.row;
+        const auto features = bank.Compare(i, best_j);
+        for (size_t m = 0; m < features.sims.size() && m < names.size(); ++m) {
+          decision.components.emplace_back(names[m], features.sims[m]);
+        }
+      }
+      prov::Record(std::move(decision));
+    }
+  }
 }
 
 }  // namespace ltee::rowcluster

@@ -26,6 +26,11 @@ struct RowClustererOptions {
   /// depend on the budget), and the footprint is exported as the
   /// `ltee.rowcluster.pair_cache.dense_bytes` gauge.
   size_t dense_cache_byte_budget = 64u << 20;
+  /// Pair scores with |score| below this margin count as near-threshold
+  /// decisions (the `ltee.prov.cluster_decisions_near_threshold` quality
+  /// counter): the correlation clusterer merges on sign, so these are the
+  /// pairs a small quality drift can flip.
+  double near_threshold_margin = 0.1;
 };
 
 /// Row clustering (Section 3.2): a learned aggregation of six similarity
@@ -68,8 +73,23 @@ class RowClusterer {
   std::vector<std::vector<int32_t>> BuildBlocks(const ClassRowSet& rows) const;
 
  private:
-  cluster::ClusteringResult ClusterWithOffset(const ClassRowSet& rows,
-                                              double offset) const;
+  /// `count_near_threshold` flushes the near-threshold tally into the
+  /// quality counters; inference passes true, the Train() calibration
+  /// sweep false (calibration probes must not skew the drift gauges).
+  /// `bank` must be built over `rows`; callers construct it once and
+  /// share it across the calibration sweep / the provenance pass.
+  cluster::ClusteringResult ClusterWithOffset(
+      const ClassRowSet& rows, const RowMetricBank& bank, double offset,
+      bool count_near_threshold = false) const;
+
+  /// Emits one prov::ClusterDecision per row of the final clustering: the
+  /// strongest co-member similarity (support), its per-metric components
+  /// and the applied score offset. Reuses the Cluster() metric bank —
+  /// rebuilding one (vocab-squared token-similarity precompute) would
+  /// dwarf the ledger's own cost.
+  void RecordClusterDecisions(const ClassRowSet& rows,
+                              const RowMetricBank& bank,
+                              const cluster::ClusteringResult& result) const;
 
   RowClustererOptions options_;
   ml::ScoreAggregator aggregator_;

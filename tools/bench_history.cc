@@ -11,7 +11,10 @@
 // --out        history file, one JSON object per line
 //              (default: BENCH_history.json)
 // --commit     commit stamp (default: `git rev-parse --short HEAD`,
-//              "unknown" when not in a git checkout)
+//              "unknown" when not in a git checkout); the entry also
+//              records whether the work tree was dirty at run time, so a
+//              trajectory point taken from uncommitted code is never
+//              mistaken for the commit it names
 // --benches    comma-separated bench names without the bench_ prefix
 //              (default: a fast representative set; see kQuickSet)
 // --quick      small synthetic scale (LTEE_SCALE=0.002) + the quick set —
@@ -20,7 +23,8 @@
 // --label      free-form label recorded in the entry (e.g. "quick")
 //
 // Entry schema (one line):
-//   {"commit":"<sha>","unix_time":<s>,"label":"..","results":[
+//   {"commit":"<sha>","dirty":<bool>,"unix_time":<s>,"label":"..",
+//    "results":[
 //     {"bench":"..","metric":"..","value":..,"unit":"..",("iters":..)},..]}
 //
 // Exit: 0 when every bench ran and produced at least one result line,
@@ -61,7 +65,8 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
 /// quick gate. Pipeline-heavy benches (fig1, table11) are deliberately
 /// not in it; run them explicitly via --benches for deeper trajectories.
 const char* const kQuickSet[] = {"table03_corpus_stats",
-                                 "table05_gold_standard"};
+                                 "table05_gold_standard",
+                                 "prov_quality"};
 
 std::vector<std::string> SplitCommas(const std::string& s) {
   std::vector<std::string> out;
@@ -97,6 +102,17 @@ std::string DetectCommit() {
     if (!out.empty()) return out;
   }
   return "unknown";
+}
+
+/// True when the work tree has uncommitted changes (any `git status
+/// --porcelain` output). A failing git (not a checkout) counts as clean —
+/// the commit stamp is "unknown" then anyway.
+bool DetectDirty() {
+  std::string out;
+  if (!RunAndCapture("git status --porcelain 2>/dev/null", &out)) {
+    return false;
+  }
+  return out.find_first_not_of(" \t\r\n") != std::string::npos;
 }
 
 /// Re-serializes one parsed result line canonically so the history file
@@ -138,6 +154,7 @@ int main(int argc, char** argv) {
       flags.count("out") ? flags.at("out") : "BENCH_history.json";
   const std::string commit =
       flags.count("commit") ? flags.at("commit") : DetectCommit();
+  const bool dirty = DetectDirty();
   const std::string label =
       flags.count("label") ? flags.at("label") : (quick ? "quick" : "");
 
@@ -209,6 +226,8 @@ int main(int argc, char** argv) {
 
   std::string entry = "{\"commit\":";
   entry += ltee::util::JsonQuote(commit);
+  entry += ",\"dirty\":";
+  entry += dirty ? "true" : "false";
   entry += ",\"unix_time\":";
   entry += std::to_string(static_cast<long long>(std::time(nullptr)));
   if (!label.empty()) {
@@ -226,7 +245,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << entry << "\n";
-  std::printf("bench_history: appended %zu results for commit %s to %s\n",
-              num_results, commit.c_str(), out_path.c_str());
+  std::printf(
+      "bench_history: appended %zu results for commit %s%s to %s\n",
+      num_results, commit.c_str(), dirty ? " (dirty work tree)" : "",
+      out_path.c_str());
   return ok ? 0 : 1;
 }

@@ -10,7 +10,10 @@
 //   ltee_cli run [--kb FILE --corpus FILE --gs-corpus FILE --gold FILE]
 //            [--scale S] [--ntriples FILE] [--min-facts N] [--dedup]
 //            [--seed N] [--trace-out FILE] [--metrics-out FILE]
-//            [--log-level LEVEL] [--status-port PORT]
+//            [--provenance-out FILE] [--log-level LEVEL]
+//            [--status-port PORT]
+//   ltee_cli explain [QUERY] --ledger FILE [--property NAME] [--first]
+//            [--json]
 //   ltee_cli analyze-trace TRACE.json [--json]
 //
 // Without the four input files, `run` builds the default synthetic
@@ -19,9 +22,16 @@
 // report (per-stage wall times + metrics snapshot) as JSON; --log-level
 // overrides LTEE_LOG_LEVEL.
 //
+// --provenance-out enables the decision-provenance ledger (every schema
+// mapping, cluster membership, fused value, NEW/EXISTING verdict and KB
+// mutation of the run) and writes it as JSON lines; `explain` then walks
+// a fact's lineage backwards through that ledger: KB triple -> fused
+// value -> source cells -> cluster memberships -> column mappings.
+//
 // --status-port (or the LTEE_STATUS_PORT env var) serves live
 // introspection while the run executes: GET /metrics (Prometheus text),
-// /report (latest run report), /trace (Chrome trace JSON), /healthz.
+// /report (latest run report), /trace (Chrome trace JSON), /provenance
+// (published ledger; ?entity= filters to a lineage), /healthz.
 // `analyze-trace` aggregates an exported trace into per-span self-time /
 // percentile statistics and per-class critical paths (--json switches
 // the output to machine-readable JSON).
@@ -47,6 +57,8 @@
 #include "pipeline/pipeline.h"
 #include "pipeline/slot_filling.h"
 #include "pipeline/training.h"
+#include "prov/explain.h"
+#include "prov/ledger.h"
 #include "synth/dataset.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -73,6 +85,19 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
   return flags;
 }
 
+/// First argument after `first` that is neither a flag nor a flag's
+/// value, following the same pairing rule as ParseFlags.
+std::string FirstPositional(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) ++i;
+      continue;
+    }
+    return argv[i];
+  }
+  return "";
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -81,12 +106,18 @@ int Usage() {
                "  ltee_cli run [--kb FILE --corpus FILE --gs-corpus FILE "
                "--gold FILE] [--scale S] [--ntriples FILE] [--min-facts N] "
                "[--dedup] [--seed N] [--trace-out FILE] [--metrics-out FILE] "
+               "[--provenance-out FILE] "
                "[--log-level debug|info|warning|error] [--status-port PORT] "
                "[--status-linger SECONDS]\n"
+               "  ltee_cli explain [QUERY] --ledger FILE [--property NAME] "
+               "[--first] [--json]\n"
                "  ltee_cli analyze-trace TRACE.json [--json]\n"
                "run uses the default synthetic dataset when the four input "
                "files are omitted; --status-port (or LTEE_STATUS_PORT) "
-               "serves /metrics /report /trace /healthz while it executes\n");
+               "serves /metrics /report /trace /provenance /healthz while it "
+               "executes. --provenance-out records every pipeline decision "
+               "as JSON lines; explain prints the lineage of the accepted "
+               "facts whose subject contains QUERY\n");
   return 2;
 }
 
@@ -205,7 +236,7 @@ int Run(const std::map<std::string, std::string>& flags) {
       return 1;
     }
     std::printf("status server on http://localhost:%u "
-                "(/metrics /report /trace /healthz)\n",
+                "(/metrics /report /trace /provenance /healthz)\n",
                 status_server.port());
   }
 
@@ -263,6 +294,14 @@ int Run(const std::map<std::string, std::string>& flags) {
   pipeline::LteePipeline pipe(*kb, options);
   util::Rng rng(seed);
   pipeline::TrainPipelineOnGold(&pipe, *gs_corpus, *gold, rng);
+
+  // Enable the decision ledger only now: training probes Cluster()/Match()
+  // internals and would pollute the record of the actual run.
+  const bool want_prov = flags.count("provenance-out") > 0;
+  if (want_prov) {
+    prov::SetEnabled(true);
+    prov::Clear();
+  }
 
   std::vector<kb::ClassId> classes;
   for (const auto& gs : *gold) classes.push_back(gs.cls);
@@ -325,11 +364,29 @@ int Run(const std::map<std::string, std::string>& flags) {
     std::printf("N-Triples written to %s\n", flags.at("ntriples").c_str());
   }
 
+  std::string ledger;
+  if (want_prov) {
+    // Fold the post-run stage counters into the quality gauges before the
+    // report snapshot below.
+    prov::RefreshQualityGauges();
+    ledger = prov::ExportJsonLines();
+    const std::string& path = flags.at("provenance-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << ledger;
+    std::printf("provenance ledger written to %s (%zu events)\n",
+                path.c_str(), prov::EventCount());
+  }
+
   // Re-snapshot so the post-run stages (dedup, slot filling, KB update)
   // are part of the exported/published report.
   run.report.metrics = util::Metrics().Snapshot();
   if (status_server.running()) {
     status_server.PublishReport(pipeline::RunReportToJson(run.report));
+    if (want_prov) status_server.PublishProvenance(ledger);
   }
   if (auto it = flags.find("metrics-out"); it != flags.end()) {
     std::ofstream out(it->second);
@@ -363,6 +420,35 @@ int Run(const std::map<std::string, std::string>& flags) {
     status_server.Stop();
   }
   return 0;
+}
+
+int Explain(const std::map<std::string, std::string>& flags,
+            const std::string& query) {
+  auto it = flags.find("ledger");
+  if (it == flags.end()) return Usage();
+  std::ifstream in(it->second);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", it->second.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  prov::ExplainOptions options;
+  options.entity = query;
+  if (auto p = flags.find("property"); p != flags.end()) {
+    options.property = p->second;
+  }
+  options.first_only = flags.count("first") > 0;
+  options.json = flags.count("json") > 0;
+  const prov::ExplainResult result = prov::Explain(buffer.str(), options);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s: %s\n", it->second.c_str(),
+                 result.error.c_str());
+    return 1;
+  }
+  std::fputs(result.output.c_str(), stdout);
+  return result.facts_found > 0 ? 0 : 1;
 }
 
 int AnalyzeTrace(const std::map<std::string, std::string>& flags,
@@ -406,6 +492,9 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(flags);
   if (command == "stats") return Stats(flags);
   if (command == "run") return Run(flags);
+  if (command == "explain") {
+    return Explain(flags, FirstPositional(argc, argv, 2));
+  }
   if (command == "analyze-trace") {
     // The trace path is the first non-flag argument after the command.
     for (int i = 2; i < argc; ++i) {

@@ -15,14 +15,19 @@
 // (the seed data point) with --against-seed.
 //
 // Options:
-//   --threshold PCT        allowed relative time increase (default 25)
-//   --score-threshold PCT  allowed relative score drop (default 5)
-//   --min-seconds S        time pairs where both sides are below this
-//                          are noise and never gate (default 0.05)
+//   --threshold PCT          allowed relative time increase (default 25)
+//   --score-threshold PCT    allowed relative score drop (default 5)
+//   --quality-threshold PCT  allowed relative increase of a quality-drift
+//                            rate (default 10)
+//   --min-seconds S          time pairs where both sides are below this
+//                            are noise and never gate (default 0.05)
 //
 // Direction comes from the unit recorded with each metric: "seconds",
-// "ms" and "ns" regress upward; "score" regresses downward; "count" and
-// "ratio" changes are reported but never gate.
+// "ms" and "ns" regress upward; "score" regresses downward; "rate"
+// (quality-drift gauges such as ltee.prov.fusion_conflict_rate, flattened
+// from run-report gauges ending in `_rate`) regresses upward against
+// --quality-threshold; "count", "ratio" and "gauge" changes are reported
+// but never gate.
 //
 // Exit: 0 when no metric regressed beyond its threshold (including the
 // trivial one-entry history), 1 on regression, 2 on usage/parse errors.
@@ -34,6 +39,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/json_parse.h"
@@ -53,11 +59,18 @@ struct MetricValue {
 using MetricMap = std::map<std::string, MetricValue>;
 
 Direction DirectionOf(const std::string& unit) {
-  if (unit == "seconds" || unit == "ms" || unit == "ns") {
+  if (unit == "seconds" || unit == "ms" || unit == "ns" || unit == "rate") {
     return Direction::kHigherIsWorse;
   }
   if (unit == "score" || unit == "f1") return Direction::kLowerIsWorse;
   return Direction::kInformational;
+}
+
+/// True for suffix `suffix` of `name`.
+bool EndsWith(const std::string& name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
 }
 
 double ToSeconds(double value, const std::string& unit) {
@@ -110,6 +123,20 @@ bool Flatten(const JsonValue& doc, MetricMap* out, std::string* error) {
           }
         }
       }
+      if (const JsonValue* gauges = metrics->Find("gauges");
+          gauges != nullptr && gauges->is_object()) {
+        for (const auto& [name, value] : gauges->members()) {
+          if (!value.is_number()) continue;
+          // Quality-drift gauges (`.._rate`) gate against
+          // --quality-threshold; `.._ratio` and everything else are
+          // informational.
+          const char* unit = EndsWith(name, "_rate")
+                                 ? "rate"
+                                 : (EndsWith(name, "_ratio") ? "ratio"
+                                                             : "gauge");
+          (*out)["gauge/" + name] = {value.as_number(), unit};
+        }
+      }
     }
     return true;
   }
@@ -145,7 +172,8 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
     std::string key = arg.substr(2);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0 &&
         (key == "threshold" || key == "score-threshold" ||
-         key == "min-seconds" || key == "history")) {
+         key == "quality-threshold" || key == "min-seconds" ||
+         key == "history")) {
       flags[key] = argv[++i];
     } else {
       flags[key] = std::string("1");
@@ -160,8 +188,8 @@ int Usage() {
                "  report_diff BEFORE.json AFTER.json [options]\n"
                "  report_diff --history FILE [--against-seed] [options]\n"
                "options: --threshold PCT (time, default 25) "
-               "--score-threshold PCT (default 5) --min-seconds S "
-               "(default 0.05)\n");
+               "--score-threshold PCT (default 5) --quality-threshold PCT "
+               "(drift rates, default 10) --min-seconds S (default 0.05)\n");
   return 2;
 }
 
@@ -178,6 +206,11 @@ int main(int argc, char** argv) {
       (flags.count("score-threshold")
            ? std::atof(flags.at("score-threshold").c_str())
            : 5.0) /
+      100.0;
+  const double quality_threshold =
+      (flags.count("quality-threshold")
+           ? std::atof(flags.at("quality-threshold").c_str())
+           : 10.0) /
       100.0;
   const double min_seconds =
       flags.count("min-seconds") ? std::atof(flags.at("min-seconds").c_str())
@@ -249,9 +282,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("report_diff: %s -> %s (time +%.0f%%, score -%.0f%%)\n",
-              before_name.c_str(), after_name.c_str(), time_threshold * 100,
-              score_threshold * 100);
+  // History entries carry their commit stamp (and work-tree state);
+  // surface both so a regression is attributable at a glance.
+  const auto annotate = [](const JsonValue& doc, std::string* name) {
+    const JsonValue* commit = doc.Find("commit");
+    if (commit == nullptr || !commit->is_string()) return;
+    *name += " (" + commit->as_string();
+    if (const JsonValue* dirty = doc.Find("dirty");
+        dirty != nullptr && dirty->is_bool() && dirty->as_bool()) {
+      *name += ", dirty";
+    }
+    *name += ")";
+  };
+  annotate(before_doc, &before_name);
+  annotate(after_doc, &after_name);
+
+  std::printf(
+      "report_diff: %s -> %s (time +%.0f%%, score -%.0f%%, "
+      "drift rate +%.0f%%)\n",
+      before_name.c_str(), after_name.c_str(), time_threshold * 100,
+      score_threshold * 100, quality_threshold * 100);
   std::printf("%-44s %14s %14s %9s\n", "metric", "before", "after",
               "delta");
   size_t regressions = 0, compared = 0;
@@ -266,9 +316,13 @@ int main(int argc, char** argv) {
     const Direction direction = DirectionOf(b.unit);
     bool regressed = false;
     if (direction == Direction::kHigherIsWorse) {
-      const bool above_floor = ToSeconds(b.value, b.unit) >= min_seconds ||
-                               ToSeconds(a.value, a.unit) >= min_seconds;
-      regressed = above_floor && rel > time_threshold;
+      if (b.unit == "rate") {
+        regressed = rel > quality_threshold;
+      } else {
+        const bool above_floor = ToSeconds(b.value, b.unit) >= min_seconds ||
+                                 ToSeconds(a.value, a.unit) >= min_seconds;
+        regressed = above_floor && rel > time_threshold;
+      }
     } else if (direction == Direction::kLowerIsWorse) {
       regressed = rel < -score_threshold;
     }

@@ -1,0 +1,155 @@
+// Provenance-ledger validator, used by scripts/check_observability.sh on
+// the output of `ltee_cli run --provenance-out`: every JSON-lines entry
+// must parse (util/json_parse), carry the envelope fields (known "kind",
+// "iter" >= 1, "cls" >= 0) and the kind-specific fields the explain
+// walker links through (fusion sources, kb_update reason, ...). Exits
+// non-zero naming the first offending line; on success prints per-kind
+// counts. With no event of a core kind the ledger cannot explain a full
+// lineage, so an empty or partial ledger also fails.
+//
+// Usage: validate_ledger LEDGER.jsonl
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "util/json_parse.h"
+
+namespace {
+
+using ltee::util::JsonValue;
+using ltee::util::ParseJson;
+
+int Fail(size_t line_no, const std::string& message) {
+  std::fprintf(stderr, "validate_ledger: FAIL: line %zu: %s\n", line_no,
+               message.c_str());
+  return 1;
+}
+
+bool HasNumber(const JsonValue& v, const char* key) {
+  const JsonValue* member = v.Find(key);
+  return member != nullptr && member->is_number();
+}
+
+bool HasString(const JsonValue& v, const char* key) {
+  const JsonValue* member = v.Find(key);
+  return member != nullptr && member->is_string();
+}
+
+bool HasBool(const JsonValue& v, const char* key) {
+  const JsonValue* member = v.Find(key);
+  return member != nullptr && member->is_bool();
+}
+
+/// Kind-specific link fields; returns the first missing field's name or
+/// nullptr when the event is sound.
+const char* CheckEvent(const std::string& kind, const JsonValue& v) {
+  if (kind == "schema_map") {
+    for (const char* key : {"table", "column", "property", "score",
+                            "threshold"}) {
+      if (!HasNumber(v, key)) return key;
+    }
+    if (!HasBool(v, "accepted")) return "accepted";
+  } else if (kind == "cluster") {
+    for (const char* key : {"table", "row", "cluster_id", "support"}) {
+      if (!HasNumber(v, key)) return key;
+    }
+  } else if (kind == "fusion") {
+    for (const char* key : {"cluster_id", "property"}) {
+      if (!HasNumber(v, key)) return key;
+    }
+    for (const char* key : {"value", "rule"}) {
+      if (!HasString(v, key)) return key;
+    }
+    const JsonValue* sources = v.Find("sources");
+    if (sources == nullptr || !sources->is_array() ||
+        sources->items().empty()) {
+      return "sources";
+    }
+    for (const JsonValue& cell : sources->items()) {
+      for (const char* key : {"table", "row", "column"}) {
+        if (!HasNumber(cell, key)) return "sources[].cell";
+      }
+    }
+  } else if (kind == "new_detect") {
+    if (!HasNumber(v, "cluster_id")) return "cluster_id";
+    if (!HasBool(v, "is_new")) return "is_new";
+    if (!HasNumber(v, "best_score")) return "best_score";
+  } else if (kind == "dedup") {
+    for (const char* key : {"cluster_id", "absorbed_cluster"}) {
+      if (!HasNumber(v, key)) return key;
+    }
+  } else if (kind == "kb_update") {
+    if (!HasNumber(v, "cluster_id")) return "cluster_id";
+    if (!HasBool(v, "accepted")) return "accepted";
+    if (!HasString(v, "reason")) return "reason";
+  } else {
+    return "kind";  // unknown kind value
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: validate_ledger LEDGER.jsonl\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "validate_ledger: FAIL: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  std::map<std::string, size_t> kind_counts;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue value;
+    std::string error;
+    if (!ParseJson(line, &value, &error)) {
+      return Fail(line_no, "invalid JSON: " + error);
+    }
+    if (!value.is_object()) return Fail(line_no, "not a JSON object");
+    const std::string kind = value.StringOr("kind", "");
+    if (kind.empty()) return Fail(line_no, "missing \"kind\"");
+    if (value.NumberOr("iter", 0) < 1) {
+      return Fail(line_no, "missing or non-positive \"iter\"");
+    }
+    if (!HasNumber(value, "cls") || value.NumberOr("cls", -1) < 0) {
+      return Fail(line_no, "missing or negative \"cls\"");
+    }
+    if (const char* field = CheckEvent(kind, value); field != nullptr) {
+      return Fail(line_no, "\"" + kind + "\" event missing field \"" +
+                               field + "\"");
+    }
+    ++kind_counts[kind];
+  }
+
+  // A lineage-capable ledger needs every stage represented (dedup is
+  // legitimately absent when no clusters merged).
+  for (const char* kind :
+       {"schema_map", "cluster", "fusion", "new_detect", "kb_update"}) {
+    if (kind_counts[kind] == 0) {
+      std::fprintf(stderr,
+                   "validate_ledger: FAIL: no \"%s\" events in ledger\n",
+                   kind);
+      return 1;
+    }
+  }
+
+  std::ostringstream summary;
+  size_t total = 0;
+  for (const auto& [kind, count] : kind_counts) {
+    summary << " " << kind << "=" << count;
+    total += count;
+  }
+  std::printf("validate_ledger: OK (%zu events:%s)\n", total,
+              summary.str().c_str());
+  return 0;
+}
