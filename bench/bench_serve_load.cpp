@@ -1,0 +1,140 @@
+// Serving-layer load bench: builds a snapshot of the synthetic KB, then
+// drives serve::QueryEngine with a multi-threaded closed-loop workload
+// (60% entity-by-id, 30% label search, 10% class listing — roughly the
+// read mix of an entity-lookup service) and emits throughput plus
+// latency percentiles as trajectory lines.
+//
+// The units are what make this a gate: "ops_s" regresses downward and
+// the "ms_p50"/"ms_p95"/"ms_p99" percentiles regress upward in
+// tools/report_diff (above the --min-latency-ms noise floor), so a
+// change that tanks serving latency fails `bench_regression` like a
+// pipeline slowdown would. The cache hit ratio rides along
+// informationally.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/metrics.h"
+
+namespace {
+
+using namespace ltee;
+
+constexpr size_t kThreads = 4;
+constexpr size_t kOpsPerThread = 2000;
+
+/// Percentile of a sorted latency vector (nearest-rank).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+}  // namespace
+
+int main() {
+  bench::ScopedWallClock wall_clock("serve_load");
+  auto dataset = bench::MakeDataset(0.002);
+
+  auto snapshot = serve::Snapshot::Build(dataset.kb,
+                                         {.version = 1, .num_shards = 4});
+  serve::QueryEngine engine;
+  engine.Publish(snapshot);
+  std::printf("# serving %zu entities, %zu classes, %zu facts\n",
+              snapshot->num_entities(), snapshot->num_classes(),
+              snapshot->num_facts());
+
+  // A fixed pool of search queries drawn from entity labels, so search
+  // traffic hits real postings (deterministic: entity order is fixed).
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < snapshot->num_entities() && queries.size() < 64;
+       i += 7) {
+    const auto* entity = snapshot->entity(static_cast<kb::InstanceId>(i));
+    if (entity != nullptr && !entity->labels.empty()) {
+      queries.push_back(entity->labels[0]);
+    }
+  }
+  if (queries.empty()) queries.push_back("entity");
+  const size_t num_entities = std::max<size_t>(1, snapshot->num_entities());
+
+  const auto& hits = util::Metrics().GetCounter("ltee.serve.cache.hits");
+  const auto& misses = util::Metrics().GetCounter("ltee.serve.cache.misses");
+  const uint64_t hits_before = hits.value();
+  const uint64_t misses_before = misses.value();
+
+  std::vector<std::vector<double>> latencies_ms(kThreads);
+  const auto load_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &engine, &queries, &latencies_ms,
+                          num_entities] {
+      auto& out = latencies_ms[t];
+      out.reserve(kOpsPerThread);
+      // Cheap deterministic per-thread op stream (splitmix-style hash).
+      uint64_t state = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (size_t op = 0; op < kOpsPerThread; ++op) {
+        state += 0x9e3779b97f4a7c15ull;
+        uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        const auto begin = std::chrono::steady_clock::now();
+        const uint64_t kind = z % 10;
+        if (kind < 6) {
+          engine.EntityById(static_cast<int64_t>((z >> 8) % num_entities));
+        } else if (kind < 9) {
+          engine.Search(queries[(z >> 8) % queries.size()], 10);
+        } else {
+          engine.Classes();
+        }
+        out.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double load_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    load_start)
+          .count();
+
+  std::vector<double> all;
+  all.reserve(kThreads * kOpsPerThread);
+  for (const auto& per_thread : latencies_ms) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto total_ops = static_cast<long long>(all.size());
+  const double ops_s =
+      load_seconds > 0.0 ? static_cast<double>(total_ops) / load_seconds
+                         : 0.0;
+  const uint64_t hit_delta = hits.value() - hits_before;
+  const uint64_t miss_delta = misses.value() - misses_before;
+  const double hit_ratio =
+      hit_delta + miss_delta > 0
+          ? static_cast<double>(hit_delta) /
+                static_cast<double>(hit_delta + miss_delta)
+          : 0.0;
+
+  std::printf("# %lld ops over %zu threads in %.3fs\n", total_ops, kThreads,
+              load_seconds);
+  bench::EmitResult("serve_load", "throughput", ops_s, "ops_s", total_ops);
+  bench::EmitResult("serve_load", "latency_p50", Percentile(all, 0.50),
+                    "ms_p50", total_ops);
+  bench::EmitResult("serve_load", "latency_p95", Percentile(all, 0.95),
+                    "ms_p95", total_ops);
+  bench::EmitResult("serve_load", "latency_p99", Percentile(all, 0.99),
+                    "ms_p99", total_ops);
+  bench::EmitResult("serve_load", "cache_hit_ratio", hit_ratio, "ratio");
+  return 0;
+}

@@ -52,4 +52,50 @@ if ! grep -q "chain: COMPLETE" <<<"${EXPLAIN}"; then
     exit 1
 fi
 
+# Serving layer end to end: publish a snapshot from a tiny fixed-seed run,
+# serve it on an ephemeral port, query the JSON endpoints through the
+# loopback client (`ltee_cli get` wraps obsv::HttpGet and validates the
+# body parses as JSON), then shut the server down cleanly via SIGTERM.
+SNAPSHOT="${BUILD_DIR}/smoke_snapshot.bin"
+"${BUILD_DIR}/tools/ltee_cli" run --scale 0.002 --seed 41 \
+    --publish-snapshot "${SNAPSHOT}" >/dev/null
+
+SERVE_LOG="${BUILD_DIR}/smoke_serve.log"
+"${BUILD_DIR}/tools/ltee_cli" serve --snapshot "${SNAPSHOT}" --port 0 \
+    >"${SERVE_LOG}" 2>&1 &
+SERVE_PID=$!
+trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
+
+PORT=""
+for _ in $(seq 1 100); do
+    PORT="$(sed -n 's|.*http://localhost:\([0-9]*\).*|\1|p' "${SERVE_LOG}")"
+    [[ -n "${PORT}" ]] && break
+    sleep 0.1
+done
+if [[ -z "${PORT}" ]]; then
+    echo "check_observability: FAIL: kb service did not report a port" >&2
+    cat "${SERVE_LOG}" >&2
+    exit 1
+fi
+
+"${BUILD_DIR}/tools/ltee_cli" get --port "${PORT}" \
+    --path '/kb/entity?id=0' --expect-json >/dev/null
+"${BUILD_DIR}/tools/ltee_cli" get --port "${PORT}" \
+    --path '/kb/search?q=the&k=3' --expect-json >/dev/null
+"${BUILD_DIR}/tools/ltee_cli" get --port "${PORT}" \
+    --path '/kb/snapshot' --expect-json >/dev/null
+
+kill -TERM "${SERVE_PID}"
+if ! wait "${SERVE_PID}"; then
+    echo "check_observability: FAIL: kb service exited non-zero" >&2
+    cat "${SERVE_LOG}" >&2
+    exit 1
+fi
+trap - EXIT
+if ! grep -q "kb service stopped" "${SERVE_LOG}"; then
+    echo "check_observability: FAIL: kb service did not shut down cleanly" >&2
+    cat "${SERVE_LOG}" >&2
+    exit 1
+fi
+
 echo "check_observability: OK"

@@ -21,6 +21,7 @@ const char* StatusText(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
@@ -83,7 +84,8 @@ std::string QueryParam(const std::string& query, const std::string& key) {
   return "";
 }
 
-HttpServer::HttpServer() = default;
+HttpServer::HttpServer(size_t num_workers)
+    : num_workers_(num_workers == 0 ? 1 : num_workers) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -124,9 +126,7 @@ bool HttpServer::Start(uint16_t port, std::string* error) {
     port_ = port;
   }
 
-  // A handful of workers is plenty: the handlers render in-memory state
-  // and the expected clients are one curl and one scraper.
-  pool_ = std::make_unique<util::ThreadPool>(2);
+  pool_ = std::make_unique<util::ThreadPool>(num_workers_);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
@@ -180,7 +180,7 @@ void HttpServer::ServeConnection(int fd) {
 
   HttpResponse response;
   const size_t line_end = request.find_first_of("\r\n");
-  std::string method, target;
+  std::string method, target, version;
   if (line_end != std::string::npos) {
     const std::string line = request.substr(0, line_end);
     const size_t sp1 = line.find(' ');
@@ -189,6 +189,7 @@ void HttpServer::ServeConnection(int fd) {
     if (sp1 != std::string::npos && sp2 != std::string::npos) {
       method = line.substr(0, sp1);
       target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      version = line.substr(sp2 + 1);
     }
   }
   HttpRequest http_request;
@@ -199,9 +200,15 @@ void HttpServer::ServeConnection(int fd) {
   }
   http_request.path = target;
 
-  if (method.empty() || target.empty()) {
+  // RFC 9112 request line: `method SP request-target SP HTTP-version`.
+  // Anything that does not parse into those three shapes — missing
+  // tokens, a version that is not HTTP/*, a target that is not
+  // origin-form — gets an explicit 400 rather than a silently dropped
+  // connection, so misbehaving clients see what went wrong.
+  if (method.empty() || target.empty() ||
+      version.rfind("HTTP/", 0) != 0 || target[0] != '/') {
     response.status = 400;
-    response.body = "malformed request\n";
+    response.body = "malformed request line\n";
   } else if (method != "GET" && method != "HEAD") {
     // RFC 9110: a 405 must name the allowed methods.
     response.status = 405;

@@ -50,7 +50,10 @@ std::string QueryParam(const std::string& query, const std::string& key);
 /// Prometheus scraper to read a running pipeline.
 class HttpServer {
  public:
-  HttpServer();
+  /// `num_workers` sizes the handler pool: the introspection default (2)
+  /// is plenty for one curl plus a scraper; the KB serving layer passes
+  /// more to overlap concurrent query connections.
+  explicit HttpServer(size_t num_workers = 2);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -77,6 +80,7 @@ class HttpServer {
   void ServeConnection(int fd);
 
   std::map<std::string, HttpHandler> handlers_;
+  size_t num_workers_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};

@@ -1,0 +1,149 @@
+#include "obsv/regression_gate.h"
+
+#include <cmath>
+#include <string_view>
+
+namespace ltee::obsv {
+
+namespace {
+
+/// True for suffix `suffix` of `name`.
+bool EndsWith(const std::string& name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+double ToSeconds(double value, const std::string& unit) {
+  if (unit == "ms" || IsLatencyPercentileUnit(unit)) return value / 1e3;
+  if (unit == "ns") return value / 1e9;
+  return value;
+}
+
+}  // namespace
+
+bool IsLatencyPercentileUnit(const std::string& unit) {
+  return unit.rfind("ms_p", 0) == 0;
+}
+
+GateDirection GateDirectionOf(const std::string& unit) {
+  if (unit == "seconds" || unit == "ms" || unit == "ns" || unit == "rate" ||
+      IsLatencyPercentileUnit(unit)) {
+    return GateDirection::kHigherIsWorse;
+  }
+  if (unit == "score" || unit == "f1" || unit == "ops_s") {
+    return GateDirection::kLowerIsWorse;
+  }
+  return GateDirection::kInformational;
+}
+
+bool FlattenGateSnapshot(const util::JsonValue& doc, GateMetricMap* out,
+                         std::string* error) {
+  if (const util::JsonValue* results = doc.Find("results");
+      results != nullptr && results->is_array()) {
+    for (const util::JsonValue& r : results->items()) {
+      const util::JsonValue* bench = r.Find("bench");
+      const util::JsonValue* metric = r.Find("metric");
+      const util::JsonValue* value = r.Find("value");
+      if (bench == nullptr || metric == nullptr || value == nullptr ||
+          !value->is_number()) {
+        continue;
+      }
+      (*out)[bench->as_string() + "/" + metric->as_string()] = {
+          value->as_number(), r.StringOr("unit", "unknown")};
+    }
+    return true;
+  }
+  if (const util::JsonValue* total = doc.Find("total_seconds");
+      total != nullptr && total->is_number()) {
+    (*out)["run/total_seconds"] = {total->as_number(), "seconds"};
+    if (const util::JsonValue* stages = doc.Find("stages");
+        stages != nullptr && stages->is_array()) {
+      for (const util::JsonValue& stage : stages->items()) {
+        const util::JsonValue* name = stage.Find("stage");
+        const util::JsonValue* seconds = stage.Find("seconds");
+        if (name == nullptr || seconds == nullptr || !seconds->is_number()) {
+          continue;
+        }
+        (*out)["stage/" + name->as_string()] = {seconds->as_number(),
+                                                "seconds"};
+      }
+    }
+    if (const util::JsonValue* metrics = doc.Find("metrics");
+        metrics != nullptr && metrics->is_object()) {
+      if (const util::JsonValue* counters = metrics->Find("counters");
+          counters != nullptr && counters->is_object()) {
+        for (const auto& [name, value] : counters->members()) {
+          if (value.is_number()) {
+            (*out)["counter/" + name] = {value.as_number(), "count"};
+          }
+        }
+      }
+      if (const util::JsonValue* gauges = metrics->Find("gauges");
+          gauges != nullptr && gauges->is_object()) {
+        for (const auto& [name, value] : gauges->members()) {
+          if (!value.is_number()) continue;
+          // Quality-drift gauges (`.._rate`) gate against the quality
+          // threshold; `.._ratio` and everything else are informational.
+          const char* unit = EndsWith(name, "_rate")
+                                 ? "rate"
+                                 : (EndsWith(name, "_ratio") ? "ratio"
+                                                             : "gauge");
+          (*out)["gauge/" + name] = {value.as_number(), unit};
+        }
+      }
+    }
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unrecognized snapshot: neither a run report nor a bench "
+             "history entry";
+  }
+  return false;
+}
+
+GateReport CompareGateMetrics(const GateMetricMap& before,
+                              const GateMetricMap& after,
+                              const GateThresholds& thresholds) {
+  GateReport report;
+  for (const auto& [name, b] : before) {
+    auto it = after.find(name);
+    if (it == after.end()) continue;
+    const GateMetric& a = it->second;
+    ++report.compared;
+
+    GateDelta delta;
+    delta.name = name;
+    delta.before = b;
+    delta.after = a;
+    delta.rel = b.value != 0.0 ? (a.value - b.value) / std::fabs(b.value)
+                               : (a.value != 0.0 ? 1.0 : 0.0);
+    delta.direction = GateDirectionOf(b.unit);
+
+    if (delta.direction == GateDirection::kHigherIsWorse) {
+      if (b.unit == "rate") {
+        delta.regressed = delta.rel > thresholds.quality;
+      } else if (IsLatencyPercentileUnit(b.unit)) {
+        const bool above_floor = b.value >= thresholds.min_latency_ms ||
+                                 a.value >= thresholds.min_latency_ms;
+        delta.regressed = above_floor && delta.rel > thresholds.time;
+      } else {
+        const bool above_floor =
+            ToSeconds(b.value, b.unit) >= thresholds.min_seconds ||
+            ToSeconds(a.value, a.unit) >= thresholds.min_seconds;
+        delta.regressed = above_floor && delta.rel > thresholds.time;
+      }
+    } else if (delta.direction == GateDirection::kLowerIsWorse) {
+      // Throughput tolerates the (usually looser) time threshold; paper
+      // scores hold to the tighter score threshold.
+      const double allowed =
+          b.unit == "ops_s" ? thresholds.time : thresholds.score;
+      delta.regressed = delta.rel < -allowed;
+    }
+    if (delta.regressed) ++report.regressions;
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+}  // namespace ltee::obsv

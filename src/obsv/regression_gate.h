@@ -1,0 +1,92 @@
+#ifndef LTEE_OBSV_REGRESSION_GATE_H_
+#define LTEE_OBSV_REGRESSION_GATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json_parse.h"
+
+namespace ltee::obsv {
+
+/// The perf-regression comparison core behind tools/report_diff — pulled
+/// into the library so the gating semantics (which units gate, in which
+/// direction, against which threshold) are unit-testable without
+/// spawning the CLI.
+
+/// How a unit regresses. Direction comes from the unit string recorded
+/// with each metric, never from the metric name.
+enum class GateDirection { kHigherIsWorse, kLowerIsWorse, kInformational };
+
+/// One flattened metric: a value plus the unit that decides its gating.
+struct GateMetric {
+  double value = 0.0;
+  std::string unit;
+};
+
+/// name -> metric, flattened from a run report or bench-history entry.
+using GateMetricMap = std::map<std::string, GateMetric>;
+
+/// Unit -> direction:
+///  - "seconds", "ms", "ns": wall/cpu time, regresses upward.
+///  - "ms_p50", "ms_p95", "ms_p99" (any "ms_p*"): latency percentiles
+///    from closed-loop load benches, regress upward but against the
+///    dedicated `min_latency_ms` noise floor instead of `min_seconds`.
+///  - "rate": quality-drift gauges, regress upward vs quality threshold.
+///  - "score", "f1": quality scores, regress downward.
+///  - "ops_s": throughput, regresses downward vs the time threshold.
+///  - everything else ("count", "ratio", "gauge", ...): informational.
+GateDirection GateDirectionOf(const std::string& unit);
+
+/// True for the latency-percentile family ("ms_p" prefix).
+bool IsLatencyPercentileUnit(const std::string& unit);
+
+/// Flattens one parsed snapshot into `out`. Accepts bench-history
+/// entries ({"results":[{"bench":..,"metric":..,"value":..,"unit":..}]})
+/// and RunReport JSON ({"total_seconds":..,"stages":..,"metrics":..});
+/// run-report gauges ending in `_rate` flatten with unit "rate",
+/// `_ratio` with "ratio", the rest with "gauge". Returns false (with a
+/// description in `error`) when the document is neither form.
+bool FlattenGateSnapshot(const util::JsonValue& doc, GateMetricMap* out,
+                         std::string* error);
+
+/// Relative thresholds, as fractions (0.25 = 25%).
+struct GateThresholds {
+  double time = 0.25;     ///< allowed relative time/latency increase
+  double score = 0.05;    ///< allowed relative score/throughput drop
+  double quality = 0.10;  ///< allowed relative drift-rate increase
+  /// Time pairs where both sides are below this many seconds are noise
+  /// and never gate.
+  double min_seconds = 0.05;
+  /// Same floor for the "ms_p*" latency-percentile units, in ms: an
+  /// in-process query that moves from 5us to 15us is +200% but
+  /// meaningless; only percentiles at millisecond scale gate.
+  double min_latency_ms = 1.0;
+};
+
+/// One compared metric of a gate run.
+struct GateDelta {
+  std::string name;
+  GateMetric before;
+  GateMetric after;
+  double rel = 0.0;  ///< (after - before) / |before|
+  GateDirection direction = GateDirection::kInformational;
+  bool regressed = false;
+};
+
+/// Outcome of comparing two flattened snapshots.
+struct GateReport {
+  std::vector<GateDelta> deltas;  ///< intersection of both maps, by name
+  size_t compared = 0;
+  size_t regressions = 0;
+};
+
+/// Compares the metrics present in both maps under `thresholds`. Pure:
+/// no printing, no exiting — report_diff renders the result.
+GateReport CompareGateMetrics(const GateMetricMap& before,
+                              const GateMetricMap& after,
+                              const GateThresholds& thresholds);
+
+}  // namespace ltee::obsv
+
+#endif  // LTEE_OBSV_REGRESSION_GATE_H_

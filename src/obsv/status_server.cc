@@ -7,7 +7,7 @@
 
 namespace ltee::obsv {
 
-StatusServer::StatusServer() {
+StatusServer::StatusServer(size_t num_workers) : server_(num_workers) {
   server_.Handle("/healthz", [](const HttpRequest&) {
     HttpResponse response;
     response.body = "ok\n";

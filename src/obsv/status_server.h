@@ -20,7 +20,9 @@ namespace ltee::obsv {
 ///   GET /healthz     "ok" (liveness)
 class StatusServer {
  public:
-  StatusServer();
+  /// `num_workers` sizes the underlying HttpServer's handler pool (the
+  /// serving layer passes more than the introspection default).
+  explicit StatusServer(size_t num_workers = 2);
 
   /// Binds and serves on `port` (0 picks a free one; see port()).
   bool Start(uint16_t port, std::string* error = nullptr);
@@ -35,6 +37,11 @@ class StatusServer {
 
   /// Publishes the provenance ledger (JSON lines) served at /provenance.
   void PublishProvenance(std::string ledger_jsonl);
+
+  /// The underlying HTTP server, for registering additional endpoints
+  /// (the serve layer adds its /kb/* handlers here) before Start. The
+  /// reference stays valid for the StatusServer's lifetime.
+  HttpServer& http() { return server_; }
 
  private:
   HttpServer server_;

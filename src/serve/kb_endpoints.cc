@@ -1,0 +1,102 @@
+#include "serve/kb_endpoints.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "util/metrics.h"
+
+namespace ltee::serve {
+
+namespace {
+
+/// Shared per-request accounting: in-flight gauge, request counter, and
+/// the latency histogram every handler observes into.
+struct EndpointMetrics {
+  util::Counter& requests =
+      util::Metrics().GetCounter("ltee.serve.requests");
+  util::Gauge& in_flight =
+      util::Metrics().GetGauge("ltee.serve.requests.in_flight");
+  util::Histogram& latency_ms = util::Metrics().GetHistogram(
+      "ltee.serve.request.ms", util::ExponentialBuckets(0.01, 4.0, 10));
+};
+
+obsv::HttpResponse ToResponse(QueryResult result) {
+  obsv::HttpResponse response;
+  response.status = result.status;
+  response.content_type = "application/json";
+  response.body = std::move(result.body);
+  return response;
+}
+
+/// Wraps a handler with the request accounting.
+template <typename Fn>
+obsv::HttpHandler Instrumented(Fn fn) {
+  return [fn](const obsv::HttpRequest& request) {
+    static EndpointMetrics metrics;
+    metrics.requests.Increment();
+    metrics.in_flight.Add(1.0);
+    const auto start = std::chrono::steady_clock::now();
+    obsv::HttpResponse response = ToResponse(fn(request));
+    metrics.latency_ms.Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    metrics.in_flight.Add(-1.0);
+    return response;
+  };
+}
+
+/// Parses a non-negative size parameter; `fallback` when absent or
+/// unparsable.
+size_t SizeParam(const std::string& query, const std::string& key,
+                 size_t fallback) {
+  const std::string raw = obsv::QueryParam(query, key);
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') return fallback;
+  return static_cast<size_t>(v);
+}
+
+}  // namespace
+
+void RegisterKbEndpoints(obsv::HttpServer* server, QueryEngine* engine) {
+  server->Handle(
+      "/kb/entity", Instrumented([engine](const obsv::HttpRequest& request) {
+        const std::string id = obsv::QueryParam(request.query, "id");
+        if (!id.empty()) {
+          char* end = nullptr;
+          const long long parsed = std::strtoll(id.c_str(), &end, 10);
+          if (end == id.c_str() || *end != '\0') {
+            return QueryResult{400, "{\"error\":\"id must be an integer\"}"};
+          }
+          return engine->EntityById(parsed);
+        }
+        const std::string label = obsv::QueryParam(request.query, "label");
+        if (!label.empty()) return engine->EntityByLabel(label);
+        return QueryResult{400,
+                           "{\"error\":\"need an id or label parameter\"}"};
+      }));
+  server->Handle(
+      "/kb/search", Instrumented([engine](const obsv::HttpRequest& request) {
+        const std::string q = obsv::QueryParam(request.query, "q");
+        if (q.empty()) {
+          return QueryResult{400, "{\"error\":\"need a q parameter\"}"};
+        }
+        return engine->Search(q, SizeParam(request.query, "k", 10));
+      }));
+  server->Handle(
+      "/kb/classes", Instrumented([engine](const obsv::HttpRequest& request) {
+        const std::string name = obsv::QueryParam(request.query, "name");
+        if (name.empty()) return engine->Classes();
+        return engine->ClassInstances(
+            name, SizeParam(request.query, "limit", 50));
+      }));
+  server->Handle("/kb/snapshot",
+                 Instrumented([engine](const obsv::HttpRequest&) {
+                   return engine->SnapshotInfo();
+                 }));
+}
+
+}  // namespace ltee::serve

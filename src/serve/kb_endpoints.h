@@ -1,0 +1,28 @@
+#ifndef LTEE_SERVE_KB_ENDPOINTS_H_
+#define LTEE_SERVE_KB_ENDPOINTS_H_
+
+#include "obsv/http_server.h"
+#include "serve/query_engine.h"
+
+namespace ltee::serve {
+
+/// Registers the KB query endpoints on `server` (must not have started
+/// yet; `engine` must outlive it):
+///
+///   GET /kb/entity?id=N        entity by dense id
+///   GET /kb/entity?label=L     entities by exact normalized label
+///   GET /kb/search?q=Q[&k=K]   ranked label search
+///   GET /kb/classes            class listing with counts
+///   GET /kb/classes?name=C[&limit=N]  instances of one class
+///   GET /kb/snapshot           snapshot version / hash / counts
+///
+/// All responses are application/json; missing required parameters are
+/// 400, unknown ids/labels/classes 404, non-GET methods 405 (handled by
+/// HttpServer itself). Each request increments
+/// `ltee.serve.requests`, tracks `ltee.serve.requests.in_flight`
+/// and observes its latency into the `ltee.serve.request.ms` histogram.
+void RegisterKbEndpoints(obsv::HttpServer* server, QueryEngine* engine);
+
+}  // namespace ltee::serve
+
+#endif  // LTEE_SERVE_KB_ENDPOINTS_H_

@@ -1,0 +1,285 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+
+#include "types/data_type.h"
+#include "util/json.h"
+
+namespace ltee::serve {
+
+namespace {
+
+void AppendVersion(std::string* out, const Snapshot& snap) {
+  out->append("\"snapshot_version\":");
+  util::AppendJsonNumber(out, static_cast<double>(snap.version()));
+}
+
+QueryResult Error(int status, const Snapshot* snap, std::string message) {
+  QueryResult result;
+  result.status = status;
+  result.body = "{\"error\":" + util::JsonQuote(message);
+  if (snap != nullptr) {
+    result.body.append(",");
+    AppendVersion(&result.body, *snap);
+  }
+  result.body.append("}");
+  return result;
+}
+
+void AppendFact(std::string* out, const Snapshot& snap,
+                const SnapshotFact& fact) {
+  out->append("{\"property\":");
+  const SnapshotProperty* prop = snap.property(fact.property);
+  out->append(util::JsonQuote(prop != nullptr ? prop->name : "?"));
+  out->append(",\"type\":");
+  out->append(util::JsonQuote(types::DataTypeName(fact.value.type)));
+  out->append(",\"value\":");
+  switch (fact.value.type) {
+    case types::DataType::kQuantity:
+      util::AppendJsonNumber(out, fact.value.number);
+      break;
+    case types::DataType::kNominalInteger:
+      util::AppendJsonNumber(out, static_cast<double>(fact.value.integer));
+      break;
+    default:
+      out->append(util::JsonQuote(fact.value.ToString()));
+      break;
+  }
+  out->append("}");
+}
+
+void AppendEntity(std::string* out, const Snapshot& snap,
+                  const SnapshotEntity& entity) {
+  out->append("{\"id\":");
+  util::AppendJsonNumber(out, entity.id);
+  out->append(",\"class\":");
+  const auto& classes = snap.classes();
+  out->append(util::JsonQuote(
+      entity.cls >= 0 && entity.cls < static_cast<kb::ClassId>(classes.size())
+          ? classes[entity.cls].name
+          : "?"));
+  out->append(",\"popularity\":");
+  util::AppendJsonNumber(out, entity.popularity);
+  out->append(",\"labels\":[");
+  for (size_t i = 0; i < entity.labels.size(); ++i) {
+    if (i > 0) out->append(",");
+    out->append(util::JsonQuote(entity.labels[i]));
+  }
+  out->append("],\"facts\":[");
+  for (size_t i = 0; i < entity.facts.size(); ++i) {
+    if (i > 0) out->append(",");
+    AppendFact(out, snap, entity.facts[i]);
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(QueryEngineOptions options)
+    : options_(options),
+      cache_(options.cache_shards, options.cache_capacity_per_shard),
+      cache_hits_(util::Metrics().GetCounter("ltee.serve.cache.hits")),
+      cache_misses_(util::Metrics().GetCounter("ltee.serve.cache.misses")),
+      queries_total_(util::Metrics().GetCounter("ltee.serve.queries")),
+      version_gauge_(
+          util::Metrics().GetGauge("ltee.serve.snapshot.version")) {}
+
+void QueryEngine::Publish(std::shared_ptr<const Snapshot> snapshot) {
+  if (snapshot != nullptr) {
+    version_gauge_.Set(static_cast<double>(snapshot->version()));
+  }
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+}
+
+std::shared_ptr<const Snapshot> QueryEngine::snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+template <typename Render>
+QueryResult QueryEngine::Cached(const std::shared_ptr<const Snapshot>& snap,
+                                const std::string& key, Render render) {
+  queries_total_.Increment();
+  QueryResult result;
+  if (cache_.Get(key, &result)) {
+    cache_hits_.Increment();
+    return result;
+  }
+  cache_misses_.Increment();
+  result = render(*snap);
+  cache_.Put(key, result);
+  return result;
+}
+
+QueryResult QueryEngine::EntityById(int64_t id) {
+  auto snap = snapshot();
+  if (snap == nullptr) return Error(503, nullptr, "no snapshot published");
+  const std::string key =
+      "entity|" + std::to_string(snap->version()) + "|" + std::to_string(id);
+  return Cached(snap, key, [id](const Snapshot& s) {
+    const SnapshotEntity* entity =
+        (id < 0 || id > static_cast<int64_t>(s.num_entities()))
+            ? nullptr
+            : s.entity(static_cast<kb::InstanceId>(id));
+    if (entity == nullptr) {
+      return Error(404, &s, "no entity with id " + std::to_string(id));
+    }
+    QueryResult result;
+    result.body.append("{");
+    AppendVersion(&result.body, s);
+    result.body.append(",\"entity\":");
+    AppendEntity(&result.body, s, *entity);
+    result.body.append("}");
+    return result;
+  });
+}
+
+QueryResult QueryEngine::EntityByLabel(const std::string& label) {
+  auto snap = snapshot();
+  if (snap == nullptr) return Error(503, nullptr, "no snapshot published");
+  const std::string key =
+      "entity_label|" + std::to_string(snap->version()) + "|" + label;
+  return Cached(snap, key, [&label](const Snapshot& s) {
+    const std::vector<kb::InstanceId> ids = s.EntitiesByLabel(label);
+    if (ids.empty()) return Error(404, &s, "no entity labelled " + label);
+    QueryResult result;
+    result.body.append("{");
+    AppendVersion(&result.body, s);
+    result.body.append(",\"entities\":[");
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0) result.body.append(",");
+      AppendEntity(&result.body, s, *s.entity(ids[i]));
+    }
+    result.body.append("]}");
+    return result;
+  });
+}
+
+QueryResult QueryEngine::Search(const std::string& query, size_t k) {
+  auto snap = snapshot();
+  if (snap == nullptr) return Error(503, nullptr, "no snapshot published");
+  k = std::clamp<size_t>(k, 1, options_.max_results);
+  const std::string key = "search|" + std::to_string(snap->version()) + "|" +
+                          std::to_string(k) + "|" + query;
+  return Cached(snap, key, [&query, k](const Snapshot& s) {
+    const auto hits = s.Search(query, k);
+    QueryResult result;
+    result.body.append("{");
+    AppendVersion(&result.body, s);
+    result.body.append(",\"query\":");
+    result.body.append(util::JsonQuote(query));
+    result.body.append(",\"hits\":[");
+    for (size_t i = 0; i < hits.size(); ++i) {
+      if (i > 0) result.body.append(",");
+      const SnapshotEntity* entity = s.entity(hits[i].id);
+      result.body.append("{\"id\":");
+      util::AppendJsonNumber(&result.body, hits[i].id);
+      result.body.append(",\"score\":");
+      util::AppendJsonNumber(&result.body, hits[i].score);
+      result.body.append(",\"label\":");
+      result.body.append(util::JsonQuote(
+          entity != nullptr && !entity->labels.empty() ? entity->labels[0]
+                                                       : ""));
+      result.body.append("}");
+    }
+    result.body.append("]}");
+    return result;
+  });
+}
+
+QueryResult QueryEngine::Classes() {
+  auto snap = snapshot();
+  if (snap == nullptr) return Error(503, nullptr, "no snapshot published");
+  const std::string key = "classes|" + std::to_string(snap->version());
+  return Cached(snap, key, [](const Snapshot& s) {
+    QueryResult result;
+    result.body.append("{");
+    AppendVersion(&result.body, s);
+    result.body.append(",\"classes\":[");
+    const auto& classes = s.classes();
+    for (size_t i = 0; i < classes.size(); ++i) {
+      if (i > 0) result.body.append(",");
+      result.body.append("{\"id\":");
+      util::AppendJsonNumber(&result.body, classes[i].id);
+      result.body.append(",\"name\":");
+      result.body.append(util::JsonQuote(classes[i].name));
+      result.body.append(",\"parent\":");
+      result.body.append(
+          classes[i].parent >= 0
+              ? util::JsonQuote(classes[classes[i].parent].name)
+              : "null");
+      result.body.append(",\"instances\":");
+      util::AppendJsonNumber(&result.body,
+                             static_cast<double>(classes[i].num_instances));
+      result.body.append(",\"facts\":");
+      util::AppendJsonNumber(&result.body,
+                             static_cast<double>(classes[i].num_facts));
+      result.body.append("}");
+    }
+    result.body.append("]}");
+    return result;
+  });
+}
+
+QueryResult QueryEngine::ClassInstances(const std::string& name,
+                                        size_t limit) {
+  auto snap = snapshot();
+  if (snap == nullptr) return Error(503, nullptr, "no snapshot published");
+  limit = std::clamp<size_t>(limit, 1, options_.max_results);
+  const std::string key = "class|" + std::to_string(snap->version()) + "|" +
+                          std::to_string(limit) + "|" + name;
+  return Cached(snap, key, [&name, limit](const Snapshot& s) {
+    const SnapshotClassInfo* info = s.FindClass(name);
+    if (info == nullptr) return Error(404, &s, "no class named " + name);
+    const auto& ids = s.InstancesOfClass(info->id);
+    QueryResult result;
+    result.body.append("{");
+    AppendVersion(&result.body, s);
+    result.body.append(",\"class\":");
+    result.body.append(util::JsonQuote(info->name));
+    result.body.append(",\"total\":");
+    util::AppendJsonNumber(&result.body, static_cast<double>(ids.size()));
+    result.body.append(",\"instances\":[");
+    const size_t n = std::min(limit, ids.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) result.body.append(",");
+      const SnapshotEntity* entity = s.entity(ids[i]);
+      result.body.append("{\"id\":");
+      util::AppendJsonNumber(&result.body, ids[i]);
+      result.body.append(",\"label\":");
+      result.body.append(util::JsonQuote(
+          entity != nullptr && !entity->labels.empty() ? entity->labels[0]
+                                                       : ""));
+      result.body.append("}");
+    }
+    result.body.append("]}");
+    return result;
+  });
+}
+
+QueryResult QueryEngine::SnapshotInfo() {
+  auto snap = snapshot();
+  if (snap == nullptr) return Error(503, nullptr, "no snapshot published");
+  // Deliberately uncached: the body is tiny and the concurrency test uses
+  // it to observe the swap point directly.
+  queries_total_.Increment();
+  QueryResult result;
+  result.body.append("{");
+  AppendVersion(&result.body, *snap);
+  result.body.append(",\"content_hash\":");
+  result.body.append(util::JsonQuote(std::to_string(snap->content_hash())));
+  result.body.append(",\"entities\":");
+  util::AppendJsonNumber(&result.body,
+                         static_cast<double>(snap->num_entities()));
+  result.body.append(",\"classes\":");
+  util::AppendJsonNumber(&result.body,
+                         static_cast<double>(snap->num_classes()));
+  result.body.append(",\"facts\":");
+  util::AppendJsonNumber(&result.body, static_cast<double>(snap->num_facts()));
+  result.body.append(",\"shards\":");
+  util::AppendJsonNumber(&result.body,
+                         static_cast<double>(snap->num_shards()));
+  result.body.append("}");
+  return result;
+}
+
+}  // namespace ltee::serve

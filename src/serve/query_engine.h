@@ -1,0 +1,102 @@
+#ifndef LTEE_SERVE_QUERY_ENGINE_H_
+#define LTEE_SERVE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/result_cache.h"
+#include "serve/snapshot.h"
+#include "util/metrics.h"
+
+namespace ltee::serve {
+
+/// One rendered query outcome: an HTTP-ish status plus a JSON body.
+/// Every body carries "snapshot_version" so callers (and the concurrency
+/// test) can tie a response to the snapshot that produced it.
+struct QueryResult {
+  int status = 200;
+  std::string body;
+};
+
+struct QueryEngineOptions {
+  /// Result-cache geometry. Total capacity = shards * per-shard.
+  size_t cache_shards = 8;
+  size_t cache_capacity_per_shard = 256;
+  /// Hard ceiling on `k` for search and class-instance listings.
+  size_t max_results = 256;
+};
+
+/// The read path of the serving layer: executes entity / search / class
+/// queries against the currently published Snapshot and renders JSON.
+///
+/// Snapshot swap is RCU-style: Publish atomically stores a new
+/// shared_ptr<const Snapshot>; every query begins by loading the pointer
+/// once and uses that snapshot for its whole execution, so a concurrent
+/// publish never tears a response — readers either see the old version
+/// or the new one, never a mix. No reader locks are taken; the old
+/// snapshot is freed when its last in-flight reader drops the reference.
+///
+/// Results are cached in a sharded LRU keyed by
+/// `<endpoint>|<snapshot version>|<params>`; embedding the version makes
+/// every cached entry of a replaced snapshot unreachable immediately.
+/// Cache traffic is exported as `ltee.serve.cache.{hits,misses}`
+/// counters and the published version as the `ltee.serve.snapshot.version`
+/// gauge, both visible on the /metrics Prometheus endpoint.
+class QueryEngine {
+ public:
+  explicit QueryEngine(QueryEngineOptions options = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Atomically replaces the served snapshot. Thread-safe against
+  /// concurrent queries and other publishers.
+  void Publish(std::shared_ptr<const Snapshot> snapshot);
+
+  /// The currently published snapshot (nullptr before the first
+  /// Publish).
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// `GET /kb/entity?id=` — full entity JSON (labels, facts with
+  /// property names, class). 404 on unknown id, 503 before any publish.
+  QueryResult EntityById(int64_t id);
+
+  /// `GET /kb/entity?label=` — entities whose normalized label matches
+  /// exactly. 404 when none do.
+  QueryResult EntityByLabel(const std::string& label);
+
+  /// `GET /kb/search?q=&k=` — ranked label search (top `k`, capped at
+  /// options().max_results) with scores and labels.
+  QueryResult Search(const std::string& query, size_t k);
+
+  /// `GET /kb/classes` — all classes with instance/fact counts.
+  QueryResult Classes();
+
+  /// `GET /kb/classes?name=&limit=` — instances of one class.
+  QueryResult ClassInstances(const std::string& name, size_t limit);
+
+  /// `GET /kb/snapshot` — version, content hash, corpus-level counts.
+  QueryResult SnapshotInfo();
+
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  /// Runs `render(snapshot)` through the result cache under `key`.
+  template <typename Render>
+  QueryResult Cached(const std::shared_ptr<const Snapshot>& snap,
+                     const std::string& key, Render render);
+
+  QueryEngineOptions options_;
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_{nullptr};
+  ShardedLruCache<QueryResult> cache_;
+  util::Counter& cache_hits_;
+  util::Counter& cache_misses_;
+  util::Counter& queries_total_;
+  util::Gauge& version_gauge_;
+};
+
+}  // namespace ltee::serve
+
+#endif  // LTEE_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,99 @@
+#ifndef LTEE_SERVE_RESULT_CACHE_H_
+#define LTEE_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ltee::serve {
+
+/// Sharded string-keyed LRU cache for rendered query results.
+///
+/// Keys hash to one of `num_shards` independent shards, each protected by
+/// its own mutex, so concurrent lookups for different keys rarely
+/// contend. Each shard holds at most `capacity_per_shard` entries and
+/// evicts least-recently-used. Values are copied out on Get — entries
+/// are small rendered JSON bodies, and copying keeps the lock section
+/// trivial.
+///
+/// The cache itself knows nothing about snapshot versions: callers embed
+/// the version in the key, which makes stale entries unreachable the
+/// moment a new snapshot is published (they age out via LRU).
+template <typename V>
+class ShardedLruCache {
+ public:
+  ShardedLruCache(size_t num_shards, size_t capacity_per_shard)
+      : capacity_(capacity_per_shard == 0 ? 1 : capacity_per_shard),
+        shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Copies the cached value for `key` into `*out` and marks it
+  /// most-recently-used. False on miss.
+  bool Get(const std::string& key, V* out) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.by_key.find(key);
+    if (it == shard.by_key.end()) return false;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    *out = it->second->second;
+    return true;
+  }
+
+  /// Inserts or refreshes `key`, evicting the shard's LRU entry when at
+  /// capacity.
+  void Put(const std::string& key, V value) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.by_key.find(key);
+    if (it != shard.by_key.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= capacity_) {
+      shard.by_key.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.by_key[key] = shard.lru.begin();
+  }
+
+  /// Total entries across shards (approximate under concurrency).
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.lru.size();
+    }
+    return n;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t capacity_per_shard() const { return capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<std::string, V>> lru;
+    std::unordered_map<std::string,
+                       typename std::list<std::pair<std::string, V>>::iterator>
+        by_key;
+  };
+
+  Shard& ShardOf(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  size_t capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ltee::serve
+
+#endif  // LTEE_SERVE_RESULT_CACHE_H_

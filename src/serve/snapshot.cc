@@ -1,0 +1,201 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <map>
+
+#include "kb/serialization.h"
+#include "util/string_util.h"
+
+namespace ltee::serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(uint64_t* h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashString(uint64_t* h, const std::string& s) {
+  const uint64_t n = s.size();
+  HashBytes(h, &n, sizeof(n));
+  HashBytes(h, s.data(), s.size());
+}
+
+template <typename T>
+void HashPod(uint64_t* h, T v) {
+  HashBytes(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::shared_ptr<const Snapshot> Snapshot::Build(const kb::KnowledgeBase& kb,
+                                                const SnapshotOptions& options) {
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->version_ = options.version;
+  uint64_t hash = kFnvOffset;
+
+  snap->classes_.reserve(kb.num_classes());
+  for (kb::ClassId c = 0; c < static_cast<kb::ClassId>(kb.num_classes());
+       ++c) {
+    const kb::ClassSpec& spec = kb.cls(c);
+    SnapshotClassInfo info;
+    info.id = spec.id;
+    info.name = spec.name;
+    info.parent = spec.parent;
+    snap->classes_.push_back(std::move(info));
+    HashPod(&hash, spec.id);
+    HashString(&hash, spec.name);
+    HashPod(&hash, spec.parent);
+  }
+
+  snap->properties_.reserve(kb.num_properties());
+  for (kb::PropertyId p = 0;
+       p < static_cast<kb::PropertyId>(kb.num_properties()); ++p) {
+    const kb::PropertySpec& spec = kb.property(p);
+    SnapshotProperty prop;
+    prop.id = spec.id;
+    prop.cls = spec.cls;
+    prop.name = spec.name;
+    prop.type = spec.type;
+    snap->properties_.push_back(std::move(prop));
+    HashPod(&hash, spec.id);
+    HashPod(&hash, spec.cls);
+    HashString(&hash, spec.name);
+    HashPod(&hash, static_cast<uint8_t>(spec.type));
+  }
+
+  snap->instances_of_class_.resize(kb.num_classes());
+  snap->dict_ = std::make_shared<util::TokenDictionary>();
+  const size_t num_shards = std::max<size_t>(1, options.num_shards);
+  snap->shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    snap->shards_.push_back(
+        std::make_unique<index::LabelIndex>(snap->dict_));
+  }
+
+  snap->entities_.reserve(kb.num_instances());
+  for (kb::InstanceId i = 0;
+       i < static_cast<kb::InstanceId>(kb.num_instances()); ++i) {
+    const kb::Instance& inst = kb.instance(i);
+    SnapshotEntity entity;
+    entity.id = inst.id;
+    entity.cls = inst.cls;
+    entity.popularity = inst.popularity;
+    entity.labels = inst.labels;
+    entity.facts.reserve(inst.facts.size());
+    for (const kb::Fact& fact : inst.facts) {
+      entity.facts.push_back({fact.property, fact.value});
+    }
+    snap->num_facts_ += entity.facts.size();
+
+    HashPod(&hash, inst.id);
+    HashPod(&hash, inst.cls);
+    HashPod(&hash, inst.popularity);
+    for (const std::string& label : entity.labels) HashString(&hash, label);
+    for (const SnapshotFact& fact : entity.facts) {
+      HashPod(&hash, fact.property);
+      HashString(&hash, kb::SerializeValue(fact.value));
+    }
+
+    if (inst.cls >= 0 &&
+        inst.cls < static_cast<kb::ClassId>(snap->instances_of_class_.size())) {
+      snap->instances_of_class_[inst.cls].push_back(inst.id);
+    }
+    index::LabelIndex& shard =
+        *snap->shards_[static_cast<size_t>(inst.id) % num_shards];
+    for (const std::string& label : entity.labels) {
+      std::string normalized = util::NormalizeLabel(label);
+      if (normalized.empty()) continue;
+      auto& ids = snap->by_label_[normalized];
+      if (ids.empty() || ids.back() != inst.id) ids.push_back(inst.id);
+      shard.Add(static_cast<uint32_t>(inst.id), label);
+    }
+    snap->entities_.push_back(std::move(entity));
+  }
+  for (auto& shard : snap->shards_) shard->Build();
+
+  // Per-class instance and fact counts for the class listing.
+  for (auto& info : snap->classes_) {
+    info.num_instances = snap->instances_of_class_[info.id].size();
+    for (kb::InstanceId id : snap->instances_of_class_[info.id]) {
+      info.num_facts += snap->entities_[id].facts.size();
+    }
+  }
+
+  snap->content_hash_ = hash;
+  return snap;
+}
+
+const SnapshotEntity* Snapshot::entity(kb::InstanceId id) const {
+  if (id < 0 || id >= static_cast<kb::InstanceId>(entities_.size())) {
+    return nullptr;
+  }
+  return &entities_[id];
+}
+
+const SnapshotProperty* Snapshot::property(kb::PropertyId id) const {
+  if (id < 0 || id >= static_cast<kb::PropertyId>(properties_.size())) {
+    return nullptr;
+  }
+  return &properties_[id];
+}
+
+const SnapshotClassInfo* Snapshot::FindClass(const std::string& name) const {
+  for (const SnapshotClassInfo& info : classes_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+const std::vector<kb::InstanceId>& Snapshot::InstancesOfClass(
+    kb::ClassId cls) const {
+  static const std::vector<kb::InstanceId> kEmpty;
+  if (cls < 0 || cls >= static_cast<kb::ClassId>(instances_of_class_.size())) {
+    return kEmpty;
+  }
+  return instances_of_class_[cls];
+}
+
+std::vector<kb::InstanceId> Snapshot::EntitiesByLabel(
+    const std::string& label) const {
+  auto it = by_label_.find(util::NormalizeLabel(label));
+  if (it == by_label_.end()) return {};
+  std::vector<kb::InstanceId> ids = it->second;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::vector<SnapshotSearchHit> Snapshot::Search(const std::string& query,
+                                                size_t k) const {
+  std::vector<SnapshotSearchHit> out;
+  if (k == 0) return out;
+  // Collapse per-shard hits to the best score per entity, then order by
+  // (score desc, id asc) — a deterministic merge independent of shard
+  // iteration order.
+  std::map<kb::InstanceId, double> best;
+  for (const auto& shard : shards_) {
+    for (const index::LabelHit& hit : shard->Search(query, k)) {
+      const auto id = static_cast<kb::InstanceId>(hit.doc);
+      auto [it, inserted] = best.emplace(id, hit.score);
+      if (!inserted && hit.score > it->second) it->second = hit.score;
+    }
+  }
+  out.reserve(best.size());
+  for (const auto& [id, score] : best) out.push_back({id, score});
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SnapshotSearchHit& a, const SnapshotSearchHit& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.id < b.id;
+                   });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace ltee::serve

@@ -1,0 +1,136 @@
+#ifndef LTEE_SERVE_SNAPSHOT_H_
+#define LTEE_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/label_index.h"
+#include "kb/knowledge_base.h"
+#include "types/value.h"
+#include "util/token_dictionary.h"
+
+namespace ltee::serve {
+
+/// One fact of a snapshot entity: the property id plus the typed value.
+struct SnapshotFact {
+  kb::PropertyId property = -1;
+  types::Value value;
+};
+
+/// A read-optimized entity: dense copy of a kb::Instance with its facts.
+struct SnapshotEntity {
+  kb::InstanceId id = -1;
+  kb::ClassId cls = -1;
+  double popularity = 0.0;
+  std::vector<std::string> labels;
+  std::vector<SnapshotFact> facts;
+};
+
+/// Per-class summary precomputed at build time for the class listing.
+struct SnapshotClassInfo {
+  kb::ClassId id = -1;
+  std::string name;
+  kb::ClassId parent = -1;
+  size_t num_instances = 0;
+  size_t num_facts = 0;
+};
+
+/// Property metadata needed to render facts.
+struct SnapshotProperty {
+  kb::PropertyId id = -1;
+  kb::ClassId cls = -1;
+  std::string name;
+  types::DataType type = types::DataType::kText;
+};
+
+/// A ranked label-search hit.
+struct SnapshotSearchHit {
+  kb::InstanceId id = -1;
+  double score = 0.0;
+};
+
+struct SnapshotOptions {
+  /// Monotonically increasing publish version stamped into the snapshot
+  /// (and into every response served from it).
+  uint64_t version = 1;
+  /// Number of inverted-index shards the label search fans out over.
+  /// Entities land in shard `id % num_shards`.
+  size_t num_shards = 4;
+};
+
+/// An immutable, versioned, checksummed read-optimized view of a
+/// kb::KnowledgeBase.
+///
+/// Built once from a finished KB (the KB is copied into dense arrays, so
+/// the source may be mutated or destroyed afterwards), then shared
+/// read-only between any number of query threads — every accessor is
+/// const and the object holds no mutable state, which is what makes the
+/// RCU-style `shared_ptr` swap in QueryEngine safe without reader locks.
+///
+/// Label search runs over `num_shards` independent index::LabelIndex
+/// shards sharing one snapshot-private util::TokenDictionary; shard
+/// results are merged by (score desc, id asc). IDF is computed per shard,
+/// so scores of the same label can differ slightly across shard counts —
+/// ranking within a shard is exact, cross-shard ordering is approximate
+/// (documented trade-off: shards build and search independently).
+///
+/// `content_hash()` is a deterministic FNV-1a digest of the logical
+/// content (classes, properties, entities, facts, in id order) — two
+/// snapshots built from equal KBs hash equal regardless of version.
+class Snapshot {
+ public:
+  /// Builds a snapshot from `kb`. Never fails: an empty KB yields an
+  /// empty, still-servable snapshot.
+  static std::shared_ptr<const Snapshot> Build(const kb::KnowledgeBase& kb,
+                                               const SnapshotOptions& options);
+
+  uint64_t version() const { return version_; }
+  uint64_t content_hash() const { return content_hash_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  size_t num_entities() const { return entities_.size(); }
+  size_t num_classes() const { return classes_.size(); }
+  size_t num_properties() const { return properties_.size(); }
+  /// Total fact count across all entities.
+  size_t num_facts() const { return num_facts_; }
+
+  /// Entity by dense id; nullptr when out of range.
+  const SnapshotEntity* entity(kb::InstanceId id) const;
+  const SnapshotProperty* property(kb::PropertyId id) const;
+  const std::vector<SnapshotClassInfo>& classes() const { return classes_; }
+
+  /// Class lookup by exact name; nullptr when unknown.
+  const SnapshotClassInfo* FindClass(const std::string& name) const;
+  /// Precomputed instance list of a class (direct instances only).
+  const std::vector<kb::InstanceId>& InstancesOfClass(kb::ClassId cls) const;
+
+  /// Entities whose normalized label equals util::NormalizeLabel(label),
+  /// in id order; empty when none match.
+  std::vector<kb::InstanceId> EntitiesByLabel(const std::string& label) const;
+
+  /// Ranked label/token search across all shards: top `k` by
+  /// (score desc, id asc), duplicates collapsed to their best score.
+  std::vector<SnapshotSearchHit> Search(const std::string& query,
+                                        size_t k) const;
+
+ private:
+  Snapshot() = default;
+
+  uint64_t version_ = 0;
+  uint64_t content_hash_ = 0;
+  size_t num_facts_ = 0;
+  std::vector<SnapshotClassInfo> classes_;
+  std::vector<SnapshotProperty> properties_;
+  std::vector<SnapshotEntity> entities_;
+  std::vector<std::vector<kb::InstanceId>> instances_of_class_;
+  std::unordered_map<std::string, std::vector<kb::InstanceId>> by_label_;
+  std::shared_ptr<util::TokenDictionary> dict_;
+  std::vector<std::unique_ptr<index::LabelIndex>> shards_;
+};
+
+}  // namespace ltee::serve
+
+#endif  // LTEE_SERVE_SNAPSHOT_H_

@@ -1,0 +1,309 @@
+#include "serve/snapshot_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "kb/serialization.h"
+
+namespace ltee::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'T', 'E', 'E', 'S', 'N', 'P', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// -- little-endian primitive encoding -----------------------------------
+
+template <typename T>
+void PutPod(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutPod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked reader over the payload bytes.
+class Reader {
+ public:
+  Reader(const std::string& bytes, std::string* error)
+      : bytes_(bytes), error_(error) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  template <typename T>
+  T Pod() {
+    T v{};
+    if (!Take(sizeof(T))) return v;
+    std::memcpy(&v, bytes_.data() + pos_ - sizeof(T), sizeof(T));
+    return v;
+  }
+
+  std::string String() {
+    const uint32_t n = Pod<uint32_t>();
+    if (!ok_ || !Take(n)) return {};
+    return bytes_.substr(pos_ - n, n);
+  }
+
+ private:
+  bool Take(size_t n) {
+    if (!ok_) return false;
+    if (bytes_.size() - pos_ < n) {
+      ok_ = false;
+      if (error_ != nullptr) *error_ = "truncated snapshot payload";
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::string& bytes_;
+  std::string* error_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::string EncodePayload(const kb::KnowledgeBase& kb) {
+  std::string out;
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(kb.num_classes()));
+  for (kb::ClassId c = 0; c < static_cast<kb::ClassId>(kb.num_classes());
+       ++c) {
+    const kb::ClassSpec& spec = kb.cls(c);
+    PutString(&out, spec.name);
+    PutPod<int16_t>(&out, spec.parent);
+  }
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(kb.num_properties()));
+  for (kb::PropertyId p = 0;
+       p < static_cast<kb::PropertyId>(kb.num_properties()); ++p) {
+    const kb::PropertySpec& spec = kb.property(p);
+    PutPod<int16_t>(&out, spec.cls);
+    PutString(&out, spec.name);
+    PutPod<uint8_t>(&out, static_cast<uint8_t>(spec.type));
+    // labels[0] is the normalized name AddProperty regenerates; persist
+    // only the extras so a reload reconstructs the identical spec.
+    const uint32_t extras =
+        spec.labels.empty() ? 0 : static_cast<uint32_t>(spec.labels.size() - 1);
+    PutPod<uint32_t>(&out, extras);
+    for (uint32_t i = 0; i < extras; ++i) PutString(&out, spec.labels[i + 1]);
+  }
+  PutPod<uint32_t>(&out, static_cast<uint32_t>(kb.num_instances()));
+  for (const kb::Instance& inst : kb.instances()) {
+    PutPod<int16_t>(&out, inst.cls);
+    PutPod<double>(&out, inst.popularity);
+    PutPod<uint32_t>(&out, static_cast<uint32_t>(inst.labels.size()));
+    for (const std::string& label : inst.labels) PutString(&out, label);
+    PutPod<uint32_t>(&out, static_cast<uint32_t>(inst.facts.size()));
+    for (const kb::Fact& fact : inst.facts) {
+      PutPod<int16_t>(&out, fact.property);
+      PutString(&out, kb::SerializeValue(fact.value));
+    }
+    PutPod<uint32_t>(&out, static_cast<uint32_t>(inst.abstract_tokens.size()));
+    for (const std::string& tok : inst.abstract_tokens) PutString(&out, tok);
+  }
+  return out;
+}
+
+bool DecodePayload(const std::string& payload, kb::KnowledgeBase* kb,
+                   std::string* error) {
+  Reader r(payload, error);
+  const uint32_t num_classes = r.Pod<uint32_t>();
+  for (uint32_t c = 0; r.ok() && c < num_classes; ++c) {
+    std::string name = r.String();
+    const auto parent = r.Pod<int16_t>();
+    if (!r.ok()) return false;
+    if (parent >= static_cast<int16_t>(c)) {
+      if (error != nullptr) *error = "class parent out of range";
+      return false;
+    }
+    kb->AddClass(std::move(name), parent);
+  }
+  const uint32_t num_properties = r.Pod<uint32_t>();
+  for (uint32_t p = 0; r.ok() && p < num_properties; ++p) {
+    const auto cls = r.Pod<int16_t>();
+    std::string name = r.String();
+    const auto type = r.Pod<uint8_t>();
+    const uint32_t extras = r.Pod<uint32_t>();
+    std::vector<std::string> extra_labels;
+    extra_labels.reserve(extras);
+    for (uint32_t i = 0; r.ok() && i < extras; ++i) {
+      extra_labels.push_back(r.String());
+    }
+    if (!r.ok()) return false;
+    if (cls < 0 || cls >= static_cast<int16_t>(num_classes)) {
+      if (error != nullptr) *error = "property class out of range";
+      return false;
+    }
+    kb->AddProperty(cls, std::move(name),
+                    static_cast<types::DataType>(type),
+                    std::move(extra_labels));
+  }
+  const uint32_t num_instances = r.Pod<uint32_t>();
+  for (uint32_t i = 0; r.ok() && i < num_instances; ++i) {
+    const auto cls = r.Pod<int16_t>();
+    const double popularity = r.Pod<double>();
+    const uint32_t num_labels = r.Pod<uint32_t>();
+    std::vector<std::string> labels;
+    labels.reserve(num_labels);
+    for (uint32_t l = 0; r.ok() && l < num_labels; ++l) {
+      labels.push_back(r.String());
+    }
+    if (!r.ok()) return false;
+    if (cls < 0 || cls >= static_cast<int16_t>(num_classes)) {
+      if (error != nullptr) *error = "instance class out of range";
+      return false;
+    }
+    const kb::InstanceId id = kb->AddInstance(cls, std::move(labels),
+                                              popularity);
+    const uint32_t num_facts = r.Pod<uint32_t>();
+    for (uint32_t f = 0; r.ok() && f < num_facts; ++f) {
+      const auto property = r.Pod<int16_t>();
+      const std::string encoded = r.String();
+      if (!r.ok()) return false;
+      if (property < 0 || property >= static_cast<int16_t>(num_properties)) {
+        if (error != nullptr) *error = "fact property out of range";
+        return false;
+      }
+      auto value = kb::DeserializeValue(encoded);
+      if (!value.has_value()) {
+        if (error != nullptr) *error = "undecodable fact value: " + encoded;
+        return false;
+      }
+      kb->AddFact(id, property, std::move(*value));
+    }
+    const uint32_t num_tokens = r.Pod<uint32_t>();
+    std::vector<std::string> tokens;
+    tokens.reserve(num_tokens);
+    for (uint32_t t = 0; r.ok() && t < num_tokens; ++t) {
+      tokens.push_back(r.String());
+    }
+    if (!r.ok()) return false;
+    if (!tokens.empty()) kb->SetAbstractTokens(id, std::move(tokens));
+  }
+  if (!r.ok()) return false;
+  if (!r.AtEnd()) {
+    if (error != nullptr) *error = "trailing bytes after snapshot payload";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveSnapshotFile(const kb::KnowledgeBase& kb, uint64_t version,
+                      const std::string& path, std::string* error) {
+  const std::string payload = EncodePayload(kb);
+  std::string bytes;
+  bytes.append(kMagic, sizeof(kMagic));
+  PutPod<uint32_t>(&bytes, kFormatVersion);
+  PutPod<uint64_t>(&bytes, version);
+  PutPod<uint64_t>(&bytes, Fnv1a(payload));
+  PutPod<uint64_t>(&bytes, static_cast<uint64_t>(payload.size()));
+  bytes.append(payload);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      return false;
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      if (error != nullptr) *error = "short write to " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp + " -> " + path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadSnapshotFile(const std::string& path, kb::KnowledgeBase* kb,
+                      uint64_t* version, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  constexpr size_t kHeaderSize =
+      sizeof(kMagic) + sizeof(uint32_t) + 3 * sizeof(uint64_t);
+  if (bytes.size() < kHeaderSize ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    if (error != nullptr) *error = path + ": not a snapshot file (bad magic)";
+    return false;
+  }
+  size_t pos = sizeof(kMagic);
+  const auto read_pod = [&bytes, &pos](auto* v) {
+    std::memcpy(v, bytes.data() + pos, sizeof(*v));
+    pos += sizeof(*v);
+  };
+  uint32_t format = 0;
+  uint64_t snapshot_version = 0, checksum = 0, payload_size = 0;
+  read_pod(&format);
+  read_pod(&snapshot_version);
+  read_pod(&checksum);
+  read_pod(&payload_size);
+  if (format != kFormatVersion) {
+    if (error != nullptr) {
+      *error = path + ": unsupported snapshot format version " +
+               std::to_string(format);
+    }
+    return false;
+  }
+  if (bytes.size() - pos != payload_size) {
+    if (error != nullptr) {
+      *error = path + ": payload size mismatch (header says " +
+               std::to_string(payload_size) + ", file has " +
+               std::to_string(bytes.size() - pos) + ")";
+    }
+    return false;
+  }
+  const std::string payload = bytes.substr(pos);
+  if (Fnv1a(payload) != checksum) {
+    if (error != nullptr) *error = path + ": checksum mismatch";
+    return false;
+  }
+  std::string decode_error;
+  if (!DecodePayload(payload, kb, &decode_error)) {
+    if (error != nullptr) *error = path + ": " + decode_error;
+    return false;
+  }
+  if (version != nullptr) *version = snapshot_version;
+  return true;
+}
+
+std::shared_ptr<const Snapshot> LoadSnapshot(const std::string& path,
+                                             size_t num_shards,
+                                             std::string* error) {
+  kb::KnowledgeBase kb;
+  uint64_t version = 0;
+  if (!LoadSnapshotFile(path, &kb, &version, error)) return nullptr;
+  return Snapshot::Build(kb, {.version = version, .num_shards = num_shards});
+}
+
+}  // namespace ltee::serve

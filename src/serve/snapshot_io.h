@@ -1,0 +1,51 @@
+#ifndef LTEE_SERVE_SNAPSHOT_IO_H_
+#define LTEE_SERVE_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "kb/knowledge_base.h"
+#include "serve/snapshot.h"
+
+namespace ltee::serve {
+
+/// Binary snapshot persistence — the read-optimized sibling of the TSV
+/// format in kb/serialization. Layout (all integers little-endian):
+///
+///   8 bytes   magic "LTEESNP1"
+///   u32       format version (currently 1)
+///   u64       snapshot version (SnapshotOptions::version of the publish)
+///   u64       FNV-1a checksum of the payload bytes
+///   u64       payload size in bytes
+///   payload   length-prefixed KB records: classes (name, parent),
+///             properties (class, name, type, extra labels), instances
+///             (class, popularity, labels, facts as kb::SerializeValue
+///             strings, abstract tokens)
+///
+/// Load verifies magic, format version, payload size and checksum before
+/// decoding a single record, so a truncated or bit-flipped file is
+/// rejected instead of serving corrupt entities.
+
+/// Serializes `kb` with publish version `version` into `path`. The write
+/// is atomic: bytes go to `path.tmp` first and are renamed over `path`
+/// only after a successful flush, so a concurrently starting server
+/// never observes a half-written snapshot.
+bool SaveSnapshotFile(const kb::KnowledgeBase& kb, uint64_t version,
+                      const std::string& path, std::string* error = nullptr);
+
+/// Reads a snapshot file back into a fresh KnowledgeBase, returning the
+/// stored publish version through `version`. Returns false (with a
+/// description in `error`) on any structural or checksum mismatch.
+bool LoadSnapshotFile(const std::string& path, kb::KnowledgeBase* kb,
+                      uint64_t* version, std::string* error = nullptr);
+
+/// Convenience wrapper: load + Snapshot::Build with the stored version.
+/// nullptr on failure.
+std::shared_ptr<const Snapshot> LoadSnapshot(const std::string& path,
+                                             size_t num_shards,
+                                             std::string* error = nullptr);
+
+}  // namespace ltee::serve
+
+#endif  // LTEE_SERVE_SNAPSHOT_IO_H_

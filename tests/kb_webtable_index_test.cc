@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "index/label_index.h"
 #include "kb/knowledge_base.h"
 #include "webtable/web_table.h"
@@ -162,6 +164,48 @@ TEST(LabelIndexTest, KLimitsResults) {
   }
   index.Build();
   EXPECT_EQ(index.Search("common", 5).size(), 5u);
+}
+
+// The raw-string Search overload and the pre-tokenized span overload must
+// agree exactly: the serving layer feeds interned query tokens straight to
+// the span overload and relies on it ranking identically to the string path.
+TEST(LabelIndexTest, StringAndTokenSearchOverloadsAgree) {
+  index::LabelIndex index;
+  index.Add(0, "Jane Doe");
+  index.Add(0, "J. Doe");       // alias for the same doc
+  index.Add(1, "Jane Roe");
+  index.Add(2, "John Doe Jr");
+  index.Add(3, "Tokyo Tower");
+  index.Add(4, "tokyo  tower");  // normalizes to a duplicate label
+  index.Build();
+
+  const std::string queries[] = {
+      "Jane Doe",          // multi-token, multiple candidates
+      "doe",               // single shared token
+      "Tokyo",             // token shared by duplicate labels
+      "jane unknowntoken", // partially out-of-vocabulary
+      "unknowntoken",      // fully out-of-vocabulary
+      "",                  // empty query
+      "doe doe jane",      // duplicate query tokens, shuffled order
+  };
+  for (const std::string& query : queries) {
+    const auto via_string = index.Search(query, 10);
+    // Same tokenization the string overload applies, mapped through the
+    // index's own dictionary; kNoToken entries are kept — the overload
+    // must skip them itself.
+    const std::vector<uint32_t> token_ids =
+        index.dict().FindTokens(query);
+    const auto via_tokens =
+        index.Search(std::span<const uint32_t>(token_ids), 10);
+
+    ASSERT_EQ(via_tokens.size(), via_string.size()) << "query: " << query;
+    for (size_t i = 0; i < via_string.size(); ++i) {
+      EXPECT_EQ(via_tokens[i].doc, via_string[i].doc)
+          << "query: " << query << " hit " << i;
+      EXPECT_DOUBLE_EQ(via_tokens[i].score, via_string[i].score)
+          << "query: " << query << " hit " << i;
+    }
+  }
 }
 
 TEST(LabelIndexTest, BlocksAreDistinctNormalizedLabels) {

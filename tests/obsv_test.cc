@@ -482,6 +482,39 @@ TEST(StatusServer, RejectsNonGetWith405AndAllowHeader) {
   server.Stop();
 }
 
+TEST(StatusServer, RespondsWith400ToMalformedRequestLines) {
+  obsv::StatusServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  // RFC 9112: the request line is `method SP target SP HTTP-version`.
+  // Serving real traffic makes malformed lines routine; each shape gets
+  // an explicit 400 instead of a silently closed connection.
+  const std::vector<std::string> malformed = {
+      "GARBAGE\r\n\r\n",                         // no spaces at all
+      "GET /healthz\r\n\r\n",                    // missing HTTP version
+      "GET /healthz FTP/1.0\r\n\r\n",            // non-HTTP version token
+      "GET healthz HTTP/1.1\r\n\r\n",            // target not origin-form
+      " / HTTP/1.1\r\n\r\n",                     // empty method
+      "\r\n\r\n",                                // empty request line
+  };
+  for (const std::string& request : malformed) {
+    const std::string response = RawHttpExchange(server.port(), request);
+    EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"), std::string::npos)
+        << "request " << testing::PrintToString(request) << " got:\n"
+        << response;
+    EXPECT_NE(response.find("Connection: close"), std::string::npos)
+        << response;
+  }
+
+  // The same socket plumbing with a well-formed line still works.
+  const std::string ok = RawHttpExchange(
+      server.port(), "GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos) << ok;
+
+  server.Stop();
+}
+
 TEST(StatusServer, ServesProvenanceLedgerAndExplainQueries) {
   obsv::StatusServer server;
   std::string error;

@@ -4,6 +4,7 @@
 
 #include "kb/serialization.h"
 #include "test_dataset.h"
+#include "util/random.h"
 #include "eval/gold_serialization.h"
 #include "webtable/serialization.h"
 
@@ -82,6 +83,114 @@ TEST(KbSerializationTest, RoundTripsSyntheticKb) {
       EXPECT_EQ(a.facts[f].value.ToString(), b.facts[f].value.ToString());
     }
     EXPECT_EQ(a.abstract_tokens, b.abstract_tokens);
+  }
+}
+
+// Builds a randomized KB exercising every data type, escape-worthy label
+// characters, and empty corners (instances with no facts, classes with no
+// instances). Deterministic given `seed`.
+kb::KnowledgeBase RandomKb(uint64_t seed) {
+  util::Rng rng(seed);
+  kb::KnowledgeBase out;
+  const size_t num_classes = 1 + rng.NextBounded(4);
+  std::vector<kb::ClassId> classes;
+  for (size_t c = 0; c < num_classes; ++c) {
+    const kb::ClassId parent =
+        (c > 0 && rng.NextDouble() < 0.5)
+            ? classes[rng.NextBounded(classes.size())]
+            : kb::kInvalidClass;
+    classes.push_back(out.AddClass("class " + std::to_string(c), parent));
+  }
+  const std::string nasty[] = {"tab\there", "line\nbreak", "back\\slash",
+                               "plain token soup", ""};
+  std::vector<kb::PropertyId> properties;
+  for (size_t p = 0; p < 2 + rng.NextBounded(6); ++p) {
+    std::vector<std::string> extras;
+    if (rng.NextDouble() < 0.6) extras.push_back(nasty[rng.NextBounded(5)]);
+    properties.push_back(out.AddProperty(
+        classes[rng.NextBounded(classes.size())], "prop " + std::to_string(p),
+        static_cast<types::DataType>(rng.NextBounded(types::kNumDataTypes)),
+        std::move(extras)));
+  }
+  for (size_t i = 0; i < 3 + rng.NextBounded(20); ++i) {
+    std::vector<std::string> labels = {"instance " + std::to_string(i)};
+    if (rng.NextDouble() < 0.4) labels.push_back(nasty[rng.NextBounded(5)]);
+    const kb::InstanceId id =
+        out.AddInstance(classes[rng.NextBounded(classes.size())],
+                        std::move(labels), rng.NextDouble() * 100.0);
+    const size_t num_facts = rng.NextBounded(4);
+    for (size_t f = 0; f < num_facts; ++f) {
+      const kb::PropertyId prop =
+          properties[rng.NextBounded(properties.size())];
+      types::Value value;
+      switch (out.property(prop).type) {
+        case types::DataType::kText:
+          value = types::Value::Text(nasty[rng.NextBounded(5)]);
+          break;
+        case types::DataType::kNominalString:
+          value = types::Value::Nominal("code-" + std::to_string(rng.Next() % 97));
+          break;
+        case types::DataType::kInstanceReference:
+          value = rng.NextDouble() < 0.5
+                      ? types::Value::InstanceRef("ref label", id)
+                      : types::Value::InstanceRef("dangling ref");
+          break;
+        case types::DataType::kDate:
+          value = rng.NextDouble() < 0.5
+                      ? types::Value::YearDate(
+                            static_cast<int>(rng.NextInt(1800, 2030)))
+                      : types::Value::DayDate(
+                            static_cast<int>(rng.NextInt(1800, 2030)),
+                            static_cast<int>(rng.NextInt(1, 12)),
+                            static_cast<int>(rng.NextInt(1, 28)));
+          break;
+        case types::DataType::kQuantity:
+          value = types::Value::OfQuantity(rng.NextDouble() * 1e6 - 5e5);
+          break;
+        case types::DataType::kNominalInteger:
+          value = types::Value::OfInteger(rng.NextInt(-1000, 1000));
+          break;
+      }
+      out.AddFact(id, prop, value);
+    }
+    if (rng.NextDouble() < 0.3) {
+      out.SetAbstractTokens(id, {"born", std::to_string(rng.Next() % 50)});
+    }
+  }
+  return out;
+}
+
+size_t TotalFacts(const kb::KnowledgeBase& kb) {
+  size_t n = 0;
+  for (size_t i = 0; i < kb.num_instances(); ++i) {
+    n += kb.instance(static_cast<kb::InstanceId>(i)).facts.size();
+  }
+  return n;
+}
+
+// Property test: serialize -> parse -> serialize is byte-identical and
+// preserves fact counts, across randomized KBs covering every value type
+// and escape-sensitive characters.
+TEST(KbSerializationTest, RandomKbsRoundTripByteIdentically) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const kb::KnowledgeBase original = RandomKb(seed);
+    std::stringstream first;
+    kb::SaveKnowledgeBase(original, first);
+    const std::string first_bytes = first.str();
+
+    std::stringstream parse_from(first_bytes);
+    auto loaded = kb::LoadKnowledgeBase(parse_from);
+    ASSERT_TRUE(loaded.has_value()) << "seed " << seed;
+    EXPECT_EQ(loaded->num_classes(), original.num_classes()) << "seed " << seed;
+    EXPECT_EQ(loaded->num_properties(), original.num_properties())
+        << "seed " << seed;
+    EXPECT_EQ(loaded->num_instances(), original.num_instances())
+        << "seed " << seed;
+    EXPECT_EQ(TotalFacts(*loaded), TotalFacts(original)) << "seed " << seed;
+
+    std::stringstream second;
+    kb::SaveKnowledgeBase(*loaded, second);
+    EXPECT_EQ(second.str(), first_bytes) << "seed " << seed;
   }
 }
 

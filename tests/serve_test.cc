@@ -1,0 +1,594 @@
+// Unit tests for the serving layer: snapshot building (dense views,
+// per-class lists, label search, deterministic content hash), the binary
+// snapshot file format (round trip, checksum/truncation/magic
+// rejection), the query engine (JSON rendering, result cache, version
+// keying), the sharded LRU cache, the regression-gate units behind
+// report_diff (ms_p95 latency percentiles, ops_s throughput), the /kb/*
+// HTTP endpoints over a real socket, and the RCU snapshot swap under
+// concurrent readers.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kb/knowledge_base.h"
+#include "obsv/http_client.h"
+#include "obsv/http_server.h"
+#include "obsv/regression_gate.h"
+#include "obsv/status_server.h"
+#include "serve/kb_endpoints.h"
+#include "serve/query_engine.h"
+#include "serve/result_cache.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_io.h"
+#include "util/json.h"
+#include "util/json_parse.h"
+#include "util/metrics.h"
+
+namespace ltee {
+namespace {
+
+/// A small two-class KB with labelled, fact-bearing instances.
+kb::KnowledgeBase MakeKb(size_t players = 4) {
+  kb::KnowledgeBase kb;
+  const kb::ClassId agent = kb.AddClass("Agent");
+  const kb::ClassId player = kb.AddClass("Player", agent);
+  const kb::ClassId song = kb.AddClass("Song", agent);
+  const kb::PropertyId team =
+      kb.AddProperty(player, "team", types::DataType::kText, {"club"});
+  const kb::PropertyId number =
+      kb.AddProperty(player, "number", types::DataType::kNominalInteger);
+  const kb::PropertyId year =
+      kb.AddProperty(song, "releaseYear", types::DataType::kDate);
+  for (size_t i = 0; i < players; ++i) {
+    const std::string n = std::to_string(i);
+    const auto id = kb.AddInstance(player, {"Player " + n, "P" + n}, 0.5);
+    const std::string parity = std::to_string(i % 2);
+    kb.AddFact(id, team, types::Value::Text("Team " + parity));
+    kb.AddFact(id, number, types::Value::OfInteger(static_cast<int64_t>(i)));
+  }
+  const auto ballad = kb.AddInstance(song, {"Midnight Ballad"}, 0.9);
+  kb.AddFact(ballad, year, types::Value::YearDate(1987));
+  return kb;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
+TEST(Snapshot, BuildsDenseViewOfKb) {
+  auto kb = MakeKb();
+  auto snap = serve::Snapshot::Build(kb, {.version = 7, .num_shards = 2});
+  EXPECT_EQ(snap->version(), 7u);
+  EXPECT_EQ(snap->num_shards(), 2u);
+  EXPECT_EQ(snap->num_entities(), 5u);
+  EXPECT_EQ(snap->num_classes(), 3u);
+  EXPECT_EQ(snap->num_properties(), 3u);
+  EXPECT_EQ(snap->num_facts(), 9u);
+
+  const serve::SnapshotEntity* entity = snap->entity(0);
+  ASSERT_NE(entity, nullptr);
+  EXPECT_EQ(entity->labels[0], "Player 0");
+  ASSERT_EQ(entity->facts.size(), 2u);
+  EXPECT_EQ(snap->property(entity->facts[0].property)->name, "team");
+  EXPECT_EQ(snap->entity(-1), nullptr);
+  EXPECT_EQ(snap->entity(99), nullptr);
+
+  const serve::SnapshotClassInfo* player = snap->FindClass("Player");
+  ASSERT_NE(player, nullptr);
+  EXPECT_EQ(player->num_instances, 4u);
+  EXPECT_EQ(player->num_facts, 8u);
+  EXPECT_EQ(snap->InstancesOfClass(player->id).size(), 4u);
+  EXPECT_EQ(snap->FindClass("Nope"), nullptr);
+  EXPECT_TRUE(snap->InstancesOfClass(99).empty());
+}
+
+TEST(Snapshot, LabelLookupNormalizes) {
+  auto kb = MakeKb();
+  auto snap = serve::Snapshot::Build(kb, {});
+  EXPECT_EQ(snap->EntitiesByLabel("Midnight Ballad").size(), 1u);
+  EXPECT_EQ(snap->EntitiesByLabel("  MIDNIGHT   ballad ").size(), 1u);
+  EXPECT_TRUE(snap->EntitiesByLabel("unknown thing").empty());
+}
+
+TEST(Snapshot, SearchRanksAcrossShards) {
+  auto kb = MakeKb(8);
+  // More shards than a trivial corpus would need, so the merge path is
+  // actually exercised: entities land in id % 3 shards.
+  auto snap = serve::Snapshot::Build(kb, {.num_shards = 3});
+  const auto hits = snap->Search("player 3", 5);
+  ASSERT_FALSE(hits.empty());
+  // The exact-label entity outranks entities sharing only "player".
+  EXPECT_EQ(hits[0].id, 3);
+  EXPECT_LE(hits.size(), 5u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i].score, hits[i - 1].score);
+  }
+  EXPECT_TRUE(snap->Search("zzz qqq", 5).empty());
+  EXPECT_TRUE(snap->Search("player", 0).empty());
+}
+
+TEST(Snapshot, ContentHashIsDeterministicAndContentSensitive) {
+  auto kb1 = MakeKb();
+  auto kb2 = MakeKb();
+  auto a = serve::Snapshot::Build(kb1, {.version = 1});
+  auto b = serve::Snapshot::Build(kb2, {.version = 2, .num_shards = 8});
+  // Equal content: equal hash, regardless of version and shard count.
+  EXPECT_EQ(a->content_hash(), b->content_hash());
+
+  kb2.AddInstance(kb2.FindClass("Song"), {"Another Song"}, 0.1);
+  auto c = serve::Snapshot::Build(kb2, {.version = 2});
+  EXPECT_NE(a->content_hash(), c->content_hash());
+}
+
+TEST(Snapshot, EmptyKbStillServes) {
+  kb::KnowledgeBase kb;
+  auto snap = serve::Snapshot::Build(kb, {});
+  EXPECT_EQ(snap->num_entities(), 0u);
+  EXPECT_TRUE(snap->Search("anything", 3).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot file format
+
+TEST(SnapshotIo, RoundTripsKbAndVersion) {
+  auto kb = MakeKb();
+  const std::string path = TempPath("snap_roundtrip.bin");
+  std::string error;
+  ASSERT_TRUE(serve::SaveSnapshotFile(kb, 42, path, &error)) << error;
+
+  kb::KnowledgeBase loaded;
+  uint64_t version = 0;
+  ASSERT_TRUE(serve::LoadSnapshotFile(path, &loaded, &version, &error))
+      << error;
+  EXPECT_EQ(version, 42u);
+  EXPECT_EQ(loaded.num_instances(), kb.num_instances());
+  EXPECT_EQ(loaded.num_classes(), kb.num_classes());
+  EXPECT_EQ(loaded.property(0).labels, kb.property(0).labels);
+
+  // The reloaded KB builds a snapshot with the identical content hash —
+  // the round trip is logically lossless.
+  auto original = serve::Snapshot::Build(kb, {.version = 42});
+  auto reloaded = serve::LoadSnapshot(path, 4, &error);
+  ASSERT_NE(reloaded, nullptr) << error;
+  EXPECT_EQ(reloaded->version(), 42u);
+  EXPECT_EQ(reloaded->content_hash(), original->content_hash());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIo, RejectsCorruptTruncatedAndForeignFiles) {
+  auto kb = MakeKb();
+  const std::string path = TempPath("snap_corrupt.bin");
+  std::string error;
+  ASSERT_TRUE(serve::SaveSnapshotFile(kb, 1, path, &error)) << error;
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+
+  const auto write_and_try = [&path](const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.close();
+    kb::KnowledgeBase scratch;
+    std::string err;
+    const bool ok = serve::LoadSnapshotFile(path, &scratch, nullptr, &err);
+    return std::make_pair(ok, err);
+  };
+
+  // Flip one payload byte: checksum must catch it.
+  std::string flipped = bytes;
+  flipped[flipped.size() - 3] ^= 0x40;
+  auto [ok1, err1] = write_and_try(flipped);
+  EXPECT_FALSE(ok1);
+  EXPECT_NE(err1.find("checksum"), std::string::npos) << err1;
+
+  // Truncation: payload size mismatch.
+  auto [ok2, err2] = write_and_try(bytes.substr(0, bytes.size() - 10));
+  EXPECT_FALSE(ok2);
+  EXPECT_NE(err2.find("size mismatch"), std::string::npos) << err2;
+
+  // Not a snapshot at all.
+  auto [ok3, err3] = write_and_try("C\t0\tAgent\t-1\n");
+  EXPECT_FALSE(ok3);
+  EXPECT_NE(err3.find("magic"), std::string::npos) << err3;
+
+  kb::KnowledgeBase scratch;
+  EXPECT_FALSE(serve::LoadSnapshotFile(TempPath("snap_does_not_exist.bin"),
+                                       &scratch, nullptr, &error));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded LRU cache
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsedPerShard) {
+  serve::ShardedLruCache<std::string> cache(1, 2);
+  std::string out;
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  ASSERT_TRUE(cache.Get("a", &out));  // refreshes "a"
+  cache.Put("c", "3");                // evicts "b"
+  EXPECT_TRUE(cache.Get("a", &out));
+  EXPECT_FALSE(cache.Get("b", &out));
+  ASSERT_TRUE(cache.Get("c", &out));
+  EXPECT_EQ(out, "3");
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.Put("c", "3b");  // refresh keeps size
+  ASSERT_TRUE(cache.Get("c", &out));
+  EXPECT_EQ(out, "3b");
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Query engine
+
+TEST(QueryEngine, ServesEntitiesSearchAndClassesAsValidJson) {
+  auto kb = MakeKb();
+  serve::QueryEngine engine;
+  EXPECT_EQ(engine.EntityById(0).status, 503);
+  engine.Publish(serve::Snapshot::Build(kb, {.version = 3}));
+
+  for (auto result :
+       {engine.EntityById(0), engine.EntityByLabel("Midnight Ballad"),
+        engine.Search("player", 3), engine.Classes(),
+        engine.ClassInstances("Player", 2), engine.SnapshotInfo(),
+        engine.EntityById(999), engine.ClassInstances("Nope", 2)}) {
+    std::string error;
+    EXPECT_TRUE(util::JsonIsValid(result.body, &error))
+        << result.body << ": " << error;
+  }
+
+  const auto entity = engine.EntityById(0);
+  EXPECT_EQ(entity.status, 200);
+  EXPECT_NE(entity.body.find("\"snapshot_version\":3"), std::string::npos);
+  EXPECT_NE(entity.body.find("\"Player 0\""), std::string::npos);
+  EXPECT_NE(entity.body.find("\"team\""), std::string::npos);
+
+  EXPECT_EQ(engine.EntityById(999).status, 404);
+  EXPECT_EQ(engine.EntityByLabel("nope").status, 404);
+  EXPECT_EQ(engine.ClassInstances("Nope", 2).status, 404);
+
+  const auto search = engine.Search("midnight ballad", 5);
+  EXPECT_EQ(search.status, 200);
+  EXPECT_NE(search.body.find("Midnight Ballad"), std::string::npos);
+
+  const auto classes = engine.Classes();
+  EXPECT_NE(classes.body.find("\"Player\""), std::string::npos);
+  EXPECT_NE(classes.body.find("\"instances\":4"), std::string::npos);
+}
+
+TEST(QueryEngine, CachesRepeatedQueries) {
+  auto kb = MakeKb();
+  serve::QueryEngine engine;
+  engine.Publish(serve::Snapshot::Build(kb, {.version = 1}));
+
+  auto& hits = util::Metrics().GetCounter("ltee.serve.cache.hits");
+  auto& misses = util::Metrics().GetCounter("ltee.serve.cache.misses");
+  const uint64_t hits_before = hits.value();
+  const uint64_t misses_before = misses.value();
+
+  const auto first = engine.EntityById(1);
+  EXPECT_EQ(misses.value(), misses_before + 1);
+  const auto second = engine.EntityById(1);
+  EXPECT_EQ(hits.value(), hits_before + 1);
+  EXPECT_EQ(first.body, second.body);
+}
+
+TEST(QueryEngine, CacheKeysIncludeSnapshotVersion) {
+  auto kb1 = MakeKb(2);
+  serve::QueryEngine engine;
+  engine.Publish(serve::Snapshot::Build(kb1, {.version = 1}));
+  const auto before = engine.Search("player 1", 3);
+
+  // Same query against a richer snapshot must not serve the v1 entry.
+  auto kb2 = MakeKb(4);
+  engine.Publish(serve::Snapshot::Build(kb2, {.version = 2}));
+  const auto after = engine.Search("player 1", 3);
+  EXPECT_NE(before.body, after.body);
+  EXPECT_NE(after.body.find("\"snapshot_version\":2"), std::string::npos);
+
+  EXPECT_EQ(util::Metrics()
+                .GetGauge("ltee.serve.snapshot.version")
+                .value(),
+            2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Regression-gate units (the report_diff core)
+
+obsv::GateMetricMap OneMetric(const std::string& name, double value,
+                              const std::string& unit) {
+  obsv::GateMetricMap map;
+  map[name] = {value, unit};
+  return map;
+}
+
+TEST(RegressionGate, LatencyPercentileUnitsGateUpward) {
+  using obsv::GateDirection;
+  EXPECT_EQ(obsv::GateDirectionOf("ms_p50"), GateDirection::kHigherIsWorse);
+  EXPECT_EQ(obsv::GateDirectionOf("ms_p95"), GateDirection::kHigherIsWorse);
+  EXPECT_EQ(obsv::GateDirectionOf("ms_p99"), GateDirection::kHigherIsWorse);
+  EXPECT_TRUE(obsv::IsLatencyPercentileUnit("ms_p95"));
+  EXPECT_FALSE(obsv::IsLatencyPercentileUnit("ms"));
+
+  obsv::GateThresholds thresholds;  // time +25%, floor 1ms
+  // 10ms -> 20ms p95: +100%, above the floor — regression.
+  auto report = obsv::CompareGateMetrics(
+      OneMetric("serve_load/latency_p95", 10.0, "ms_p95"),
+      OneMetric("serve_load/latency_p95", 20.0, "ms_p95"), thresholds);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_TRUE(report.deltas[0].regressed);
+  EXPECT_EQ(report.regressions, 1u);
+
+  // Within threshold: no regression.
+  report = obsv::CompareGateMetrics(
+      OneMetric("serve_load/latency_p95", 10.0, "ms_p95"),
+      OneMetric("serve_load/latency_p95", 11.0, "ms_p95"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+
+  // Microsecond-scale noise below the 1ms floor never gates, even at
+  // +200%.
+  report = obsv::CompareGateMetrics(
+      OneMetric("serve_load/latency_p95", 0.005, "ms_p95"),
+      OneMetric("serve_load/latency_p95", 0.015, "ms_p95"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+
+  // Crossing the floor upward does gate.
+  report = obsv::CompareGateMetrics(
+      OneMetric("serve_load/latency_p95", 0.5, "ms_p95"),
+      OneMetric("serve_load/latency_p95", 2.0, "ms_p95"), thresholds);
+  EXPECT_EQ(report.regressions, 1u);
+}
+
+TEST(RegressionGate, ThroughputGatesDownwardImprovementsPass) {
+  obsv::GateThresholds thresholds;
+  EXPECT_EQ(obsv::GateDirectionOf("ops_s"),
+            obsv::GateDirection::kLowerIsWorse);
+  // Halving throughput regresses; doubling it does not.
+  auto report = obsv::CompareGateMetrics(
+      OneMetric("serve_load/throughput", 1000.0, "ops_s"),
+      OneMetric("serve_load/throughput", 500.0, "ops_s"), thresholds);
+  EXPECT_EQ(report.regressions, 1u);
+  report = obsv::CompareGateMetrics(
+      OneMetric("serve_load/throughput", 1000.0, "ops_s"),
+      OneMetric("serve_load/throughput", 2000.0, "ops_s"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+  // A big latency drop is an improvement, not a regression.
+  report = obsv::CompareGateMetrics(
+      OneMetric("serve_load/latency_p95", 20.0, "ms_p95"),
+      OneMetric("serve_load/latency_p95", 5.0, "ms_p95"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+}
+
+TEST(RegressionGate, FlattensBenchHistoryEntriesWithUnits) {
+  util::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(util::ParseJson(
+      R"({"commit":"abc","results":[)"
+      R"({"bench":"serve_load","metric":"latency_p95","value":3.5,"unit":"ms_p95"},)"
+      R"({"bench":"serve_load","metric":"throughput","value":1200,"unit":"ops_s"}]})",
+      &doc, &error))
+      << error;
+  obsv::GateMetricMap map;
+  ASSERT_TRUE(obsv::FlattenGateSnapshot(doc, &map, &error)) << error;
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.at("serve_load/latency_p95").unit, "ms_p95");
+  EXPECT_EQ(map.at("serve_load/throughput").value, 1200.0);
+
+  util::JsonValue bogus;
+  ASSERT_TRUE(util::ParseJson("{\"x\":1}", &bogus, &error));
+  obsv::GateMetricMap empty;
+  EXPECT_FALSE(obsv::FlattenGateSnapshot(bogus, &empty, &error));
+}
+
+// ---------------------------------------------------------------------------
+// HTTP endpoints
+
+TEST(KbEndpoints, ServeEntitySearchClassesOverHttp) {
+  auto kb = MakeKb();
+  serve::QueryEngine engine;
+  engine.Publish(serve::Snapshot::Build(kb, {.version = 5}));
+
+  obsv::HttpServer server;
+  serve::RegisterKbEndpoints(&server, &engine);
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/kb/entity?id=0", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(util::JsonIsValid(body, &error)) << body << ": " << error;
+  EXPECT_NE(body.find("Player 0"), std::string::npos);
+
+  ASSERT_TRUE(obsv::HttpGet(server.port(),
+                            "/kb/entity?label=midnight+ballad", &status,
+                            &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("Midnight Ballad"), std::string::npos);
+
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/kb/search?q=player&k=2",
+                            &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(util::JsonIsValid(body, &error)) << body << ": " << error;
+
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/kb/classes", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"Player\""), std::string::npos);
+
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/kb/snapshot", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"snapshot_version\":5"), std::string::npos);
+
+  // Parameter and lookup failures per RFC 9110.
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/kb/entity", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 400);
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/kb/entity?id=banana", &status,
+                            &body, &error))
+      << error;
+  EXPECT_EQ(status, 400);
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/kb/search", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 400);
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/kb/entity?id=12345", &status,
+                            &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+
+  // The serve metrics observed this traffic.
+  const auto snapshot = util::Metrics().Snapshot();
+  bool saw_requests = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "ltee.serve.requests") saw_requests = value > 0;
+  }
+  EXPECT_TRUE(saw_requests);
+  server.Stop();
+}
+
+/// The serve series must reach the Prometheus exposition on the same
+/// StatusServer that `ltee_cli serve` runs, name-mangled per the shared
+/// scheme (ltee.serve.cache.hits -> ltee_serve_cache_hits_total).
+TEST(KbEndpoints, ServeMetricsAppearOnPrometheusEndpoint) {
+  auto kb = MakeKb();
+  serve::QueryEngine engine;
+  engine.Publish(serve::Snapshot::Build(kb, {.version = 7}));
+
+  obsv::StatusServer status_server;
+  serve::RegisterKbEndpoints(&status_server.http(), &engine);
+  std::string error;
+  ASSERT_TRUE(status_server.Start(0, &error)) << error;
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(obsv::HttpGet(status_server.port(), "/kb/search?q=player&k=2",
+                            &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+
+  ASSERT_TRUE(obsv::HttpGet(status_server.port(), "/metrics", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("ltee_serve_requests_total"), std::string::npos);
+  EXPECT_NE(body.find("ltee_serve_queries_total"), std::string::npos);
+  EXPECT_NE(body.find("ltee_serve_snapshot_version 7"), std::string::npos);
+  EXPECT_NE(body.find("ltee_serve_request_ms_bucket"), std::string::npos);
+  status_server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: the RCU snapshot swap
+
+/// Readers hammer the engine while a writer publishes progressively
+/// larger snapshots. Every response must be internally consistent with
+/// exactly one published version: snapshot v has v+1 entities and every
+/// entity label carries the version stamp. A torn read (fields from two
+/// snapshots in one response) or a use-after-free under ASan fails.
+TEST(QueryEngine, AtomicSnapshotSwapUnderConcurrentReaders) {
+  constexpr int kVersions = 12;
+  constexpr int kReaders = 4;
+  constexpr int kReadsPerReader = 400;
+
+  const auto make_versioned_kb = [](uint64_t version) {
+    kb::KnowledgeBase kb;
+    const kb::ClassId cls = kb.AddClass("Thing");
+    // Version v: v+1 entities labelled "thing <v> <i>".
+    for (uint64_t i = 0; i <= version; ++i) {
+      kb.AddInstance(cls,
+                     {"thing v" + std::to_string(version) + " n" +
+                      std::to_string(i)},
+                     1.0);
+    }
+    return kb;
+  };
+
+  serve::QueryEngine engine;
+  {
+    auto kb = make_versioned_kb(1);
+    engine.Publish(serve::Snapshot::Build(kb, {.version = 1}));
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&engine, &done, &failures] {
+      for (int i = 0; i < kReadsPerReader && !done.load(); ++i) {
+        // /kb/snapshot: entity count must equal version + 1.
+        const auto info = engine.SnapshotInfo();
+        util::JsonValue doc;
+        std::string error;
+        if (!util::ParseJson(info.body, &doc, &error)) {
+          ++failures;
+          continue;
+        }
+        const double version = doc.NumberOr("snapshot_version", -1);
+        const double entities = doc.NumberOr("entities", -1);
+        if (entities != version + 1) ++failures;
+
+        // /kb/entity: the label stamp must match the response's claimed
+        // version (both fields rendered from one snapshot).
+        const auto entity = engine.EntityById(0);
+        if (entity.status != 200) {
+          ++failures;
+          continue;
+        }
+        util::JsonValue entity_doc;
+        if (!util::ParseJson(entity.body, &entity_doc, &error)) {
+          ++failures;
+          continue;
+        }
+        const double claimed = entity_doc.NumberOr("snapshot_version", -1);
+        const std::string expected =
+            "thing v" + std::to_string(static_cast<uint64_t>(claimed)) + " ";
+        if (entity.body.find(expected) == std::string::npos) ++failures;
+      }
+    });
+  }
+
+  for (uint64_t version = 2; version <= kVersions; ++version) {
+    auto kb = make_versioned_kb(version);
+    engine.Publish(serve::Snapshot::Build(kb, {.version = version}));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // After the last publish every new read sees the final version.
+  const auto final_info = engine.SnapshotInfo();
+  EXPECT_NE(final_info.body.find("\"snapshot_version\":" +
+                                 std::to_string(kVersions)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ltee

@@ -66,7 +66,8 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
 /// not in it; run them explicitly via --benches for deeper trajectories.
 const char* const kQuickSet[] = {"table03_corpus_stats",
                                  "table05_gold_standard",
-                                 "prov_quality"};
+                                 "prov_quality",
+                                 "serve_load"};
 
 std::vector<std::string> SplitCommas(const std::string& s) {
   std::vector<std::string> out;

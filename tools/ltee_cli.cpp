@@ -37,6 +37,7 @@
 // the output to machine-readable JSON).
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +51,7 @@
 #include "eval/gold_serialization.h"
 #include "kb/serialization.h"
 #include "obsv/crash_flush.h"
+#include "obsv/http_client.h"
 #include "obsv/span_analytics.h"
 #include "obsv/status_server.h"
 #include "pipeline/dedup.h"
@@ -59,7 +61,12 @@
 #include "pipeline/training.h"
 #include "prov/explain.h"
 #include "prov/ledger.h"
+#include "serve/kb_endpoints.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_io.h"
 #include "synth/dataset.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -112,12 +119,21 @@ int Usage() {
                "  ltee_cli explain [QUERY] --ledger FILE [--property NAME] "
                "[--first] [--json]\n"
                "  ltee_cli analyze-trace TRACE.json [--json]\n"
+               "  ltee_cli serve --snapshot FILE [--port PORT] [--shards N] "
+               "[--workers N] [--cache-capacity N] [--linger SECONDS]\n"
+               "  ltee_cli get --port PORT --path /kb/... [--expect-json]\n"
                "run uses the default synthetic dataset when the four input "
                "files are omitted; --status-port (or LTEE_STATUS_PORT) "
                "serves /metrics /report /trace /provenance /healthz while it "
                "executes. --provenance-out records every pipeline decision "
                "as JSON lines; explain prints the lineage of the accepted "
-               "facts whose subject contains QUERY\n");
+               "facts whose subject contains QUERY. "
+               "run --publish-snapshot FILE writes the enriched KB as a "
+               "binary serving snapshot at end of run "
+               "(--snapshot-version stamps it); serve answers /kb/entity "
+               "/kb/search /kb/classes /kb/snapshot (plus /metrics "
+               "/healthz) from such a file until SIGINT/SIGTERM; get is a "
+               "dependency-free loopback HTTP client for scripts\n");
   return 2;
 }
 
@@ -364,6 +380,24 @@ int Run(const std::map<std::string, std::string>& flags) {
     std::printf("N-Triples written to %s\n", flags.at("ntriples").c_str());
   }
 
+  // The enriched KB (slot fills + new entities applied above) as a
+  // binary serving snapshot, ready for `ltee_cli serve`.
+  if (auto it = flags.find("publish-snapshot"); it != flags.end()) {
+    uint64_t snapshot_version = 1;
+    if (auto v = flags.find("snapshot-version"); v != flags.end()) {
+      snapshot_version = std::strtoull(v->second.c_str(), nullptr, 10);
+    }
+    std::string error;
+    if (!serve::SaveSnapshotFile(*kb, snapshot_version, it->second,
+                                 &error)) {
+      std::fprintf(stderr, "cannot publish snapshot: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("snapshot v%llu written to %s (%zu instances)\n",
+                static_cast<unsigned long long>(snapshot_version),
+                it->second.c_str(), kb->num_instances());
+  }
+
   std::string ledger;
   if (want_prov) {
     // Fold the post-run stage counters into the quality gauges before the
@@ -418,6 +452,113 @@ int Run(const std::map<std::string, std::string>& flags) {
       std::this_thread::sleep_for(std::chrono::seconds(seconds));
     }
     status_server.Stop();
+  }
+  return 0;
+}
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+/// `ltee_cli serve`: loads a snapshot file and answers /kb/* queries
+/// (plus the introspection endpoints of StatusServer, so the
+/// `ltee.serve.*` metrics are scrapable at /metrics) until SIGINT or
+/// SIGTERM.
+int Serve(const std::map<std::string, std::string>& flags) {
+  auto snapshot_it = flags.find("snapshot");
+  if (snapshot_it == flags.end()) return Usage();
+  size_t shards = 4;
+  if (auto it = flags.find("shards"); it != flags.end()) {
+    shards = static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  std::string error;
+  auto snapshot = serve::LoadSnapshot(snapshot_it->second, shards, &error);
+  if (snapshot == nullptr) {
+    std::fprintf(stderr, "cannot load snapshot: %s\n", error.c_str());
+    return 1;
+  }
+
+  serve::QueryEngineOptions engine_options;
+  if (auto it = flags.find("cache-capacity"); it != flags.end()) {
+    engine_options.cache_capacity_per_shard = std::max<size_t>(
+        1, static_cast<size_t>(std::atoll(it->second.c_str())) /
+               engine_options.cache_shards);
+  }
+  serve::QueryEngine engine(engine_options);
+  engine.Publish(snapshot);
+
+  size_t workers = 4;
+  if (auto it = flags.find("workers"); it != flags.end()) {
+    workers = static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  obsv::StatusServer status_server(workers);
+  serve::RegisterKbEndpoints(&status_server.http(), &engine);
+  int port = 0;
+  if (auto it = flags.find("port"); it != flags.end()) {
+    port = std::atoi(it->second.c_str());
+  }
+  if (!status_server.Start(static_cast<uint16_t>(port), &error)) {
+    std::fprintf(stderr, "cannot start kb service on port %d: %s\n", port,
+                 error.c_str());
+    return 1;
+  }
+  std::printf("kb service on http://localhost:%u (snapshot v%llu, "
+              "%zu entities, %zu shards; /kb/entity /kb/search /kb/classes "
+              "/kb/snapshot /metrics /healthz)\n",
+              status_server.port(),
+              static_cast<unsigned long long>(snapshot->version()),
+              snapshot->num_entities(), snapshot->num_shards());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  // --linger bounds the lifetime for scripted smoke tests; without it the
+  // service runs until a signal arrives.
+  double linger = -1.0;
+  if (auto it = flags.find("linger"); it != flags.end()) {
+    linger = std::atof(it->second.c_str());
+  }
+  const auto start = std::chrono::steady_clock::now();
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (linger >= 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= linger) {
+      break;
+    }
+  }
+  status_server.Stop();
+  std::printf("kb service stopped\n");
+  return 0;
+}
+
+/// `ltee_cli get`: loopback HTTP client for scripts on hosts without
+/// curl. Prints the body; exits 0 only on status 200 (and, with
+/// --expect-json, a body that parses as JSON).
+int Get(const std::map<std::string, std::string>& flags) {
+  auto port_it = flags.find("port");
+  auto path_it = flags.find("path");
+  if (port_it == flags.end() || path_it == flags.end()) return Usage();
+  int status = 0;
+  std::string body, error;
+  if (!obsv::HttpGet(static_cast<uint16_t>(std::atoi(port_it->second.c_str())),
+                     path_it->second, &status, &body, &error)) {
+    std::fprintf(stderr, "get %s: %s\n", path_it->second.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", body.c_str());
+  if (flags.count("expect-json") &&
+      !ltee::util::JsonIsValid(body, &error)) {
+    std::fprintf(stderr, "get %s: body is not valid JSON: %s\n",
+                 path_it->second.c_str(), error.c_str());
+    return 1;
+  }
+  if (status != 200) {
+    std::fprintf(stderr, "get %s: HTTP %d\n", path_it->second.c_str(),
+                 status);
+    return 1;
   }
   return 0;
 }
@@ -492,6 +633,8 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(flags);
   if (command == "stats") return Stats(flags);
   if (command == "run") return Run(flags);
+  if (command == "serve") return Serve(flags);
+  if (command == "get") return Get(flags);
   if (command == "explain") {
     return Explain(flags, FirstPositional(argc, argv, 2));
   }

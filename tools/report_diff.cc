@@ -2,7 +2,9 @@
 // reports (ltee_cli --metrics-out), bench-history entries, or the last
 // two lines of BENCH_history.json — against per-metric relative
 // thresholds and exits non-zero when anything regressed. This is the
-// gate wired into ctest as `bench_regression`.
+// gate wired into ctest as `bench_regression`. The comparison semantics
+// live in obsv/regression_gate (unit-tested there); this binary only
+// parses flags, loads files and renders the report.
 //
 // Usage:
 //   report_diff BEFORE.json AFTER.json [options]
@@ -15,19 +17,22 @@
 // (the seed data point) with --against-seed.
 //
 // Options:
-//   --threshold PCT          allowed relative time increase (default 25)
+//   --threshold PCT          allowed relative time/latency increase
+//                            (default 25)
 //   --score-threshold PCT    allowed relative score drop (default 5)
 //   --quality-threshold PCT  allowed relative increase of a quality-drift
 //                            rate (default 10)
 //   --min-seconds S          time pairs where both sides are below this
 //                            are noise and never gate (default 0.05)
+//   --min-latency-ms MS      same floor for the ms_p50/ms_p95/ms_p99
+//                            latency-percentile units (default 1.0)
 //
 // Direction comes from the unit recorded with each metric: "seconds",
-// "ms" and "ns" regress upward; "score" regresses downward; "rate"
-// (quality-drift gauges such as ltee.prov.fusion_conflict_rate, flattened
-// from run-report gauges ending in `_rate`) regresses upward against
-// --quality-threshold; "count", "ratio" and "gauge" changes are reported
-// but never gate.
+// "ms", "ns" and the "ms_p*" latency percentiles regress upward;
+// "score"/"f1" regress downward; "ops_s" throughput regresses downward
+// against --threshold; "rate" (quality-drift gauges) regresses upward
+// against --quality-threshold; "count", "ratio" and "gauge" changes are
+// reported but never gate.
 //
 // Exit: 0 when no metric regressed beyond its threshold (including the
 // trivial one-entry history), 1 on regression, 2 on usage/parse errors.
@@ -39,113 +44,21 @@
 #include <map>
 #include <sstream>
 #include <string>
-#include <string_view>
 #include <vector>
 
+#include "obsv/regression_gate.h"
 #include "util/json_parse.h"
 
 namespace {
 
+using ltee::obsv::CompareGateMetrics;
+using ltee::obsv::FlattenGateSnapshot;
+using ltee::obsv::GateDirection;
+using ltee::obsv::GateMetricMap;
+using ltee::obsv::GateReport;
+using ltee::obsv::GateThresholds;
 using ltee::util::JsonValue;
 using ltee::util::ParseJson;
-
-enum class Direction { kHigherIsWorse, kLowerIsWorse, kInformational };
-
-struct MetricValue {
-  double value = 0.0;
-  std::string unit;
-};
-
-using MetricMap = std::map<std::string, MetricValue>;
-
-Direction DirectionOf(const std::string& unit) {
-  if (unit == "seconds" || unit == "ms" || unit == "ns" || unit == "rate") {
-    return Direction::kHigherIsWorse;
-  }
-  if (unit == "score" || unit == "f1") return Direction::kLowerIsWorse;
-  return Direction::kInformational;
-}
-
-/// True for suffix `suffix` of `name`.
-bool EndsWith(const std::string& name, std::string_view suffix) {
-  return name.size() >= suffix.size() &&
-         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
-             0;
-}
-
-double ToSeconds(double value, const std::string& unit) {
-  if (unit == "ms") return value / 1e3;
-  if (unit == "ns") return value / 1e9;
-  return value;
-}
-
-/// Flattens one snapshot into name -> (value, unit). Supports RunReport
-/// objects and bench_history entries.
-bool Flatten(const JsonValue& doc, MetricMap* out, std::string* error) {
-  if (const JsonValue* results = doc.Find("results");
-      results != nullptr && results->is_array()) {
-    for (const JsonValue& r : results->items()) {
-      const JsonValue* bench = r.Find("bench");
-      const JsonValue* metric = r.Find("metric");
-      const JsonValue* value = r.Find("value");
-      if (bench == nullptr || metric == nullptr || value == nullptr ||
-          !value->is_number()) {
-        continue;
-      }
-      (*out)[bench->as_string() + "/" + metric->as_string()] = {
-          value->as_number(), r.StringOr("unit", "unknown")};
-    }
-    return true;
-  }
-  if (const JsonValue* total = doc.Find("total_seconds");
-      total != nullptr && total->is_number()) {
-    (*out)["run/total_seconds"] = {total->as_number(), "seconds"};
-    if (const JsonValue* stages = doc.Find("stages");
-        stages != nullptr && stages->is_array()) {
-      for (const JsonValue& stage : stages->items()) {
-        const JsonValue* name = stage.Find("stage");
-        const JsonValue* seconds = stage.Find("seconds");
-        if (name == nullptr || seconds == nullptr ||
-            !seconds->is_number()) {
-          continue;
-        }
-        (*out)["stage/" + name->as_string()] = {seconds->as_number(),
-                                                "seconds"};
-      }
-    }
-    if (const JsonValue* metrics = doc.Find("metrics");
-        metrics != nullptr && metrics->is_object()) {
-      if (const JsonValue* counters = metrics->Find("counters");
-          counters != nullptr && counters->is_object()) {
-        for (const auto& [name, value] : counters->members()) {
-          if (value.is_number()) {
-            (*out)["counter/" + name] = {value.as_number(), "count"};
-          }
-        }
-      }
-      if (const JsonValue* gauges = metrics->Find("gauges");
-          gauges != nullptr && gauges->is_object()) {
-        for (const auto& [name, value] : gauges->members()) {
-          if (!value.is_number()) continue;
-          // Quality-drift gauges (`.._rate`) gate against
-          // --quality-threshold; `.._ratio` and everything else are
-          // informational.
-          const char* unit = EndsWith(name, "_rate")
-                                 ? "rate"
-                                 : (EndsWith(name, "_ratio") ? "ratio"
-                                                             : "gauge");
-          (*out)["gauge/" + name] = {value.as_number(), unit};
-        }
-      }
-    }
-    return true;
-  }
-  if (error != nullptr) {
-    *error = "unrecognized snapshot: neither a run report nor a bench "
-             "history entry";
-  }
-  return false;
-}
 
 bool ReadFile(const std::string& path, std::string* out,
               std::string* error) {
@@ -173,7 +86,7 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0 &&
         (key == "threshold" || key == "score-threshold" ||
          key == "quality-threshold" || key == "min-seconds" ||
-         key == "history")) {
+         key == "min-latency-ms" || key == "history")) {
       flags[key] = argv[++i];
     } else {
       flags[key] = std::string("1");
@@ -182,14 +95,21 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
   return flags;
 }
 
+double FlagOr(const std::map<std::string, std::string>& flags,
+              const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it != flags.end() ? std::atof(it->second.c_str()) : fallback;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  report_diff BEFORE.json AFTER.json [options]\n"
                "  report_diff --history FILE [--against-seed] [options]\n"
-               "options: --threshold PCT (time, default 25) "
+               "options: --threshold PCT (time/latency, default 25) "
                "--score-threshold PCT (default 5) --quality-threshold PCT "
-               "(drift rates, default 10) --min-seconds S (default 0.05)\n");
+               "(drift rates, default 10) --min-seconds S (default 0.05) "
+               "--min-latency-ms MS (default 1.0)\n");
   return 2;
 }
 
@@ -198,23 +118,12 @@ int Usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
   const auto flags = ParseFlags(argc, argv, &positional);
-  const double time_threshold =
-      (flags.count("threshold") ? std::atof(flags.at("threshold").c_str())
-                                : 25.0) /
-      100.0;
-  const double score_threshold =
-      (flags.count("score-threshold")
-           ? std::atof(flags.at("score-threshold").c_str())
-           : 5.0) /
-      100.0;
-  const double quality_threshold =
-      (flags.count("quality-threshold")
-           ? std::atof(flags.at("quality-threshold").c_str())
-           : 10.0) /
-      100.0;
-  const double min_seconds =
-      flags.count("min-seconds") ? std::atof(flags.at("min-seconds").c_str())
-                                 : 0.05;
+  GateThresholds thresholds;
+  thresholds.time = FlagOr(flags, "threshold", 25.0) / 100.0;
+  thresholds.score = FlagOr(flags, "score-threshold", 5.0) / 100.0;
+  thresholds.quality = FlagOr(flags, "quality-threshold", 10.0) / 100.0;
+  thresholds.min_seconds = FlagOr(flags, "min-seconds", 0.05);
+  thresholds.min_latency_ms = FlagOr(flags, "min-latency-ms", 1.0);
 
   std::string before_json, after_json, error;
   std::string before_name = "before", after_name = "after";
@@ -275,9 +184,9 @@ int main(int argc, char** argv) {
                  after_name.c_str(), error.c_str());
     return 2;
   }
-  MetricMap before, after;
-  if (!Flatten(before_doc, &before, &error) ||
-      !Flatten(after_doc, &after, &error)) {
+  GateMetricMap before, after;
+  if (!FlattenGateSnapshot(before_doc, &before, &error) ||
+      !FlattenGateSnapshot(after_doc, &after, &error)) {
     std::fprintf(stderr, "report_diff: %s\n", error.c_str());
     return 2;
   }
@@ -300,50 +209,30 @@ int main(int argc, char** argv) {
   std::printf(
       "report_diff: %s -> %s (time +%.0f%%, score -%.0f%%, "
       "drift rate +%.0f%%)\n",
-      before_name.c_str(), after_name.c_str(), time_threshold * 100,
-      score_threshold * 100, quality_threshold * 100);
+      before_name.c_str(), after_name.c_str(), thresholds.time * 100,
+      thresholds.score * 100, thresholds.quality * 100);
   std::printf("%-44s %14s %14s %9s\n", "metric", "before", "after",
               "delta");
-  size_t regressions = 0, compared = 0;
-  for (const auto& [name, b] : before) {
-    auto it = after.find(name);
-    if (it == after.end()) continue;
-    const MetricValue& a = it->second;
-    ++compared;
-    const double rel =
-        b.value != 0.0 ? (a.value - b.value) / std::fabs(b.value)
-                       : (a.value != 0.0 ? 1.0 : 0.0);
-    const Direction direction = DirectionOf(b.unit);
-    bool regressed = false;
-    if (direction == Direction::kHigherIsWorse) {
-      if (b.unit == "rate") {
-        regressed = rel > quality_threshold;
-      } else {
-        const bool above_floor = ToSeconds(b.value, b.unit) >= min_seconds ||
-                                 ToSeconds(a.value, a.unit) >= min_seconds;
-        regressed = above_floor && rel > time_threshold;
-      }
-    } else if (direction == Direction::kLowerIsWorse) {
-      regressed = rel < -score_threshold;
-    }
+  const GateReport report = CompareGateMetrics(before, after, thresholds);
+  for (const auto& delta : report.deltas) {
     // Print every gated metric and any informational metric that moved.
-    if (direction != Direction::kInformational || std::fabs(rel) > 1e-9) {
-      std::printf("%-44s %14.6g %14.6g %+8.1f%%%s\n", name.c_str(), b.value,
-                  a.value, rel * 100,
-                  regressed ? "  REGRESSION" : "");
+    if (delta.direction != GateDirection::kInformational ||
+        std::fabs(delta.rel) > 1e-9) {
+      std::printf("%-44s %14.6g %14.6g %+8.1f%%%s\n", delta.name.c_str(),
+                  delta.before.value, delta.after.value, delta.rel * 100,
+                  delta.regressed ? "  REGRESSION" : "");
     }
-    if (regressed) ++regressions;
   }
-  if (compared == 0) {
+  if (report.compared == 0) {
     std::fprintf(stderr,
                  "report_diff: no comparable metrics between inputs\n");
     return 2;
   }
-  if (regressions > 0) {
+  if (report.regressions > 0) {
     std::printf("report_diff: %zu regression(s) beyond threshold\n",
-                regressions);
+                report.regressions);
     return 1;
   }
-  std::printf("report_diff: OK (%zu metrics compared)\n", compared);
+  std::printf("report_diff: OK (%zu metrics compared)\n", report.compared);
   return 0;
 }
