@@ -1,0 +1,169 @@
+// Delta-pipeline ingest bench: trains the pipeline, runs the full
+// pipeline over a base corpus A, then measures the incremental path — a
+// DeltaIngest of the held-out tail B (scoped stage execution + changeset
+// fuse through kb::Applier) followed by an atomic snapshot promotion
+// into a live QueryEngine — and finally samples query latency against
+// the freshly published snapshot.
+//
+// Gateable units: "ms" metrics (ingest_ms, apply_publish_ms, wall_ms)
+// regress upward, the post-publish "ms_p50"/"ms_p95" percentiles regress
+// upward above the latency noise floor. Counts (tables ingested, classes
+// recomputed, facts staged) ride along to catch silent scope drift —
+// a delta ingest that suddenly recomputes every class would show up here
+// before it shows up as wall time.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "kb/applier.h"
+#include "kb/serialization.h"
+#include "pipeline/delta.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "webtable/web_table.h"
+
+namespace {
+
+using namespace ltee;
+
+constexpr size_t kDeltaTables = 50;
+constexpr size_t kQueryOps = 2000;
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+}  // namespace
+
+int main() {
+  bench::ScopedWallClock wall_clock("delta_ingest");
+  auto dataset = bench::MakeDataset(0.002);
+  if (dataset.corpus.size() <= kDeltaTables) {
+    std::fprintf(stderr, "corpus too small for a %zu-table delta\n",
+                 kDeltaTables);
+    return 1;
+  }
+
+  // Split the corpus: A = everything but the tail, B = the last
+  // kDeltaTables tables arriving later as a prepared batch.
+  const size_t num_base_tables = dataset.corpus.size() - kDeltaTables;
+  webtable::TableCorpus base_corpus;
+  std::vector<webtable::WebTable> batch;
+  for (size_t t = 0; t < dataset.corpus.size(); ++t) {
+    webtable::WebTable copy =
+        dataset.corpus.table(static_cast<webtable::TableId>(t));
+    if (t < num_base_tables) {
+      base_corpus.Add(std::move(copy));
+    } else {
+      batch.push_back(std::move(copy));
+    }
+  }
+
+  pipeline::LteePipeline pipe(dataset.kb, {});
+  util::Rng rng(bench::kSeed);
+  pipeline::TrainPipelineOnGold(&pipe, dataset.gs_corpus, dataset.gold, rng);
+  std::vector<kb::ClassId> classes;
+  for (const auto& gs : dataset.gold) classes.push_back(gs.cls);
+
+  // Base run over A — the state an always-on deployment would already
+  // hold when the delta batch arrives. Setup, but reported: the ratio of
+  // ingest_ms to base_run_ms is the whole point of the incremental path.
+  util::WallTimer base_timer;
+  auto base_run = pipe.Run(base_corpus, classes);
+  kb::Applier applier(nullptr);
+  for (const auto& class_run : base_run.classes) {
+    applier.Stage(pipeline::StageClassRun(dataset.kb, class_run).change);
+  }
+  pipeline::DeltaState state;
+  state.seed = bench::kSeed;
+  state.classes = classes;
+  state.mappings = base_run.mappings;
+  state.feedback = base_run.feedback;
+  state.changes = applier.TakeStaged();
+  const double base_run_ms = base_timer.ElapsedMillis();
+
+  // Serve the base snapshot, as `ltee_cli serve` would. The KB is
+  // move-only; clone it through its TSV round trip so the pipeline's
+  // immutable base copy survives for the apply below.
+  serve::QueryEngine engine;
+  {
+    std::stringstream buffer;
+    kb::SaveKnowledgeBase(dataset.kb, buffer);
+    auto kb_base = kb::LoadKnowledgeBase(buffer);
+    if (!kb_base.has_value()) {
+      std::fprintf(stderr, "base KB round trip failed\n");
+      return 1;
+    }
+    kb::ApplyChangeSet(&*kb_base, state.changes);
+    engine.Publish(serve::Snapshot::Build(*kb_base, {.version = 1}));
+  }
+
+  // -- the measured section: scoped ingest of B -------------------------
+  util::WallTimer ingest_timer;
+  const pipeline::DeltaIngestResult ingest =
+      pipeline::DeltaIngest(pipe, &base_corpus, std::move(batch), &state);
+  const double ingest_ms = ingest_timer.ElapsedMillis();
+
+  util::WallTimer publish_timer;
+  kb::KnowledgeBase enriched = std::move(dataset.kb);
+  const kb::ApplyOutcome outcome =
+      kb::ApplyChangeSet(&enriched, state.changes);
+  engine.Publish(serve::Snapshot::Build(enriched, {.version = 2}));
+  const double apply_publish_ms = publish_timer.ElapsedMillis();
+
+  std::printf("# base run %.0fms over %zu tables; ingest %.0fms over %zu "
+              "tables (%zu of %zu classes recomputed)\n",
+              base_run_ms, num_base_tables, ingest_ms, ingest.new_tables,
+              ingest.recomputed.size(), classes.size());
+
+  // Post-publish read path: latency against the just-promoted snapshot.
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(kQueryOps);
+  const size_t num_entities = std::max<size_t>(1, enriched.num_instances());
+  uint64_t z_state = 0x9e3779b97f4a7c15ull;
+  for (size_t op = 0; op < kQueryOps; ++op) {
+    z_state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = z_state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const auto begin = std::chrono::steady_clock::now();
+    if (z % 10 < 7) {
+      engine.EntityById(static_cast<int64_t>((z >> 8) % num_entities));
+    } else {
+      engine.SnapshotInfo();
+    }
+    latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - begin)
+                               .count());
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+
+  bench::EmitResult("delta_ingest", "base_run_ms", base_run_ms, "ms");
+  bench::EmitResult("delta_ingest", "ingest_ms", ingest_ms, "ms");
+  bench::EmitResult("delta_ingest", "apply_publish_ms", apply_publish_ms,
+                    "ms");
+  bench::EmitResult("delta_ingest", "tables_ingested",
+                    static_cast<double>(ingest.new_tables), "count");
+  bench::EmitResult("delta_ingest", "classes_recomputed",
+                    static_cast<double>(ingest.recomputed.size()), "count");
+  bench::EmitResult("delta_ingest", "facts_applied",
+                    static_cast<double>(outcome.facts_added), "count");
+  bench::EmitResult("delta_ingest", "post_publish_p50",
+                    Percentile(latencies_ms, 0.50), "ms_p50",
+                    static_cast<long long>(kQueryOps));
+  bench::EmitResult("delta_ingest", "post_publish_p95",
+                    Percentile(latencies_ms, 0.95), "ms_p95",
+                    static_cast<long long>(kQueryOps));
+  return 0;
+}

@@ -98,4 +98,49 @@ if ! grep -q "kb service stopped" "${SERVE_LOG}"; then
     exit 1
 fi
 
+# Delta pipeline end to end: the delta-labelled unit tests (equivalence
+# gate, ingest-while-serving, state round trips), then a CLI smoke over
+# the full promotion path — run the base corpus with --state-out, ingest
+# the held-out delta tables, and require the incrementally built snapshot
+# to be content-identical to the one-shot full run (snapshot_diff exit 0)
+# while genuinely differing from the base (exit 1). The ingest ledger
+# must validate like a full run's.
+ctest --test-dir "${BUILD_DIR}" -L delta --output-on-failure -j "$(nproc)"
+
+DELTA_DIR="${BUILD_DIR}/delta_smoke"
+rm -rf "${DELTA_DIR}"
+mkdir -p "${DELTA_DIR}"
+"${BUILD_DIR}/tools/ltee_cli" generate --out "${DELTA_DIR}" \
+    --scale 0.002 --seed 41 --delta-split 50 >/dev/null
+
+"${BUILD_DIR}/tools/ltee_cli" run --kb "${DELTA_DIR}/kb.tsv" \
+    --corpus "${DELTA_DIR}/corpus.tsv" \
+    --gs-corpus "${DELTA_DIR}/gs_corpus.tsv" \
+    --gold "${DELTA_DIR}/gold.tsv" --seed 41 \
+    --publish-snapshot "${DELTA_DIR}/full.bin" --snapshot-version 2 \
+    >/dev/null
+
+"${BUILD_DIR}/tools/ltee_cli" run --kb "${DELTA_DIR}/kb.tsv" \
+    --corpus "${DELTA_DIR}/corpus_base.tsv" \
+    --gs-corpus "${DELTA_DIR}/gs_corpus.tsv" \
+    --gold "${DELTA_DIR}/gold.tsv" --seed 41 \
+    --state-out "${DELTA_DIR}/state" \
+    --publish-snapshot "${DELTA_DIR}/base.bin" --snapshot-version 1 \
+    >/dev/null
+
+"${BUILD_DIR}/tools/ltee_cli" ingest --state "${DELTA_DIR}/state" \
+    --delta "${DELTA_DIR}/corpus_delta.tsv" \
+    --publish-snapshot "${DELTA_DIR}/delta.bin" --snapshot-version 2 \
+    --ledger "${DELTA_DIR}/delta_ledger.jsonl"
+
+"${BUILD_DIR}/tools/snapshot_diff" \
+    "${DELTA_DIR}/full.bin" "${DELTA_DIR}/delta.bin"
+if "${BUILD_DIR}/tools/snapshot_diff" \
+    "${DELTA_DIR}/base.bin" "${DELTA_DIR}/delta.bin" >/dev/null; then
+    echo "check_observability: FAIL: base and delta snapshots are identical" \
+        "(the delta smoke is vacuous)" >&2
+    exit 1
+fi
+"${BUILD_DIR}/tools/validate_ledger" "${DELTA_DIR}/delta_ledger.jsonl"
+
 echo "check_observability: OK"

@@ -1,0 +1,259 @@
+#include "kb/applier.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "kb/serialization.h"
+#include "prov/ledger.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace ltee::kb {
+
+namespace {
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) tab = line.size();
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+bool ParseInt(const std::string& s, long long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+void RecordAcceptedFact(const KnowledgeBase& kb, ClassId cls, int cluster_id,
+                        const std::string& subject, PropertyId property,
+                        const types::Value& value, const char* reason) {
+  prov::KbUpdateDecision decision;
+  decision.cls = cls;
+  decision.cluster_id = cluster_id;
+  decision.subject = subject;
+  decision.property = property;
+  decision.property_name = kb.property(property).name;
+  decision.value = value.ToString();
+  decision.accepted = true;
+  decision.reason = reason;
+  prov::Record(std::move(decision));
+}
+
+}  // namespace
+
+bool ChangeSet::empty() const {
+  for (const auto& cls : classes) {
+    if (!cls.empty()) return false;
+  }
+  return true;
+}
+
+ClassChange* ChangeSet::Find(ClassId cls) {
+  for (auto& change : classes) {
+    if (change.cls == cls) return &change;
+  }
+  return nullptr;
+}
+
+const ClassChange* ChangeSet::Find(ClassId cls) const {
+  for (const auto& change : classes) {
+    if (change.cls == cls) return &change;
+  }
+  return nullptr;
+}
+
+void ChangeSet::Replace(ClassChange change) {
+  if (ClassChange* existing = Find(change.cls); existing != nullptr) {
+    *existing = std::move(change);
+  } else {
+    classes.push_back(std::move(change));
+  }
+}
+
+void Applier::StageAll(ChangeSet changes) {
+  for (auto& change : changes.classes) {
+    staged_.Replace(std::move(change));
+  }
+}
+
+ApplyOutcome Applier::Apply() {
+  ApplyOutcome outcome = ApplyChangeSet(kb_, staged_);
+  staged_ = ChangeSet{};
+  return outcome;
+}
+
+ApplyOutcome ApplyChangeSet(KnowledgeBase* kb, const ChangeSet& changes) {
+  util::trace::ScopedSpan span("kb.apply_changeset");
+  span.AddArg("classes", changes.classes.size());
+  ApplyOutcome outcome;
+  const bool prov_enabled = prov::IsEnabled();
+  for (const ClassChange& change : changes.classes) {
+    ClassApplyOutcome cls_outcome;
+    cls_outcome.cls = change.cls;
+    // Slot fills first, skipping occupied slots: identical semantics to
+    // the legacy per-class ApplySlotFills -> AddNewEntitiesToKb sequence,
+    // so replaying a full-run changeset reproduces the in-place KB
+    // byte for byte (new instance ids included).
+    for (const FactAdd& fill : change.fact_adds) {
+      if (kb->FactOf(fill.instance, fill.property) != nullptr) continue;
+      kb->AddFact(fill.instance, fill.property, fill.value);
+      cls_outcome.slot_fills += 1;
+    }
+    for (const ValueChange& vc : change.value_changes) {
+      if (!kb->ReplaceFact(vc.instance, vc.property, vc.value)) continue;
+      cls_outcome.value_changes += 1;
+      if (prov_enabled) {
+        const auto& labels = kb->instance(vc.instance).labels;
+        RecordAcceptedFact(*kb, change.cls, -1,
+                           labels.empty() ? std::string() : labels.front(),
+                           vc.property, vc.value, "value_change");
+      }
+    }
+    for (const EntityAdd& entity : change.entities) {
+      const InstanceId id = kb->AddInstance(entity.cls, entity.labels);
+      for (const Fact& fact : entity.facts) {
+        kb->AddFact(id, fact.property, fact.value);
+        cls_outcome.facts_added += 1;
+        if (prov_enabled) {
+          RecordAcceptedFact(*kb, entity.cls, entity.cluster_id,
+                             entity.labels.front(), fact.property, fact.value,
+                             "new_entity");
+        }
+      }
+      cls_outcome.new_instance_ids.push_back(id);
+      cls_outcome.instances_added += 1;
+    }
+    outcome.instances_added += cls_outcome.instances_added;
+    outcome.facts_added += cls_outcome.facts_added;
+    outcome.slot_fills += cls_outcome.slot_fills;
+    outcome.value_changes += cls_outcome.value_changes;
+    outcome.classes.push_back(std::move(cls_outcome));
+  }
+  span.AddArg("instances_added",
+              static_cast<long long>(outcome.instances_added));
+  span.AddArg("facts_added", static_cast<long long>(outcome.facts_added));
+  util::Metrics().GetCounter("ltee.kbupdate.instances_added")
+      .Increment(static_cast<uint64_t>(outcome.instances_added));
+  util::Metrics().GetCounter("ltee.kbupdate.facts_added")
+      .Increment(static_cast<uint64_t>(outcome.facts_added));
+  return outcome;
+}
+
+void SaveChangeSet(const ChangeSet& changes, std::ostream& out) {
+  for (const ClassChange& change : changes.classes) {
+    out << "G\t" << change.cls << "\n";
+    for (const FactAdd& fill : change.fact_adds) {
+      out << "S\t" << fill.instance << "\t" << fill.property << "\t"
+          << EscapeField(SerializeValue(fill.value)) << "\n";
+    }
+    for (const ValueChange& vc : change.value_changes) {
+      out << "V\t" << vc.instance << "\t" << vc.property << "\t"
+          << EscapeField(SerializeValue(vc.value)) << "\n";
+    }
+    for (const EntityAdd& entity : change.entities) {
+      out << "E\t" << entity.cls << "\t" << entity.cluster_id << "\t"
+          << entity.labels.size();
+      for (const auto& label : entity.labels) {
+        out << "\t" << EscapeField(label);
+      }
+      out << "\n";
+      for (const Fact& fact : entity.facts) {
+        out << "X\t" << fact.property << "\t"
+            << EscapeField(SerializeValue(fact.value)) << "\n";
+      }
+    }
+  }
+}
+
+std::optional<ChangeSet> LoadChangeSet(std::istream& in) {
+  ChangeSet changes;
+  ClassChange* current = nullptr;
+  EntityAdd* entity = nullptr;
+  std::string line;
+  size_t line_no = 0;
+  auto fail = [&line_no](const char* what) -> std::optional<ChangeSet> {
+    LTEE_LOG(kError) << "LoadChangeSet: line " << line_no << ": " << what;
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto fields = SplitFields(line);
+    const std::string& tag = fields[0];
+    if (tag == "G") {
+      long long cls = 0;
+      if (fields.size() != 2 || !ParseInt(fields[1], &cls)) {
+        return fail("malformed G record");
+      }
+      changes.classes.push_back(ClassChange{});
+      current = &changes.classes.back();
+      current->cls = static_cast<ClassId>(cls);
+      entity = nullptr;
+    } else if (tag == "S" || tag == "V") {
+      long long instance = 0;
+      long long property = 0;
+      if (current == nullptr || fields.size() != 4 ||
+          !ParseInt(fields[1], &instance) || !ParseInt(fields[2], &property)) {
+        return fail("malformed S/V record");
+      }
+      auto value = DeserializeValue(UnescapeField(fields[3]));
+      if (!value.has_value()) return fail("bad value in S/V record");
+      if (tag == "S") {
+        current->fact_adds.push_back(
+            FactAdd{static_cast<InstanceId>(instance),
+                    static_cast<PropertyId>(property), *std::move(value)});
+      } else {
+        current->value_changes.push_back(
+            ValueChange{static_cast<InstanceId>(instance),
+                        static_cast<PropertyId>(property), *std::move(value)});
+      }
+    } else if (tag == "E") {
+      long long cls = 0;
+      long long cluster = 0;
+      long long num_labels = 0;
+      if (current == nullptr || fields.size() < 4 ||
+          !ParseInt(fields[1], &cls) || !ParseInt(fields[2], &cluster) ||
+          !ParseInt(fields[3], &num_labels) ||
+          fields.size() != 4 + static_cast<size_t>(num_labels)) {
+        return fail("malformed E record");
+      }
+      current->entities.push_back(EntityAdd{});
+      entity = &current->entities.back();
+      entity->cls = static_cast<ClassId>(cls);
+      entity->cluster_id = static_cast<int>(cluster);
+      for (size_t i = 4; i < fields.size(); ++i) {
+        entity->labels.push_back(UnescapeField(fields[i]));
+      }
+    } else if (tag == "X") {
+      long long property = 0;
+      if (entity == nullptr || fields.size() != 3 ||
+          !ParseInt(fields[1], &property)) {
+        return fail("malformed X record");
+      }
+      auto value = DeserializeValue(UnescapeField(fields[2]));
+      if (!value.has_value()) return fail("bad value in X record");
+      entity->facts.push_back(
+          Fact{static_cast<PropertyId>(property), *std::move(value)});
+    } else {
+      return fail("unknown record tag");
+    }
+  }
+  return changes;
+}
+
+}  // namespace ltee::kb

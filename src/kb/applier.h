@@ -1,0 +1,132 @@
+#ifndef LTEE_KB_APPLIER_H_
+#define LTEE_KB_APPLIER_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace ltee::kb {
+
+/// One staged new entity: becomes an AddInstance plus one AddFact per
+/// fact when the changeset is applied.
+struct EntityAdd {
+  ClassId cls = kInvalidClass;
+  /// Source row-cluster id (provenance link back to the fusion stage).
+  int cluster_id = -1;
+  std::vector<std::string> labels;
+  std::vector<Fact> facts;
+};
+
+/// One staged fact for an *existing* instance (a slot fill). Applying
+/// skips the fact when the slot is already occupied, which makes replaying
+/// a changeset against a KB that already absorbed part of it idempotent.
+struct FactAdd {
+  InstanceId instance = kInvalidInstance;
+  PropertyId property = kInvalidProperty;
+  types::Value value;
+};
+
+/// One staged overwrite of an existing fact's value. Unlike FactAdd this
+/// never creates a slot: applying is a no-op when the slot is empty.
+struct ValueChange {
+  InstanceId instance = kInvalidInstance;
+  PropertyId property = kInvalidProperty;
+  types::Value value;
+};
+
+/// All staged mutations produced by one class sweep of the pipeline, in
+/// apply order: slot fills, value changes, then new entities.
+struct ClassChange {
+  ClassId cls = kInvalidClass;
+  std::vector<FactAdd> fact_adds;
+  std::vector<ValueChange> value_changes;
+  std::vector<EntityAdd> entities;
+
+  bool empty() const {
+    return fact_adds.empty() && value_changes.empty() && entities.empty();
+  }
+};
+
+/// A typed, replayable description of every KB mutation of one pipeline
+/// run, grouped per class in run order. Applying a changeset to the KB the
+/// run started from reproduces exactly the KB the legacy in-place update
+/// path produced — new instance ids included — because classes apply in
+/// run order and slot fills skip occupied slots just like the sequential
+/// per-class loop did.
+struct ChangeSet {
+  std::vector<ClassChange> classes;
+
+  bool empty() const;
+  /// Pointer to the entry of `cls`, or nullptr.
+  ClassChange* Find(ClassId cls);
+  const ClassChange* Find(ClassId cls) const;
+  /// Replaces the entry of `change.cls` in place (preserving run order) or
+  /// appends when the class has no entry yet.
+  void Replace(ClassChange change);
+};
+
+/// What applying one ClassChange did.
+struct ClassApplyOutcome {
+  ClassId cls = kInvalidClass;
+  size_t instances_added = 0;
+  size_t facts_added = 0;    // facts of new instances
+  size_t slot_fills = 0;     // FactAdds that landed in an empty slot
+  size_t value_changes = 0;  // ValueChanges that overwrote a fact
+  std::vector<InstanceId> new_instance_ids;
+};
+
+/// What applying a full ChangeSet did.
+struct ApplyOutcome {
+  std::vector<ClassApplyOutcome> classes;
+  size_t instances_added = 0;
+  size_t facts_added = 0;
+  size_t slot_fills = 0;
+  size_t value_changes = 0;
+};
+
+/// The single KB write path: stages typed changes and applies them in one
+/// pass, recording a prov::KbUpdateDecision per accepted fact and bumping
+/// the ltee.kbupdate.* counters. Nothing mutates the KnowledgeBase until
+/// Apply() runs, so the pipeline can keep reading an immutable base KB
+/// while the changeset for the next version accumulates.
+class Applier {
+ public:
+  explicit Applier(KnowledgeBase* kb) : kb_(kb) {}
+
+  /// Appends (or replaces, by class) one class's staged changes.
+  void Stage(ClassChange change) { staged_.Replace(std::move(change)); }
+  void StageAll(ChangeSet changes);
+
+  const ChangeSet& staged() const { return staged_; }
+  ChangeSet TakeStaged() { return std::move(staged_); }
+
+  /// Applies everything staged, clears the staging area, and returns what
+  /// happened per class.
+  ApplyOutcome Apply();
+
+ private:
+  KnowledgeBase* kb_;
+  ChangeSet staged_;
+};
+
+/// Applies `changes` to `kb` directly (the Applier's engine, exposed for
+/// callers that already hold a complete changeset).
+ApplyOutcome ApplyChangeSet(KnowledgeBase* kb, const ChangeSet& changes);
+
+/// Line-based TSV serialization of a changeset (same escaping and value
+/// syntax as kb/serialization):
+///
+///   G <class-id>
+///   S <instance-id> <property-id> <typed-value>    (FactAdd)
+///   V <instance-id> <property-id> <typed-value>    (ValueChange)
+///   E <class-id> <cluster-id> <num-labels> <label>*
+///   X <property-id> <typed-value>                  (fact of last E)
+void SaveChangeSet(const ChangeSet& changes, std::ostream& out);
+std::optional<ChangeSet> LoadChangeSet(std::istream& in);
+
+}  // namespace ltee::kb
+
+#endif  // LTEE_KB_APPLIER_H_

@@ -1,0 +1,128 @@
+#include "kb/diff.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "kb/serialization.h"
+
+namespace ltee::kb {
+
+namespace {
+
+void AddSample(KbDiff* diff, size_t max_samples, const std::string& text) {
+  if (diff->samples.size() < max_samples) diff->samples.push_back(text);
+}
+
+std::string InstanceName(const Instance& inst) {
+  std::ostringstream out;
+  out << "#" << inst.id;
+  if (!inst.labels.empty()) out << " \"" << inst.labels.front() << "\"";
+  return out.str();
+}
+
+/// property -> serialized values (a property can hold several facts; the
+/// pipeline writes at most one, but the diff must not assume that).
+std::map<PropertyId, std::vector<std::string>> FactMap(const Instance& inst) {
+  std::map<PropertyId, std::vector<std::string>> facts;
+  for (const Fact& fact : inst.facts) {
+    facts[fact.property].push_back(SerializeValue(fact.value));
+  }
+  for (auto& [property, values] : facts) std::sort(values.begin(), values.end());
+  return facts;
+}
+
+std::string PropertyName(const KnowledgeBase& kb, PropertyId property) {
+  if (property >= 0 && static_cast<size_t>(property) < kb.num_properties()) {
+    return kb.property(property).name;
+  }
+  return "property" + std::to_string(property);
+}
+
+bool SchemaEqual(const KnowledgeBase& a, const KnowledgeBase& b) {
+  if (a.num_classes() != b.num_classes() ||
+      a.num_properties() != b.num_properties()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.num_classes(); ++c) {
+    const ClassSpec& ca = a.cls(static_cast<ClassId>(c));
+    const ClassSpec& cb = b.cls(static_cast<ClassId>(c));
+    if (ca.name != cb.name || ca.parent != cb.parent) return false;
+  }
+  for (size_t p = 0; p < a.num_properties(); ++p) {
+    const PropertySpec& pa = a.property(static_cast<PropertyId>(p));
+    const PropertySpec& pb = b.property(static_cast<PropertyId>(p));
+    if (pa.name != pb.name || pa.cls != pb.cls || pa.type != pb.type ||
+        pa.labels != pb.labels) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+KbDiff DiffKnowledgeBases(const KnowledgeBase& before,
+                          const KnowledgeBase& after, size_t max_samples) {
+  KbDiff diff;
+  if (!SchemaEqual(before, after)) {
+    diff.schema_differs = true;
+    AddSample(&diff, max_samples, "schema differs (classes or properties)");
+  }
+
+  const size_t common = std::min(before.num_instances(), after.num_instances());
+  for (size_t i = 0; i < common; ++i) {
+    const Instance& a = before.instance(static_cast<InstanceId>(i));
+    const Instance& b = after.instance(static_cast<InstanceId>(i));
+    if (a.cls != b.cls || a.labels != b.labels) {
+      diff.instances_changed += 1;
+      AddSample(&diff, max_samples,
+                "~ entity " + InstanceName(a) + ": class/labels changed");
+    }
+    const auto facts_a = FactMap(a);
+    const auto facts_b = FactMap(b);
+    for (const auto& [property, values] : facts_a) {
+      auto it = facts_b.find(property);
+      if (it == facts_b.end()) {
+        diff.facts_removed += values.size();
+        AddSample(&diff, max_samples,
+                  "- fact " + InstanceName(a) + "." +
+                      PropertyName(before, property));
+      } else if (it->second != values) {
+        diff.facts_changed += std::max(values.size(), it->second.size());
+        AddSample(&diff, max_samples,
+                  "~ fact " + InstanceName(a) + "." +
+                      PropertyName(before, property) + ": " + values.front() +
+                      " -> " + it->second.front());
+      }
+    }
+    for (const auto& [property, values] : facts_b) {
+      if (facts_a.find(property) == facts_a.end()) {
+        diff.facts_added += values.size();
+        AddSample(&diff, max_samples,
+                  "+ fact " + InstanceName(b) + "." +
+                      PropertyName(after, property));
+      }
+    }
+  }
+
+  for (size_t i = common; i < after.num_instances(); ++i) {
+    const Instance& b = after.instance(static_cast<InstanceId>(i));
+    diff.instances_added += 1;
+    diff.facts_added += b.facts.size();
+    AddSample(&diff, max_samples, "+ entity " + InstanceName(b) + " (" +
+                                      std::to_string(b.facts.size()) +
+                                      " facts)");
+  }
+  for (size_t i = common; i < before.num_instances(); ++i) {
+    const Instance& a = before.instance(static_cast<InstanceId>(i));
+    diff.instances_removed += 1;
+    diff.facts_removed += a.facts.size();
+    AddSample(&diff, max_samples, "- entity " + InstanceName(a) + " (" +
+                                      std::to_string(a.facts.size()) +
+                                      " facts)");
+  }
+  return diff;
+}
+
+}  // namespace ltee::kb

@@ -1,0 +1,45 @@
+#ifndef LTEE_KB_DIFF_H_
+#define LTEE_KB_DIFF_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace ltee::kb {
+
+/// Entity/fact-level difference between two knowledge bases, aligned by
+/// instance id (the KB is append-only, so common ids are comparable and
+/// ids beyond the shorter KB are adds/removals).
+struct KbDiff {
+  bool schema_differs = false;
+  size_t instances_added = 0;    // in `after` beyond `before`
+  size_t instances_removed = 0;  // in `before` beyond `after`
+  size_t instances_changed = 0;  // common id with different class/labels
+  size_t facts_added = 0;
+  size_t facts_removed = 0;
+  size_t facts_changed = 0;
+  /// Human-readable renderings of the first differences found, capped at
+  /// the `max_samples` passed to DiffKnowledgeBases.
+  std::vector<std::string> samples;
+
+  bool identical() const {
+    return !schema_differs && instances_added == 0 && instances_removed == 0 &&
+           instances_changed == 0 && facts_added == 0 && facts_removed == 0 &&
+           facts_changed == 0;
+  }
+};
+
+/// Compares two KBs: schema (classes + properties by id), then every
+/// instance by id — class, labels, and facts (per property, values
+/// compared on their serialized form). Fact adds/removals/changes on a
+/// common instance count as fact-level differences; instances present in
+/// only one KB count once as instance added/removed plus their fact count.
+KbDiff DiffKnowledgeBases(const KnowledgeBase& before,
+                          const KnowledgeBase& after,
+                          size_t max_samples = 20);
+
+}  // namespace ltee::kb
+
+#endif  // LTEE_KB_DIFF_H_

@@ -52,6 +52,17 @@ void KnowledgeBase::AddFact(InstanceId instance, PropertyId property,
   instances_[instance].facts.push_back(Fact{property, std::move(value)});
 }
 
+bool KnowledgeBase::ReplaceFact(InstanceId instance, PropertyId property,
+                                types::Value value) {
+  for (Fact& f : instances_[instance].facts) {
+    if (f.property == property) {
+      f.value = std::move(value);
+      return true;
+    }
+  }
+  return false;
+}
+
 void KnowledgeBase::SetAbstractTokens(InstanceId instance,
                                       std::vector<std::string> tokens) {
   instances_[instance].abstract_tokens = std::move(tokens);

@@ -91,6 +91,11 @@ class KnowledgeBase {
   InstanceId AddInstance(ClassId cls, std::vector<std::string> labels,
                          double popularity = 0.0);
   void AddFact(InstanceId instance, PropertyId property, types::Value value);
+  /// Overwrites the value of an existing fact. Returns false (and changes
+  /// nothing) when the instance has no fact for `property` — use AddFact
+  /// to create the slot.
+  bool ReplaceFact(InstanceId instance, PropertyId property,
+                   types::Value value);
   void SetAbstractTokens(InstanceId instance, std::vector<std::string> tokens);
 
   // -- accessors ----------------------------------------------------------

@@ -17,6 +17,11 @@ struct ColumnMatch {
   kb::PropertyId property = kb::kInvalidProperty;
   /// Aggregated matcher score of the winning property (0 when unmatched).
   double score = 0.0;
+
+  /// Exact field equality (scores included) — the delta pipeline's mapping
+  /// diff must treat any numeric drift as a change, since downstream
+  /// stages consume the scores.
+  bool operator==(const ColumnMatch&) const = default;
 };
 
 /// Schema-matching result for one table.
@@ -30,6 +35,8 @@ struct TableMapping {
   /// matching (duplicate-based; -1 where no instance matched). Used by the
   /// KBT fusion scorer and the Table 4 profiling.
   std::vector<kb::InstanceId> row_instance;
+
+  bool operator==(const TableMapping&) const = default;
 };
 
 /// Schema-matching result for a corpus, indexed by table id.

@@ -1,0 +1,402 @@
+#include "pipeline/delta.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "pipeline/dedup.h"
+#include "pipeline/slot_filling.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace ltee::pipeline {
+
+namespace {
+
+constexpr char kHeaderTag[] = "DSTATE1";
+
+/// %.17g survives a text round trip bit-exactly for every finite double, so
+/// a reloaded baseline mapping compares equal (operator==) to the in-memory
+/// one that produced it — the mapping diff must never see false drift.
+std::string FormatDouble(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool ParseI64(const std::string& s, long long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Sequential line reader with a one-line error context.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  bool Next(std::vector<std::string>* fields) {
+    std::string line;
+    if (!std::getline(in_, line)) return false;
+    ++line_number_;
+    *fields = SplitFields(line);
+    return true;
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  std::istream& in_;
+  int line_number_ = 0;
+};
+
+void WriteMapping(const matching::SchemaMapping& mapping, int iteration,
+                  std::ostream& out) {
+  out << "I\t" << iteration << '\t' << mapping.tables.size() << '\n';
+  for (const matching::TableMapping& tm : mapping.tables) {
+    out << "T\t" << tm.table << '\t' << tm.label_column << '\t' << tm.cls
+        << '\t' << FormatDouble(tm.class_score) << '\t' << tm.columns.size()
+        << '\t' << tm.row_instance.size() << '\n';
+    for (const matching::ColumnMatch& col : tm.columns) {
+      out << "A\t" << static_cast<int>(col.detected) << '\t' << col.property
+          << '\t' << FormatDouble(col.score) << '\n';
+    }
+    if (!tm.row_instance.empty()) {
+      out << 'R';
+      for (kb::InstanceId inst : tm.row_instance) out << '\t' << inst;
+      out << '\n';
+    }
+  }
+}
+
+void WriteFeedback(const ClassFeedback& fb, int iteration, int k,
+                   std::ostream& out) {
+  out << "F\t" << iteration << '\t' << k << '\t' << fb.cls << '\t'
+      << fb.num_clusters << '\t' << fb.row_clusters.size() << '\t'
+      << fb.row_instances.size() << '\n';
+  for (const auto& [row, cluster] : fb.row_clusters) {
+    out << "FC\t" << row.table << '\t' << row.row << '\t' << cluster << '\n';
+  }
+  for (const auto& [row, instance] : fb.row_instances) {
+    out << "FR\t" << row.table << '\t' << row.row << '\t' << instance << '\n';
+  }
+}
+
+#define LTEE_DELTA_PARSE_FAIL(reader, what)                              \
+  do {                                                                   \
+    LTEE_LOG(kError) << "delta state parse error at line "               \
+                     << (reader).line_number() << ": " << (what);        \
+    return std::nullopt;                                                 \
+  } while (0)
+
+std::optional<matching::SchemaMapping> ReadMapping(LineReader& reader,
+                                                   int expected_iteration) {
+  std::vector<std::string> f;
+  if (!reader.Next(&f) || f.size() != 3 || f[0] != "I") {
+    LTEE_DELTA_PARSE_FAIL(reader, "expected I record");
+  }
+  long long iter = 0, num_tables = 0;
+  if (!ParseI64(f[1], &iter) || !ParseI64(f[2], &num_tables) ||
+      iter != expected_iteration || num_tables < 0) {
+    LTEE_DELTA_PARSE_FAIL(reader, "bad I record");
+  }
+  matching::SchemaMapping mapping;
+  mapping.tables.reserve(static_cast<size_t>(num_tables));
+  for (long long t = 0; t < num_tables; ++t) {
+    if (!reader.Next(&f) || f.size() != 7 || f[0] != "T") {
+      LTEE_DELTA_PARSE_FAIL(reader, "expected T record");
+    }
+    long long table = 0, label_column = 0, cls = 0, ncols = 0, nrows = 0;
+    double class_score = 0.0;
+    if (!ParseI64(f[1], &table) || !ParseI64(f[2], &label_column) ||
+        !ParseI64(f[3], &cls) || !ParseDouble(f[4], &class_score) ||
+        !ParseI64(f[5], &ncols) || !ParseI64(f[6], &nrows) || ncols < 0 ||
+        nrows < 0) {
+      LTEE_DELTA_PARSE_FAIL(reader, "bad T record");
+    }
+    matching::TableMapping tm;
+    tm.table = static_cast<webtable::TableId>(table);
+    tm.label_column = static_cast<int>(label_column);
+    tm.cls = static_cast<kb::ClassId>(cls);
+    tm.class_score = class_score;
+    tm.columns.reserve(static_cast<size_t>(ncols));
+    for (long long c = 0; c < ncols; ++c) {
+      if (!reader.Next(&f) || f.size() != 4 || f[0] != "A") {
+        LTEE_DELTA_PARSE_FAIL(reader, "expected A record");
+      }
+      long long detected = 0, property = 0;
+      double score = 0.0;
+      if (!ParseI64(f[1], &detected) || !ParseI64(f[2], &property) ||
+          !ParseDouble(f[3], &score) || detected < 0 || detected > 2) {
+        LTEE_DELTA_PARSE_FAIL(reader, "bad A record");
+      }
+      matching::ColumnMatch col;
+      col.detected = static_cast<types::DetectedType>(detected);
+      col.property = static_cast<kb::PropertyId>(property);
+      col.score = score;
+      tm.columns.push_back(col);
+    }
+    if (nrows > 0) {
+      if (!reader.Next(&f) ||
+          f.size() != static_cast<size_t>(nrows) + 1 || f[0] != "R") {
+        LTEE_DELTA_PARSE_FAIL(reader, "expected R record");
+      }
+      tm.row_instance.reserve(static_cast<size_t>(nrows));
+      for (long long r = 0; r < nrows; ++r) {
+        long long inst = 0;
+        if (!ParseI64(f[static_cast<size_t>(r) + 1], &inst)) {
+          LTEE_DELTA_PARSE_FAIL(reader, "bad R record");
+        }
+        tm.row_instance.push_back(static_cast<kb::InstanceId>(inst));
+      }
+    }
+    mapping.tables.push_back(std::move(tm));
+  }
+  return mapping;
+}
+
+std::optional<ClassFeedback> ReadFeedback(LineReader& reader,
+                                          int expected_iteration,
+                                          int expected_k) {
+  std::vector<std::string> f;
+  if (!reader.Next(&f) || f.size() != 7 || f[0] != "F") {
+    LTEE_DELTA_PARSE_FAIL(reader, "expected F record");
+  }
+  long long iter = 0, k = 0, cls = 0, num_clusters = 0, nrc = 0, nri = 0;
+  if (!ParseI64(f[1], &iter) || !ParseI64(f[2], &k) || !ParseI64(f[3], &cls) ||
+      !ParseI64(f[4], &num_clusters) || !ParseI64(f[5], &nrc) ||
+      !ParseI64(f[6], &nri) || iter != expected_iteration ||
+      k != expected_k || nrc < 0 || nri < 0) {
+    LTEE_DELTA_PARSE_FAIL(reader, "bad F record");
+  }
+  ClassFeedback fb;
+  fb.cls = static_cast<kb::ClassId>(cls);
+  fb.num_clusters = static_cast<int>(num_clusters);
+  fb.row_clusters.reserve(static_cast<size_t>(nrc));
+  for (long long i = 0; i < nrc; ++i) {
+    if (!reader.Next(&f) || f.size() != 4 || f[0] != "FC") {
+      LTEE_DELTA_PARSE_FAIL(reader, "expected FC record");
+    }
+    long long table = 0, row = 0, cluster = 0;
+    if (!ParseI64(f[1], &table) || !ParseI64(f[2], &row) ||
+        !ParseI64(f[3], &cluster)) {
+      LTEE_DELTA_PARSE_FAIL(reader, "bad FC record");
+    }
+    fb.row_clusters.emplace_back(
+        webtable::RowRef{static_cast<webtable::TableId>(table),
+                         static_cast<int32_t>(row)},
+        static_cast<int>(cluster));
+  }
+  fb.row_instances.reserve(static_cast<size_t>(nri));
+  for (long long i = 0; i < nri; ++i) {
+    if (!reader.Next(&f) || f.size() != 4 || f[0] != "FR") {
+      LTEE_DELTA_PARSE_FAIL(reader, "expected FR record");
+    }
+    long long table = 0, row = 0, instance = 0;
+    if (!ParseI64(f[1], &table) || !ParseI64(f[2], &row) ||
+        !ParseI64(f[3], &instance)) {
+      LTEE_DELTA_PARSE_FAIL(reader, "bad FR record");
+    }
+    fb.row_instances.emplace_back(
+        webtable::RowRef{static_cast<webtable::TableId>(table),
+                         static_cast<int32_t>(row)},
+        static_cast<kb::InstanceId>(instance));
+  }
+  return fb;
+}
+
+}  // namespace
+
+void SaveDeltaState(const DeltaState& state, std::ostream& out) {
+  out << kHeaderTag << '\t' << state.seed << '\t' << (state.dedup ? 1 : 0)
+      << '\t' << state.min_facts << '\t' << state.snapshot_version << '\n';
+  out << 'C' << '\t' << state.classes.size();
+  for (kb::ClassId cls : state.classes) out << '\t' << cls;
+  out << '\n';
+  out << "M\t" << state.mappings.size() << '\n';
+  for (size_t i = 0; i < state.mappings.size(); ++i) {
+    WriteMapping(state.mappings[i], static_cast<int>(i), out);
+  }
+  out << "FB\t" << state.feedback.size() << '\t' << state.classes.size()
+      << '\n';
+  for (size_t i = 0; i < state.feedback.size(); ++i) {
+    for (size_t k = 0; k < state.feedback[i].size(); ++k) {
+      WriteFeedback(state.feedback[i][k], static_cast<int>(i),
+                    static_cast<int>(k), out);
+    }
+  }
+  out << "CHANGESET\n";
+  kb::SaveChangeSet(state.changes, out);
+}
+
+std::optional<DeltaState> LoadDeltaState(std::istream& in) {
+  LineReader reader(in);
+  std::vector<std::string> f;
+  if (!reader.Next(&f) || f.size() != 5 || f[0] != kHeaderTag) {
+    LTEE_DELTA_PARSE_FAIL(reader, "expected DSTATE1 header");
+  }
+  DeltaState state;
+  long long seed = 0, dedup = 0, min_facts = 0, version = 0;
+  if (!ParseI64(f[1], &seed) || !ParseI64(f[2], &dedup) ||
+      !ParseI64(f[3], &min_facts) || !ParseI64(f[4], &version) ||
+      (dedup != 0 && dedup != 1) || min_facts < 0 || version < 0) {
+    LTEE_DELTA_PARSE_FAIL(reader, "bad DSTATE1 header");
+  }
+  state.seed = static_cast<uint64_t>(seed);
+  state.dedup = dedup == 1;
+  state.min_facts = static_cast<size_t>(min_facts);
+  state.snapshot_version = static_cast<uint64_t>(version);
+  if (!reader.Next(&f) || f.size() < 2 || f[0] != "C") {
+    LTEE_DELTA_PARSE_FAIL(reader, "expected C record");
+  }
+  long long num_classes = 0;
+  if (!ParseI64(f[1], &num_classes) || num_classes < 0 ||
+      f.size() != static_cast<size_t>(num_classes) + 2) {
+    LTEE_DELTA_PARSE_FAIL(reader, "bad C record");
+  }
+  state.classes.reserve(static_cast<size_t>(num_classes));
+  for (long long i = 0; i < num_classes; ++i) {
+    long long cls = 0;
+    if (!ParseI64(f[static_cast<size_t>(i) + 2], &cls)) {
+      LTEE_DELTA_PARSE_FAIL(reader, "bad C record class id");
+    }
+    state.classes.push_back(static_cast<kb::ClassId>(cls));
+  }
+  if (!reader.Next(&f) || f.size() != 2 || f[0] != "M") {
+    LTEE_DELTA_PARSE_FAIL(reader, "expected M record");
+  }
+  long long num_iterations = 0;
+  if (!ParseI64(f[1], &num_iterations) || num_iterations < 0) {
+    LTEE_DELTA_PARSE_FAIL(reader, "bad M record");
+  }
+  state.mappings.reserve(static_cast<size_t>(num_iterations));
+  for (long long i = 0; i < num_iterations; ++i) {
+    auto mapping = ReadMapping(reader, static_cast<int>(i));
+    if (!mapping) return std::nullopt;
+    state.mappings.push_back(std::move(*mapping));
+  }
+  if (!reader.Next(&f) || f.size() != 3 || f[0] != "FB") {
+    LTEE_DELTA_PARSE_FAIL(reader, "expected FB record");
+  }
+  long long fb_iterations = 0, fb_classes = 0;
+  if (!ParseI64(f[1], &fb_iterations) || !ParseI64(f[2], &fb_classes) ||
+      fb_iterations < 0 || fb_classes != num_classes) {
+    LTEE_DELTA_PARSE_FAIL(reader, "bad FB record");
+  }
+  state.feedback.resize(static_cast<size_t>(fb_iterations));
+  for (long long i = 0; i < fb_iterations; ++i) {
+    auto& per_class = state.feedback[static_cast<size_t>(i)];
+    per_class.reserve(static_cast<size_t>(fb_classes));
+    for (long long k = 0; k < fb_classes; ++k) {
+      auto fb = ReadFeedback(reader, static_cast<int>(i),
+                             static_cast<int>(k));
+      if (!fb) return std::nullopt;
+      per_class.push_back(std::move(*fb));
+    }
+  }
+  if (!reader.Next(&f) || f.size() != 1 || f[0] != "CHANGESET") {
+    LTEE_DELTA_PARSE_FAIL(reader, "expected CHANGESET sentinel");
+  }
+  auto changes = kb::LoadChangeSet(in);
+  if (!changes) {
+    LTEE_LOG(kError) << "delta state parse error: bad changeset section";
+    return std::nullopt;
+  }
+  state.changes = std::move(*changes);
+  return state;
+}
+
+#undef LTEE_DELTA_PARSE_FAIL
+
+StagedClassChange StageClassRun(const kb::KnowledgeBase& kb,
+                                const ClassRunResult& class_run,
+                                const StageClassOptions& options) {
+  std::vector<fusion::CreatedEntity> entities = class_run.entities;
+  std::vector<newdetect::Detection> detections = class_run.detections;
+  StagedClassChange out;
+  if (options.dedup) {
+    DedupResult dedup =
+        DeduplicateEntities(std::move(entities), std::move(detections));
+    entities = std::move(dedup.entities);
+    detections = std::move(dedup.detections);
+    out.dedup_merges = dedup.merges;
+  }
+  if (options.ntriples != nullptr) {
+    ExportNTriples(kb, entities, detections, options.uri_prefix,
+                   *options.ntriples, options.update);
+  }
+  SlotFillingResult fills = FillSlots(kb, entities, detections);
+  out.confirmations = fills.confirmations;
+  out.conflicts = fills.conflicts;
+  out.change = BuildClassChange(class_run.cls, entities, detections,
+                                fills.new_facts, options.update);
+  return out;
+}
+
+DeltaIngestResult DeltaIngest(const LteePipeline& pipe,
+                              webtable::TableCorpus* corpus,
+                              std::vector<webtable::WebTable> batch,
+                              DeltaState* state) {
+  util::trace::ScopedSpan span("pipeline.delta_ingest");
+  span.AddArg("batch_tables", batch.size());
+  DeltaIngestResult result;
+  result.new_tables = batch.size();
+  for (webtable::WebTable& table : batch) {
+    corpus->Add(std::move(table));
+  }
+  StageContext ctx;
+  ctx.corpus = corpus;
+  ctx.classes = state->classes;
+  ctx.scope = ClassScope::Of({});
+  ctx.baseline.mappings = &state->mappings;
+  ctx.baseline.feedback = &state->feedback;
+  result.run = pipe.RunScoped(ctx);
+  result.recomputed = result.run.recomputed;
+  StageClassOptions options;
+  options.dedup = state->dedup;
+  options.update.min_facts = state->min_facts;
+  for (const ClassRunResult& class_run : result.run.classes) {
+    StagedClassChange staged =
+        StageClassRun(pipe.knowledge_base(), class_run, options);
+    state->changes.Replace(std::move(staged.change));
+  }
+  state->mappings = result.run.mappings;
+  state->feedback = result.run.feedback;
+  span.AddArg("recomputed_classes", result.recomputed.size());
+  util::Metrics().GetCounter("ltee.delta.ingests").Increment(1);
+  util::Metrics()
+      .GetCounter("ltee.delta.tables_ingested")
+      .Increment(result.new_tables);
+  util::Metrics()
+      .GetCounter("ltee.delta.classes_recomputed")
+      .Increment(result.recomputed.size());
+  return result;
+}
+
+}  // namespace ltee::pipeline

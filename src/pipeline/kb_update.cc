@@ -40,13 +40,16 @@ std::string LiteralOf(const types::Value& v) {
 
 }  // namespace
 
-KbUpdateResult AddNewEntitiesToKb(
-    kb::KnowledgeBase* kb, const std::vector<fusion::CreatedEntity>& entities,
+kb::ClassChange BuildClassChange(
+    kb::ClassId cls, const std::vector<fusion::CreatedEntity>& entities,
     const std::vector<newdetect::Detection>& detections,
-    const KbUpdateOptions& options) {
-  util::trace::ScopedSpan span("pipeline.kb_update");
-  span.AddArg("entities", entities.size());
-  KbUpdateResult result;
+    const std::vector<SlotFill>& fills, const KbUpdateOptions& options) {
+  kb::ClassChange change;
+  change.cls = cls;
+  for (const SlotFill& fill : fills) {
+    change.fact_adds.push_back(
+        kb::FactAdd{fill.instance, fill.property, fill.value});
+  }
   const bool prov_enabled = prov::IsEnabled();
   for (size_t e = 0; e < entities.size(); ++e) {
     if (!detections[e].is_new) continue;
@@ -64,32 +67,38 @@ KbUpdateResult AddNewEntitiesToKb(
       }
       continue;
     }
-    const kb::InstanceId id = kb->AddInstance(entity.cls, entity.labels);
-    for (const auto& fact : entity.facts) {
-      kb->AddFact(id, fact.property, fact.value);
-      result.facts_added += 1;
-      if (prov_enabled) {
-        prov::KbUpdateDecision decision;
-        decision.cls = entity.cls;
-        decision.cluster_id = entity.cluster_id;
-        decision.subject = entity.labels.front();
-        decision.property = fact.property;
-        decision.property_name = kb->property(fact.property).name;
-        decision.value = fact.value.ToString();
-        decision.accepted = true;
-        decision.reason = "new_entity";
-        prov::Record(std::move(decision));
-      }
-    }
-    result.new_instance_ids.push_back(id);
-    result.instances_added += 1;
+    kb::EntityAdd add;
+    add.cls = entity.cls;
+    add.cluster_id = entity.cluster_id;
+    add.labels = entity.labels;
+    add.facts = entity.facts;
+    change.entities.push_back(std::move(add));
+  }
+  return change;
+}
+
+KbUpdateResult AddNewEntitiesToKb(
+    kb::KnowledgeBase* kb, const std::vector<fusion::CreatedEntity>& entities,
+    const std::vector<newdetect::Detection>& detections,
+    const KbUpdateOptions& options) {
+  util::trace::ScopedSpan span("pipeline.kb_update");
+  span.AddArg("entities", entities.size());
+  kb::Applier applier(kb);
+  kb::ClassChange change = BuildClassChange(
+      entities.empty() ? kb::kInvalidClass : entities.front().cls, entities,
+      detections, /*fills=*/{}, options);
+  applier.Stage(std::move(change));
+  const kb::ApplyOutcome outcome = applier.Apply();
+  KbUpdateResult result;
+  result.instances_added = outcome.instances_added;
+  result.facts_added = outcome.facts_added;
+  for (const kb::ClassApplyOutcome& cls_outcome : outcome.classes) {
+    result.new_instance_ids.insert(result.new_instance_ids.end(),
+                                   cls_outcome.new_instance_ids.begin(),
+                                   cls_outcome.new_instance_ids.end());
   }
   span.AddArg("instances_added", static_cast<long long>(result.instances_added));
   span.AddArg("facts_added", static_cast<long long>(result.facts_added));
-  util::Metrics().GetCounter("ltee.kbupdate.instances_added")
-      .Increment(static_cast<uint64_t>(result.instances_added));
-  util::Metrics().GetCounter("ltee.kbupdate.facts_added")
-      .Increment(static_cast<uint64_t>(result.facts_added));
   return result;
 }
 

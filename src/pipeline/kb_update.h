@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "fusion/entity.h"
+#include "kb/applier.h"
 #include "kb/knowledge_base.h"
 #include "newdetect/new_detector.h"
+#include "pipeline/slot_filling.h"
 
 namespace ltee::pipeline {
 
@@ -25,8 +27,22 @@ struct KbUpdateOptions {
   size_t min_facts = 0;
 };
 
+/// Builds the typed ClassChange of one class sweep, the unit the
+/// kb::Applier stages: every detected-new entity that clears the label and
+/// min-facts filters becomes an EntityAdd, every proposed slot fill a
+/// FactAdd. Rejections (no_labels / below_min_facts) are recorded in the
+/// provenance ledger here; acceptances are recorded when the changeset is
+/// applied, so building and applying together emit exactly the events the
+/// legacy in-place path emitted.
+kb::ClassChange BuildClassChange(
+    kb::ClassId cls, const std::vector<fusion::CreatedEntity>& entities,
+    const std::vector<newdetect::Detection>& detections,
+    const std::vector<SlotFill>& fills, const KbUpdateOptions& options = {});
+
 /// Adds every entity classified as new to `kb` as a fresh instance of its
 /// class, with its labels and fused facts. Returns what was added.
+/// Implemented as BuildClassChange + kb::Applier::Apply; kept as the
+/// convenience entry point for callers that stage and apply in one step.
 KbUpdateResult AddNewEntitiesToKb(
     kb::KnowledgeBase* kb, const std::vector<fusion::CreatedEntity>& entities,
     const std::vector<newdetect::Detection>& detections,

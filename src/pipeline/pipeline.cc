@@ -45,7 +45,12 @@ const webtable::PreparedCorpus& LteePipeline::Prepared(
     const webtable::TableCorpus& corpus) const {
   std::unique_lock<std::mutex> lock(prepared_mu_);
   auto it = prepared_.find(&corpus);
-  if (it != prepared_.end()) return *it->second;
+  if (it != prepared_.end()) {
+    // Delta ingestion appends tables to an already-prepared corpus; extend
+    // the prepared view in place (token ids interned so far stay stable).
+    if (it->second->size() < corpus.size()) it->second->Append(&Pool());
+    return *it->second;
+  }
   util::ThreadPool& pool = Pool();
   auto built = std::make_unique<webtable::PreparedCorpus>(corpus, dict_, &pool);
   it = prepared_.emplace(&corpus, std::move(built)).first;
@@ -124,29 +129,78 @@ ClassRunResult LteePipeline::RunClass(const webtable::TableCorpus& corpus,
 void LteePipeline::CollectFeedback(const std::vector<ClassRunResult>& classes,
                                    matching::RowInstanceMap* instances,
                                    matching::RowClusterMap* clusters) {
-  int offset = 0;
+  std::vector<ClassFeedback> feedback;
+  feedback.reserve(classes.size());
   for (const auto& result : classes) {
-    for (size_t i = 0; i < result.rows.rows.size(); ++i) {
-      const auto& ref = result.rows.rows[i].ref;
-      if (result.cluster_of_row[i] >= 0) {
-        (*clusters)[ref] = offset + result.cluster_of_row[i];
+    feedback.push_back(ExtractClassFeedback(result));
+  }
+  MergeClassFeedback(feedback, instances, clusters);
+}
+
+ClassFeedback LteePipeline::ExtractClassFeedback(const ClassRunResult& result) {
+  ClassFeedback feedback;
+  feedback.cls = result.cls;
+  feedback.num_clusters = result.num_clusters;
+  for (size_t i = 0; i < result.rows.rows.size(); ++i) {
+    if (result.cluster_of_row[i] >= 0) {
+      feedback.row_clusters.emplace_back(result.rows.rows[i].ref,
+                                         result.cluster_of_row[i]);
+    }
+  }
+  for (size_t e = 0; e < result.entities.size(); ++e) {
+    const auto& detection = result.detections[e];
+    if (!detection.is_new && detection.instance != kb::kInvalidInstance) {
+      for (const auto& ref : result.entities[e].rows) {
+        feedback.row_instances.emplace_back(ref, detection.instance);
       }
     }
-    for (size_t e = 0; e < result.entities.size(); ++e) {
-      const auto& detection = result.detections[e];
-      if (!detection.is_new && detection.instance != kb::kInvalidInstance) {
-        for (const auto& ref : result.entities[e].rows) {
-          (*instances)[ref] = detection.instance;
-        }
-      }
+  }
+  return feedback;
+}
+
+void LteePipeline::MergeClassFeedback(
+    const std::vector<ClassFeedback>& classes,
+    matching::RowInstanceMap* instances, matching::RowClusterMap* clusters) {
+  int offset = 0;
+  for (const ClassFeedback& feedback : classes) {
+    for (const auto& [ref, cluster] : feedback.row_clusters) {
+      (*clusters)[ref] = offset + cluster;
     }
-    offset += result.num_clusters;
+    for (const auto& [ref, instance] : feedback.row_instances) {
+      (*instances)[ref] = instance;
+    }
+    offset += feedback.num_clusters;
   }
 }
 
 PipelineRunResult LteePipeline::Run(
     const webtable::TableCorpus& corpus,
     const std::vector<kb::ClassId>& classes) const {
+  StageContext ctx;
+  ctx.corpus = &corpus;
+  ctx.classes = classes;
+  ctx.scope = ClassScope::All();
+  return RunScoped(ctx);
+}
+
+PipelineRunResult LteePipeline::RunScoped(const StageContext& ctx) const {
+  const std::vector<kb::ClassId>& classes = ctx.classes;
+  bool delta = ctx.has_baseline();
+  if (delta) {
+    const size_t iterations = static_cast<size_t>(options_.iterations);
+    bool shape_ok = ctx.baseline.mappings->size() == iterations &&
+                    ctx.baseline.feedback->size() == iterations;
+    for (size_t i = 0; shape_ok && i < iterations; ++i) {
+      shape_ok = (*ctx.baseline.feedback)[i].size() == classes.size();
+    }
+    if (!shape_ok) {
+      LTEE_LOG(kWarning) << "RunScoped: baseline shape does not match the "
+                            "configured iterations/classes; running full "
+                            "scope without reuse";
+      delta = false;
+    }
+  }
+
   PipelineRunResult out;
   matching::RowInstanceMap instances;
   matching::RowClusterMap clusters;
@@ -154,6 +208,7 @@ PipelineRunResult LteePipeline::Run(
   util::trace::ScopedSpan run_span("pipeline.run");
   run_span.AddArg("classes", classes.size());
   run_span.AddArg("iterations", static_cast<long long>(options_.iterations));
+  run_span.AddArg("delta", delta ? "true" : "false");
   util::WallTimer run_timer;
   util::WallTimer stage_timer;
 
@@ -166,15 +221,16 @@ PipelineRunResult LteePipeline::Run(
       util::Metrics().GetGauge("ltee.pipeline.iteration");
   util::Gauge& classes_done_gauge =
       util::Metrics().GetGauge("ltee.pipeline.classes_done");
-  util::Metrics()
-      .GetGauge("ltee.pipeline.classes_total")
-      .Set(static_cast<double>(classes.size()));
+  util::Gauge& classes_total_gauge =
+      util::Metrics().GetGauge("ltee.pipeline.classes_total");
+  classes_total_gauge.Set(static_cast<double>(classes.size()));
   double stage_ordinal = 0.0;
   stage_gauge.Set(stage_ordinal);
   iteration_gauge.Set(0.0);
   classes_done_gauge.Set(0.0);
 
-  const webtable::PreparedCorpus& prepared = Prepared(corpus);
+  // Prepares new tables in place when the corpus grew since the last run.
+  const webtable::PreparedCorpus& prepared = Prepared(*ctx.corpus);
   out.report.stages.push_back(
       {"prepare_corpus", stage_timer.ElapsedSeconds()});
   stage_gauge.Set(++stage_ordinal);
@@ -204,28 +260,50 @@ PipelineRunResult LteePipeline::Run(
         {"schema_match" + iter_suffix, stage_timer.ElapsedSeconds()});
     stage_gauge.Set(++stage_ordinal);
 
-    // Classes are independent given the mapping; run them on the pool and
-    // collect into class order so feedback merging stays deterministic.
+    // The sweep scope: everything for a full run; for a delta run the
+    // initial scope plus every class whose mapping drifted from the
+    // baseline this iteration (new tables always count as drift).
+    ClassScope sweep = ctx.scope;
+    if (delta) {
+      const MappingDiff diff =
+          DiffMappings((*ctx.baseline.mappings)[iteration], mapping);
+      for (kb::ClassId cls : diff.classes) sweep.Add(cls);
+    }
+    std::vector<char> swept(classes.size(), 0);
+    size_t num_swept = 0;
+    for (size_t i = 0; i < classes.size(); ++i) {
+      swept[i] = sweep.contains(classes[i]) ? 1 : 0;
+      num_swept += swept[i];
+    }
+    classes_total_gauge.Set(static_cast<double>(num_swept));
+
+    // Classes are independent given the mapping; run the in-scope ones on
+    // the pool and collect into class order so feedback merging stays
+    // deterministic.
     stage_timer.Restart();
     classes_done_gauge.Set(0.0);
     std::vector<ClassRunResult> class_results(classes.size());
     {
       util::trace::ScopedSpan classes_span("pipeline.class_sweep");
       classes_span.AddArg("iteration", static_cast<long long>(iteration + 1));
+      classes_span.AddArg("in_scope", num_swept);
       util::ThreadPool* pool = nullptr;
       {
         std::unique_lock<std::mutex> lock(prepared_mu_);
         pool = &Pool();
       }
       pool->ParallelFor(classes.size(), [&](size_t i) {
-        class_results[i] = RunClass(corpus, mapping, classes[i]);
+        if (swept[i] == 0) return;
+        class_results[i] = RunClass(*ctx.corpus, mapping, classes[i]);
         classes_done_gauge.Add(1.0);
       });
     }
     out.report.stages.push_back(
         {"class_sweep" + iter_suffix, stage_timer.ElapsedSeconds()});
     stage_gauge.Set(++stage_ordinal);
-    for (const ClassRunResult& result : class_results) {
+    for (size_t i = 0; i < classes.size(); ++i) {
+      if (swept[i] == 0) continue;
+      const ClassRunResult& result = class_results[i];
       ClassStageReport report;
       report.cls = result.cls;
       report.iteration = iteration + 1;
@@ -234,17 +312,33 @@ PipelineRunResult LteePipeline::Run(
       out.report.classes.push_back(std::move(report));
     }
 
+    // Feedback: freshly extracted for swept classes, replayed from the
+    // baseline for the rest. Merging happens in run-class order either
+    // way, so cluster-id offsets come out identical to a full run.
     stage_timer.Restart();
+    std::vector<ClassFeedback> iteration_feedback(classes.size());
+    for (size_t i = 0; i < classes.size(); ++i) {
+      if (swept[i] != 0) {
+        iteration_feedback[i] = ExtractClassFeedback(class_results[i]);
+      } else {
+        iteration_feedback[i] = (*ctx.baseline.feedback)[iteration][i];
+      }
+    }
     instances.clear();
     clusters.clear();
-    CollectFeedback(class_results, &instances, &clusters);
+    MergeClassFeedback(iteration_feedback, &instances, &clusters);
+    out.feedback.push_back(std::move(iteration_feedback));
     out.report.stages.push_back(
         {"collect_feedback" + iter_suffix, stage_timer.ElapsedSeconds()});
     stage_gauge.Set(++stage_ordinal);
 
     out.mappings.push_back(std::move(mapping));
     if (iteration == options_.iterations - 1) {
-      out.classes = std::move(class_results);
+      for (size_t i = 0; i < classes.size(); ++i) {
+        if (swept[i] == 0) continue;
+        out.recomputed.push_back(classes[i]);
+        out.classes.push_back(std::move(class_results[i]));
+      }
     }
     LTEE_LOG(kDebug) << "pipeline iteration " << (iteration + 1) << " done";
   }

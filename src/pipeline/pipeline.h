@@ -12,6 +12,7 @@
 #include "matching/schema_matcher.h"
 #include "newdetect/new_detector.h"
 #include "pipeline/run_report.h"
+#include "pipeline/stage_context.h"
 #include "rowcluster/row_clusterer.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -54,8 +55,16 @@ struct ClassRunResult {
 struct PipelineRunResult {
   /// Schema mapping per iteration (mappings.back() is the final one).
   std::vector<matching::SchemaMapping> mappings;
-  /// Final-iteration class results.
+  /// Final-iteration class results. A full-scope run has one entry per
+  /// requested class; a delta run has one entry per *recomputed* class
+  /// (same order), matching `recomputed`.
   std::vector<ClassRunResult> classes;
+  /// Per-iteration, per-class feedback snapshots in run-class order — the
+  /// state a later delta run diffs against and reuses for classes outside
+  /// its scope (ignored by SummarizeRun, like `report`).
+  std::vector<std::vector<ClassFeedback>> feedback;
+  /// Classes the final iteration actually recomputed, in run order.
+  std::vector<kb::ClassId> recomputed;
   /// Per-stage / per-class wall times and the metrics snapshot taken at
   /// the end of the run (ignored by SummarizeRun, so golden summaries are
   /// unaffected).
@@ -115,15 +124,36 @@ class LteePipeline {
                           const matching::SchemaMapping& mapping,
                           kb::ClassId cls) const;
 
-  /// Full multi-iteration run for `classes`.
+  /// Full multi-iteration run for `classes`: RunScoped with a full scope
+  /// and no baseline.
   PipelineRunResult Run(const webtable::TableCorpus& corpus,
                         const std::vector<kb::ClassId>& classes) const;
+
+  /// Scoped multi-iteration run. Schema matching always covers the whole
+  /// corpus (its inputs are corpus-global and cheap relative to the class
+  /// stages); the per-class stages — row clustering, fusion, new
+  /// detection — run only for classes in scope. With a baseline the scope
+  /// grows per iteration by DiffMappings against the baseline mapping, and
+  /// feedback of out-of-scope classes is replayed from the baseline, so a
+  /// delta run over corpus A+B reproduces bit for bit what a full run
+  /// computes for the affected classes.
+  PipelineRunResult RunScoped(const StageContext& ctx) const;
 
   /// Aggregates feedback maps from class results, offsetting cluster ids
   /// so clusters of different classes never collide.
   static void CollectFeedback(const std::vector<ClassRunResult>& classes,
                               matching::RowInstanceMap* instances,
                               matching::RowClusterMap* clusters);
+
+  /// Class-local feedback of one class result (cluster ids unoffset).
+  static ClassFeedback ExtractClassFeedback(const ClassRunResult& result);
+
+  /// Merges per-class feedback in run-class order into the matcher maps,
+  /// applying the same cumulative cluster-id offsets CollectFeedback
+  /// applies — cached and fresh feedback merge identically.
+  static void MergeClassFeedback(const std::vector<ClassFeedback>& classes,
+                                 matching::RowInstanceMap* instances,
+                                 matching::RowClusterMap* clusters);
 
  private:
   /// Worker pool shared by preparation and per-class execution, created on

@@ -1,5 +1,6 @@
 #include "pipeline/slot_filling.h"
 
+#include "kb/applier.h"
 #include "prov/ledger.h"
 #include "types/type_similarity.h"
 #include "util/metrics.h"
@@ -67,13 +68,16 @@ SlotFillingResult FillSlots(
 
 size_t ApplySlotFills(kb::KnowledgeBase* kb,
                       const std::vector<SlotFill>& fills) {
-  size_t added = 0;
+  // Routed through the typed changeset so every KB write shares one code
+  // path; apply-time skip-occupied matches the legacy behavior exactly.
+  kb::ClassChange change;
   for (const auto& fill : fills) {
-    if (kb->FactOf(fill.instance, fill.property) != nullptr) continue;
-    kb->AddFact(fill.instance, fill.property, fill.value);
-    ++added;
+    change.fact_adds.push_back(
+        kb::FactAdd{fill.instance, fill.property, fill.value});
   }
-  return added;
+  kb::ChangeSet changes;
+  changes.classes.push_back(std::move(change));
+  return kb::ApplyChangeSet(kb, changes).slot_fills;
 }
 
 }  // namespace ltee::pipeline

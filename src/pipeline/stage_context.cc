@@ -1,0 +1,36 @@
+#include "pipeline/stage_context.h"
+
+#include <algorithm>
+
+namespace ltee::pipeline {
+
+MappingDiff DiffMappings(const matching::SchemaMapping& before,
+                         const matching::SchemaMapping& after) {
+  MappingDiff diff;
+  auto add_class = [&diff](kb::ClassId cls) {
+    if (cls == kb::kInvalidClass) return;
+    if (std::find(diff.classes.begin(), diff.classes.end(), cls) ==
+        diff.classes.end()) {
+      diff.classes.push_back(cls);
+    }
+  };
+  const size_t common = std::min(before.tables.size(), after.tables.size());
+  for (size_t t = 0; t < common; ++t) {
+    if (before.tables[t] == after.tables[t]) continue;
+    diff.changed_tables.push_back(static_cast<webtable::TableId>(t));
+    add_class(before.tables[t].cls);
+    add_class(after.tables[t].cls);
+  }
+  // Tables present in only one mapping (appended since the baseline run,
+  // or — degenerate — removed) are changes by definition.
+  const size_t longest = std::max(before.tables.size(), after.tables.size());
+  for (size_t t = common; t < longest; ++t) {
+    diff.changed_tables.push_back(static_cast<webtable::TableId>(t));
+    if (t < before.tables.size()) add_class(before.tables[t].cls);
+    if (t < after.tables.size()) add_class(after.tables[t].cls);
+  }
+  std::sort(diff.classes.begin(), diff.classes.end());
+  return diff;
+}
+
+}  // namespace ltee::pipeline

@@ -1,0 +1,114 @@
+#ifndef LTEE_PIPELINE_STAGE_CONTEXT_H_
+#define LTEE_PIPELINE_STAGE_CONTEXT_H_
+
+#include <utility>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "matching/schema_mapping.h"
+#include "webtable/web_table.h"
+
+namespace ltee::pipeline {
+
+/// The set of classes a pipeline sweep recomputes. A full-scope run (the
+/// batch path) contains every class; a delta run starts from the classes
+/// its new tables invalidate and grows per iteration as mapping diffs
+/// surface further affected classes.
+class ClassScope {
+ public:
+  /// Scope containing every class (the batch path).
+  static ClassScope All() {
+    ClassScope scope;
+    scope.full_ = true;
+    return scope;
+  }
+  /// Scope containing exactly `classes` (empty is valid: a delta run
+  /// derives its scope from mapping diffs alone).
+  static ClassScope Of(std::vector<kb::ClassId> classes) {
+    ClassScope scope;
+    scope.full_ = false;
+    for (kb::ClassId cls : classes) scope.Add(cls);
+    return scope;
+  }
+
+  bool full() const { return full_; }
+  size_t size() const { return classes_.size(); }
+
+  bool contains(kb::ClassId cls) const {
+    if (full_) return true;
+    for (kb::ClassId c : classes_) {
+      if (c == cls) return true;
+    }
+    return false;
+  }
+
+  /// No-op on a full scope or when already present.
+  void Add(kb::ClassId cls) {
+    if (full_ || cls == kb::kInvalidClass || contains(cls)) return;
+    classes_.push_back(cls);
+  }
+
+  const std::vector<kb::ClassId>& classes() const { return classes_; }
+
+ private:
+  bool full_ = false;
+  std::vector<kb::ClassId> classes_;
+};
+
+/// Feedback one class pass produces for the next schema-matching
+/// iteration, in class-local form: cluster ids are the class's own dense
+/// ids (no cross-class offset applied). MergeClassFeedback re-applies the
+/// offsets in run-class order, so cached and freshly extracted feedback
+/// merge identically.
+struct ClassFeedback {
+  kb::ClassId cls = kb::kInvalidClass;
+  int num_clusters = 0;
+  /// (row, class-local cluster id) for every clustered row.
+  std::vector<std::pair<webtable::RowRef, int>> row_clusters;
+  /// (row, matched KB instance) for every row of a non-new entity.
+  std::vector<std::pair<webtable::RowRef, kb::InstanceId>> row_instances;
+};
+
+/// Baseline state from a previous run of the same pipeline on the same
+/// (smaller) corpus: the per-iteration mappings and per-class feedback a
+/// delta run diffs against and reuses for out-of-scope classes. Indexed
+/// like the previous run: mappings[i] is iteration i's mapping,
+/// feedback[i][k] is iteration i's feedback of StageContext::classes[k].
+struct RunBaseline {
+  const std::vector<matching::SchemaMapping>* mappings = nullptr;
+  const std::vector<std::vector<ClassFeedback>>* feedback = nullptr;
+
+  bool valid() const { return mappings != nullptr && feedback != nullptr; }
+};
+
+/// Everything one scoped pipeline run needs: the corpus (whose prepared
+/// view auto-extends when tables were appended), the classes in run order,
+/// the initial scope, and — for delta runs — the baseline to diff against.
+/// Run() is exactly RunScoped with a full scope and no baseline, so the
+/// batch and delta paths cannot diverge.
+struct StageContext {
+  const webtable::TableCorpus* corpus = nullptr;
+  /// Classes in run order; a delta run must pass the baseline run's exact
+  /// class order (feedback and changesets align by position).
+  std::vector<kb::ClassId> classes;
+  ClassScope scope = ClassScope::All();
+  RunBaseline baseline;
+
+  bool has_baseline() const { return baseline.valid(); }
+};
+
+/// Classes affected by the differences between two schema mappings: every
+/// table whose TableMapping changed in any downstream-visible field
+/// (class, class score, label column, column matches incl. scores, row
+/// instances) contributes both its old and its new class. Tables beyond
+/// `before`'s size (freshly appended) always count as changed.
+struct MappingDiff {
+  std::vector<webtable::TableId> changed_tables;
+  std::vector<kb::ClassId> classes;
+};
+MappingDiff DiffMappings(const matching::SchemaMapping& before,
+                         const matching::SchemaMapping& after);
+
+}  // namespace ltee::pipeline
+
+#endif  // LTEE_PIPELINE_STAGE_CONTEXT_H_

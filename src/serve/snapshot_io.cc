@@ -127,7 +127,9 @@ bool DecodePayload(const std::string& payload, kb::KnowledgeBase* kb,
     std::string name = r.String();
     const auto parent = r.Pod<int16_t>();
     if (!r.ok()) return false;
-    if (parent >= static_cast<int16_t>(c)) {
+    // A valid parent is -1 (root) or a previously decoded class id;
+    // anything else would index out of bounds in Ancestors().
+    if (parent < -1 || parent >= static_cast<int16_t>(c)) {
       if (error != nullptr) *error = "class parent out of range";
       return false;
     }
@@ -147,6 +149,10 @@ bool DecodePayload(const std::string& payload, kb::KnowledgeBase* kb,
     if (!r.ok()) return false;
     if (cls < 0 || cls >= static_cast<int16_t>(num_classes)) {
       if (error != nullptr) *error = "property class out of range";
+      return false;
+    }
+    if (type >= static_cast<uint8_t>(types::kNumDataTypes)) {
+      if (error != nullptr) *error = "property data type out of range";
       return false;
     }
     kb->AddProperty(cls, std::move(name),

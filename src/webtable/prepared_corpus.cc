@@ -140,4 +140,37 @@ PreparedCorpus::PreparedCorpus(const TableCorpus& corpus,
       .Set(static_cast<double>(dict_->size()));
 }
 
+std::vector<TableId> PreparedCorpus::Append(util::ThreadPool* pool) {
+  const size_t old_size = tables_.size();
+  if (corpus_->size() <= old_size) return {};
+  util::trace::ScopedSpan span("webtable.prepare_append");
+  span.AddArg("tables", corpus_->size() - old_size);
+  tables_.resize(corpus_->size());
+  auto prepare_one = [this, old_size](size_t i) {
+    const size_t t = old_size + i;
+    PrepareTable(corpus_->table(static_cast<TableId>(t)), dict_.get(),
+                 &tables_[t]);
+  };
+  const size_t appended = tables_.size() - old_size;
+  if (pool != nullptr) {
+    pool->ParallelFor(appended, prepare_one);
+  } else {
+    for (size_t i = 0; i < appended; ++i) prepare_one(i);
+  }
+  std::vector<TableId> new_ids;
+  new_ids.reserve(appended);
+  size_t cells = 0;
+  for (size_t t = old_size; t < tables_.size(); ++t) {
+    new_ids.push_back(static_cast<TableId>(t));
+    cells += tables_[t].cells.size();
+  }
+  span.AddArg("cells", cells);
+  util::Metrics().GetCounter("ltee.prepared.tables").Increment(appended);
+  util::Metrics().GetCounter("ltee.prepared.cells").Increment(cells);
+  util::Metrics()
+      .GetGauge("ltee.prepared.dict_tokens")
+      .Set(static_cast<double>(dict_->size()));
+  return new_ids;
+}
+
 }  // namespace ltee::webtable

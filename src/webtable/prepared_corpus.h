@@ -87,6 +87,15 @@ class PreparedCorpus {
   PreparedCorpus(const PreparedCorpus&) = delete;
   PreparedCorpus& operator=(const PreparedCorpus&) = delete;
 
+  /// Prepares the tables appended to the corpus since construction (or the
+  /// previous Append): ids [size(), corpus().size()). Existing prepared
+  /// tables and their token ids are untouched — util::TokenDictionary only
+  /// grows, so every id interned before the append stays valid. Returns
+  /// the newly prepared table ids: the invalidation set that seeds delta
+  /// scoping (each new table invalidates the per-class blocks its schema
+  /// mapping assigns it to). Not safe to call concurrently with readers.
+  std::vector<TableId> Append(util::ThreadPool* pool = nullptr);
+
   const TableCorpus& corpus() const { return *corpus_; }
   const util::TokenDictionary& dict() const { return *dict_; }
   const std::shared_ptr<util::TokenDictionary>& dict_ptr() const {

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -213,6 +214,123 @@ TEST(SnapshotIo, RejectsCorruptTruncatedAndForeignFiles) {
   std::remove(path.c_str());
 }
 
+/// Systematic byte-mangling of a valid snapshot file. Every mangling
+/// must produce a clean `false` + error from LoadSnapshotFile — never a
+/// crash, hang, or a silently wrong KB. Payload manglings recompute the
+/// FNV-1a checksum so they reach the decoder's own range checks instead
+/// of being caught by the integrity layer.
+TEST(SnapshotIo, ByteManglingsFailCleanly) {
+  // A minimal KB with a hand-computable payload layout:
+  //   [0]  num_classes=1   [4] len=1 [8] 'A'      [9]  parent int16
+  //   [11] num_properties=1 [15] cls int16 [17] len=1 [21] 'p'
+  //   [22] type uint8      [23] extras uint32     [27] num_instances
+  kb::KnowledgeBase kb;
+  kb.AddClass("A");
+  kb.AddProperty(0, "p", types::DataType::kText);
+  const std::string path = TempPath("snap_mangle.bin");
+  std::string error;
+  ASSERT_TRUE(serve::SaveSnapshotFile(kb, 9, path, &error)) << error;
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  // Header: magic[0..7], format u32 @8, version u64 @12, checksum u64
+  // @20, payload size u64 @28, payload @36.
+  constexpr size_t kHeader = 36;
+  ASSERT_GT(bytes.size(), kHeader);
+
+  const auto fnv1a = [](const std::string& s) {
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  const auto expect_rejected = [&path](const std::string& content,
+                                       const std::string& needle) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << content;
+    }
+    kb::KnowledgeBase scratch;
+    std::string err;
+    EXPECT_FALSE(serve::LoadSnapshotFile(path, &scratch, nullptr, &err));
+    EXPECT_NE(err.find(needle), std::string::npos)
+        << "expected \"" << needle << "\" in: " << err;
+  };
+  // Rebuilds a consistent file around a mangled payload: the checksum
+  // and size fields are recomputed so only the decoder can object.
+  const auto reseal = [&bytes, &fnv1a, kHeader](const std::string& payload) {
+    std::string out = bytes.substr(0, kHeader);
+    const uint64_t checksum = fnv1a(payload);
+    const uint64_t size = payload.size();
+    std::memcpy(out.data() + 20, &checksum, sizeof(checksum));
+    std::memcpy(out.data() + 28, &size, sizeof(size));
+    return out + payload;
+  };
+  std::string payload = bytes.substr(kHeader);
+
+  // Truncations everywhere in the header land in "bad magic" (file too
+  // short to even carry a header).
+  for (const size_t cut : {size_t{0}, size_t{3}, size_t{8}, size_t{20},
+                           kHeader - 1}) {
+    expect_rejected(bytes.substr(0, cut), "magic");
+  }
+  {  // One flipped magic byte.
+    std::string mangled = bytes;
+    mangled[5] ^= 0x01;
+    expect_rejected(mangled, "magic");
+  }
+  {  // Unsupported format version.
+    std::string mangled = bytes;
+    mangled[8] = 0x7f;
+    expect_rejected(mangled, "format version");
+  }
+  {  // Header lies about the payload size.
+    std::string mangled = bytes;
+    mangled[28] ^= 0x01;
+    expect_rejected(mangled, "size mismatch");
+  }
+  // Trailing garbage after the payload.
+  expect_rejected(bytes + "xyz", "size mismatch");
+  {  // Corrupted checksum field.
+    std::string mangled = bytes;
+    mangled[21] ^= 0x10;
+    expect_rejected(mangled, "checksum");
+  }
+
+  // -- resealed manglings: integrity layer passes, decoder must catch --
+
+  {  // Class parent below -1 (would index out of bounds in Ancestors).
+    std::string p = payload;
+    const int16_t bogus = -7;
+    std::memcpy(p.data() + 9, &bogus, sizeof(bogus));
+    expect_rejected(reseal(p), "class parent out of range");
+  }
+  {  // Property data-type byte outside the enum.
+    std::string p = payload;
+    p[22] = static_cast<char>(0xff);
+    expect_rejected(reseal(p), "data type out of range");
+  }
+  {  // A string length pointing far past the end of the payload.
+    std::string p = payload;
+    const uint32_t huge = 0x7fffffffu;
+    std::memcpy(p.data() + 4, &huge, sizeof(huge));
+    expect_rejected(reseal(p), "truncated");
+  }
+  // Payload cut mid-record, resealed so size and checksum agree.
+  expect_rejected(reseal(payload.substr(0, payload.size() / 2)),
+                  "truncated");
+  // Extra payload bytes the decoder never consumes.
+  expect_rejected(reseal(payload + std::string(4, '\0')), "trailing bytes");
+
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Sharded LRU cache
 
@@ -307,6 +425,78 @@ TEST(QueryEngine, CacheKeysIncludeSnapshotVersion) {
                 .GetGauge("ltee.serve.snapshot.version")
                 .value(),
             2.0);
+}
+
+/// Staleness regression for the result cache during live promotion: a
+/// Publish must make every cached prior-version body unreachable at
+/// once, even while readers hammer the very queries that warmed it.
+/// Each response must be self-consistent (body content matches its own
+/// stamped version) and per-reader monotonic — once a reader has seen
+/// v2 it must never again be handed a cached v1 body.
+TEST(QueryEngine, PublishNeverServesStaleCachedBodies) {
+  const auto make_kb = [](const std::string& tag) {
+    kb::KnowledgeBase kb;
+    const kb::ClassId cls = kb.AddClass("Thing");
+    kb.AddInstance(cls, {"payload " + tag}, 1.0);
+    return kb;
+  };
+
+  serve::QueryEngine engine;
+  auto kb1 = make_kb("v1");
+  engine.Publish(serve::Snapshot::Build(kb1, {.version = 1}));
+  // Warm the cache with v1 entries for the exact queries readers issue.
+  ASSERT_EQ(engine.EntityById(0).status, 200);
+  ASSERT_EQ(engine.Search("payload", 3).status, 200);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&engine, &stop, &violations] {
+      uint64_t highest_seen = 1;
+      while (!stop.load()) {
+        for (const auto& result :
+             {engine.EntityById(0), engine.Search("payload", 3)}) {
+          util::JsonValue doc;
+          std::string error;
+          if (result.status != 200 ||
+              !util::ParseJson(result.body, &doc, &error)) {
+            ++violations;
+            continue;
+          }
+          const auto version =
+              static_cast<uint64_t>(doc.NumberOr("snapshot_version", 0));
+          // The body must carry its own version's payload — a v2-stamped
+          // response with v1 content would be a torn cache entry.
+          if (result.body.find("payload v" + std::to_string(version)) ==
+              std::string::npos) {
+            ++violations;
+          }
+          // Monotonic per reader: Publish swaps the snapshot pointer
+          // before any cache fill for the new version, so a reader that
+          // has observed v2 can never fall back to a v1 cache hit.
+          if (version < highest_seen) ++violations;
+          if (version > highest_seen) highest_seen = version;
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto kb2 = make_kb("v2");
+  engine.Publish(serve::Snapshot::Build(kb2, {.version = 2}));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  // The prior-version entries are unreachable for good: both warmed
+  // queries now serve v2 bodies.
+  EXPECT_NE(engine.EntityById(0).body.find("payload v2"),
+            std::string::npos);
+  EXPECT_NE(engine.Search("payload", 3).body.find("payload v2"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -67,7 +67,8 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
 const char* const kQuickSet[] = {"table03_corpus_stats",
                                  "table05_gold_standard",
                                  "prov_quality",
-                                 "serve_load"};
+                                 "serve_load",
+                                 "delta_ingest"};
 
 std::vector<std::string> SplitCommas(const std::string& s) {
   std::vector<std::string> out;

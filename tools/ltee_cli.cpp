@@ -36,6 +36,9 @@
 // percentile statistics and per-class critical paths (--json switches
 // the output to machine-readable JSON).
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -49,12 +52,14 @@
 #include <thread>
 
 #include "eval/gold_serialization.h"
+#include "kb/applier.h"
 #include "kb/serialization.h"
 #include "obsv/crash_flush.h"
 #include "obsv/http_client.h"
 #include "obsv/span_analytics.h"
 #include "obsv/status_server.h"
 #include "pipeline/dedup.h"
+#include "pipeline/delta.h"
 #include "pipeline/kb_update.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/slot_filling.h"
@@ -108,19 +113,24 @@ std::string FirstPositional(int argc, char** argv, int first) {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  ltee_cli generate --out DIR [--scale S] [--seed N]\n"
+               "  ltee_cli generate --out DIR [--scale S] [--seed N] "
+               "[--delta-split N]\n"
                "  ltee_cli stats --kb FILE | --corpus FILE\n"
                "  ltee_cli run [--kb FILE --corpus FILE --gs-corpus FILE "
                "--gold FILE] [--scale S] [--ntriples FILE] [--min-facts N] "
-               "[--dedup] [--seed N] [--trace-out FILE] [--metrics-out FILE] "
-               "[--provenance-out FILE] "
+               "[--dedup] [--seed N] [--state-out DIR] [--trace-out FILE] "
+               "[--metrics-out FILE] [--provenance-out FILE] "
                "[--log-level debug|info|warning|error] [--status-port PORT] "
                "[--status-linger SECONDS]\n"
+               "  ltee_cli ingest --state DIR --delta FILE "
+               "[--publish-snapshot FILE] [--snapshot-version N] "
+               "[--ledger FILE]\n"
                "  ltee_cli explain [QUERY] --ledger FILE [--property NAME] "
                "[--first] [--json]\n"
                "  ltee_cli analyze-trace TRACE.json [--json]\n"
                "  ltee_cli serve --snapshot FILE [--port PORT] [--shards N] "
-               "[--workers N] [--cache-capacity N] [--linger SECONDS]\n"
+               "[--workers N] [--cache-capacity N] [--linger SECONDS] "
+               "[--watch]\n"
                "  ltee_cli get --port PORT --path /kb/... [--expect-json]\n"
                "run uses the default synthetic dataset when the four input "
                "files are omitted; --status-port (or LTEE_STATUS_PORT) "
@@ -130,10 +140,14 @@ int Usage() {
                "facts whose subject contains QUERY. "
                "run --publish-snapshot FILE writes the enriched KB as a "
                "binary serving snapshot at end of run "
-               "(--snapshot-version stamps it); serve answers /kb/entity "
+               "(--snapshot-version stamps it); run --state-out DIR "
+               "persists the delta-resumable state; ingest appends the "
+               "delta tables, reruns only affected classes, and publishes "
+               "the next snapshot version; serve answers /kb/entity "
                "/kb/search /kb/classes /kb/snapshot (plus /metrics "
-               "/healthz) from such a file until SIGINT/SIGTERM; get is a "
-               "dependency-free loopback HTTP client for scripts\n");
+               "/healthz) from such a file until SIGINT/SIGTERM "
+               "(--watch republishes when the snapshot file changes); get "
+               "is a dependency-free loopback HTTP client for scripts\n");
   return 2;
 }
 
@@ -141,6 +155,10 @@ int Generate(const std::map<std::string, std::string>& flags) {
   auto out_it = flags.find("out");
   if (out_it == flags.end()) return Usage();
   const std::string dir = out_it->second;
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
 
   synth::DatasetOptions options;
   if (auto it = flags.find("scale"); it != flags.end()) {
@@ -175,6 +193,32 @@ int Generate(const std::map<std::string, std::string>& flags) {
   ok &= write("gold.tsv", [&](std::ostream& out) {
     eval::SaveGoldStandards(dataset.gold, out);
   });
+
+  // --delta-split N: additionally write the corpus as a base part and a
+  // delta part of N tables, the inputs of a `run --state-out` followed by
+  // an `ingest --delta` (full(A+B) must equal full(A)+delta(B)).
+  if (auto it = flags.find("delta-split"); it != flags.end()) {
+    const size_t requested =
+        static_cast<size_t>(std::atoll(it->second.c_str()));
+    const size_t delta = std::min(dataset.corpus.size(), requested);
+    const size_t num_base = dataset.corpus.size() - delta;
+    webtable::TableCorpus base_corpus, delta_corpus;
+    for (size_t t = 0; t < dataset.corpus.size(); ++t) {
+      webtable::WebTable copy =
+          dataset.corpus.table(static_cast<webtable::TableId>(t));
+      if (t < num_base) {
+        base_corpus.Add(std::move(copy));
+      } else {
+        delta_corpus.Add(std::move(copy));
+      }
+    }
+    ok &= write("corpus_base.tsv", [&](std::ostream& out) {
+      webtable::SaveCorpus(base_corpus, out);
+    });
+    ok &= write("corpus_delta.tsv", [&](std::ostream& out) {
+      webtable::SaveCorpus(delta_corpus, out);
+    });
+  }
   return ok ? 0 : 1;
 }
 
@@ -344,49 +388,83 @@ int Run(const std::map<std::string, std::string>& flags) {
     }
   }
 
-  size_t total_new = 0, total_facts = 0, total_slot_fills = 0;
+  // Stage every class sweep against the still-immutable base KB, then
+  // apply the typed changeset through the kb::Applier — the single KB
+  // write path the delta ingest shares.
+  pipeline::StageClassOptions stage_options;
+  stage_options.dedup = flags.count("dedup") > 0;
+  stage_options.update = update_options;
+  stage_options.ntriples = export_nt ? &ntriples : nullptr;
+
+  kb::Applier applier(kb);
+  std::vector<size_t> merges_of_class;
+  merges_of_class.reserve(run.classes.size());
   for (auto& class_run : run.classes) {
-    std::vector<fusion::CreatedEntity> entities = class_run.entities;
-    std::vector<newdetect::Detection> detections = class_run.detections;
-    size_t merges = 0;
-    if (flags.count("dedup")) {
-      auto deduped = pipeline::DeduplicateEntities(std::move(entities),
-                                                   std::move(detections));
-      entities = std::move(deduped.entities);
-      detections = std::move(deduped.detections);
-      merges = deduped.merges;
+    auto staged = pipeline::StageClassRun(*kb, class_run, stage_options);
+    merges_of_class.push_back(staged.dedup_merges);
+    applier.Stage(std::move(staged.change));
+  }
+  kb::ChangeSet changes = applier.TakeStaged();
+
+  // --state-out: persist everything a later `ltee_cli ingest` needs to
+  // continue this run incrementally. The base KB must be written before
+  // the changeset is applied below (the changeset replays against it).
+  std::string state_dir;
+  if (auto it = flags.find("state-out"); it != flags.end()) {
+    state_dir = it->second;
+    if (::mkdir(state_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "cannot create %s\n", state_dir.c_str());
+      return 1;
     }
-    if (export_nt) {
-      pipeline::ExportNTriples(*kb, entities, detections,
-                               "http://ltee.example.org/", ntriples,
-                               update_options);
-    }
-    // Apply the run to the in-memory KB: fill slots of matched instances,
-    // then add the detected-new entities.
-    auto fills = pipeline::FillSlots(*kb, entities, detections);
-    total_slot_fills += pipeline::ApplySlotFills(kb, fills.new_facts);
-    auto update =
-        pipeline::AddNewEntitiesToKb(kb, entities, detections, update_options);
+    auto write = [&state_dir](const std::string& name, auto&& saver) {
+      const std::string path = state_dir + "/" + name;
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+      }
+      saver(out);
+      return true;
+    };
+    bool ok = true;
+    ok &= write("base_kb.tsv",
+                [&](std::ostream& out) { kb::SaveKnowledgeBase(*kb, out); });
+    ok &= write("corpus.tsv",
+                [&](std::ostream& out) { webtable::SaveCorpus(*corpus, out); });
+    ok &= write("gs_corpus.tsv", [&](std::ostream& out) {
+      webtable::SaveCorpus(*gs_corpus, out);
+    });
+    ok &= write("gold.tsv", [&](std::ostream& out) {
+      eval::SaveGoldStandards(*gold, out);
+    });
+    if (!ok) return 1;
+  }
+
+  const kb::ApplyOutcome outcome = kb::ApplyChangeSet(kb, changes);
+  for (size_t i = 0; i < run.classes.size(); ++i) {
+    const auto& class_run = run.classes[i];
+    const kb::ClassApplyOutcome& applied = outcome.classes[i];
     std::printf("%-26s rows=%zu clusters=%d new=%zu facts=%zu merges=%zu\n",
                 kb->cls(class_run.cls).name.c_str(),
                 class_run.rows.rows.size(), class_run.num_clusters,
-                update.instances_added, update.facts_added, merges);
-    total_new += update.instances_added;
-    total_facts += update.facts_added;
+                applied.instances_added, applied.facts_added,
+                merges_of_class[i]);
   }
   std::printf("total: %zu new entities, %zu facts, %zu slot fills\n",
-              total_new, total_facts, total_slot_fills);
+              outcome.instances_added, outcome.facts_added,
+              outcome.slot_fills);
   if (export_nt) {
     std::printf("N-Triples written to %s\n", flags.at("ntriples").c_str());
+  }
+
+  uint64_t snapshot_version = 1;
+  if (auto v = flags.find("snapshot-version"); v != flags.end()) {
+    snapshot_version = std::strtoull(v->second.c_str(), nullptr, 10);
   }
 
   // The enriched KB (slot fills + new entities applied above) as a
   // binary serving snapshot, ready for `ltee_cli serve`.
   if (auto it = flags.find("publish-snapshot"); it != flags.end()) {
-    uint64_t snapshot_version = 1;
-    if (auto v = flags.find("snapshot-version"); v != flags.end()) {
-      snapshot_version = std::strtoull(v->second.c_str(), nullptr, 10);
-    }
     std::string error;
     if (!serve::SaveSnapshotFile(*kb, snapshot_version, it->second,
                                  &error)) {
@@ -396,6 +474,26 @@ int Run(const std::map<std::string, std::string>& flags) {
     std::printf("snapshot v%llu written to %s (%zu instances)\n",
                 static_cast<unsigned long long>(snapshot_version),
                 it->second.c_str(), kb->num_instances());
+  }
+
+  if (!state_dir.empty()) {
+    pipeline::DeltaState state;
+    state.seed = seed;
+    state.dedup = stage_options.dedup;
+    state.min_facts = update_options.min_facts;
+    state.snapshot_version = snapshot_version;
+    state.classes = classes;
+    state.mappings = run.mappings;
+    state.feedback = run.feedback;
+    state.changes = std::move(changes);
+    const std::string path = state_dir + "/state.tsv";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    pipeline::SaveDeltaState(state, out);
+    std::printf("delta state written to %s\n", state_dir.c_str());
   }
 
   std::string ledger;
@@ -453,6 +551,135 @@ int Run(const std::map<std::string, std::string>& flags) {
     }
     status_server.Stop();
   }
+  return 0;
+}
+
+/// `ltee_cli ingest`: incremental continuation of a `run --state-out`.
+/// Loads the persisted state, appends the delta tables, reruns the scoped
+/// pipeline (only classes the new tables affect), merges the staged
+/// changes into the cumulative changeset, applies it to a fresh copy of
+/// the base KB, optionally publishes the result as the next snapshot
+/// version, and rewrites the state directory for the ingest after this
+/// one.
+int Ingest(const std::map<std::string, std::string>& flags) {
+  auto state_it = flags.find("state");
+  auto delta_it = flags.find("delta");
+  if (state_it == flags.end() || delta_it == flags.end()) return Usage();
+  const std::string dir = state_it->second;
+
+  auto open = [](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return in;
+  };
+  std::ifstream kb_in = open(dir + "/base_kb.tsv");
+  std::ifstream corpus_in = open(dir + "/corpus.tsv");
+  std::ifstream gs_in = open(dir + "/gs_corpus.tsv");
+  std::ifstream gold_in = open(dir + "/gold.tsv");
+  std::ifstream state_in = open(dir + "/state.tsv");
+  std::ifstream delta_in = open(delta_it->second);
+  if (!kb_in || !corpus_in || !gs_in || !gold_in || !state_in || !delta_in) {
+    return 1;
+  }
+  auto kb = kb::LoadKnowledgeBase(kb_in);
+  auto corpus = webtable::LoadCorpus(corpus_in);
+  auto gs_corpus = webtable::LoadCorpus(gs_in);
+  auto gold = eval::LoadGoldStandards(gold_in);
+  auto state = pipeline::LoadDeltaState(state_in);
+  auto delta_corpus = webtable::LoadCorpus(delta_in);
+  if (!kb || !corpus || !gs_corpus || !gold || !state || !delta_corpus) {
+    std::fprintf(stderr, "failed to load state from %s\n", dir.c_str());
+    return 1;
+  }
+  std::vector<webtable::WebTable> batch;
+  batch.reserve(delta_corpus->size());
+  for (const webtable::WebTable& table : delta_corpus->tables()) {
+    batch.push_back(table);
+  }
+
+  // Reconstruct the exact pipeline of the original run: same KB, same
+  // options, same training seed — the delta diff is only sound when the
+  // trained components match bit for bit.
+  pipeline::PipelineOptions options;
+  pipeline::LteePipeline pipe(*kb, options);
+  util::Rng rng(state->seed);
+  pipeline::TrainPipelineOnGold(&pipe, *gs_corpus, *gold, rng);
+
+  // Like `run`: enable the ledger only after training.
+  const bool want_prov = flags.count("ledger") > 0;
+  if (want_prov) {
+    prov::SetEnabled(true);
+    prov::Clear();
+  }
+
+  auto result =
+      pipeline::DeltaIngest(pipe, &*corpus, std::move(batch), &*state);
+  std::printf("ingested %zu tables; recomputed %zu of %zu classes\n",
+              result.new_tables, result.recomputed.size(),
+              state->classes.size());
+  for (kb::ClassId cls : result.recomputed) {
+    std::printf("  recomputed %s\n", kb->cls(cls).name.c_str());
+  }
+
+  // Apply the merged cumulative changeset to the (still base) KB — this
+  // reproduces what a full run over the grown corpus would have built.
+  const kb::ApplyOutcome outcome = kb::ApplyChangeSet(&*kb, state->changes);
+  std::printf("total: %zu new entities, %zu facts, %zu slot fills\n",
+              outcome.instances_added, outcome.facts_added,
+              outcome.slot_fills);
+
+  uint64_t snapshot_version = state->snapshot_version + 1;
+  if (auto v = flags.find("snapshot-version"); v != flags.end()) {
+    snapshot_version = std::strtoull(v->second.c_str(), nullptr, 10);
+  }
+  if (auto it = flags.find("publish-snapshot"); it != flags.end()) {
+    std::string error;
+    if (!serve::SaveSnapshotFile(*kb, snapshot_version, it->second,
+                                 &error)) {
+      std::fprintf(stderr, "cannot publish snapshot: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("snapshot v%llu written to %s (%zu instances)\n",
+                static_cast<unsigned long long>(snapshot_version),
+                it->second.c_str(), kb->num_instances());
+    state->snapshot_version = snapshot_version;
+  }
+
+  if (want_prov) {
+    prov::RefreshQualityGauges();
+    const std::string& path = flags.at("ledger");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << prov::ExportJsonLines();
+    std::printf("provenance ledger written to %s (%zu events)\n",
+                path.c_str(), prov::EventCount());
+  }
+
+  // Rewrite the grown corpus and the updated state so the next ingest
+  // continues from here (base_kb/gs_corpus/gold are unchanged: the
+  // changeset stays cumulative against the original base KB).
+  {
+    const std::string path = dir + "/corpus.tsv";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    webtable::SaveCorpus(*corpus, out);
+  }
+  {
+    const std::string path = dir + "/state.tsv";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    pipeline::SaveDeltaState(*state, out);
+  }
+  std::printf("delta state updated in %s\n", dir.c_str());
   return 0;
 }
 
@@ -518,9 +745,40 @@ int Serve(const std::map<std::string, std::string>& flags) {
   if (auto it = flags.find("linger"); it != flags.end()) {
     linger = std::atof(it->second.c_str());
   }
+  // --watch: poll the snapshot file and republish on change. The writer
+  // side is atomic (tmp + rename), so a changed mtime/size always refers
+  // to a complete file; Publish() is the RCU swap — in-flight readers
+  // keep their version, new requests see the new one, no stalls.
+  const bool watch = flags.count("watch") > 0;
+  const std::string& snapshot_path = snapshot_it->second;
+  struct stat watch_stat {};
+  if (watch) ::stat(snapshot_path.c_str(), &watch_stat);
+  uint64_t published_version = snapshot->version();
+  int ticks = 0;
   const auto start = std::chrono::steady_clock::now();
   while (g_serve_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (watch && ++ticks % 4 == 0) {
+      struct stat st {};
+      if (::stat(snapshot_path.c_str(), &st) == 0 &&
+          (st.st_mtim.tv_sec != watch_stat.st_mtim.tv_sec ||
+           st.st_mtim.tv_nsec != watch_stat.st_mtim.tv_nsec ||
+           st.st_size != watch_stat.st_size)) {
+        watch_stat = st;
+        auto reloaded = serve::LoadSnapshot(snapshot_path, shards, &error);
+        if (reloaded == nullptr) {
+          std::fprintf(stderr, "watch: cannot reload snapshot: %s\n",
+                       error.c_str());
+        } else if (reloaded->version() != published_version) {
+          engine.Publish(reloaded);
+          published_version = reloaded->version();
+          std::printf("published snapshot v%llu (%zu entities)\n",
+                      static_cast<unsigned long long>(published_version),
+                      reloaded->num_entities());
+          std::fflush(stdout);
+        }
+      }
+    }
     if (linger >= 0.0 &&
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -633,6 +891,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(flags);
   if (command == "stats") return Stats(flags);
   if (command == "run") return Run(flags);
+  if (command == "ingest") return Ingest(flags);
   if (command == "serve") return Serve(flags);
   if (command == "get") return Get(flags);
   if (command == "explain") {
