@@ -10,17 +10,33 @@
 // change that tanks serving latency fails `bench_regression` like a
 // pipeline slowdown would. The cache hit ratio rides along
 // informationally.
+//
+// A second, ungated phase then serves the same engine over HTTP and
+// verifies the request-observability contract end to end: every /kb/*
+// response carries a traceparent whose trace id shows up in the access
+// log and the exported request trace, and GET /stats reports a rolling
+// window consistent with the traffic just driven (exact request count,
+// plausible QPS and percentiles). A broken contract exits non-zero; the
+// emitted numbers use informational units so report_diff never gates
+// them.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "obsv/access_log.h"
+#include "obsv/http_client.h"
+#include "obsv/status_server.h"
+#include "serve/kb_endpoints.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
+#include "util/json_parse.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -36,6 +52,169 @@ double Percentile(const std::vector<double>& sorted, double p) {
       sorted.size() - 1,
       static_cast<size_t>(p * static_cast<double>(sorted.size())));
   return sorted[rank];
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "bench_serve_load: FAIL: %s\n", message.c_str());
+  return 1;
+}
+
+/// Trace id of a `00-<trace>-<span>-<flags>` traceparent, "" when the
+/// header does not have that shape.
+std::string TraceIdOf(const std::string& traceparent) {
+  if (traceparent.size() < 35 || traceparent[2] != '-' ||
+      traceparent[35] != '-') {
+    return "";
+  }
+  return traceparent.substr(3, 32);
+}
+
+/// HTTP phase: drives /kb/* through a live server and checks the
+/// observability contract. Returns 0 on success.
+int VerifyHttpObservability(serve::QueryEngine* engine, size_t num_entities) {
+  util::trace::SetEnabled(true);
+  util::trace::Clear();
+
+  obsv::StatusServer server(4);
+  serve::RegisterKbEndpoints(&server.http(), engine);
+  std::string error;
+  if (!server.Start(0, &error)) {
+    return Fail("status server did not start: " + error);
+  }
+
+  constexpr size_t kHttpOps = 200;
+  const size_t log_baseline = obsv::GlobalAccessLog().total_recorded();
+  std::vector<std::string> trace_ids;
+  trace_ids.reserve(kHttpOps);
+  std::vector<double> http_ms;
+  http_ms.reserve(kHttpOps);
+  const auto http_start = std::chrono::steady_clock::now();
+  for (size_t op = 0; op < kHttpOps; ++op) {
+    const std::string path =
+        "/kb/entity?id=" + std::to_string(op % num_entities);
+    int status = 0;
+    std::string body, response_traceparent;
+    const auto begin = std::chrono::steady_clock::now();
+    if (!obsv::HttpGet(server.port(), path, obsv::HttpGetOptions{}, &status,
+                       &body, &response_traceparent, &error)) {
+      return Fail("GET " + path + " failed: " + error);
+    }
+    http_ms.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count());
+    const std::string trace_id = TraceIdOf(response_traceparent);
+    if (trace_id.empty()) {
+      return Fail("GET " + path + " response carries no traceparent (got '" +
+                  response_traceparent + "')");
+    }
+    trace_ids.push_back(trace_id);
+  }
+  const double http_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    http_start)
+          .count();
+
+  // The server records a request's access entry after the response has
+  // been written, so the client can observe the body before the entry
+  // lands. Bounded wait for the worker pool to drain the tail.
+  for (int spins = 0;
+       obsv::GlobalAccessLog().total_recorded() - log_baseline < kHttpOps &&
+       spins < 2000;
+       ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Every response's trace id must be in the access log...
+  const auto entries = obsv::GlobalAccessLog().Entries();
+  for (const std::string& trace_id : trace_ids) {
+    bool found = false;
+    for (const auto& entry : entries) {
+      if (entry.trace_id == trace_id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Fail("trace id " + trace_id + " missing from access log");
+    }
+  }
+  if (obsv::GlobalAccessLog().total_recorded() - log_baseline < kHttpOps) {
+    return Fail("access log recorded fewer entries than requests sent");
+  }
+
+  // ...and in the exported request trace (http.request span args).
+  const std::string trace = util::trace::ExportChromeTrace();
+  if (trace.find("\"http.request\"") == std::string::npos) {
+    return Fail("exported trace contains no http.request span");
+  }
+  for (const std::string& trace_id : trace_ids) {
+    if (trace.find(trace_id) == std::string::npos) {
+      return Fail("trace id " + trace_id + " missing from exported trace");
+    }
+  }
+
+  // /stats must reflect exactly the traffic just driven: the count is
+  // precise (nothing else speaks HTTP in this process and the /stats
+  // request itself is only recorded after its response is rendered);
+  // QPS and the percentiles are bounded rather than matched exactly.
+  int status = 0;
+  std::string body;
+  if (!obsv::HttpGet(server.port(), "/stats", &status, &body, &error) ||
+      status != 200) {
+    return Fail("GET /stats failed: " + error);
+  }
+  server.Stop();
+
+  util::JsonValue stats;
+  if (!util::ParseJson(body, &stats, &error)) {
+    return Fail("/stats body is not JSON: " + error);
+  }
+  const util::JsonValue* window = stats.Find("window");
+  const util::JsonValue* latency =
+      window != nullptr ? window->Find("latency_ms") : nullptr;
+  if (window == nullptr || latency == nullptr) {
+    return Fail("/stats missing window.latency_ms: " + body);
+  }
+  const double stats_requests = window->NumberOr("requests", -1);
+  if (stats_requests != static_cast<double>(kHttpOps)) {
+    return Fail("/stats window.requests = " +
+                std::to_string(stats_requests) + ", expected " +
+                std::to_string(kHttpOps));
+  }
+  const double qps = window->NumberOr("qps", 0);
+  // The window covers whole seconds, so the reported rate can sit below
+  // the burst rate but never below count/window and never above count.
+  if (qps <= 0 || qps > static_cast<double>(kHttpOps)) {
+    return Fail("/stats qps implausible: " + std::to_string(qps));
+  }
+  std::sort(http_ms.begin(), http_ms.end());
+  const double client_max = http_ms.back();
+  const double p50 = latency->NumberOr("p50", -1);
+  const double p95 = latency->NumberOr("p95", -1);
+  const double p99 = latency->NumberOr("p99", -1);
+  if (p50 < 0 || p95 < p50 || p99 < p95) {
+    return Fail("/stats percentiles not ordered: p50=" +
+                std::to_string(p50) + " p95=" + std::to_string(p95) +
+                " p99=" + std::to_string(p99));
+  }
+  // Server-side time is a subset of client-observed time; 2x + 5ms of
+  // slack absorbs bucket-boundary interpolation on a near-idle box.
+  if (p99 > client_max * 2.0 + 5.0) {
+    return Fail("/stats p99 " + std::to_string(p99) +
+                " ms exceeds client-observed max " +
+                std::to_string(client_max) + " ms");
+  }
+
+  std::printf("# http phase: %zu traced requests in %.3fs, "
+              "stats qps %.1f, p95 %.3f ms (client p95 %.3f ms)\n",
+              kHttpOps, http_seconds, qps, p95,
+              Percentile(http_ms, 0.95));
+  bench::EmitResult("serve_load", "http_traced_requests",
+                    static_cast<double>(kHttpOps), "count",
+                    static_cast<long long>(kHttpOps));
+  bench::EmitResult("serve_load", "http_stats_p95", p95, "info_ms",
+                    static_cast<long long>(kHttpOps));
+  return 0;
 }
 
 }  // namespace
@@ -136,5 +315,9 @@ int main() {
   bench::EmitResult("serve_load", "latency_p99", Percentile(all, 0.99),
                     "ms_p99", total_ops);
   bench::EmitResult("serve_load", "cache_hit_ratio", hit_ratio, "ratio");
-  return 0;
+
+  // The observability contract is part of what this bench certifies:
+  // run the HTTP phase after the measured load so it cannot perturb the
+  // gated numbers above.
+  return VerifyHttpObservability(&engine, num_entities);
 }

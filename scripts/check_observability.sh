@@ -53,15 +53,20 @@ if ! grep -q "chain: COMPLETE" <<<"${EXPLAIN}"; then
 fi
 
 # Serving layer end to end: publish a snapshot from a tiny fixed-seed run,
-# serve it on an ephemeral port, query the JSON endpoints through the
-# loopback client (`ltee_cli get` wraps obsv::HttpGet and validates the
-# body parses as JSON), then shut the server down cleanly via SIGTERM.
+# serve it on an ephemeral port with request observability on (tracing,
+# access log), query the JSON endpoints through the loopback client
+# (`ltee_cli get` wraps obsv::HttpGet and validates the body parses as
+# JSON), then shut the server down cleanly via SIGTERM.
 SNAPSHOT="${BUILD_DIR}/smoke_snapshot.bin"
 "${BUILD_DIR}/tools/ltee_cli" run --scale 0.002 --seed 41 \
     --publish-snapshot "${SNAPSHOT}" >/dev/null
 
 SERVE_LOG="${BUILD_DIR}/smoke_serve.log"
+SERVE_TRACE="${BUILD_DIR}/smoke_serve_trace.json"
+ACCESS_LOG="${BUILD_DIR}/smoke_access.jsonl"
+rm -f "${SERVE_TRACE}" "${ACCESS_LOG}"
 "${BUILD_DIR}/tools/ltee_cli" serve --snapshot "${SNAPSHOT}" --port 0 \
+    --trace-out "${SERVE_TRACE}" --access-log "${ACCESS_LOG}" \
     >"${SERVE_LOG}" 2>&1 &
 SERVE_PID=$!
 trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
@@ -85,6 +90,44 @@ fi
 "${BUILD_DIR}/tools/ltee_cli" get --port "${PORT}" \
     --path '/kb/snapshot' --expect-json >/dev/null
 
+# Request-scoped observability: send a request with a known traceparent
+# and require the server to continue that exact trace — the response
+# header carries the id back, and (checked after shutdown below) so do
+# the access log and the exported request trace.
+TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+"${BUILD_DIR}/tools/ltee_cli" get --port "${PORT}" \
+    --path '/kb/entity?id=1' --expect-json \
+    --traceparent "00-${TRACE_ID}-00f067aa0ba902b7-01" \
+    --show-traceparent >"${BUILD_DIR}/smoke_get.out" \
+    2>"${BUILD_DIR}/smoke_get.err"
+if ! grep -q "traceparent: 00-${TRACE_ID}-" "${BUILD_DIR}/smoke_get.err"; then
+    echo "check_observability: FAIL: response did not continue the sent trace" >&2
+    cat "${BUILD_DIR}/smoke_get.err" >&2
+    exit 1
+fi
+
+# The rolling window behind GET /stats must already report percentiles
+# for the traffic above.
+STATS="$("${BUILD_DIR}/tools/ltee_cli" get --port "${PORT}" \
+    --path '/stats' --expect-json)"
+if ! grep -q '"p95"' <<<"${STATS}"; then
+    echo "check_observability: FAIL: /stats has no windowed p95: ${STATS}" >&2
+    exit 1
+fi
+if ! grep -q '"qps"' <<<"${STATS}"; then
+    echo "check_observability: FAIL: /stats has no windowed qps: ${STATS}" >&2
+    exit 1
+fi
+
+# The terminal dashboard renders frames off the same endpoint.
+TOP_OUT="$("${BUILD_DIR}/tools/ltee_top" --port "${PORT}" \
+    --iterations 2 --interval-ms 100 --no-clear)"
+if ! grep -q "qps" <<<"${TOP_OUT}"; then
+    echo "check_observability: FAIL: ltee_top rendered no stats frame" >&2
+    echo "${TOP_OUT}" >&2
+    exit 1
+fi
+
 kill -TERM "${SERVE_PID}"
 if ! wait "${SERVE_PID}"; then
     echo "check_observability: FAIL: kb service exited non-zero" >&2
@@ -95,6 +138,26 @@ trap - EXIT
 if ! grep -q "kb service stopped" "${SERVE_LOG}"; then
     echo "check_observability: FAIL: kb service did not shut down cleanly" >&2
     cat "${SERVE_LOG}" >&2
+    exit 1
+fi
+
+# Post-shutdown artifacts: the access log must contain the trace id we
+# propagated, and the exported request trace must validate structurally
+# and contain the per-request http.request spans carrying that id.
+if ! grep -q "${TRACE_ID}" "${ACCESS_LOG}"; then
+    echo "check_observability: FAIL: access log is missing the propagated" \
+        "trace id ${TRACE_ID}" >&2
+    cat "${ACCESS_LOG}" >&2
+    exit 1
+fi
+"${BUILD_DIR}/tools/validate_trace" --file "${SERVE_TRACE}"
+if ! grep -q '"http.request"' "${SERVE_TRACE}"; then
+    echo "check_observability: FAIL: request trace has no http.request spans" >&2
+    exit 1
+fi
+if ! grep -q "${TRACE_ID}" "${SERVE_TRACE}"; then
+    echo "check_observability: FAIL: request trace is missing the propagated" \
+        "trace id ${TRACE_ID}" >&2
     exit 1
 fi
 

@@ -1,0 +1,146 @@
+#include "obsv/access_log.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace ltee::obsv {
+
+std::string AccessEntry::ToJson() const {
+  std::string out = "{\"unix_ms\":";
+  out += std::to_string(unix_ms);
+  out += ",\"method\":";
+  out += util::JsonQuote(method);
+  out += ",\"target\":";
+  out += util::JsonQuote(target);
+  out += ",\"status\":";
+  out += std::to_string(status);
+  out += ",\"total_ms\":";
+  util::AppendJsonNumber(&out, total_ms);
+  out += ",\"read_ms\":";
+  util::AppendJsonNumber(&out, read_ms);
+  out += ",\"handle_ms\":";
+  util::AppendJsonNumber(&out, handle_ms);
+  out += ",\"write_ms\":";
+  util::AppendJsonNumber(&out, write_ms);
+  out += ",\"trace_id\":";
+  out += util::JsonQuote(trace_id);
+  out += ",\"response_bytes\":";
+  out += std::to_string(response_bytes);
+  out += "}";
+  return out;
+}
+
+AccessLog::AccessLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void AccessLog::SetSlowThresholdMs(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_ms_ = ms;
+}
+
+double AccessLog::slow_threshold_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_threshold_ms_;
+}
+
+void AccessLog::Record(AccessEntry entry) {
+  bool slow = false;
+  double threshold = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    threshold = slow_threshold_ms_;
+    slow = threshold > 0.0 && entry.total_ms >= threshold;
+    if (slow) ++slow_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(entry);
+    } else {
+      ring_[next_] = entry;
+    }
+    next_ = (next_ + 1) % capacity_;
+  }
+  util::Metrics().GetCounter("ltee.http.requests").Increment();
+  if (slow) {
+    util::Metrics().GetCounter("ltee.http.slow_requests").Increment();
+    // The full per-stage breakdown, emitted while the request's trace
+    // context is still installed so the line carries the trace id too.
+    LTEE_LOG(kWarning) << "slow request " << entry.method << " "
+                       << entry.target << " status=" << entry.status
+                       << " total=" << entry.total_ms << "ms (read="
+                       << entry.read_ms << "ms handle=" << entry.handle_ms
+                       << "ms write=" << entry.write_ms << "ms, threshold="
+                       << threshold << "ms) trace=" << entry.trace_id;
+  }
+}
+
+std::vector<AccessEntry> AccessLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AccessEntry> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::string AccessLog::ToJsonLines() const {
+  std::string out;
+  for (const AccessEntry& entry : Entries()) {
+    out += entry.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+size_t AccessLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t AccessLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t AccessLog::slow_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+void AccessLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+  slow_ = 0;
+}
+
+AccessLog& GlobalAccessLog() {
+  static AccessLog* log = [] {
+    size_t capacity = 1024;
+    if (const char* env = std::getenv("LTEE_ACCESS_LOG_CAPACITY");
+        env != nullptr && *env != '\0') {
+      const long long parsed = std::atoll(env);
+      if (parsed > 0) capacity = static_cast<size_t>(parsed);
+    }
+    auto* l = new AccessLog(capacity);
+    if (const char* env = std::getenv("LTEE_SLOW_REQUEST_MS");
+        env != nullptr && *env != '\0') {
+      l->SetSlowThresholdMs(std::atof(env));
+    }
+    return l;
+  }();
+  return *log;
+}
+
+}  // namespace ltee::obsv

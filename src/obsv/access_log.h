@@ -1,0 +1,78 @@
+#ifndef LTEE_OBSV_ACCESS_LOG_H_
+#define LTEE_OBSV_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ltee::obsv {
+
+/// One served HTTP request as the access log records it: what was asked,
+/// how it went, how long each stage took, and which trace it belongs to.
+struct AccessEntry {
+  int64_t unix_ms = 0;      // wall-clock completion time
+  std::string method;
+  std::string target;       // path including the query string
+  int status = 0;
+  double total_ms = 0.0;    // read + handle + write
+  double read_ms = 0.0;     // socket read + request parse
+  double handle_ms = 0.0;   // handler execution
+  double write_ms = 0.0;    // response serialization + send
+  std::string trace_id;     // the request's TraceContext trace id
+  size_t response_bytes = 0;
+
+  /// One JSON object (no trailing newline) with every field above.
+  std::string ToJson() const;
+};
+
+/// Fixed-capacity in-memory ring of the most recent requests. Every
+/// served request is recorded; requests slower than the slow threshold
+/// are additionally emitted as a WARNING log line carrying the full
+/// per-stage timing, so the one request that blew the p99 leaves a
+/// durable record even when the ring has long rotated past it. The ring
+/// itself is exported over /stats (summary), by crash_flush on abnormal
+/// exit, and by `ltee_cli serve --access-log FILE` on shutdown.
+class AccessLog {
+ public:
+  explicit AccessLog(size_t capacity = 1024);
+
+  /// Requests at or above this total duration log a WARNING with stage
+  /// timings and count into slow_count(). <= 0 disables slow logging.
+  void SetSlowThresholdMs(double ms);
+  double slow_threshold_ms() const;
+
+  void Record(AccessEntry entry);
+
+  /// The buffered entries, oldest first. Copies out under the lock.
+  std::vector<AccessEntry> Entries() const;
+
+  /// Every buffered entry as JSON lines, oldest first.
+  std::string ToJsonLines() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const;
+  uint64_t slow_count() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<AccessEntry> ring_;
+  size_t next_ = 0;           // ring insertion cursor
+  uint64_t total_ = 0;
+  uint64_t slow_ = 0;
+  double slow_threshold_ms_ = 250.0;
+};
+
+/// The process-wide access log every HttpServer records into. Capacity
+/// comes from LTEE_ACCESS_LOG_CAPACITY (default 1024) and the slow
+/// threshold from LTEE_SLOW_REQUEST_MS (default 250), both read once at
+/// first use.
+AccessLog& GlobalAccessLog();
+
+}  // namespace ltee::obsv
+
+#endif  // LTEE_OBSV_ACCESS_LOG_H_

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <mutex>
 
+#include "obsv/access_log.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -19,6 +20,7 @@ struct FlushState {
   bool installed = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string access_log_path;
   std::terminate_handler previous_terminate = nullptr;
 };
 
@@ -51,11 +53,13 @@ void AtExitHandler() { CrashFlushNow(); }
 
 }  // namespace
 
-void ArmCrashFlush(std::string trace_path, std::string metrics_path) {
+void ArmCrashFlush(std::string trace_path, std::string metrics_path,
+                   std::string access_log_path) {
   FlushState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
   state.trace_path = std::move(trace_path);
   state.metrics_path = std::move(metrics_path);
+  state.access_log_path = std::move(access_log_path);
   state.armed = true;
   if (!state.installed) {
     state.installed = true;
@@ -71,7 +75,7 @@ void DisarmCrashFlush() {
 }
 
 bool CrashFlushNow() {
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, access_log_path;
   {
     FlushState& state = State();
     std::lock_guard<std::mutex> lock(state.mu);
@@ -79,6 +83,7 @@ bool CrashFlushNow() {
     state.armed = false;  // write once, even if terminate + atexit both fire
     trace_path = state.trace_path;
     metrics_path = state.metrics_path;
+    access_log_path = state.access_log_path;
   }
   if (!trace_path.empty()) {
     WriteFile(trace_path, util::trace::ExportChromeTrace());
@@ -97,7 +102,15 @@ bool CrashFlushNow() {
     std::fprintf(stderr, "crash flush: metrics written to %s\n",
                  metrics_path.c_str());
   }
-  return !trace_path.empty() || !metrics_path.empty();
+  if (!access_log_path.empty()) {
+    // The last requests before the crash — the ones most likely to have
+    // caused it — as JSON lines, oldest first.
+    WriteFile(access_log_path, GlobalAccessLog().ToJsonLines());
+    std::fprintf(stderr, "crash flush: access log written to %s\n",
+                 access_log_path.c_str());
+  }
+  return !trace_path.empty() || !metrics_path.empty() ||
+         !access_log_path.empty();
 }
 
 }  // namespace ltee::obsv

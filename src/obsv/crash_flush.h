@@ -8,15 +8,19 @@ namespace ltee::obsv {
 /// Arms emergency flushing of the observability artifacts: when the
 /// process terminates before DisarmCrashFlush — an uncaught exception
 /// reaching std::terminate, or plain exit() from an error path — the
-/// current span buffers are written to `trace_path` and a
+/// current span buffers are written to `trace_path`, a
 /// RunReport-shaped JSON object (`"aborted":true`, empty stages, the
-/// live metrics snapshot) to `metrics_path`. Without this, a pipeline
-/// that throws mid-run silently produces no --trace-out/--metrics-out
-/// files at all, which is precisely when you want them most.
+/// live metrics snapshot) to `metrics_path`, and the in-memory access
+/// log ring (JSON lines, oldest first) to `access_log_path`. Without
+/// this, a pipeline that throws mid-run silently produces no
+/// --trace-out/--metrics-out files at all — and a serving process that
+/// dies takes the record of the requests that killed it with it — which
+/// is precisely when you want them most.
 ///
-/// Either path may be empty (that artifact is skipped). Re-arming
-/// replaces the previous paths. The handlers write exactly once.
-void ArmCrashFlush(std::string trace_path, std::string metrics_path);
+/// Any path may be empty (that artifact is skipped). Re-arming replaces
+/// the previous paths. The handlers write exactly once.
+void ArmCrashFlush(std::string trace_path, std::string metrics_path,
+                   std::string access_log_path = "");
 
 /// Disarms the emergency flush; the normal export path has run.
 void DisarmCrashFlush();

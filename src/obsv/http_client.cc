@@ -5,14 +5,60 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
+#include "util/trace.h"
+
 namespace ltee::obsv {
+
+namespace {
+
+/// Case-insensitive single-header lookup in a raw response head.
+std::string HeaderValue(const std::string& head, const std::string& name) {
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t end = head.find('\n', pos);
+    if (end == std::string::npos) end = head.size();
+    size_t len = end - pos;
+    if (len > 0 && head[pos + len - 1] == '\r') --len;
+    const size_t colon = head.find(':', pos);
+    if (colon != std::string::npos && colon < pos + len &&
+        colon - pos == name.size()) {
+      bool match = true;
+      for (size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(head[pos + i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        size_t value_start = colon + 1;
+        while (value_start < pos + len &&
+               (head[value_start] == ' ' || head[value_start] == '\t')) {
+          ++value_start;
+        }
+        return head.substr(value_start, pos + len - value_start);
+      }
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
+}  // namespace
 
 bool HttpGet(uint16_t port, const std::string& path, int* status,
              std::string* body, std::string* error) {
+  return HttpGet(port, path, HttpGetOptions{}, status, body, nullptr, error);
+}
+
+bool HttpGet(uint16_t port, const std::string& path,
+             const HttpGetOptions& options, int* status, std::string* body,
+             std::string* response_traceparent, std::string* error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     if (error != nullptr) *error = std::strerror(errno);
@@ -27,9 +73,22 @@ bool HttpGet(uint16_t port, const std::string& path, int* status,
     ::close(fd);
     return false;
   }
-  const std::string request = "GET " + path +
-                              " HTTP/1.1\r\nHost: localhost\r\n"
-                              "Connection: close\r\n\r\n";
+
+  // Propagate the trace: an explicit traceparent wins; otherwise the
+  // calling thread's current context (if any) rides along, so the server
+  // hop joins the same trace.
+  std::string traceparent = options.traceparent;
+  if (traceparent.empty() && util::trace::HasCurrentContext()) {
+    traceparent = "00-" + util::trace::CurrentTraceId() + "-" +
+                  util::trace::CurrentSpanId() + "-01";
+  }
+  std::string request = "GET " + path +
+                        " HTTP/1.1\r\nHost: localhost\r\n"
+                        "Connection: close\r\n";
+  if (!traceparent.empty()) {
+    request += "traceparent: " + traceparent + "\r\n";
+  }
+  request += "\r\n";
   size_t sent = 0;
   while (sent < request.size()) {
     const ssize_t n =
@@ -63,7 +122,7 @@ bool HttpGet(uint16_t port, const std::string& path, int* status,
     if (error != nullptr) *error = "malformed status line";
     return false;
   }
-  *status = std::atoi(response.c_str() + space + 1);
+  if (status != nullptr) *status = std::atoi(response.c_str() + space + 1);
   size_t head_end = response.find("\r\n\r\n");
   size_t body_start;
   if (head_end != std::string::npos) {
@@ -76,7 +135,11 @@ bool HttpGet(uint16_t port, const std::string& path, int* status,
     }
     body_start = head_end + 2;
   }
-  *body = response.substr(body_start);
+  if (response_traceparent != nullptr) {
+    *response_traceparent =
+        HeaderValue(response.substr(0, head_end), "traceparent");
+  }
+  if (body != nullptr) *body = response.substr(body_start);
   return true;
 }
 

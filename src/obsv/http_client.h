@@ -6,13 +6,30 @@
 
 namespace ltee::obsv {
 
+/// Options and extra outputs of an HttpGet. `traceparent` overrides the
+/// header sent downstream; when empty and the calling thread has a
+/// util::trace current context (a TraceContextScope is active), that
+/// context is propagated automatically — so a request made while serving
+/// a request continues the same trace across processes.
+struct HttpGetOptions {
+  std::string traceparent;
+};
+
 /// Minimal blocking HTTP/1.1 GET against localhost — the counterpart of
-/// HttpServer, used by the endpoint round-trip tests and validate_trace
-/// so they exercise the real socket path rather than calling handlers
-/// directly. Returns false when the connection fails; on success fills
-/// `status` and `body` (headers are parsed away).
+/// HttpServer, used by the endpoint round-trip tests, validate_trace and
+/// ltee_top so they exercise the real socket path rather than calling
+/// handlers directly. Returns false when the connection fails; on success
+/// fills `status` and `body` (headers are parsed away).
 bool HttpGet(uint16_t port, const std::string& path, int* status,
              std::string* body, std::string* error = nullptr);
+
+/// Same, with trace propagation control: sends a `traceparent` request
+/// header per `options` and reports the server's `traceparent` response
+/// header through `response_traceparent` (empty when the server sent
+/// none). Either out-param may be null.
+bool HttpGet(uint16_t port, const std::string& path,
+             const HttpGetOptions& options, int* status, std::string* body,
+             std::string* response_traceparent, std::string* error = nullptr);
 
 }  // namespace ltee::obsv
 

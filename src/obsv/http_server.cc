@@ -6,14 +6,26 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "obsv/access_log.h"
+#include "obsv/telemetry.h"
+#include "obsv/trace_context.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace ltee::obsv {
 
 namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 const char* StatusText(int status) {
   switch (status) {
@@ -45,6 +57,13 @@ void SendAll(int fd, std::string_view data) {
 }
 
 }  // namespace
+
+std::string HttpRequest::Header(std::string_view name) const {
+  for (const auto& [header_name, value] : headers) {
+    if (header_name == name) return value;
+  }
+  return "";
+}
 
 std::string QueryParam(const std::string& query, const std::string& key) {
   size_t pos = 0;
@@ -129,6 +148,8 @@ bool HttpServer::Start(uint16_t port, std::string* error) {
   pool_ = std::make_unique<util::ThreadPool>(num_workers_);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  LTEE_LOG(kInfo) << "http server listening on port " << port_
+                  << (port == 0 ? " (ephemeral)" : "");
   return true;
 }
 
@@ -163,6 +184,9 @@ void HttpServer::AcceptLoop() {
 }
 
 void HttpServer::ServeConnection(int fd) {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  const auto request_start = std::chrono::steady_clock::now();
+
   // Read until the end of the request head. Requests are tiny
   // (`GET /path HTTP/1.1` + a few headers); 8 KiB is a generous cap.
   std::string request;
@@ -194,35 +218,98 @@ void HttpServer::ServeConnection(int fd) {
   }
   HttpRequest http_request;
   http_request.method = method;
+  const std::string raw_target = target;
   if (const size_t q = target.find('?'); q != std::string::npos) {
     http_request.query = target.substr(q + 1);
     target.resize(q);
   }
   http_request.path = target;
 
-  // RFC 9112 request line: `method SP request-target SP HTTP-version`.
-  // Anything that does not parse into those three shapes — missing
-  // tokens, a version that is not HTTP/*, a target that is not
-  // origin-form — gets an explicit 400 rather than a silently dropped
-  // connection, so misbehaving clients see what went wrong.
-  if (method.empty() || target.empty() ||
-      version.rfind("HTTP/", 0) != 0 || target[0] != '/') {
-    response.status = 400;
-    response.body = "malformed request line\n";
-  } else if (method != "GET" && method != "HEAD") {
-    // RFC 9110: a 405 must name the allowed methods.
-    response.status = 405;
-    response.body = "only GET is supported\n";
-    response.headers.emplace_back("Allow", "GET");
-  } else {
-    auto it = handlers_.find(target);
-    if (it == handlers_.end()) {
-      response.status = 404;
-      response.body = "unknown endpoint: " + target + "\n";
-    } else {
-      response = it->second(http_request);
+  // Header fields after the request line, names lowercased. A field that
+  // does not parse (no colon) is skipped rather than failing the request
+  // — the handlers only ever look up well-known names.
+  size_t cursor = request.find('\n', line_end == std::string::npos
+                                        ? 0
+                                        : line_end);
+  while (cursor != std::string::npos && cursor + 1 < request.size()) {
+    const size_t start = cursor + 1;
+    size_t end = request.find('\n', start);
+    if (end == std::string::npos) end = request.size();
+    size_t len = end - start;
+    if (len > 0 && request[start + len - 1] == '\r') --len;
+    if (len == 0) break;  // blank line: end of head
+    const std::string_view field(request.data() + start, len);
+    if (const size_t colon = field.find(':'); colon != std::string_view::npos) {
+      std::string name;
+      name.reserve(colon);
+      for (char c : field.substr(0, colon)) {
+        name.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      }
+      std::string_view value = field.substr(colon + 1);
+      while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+        value.remove_prefix(1);
+      }
+      while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+        value.remove_suffix(1);
+      }
+      http_request.headers.emplace_back(std::move(name), std::string(value));
     }
+    cursor = end;
   }
+
+  // Request-scoped trace context: continue the caller's trace when a
+  // valid traceparent arrived; a malformed or absent header starts a
+  // fresh trace (never reuse garbage, never fail the request over it).
+  TraceContext trace_context;
+  if (auto child = ChildFromTraceparent(http_request.Header("traceparent"));
+      child.has_value()) {
+    trace_context = std::move(*child);
+  } else {
+    trace_context = MakeRootContext();
+  }
+  http_request.trace_id = trace_context.trace_id;
+
+  const double read_ms = MsSince(request_start);
+  const auto handle_start = std::chrono::steady_clock::now();
+  {
+    TraceContextScope trace_scope(trace_context);
+    util::trace::ScopedSpan span("http.request", "http");
+
+    // RFC 9112 request line: `method SP request-target SP HTTP-version`.
+    // Anything that does not parse into those three shapes — missing
+    // tokens, a version that is not HTTP/*, a target that is not
+    // origin-form — gets an explicit 400 rather than a silently dropped
+    // connection, so misbehaving clients see what went wrong.
+    if (method.empty() || target.empty() ||
+        version.rfind("HTTP/", 0) != 0 || target[0] != '/') {
+      response.status = 400;
+      response.body = "malformed request line\n";
+    } else if (method != "GET" && method != "HEAD") {
+      // RFC 9110: a 405 must name the allowed methods.
+      response.status = 405;
+      response.body = "only GET is supported\n";
+      response.headers.emplace_back("Allow", "GET");
+    } else {
+      auto it = handlers_.find(target);
+      if (it == handlers_.end()) {
+        response.status = 404;
+        response.body = "unknown endpoint: " + target + "\n";
+      } else {
+        response = it->second(http_request);
+      }
+    }
+    span.AddArg("method", method.empty() ? std::string("?") : method);
+    span.AddArg("target", raw_target);
+    span.AddArg("status", response.status);
+  }
+  const double handle_ms = MsSince(handle_start);
+  const auto write_start = std::chrono::steady_clock::now();
+
+  // Every response names the trace it belongs to, so callers can join
+  // their side of a request with the server's access log and spans.
+  response.headers.emplace_back("traceparent",
+                                trace_context.ToTraceparent());
 
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      StatusText(response.status) +
@@ -241,6 +328,29 @@ void HttpServer::ServeConnection(int fd) {
   while (::recv(fd, buf, sizeof(buf), 0) > 0) {
   }
   ::close(fd);
+
+  const double write_ms = MsSince(write_start);
+  AccessEntry entry;
+  entry.unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  entry.method = method;
+  entry.target = raw_target;
+  entry.status = response.status;
+  entry.read_ms = read_ms;
+  entry.handle_ms = handle_ms;
+  entry.write_ms = write_ms;
+  entry.total_ms = read_ms + handle_ms + write_ms;
+  entry.trace_id = trace_context.trace_id;
+  entry.response_bytes = response.body.size();
+  {
+    // Recorded under the request's context so a slow-request WARNING
+    // line carries the trace id.
+    TraceContextScope trace_scope(trace_context);
+    GlobalAccessLog().Record(std::move(entry));
+  }
+  GlobalRequestTelemetry().ObserveRequest(read_ms + handle_ms + write_ms);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 }  // namespace ltee::obsv

@@ -2,10 +2,12 @@
 #define LTEE_OBSV_HTTP_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -15,12 +17,20 @@
 namespace ltee::obsv {
 
 /// One parsed request head as seen by a handler: the method, the path the
-/// handler was dispatched on, and the raw query string (anything after
-/// '?', still percent-encoded; empty when absent).
+/// handler was dispatched on, the raw query string (anything after '?',
+/// still percent-encoded; empty when absent), the request headers, and
+/// the request's trace id (from the caller's `traceparent` header when
+/// valid, freshly minted otherwise — never empty inside a handler).
 struct HttpRequest {
   std::string method;
   std::string path;
   std::string query;
+  /// Header fields in arrival order, names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string trace_id;
+
+  /// Value of header `name` (lowercase), "" when absent.
+  std::string Header(std::string_view name) const;
 };
 
 /// Response of one handler invocation. `headers` are extra response
@@ -48,6 +58,13 @@ std::string QueryParam(const std::string& query, const std::string& key);
 /// This deliberately is not a general web server — no keep-alive, no
 /// request bodies, no TLS — just enough protocol for `curl` and a
 /// Prometheus scraper to read a running pipeline.
+///
+/// Every request is served under a request-scoped TraceContext (minted
+/// fresh, or continuing the caller's trace when a valid `traceparent`
+/// header arrives), wrapped in an `http.request` trace span, echoed back
+/// as a `traceparent` response header, recorded in the global AccessLog
+/// with per-stage timings, and observed into the rolling-window request
+/// telemetry behind GET /stats.
 class HttpServer {
  public:
   /// `num_workers` sizes the handler pool: the introspection default (2)
@@ -65,7 +82,9 @@ class HttpServer {
 
   /// Binds 0.0.0.0:`port` (0 picks a free port) and starts serving.
   /// Returns false (with a message in `error`) when the socket cannot be
-  /// bound. On success, port() reports the actual listening port.
+  /// bound. On success, port() reports the actual listening port (logged
+  /// too, so scripts scraping the output of a `--port 0` run can find
+  /// the ephemeral port without racing).
   bool Start(uint16_t port, std::string* error = nullptr);
 
   /// Stops accepting, drains in-flight requests and joins the accept
@@ -74,6 +93,11 @@ class HttpServer {
 
   bool running() const { return running_.load(); }
   uint16_t port() const { return port_; }
+
+  /// Requests currently being served (between accept and response sent).
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
 
  private:
   void AcceptLoop();
@@ -84,6 +108,7 @@ class HttpServer {
   std::unique_ptr<util::ThreadPool> pool_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
+  std::atomic<int64_t> in_flight_{0};
   int listen_fd_ = -1;
   uint16_t port_ = 0;
 };

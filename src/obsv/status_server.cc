@@ -1,5 +1,6 @@
 #include "obsv/status_server.h"
 
+#include "obsv/telemetry.h"
 #include "prov/explain.h"
 #include "util/metrics.h"
 #include "util/prometheus.h"
@@ -17,6 +18,12 @@ StatusServer::StatusServer(size_t num_workers) : server_(num_workers) {
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = util::RenderPrometheusText(util::Metrics().Snapshot());
+    return response;
+  });
+  server_.Handle("/stats", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = RenderStatsJson(server_.in_flight());
     return response;
   });
   server_.Handle("/trace", [](const HttpRequest&) {

@@ -12,6 +12,10 @@ namespace ltee::obsv {
 /// state. Embedded in `ltee_cli run --status-port <p>` so a long pipeline
 /// run can be watched with curl / a Prometheus scraper mid-flight:
 ///   GET /metrics     Prometheus text exposition 0.0.4 of util::Metrics()
+///   GET /stats       rolling-window request telemetry JSON: QPS and
+///                    latency p50/p95/p99 over the last 60 s, in-flight
+///                    requests, cache hit ratio, snapshot version, and
+///                    access-log ring occupancy
 ///   GET /report      latest run report JSON (404 until one is published)
 ///   GET /trace       Chrome trace-event JSON of the current span buffers
 ///   GET /provenance  published decision ledger (JSON lines); with

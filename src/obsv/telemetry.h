@@ -1,0 +1,37 @@
+#ifndef LTEE_OBSV_TELEMETRY_H_
+#define LTEE_OBSV_TELEMETRY_H_
+
+#include <string>
+
+#include "util/metrics.h"
+
+namespace ltee::obsv {
+
+/// Rolling-window request telemetry of the HTTP layer: every request an
+/// HttpServer serves observes its total latency here, giving live QPS and
+/// p50/p95/p99 over the last window (60s) — the numbers /stats reports
+/// and ltee_top renders. Cumulative counters/histograms in the metrics
+/// registry are untouched; this is the "what is happening right now"
+/// companion to their "what happened since process start".
+struct RequestTelemetry {
+  static constexpr size_t kWindowSeconds = 60;
+
+  util::TimeWindowedHistogram latency_ms{
+      kWindowSeconds, util::ExponentialBuckets(0.01, 2.0, 20)};
+
+  void ObserveRequest(double total_ms) { latency_ms.Observe(total_ms); }
+};
+
+/// The process-wide telemetry every HttpServer reports into.
+RequestTelemetry& GlobalRequestTelemetry();
+
+/// The GET /stats body: live windowed telemetry (QPS, latency
+/// percentiles), in-flight requests, cumulative serve-layer counters
+/// (cache hits/misses/evictions, total queries), the published snapshot
+/// version, and access-log occupancy. `in_flight` is supplied by the
+/// serving HttpServer.
+std::string RenderStatsJson(int64_t in_flight);
+
+}  // namespace ltee::obsv
+
+#endif  // LTEE_OBSV_TELEMETRY_H_

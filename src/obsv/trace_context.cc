@@ -1,0 +1,120 @@
+#include "obsv/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "util/trace.h"
+
+namespace ltee::obsv {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+bool IsLowerHex(std::string_view s) {
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+bool AllZero(std::string_view s) {
+  for (char c : s) {
+    if (c != '0') return false;
+  }
+  return true;
+}
+
+/// splitmix64 over a process-unique, clock-seeded counter: not
+/// cryptographic, but collision-free in practice and dependency-free.
+uint64_t NextRandom64() {
+  static std::atomic<uint64_t> state{[] {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto wall = std::chrono::system_clock::now().time_since_epoch();
+    return static_cast<uint64_t>(now.count()) ^
+           (static_cast<uint64_t>(wall.count()) << 1);
+  }()};
+  uint64_t z = state.fetch_add(0x9e3779b97f4a7c15ull,
+                               std::memory_order_relaxed) +
+               0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::string RandomHex(size_t num_chars) {
+  std::string out;
+  out.reserve(num_chars);
+  uint64_t bits = 0;
+  size_t available = 0;
+  while (out.size() < num_chars) {
+    if (available == 0) {
+      bits = NextRandom64();
+      available = 16;
+    }
+    out.push_back(kHexDigits[bits & 0xf]);
+    bits >>= 4;
+    --available;
+  }
+  // An all-zero id is invalid per the spec; one flipped nibble fixes the
+  // astronomically unlikely draw.
+  if (AllZero(out)) out[0] = '1';
+  return out;
+}
+
+}  // namespace
+
+std::string TraceContext::ToTraceparent() const {
+  return "00-" + trace_id + "-" + span_id + "-01";
+}
+
+TraceContext MakeRootContext() {
+  TraceContext context;
+  context.trace_id = RandomHex(32);
+  context.span_id = RandomHex(16);
+  return context;
+}
+
+bool IsValidTraceparent(std::string_view value) {
+  // version "-" trace-id "-" parent-id "-" flags, all lowercase hex.
+  if (value.size() != 55) return false;
+  if (value[2] != '-' || value[35] != '-' || value[52] != '-') return false;
+  const std::string_view version = value.substr(0, 2);
+  const std::string_view trace_id = value.substr(3, 32);
+  const std::string_view span_id = value.substr(36, 16);
+  const std::string_view flags = value.substr(53, 2);
+  if (!IsLowerHex(version) || !IsLowerHex(trace_id) || !IsLowerHex(span_id) ||
+      !IsLowerHex(flags)) {
+    return false;
+  }
+  if (version == "ff") return false;  // forbidden by the spec
+  if (AllZero(trace_id) || AllZero(span_id)) return false;
+  return true;
+}
+
+std::optional<TraceContext> ChildFromTraceparent(
+    std::string_view traceparent_header) {
+  if (!IsValidTraceparent(traceparent_header)) return std::nullopt;
+  TraceContext context;
+  context.trace_id.assign(traceparent_header.substr(3, 32));
+  context.parent_span_id.assign(traceparent_header.substr(36, 16));
+  context.span_id = RandomHex(16);
+  return context;
+}
+
+TraceContextScope::TraceContextScope(const TraceContext& context)
+    : saved_trace_id_(util::trace::CurrentTraceId()),
+      saved_span_id_(util::trace::CurrentSpanId()) {
+  util::trace::SetCurrentContext(context.trace_id, context.span_id);
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (saved_trace_id_.empty()) {
+    util::trace::ClearCurrentContext();
+  } else {
+    util::trace::SetCurrentContext(std::move(saved_trace_id_),
+                                   std::move(saved_span_id_));
+  }
+}
+
+}  // namespace ltee::obsv

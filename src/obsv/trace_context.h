@@ -1,0 +1,64 @@
+#ifndef LTEE_OBSV_TRACE_CONTEXT_H_
+#define LTEE_OBSV_TRACE_CONTEXT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ltee::obsv {
+
+/// Request-scoped trace identity in the W3C Trace Context shape: a
+/// 16-byte trace id and an 8-byte span id, both lowercase hex, carried on
+/// the wire as a `traceparent` header
+///
+///   traceparent: 00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>
+///
+/// HttpServer mints one context per request (continuing the caller's
+/// trace when a valid header arrives, starting a fresh trace otherwise),
+/// HttpGet propagates the calling thread's context downstream, and
+/// TraceContextScope installs the ids into util::trace so spans and log
+/// lines of the request all carry the same trace id.
+struct TraceContext {
+  std::string trace_id;        // 32 lowercase hex chars, never all zero
+  std::string span_id;         // this hop's span, 16 lowercase hex chars
+  std::string parent_span_id;  // caller's span id; empty at the trace root
+
+  /// `00-<trace_id>-<span_id>-01` — the header value for the next hop.
+  std::string ToTraceparent() const;
+};
+
+/// A fresh root context: random trace and span ids. Thread-safe; ids are
+/// unique per process with overwhelming probability (128 random bits
+/// seeded from the clock, mixed per call).
+TraceContext MakeRootContext();
+
+/// A child context continuing the trace of `traceparent_header`: same
+/// trace id, fresh span id, parent set to the caller's span id. Returns
+/// nullopt when the header is not a well-formed traceparent (wrong
+/// shape, non-hex digits, unsupported version ff, all-zero ids) — the
+/// caller then falls back to MakeRootContext, never to reusing garbage.
+std::optional<TraceContext> ChildFromTraceparent(
+    std::string_view traceparent_header);
+
+/// True when `value` parses as a well-formed traceparent header.
+bool IsValidTraceparent(std::string_view value);
+
+/// RAII installer: publishes the context's ids as the calling thread's
+/// util::trace current context for the scope's lifetime, restoring the
+/// previous context (usually none) on destruction.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& context);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  std::string saved_trace_id_;
+  std::string saved_span_id_;
+};
+
+}  // namespace ltee::obsv
+
+#endif  // LTEE_OBSV_TRACE_CONTEXT_H_

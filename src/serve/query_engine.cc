@@ -82,7 +82,10 @@ QueryEngine::QueryEngine(QueryEngineOptions options)
       cache_misses_(util::Metrics().GetCounter("ltee.serve.cache.misses")),
       queries_total_(util::Metrics().GetCounter("ltee.serve.queries")),
       version_gauge_(
-          util::Metrics().GetGauge("ltee.serve.snapshot.version")) {}
+          util::Metrics().GetGauge("ltee.serve.snapshot.version")) {
+  cache_.SetEvictionCounter(
+      &util::Metrics().GetCounter("ltee.serve.cache.evictions"));
+}
 
 void QueryEngine::Publish(std::shared_ptr<const Snapshot> snapshot) {
   if (snapshot != nullptr) {

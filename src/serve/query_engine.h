@@ -41,9 +41,10 @@ struct QueryEngineOptions {
 /// Results are cached in a sharded LRU keyed by
 /// `<endpoint>|<snapshot version>|<params>`; embedding the version makes
 /// every cached entry of a replaced snapshot unreachable immediately.
-/// Cache traffic is exported as `ltee.serve.cache.{hits,misses}`
+/// Cache traffic is exported as `ltee.serve.cache.{hits,misses,evictions}`
 /// counters and the published version as the `ltee.serve.snapshot.version`
-/// gauge, both visible on the /metrics Prometheus endpoint.
+/// gauge, all visible on the /metrics Prometheus endpoint and the /stats
+/// rollup.
 class QueryEngine {
  public:
   explicit QueryEngine(QueryEngineOptions options = {});
@@ -81,6 +82,11 @@ class QueryEngine {
   QueryResult SnapshotInfo();
 
   const QueryEngineOptions& options() const { return options_; }
+
+  /// The result cache, for eviction statistics: tests reconcile
+  /// misses == cache().size() + cache().evictions() (every miss inserts,
+  /// every insert beyond capacity evicts).
+  const ShardedLruCache<QueryResult>& cache() const { return cache_; }
 
  private:
   /// Runs `render(snapshot)` through the result cache under `key`.

@@ -1,13 +1,17 @@
 #ifndef LTEE_SERVE_RESULT_CACHE_H_
 #define LTEE_SERVE_RESULT_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/metrics.h"
 
 namespace ltee::serve {
 
@@ -59,6 +63,12 @@ class ShardedLruCache {
     if (shard.lru.size() >= capacity_) {
       shard.by_key.erase(shard.lru.back().first);
       shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (util::Counter* counter =
+              eviction_counter_.load(std::memory_order_acquire);
+          counter != nullptr) {
+        counter->Increment();
+      }
     }
     shard.lru.emplace_front(key, std::move(value));
     shard.by_key[key] = shard.lru.begin();
@@ -77,6 +87,21 @@ class ShardedLruCache {
   size_t num_shards() const { return shards_.size(); }
   size_t capacity_per_shard() const { return capacity_; }
 
+  /// Entries evicted (capacity pressure, not refreshes) over the cache's
+  /// lifetime. Invariant for reconciliation: insertions - evictions ==
+  /// size(), where insertions is the number of Put calls on fresh keys.
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Mirrors every eviction into a registry counter (e.g.
+  /// ltee.serve.cache.evictions) so /metrics and /stats see cache
+  /// pressure. Pass nullptr to detach. The counter must outlive the
+  /// cache.
+  void SetEvictionCounter(util::Counter* counter) {
+    eviction_counter_.store(counter, std::memory_order_release);
+  }
+
  private:
   struct Shard {
     mutable std::mutex mu;
@@ -92,6 +117,8 @@ class ShardedLruCache {
 
   size_t capacity_;
   std::vector<Shard> shards_;
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<util::Counter*> eviction_counter_{nullptr};
 };
 
 }  // namespace ltee::serve

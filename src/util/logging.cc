@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <ctime>
 
+#include "util/trace.h"
+
 namespace ltee::util {
 
 namespace {
@@ -75,8 +77,17 @@ void Emit(LogLevel level, const std::string& message) {
   std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                 tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
                 tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
-  std::fprintf(stderr, "%s [%s] [t%u] %s\n", stamp, LevelName(level),
-               StableThreadId(), message.c_str());
+  // Lines emitted under a request-scoped trace context carry the trace
+  // id, so one grep correlates a request's log lines with its spans and
+  // access-log entry.
+  if (trace::HasCurrentContext()) {
+    std::fprintf(stderr, "%s [%s] [t%u] [trace:%s] %s\n", stamp,
+                 LevelName(level), StableThreadId(),
+                 trace::CurrentTraceId().c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "%s [%s] [t%u] %s\n", stamp, LevelName(level),
+                 StableThreadId(), message.c_str());
+  }
 }
 
 }  // namespace internal

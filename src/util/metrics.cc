@@ -1,6 +1,7 @@
 #include "util/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "util/json.h"
@@ -45,6 +46,145 @@ std::vector<double> ExponentialBuckets(double start, double factor,
     v *= factor;
   }
   return bounds;
+}
+
+uint64_t SteadyNowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(Clock::now() - epoch)
+          .count());
+}
+
+WindowedCounter::WindowedCounter(size_t window_seconds)
+    : slots_(window_seconds == 0 ? 1 : window_seconds),
+      window_(window_seconds == 0 ? 1 : window_seconds) {}
+
+void WindowedCounter::IncrementAt(uint64_t now_sec, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[now_sec % window_];
+  if (slot.second != now_sec) {
+    slot.second = now_sec;
+    slot.count = 0;
+  }
+  slot.count += n;
+}
+
+uint64_t WindowedCounter::CountAt(uint64_t now_sec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  const uint64_t oldest = now_sec >= window_ - 1 ? now_sec - (window_ - 1) : 0;
+  for (const Slot& slot : slots_) {
+    if (slot.second != kEmpty && slot.second >= oldest &&
+        slot.second <= now_sec) {
+      total += slot.count;
+    }
+  }
+  return total;
+}
+
+double WindowedCounter::RateAt(uint64_t now_sec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  uint64_t oldest_live = kEmpty;
+  const uint64_t oldest = now_sec >= window_ - 1 ? now_sec - (window_ - 1) : 0;
+  for (const Slot& slot : slots_) {
+    if (slot.second != kEmpty && slot.second >= oldest &&
+        slot.second <= now_sec) {
+      total += slot.count;
+      if (oldest_live == kEmpty || slot.second < oldest_live) {
+        oldest_live = slot.second;
+      }
+    }
+  }
+  if (total == 0) return 0.0;
+  const uint64_t covered = now_sec - oldest_live + 1;
+  return static_cast<double>(total) / static_cast<double>(covered);
+}
+
+TimeWindowedHistogram::TimeWindowedHistogram(size_t window_seconds,
+                                             std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      slots_(window_seconds == 0 ? 1 : window_seconds),
+      window_(window_seconds == 0 ? 1 : window_seconds) {
+  std::sort(bounds_.begin(), bounds_.end());
+  for (Slot& slot : slots_) {
+    slot.buckets.assign(bounds_.size() + 1, 0);
+  }
+}
+
+void TimeWindowedHistogram::ObserveAt(uint64_t now_sec, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[now_sec % window_];
+  if (slot.second != now_sec) {
+    slot.second = now_sec;
+    std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+    slot.count = 0;
+    slot.sum = 0.0;
+    slot.max = 0.0;
+  }
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++slot.buckets[i];
+  ++slot.count;
+  slot.sum += v;
+  if (v > slot.max) slot.max = v;
+}
+
+double TimeWindowedHistogram::PercentileFromBuckets(
+    const std::vector<uint64_t>& buckets, uint64_t total, double p,
+    double max) const {
+  if (total == 0) return 0.0;
+  // Rank of the p-th sample (1-based nearest rank), then linear
+  // interpolation between the matched bucket's bounds.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : max;
+      if (hi <= lo) return lo;
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets[i]);
+      // Interpolation can overshoot the bucket's real occupants when few
+      // samples landed in a wide bucket; the observed max is a hard cap.
+      return std::min(lo + frac * (hi - lo), max);
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
+TimeWindowedHistogram::WindowStats TimeWindowedHistogram::StatsAt(
+    uint64_t now_sec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowStats stats;
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  uint64_t oldest_live = kEmpty;
+  const uint64_t oldest = now_sec >= window_ - 1 ? now_sec - (window_ - 1) : 0;
+  for (const Slot& slot : slots_) {
+    if (slot.second == kEmpty || slot.second < oldest ||
+        slot.second > now_sec) {
+      continue;
+    }
+    for (size_t i = 0; i < merged.size(); ++i) merged[i] += slot.buckets[i];
+    stats.count += slot.count;
+    stats.sum += slot.sum;
+    if (slot.max > stats.max) stats.max = slot.max;
+    ++stats.covered_seconds;
+    if (oldest_live == kEmpty || slot.second < oldest_live) {
+      oldest_live = slot.second;
+    }
+  }
+  if (stats.count == 0) return stats;
+  const uint64_t covered = now_sec - oldest_live + 1;
+  stats.qps = static_cast<double>(stats.count) / static_cast<double>(covered);
+  stats.p50 = PercentileFromBuckets(merged, stats.count, 0.50, stats.max);
+  stats.p95 = PercentileFromBuckets(merged, stats.count, 0.95, stats.max);
+  stats.p99 = PercentileFromBuckets(merged, stats.count, 0.99, stats.max);
+  return stats;
 }
 
 std::string MetricsSnapshot::ToJson() const {

@@ -83,6 +83,98 @@ class Histogram {
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        size_t count);
 
+/// Seconds on the process-wide steady clock (zero at first use) — the
+/// shared time base of the windowed metrics below, injectable in tests
+/// through the *At overloads.
+uint64_t SteadyNowSeconds();
+
+/// Event counter over a sliding window of one-second slots: Increment
+/// lands in the current second's slot, old slots are recycled in place
+/// (a ring of `window_seconds` slots), and CountInWindow/RatePerSecond
+/// aggregate only slots whose stamp is still inside the window. This is
+/// what turns a cumulative "requests" counter into a live QPS readout.
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(size_t window_seconds = 60);
+
+  void Increment(uint64_t n = 1) { IncrementAt(SteadyNowSeconds(), n); }
+  void IncrementAt(uint64_t now_sec, uint64_t n = 1);
+
+  uint64_t CountInWindow() const { return CountAt(SteadyNowSeconds()); }
+  uint64_t CountAt(uint64_t now_sec) const;
+
+  /// Count over the window divided by the seconds actually covered (the
+  /// span from the oldest live slot to `now`, capped at the window), so a
+  /// burst that started two seconds ago reads as its real rate instead of
+  /// being diluted across an empty minute.
+  double RatePerSecond() const { return RateAt(SteadyNowSeconds()); }
+  double RateAt(uint64_t now_sec) const;
+
+  size_t window_seconds() const { return window_; }
+
+ private:
+  struct Slot {
+    uint64_t second = kEmpty;
+    uint64_t count = 0;
+  };
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  size_t window_;
+};
+
+/// Latency histogram over a sliding window of one-second slots. Each slot
+/// is a fixed-bucket histogram (same `bounds` semantics as Histogram) plus
+/// a per-slot max; StatsAt merges the live slots and reads percentiles
+/// from the merged buckets with linear interpolation inside the matched
+/// bucket (the overflow bucket is capped by the observed max). Unlike the
+/// cumulative Histogram this answers "p95 over the last N seconds", which
+/// is what an operator staring at a latency excursion actually needs.
+/// Cumulative MetricsSnapshot output is untouched — windowed series are
+/// exposed through /stats, not the registry snapshot.
+class TimeWindowedHistogram {
+ public:
+  TimeWindowedHistogram(size_t window_seconds, std::vector<double> bounds);
+
+  void Observe(double v) { ObserveAt(SteadyNowSeconds(), v); }
+  void ObserveAt(uint64_t now_sec, double v);
+
+  struct WindowStats {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double qps = 0.0;  // count over the seconds the window actually covers
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+    size_t covered_seconds = 0;  // distinct live one-second slots
+  };
+  WindowStats Stats() const { return StatsAt(SteadyNowSeconds()); }
+  WindowStats StatsAt(uint64_t now_sec) const;
+
+  size_t window_seconds() const { return window_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct Slot {
+    uint64_t second = kEmpty;
+    std::vector<uint64_t> buckets;  // bounds.size() + 1, overflow last
+    uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  double PercentileFromBuckets(const std::vector<uint64_t>& buckets,
+                               uint64_t total, double p, double max) const;
+
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<Slot> slots_;
+  size_t window_;
+};
+
 /// Point-in-time copy of every registered metric, sorted by name.
 struct MetricsSnapshot {
   struct HistogramData {

@@ -53,6 +53,16 @@ BufferRegistry& Registry() {
   return *registry;
 }
 
+struct CurrentContext {
+  std::string trace_id;
+  std::string span_id;
+};
+
+CurrentContext& LocalContext() {
+  thread_local CurrentContext context;
+  return context;
+}
+
 ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
@@ -73,11 +83,36 @@ void SetEnabled(bool enabled) {
 
 bool IsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
 
+void SetCurrentContext(std::string trace_id, std::string span_id) {
+  CurrentContext& context = LocalContext();
+  context.trace_id = std::move(trace_id);
+  context.span_id = std::move(span_id);
+}
+
+void ClearCurrentContext() {
+  CurrentContext& context = LocalContext();
+  context.trace_id.clear();
+  context.span_id.clear();
+}
+
+bool HasCurrentContext() { return !LocalContext().trace_id.empty(); }
+
+std::string CurrentTraceId() { return LocalContext().trace_id; }
+
+std::string CurrentSpanId() { return LocalContext().span_id; }
+
 ScopedSpan::ScopedSpan(std::string_view name, const char* category)
     : enabled_(IsEnabled()) {
   if (!enabled_) return;
   event_.name.assign(name);
   event_.category = category;
+  const CurrentContext& context = LocalContext();
+  if (!context.trace_id.empty()) {
+    event_.args.emplace_back("trace_id", context.trace_id);
+    if (!context.span_id.empty()) {
+      event_.args.emplace_back("span_id", context.span_id);
+    }
+  }
   event_.start_ns = NowNs();
 }
 

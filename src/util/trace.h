@@ -61,6 +61,22 @@ class ScopedSpan {
   TraceEvent event_;
 };
 
+/// Request-scoped trace context of the calling thread. While set, every
+/// ScopedSpan started on this thread carries `trace_id` (and `span_id`)
+/// args in the exported trace, and util::logging stamps its lines with
+/// the trace id — so one id follows a request from socket accept through
+/// every instrumented layer it touches. The ids are opaque lowercase-hex
+/// strings; obsv::TraceContext owns their generation and the W3C
+/// `traceparent` wire format. Installing is cheap (two string moves into
+/// a thread_local); Clear must run before the thread is reused for an
+/// unrelated request (obsv::TraceContextScope is the RAII way).
+void SetCurrentContext(std::string trace_id, std::string span_id);
+void ClearCurrentContext();
+bool HasCurrentContext();
+/// Empty strings when no context is installed.
+std::string CurrentTraceId();
+std::string CurrentSpanId();
+
 /// Names the calling thread in exported traces (Perfetto track label).
 /// The thread-pool workers call this with "ltee-worker-N".
 void SetCurrentThreadName(std::string name);

@@ -20,16 +20,19 @@
 
 #include <gtest/gtest.h>
 
+#include "obsv/access_log.h"
 #include "obsv/crash_flush.h"
 #include "obsv/http_client.h"
 #include "obsv/span_analytics.h"
 #include "obsv/status_server.h"
+#include "obsv/trace_context.h"
 #include "pipeline/run_report.h"
 #include "util/json.h"
 #include "util/json_parse.h"
 #include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/prometheus.h"
+#include "util/trace.h"
 
 namespace ltee {
 namespace {
@@ -593,6 +596,228 @@ TEST(QueryParam, MissingOrMalformedKeys) {
 }
 
 // ---------------------------------------------------------------------------
+// Trace context
+
+TEST(TraceContext, RootContextsAreWellFormedAndDistinct) {
+  const obsv::TraceContext a = obsv::MakeRootContext();
+  const obsv::TraceContext b = obsv::MakeRootContext();
+  EXPECT_EQ(a.trace_id.size(), 32u);
+  EXPECT_EQ(a.span_id.size(), 16u);
+  EXPECT_TRUE(a.parent_span_id.empty());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_NE(a.span_id, b.span_id);
+  EXPECT_TRUE(obsv::IsValidTraceparent(a.ToTraceparent()))
+      << a.ToTraceparent();
+}
+
+TEST(TraceContext, ChildContinuesTraceWithFreshSpan) {
+  const std::string header =
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01";
+  const auto child = obsv::ChildFromTraceparent(header);
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(child->trace_id, "0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(child->parent_span_id, "00f067aa0ba902b7");
+  EXPECT_EQ(child->span_id.size(), 16u);
+  EXPECT_NE(child->span_id, child->parent_span_id);
+  EXPECT_TRUE(obsv::IsValidTraceparent(child->ToTraceparent()));
+}
+
+TEST(TraceContext, RejectsMalformedTraceparents) {
+  const std::vector<std::string> malformed = {
+      "",
+      "garbage",
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7",       // 3 parts
+      "00-0123456789abcdef0123456789abcde-00f067aa0ba902b7-01",     // short
+      "00-0123456789ABCDEF0123456789ABCDEF-00f067aa0ba902b7-01",    // upper
+      "00-0123456789abcdqf0123456789abcdef-00f067aa0ba902b7-01",    // non-hex
+      "ff-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",    // ver ff
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",    // zero id
+      "00-0123456789abcdef0123456789abcdef-0000000000000000-01",    // zero sp
+      "00_0123456789abcdef0123456789abcdef_00f067aa0ba902b7_01",    // dashes
+  };
+  for (const std::string& value : malformed) {
+    EXPECT_FALSE(obsv::IsValidTraceparent(value)) << value;
+    EXPECT_FALSE(obsv::ChildFromTraceparent(value).has_value()) << value;
+  }
+}
+
+TEST(TraceContext, ScopeInstallsAndRestoresThreadContext) {
+  util::trace::ClearCurrentContext();
+  EXPECT_FALSE(util::trace::HasCurrentContext());
+  obsv::TraceContext outer = obsv::MakeRootContext();
+  {
+    obsv::TraceContextScope outer_scope(outer);
+    EXPECT_EQ(util::trace::CurrentTraceId(), outer.trace_id);
+    obsv::TraceContext inner = obsv::MakeRootContext();
+    {
+      obsv::TraceContextScope inner_scope(inner);
+      EXPECT_EQ(util::trace::CurrentTraceId(), inner.trace_id);
+    }
+    EXPECT_EQ(util::trace::CurrentTraceId(), outer.trace_id);
+  }
+  EXPECT_FALSE(util::trace::HasCurrentContext());
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing through the HTTP server
+
+/// Trace id of a `00-<trace>-<span>-<flags>` traceparent, "" otherwise.
+std::string TraceIdOf(const std::string& traceparent) {
+  return obsv::IsValidTraceparent(traceparent) ? traceparent.substr(3, 32)
+                                               : std::string();
+}
+
+TEST(StatusServer, MalformedTraceparentGetsFreshTraceIdAndNeverCrashes) {
+  obsv::StatusServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  const std::vector<std::string> malformed = {
+      "garbage",
+      "00-zzzz-zzzz-01",
+      "00-00000000000000000000000000000000-0000000000000000-01",
+      "ff-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01",
+      std::string(4096, 'a'),  // oversized junk
+  };
+  for (const std::string& header : malformed) {
+    const std::string response = RawHttpExchange(
+        server.port(), "GET /healthz HTTP/1.1\r\nHost: localhost\r\n"
+                       "traceparent: " + header + "\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos)
+        << response;
+    // The response still carries a traceparent — a fresh, valid one that
+    // did not reuse any part of the garbage.
+    const size_t pos = response.find("\r\ntraceparent: ");
+    ASSERT_NE(pos, std::string::npos) << response;
+    const size_t value_start = pos + 15;
+    const std::string value =
+        response.substr(value_start, response.find("\r\n", value_start) -
+                                         value_start);
+    EXPECT_TRUE(obsv::IsValidTraceparent(value)) << value;
+    EXPECT_NE(value, header);
+  }
+
+  // The server survived all of it.
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/healthz", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  server.Stop();
+}
+
+TEST(StatusServer, LoopbackRoundTripPreservesTraceIdIntoExportedTrace) {
+  util::trace::SetEnabled(true);
+  util::trace::Clear();
+
+  obsv::StatusServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  obsv::HttpGetOptions options;
+  options.traceparent =
+      "00-feedfacefeedfacefeedfacefeedface-00f067aa0ba902b7-01";
+  int status = 0;
+  std::string body, response_traceparent;
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/healthz", options, &status,
+                            &body, &response_traceparent, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  // Same trace id comes back; the span id is the server's own hop.
+  EXPECT_EQ(TraceIdOf(response_traceparent),
+            "feedfacefeedfacefeedfacefeedface")
+      << response_traceparent;
+  EXPECT_EQ(response_traceparent.find("00f067aa0ba902b7"),
+            std::string::npos)
+      << "server must mint its own span id, not echo the caller's";
+  server.Stop();
+
+  // The id flowed into the exported Chrome trace via the http.request
+  // span's args.
+  const std::string trace = util::trace::ExportChromeTrace();
+  EXPECT_NE(trace.find("\"http.request\""), std::string::npos);
+  EXPECT_NE(trace.find("feedfacefeedfacefeedfacefeedface"),
+            std::string::npos);
+  util::trace::SetEnabled(false);
+  util::trace::Clear();
+}
+
+TEST(StatusServer, StatsEndpointServesWindowedTelemetry) {
+  obsv::StatusServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  // Drive a little traffic so the window has something to aggregate.
+  int status = 0;
+  std::string body;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(obsv::HttpGet(server.port(), "/healthz", &status, &body,
+                              &error))
+        << error;
+  }
+  ASSERT_TRUE(obsv::HttpGet(server.port(), "/stats", &status, &body,
+                            &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  server.Stop();
+
+  util::JsonValue stats;
+  ASSERT_TRUE(util::ParseJson(body, &stats, &error)) << error << "\n" << body;
+  const util::JsonValue* window = stats.Find("window");
+  ASSERT_NE(window, nullptr) << body;
+  EXPECT_GE(window->NumberOr("requests", -1), 5.0);
+  EXPECT_GT(window->NumberOr("qps", 0), 0.0);
+  const util::JsonValue* latency = window->Find("latency_ms");
+  ASSERT_NE(latency, nullptr) << body;
+  for (const char* key : {"p50", "p95", "p99", "max"}) {
+    EXPECT_NE(latency->Find(key), nullptr) << key;
+  }
+  EXPECT_GE(stats.NumberOr("in_flight", -1), 0.0);
+  ASSERT_NE(stats.Find("cache"), nullptr);
+  ASSERT_NE(stats.Find("access_log"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Access log
+
+TEST(AccessLog, RingKeepsNewestAndCountsSlowRequests) {
+  obsv::AccessLog log(4);
+  log.SetSlowThresholdMs(100.0);
+  for (int i = 0; i < 10; ++i) {
+    obsv::AccessEntry entry;
+    entry.method = "GET";
+    entry.target = "/kb/entity?id=" + std::to_string(i);
+    entry.status = 200;
+    entry.total_ms = i == 9 ? 150.0 : 1.0;  // one slow request
+    entry.trace_id = "trace" + std::to_string(i);
+    log.Record(std::move(entry));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_recorded(), 10u);
+  EXPECT_EQ(log.slow_count(), 1u);
+
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 4u);
+  // Oldest-first: entries 6..9 survived.
+  EXPECT_EQ(entries.front().target, "/kb/entity?id=6");
+  EXPECT_EQ(entries.back().target, "/kb/entity?id=9");
+
+  // Each JSON line parses and carries its trace id.
+  std::istringstream lines(log.ToJsonLines());
+  std::string line, error;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    util::JsonValue doc;
+    ASSERT_TRUE(util::ParseJson(line, &doc, &error)) << error << "\n" << line;
+    EXPECT_FALSE(doc.StringOr("trace_id", "").empty());
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 4);
+}
+
+// ---------------------------------------------------------------------------
 // Crash flush
 
 std::string ReadFileOrEmpty(const std::string& path) {
@@ -627,6 +852,32 @@ TEST(CrashFlush, WritesValidArtifactsExactlyOnce) {
 
   obsv::DisarmCrashFlush();
   EXPECT_FALSE(obsv::CrashFlushNow());  // disarmed
+}
+
+TEST(CrashFlush, FlushesAccessLogRingOnAbnormalExit) {
+  const std::string dir = ::testing::TempDir();
+  const std::string access_path = dir + "/crash_access.jsonl";
+  std::remove(access_path.c_str());
+
+  // Put a recognizable request into the global ring (the same one the
+  // HTTP server records into).
+  obsv::AccessEntry entry;
+  entry.method = "GET";
+  entry.target = "/kb/entity?id=42";
+  entry.status = 200;
+  entry.total_ms = 1.5;
+  entry.trace_id = "cafecafecafecafecafecafecafecafe";
+  obsv::GlobalAccessLog().Record(std::move(entry));
+
+  obsv::ArmCrashFlush("", "", access_path);
+  EXPECT_TRUE(obsv::CrashFlushNow());
+
+  const std::string contents = ReadFileOrEmpty(access_path);
+  EXPECT_NE(contents.find("cafecafecafecafecafecafecafecafe"),
+            std::string::npos)
+      << contents;
+  EXPECT_NE(contents.find("/kb/entity?id=42"), std::string::npos);
+  obsv::DisarmCrashFlush();
 }
 
 // ---------------------------------------------------------------------------

@@ -353,6 +353,64 @@ TEST(ShardedLruCache, EvictsLeastRecentlyUsedPerShard) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(ShardedLruCache, EvictionAccountingReconciles) {
+  // One shard of capacity 4, overfilled by 10 distinct keys: exactly 6
+  // evictions, and the eviction counter mirror sees each one.
+  serve::ShardedLruCache<std::string> cache(1, 4);
+  util::Counter counter;
+  cache.SetEvictionCounter(&counter);
+
+  for (int i = 0; i < 10; ++i) {
+    cache.Put("key" + std::to_string(i), std::to_string(i));
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 6u);
+  EXPECT_EQ(counter.value(), 6u);
+
+  // Refreshing a resident key is not an eviction.
+  cache.Put("key9", "again");
+  EXPECT_EQ(cache.evictions(), 6u);
+
+  // Hits/misses/evictions reconcile: the 4 newest keys hit, the 6
+  // evicted ones miss, and insertions - evictions == resident size.
+  std::string out;
+  uint64_t observed_hits = 0, observed_misses = 0;
+  for (int i = 0; i < 10; ++i) {
+    (cache.Get("key" + std::to_string(i), &out) ? observed_hits
+                                                : observed_misses)++;
+  }
+  EXPECT_EQ(observed_hits, 4u);
+  EXPECT_EQ(observed_misses, 6u);
+  EXPECT_EQ(10u - cache.evictions(), cache.size());
+}
+
+TEST(QueryEngine, CacheEvictionsExportedAsMetric) {
+  auto kb = MakeKb();
+  // A deliberately tiny cache: 1 shard x 2 entries, so distinct entity
+  // lookups overflow it immediately.
+  serve::QueryEngineOptions options;
+  options.cache_shards = 1;
+  options.cache_capacity_per_shard = 2;
+  serve::QueryEngine engine(options);
+  engine.Publish(serve::Snapshot::Build(kb, {.version = 1}));
+
+  auto& evictions = util::Metrics().GetCounter("ltee.serve.cache.evictions");
+  auto& misses = util::Metrics().GetCounter("ltee.serve.cache.misses");
+  const uint64_t evictions_before = evictions.value();
+  const uint64_t misses_before = misses.value();
+  const uint64_t cache_evictions_before = engine.cache().evictions();
+
+  for (int64_t id = 0; id < 5; ++id) engine.EntityById(id);
+
+  // 5 distinct keys through a 2-entry cache: 5 misses, 3 evictions —
+  // and misses reconcile against resident + evicted entries.
+  EXPECT_EQ(misses.value() - misses_before, 5u);
+  const uint64_t evicted = engine.cache().evictions() - cache_evictions_before;
+  EXPECT_EQ(evicted, 3u);
+  EXPECT_EQ(evictions.value() - evictions_before, evicted);
+  EXPECT_EQ(engine.cache().size() + evicted, 5u);
+}
+
 // ---------------------------------------------------------------------------
 // Query engine
 

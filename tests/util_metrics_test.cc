@@ -129,5 +129,94 @@ TEST(MetricsTest, RegistryConcurrentGetAndIncrement) {
             static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
+// ---------------------------------------------------------------------------
+// Rolling-window telemetry. The *At variants take an explicit `now_sec`,
+// so the clock is fully under test control.
+
+TEST(WindowedCounterTest, CountsOnlyTheLiveWindow) {
+  WindowedCounter counter(10);
+  counter.IncrementAt(100, 3);
+  counter.IncrementAt(104, 2);
+  EXPECT_EQ(counter.CountAt(104), 5u);
+  // At t=109 the slot from t=100 is the window's oldest live second
+  // (window covers [100, 109]); one tick later it expires.
+  EXPECT_EQ(counter.CountAt(109), 5u);
+  EXPECT_EQ(counter.CountAt(110), 2u);
+  // Once everything ages out the count is zero.
+  EXPECT_EQ(counter.CountAt(200), 0u);
+}
+
+TEST(WindowedCounterTest, SlotRecyclingDropsStaleCounts) {
+  WindowedCounter counter(4);
+  counter.IncrementAt(10, 7);
+  // t=14 maps onto the same ring slot as t=10 (14 % 4 == 10 % 4 with a
+  // 4-slot ring); the stale count must not leak into the new second.
+  counter.IncrementAt(14, 1);
+  EXPECT_EQ(counter.CountAt(14), 1u);
+}
+
+TEST(WindowedCounterTest, RateUsesCoveredSecondsNotFullWindow) {
+  WindowedCounter counter(60);
+  // A 2-second burst of 100: the rate is 50/s, not 100/60.
+  counter.IncrementAt(1000, 60);
+  counter.IncrementAt(1001, 40);
+  EXPECT_DOUBLE_EQ(counter.RateAt(1001), 50.0);
+  // Idle seconds after the burst dilute it.
+  EXPECT_DOUBLE_EQ(counter.RateAt(1003), 25.0);
+  EXPECT_DOUBLE_EQ(counter.RateAt(2000), 0.0);
+}
+
+TEST(TimeWindowedHistogramTest, PercentilesOverTheLiveWindowOnly) {
+  TimeWindowedHistogram hist(10, ExponentialBuckets(1.0, 2.0, 10));
+  // 100 observations of ~4ms at t=50, then 10 of ~600ms at t=55.
+  for (int i = 0; i < 100; ++i) hist.ObserveAt(50, 4.0);
+  for (int i = 0; i < 10; ++i) hist.ObserveAt(55, 600.0);
+
+  auto stats = hist.StatsAt(55);
+  EXPECT_EQ(stats.count, 110u);
+  EXPECT_EQ(stats.covered_seconds, 2u);
+  EXPECT_DOUBLE_EQ(stats.max, 600.0);
+  // p50 sits in the 4ms bucket, p99 up in the slow tail.
+  EXPECT_LE(stats.p50, 8.0);
+  EXPECT_GE(stats.p99, 100.0);
+  EXPECT_LE(stats.p99, 600.0);
+
+  // Eleven seconds later the fast burst has aged out; only the slow
+  // observations remain and every percentile reflects them.
+  stats = hist.StatsAt(61);
+  EXPECT_EQ(stats.count, 10u);
+  EXPECT_GE(stats.p50, 100.0);
+
+  // And a fully idle window reads as empty, not stale.
+  stats = hist.StatsAt(1000);
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.p95, 0.0);
+}
+
+TEST(TimeWindowedHistogramTest, QpsReflectsBurstRate) {
+  TimeWindowedHistogram hist(60, ExponentialBuckets(0.01, 2.0, 20));
+  for (int i = 0; i < 200; ++i) hist.ObserveAt(10, 1.0);
+  for (int i = 0; i < 200; ++i) hist.ObserveAt(11, 1.0);
+  const auto stats = hist.StatsAt(11);
+  EXPECT_EQ(stats.count, 400u);
+  EXPECT_DOUBLE_EQ(stats.qps, 200.0);
+}
+
+TEST(TimeWindowedHistogramTest, ConcurrentObserversSumExactly) {
+  TimeWindowedHistogram hist(60, ExponentialBuckets(0.01, 2.0, 20));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) hist.ObserveAt(500, 1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.StatsAt(500).count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
 }  // namespace
 }  // namespace ltee::util

@@ -106,6 +106,37 @@ TEST(TraceTest, ClearDropsEvents) {
   EXPECT_EQ(EventCount(), 0u);
 }
 
+TEST(TraceTest, SpansCarryTheCurrentTraceContext) {
+  TraceSandbox sandbox;
+  ClearCurrentContext();
+  { ScopedSpan span("test.no_context"); }
+
+  SetCurrentContext("aaaabbbbccccddddaaaabbbbccccdddd", "1122334455667788");
+  EXPECT_TRUE(HasCurrentContext());
+  EXPECT_EQ(CurrentTraceId(), "aaaabbbbccccddddaaaabbbbccccdddd");
+  EXPECT_EQ(CurrentSpanId(), "1122334455667788");
+  { ScopedSpan span("test.with_context"); }
+  ClearCurrentContext();
+  EXPECT_FALSE(HasCurrentContext());
+  { ScopedSpan span("test.context_cleared"); }
+
+  const std::string json = ExportChromeTrace();
+  // Only the span opened under the context carries the ids.
+  EXPECT_NE(json.find("aaaabbbbccccddddaaaabbbbccccdddd"), std::string::npos);
+  EXPECT_NE(json.find("1122334455667788"), std::string::npos);
+  const size_t id_pos = json.find("aaaabbbbccccddddaaaabbbbccccdddd");
+  EXPECT_EQ(json.find("aaaabbbbccccddddaaaabbbbccccdddd", id_pos + 1),
+            std::string::npos)
+      << "exactly one span should carry the trace id";
+
+  // The context is thread-local: a fresh thread starts without one.
+  bool other_thread_has_context = true;
+  std::thread([&other_thread_has_context] {
+    other_thread_has_context = HasCurrentContext();
+  }).join();
+  EXPECT_FALSE(other_thread_has_context);
+}
+
 TEST(JsonTest, ValidatorAcceptsAndRejects) {
   std::string error;
   EXPECT_TRUE(JsonIsValid(R"({"a":[1,2.5,-3e4],"b":{"c":null},"d":"é"})",

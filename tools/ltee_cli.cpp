@@ -54,6 +54,7 @@
 #include "eval/gold_serialization.h"
 #include "kb/applier.h"
 #include "kb/serialization.h"
+#include "obsv/access_log.h"
 #include "obsv/crash_flush.h"
 #include "obsv/http_client.h"
 #include "obsv/span_analytics.h"
@@ -130,8 +131,10 @@ int Usage() {
                "  ltee_cli analyze-trace TRACE.json [--json]\n"
                "  ltee_cli serve --snapshot FILE [--port PORT] [--shards N] "
                "[--workers N] [--cache-capacity N] [--linger SECONDS] "
-               "[--watch]\n"
-               "  ltee_cli get --port PORT --path /kb/... [--expect-json]\n"
+               "[--watch] [--trace-out FILE] [--access-log FILE] "
+               "[--slow-ms MS]\n"
+               "  ltee_cli get --port PORT --path /kb/... [--expect-json] "
+               "[--traceparent HEADER] [--show-traceparent]\n"
                "run uses the default synthetic dataset when the four input "
                "files are omitted; --status-port (or LTEE_STATUS_PORT) "
                "serves /metrics /report /trace /provenance /healthz while it "
@@ -144,10 +147,16 @@ int Usage() {
                "persists the delta-resumable state; ingest appends the "
                "delta tables, reruns only affected classes, and publishes "
                "the next snapshot version; serve answers /kb/entity "
-               "/kb/search /kb/classes /kb/snapshot (plus /metrics "
+               "/kb/search /kb/classes /kb/snapshot (plus /metrics /stats "
                "/healthz) from such a file until SIGINT/SIGTERM "
-               "(--watch republishes when the snapshot file changes); get "
-               "is a dependency-free loopback HTTP client for scripts\n");
+               "(--watch republishes when the snapshot file changes; "
+               "--trace-out exports the request spans on shutdown, "
+               "--access-log writes the request ring as JSON lines, "
+               "--slow-ms sets the slow-request WARNING threshold); get "
+               "is a dependency-free loopback HTTP client for scripts "
+               "(--traceparent sends the header downstream, "
+               "--show-traceparent prints the server's response header on "
+               "stderr)\n");
   return 2;
 }
 
@@ -694,6 +703,24 @@ void HandleServeSignal(int) { g_serve_stop = 1; }
 int Serve(const std::map<std::string, std::string>& flags) {
   auto snapshot_it = flags.find("snapshot");
   if (snapshot_it == flags.end()) return Usage();
+
+  // Request observability: --trace-out turns tracing on (every request
+  // gets an http.request span carrying its trace id) and exports the
+  // buffers on shutdown; --access-log writes the request ring as JSON
+  // lines; --slow-ms lowers/raises the slow-request WARNING threshold.
+  // All three also flush on a crash, which is when a serving process
+  // needs them most.
+  const std::string trace_out =
+      flags.count("trace-out") ? flags.at("trace-out") : std::string();
+  const std::string access_log_out =
+      flags.count("access-log") ? flags.at("access-log") : std::string();
+  if (!trace_out.empty()) util::trace::SetEnabled(true);
+  if (auto it = flags.find("slow-ms"); it != flags.end()) {
+    obsv::GlobalAccessLog().SetSlowThresholdMs(std::atof(it->second.c_str()));
+  }
+  if (!trace_out.empty() || !access_log_out.empty()) {
+    obsv::ArmCrashFlush(trace_out, std::string(), access_log_out);
+  }
   size_t shards = 4;
   if (auto it = flags.find("shards"); it != flags.end()) {
     shards = static_cast<size_t>(std::atoll(it->second.c_str()));
@@ -731,7 +758,7 @@ int Serve(const std::map<std::string, std::string>& flags) {
   }
   std::printf("kb service on http://localhost:%u (snapshot v%llu, "
               "%zu entities, %zu shards; /kb/entity /kb/search /kb/classes "
-              "/kb/snapshot /metrics /healthz)\n",
+              "/kb/snapshot /metrics /stats /healthz)\n",
               status_server.port(),
               static_cast<unsigned long long>(snapshot->version()),
               snapshot->num_entities(), snapshot->num_shards());
@@ -787,6 +814,30 @@ int Serve(const std::map<std::string, std::string>& flags) {
     }
   }
   status_server.Stop();
+
+  // Normal shutdown: write the artifacts ourselves and disarm the crash
+  // handlers so they do not write a second time.
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (out) {
+      out << util::trace::ExportChromeTrace() << "\n";
+      std::printf("request trace written to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    }
+  }
+  if (!access_log_out.empty()) {
+    std::ofstream out(access_log_out);
+    if (out) {
+      out << obsv::GlobalAccessLog().ToJsonLines();
+      std::printf("access log (%zu entries) written to %s\n",
+                  obsv::GlobalAccessLog().size(), access_log_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", access_log_out.c_str());
+    }
+  }
+  obsv::DisarmCrashFlush();
+
   std::printf("kb service stopped\n");
   return 0;
 }
@@ -799,14 +850,23 @@ int Get(const std::map<std::string, std::string>& flags) {
   auto path_it = flags.find("path");
   if (port_it == flags.end() || path_it == flags.end()) return Usage();
   int status = 0;
-  std::string body, error;
+  std::string body, error, response_traceparent;
+  obsv::HttpGetOptions options;
+  if (auto it = flags.find("traceparent"); it != flags.end()) {
+    options.traceparent = it->second;
+  }
   if (!obsv::HttpGet(static_cast<uint16_t>(std::atoi(port_it->second.c_str())),
-                     path_it->second, &status, &body, &error)) {
+                     path_it->second, options, &status, &body,
+                     &response_traceparent, &error)) {
     std::fprintf(stderr, "get %s: %s\n", path_it->second.c_str(),
                  error.c_str());
     return 1;
   }
   std::printf("%s\n", body.c_str());
+  if (flags.count("show-traceparent")) {
+    // stderr so the body on stdout stays pipeable.
+    std::fprintf(stderr, "traceparent: %s\n", response_traceparent.c_str());
+  }
   if (flags.count("expect-json") &&
       !ltee::util::JsonIsValid(body, &error)) {
     std::fprintf(stderr, "get %s: body is not valid JSON: %s\n",

@@ -1,0 +1,146 @@
+// ltee_top: a polling terminal dashboard over a serving process's
+// GET /stats endpoint — `top` for the KB service. Each tick fetches the
+// rolling-window telemetry JSON and renders live QPS, latency
+// p50/p95/p99, cache hit rate, in-flight requests and the published
+// snapshot version.
+//
+// Usage:
+//   ltee_top --port PORT [--interval-ms MS] [--iterations N] [--no-clear]
+//
+// --interval-ms defaults to 1000. --iterations 0 (the default) polls
+// until interrupted; a positive N renders N frames then exits — that is
+// what scripted smoke tests use. When stdout is a terminal the screen is
+// cleared between frames (ANSI home+clear); --no-clear (or a non-tty
+// stdout) appends frames instead, so output stays greppable in a pipe.
+//
+// Exit status: 0 when the final poll succeeded, 1 when the endpoint
+// could not be reached or returned malformed JSON.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obsv/http_client.h"
+#include "util/json_parse.h"
+
+namespace {
+
+using ltee::util::JsonValue;
+
+struct Options {
+  int port = -1;
+  int interval_ms = 1000;
+  int iterations = 0;  // 0 = until interrupted
+  bool clear = true;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ltee_top --port PORT [--interval-ms MS] "
+               "[--iterations N] [--no-clear]\n"
+               "polls GET /stats of a `ltee_cli serve` (or `run "
+               "--status-port`) process and renders live QPS, latency "
+               "percentiles, cache hit rate, in-flight requests and the "
+               "snapshot version\n");
+  return 2;
+}
+
+double NumAt(const JsonValue& root, const char* outer, const char* key,
+             double fallback) {
+  const JsonValue* section = root.Find(outer);
+  return section != nullptr ? section->NumberOr(key, fallback) : fallback;
+}
+
+/// One rendered frame. Returns false when the poll or parse failed (the
+/// frame then shows the error instead of numbers).
+bool RenderFrame(const Options& options, int frame) {
+  int status = 0;
+  std::string body, error;
+  if (!ltee::obsv::HttpGet(static_cast<uint16_t>(options.port), "/stats",
+                           &status, &body, &error)) {
+    std::printf("ltee_top: cannot reach :%d/stats: %s\n", options.port,
+                error.c_str());
+    return false;
+  }
+  if (status != 200) {
+    std::printf("ltee_top: GET /stats returned HTTP %d\n", status);
+    return false;
+  }
+  JsonValue stats;
+  if (!ltee::util::ParseJson(body, &stats, &error)) {
+    std::printf("ltee_top: /stats body is not JSON: %s\n", error.c_str());
+    return false;
+  }
+
+  const double covered = NumAt(stats, "window", "covered_seconds", 0);
+  const double requests = NumAt(stats, "window", "requests", 0);
+  const double qps = NumAt(stats, "window", "qps", 0);
+  const JsonValue* window = stats.Find("window");
+  const JsonValue* latency =
+      window != nullptr ? window->Find("latency_ms") : nullptr;
+  const double p50 = latency != nullptr ? latency->NumberOr("p50", 0) : 0;
+  const double p95 = latency != nullptr ? latency->NumberOr("p95", 0) : 0;
+  const double p99 = latency != nullptr ? latency->NumberOr("p99", 0) : 0;
+  const double lat_max = latency != nullptr ? latency->NumberOr("max", 0) : 0;
+  const double hits = NumAt(stats, "cache", "hits", 0);
+  const double misses = NumAt(stats, "cache", "misses", 0);
+  const double evictions = NumAt(stats, "cache", "evictions", 0);
+  const double hit_ratio = NumAt(stats, "cache", "hit_ratio", 0);
+  const double in_flight = stats.NumberOr("in_flight", 0);
+  const double version = stats.NumberOr("snapshot_version", 0);
+  const double slow = NumAt(stats, "access_log", "slow", 0);
+  const double slow_ms = NumAt(stats, "access_log", "slow_threshold_ms", 0);
+
+  std::printf("ltee :%d  snapshot v%.0f  in-flight %.0f  frame %d\n",
+              options.port, version, in_flight, frame);
+  std::printf("window  %4.0fs covered  %8.0f requests  %10.1f qps\n",
+              covered, requests, qps);
+  std::printf(
+      "latency p50 %8.3f ms   p95 %8.3f ms   p99 %8.3f ms   max %8.3f ms\n",
+      p50, p95, p99, lat_max);
+  std::printf("cache   hits %.0f  misses %.0f  evictions %.0f  "
+              "hit-rate %5.1f%%\n",
+              hits, misses, evictions, hit_ratio * 100.0);
+  std::printf("slow    %.0f requests over %.0f ms\n", slow, slow_ms);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      options.interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      options.iterations = std::atoi(argv[++i]);
+    } else if (arg == "--no-clear") {
+      options.clear = false;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.port <= 0) return Usage();
+  if (options.interval_ms < 1) options.interval_ms = 1;
+  const bool clear = options.clear && ::isatty(STDOUT_FILENO) != 0;
+
+  bool ok = false;
+  for (int frame = 1;
+       options.iterations == 0 || frame <= options.iterations; ++frame) {
+    if (clear) std::printf("\x1b[H\x1b[2J");
+    ok = RenderFrame(options, frame);
+    std::fflush(stdout);
+    if (options.iterations != 0 && frame == options.iterations) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms));
+  }
+  return ok ? 0 : 1;
+}

@@ -12,10 +12,18 @@
 //   - span analytics over the trace account for the root spans: the
 //     summed self times equal the summed top-level span durations.
 //
+// With `--file TRACE.json` it skips the pipeline run and instead
+// validates an already-exported trace file — valid JSON, structurally
+// sound, analyzable — which is how scripts check the request traces
+// written by `ltee_cli serve --trace-out`.
+//
 // Exit code 0 on success; prints the first failure to stderr otherwise.
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,9 +49,46 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// `--file` mode: validate an exported trace file instead of running the
+/// pipeline.
+int ValidateFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Fail("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace = buffer.str();
+
+  std::string error;
+  if (!util::JsonIsValid(trace, &error)) {
+    return Fail(path + ": trace JSON invalid: " + error);
+  }
+  if (!obsv::ValidateChromeTrace(trace, &error)) {
+    return Fail(path + ": trace failed structural validation: " + error);
+  }
+  obsv::TraceAnalysis analysis;
+  if (!obsv::AnalyzeChromeTrace(trace, &analysis, &error)) {
+    return Fail(path + ": trace analytics failed: " + error);
+  }
+  if (analysis.num_events == 0) {
+    return Fail(path + ": trace contains no span events");
+  }
+  std::printf("validate_trace: OK (%s: %zu events, %zu bytes, "
+              "busy %.1f ms over wall %.1f ms)\n",
+              path.c_str(), analysis.num_events, trace.size(),
+              analysis.busy_ms, analysis.wall_ms);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--file") == 0) {
+    return ValidateFile(argv[2]);
+  }
+  if (argc != 1) {
+    std::fprintf(stderr, "usage: validate_trace [--file TRACE.json]\n");
+    return 2;
+  }
   util::trace::SetEnabled(true);
   util::trace::Clear();
   util::trace::SetCurrentThreadName("validate-trace-main");
