@@ -7,8 +7,10 @@
 // *shape* of each table — orderings, relative deltas, crossovers — is the
 // reproduction target (see EXPERIMENTS.md).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 #include "pipeline/experiment.h"
@@ -95,6 +97,22 @@ inline void EmitResult(const std::string& bench, const std::string& metric,
   line += "}";
   std::printf("%s\n", line.c_str());
   std::fflush(stdout);
+}
+
+/// Runs `fn` `runs` times and returns the minimum wall-clock seconds.
+/// The minimum is the standard noise-resistant estimator for comparing
+/// two variants of the same work on a loaded machine: external load only
+/// ever inflates a run, so the fastest observation is the closest to the
+/// true cost of each variant.
+template <typename Fn>
+double MinWallSeconds(int runs, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < runs; ++i) {
+    util::WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
 }
 
 /// Emits one `{"bench":<name>,"metric":"wall_ms",...}` line when it goes

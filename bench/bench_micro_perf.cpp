@@ -17,6 +17,7 @@
 
 #include "bench_common.h"
 #include "cluster/correlation_clusterer.h"
+#include "obsv/profiler.h"
 #include "index/label_index.h"
 #include "ml/random_forest.h"
 #include "pipeline/pipeline.h"
@@ -280,6 +281,44 @@ void RunEndToEndTimings() {
                  prov::EventCount());
     prov::SetEnabled(false);
     prov::Clear();
+  }
+  {
+    // Sampling-profiler overhead: the same prepared-corpus run with and
+    // without 99 Hz SIGPROF sampling. Min-of-3 per mode so machine-load
+    // noise doesn't masquerade as overhead, clamped at zero (the
+    // sampled run beating the unsampled one is noise, not a speedup).
+    // The "pct" unit gates this upward in report_diff against the
+    // absolute --min-pct floor: sampling must stay under 3%.
+    const double off_seconds = bench::MinWallSeconds(3, [&] {
+      auto run = pipe.Run(raw_corpus, classes);
+      benchmark::DoNotOptimize(run);
+    });
+    double on_seconds = off_seconds;
+    obsv::ProfilerOptions profiler_options;
+    profiler_options.hz = 99;
+    std::string error;
+    if (obsv::StartProfiler(profiler_options, &error)) {
+      on_seconds = bench::MinWallSeconds(3, [&] {
+        auto run = pipe.Run(raw_corpus, classes);
+        benchmark::DoNotOptimize(run);
+      });
+      obsv::StopProfiler();
+      const obsv::ProfileStats stats = obsv::CurrentProfileStats();
+      std::fprintf(stderr, "# profiler: %llu samples, %llu dropped\n",
+                   static_cast<unsigned long long>(stats.samples),
+                   static_cast<unsigned long long>(stats.dropped));
+      obsv::ResetProfiler();
+    } else {
+      std::fprintf(stderr, "# profiler unavailable: %s\n", error.c_str());
+    }
+    const double overhead_pct =
+        off_seconds > 0.0
+            ? std::max(0.0, (on_seconds - off_seconds) / off_seconds * 100.0)
+            : 0.0;
+    bench::EmitResult("E2E_ProfilerOverhead", "profiler_overhead_pct",
+                      overhead_pct, "pct");
+    std::fprintf(stderr, "%-40s %12.2f %%\n", "E2E_ProfilerOverhead",
+                 overhead_pct);
   }
 }
 

@@ -206,4 +206,84 @@ if "${BUILD_DIR}/tools/snapshot_diff" \
 fi
 "${BUILD_DIR}/tools/validate_ledger" "${DELTA_DIR}/delta_ledger.jsonl"
 
+# Sampling profiler end to end: the profile-labelled unit tests, a
+# fixed-seed profiled run whose collapsed stacks must surface the row
+# clustering similarity path (the paper's hot loop), analyze-profile over
+# the written artifact (text and JSON, with per-span attribution and the
+# drop counter), and a live bounded capture through GET /profile while
+# the kb service answers queries.
+ctest --test-dir "${BUILD_DIR}" -L profile --output-on-failure -j "$(nproc)"
+
+PROFILE="${BUILD_DIR}/smoke_profile.collapsed"
+"${BUILD_DIR}/tools/ltee_cli" run --scale 0.002 --seed 41 \
+    --profile-out "${PROFILE}" --profile-hz 199 >/dev/null
+if ! grep -q "^# ltee-profile hz=199 " "${PROFILE}"; then
+    echo "check_observability: FAIL: ${PROFILE} has no profile header" >&2
+    exit 1
+fi
+if ! grep -q -e "RowClusterer" -e "rowcluster" "${PROFILE}"; then
+    echo "check_observability: FAIL: collapsed profile never sampled the" \
+        "row-clustering path" >&2
+    exit 1
+fi
+
+ANALYSIS="$("${BUILD_DIR}/tools/ltee_cli" analyze-profile "${PROFILE}")"
+if ! grep -q "rowcluster.cluster" <<<"${ANALYSIS}"; then
+    echo "check_observability: FAIL: analyze-profile reports no" \
+        "rowcluster.cluster span attribution" >&2
+    echo "${ANALYSIS}" >&2
+    exit 1
+fi
+ANALYSIS_JSON="$("${BUILD_DIR}/tools/ltee_cli" analyze-profile \
+    "${PROFILE}" --json)"
+for KEY in '"top_functions"' '"spans"' '"dropped"'; do
+    if ! grep -q "${KEY}" <<<"${ANALYSIS_JSON}"; then
+        echo "check_observability: FAIL: analyze-profile --json is missing" \
+            "${KEY}" >&2
+        exit 1
+    fi
+done
+
+# Live capture under load: serve the earlier snapshot again, keep a
+# query loop running, and require GET /profile to return a well-formed
+# collapsed capture of the serving process.
+PROF_SERVE_LOG="${BUILD_DIR}/smoke_profile_serve.log"
+"${BUILD_DIR}/tools/ltee_cli" serve --snapshot "${SNAPSHOT}" --port 0 \
+    >"${PROF_SERVE_LOG}" 2>&1 &
+PROF_SERVE_PID=$!
+trap 'kill "${PROF_SERVE_PID}" 2>/dev/null || true' EXIT
+
+PROF_PORT=""
+for _ in $(seq 1 100); do
+    PROF_PORT="$(sed -n 's|.*http://localhost:\([0-9]*\).*|\1|p' \
+        "${PROF_SERVE_LOG}")"
+    [[ -n "${PROF_PORT}" ]] && break
+    sleep 0.1
+done
+if [[ -z "${PROF_PORT}" ]]; then
+    echo "check_observability: FAIL: profile smoke service reported no port" >&2
+    cat "${PROF_SERVE_LOG}" >&2
+    exit 1
+fi
+
+( for _ in $(seq 1 500); do
+    "${BUILD_DIR}/tools/ltee_cli" get --port "${PROF_PORT}" \
+        --path '/kb/search?q=the&k=3' >/dev/null 2>&1 || break
+  done ) &
+LOAD_PID=$!
+LIVE_PROFILE="$("${BUILD_DIR}/tools/ltee_cli" get --port "${PROF_PORT}" \
+    --path '/profile?seconds=1&hz=199')"
+kill "${LOAD_PID}" 2>/dev/null || true
+wait "${LOAD_PID}" 2>/dev/null || true
+if ! grep -q "^# ltee-profile hz=199 " <<<"${LIVE_PROFILE}"; then
+    echo "check_observability: FAIL: live /profile returned no collapsed" \
+        "capture" >&2
+    echo "${LIVE_PROFILE}" >&2
+    exit 1
+fi
+
+kill -TERM "${PROF_SERVE_PID}"
+wait "${PROF_SERVE_PID}" || true
+trap - EXIT
+
 echo "check_observability: OK"

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "obsv/access_log.h"
+#include "obsv/profiler.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -21,6 +22,7 @@ struct FlushState {
   std::string trace_path;
   std::string metrics_path;
   std::string access_log_path;
+  std::string profile_path;
   std::terminate_handler previous_terminate = nullptr;
 };
 
@@ -54,12 +56,13 @@ void AtExitHandler() { CrashFlushNow(); }
 }  // namespace
 
 void ArmCrashFlush(std::string trace_path, std::string metrics_path,
-                   std::string access_log_path) {
+                   std::string access_log_path, std::string profile_path) {
   FlushState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
   state.trace_path = std::move(trace_path);
   state.metrics_path = std::move(metrics_path);
   state.access_log_path = std::move(access_log_path);
+  state.profile_path = std::move(profile_path);
   state.armed = true;
   if (!state.installed) {
     state.installed = true;
@@ -75,7 +78,7 @@ void DisarmCrashFlush() {
 }
 
 bool CrashFlushNow() {
-  std::string trace_path, metrics_path, access_log_path;
+  std::string trace_path, metrics_path, access_log_path, profile_path;
   {
     FlushState& state = State();
     std::lock_guard<std::mutex> lock(state.mu);
@@ -84,6 +87,7 @@ bool CrashFlushNow() {
     trace_path = state.trace_path;
     metrics_path = state.metrics_path;
     access_log_path = state.access_log_path;
+    profile_path = state.profile_path;
   }
   if (!trace_path.empty()) {
     WriteFile(trace_path, util::trace::ExportChromeTrace());
@@ -109,8 +113,18 @@ bool CrashFlushNow() {
     std::fprintf(stderr, "crash flush: access log written to %s\n",
                  access_log_path.c_str());
   }
+  bool profile_written = false;
+  if (!profile_path.empty() &&
+      (ProfilerActive() || CurrentProfileStats().samples > 0)) {
+    // Stop sampling and write whatever was collected — a partial profile
+    // of a crashed run still points at the code that was burning CPU.
+    WriteFile(profile_path, CollectCollapsedProfile());
+    std::fprintf(stderr, "crash flush: partial profile written to %s\n",
+                 profile_path.c_str());
+    profile_written = true;
+  }
   return !trace_path.empty() || !metrics_path.empty() ||
-         !access_log_path.empty();
+         !access_log_path.empty() || profile_written;
 }
 
 }  // namespace ltee::obsv

@@ -18,9 +18,14 @@ namespace ltee::obsv {
 /// is precisely when you want them most.
 ///
 /// Any path may be empty (that artifact is skipped). Re-arming replaces
-/// the previous paths. The handlers write exactly once.
+/// the previous paths. The handlers write exactly once. When
+/// `profile_path` is set and a sampling capture is active (or has
+/// uncollected samples), the profiler is stopped and the partial
+/// collapsed-stack profile written there — a run that dies mid-pipeline
+/// still yields the CPU evidence gathered up to the crash.
 void ArmCrashFlush(std::string trace_path, std::string metrics_path,
-                   std::string access_log_path = "");
+                   std::string access_log_path = "",
+                   std::string profile_path = "");
 
 /// Disarms the emergency flush; the normal export path has run.
 void DisarmCrashFlush();

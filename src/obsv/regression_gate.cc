@@ -28,7 +28,7 @@ bool IsLatencyPercentileUnit(const std::string& unit) {
 
 GateDirection GateDirectionOf(const std::string& unit) {
   if (unit == "seconds" || unit == "ms" || unit == "ns" || unit == "rate" ||
-      IsLatencyPercentileUnit(unit)) {
+      unit == "pct" || IsLatencyPercentileUnit(unit)) {
     return GateDirection::kHigherIsWorse;
   }
   if (unit == "score" || unit == "f1" || unit == "ops_s") {
@@ -123,6 +123,10 @@ GateReport CompareGateMetrics(const GateMetricMap& before,
     if (delta.direction == GateDirection::kHigherIsWorse) {
       if (b.unit == "rate") {
         delta.regressed = delta.rel > thresholds.quality;
+      } else if (b.unit == "pct") {
+        const bool above_floor = b.value >= thresholds.min_pct ||
+                                 a.value >= thresholds.min_pct;
+        delta.regressed = above_floor && delta.rel > thresholds.time;
       } else if (IsLatencyPercentileUnit(b.unit)) {
         const bool above_floor = b.value >= thresholds.min_latency_ms ||
                                  a.value >= thresholds.min_latency_ms;

@@ -33,6 +33,10 @@ using GateMetricMap = std::map<std::string, GateMetric>;
 ///    from closed-loop load benches, regress upward but against the
 ///    dedicated `min_latency_ms` noise floor instead of `min_seconds`.
 ///  - "rate": quality-drift gauges, regress upward vs quality threshold.
+///  - "pct": absolute overhead percentages (e.g. sampling-profiler
+///    overhead), regress upward but only once either side crosses the
+///    `min_pct` floor — an overhead that stays under the floor is free
+///    by definition and never gates.
 ///  - "score", "f1": quality scores, regress downward.
 ///  - "ops_s": throughput, regresses downward vs the time threshold.
 ///  - everything else ("count", "ratio", "gauge", ...): informational.
@@ -62,6 +66,11 @@ struct GateThresholds {
   /// in-process query that moves from 5us to 15us is +200% but
   /// meaningless; only percentiles at millisecond scale gate.
   double min_latency_ms = 1.0;
+  /// Floor for the "pct" overhead unit, in absolute percent: pairs where
+  /// both sides stay below never gate (0.4% -> 1.2% is tripled but
+  /// negligible). The default encodes the profiler's <3%-overhead
+  /// budget.
+  double min_pct = 3.0;
 };
 
 /// One compared metric of a gate run.

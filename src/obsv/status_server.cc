@@ -1,5 +1,8 @@
 #include "obsv/status_server.h"
 
+#include <cstdlib>
+
+#include "obsv/profiler.h"
 #include "obsv/telemetry.h"
 #include "prov/explain.h"
 #include "util/metrics.h"
@@ -30,6 +33,47 @@ StatusServer::StatusServer(size_t num_workers) : server_(num_workers) {
     HttpResponse response;
     response.content_type = "application/json";
     response.body = util::trace::ExportChromeTrace();
+    return response;
+  });
+  server_.Handle("/profile", [](const HttpRequest& request) {
+    HttpResponse response;
+    // Bounded on-demand capture: a worker thread profiles the whole
+    // process for `seconds`, then streams the collapsed stacks.
+    // Concurrent captures are capped at one — the second caller gets 503
+    // and retries, it is never queued behind a foreign capture.
+    double seconds = 1.0;
+    int hz = 99;
+    const std::string seconds_param = QueryParam(request.query, "seconds");
+    if (!seconds_param.empty()) {
+      char* end = nullptr;
+      seconds = std::strtod(seconds_param.c_str(), &end);
+      if (end == nullptr || *end != '\0' || !(seconds > 0.0) ||
+          seconds > 30.0) {
+        response.status = 400;
+        response.body = "seconds must be a number in (0, 30]\n";
+        return response;
+      }
+    }
+    const std::string hz_param = QueryParam(request.query, "hz");
+    if (!hz_param.empty()) {
+      char* end = nullptr;
+      const long parsed = std::strtol(hz_param.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || parsed < 1 || parsed > 1000) {
+        response.status = 400;
+        response.body = "hz must be an integer in [1, 1000]\n";
+        return response;
+      }
+      hz = static_cast<int>(parsed);
+    }
+    std::string collapsed;
+    std::string error;
+    if (!CaptureProfile(seconds, hz, &collapsed, &error)) {
+      response.status = 503;
+      response.body = error + "\n";
+      return response;
+    }
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = std::move(collapsed);
     return response;
   });
   server_.Handle("/report", [this](const HttpRequest&) {

@@ -1,6 +1,7 @@
 #include "obsv/telemetry.h"
 
 #include "obsv/access_log.h"
+#include "obsv/profiler.h"
 #include "util/json.h"
 
 namespace ltee::obsv {
@@ -85,6 +86,15 @@ std::string RenderStatsJson(int64_t in_flight) {
   out += std::to_string(access_log.slow_count());
   out += ",\"slow_threshold_ms\":";
   util::AppendJsonNumber(&out, access_log.slow_threshold_ms());
+  const ProfilerTotals profiler = GetProfilerTotals();
+  out += "},\"profiler\":{\"active\":";
+  out += ProfilerActive() ? "true" : "false";
+  out += ",\"captures\":";
+  out += std::to_string(profiler.captures);
+  out += ",\"samples\":";
+  out += std::to_string(profiler.samples);
+  out += ",\"dropped\":";
+  out += std::to_string(profiler.dropped);
   out += "}}";
   return out;
 }

@@ -1,0 +1,62 @@
+#ifndef LTEE_UTIL_STACK_CAPTURE_H_
+#define LTEE_UTIL_STACK_CAPTURE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ltee::util {
+
+/// Raw program-counter capture and lazy symbolization — the substrate of
+/// the sampling CPU profiler (obsv::profiler). Capture and symbolization
+/// are deliberately split: CaptureStack runs inside a SIGPROF handler and
+/// must be async-signal-safe, while SymbolizeAddress allocates freely and
+/// only runs at export time, on the addresses the samples recorded.
+
+/// Deepest stack a single capture records; deeper frames are truncated
+/// from the root end (the leaf frames, where the CPU actually is, are
+/// always kept).
+inline constexpr int kMaxStackDepth = 48;
+
+/// True when the platform supports stack capture (glibc backtrace +
+/// dladdr). When false, CaptureStack returns 0 frames and profiles come
+/// out empty — the profiler degrades instead of failing the build.
+bool StackCaptureSupported();
+
+/// Must run once in normal (non-signal) context before the first
+/// signal-context CaptureStack: glibc's backtrace lazily dlopens
+/// libgcc_s on first use, and dlopen is not async-signal-safe. Calling
+/// it here forces that load so later captures never allocate or lock.
+/// Idempotent and thread-safe.
+void WarmUpStackCapture();
+
+/// Fills `frames` with up to `max_depth` return addresses of the calling
+/// stack, innermost (leaf) first. CaptureStack's own frame is always
+/// excluded; `skip` drops that many additional innermost frames of the
+/// caller's context (the handler and the kernel signal trampoline, for a
+/// profiler capture). Returns the number of frames stored.
+/// Async-signal-safe after WarmUpStackCapture has run.
+int CaptureStack(void** frames, int max_depth, int skip = 0);
+
+/// One symbolized program counter.
+struct SymbolizedFrame {
+  /// Demangled function name when the symbol resolved; otherwise
+  /// "module+0xoffset" for a mapped but nameless address, or
+  /// "[unknown]". Never empty.
+  std::string name;
+  /// True when a real symbol name (not a fallback form) resolved.
+  bool known = false;
+};
+
+/// Resolves `pc` to a function name via dladdr + C++ demangling. The
+/// executable must export its symbols for its own functions to resolve
+/// (CMake ENABLE_EXPORTS / -rdynamic — set on every binary that starts
+/// the profiler). NOT async-signal-safe: export-time only.
+SymbolizedFrame SymbolizeAddress(const void* pc);
+
+/// Demangles a C++ symbol name, returning the input unchanged when it is
+/// not a mangled name.
+std::string DemangleSymbol(const std::string& mangled);
+
+}  // namespace ltee::util
+
+#endif  // LTEE_UTIL_STACK_CAPTURE_H_

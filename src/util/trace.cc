@@ -63,6 +63,49 @@ CurrentContext& LocalContext() {
   return context;
 }
 
+std::atomic<bool> g_span_tracking{false};
+
+/// Per-thread signal-safe span-name stack. Constant-initialized and
+/// trivially destructible on purpose: a SIGPROF handler interrupting this
+/// thread reads it directly, so touching it must never run a TLS
+/// initialization guard or allocate. Deeper nesting than kMaxTrackedDepth
+/// keeps counting depth but stops storing names — samples then attribute
+/// to the deepest stored ancestor.
+inline constexpr uint32_t kMaxTrackedDepth = 32;
+
+struct SpanNameStack {
+  std::atomic<uint32_t> depth{0};
+  char names[kMaxTrackedDepth][kTrackedSpanNameLen] = {};
+};
+
+constinit thread_local SpanNameStack t_span_names;
+
+/// Fixed mirror of LocalContext().trace_id for signal-context reads.
+constinit thread_local char t_signal_trace_id[33];
+
+void PushTrackedSpan(std::string_view name) {
+  SpanNameStack& stack = t_span_names;
+  const uint32_t depth = stack.depth.load(std::memory_order_relaxed);
+  if (depth < kMaxTrackedDepth) {
+    char* dst = stack.names[depth];
+    const size_t n = name.size() < kTrackedSpanNameLen - 1
+                         ? name.size()
+                         : kTrackedSpanNameLen - 1;
+    std::memcpy(dst, name.data(), n);
+    dst[n] = '\0';
+  }
+  // The name bytes must be visible to a signal handler interrupting this
+  // thread before the depth increment that publishes them.
+  std::atomic_signal_fence(std::memory_order_release);
+  stack.depth.store(depth + 1, std::memory_order_relaxed);
+}
+
+void PopTrackedSpan() {
+  SpanNameStack& stack = t_span_names;
+  const uint32_t depth = stack.depth.load(std::memory_order_relaxed);
+  if (depth > 0) stack.depth.store(depth - 1, std::memory_order_relaxed);
+}
+
 ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
@@ -85,12 +128,22 @@ bool IsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void SetCurrentContext(std::string trace_id, std::string span_id) {
   CurrentContext& context = LocalContext();
+  const size_t n = trace_id.size() < sizeof(t_signal_trace_id) - 1
+                       ? trace_id.size()
+                       : sizeof(t_signal_trace_id) - 1;
+  // Byte 32 is never written non-NUL, so the buffer stays terminated even
+  // if a SIGPROF lands mid-copy (the handler may then read a garbled but
+  // bounded id for that one sample).
+  std::memcpy(t_signal_trace_id, trace_id.data(), n);
+  t_signal_trace_id[n] = '\0';
+  std::atomic_signal_fence(std::memory_order_release);
   context.trace_id = std::move(trace_id);
   context.span_id = std::move(span_id);
 }
 
 void ClearCurrentContext() {
   CurrentContext& context = LocalContext();
+  t_signal_trace_id[0] = '\0';
   context.trace_id.clear();
   context.span_id.clear();
 }
@@ -101,8 +154,43 @@ std::string CurrentTraceId() { return LocalContext().trace_id; }
 
 std::string CurrentSpanId() { return LocalContext().span_id; }
 
+void SetSpanTrackingEnabled(bool enabled) {
+  g_span_tracking.store(enabled, std::memory_order_relaxed);
+}
+
+bool IsSpanTrackingEnabled() {
+  return g_span_tracking.load(std::memory_order_relaxed);
+}
+
+bool CurrentSpanNameForSignal(char* buf, size_t len) {
+  if (buf == nullptr || len == 0) return false;
+  buf[0] = '\0';
+  const SpanNameStack& stack = t_span_names;
+  uint32_t depth = stack.depth.load(std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_acquire);
+  if (depth == 0) return false;
+  if (depth > kMaxTrackedDepth) depth = kMaxTrackedDepth;
+  const char* src = stack.names[depth - 1];
+  size_t i = 0;
+  for (; i + 1 < len && src[i] != '\0'; ++i) buf[i] = src[i];
+  buf[i] = '\0';
+  return i > 0;
+}
+
+bool CurrentTraceIdForSignal(char* buf, size_t len) {
+  if (buf == nullptr || len == 0) return false;
+  std::atomic_signal_fence(std::memory_order_acquire);
+  const char* src = t_signal_trace_id;
+  size_t i = 0;
+  for (; i + 1 < len && src[i] != '\0'; ++i) buf[i] = src[i];
+  buf[i] = '\0';
+  return i > 0;
+}
+
 ScopedSpan::ScopedSpan(std::string_view name, const char* category)
-    : enabled_(IsEnabled()) {
+    : enabled_(IsEnabled()),
+      tracked_(g_span_tracking.load(std::memory_order_relaxed)) {
+  if (tracked_) PushTrackedSpan(name);
   if (!enabled_) return;
   event_.name.assign(name);
   event_.category = category;
@@ -117,6 +205,7 @@ ScopedSpan::ScopedSpan(std::string_view name, const char* category)
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (tracked_) PopTrackedSpan();
   if (!enabled_) return;
   event_.duration_ns = NowNs() - event_.start_ns;
   ThreadBuffer& buffer = LocalBuffer();

@@ -2,6 +2,7 @@
 #define LTEE_UTIL_TRACE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -58,6 +59,7 @@ class ScopedSpan {
 
  private:
   bool enabled_;
+  bool tracked_;
   TraceEvent event_;
 };
 
@@ -76,6 +78,34 @@ bool HasCurrentContext();
 /// Empty strings when no context is installed.
 std::string CurrentTraceId();
 std::string CurrentSpanId();
+
+/// Longest span name the signal-safe tracking below preserves (including
+/// the terminating NUL); longer names are truncated in profile
+/// attribution but stay intact in the trace export.
+inline constexpr size_t kTrackedSpanNameLen = 48;
+
+/// Signal-safe span tracking: while enabled, every ScopedSpan — even with
+/// trace *recording* off — pushes a fixed-size copy of its name onto a
+/// per-thread lock-free name stack on construction and pops it on
+/// destruction. The sampling profiler (obsv::profiler) turns this on for
+/// the duration of a capture so its SIGPROF handler can attribute each
+/// sample to the interrupted thread's innermost span without touching a
+/// std::string or a mutex. Cost when off: one extra relaxed load per
+/// span.
+void SetSpanTrackingEnabled(bool enabled);
+bool IsSpanTrackingEnabled();
+
+/// Async-signal-safe: copies the calling thread's innermost tracked span
+/// name into `buf` (NUL-terminated, truncated to `len`). Returns false
+/// with an empty string when no tracked span is open. Only meaningful
+/// from the thread being sampled — i.e. from a signal handler running on
+/// it.
+bool CurrentSpanNameForSignal(char* buf, size_t len);
+
+/// Async-signal-safe counterpart of CurrentTraceId: the request trace id
+/// installed by SetCurrentContext, kept in a fixed per-thread buffer so
+/// a SIGPROF handler may read it. Returns false when no context is set.
+bool CurrentTraceIdForSignal(char* buf, size_t len);
 
 /// Names the calling thread in exported traces (Perfetto track label).
 /// The thread-pool workers call this with "ltee-worker-N".

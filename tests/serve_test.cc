@@ -624,6 +624,37 @@ TEST(RegressionGate, ThroughputGatesDownwardImprovementsPass) {
   EXPECT_EQ(report.regressions, 0u);
 }
 
+TEST(RegressionGate, PctOverheadUnitGatesUpwardAboveItsFloor) {
+  EXPECT_EQ(obsv::GateDirectionOf("pct"),
+            obsv::GateDirection::kHigherIsWorse);
+  obsv::GateThresholds thresholds;  // time +25%, min_pct floor 3.0
+
+  // Both sides under the 3% budget: relative jumps are noise, no gate —
+  // this is what keeps the profiler-overhead metric quiet at 1% -> 2%.
+  auto report = obsv::CompareGateMetrics(
+      OneMetric("micro_perf/profiler_overhead_pct", 1.0, "pct"),
+      OneMetric("micro_perf/profiler_overhead_pct", 2.0, "pct"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+
+  // Crossing the budget with a big relative jump gates.
+  report = obsv::CompareGateMetrics(
+      OneMetric("micro_perf/profiler_overhead_pct", 2.0, "pct"),
+      OneMetric("micro_perf/profiler_overhead_pct", 5.0, "pct"), thresholds);
+  EXPECT_EQ(report.regressions, 1u);
+
+  // Above the floor but within the relative threshold: still fine.
+  report = obsv::CompareGateMetrics(
+      OneMetric("micro_perf/profiler_overhead_pct", 4.0, "pct"),
+      OneMetric("micro_perf/profiler_overhead_pct", 4.5, "pct"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+
+  // Overhead going down is an improvement, never a regression.
+  report = obsv::CompareGateMetrics(
+      OneMetric("micro_perf/profiler_overhead_pct", 5.0, "pct"),
+      OneMetric("micro_perf/profiler_overhead_pct", 1.0, "pct"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+}
+
 TEST(RegressionGate, FlattensBenchHistoryEntriesWithUnits) {
   util::JsonValue doc;
   std::string error;

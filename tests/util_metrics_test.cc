@@ -155,6 +155,22 @@ TEST(WindowedCounterTest, SlotRecyclingDropsStaleCounts) {
   EXPECT_EQ(counter.CountAt(14), 1u);
 }
 
+TEST(WindowedCounterTest, IdleGapLongerThanWindowRecyclesEverySlot) {
+  WindowedCounter counter(4);
+  for (uint64_t t = 100; t < 104; ++t) counter.IncrementAt(t, 5);
+  EXPECT_EQ(counter.CountAt(103), 20u);
+  // The clock jumps far past the window (idle process, suspended VM):
+  // every slot's stamp is now stale. The landing second deliberately has
+  // the same ring phase as t=100 (141 % 4 == 100 % 4), so a recycling
+  // bug would leak the old 5 into the fresh slot.
+  const uint64_t later = 141;
+  EXPECT_EQ(counter.CountAt(later), 0u);
+  counter.IncrementAt(later, 2);
+  EXPECT_EQ(counter.CountAt(later), 2u);
+  // Covered span is the single live second — the gap must not dilute it.
+  EXPECT_DOUBLE_EQ(counter.RateAt(later), 2.0);
+}
+
 TEST(WindowedCounterTest, RateUsesCoveredSecondsNotFullWindow) {
   WindowedCounter counter(60);
   // A 2-second burst of 100: the rate is 50/s, not 100/60.
@@ -191,6 +207,24 @@ TEST(TimeWindowedHistogramTest, PercentilesOverTheLiveWindowOnly) {
   stats = hist.StatsAt(1000);
   EXPECT_EQ(stats.count, 0u);
   EXPECT_DOUBLE_EQ(stats.p95, 0.0);
+}
+
+TEST(TimeWindowedHistogramTest, IdleGapLongerThanWindowReadsFresh) {
+  TimeWindowedHistogram hist(10, ExponentialBuckets(1.0, 2.0, 10));
+  for (int i = 0; i < 50; ++i) hist.ObserveAt(200, 300.0);
+  EXPECT_EQ(hist.StatsAt(200).count, 50u);
+  // Mid-gap the window reads empty, not stale.
+  EXPECT_EQ(hist.StatsAt(500).count, 0u);
+  // The first observation after the gap lands on the same ring slot as
+  // t=200 (500 % 10 == 200 % 10); its stats must stand alone — no count,
+  // sum, max or bucket mass leaking from the pre-gap slot.
+  hist.ObserveAt(500, 2.0);
+  const auto stats = hist.StatsAt(500);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_EQ(stats.covered_seconds, 1u);
+  EXPECT_DOUBLE_EQ(stats.sum, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 2.0);
+  EXPECT_LE(stats.p99, 2.0);
 }
 
 TEST(TimeWindowedHistogramTest, QpsReflectsBurstRate) {

@@ -64,11 +64,16 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
 /// Fast benches covering counts, shape statistics and wall time — the CI
 /// quick gate. Pipeline-heavy benches (fig1, table11) are deliberately
 /// not in it; run them explicitly via --benches for deeper trajectories.
+/// The micro_perf entry filters out the google-benchmark kernels (they
+/// take ~20s and their ns_per_iter numbers are too jittery to gate) and
+/// keeps only the end-to-end phase, whose profiler_overhead_pct this set
+/// exists to watch.
 const char* const kQuickSet[] = {"table03_corpus_stats",
                                  "table05_gold_standard",
                                  "prov_quality",
                                  "serve_load",
-                                 "delta_ingest"};
+                                 "delta_ingest",
+                                 "micro_perf --benchmark_filter=NONE"};
 
 std::vector<std::string> SplitCommas(const std::string& s) {
   std::vector<std::string> out;

@@ -57,6 +57,7 @@
 #include "obsv/access_log.h"
 #include "obsv/crash_flush.h"
 #include "obsv/http_client.h"
+#include "obsv/profiler.h"
 #include "obsv/span_analytics.h"
 #include "obsv/status_server.h"
 #include "pipeline/dedup.h"
@@ -121,6 +122,7 @@ int Usage() {
                "--gold FILE] [--scale S] [--ntriples FILE] [--min-facts N] "
                "[--dedup] [--seed N] [--state-out DIR] [--trace-out FILE] "
                "[--metrics-out FILE] [--provenance-out FILE] "
+               "[--profile-out FILE] [--profile-hz N] "
                "[--log-level debug|info|warning|error] [--status-port PORT] "
                "[--status-linger SECONDS]\n"
                "  ltee_cli ingest --state DIR --delta FILE "
@@ -129,6 +131,8 @@ int Usage() {
                "  ltee_cli explain [QUERY] --ledger FILE [--property NAME] "
                "[--first] [--json]\n"
                "  ltee_cli analyze-trace TRACE.json [--json]\n"
+               "  ltee_cli analyze-profile PROFILE.collapsed [--json] "
+               "[--top N]\n"
                "  ltee_cli serve --snapshot FILE [--port PORT] [--shards N] "
                "[--workers N] [--cache-capacity N] [--linger SECONDS] "
                "[--watch] [--trace-out FILE] [--access-log FILE] "
@@ -156,7 +160,12 @@ int Usage() {
                "is a dependency-free loopback HTTP client for scripts "
                "(--traceparent sends the header downstream, "
                "--show-traceparent prints the server's response header on "
-               "stderr)\n");
+               "stderr). run --profile-out samples the pipeline's CPU "
+               "(--profile-hz, default 99) and writes flamegraph.pl-ready "
+               "collapsed stacks; analyze-profile aggregates such a file "
+               "(top functions by self samples + per-span CPU); a status "
+               "or serve port also answers GET /profile?seconds=N&hz=H "
+               "with a live capture\n");
   return 2;
 }
 
@@ -281,11 +290,14 @@ int Run(const std::map<std::string, std::string>& flags) {
 
   // A crashing run still flushes its observability artifacts: arm now,
   // disarm after the normal export paths below have written the files.
-  if (want_trace || flags.count("metrics-out")) {
+  const bool want_profile = flags.count("profile-out") > 0;
+  if (want_trace || flags.count("metrics-out") || want_profile) {
     obsv::ArmCrashFlush(
         want_trace ? flags.at("trace-out") : std::string(),
         flags.count("metrics-out") ? flags.at("metrics-out")
-                                   : std::string());
+                                   : std::string(),
+        std::string(),
+        want_profile ? flags.at("profile-out") : std::string());
   }
 
   // Live introspection: --status-port wins over LTEE_STATUS_PORT.
@@ -305,7 +317,7 @@ int Run(const std::map<std::string, std::string>& flags) {
       return 1;
     }
     std::printf("status server on http://localhost:%u "
-                "(/metrics /report /trace /provenance /healthz)\n",
+                "(/metrics /report /trace /provenance /profile /healthz)\n",
                 status_server.port());
   }
 
@@ -359,6 +371,20 @@ int Run(const std::map<std::string, std::string>& flags) {
   if (auto it = flags.find("seed"); it != flags.end()) {
     seed = std::strtoull(it->second.c_str(), nullptr, 10);
   }
+  // Sample from training through changeset apply — the CPU the pipeline
+  // itself burns, excluding dataset synthesis and file exports.
+  if (want_profile) {
+    obsv::ProfilerOptions profiler_options;
+    if (auto it = flags.find("profile-hz"); it != flags.end()) {
+      profiler_options.hz = std::atoi(it->second.c_str());
+    }
+    std::string error;
+    if (!obsv::StartProfiler(profiler_options, &error)) {
+      std::fprintf(stderr, "cannot start profiler: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
   pipeline::PipelineOptions options;
   pipeline::LteePipeline pipe(*kb, options);
   util::Rng rng(seed);
@@ -450,6 +476,7 @@ int Run(const std::map<std::string, std::string>& flags) {
   }
 
   const kb::ApplyOutcome outcome = kb::ApplyChangeSet(kb, changes);
+  if (want_profile) obsv::StopProfiler();
   for (size_t i = 0; i < run.classes.size(); ++i) {
     const auto& class_run = run.classes[i];
     const kb::ClassApplyOutcome& applied = outcome.classes[i];
@@ -548,6 +575,22 @@ int Run(const std::map<std::string, std::string>& flags) {
     util::trace::ExportChromeTrace(out);
     std::printf("trace written to %s (open in ui.perfetto.dev)\n",
                 path.c_str());
+  }
+  if (want_profile) {
+    const std::string& path = flags.at("profile-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << obsv::CollectCollapsedProfile();
+    const obsv::ProfileStats stats = obsv::CurrentProfileStats();
+    std::printf(
+        "profile written to %s (%llu samples @ %d Hz, %llu dropped; "
+        "feed to flamegraph.pl or ltee_cli analyze-profile)\n",
+        path.c_str(), static_cast<unsigned long long>(stats.samples),
+        stats.hz, static_cast<unsigned long long>(stats.dropped));
+    obsv::ResetProfiler();
   }
   obsv::DisarmCrashFlush();
   if (status_server.running()) {
@@ -934,6 +977,34 @@ int AnalyzeTrace(const std::map<std::string, std::string>& flags,
   return 0;
 }
 
+int AnalyzeProfile(const std::map<std::string, std::string>& flags,
+                   const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  obsv::ProfileAnalysis analysis;
+  std::string error;
+  if (!obsv::ParseCollapsedProfile(buffer.str(), &analysis, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  size_t top_n = 20;
+  if (auto it = flags.find("top"); it != flags.end()) {
+    top_n = static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  if (flags.count("json")) {
+    std::printf("%s\n", obsv::ProfileAnalysisToJson(analysis, top_n).c_str());
+  } else {
+    std::fputs(obsv::ProfileAnalysisToText(analysis, top_n).c_str(), stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -965,6 +1036,11 @@ int main(int argc, char** argv) {
       }
     }
     return Usage();
+  }
+  if (command == "analyze-profile") {
+    const std::string path = FirstPositional(argc, argv, 2);
+    if (path.empty()) return Usage();
+    return AnalyzeProfile(flags, path);
   }
   return Usage();
 }

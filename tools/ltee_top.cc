@@ -6,6 +6,13 @@
 //
 // Usage:
 //   ltee_top --port PORT [--interval-ms MS] [--iterations N] [--no-clear]
+//            [--profile N]
+//
+// --profile N additionally runs a live N-second CPU capture per frame
+// (GET /profile?seconds=N against the same process) and renders a top-10
+// hotspot panel — self-CPU% per function plus the per-span breakdown —
+// beside the /stats view. A 503 (another capture in flight) is shown in
+// the panel without failing the frame.
 //
 // --interval-ms defaults to 1000. --iterations 0 (the default) polls
 // until interrupted; a positive N renders N frames then exits — that is
@@ -26,6 +33,7 @@
 #include <thread>
 
 #include "obsv/http_client.h"
+#include "obsv/profiler.h"
 #include "util/json_parse.h"
 
 namespace {
@@ -36,17 +44,19 @@ struct Options {
   int port = -1;
   int interval_ms = 1000;
   int iterations = 0;  // 0 = until interrupted
+  int profile_seconds = 0;  // 0 = no hotspot panel
   bool clear = true;
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: ltee_top --port PORT [--interval-ms MS] "
-               "[--iterations N] [--no-clear]\n"
+               "[--iterations N] [--no-clear] [--profile N]\n"
                "polls GET /stats of a `ltee_cli serve` (or `run "
                "--status-port`) process and renders live QPS, latency "
                "percentiles, cache hit rate, in-flight requests and the "
-               "snapshot version\n");
+               "snapshot version; --profile N adds a top-10 CPU hotspot "
+               "panel from a live N-second /profile capture per frame\n");
   return 2;
 }
 
@@ -110,6 +120,67 @@ bool RenderFrame(const Options& options, int frame) {
   return true;
 }
 
+/// The hotspot panel of one frame: a live capture via GET /profile, then
+/// the top functions by self CPU and the per-span attribution. A busy
+/// profiler (503) renders as a note, not a failure — another client or a
+/// --profile-out run owns the only capture slot.
+bool RenderProfilePanel(const Options& options) {
+  int status = 0;
+  std::string body, error;
+  const std::string path =
+      "/profile?seconds=" + std::to_string(options.profile_seconds);
+  if (!ltee::obsv::HttpGet(static_cast<uint16_t>(options.port), path,
+                           &status, &body, &error)) {
+    std::printf("profile: cannot reach :%d%s: %s\n", options.port,
+                path.c_str(), error.c_str());
+    return false;
+  }
+  if (status == 503) {
+    std::printf("profile: capture busy, retrying next frame\n");
+    return true;
+  }
+  if (status != 200) {
+    std::printf("profile: GET %s returned HTTP %d\n", path.c_str(), status);
+    return false;
+  }
+  ltee::obsv::ProfileAnalysis analysis;
+  if (!ltee::obsv::ParseCollapsedProfile(body, &analysis, &error)) {
+    std::printf("profile: malformed collapsed stacks: %s\n", error.c_str());
+    return false;
+  }
+  std::printf("hotspots %llu samples @ %d Hz over %.1fs (%llu dropped)\n",
+              static_cast<unsigned long long>(analysis.samples), analysis.hz,
+              analysis.duration_s,
+              static_cast<unsigned long long>(analysis.dropped));
+  if (analysis.samples == 0) {
+    std::printf("  (idle: no CPU burned during the capture window)\n");
+    return true;
+  }
+  const double denom = static_cast<double>(analysis.samples);
+  size_t shown = 0;
+  for (const auto& frame : analysis.frames) {
+    if (frame.self == 0 || shown >= 10) break;
+    // Keep the panel narrow: long demangled names truncate on the right.
+    std::string name = frame.name;
+    if (name.size() > 56) name = name.substr(0, 53) + "...";
+    std::printf("  %5.1f%% %6llu  %s\n",
+                100.0 * static_cast<double>(frame.self) / denom,
+                static_cast<unsigned long long>(frame.self), name.c_str());
+    ++shown;
+  }
+  std::string spans = "spans  ";
+  size_t span_count = 0;
+  for (const auto& span : analysis.spans) {
+    if (span_count++ >= 4) break;
+    char item[96];
+    std::snprintf(item, sizeof(item), " %s %.1f%%", span.name.c_str(),
+                  span.pct);
+    spans += item;
+  }
+  std::printf("%s\n", spans.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,6 +193,9 @@ int main(int argc, char** argv) {
       options.interval_ms = std::atoi(argv[++i]);
     } else if (arg == "--iterations" && i + 1 < argc) {
       options.iterations = std::atoi(argv[++i]);
+    } else if (arg == "--profile" && i + 1 < argc) {
+      options.profile_seconds = std::atoi(argv[++i]);
+      if (options.profile_seconds < 1) return Usage();
     } else if (arg == "--no-clear") {
       options.clear = false;
     } else {
@@ -137,6 +211,9 @@ int main(int argc, char** argv) {
        options.iterations == 0 || frame <= options.iterations; ++frame) {
     if (clear) std::printf("\x1b[H\x1b[2J");
     ok = RenderFrame(options, frame);
+    if (options.profile_seconds > 0) {
+      ok = RenderProfilePanel(options) && ok;
+    }
     std::fflush(stdout);
     if (options.iterations != 0 && frame == options.iterations) break;
     std::this_thread::sleep_for(

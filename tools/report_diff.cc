@@ -26,13 +26,17 @@
 //                            are noise and never gate (default 0.05)
 //   --min-latency-ms MS      same floor for the ms_p50/ms_p95/ms_p99
 //                            latency-percentile units (default 1.0)
+//   --min-pct PCT            floor for the "pct" overhead unit, in
+//                            absolute percent: pairs where both sides
+//                            stay below never gate (default 3.0, the
+//                            sampling profiler's overhead budget)
 //
 // Direction comes from the unit recorded with each metric: "seconds",
-// "ms", "ns" and the "ms_p*" latency percentiles regress upward;
-// "score"/"f1" regress downward; "ops_s" throughput regresses downward
-// against --threshold; "rate" (quality-drift gauges) regresses upward
-// against --quality-threshold; "count", "ratio" and "gauge" changes are
-// reported but never gate.
+// "ms", "ns", the "ms_p*" latency percentiles and "pct" overheads
+// regress upward; "score"/"f1" regress downward; "ops_s" throughput
+// regresses downward against --threshold; "rate" (quality-drift gauges)
+// regresses upward against --quality-threshold; "count", "ratio" and
+// "gauge" changes are reported but never gate.
 //
 // Exit: 0 when no metric regressed beyond its threshold (including the
 // trivial one-entry history), 1 on regression, 2 on usage/parse errors.
@@ -86,7 +90,8 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0 &&
         (key == "threshold" || key == "score-threshold" ||
          key == "quality-threshold" || key == "min-seconds" ||
-         key == "min-latency-ms" || key == "history")) {
+         key == "min-latency-ms" || key == "min-pct" ||
+         key == "history")) {
       flags[key] = argv[++i];
     } else {
       flags[key] = std::string("1");
@@ -109,7 +114,8 @@ int Usage() {
                "options: --threshold PCT (time/latency, default 25) "
                "--score-threshold PCT (default 5) --quality-threshold PCT "
                "(drift rates, default 10) --min-seconds S (default 0.05) "
-               "--min-latency-ms MS (default 1.0)\n");
+               "--min-latency-ms MS (default 1.0) --min-pct PCT "
+               "(default 3.0)\n");
   return 2;
 }
 
@@ -124,6 +130,7 @@ int main(int argc, char** argv) {
   thresholds.quality = FlagOr(flags, "quality-threshold", 10.0) / 100.0;
   thresholds.min_seconds = FlagOr(flags, "min-seconds", 0.05);
   thresholds.min_latency_ms = FlagOr(flags, "min-latency-ms", 1.0);
+  thresholds.min_pct = FlagOr(flags, "min-pct", 3.0);
 
   std::string before_json, after_json, error;
   std::string before_name = "before", after_name = "after";
