@@ -13,6 +13,7 @@
 #include <limits>
 #include <string>
 
+#include "obsv/memtrack.h"
 #include "pipeline/experiment.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/training.h"
@@ -118,12 +119,20 @@ double MinWallSeconds(int runs, Fn&& fn) {
 /// Emits one `{"bench":<name>,"metric":"wall_ms",...}` line when it goes
 /// out of scope, timed on the steady (monotonic) clock. Every bench
 /// binary declares one at the top of main so the whole-binary wall time
-/// lands in the trajectory with a consistent name and unit.
+/// lands in the trajectory with a consistent name and unit. Also emits
+/// the binary's peak RSS (`peak_rss_mb`, unit "mb") so the bench history
+/// tracks a memory trajectory alongside the time one — report_diff gates
+/// "mb" upward once past its --min-mb floor.
 class ScopedWallClock {
  public:
   explicit ScopedWallClock(std::string bench) : bench_(std::move(bench)) {}
   ~ScopedWallClock() {
     EmitResult(bench_, "wall_ms", timer_.ElapsedMillis(), "ms");
+    const uint64_t peak_rss = obsv::ReadPeakRssBytes();
+    if (peak_rss > 0) {
+      EmitResult(bench_, "peak_rss_mb",
+                 static_cast<double>(peak_rss) / (1024.0 * 1024.0), "mb");
+    }
   }
   ScopedWallClock(const ScopedWallClock&) = delete;
   ScopedWallClock& operator=(const ScopedWallClock&) = delete;

@@ -286,4 +286,107 @@ kill -TERM "${PROF_SERVE_PID}"
 wait "${PROF_SERVE_PID}" || true
 trap - EXIT
 
+# Memory observability end to end: the memory-labelled unit tests
+# (allocator counters, span attribution, heap-profile round trips,
+# /memory semantics, reconciliation) plus the seeded mb regression gate,
+# then a fixed-seed tracked run whose collapsed heap profile must
+# attribute live bytes to the row-clustering stage (the paper's dense
+# pair cache), analyze-memory over the artifact (text and JSON), and a
+# live bounded capture through GET /memory while the kb service answers
+# queries.
+ctest --test-dir "${BUILD_DIR}" -L memory --output-on-failure -j "$(nproc)"
+
+HEAP="${BUILD_DIR}/smoke_heap.collapsed"
+"${BUILD_DIR}/tools/ltee_cli" run --scale 0.002 --seed 41 \
+    --heap-profile-out "${HEAP}" --heap-sample-kb 16 >/dev/null
+if ! grep -q "^# ltee-profile heap=1 sample_kb=16 " "${HEAP}"; then
+    echo "check_observability: FAIL: ${HEAP} has no heap profile header" >&2
+    exit 1
+fi
+if ! grep -q "^# ltee-memtrack-span rowcluster.cluster " "${HEAP}"; then
+    echo "check_observability: FAIL: heap profile attributes no bytes to" \
+        "the row-clustering stage" >&2
+    exit 1
+fi
+
+MEM_ANALYSIS="$("${BUILD_DIR}/tools/ltee_cli" analyze-memory "${HEAP}")"
+if ! grep -q "rowcluster" <<<"${MEM_ANALYSIS}"; then
+    echo "check_observability: FAIL: analyze-memory reports no rowcluster" \
+        "span attribution" >&2
+    echo "${MEM_ANALYSIS}" >&2
+    exit 1
+fi
+MEM_ANALYSIS_JSON="$("${BUILD_DIR}/tools/ltee_cli" analyze-memory \
+    "${HEAP}" --json)"
+for KEY in '"top_sites"' '"spans"' '"live_bytes"'; do
+    if ! grep -q "${KEY}" <<<"${MEM_ANALYSIS_JSON}"; then
+        echo "check_observability: FAIL: analyze-memory --json is missing" \
+            "${KEY}" >&2
+        exit 1
+    fi
+done
+
+# Live capture under load: serve the earlier snapshot once more, keep a
+# query loop running, and require GET /memory to return a well-formed
+# collapsed heap capture of the serving process. Out-of-range parameters
+# must be rejected with 400 (the client surfaces that as a failure).
+MEM_SERVE_LOG="${BUILD_DIR}/smoke_memory_serve.log"
+"${BUILD_DIR}/tools/ltee_cli" serve --snapshot "${SNAPSHOT}" --port 0 \
+    >"${MEM_SERVE_LOG}" 2>&1 &
+MEM_SERVE_PID=$!
+trap 'kill "${MEM_SERVE_PID}" 2>/dev/null || true' EXIT
+
+MEM_PORT=""
+for _ in $(seq 1 100); do
+    MEM_PORT="$(sed -n 's|.*http://localhost:\([0-9]*\).*|\1|p' \
+        "${MEM_SERVE_LOG}")"
+    [[ -n "${MEM_PORT}" ]] && break
+    sleep 0.1
+done
+if [[ -z "${MEM_PORT}" ]]; then
+    echo "check_observability: FAIL: memory smoke service reported no port" >&2
+    cat "${MEM_SERVE_LOG}" >&2
+    exit 1
+fi
+
+( for _ in $(seq 1 500); do
+    "${BUILD_DIR}/tools/ltee_cli" get --port "${MEM_PORT}" \
+        --path '/kb/search?q=the&k=3' >/dev/null 2>&1 || break
+  done ) &
+MEM_LOAD_PID=$!
+LIVE_HEAP="$("${BUILD_DIR}/tools/ltee_cli" get --port "${MEM_PORT}" \
+    --path '/memory?seconds=1&sample_kb=16')"
+kill "${MEM_LOAD_PID}" 2>/dev/null || true
+wait "${MEM_LOAD_PID}" 2>/dev/null || true
+if ! grep -q "^# ltee-profile heap=1 sample_kb=16 " <<<"${LIVE_HEAP}"; then
+    echo "check_observability: FAIL: live /memory returned no collapsed" \
+        "heap capture" >&2
+    echo "${LIVE_HEAP}" >&2
+    exit 1
+fi
+if "${BUILD_DIR}/tools/ltee_cli" get --port "${MEM_PORT}" \
+    --path '/memory?seconds=0' >/dev/null 2>&1; then
+    echo "check_observability: FAIL: /memory accepted seconds=0" >&2
+    exit 1
+fi
+if "${BUILD_DIR}/tools/ltee_cli" get --port "${MEM_PORT}" \
+    --path '/memory?sample_kb=0' >/dev/null 2>&1; then
+    echo "check_observability: FAIL: /memory accepted sample_kb=0" >&2
+    exit 1
+fi
+
+# The windowed /stats payload carries the memory section the dashboard's
+# --memory panel reads alongside it.
+MEM_STATS="$("${BUILD_DIR}/tools/ltee_cli" get --port "${MEM_PORT}" \
+    --path '/stats' --expect-json)"
+if ! grep -q '"memory"' <<<"${MEM_STATS}"; then
+    echo "check_observability: FAIL: /stats has no memory section" >&2
+    echo "${MEM_STATS}" >&2
+    exit 1
+fi
+
+kill -TERM "${MEM_SERVE_PID}"
+wait "${MEM_SERVE_PID}" || true
+trap - EXIT
+
 echo "check_observability: OK"

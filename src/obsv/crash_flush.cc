@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "obsv/access_log.h"
+#include "obsv/memtrack.h"
 #include "obsv/profiler.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -23,6 +24,7 @@ struct FlushState {
   std::string metrics_path;
   std::string access_log_path;
   std::string profile_path;
+  std::string heap_profile_path;
   std::terminate_handler previous_terminate = nullptr;
 };
 
@@ -56,13 +58,15 @@ void AtExitHandler() { CrashFlushNow(); }
 }  // namespace
 
 void ArmCrashFlush(std::string trace_path, std::string metrics_path,
-                   std::string access_log_path, std::string profile_path) {
+                   std::string access_log_path, std::string profile_path,
+                   std::string heap_profile_path) {
   FlushState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
   state.trace_path = std::move(trace_path);
   state.metrics_path = std::move(metrics_path);
   state.access_log_path = std::move(access_log_path);
   state.profile_path = std::move(profile_path);
+  state.heap_profile_path = std::move(heap_profile_path);
   state.armed = true;
   if (!state.installed) {
     state.installed = true;
@@ -79,6 +83,7 @@ void DisarmCrashFlush() {
 
 bool CrashFlushNow() {
   std::string trace_path, metrics_path, access_log_path, profile_path;
+  std::string heap_profile_path;
   {
     FlushState& state = State();
     std::lock_guard<std::mutex> lock(state.mu);
@@ -88,6 +93,7 @@ bool CrashFlushNow() {
     metrics_path = state.metrics_path;
     access_log_path = state.access_log_path;
     profile_path = state.profile_path;
+    heap_profile_path = state.heap_profile_path;
   }
   if (!trace_path.empty()) {
     WriteFile(trace_path, util::trace::ExportChromeTrace());
@@ -123,8 +129,19 @@ bool CrashFlushNow() {
                  profile_path.c_str());
     profile_written = true;
   }
+  bool heap_profile_written = false;
+  if (!heap_profile_path.empty() &&
+      (HeapProfilerActive() || CurrentHeapProfileStats().samples > 0)) {
+    // Same idea for the heap: the sampled allocation stacks gathered so
+    // far say where the bytes went before the process died.
+    WriteFile(heap_profile_path, CollectCollapsedHeapProfile());
+    std::fprintf(stderr, "crash flush: partial heap profile written to %s\n",
+                 heap_profile_path.c_str());
+    heap_profile_written = true;
+  }
   return !trace_path.empty() || !metrics_path.empty() ||
-         !access_log_path.empty() || profile_written;
+         !access_log_path.empty() || profile_written ||
+         heap_profile_written;
 }
 
 }  // namespace ltee::obsv

@@ -22,10 +22,14 @@ namespace ltee::obsv {
 /// `profile_path` is set and a sampling capture is active (or has
 /// uncollected samples), the profiler is stopped and the partial
 /// collapsed-stack profile written there — a run that dies mid-pipeline
-/// still yields the CPU evidence gathered up to the crash.
+/// still yields the CPU evidence gathered up to the crash. The same
+/// applies to `heap_profile_path` and an open heap-profiler session
+/// (obsv::memtrack): the partial collapsed heap profile is flushed so
+/// the allocation evidence survives an OOM-adjacent death.
 void ArmCrashFlush(std::string trace_path, std::string metrics_path,
                    std::string access_log_path = "",
-                   std::string profile_path = "");
+                   std::string profile_path = "",
+                   std::string heap_profile_path = "");
 
 /// Disarms the emergency flush; the normal export path has run.
 void DisarmCrashFlush();

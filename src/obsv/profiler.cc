@@ -248,6 +248,14 @@ std::string CollectCollapsedLocked() {
 
 }  // namespace
 
+std::string CollapsedFrameName(const std::string& raw) {
+  return CleanFrameName(raw);
+}
+
+std::string CollapsedSpanName(const char* span) {
+  return CleanSpanName(span);
+}
+
 bool StartProfiler(const ProfilerOptions& options, std::string* error) {
 #if !LTEE_HAS_SIGPROF
   if (error != nullptr) *error = "profiler unsupported on this platform";

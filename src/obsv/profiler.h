@@ -126,6 +126,13 @@ std::string ProfileAnalysisToText(const ProfileAnalysis& analysis,
 std::string ProfileAnalysisToJson(const ProfileAnalysis& analysis,
                                   size_t top_n = 20);
 
+/// Collapsed-format escaping shared by every profile exporter (CPU and
+/// heap): strips the parameter list from demangled C++ names (keeping
+/// "operator()"'s parens) and replaces the two reserved characters —
+/// ';' separates frames, ' ' separates the trailing count.
+std::string CollapsedFrameName(const std::string& raw);
+std::string CollapsedSpanName(const char* span);
+
 }  // namespace ltee::obsv
 
 #endif  // LTEE_OBSV_PROFILER_H_

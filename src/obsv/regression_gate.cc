@@ -28,7 +28,7 @@ bool IsLatencyPercentileUnit(const std::string& unit) {
 
 GateDirection GateDirectionOf(const std::string& unit) {
   if (unit == "seconds" || unit == "ms" || unit == "ns" || unit == "rate" ||
-      unit == "pct" || IsLatencyPercentileUnit(unit)) {
+      unit == "pct" || unit == "mb" || IsLatencyPercentileUnit(unit)) {
     return GateDirection::kHigherIsWorse;
   }
   if (unit == "score" || unit == "f1" || unit == "ops_s") {
@@ -57,6 +57,11 @@ bool FlattenGateSnapshot(const util::JsonValue& doc, GateMetricMap* out,
   if (const util::JsonValue* total = doc.Find("total_seconds");
       total != nullptr && total->is_number()) {
     (*out)["run/total_seconds"] = {total->as_number(), "seconds"};
+    if (const util::JsonValue* peak = doc.Find("peak_rss_bytes");
+        peak != nullptr && peak->is_number() && peak->as_number() > 0.0) {
+      (*out)["run/peak_rss_mb"] = {peak->as_number() / (1024.0 * 1024.0),
+                                   "mb"};
+    }
     if (const util::JsonValue* stages = doc.Find("stages");
         stages != nullptr && stages->is_array()) {
       for (const util::JsonValue& stage : stages->items()) {
@@ -126,6 +131,10 @@ GateReport CompareGateMetrics(const GateMetricMap& before,
       } else if (b.unit == "pct") {
         const bool above_floor = b.value >= thresholds.min_pct ||
                                  a.value >= thresholds.min_pct;
+        delta.regressed = above_floor && delta.rel > thresholds.time;
+      } else if (b.unit == "mb") {
+        const bool above_floor = b.value >= thresholds.min_mb ||
+                                 a.value >= thresholds.min_mb;
         delta.regressed = above_floor && delta.rel > thresholds.time;
       } else if (IsLatencyPercentileUnit(b.unit)) {
         const bool above_floor = b.value >= thresholds.min_latency_ms ||

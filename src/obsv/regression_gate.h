@@ -37,6 +37,10 @@ using GateMetricMap = std::map<std::string, GateMetric>;
 ///    overhead), regress upward but only once either side crosses the
 ///    `min_pct` floor — an overhead that stays under the floor is free
 ///    by definition and never gates.
+///  - "mb": memory footprints (peak RSS, heap high-water marks),
+///    regress upward against the time threshold but only once either
+///    side crosses the `min_mb` floor — small absolute footprints are
+///    noise-dominated and never gate.
 ///  - "score", "f1": quality scores, regress downward.
 ///  - "ops_s": throughput, regresses downward vs the time threshold.
 ///  - everything else ("count", "ratio", "gauge", ...): informational.
@@ -49,7 +53,9 @@ bool IsLatencyPercentileUnit(const std::string& unit);
 /// entries ({"results":[{"bench":..,"metric":..,"value":..,"unit":..}]})
 /// and RunReport JSON ({"total_seconds":..,"stages":..,"metrics":..});
 /// run-report gauges ending in `_rate` flatten with unit "rate",
-/// `_ratio` with "ratio", the rest with "gauge". Returns false (with a
+/// `_ratio` with "ratio", the rest with "gauge"; a positive
+/// `peak_rss_bytes` flattens to `run/peak_rss_mb` with unit "mb" so
+/// memory regressions gate alongside time. Returns false (with a
 /// description in `error`) when the document is neither form.
 bool FlattenGateSnapshot(const util::JsonValue& doc, GateMetricMap* out,
                          std::string* error);
@@ -71,6 +77,11 @@ struct GateThresholds {
   /// negligible). The default encodes the profiler's <3%-overhead
   /// budget.
   double min_pct = 3.0;
+  /// Floor for the "mb" memory unit, in megabytes: pairs where both
+  /// sides stay below never gate (a 12 MB -> 30 MB blip is +150% but
+  /// allocator noise at that scale). Runs already past the floor gate
+  /// on any relative increase beyond the time threshold.
+  double min_mb = 50.0;
 };
 
 /// One compared metric of a gate run.

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obsv/memtrack.h"
 #include "obsv/profiler.h"
 #include "obsv/telemetry.h"
 #include "prov/explain.h"
@@ -68,6 +69,47 @@ StatusServer::StatusServer(size_t num_workers) : server_(num_workers) {
     std::string collapsed;
     std::string error;
     if (!CaptureProfile(seconds, hz, &collapsed, &error)) {
+      response.status = 503;
+      response.body = error + "\n";
+      return response;
+    }
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = std::move(collapsed);
+    return response;
+  });
+  server_.Handle("/memory", [](const HttpRequest& request) {
+    HttpResponse response;
+    // Heap twin of /profile: sample allocation stacks for `seconds`,
+    // one sample per `sample_kb` allocated kilobytes per thread, then
+    // stream the collapsed heap profile. One capture at a time; a
+    // concurrent caller gets 503, never queued.
+    double seconds = 1.0;
+    size_t sample_kb = 64;
+    const std::string seconds_param = QueryParam(request.query, "seconds");
+    if (!seconds_param.empty()) {
+      char* end = nullptr;
+      seconds = std::strtod(seconds_param.c_str(), &end);
+      if (end == nullptr || *end != '\0' || !(seconds > 0.0) ||
+          seconds > 30.0) {
+        response.status = 400;
+        response.body = "seconds must be a number in (0, 30]\n";
+        return response;
+      }
+    }
+    const std::string sample_param = QueryParam(request.query, "sample_kb");
+    if (!sample_param.empty()) {
+      char* end = nullptr;
+      const long parsed = std::strtol(sample_param.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || parsed < 1 || parsed > 65536) {
+        response.status = 400;
+        response.body = "sample_kb must be an integer in [1, 65536]\n";
+        return response;
+      }
+      sample_kb = static_cast<size_t>(parsed);
+    }
+    std::string collapsed;
+    std::string error;
+    if (!CaptureHeapProfile(seconds, sample_kb, &collapsed, &error)) {
       response.status = 503;
       response.body = error + "\n";
       return response;

@@ -21,6 +21,12 @@ namespace ltee::obsv {
 ///   GET /provenance  published decision ledger (JSON lines); with
 ///                    ?entity=<substring>[&property=<name>] the lineage of
 ///                    the matching facts as explain-query JSON
+///   GET /profile     on-demand CPU capture: ?seconds=N (0,30] and
+///                    ?hz=N [1,1000], collapsed stacks as text; 503 when
+///                    a capture is already in flight
+///   GET /memory      on-demand heap capture (obsv::memtrack):
+///                    ?seconds=N (0,30] and ?sample_kb=N [1,65536],
+///                    collapsed heap profile as text; 503 while busy
 ///   GET /healthz     "ok" (liveness)
 class StatusServer {
  public:

@@ -1,6 +1,7 @@
 #include "obsv/telemetry.h"
 
 #include "obsv/access_log.h"
+#include "obsv/memtrack.h"
 #include "obsv/profiler.h"
 #include "util/json.h"
 
@@ -95,7 +96,31 @@ std::string RenderStatsJson(int64_t in_flight) {
   out += std::to_string(profiler.samples);
   out += ",\"dropped\":";
   out += std::to_string(profiler.dropped);
-  out += "}}";
+  const MemtrackTotals mem = GetMemtrackTotals();
+  const MemtrackCaptureTotals heap = GetMemtrackCaptureTotals();
+  out += "},\"memory\":{\"tracking\":";
+  out += MemTrackingEnabled() ? "true" : "false";
+  out += ",\"span_accounting\":";
+  out += SpanAccountingEnabled() ? "true" : "false";
+  out += ",\"live_bytes\":";
+  out += std::to_string(mem.live_bytes);
+  out += ",\"live_allocs\":";
+  out += std::to_string(mem.live_allocs);
+  out += ",\"peak_live_bytes\":";
+  out += std::to_string(mem.peak_live_bytes);
+  out += ",\"cum_bytes\":";
+  out += std::to_string(mem.cum_bytes);
+  out += ",\"peak_rss_kb\":";
+  out += std::to_string(ReadPeakRssBytes() / 1024);
+  out += ",\"heap_profiler\":{\"active\":";
+  out += HeapProfilerActive() ? "true" : "false";
+  out += ",\"captures\":";
+  out += std::to_string(heap.captures);
+  out += ",\"samples\":";
+  out += std::to_string(heap.samples);
+  out += ",\"dropped\":";
+  out += std::to_string(heap.dropped);
+  out += "}}}";
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.h"
 
+#include "obsv/memtrack.h"
 #include "prov/ledger.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -212,6 +213,18 @@ PipelineRunResult LteePipeline::RunScoped(const StageContext& ctx) const {
   util::WallTimer run_timer;
   util::WallTimer stage_timer;
 
+  // Heap growth per stage boundary: the delta of process-wide tracked
+  // live bytes (obsv::memtrack) since the previous boundary. All zeros
+  // when tracking is off. Signed wrap-around subtraction keeps a
+  // freed-more-than-allocated stage negative.
+  uint64_t live_bytes_mark = obsv::GetMemtrackTotals().live_bytes;
+  auto stage_bytes_delta = [&live_bytes_mark]() {
+    const uint64_t now = obsv::GetMemtrackTotals().live_bytes;
+    const long long delta = static_cast<long long>(now - live_bytes_mark);
+    live_bytes_mark = now;
+    return delta;
+  };
+
   // Progress gauges make a long run watchable through the status server:
   // `stage` counts completed stage boundaries of this run, `classes_done`
   // ticks inside each parallel sweep. Hoisted once; the updates are one
@@ -232,7 +245,7 @@ PipelineRunResult LteePipeline::RunScoped(const StageContext& ctx) const {
   // Prepares new tables in place when the corpus grew since the last run.
   const webtable::PreparedCorpus& prepared = Prepared(*ctx.corpus);
   out.report.stages.push_back(
-      {"prepare_corpus", stage_timer.ElapsedSeconds()});
+      {"prepare_corpus", stage_timer.ElapsedSeconds(), stage_bytes_delta()});
   stage_gauge.Set(++stage_ordinal);
 
   for (int iteration = 0; iteration < options_.iterations; ++iteration) {
@@ -256,8 +269,9 @@ PipelineRunResult LteePipeline::RunScoped(const StageContext& ctx) const {
         mapping = schema_refined_->Match(prepared, feedback);
       }
     }
-    out.report.stages.push_back(
-        {"schema_match" + iter_suffix, stage_timer.ElapsedSeconds()});
+    out.report.stages.push_back({"schema_match" + iter_suffix,
+                                 stage_timer.ElapsedSeconds(),
+                                 stage_bytes_delta()});
     stage_gauge.Set(++stage_ordinal);
 
     // The sweep scope: everything for a full run; for a delta run the
@@ -298,8 +312,9 @@ PipelineRunResult LteePipeline::RunScoped(const StageContext& ctx) const {
         classes_done_gauge.Add(1.0);
       });
     }
-    out.report.stages.push_back(
-        {"class_sweep" + iter_suffix, stage_timer.ElapsedSeconds()});
+    out.report.stages.push_back({"class_sweep" + iter_suffix,
+                                 stage_timer.ElapsedSeconds(),
+                                 stage_bytes_delta()});
     stage_gauge.Set(++stage_ordinal);
     for (size_t i = 0; i < classes.size(); ++i) {
       if (swept[i] == 0) continue;
@@ -328,8 +343,9 @@ PipelineRunResult LteePipeline::RunScoped(const StageContext& ctx) const {
     clusters.clear();
     MergeClassFeedback(iteration_feedback, &instances, &clusters);
     out.feedback.push_back(std::move(iteration_feedback));
-    out.report.stages.push_back(
-        {"collect_feedback" + iter_suffix, stage_timer.ElapsedSeconds()});
+    out.report.stages.push_back({"collect_feedback" + iter_suffix,
+                                 stage_timer.ElapsedSeconds(),
+                                 stage_bytes_delta()});
     stage_gauge.Set(++stage_ordinal);
 
     out.mappings.push_back(std::move(mapping));
@@ -343,6 +359,8 @@ PipelineRunResult LteePipeline::RunScoped(const StageContext& ctx) const {
     LTEE_LOG(kDebug) << "pipeline iteration " << (iteration + 1) << " done";
   }
   out.report.total_seconds = run_timer.ElapsedSeconds();
+  out.report.peak_rss_bytes = obsv::ReadPeakRssBytes();
+  out.report.live_bytes_end = obsv::GetMemtrackTotals().live_bytes;
   prov::RefreshQualityGauges();
   out.report.metrics = util::Metrics().Snapshot();
   return out;

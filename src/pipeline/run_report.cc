@@ -14,6 +14,8 @@ void AppendStages(std::string* out, const std::vector<StageTiming>& stages) {
     out->append(util::JsonQuote(stages[i].stage));
     out->append(",\"seconds\":");
     util::AppendJsonNumber(out, stages[i].seconds);
+    out->append(",\"live_bytes_delta\":");
+    out->append(std::to_string(stages[i].live_bytes_delta));
     out->push_back('}');
   }
   out->push_back(']');
@@ -25,6 +27,10 @@ std::string RunReportToJson(const RunReport& report) {
   std::string out;
   out.append("{\"total_seconds\":");
   util::AppendJsonNumber(&out, report.total_seconds);
+  out.append(",\"peak_rss_bytes\":");
+  out.append(std::to_string(report.peak_rss_bytes));
+  out.append(",\"live_bytes_end\":");
+  out.append(std::to_string(report.live_bytes_end));
   out.append(",\"stages\":");
   AppendStages(&out, report.stages);
   out.append(",\"classes\":[");

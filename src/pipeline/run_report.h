@@ -9,10 +9,14 @@
 
 namespace ltee::pipeline {
 
-/// Wall time of one named pipeline stage.
+/// Wall time and heap growth of one named pipeline stage.
 struct StageTiming {
   std::string stage;
   double seconds = 0.0;
+  /// Change in process-wide tracked live heap bytes across the stage
+  /// (obsv::memtrack); negative when the stage freed more than it
+  /// allocated, zero when tracking was off.
+  long long live_bytes_delta = 0;
 };
 
 /// Stage timings of one class in one iteration of a Run.
@@ -34,11 +38,19 @@ struct RunReport {
   std::vector<StageTiming> stages;
   std::vector<ClassStageReport> classes;
   double total_seconds = 0.0;
+  /// Peak resident set size of the process when the run finished
+  /// (obsv::ReadPeakRssBytes); the regression gate reads it as
+  /// `run/peak_rss_mb`.
+  unsigned long long peak_rss_bytes = 0;
+  /// Tracked live heap bytes when the run finished (zero when memtrack
+  /// was off for the whole run).
+  unsigned long long live_bytes_end = 0;
   util::MetricsSnapshot metrics;
 };
 
 /// Serializes the report as one JSON object:
-/// {"total_seconds":..,"stages":[{"stage":..,"seconds":..},..],
+/// {"total_seconds":..,"peak_rss_bytes":..,"live_bytes_end":..,
+///  "stages":[{"stage":..,"seconds":..,"live_bytes_delta":..},..],
 ///  "classes":[{"cls":..,"iteration":..,"stages":[..]},..],
 ///  "metrics":{"counters":..,"gauges":..,"histograms":..}}.
 std::string RunReportToJson(const RunReport& report);

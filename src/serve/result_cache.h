@@ -7,6 +7,7 @@
 #include <list>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -86,6 +87,36 @@ class ShardedLruCache {
 
   size_t num_shards() const { return shards_.size(); }
   size_t capacity_per_shard() const { return capacity_; }
+
+  /// Estimated heap footprint of the cached entries: payload bytes of
+  /// every key (twice — the LRU node and the index key are separate
+  /// strings) and value, plus a fixed per-entry estimate for the list
+  /// and hash-map node overhead. String values count their character
+  /// buffers; other value types count sizeof(V). An estimate for
+  /// reconciliation against obsv::memtrack accounting, not an exact
+  /// figure — short-string-optimized keys make it an overcount, node
+  /// bookkeeping an undercount.
+  size_t ApproxFootprintBytes() const {
+    // list node (prev/next + pair) + unordered_map node (hash, next,
+    // key/iterator pair) + bucket share, beyond the string/value payloads
+    // counted below.
+    constexpr size_t kPerEntryOverhead =
+        2 * sizeof(void*) + sizeof(std::pair<std::string, V>) +
+        sizeof(std::string) + 4 * sizeof(void*);
+    size_t bytes = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [key, value] : shard.lru) {
+        bytes += kPerEntryOverhead + 2 * key.capacity();
+        if constexpr (std::is_same_v<V, std::string>) {
+          bytes += value.capacity();
+        } else {
+          bytes += sizeof(V);
+        }
+      }
+    }
+    return bytes;
+  }
 
   /// Entries evicted (capacity pressure, not refreshes) over the cache's
   /// lifetime. Invariant for reconciliation: insertions - evictions ==

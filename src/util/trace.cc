@@ -63,7 +63,10 @@ CurrentContext& LocalContext() {
   return context;
 }
 
-std::atomic<bool> g_span_tracking{false};
+/// Reference count of span-tracking consumers (the sampling profiler and
+/// the heap tracker can hold overlapping sessions); tracking is on while
+/// the count is positive.
+std::atomic<int> g_span_tracking{0};
 
 /// Per-thread signal-safe span-name stack. Constant-initialized and
 /// trivially destructible on purpose: a SIGPROF handler interrupting this
@@ -98,12 +101,14 @@ void PushTrackedSpan(std::string_view name) {
   // thread before the depth increment that publishes them.
   std::atomic_signal_fence(std::memory_order_release);
   stack.depth.store(depth + 1, std::memory_order_relaxed);
+  ++internal::t_span_epoch;
 }
 
 void PopTrackedSpan() {
   SpanNameStack& stack = t_span_names;
   const uint32_t depth = stack.depth.load(std::memory_order_relaxed);
   if (depth > 0) stack.depth.store(depth - 1, std::memory_order_relaxed);
+  ++internal::t_span_epoch;
 }
 
 ThreadBuffer& LocalBuffer() {
@@ -155,11 +160,20 @@ std::string CurrentTraceId() { return LocalContext().trace_id; }
 std::string CurrentSpanId() { return LocalContext().span_id; }
 
 void SetSpanTrackingEnabled(bool enabled) {
-  g_span_tracking.store(enabled, std::memory_order_relaxed);
+  if (enabled) {
+    g_span_tracking.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Floor at zero so a stray disable can never mask a live consumer.
+  int count = g_span_tracking.load(std::memory_order_relaxed);
+  while (count > 0 &&
+         !g_span_tracking.compare_exchange_weak(count, count - 1,
+                                                std::memory_order_relaxed)) {
+  }
 }
 
 bool IsSpanTrackingEnabled() {
-  return g_span_tracking.load(std::memory_order_relaxed);
+  return g_span_tracking.load(std::memory_order_relaxed) > 0;
 }
 
 bool CurrentSpanNameForSignal(char* buf, size_t len) {
@@ -189,7 +203,7 @@ bool CurrentTraceIdForSignal(char* buf, size_t len) {
 
 ScopedSpan::ScopedSpan(std::string_view name, const char* category)
     : enabled_(IsEnabled()),
-      tracked_(g_span_tracking.load(std::memory_order_relaxed)) {
+      tracked_(g_span_tracking.load(std::memory_order_relaxed) > 0) {
   if (tracked_) PushTrackedSpan(name);
   if (!enabled_) return;
   event_.name.assign(name);

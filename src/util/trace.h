@@ -90,10 +90,25 @@ inline constexpr size_t kTrackedSpanNameLen = 48;
 /// destruction. The sampling profiler (obsv::profiler) turns this on for
 /// the duration of a capture so its SIGPROF handler can attribute each
 /// sample to the interrupted thread's innermost span without touching a
-/// std::string or a mutex. Cost when off: one extra relaxed load per
-/// span.
+/// std::string or a mutex; the heap tracker (obsv::memtrack) does the
+/// same from its allocation hook. Enable/disable calls are reference
+/// counted so overlapping consumers compose: tracking stays on until
+/// every enabler has disabled (disables below zero are ignored). Cost
+/// when off: one extra relaxed load per span.
 void SetSpanTrackingEnabled(bool enabled);
 bool IsSpanTrackingEnabled();
+
+/// Monotonic per-thread counter bumped on every tracked span push/pop.
+/// An allocation hook caches (epoch, innermost name) and only re-reads
+/// the name when the epoch moved — O(1) span attribution per allocation.
+/// The counter itself is exposed (rather than only the accessor) so the
+/// allocation hook's per-allocation read inlines to one TLS load; treat
+/// it as read-only outside trace.cc.
+namespace internal {
+inline constinit thread_local uint64_t t_span_epoch = 0;
+}  // namespace internal
+
+inline uint64_t SpanEpochForThread() { return internal::t_span_epoch; }
 
 /// Async-signal-safe: copies the calling thread's innermost tracked span
 /// name into `buf` (NUL-terminated, truncated to `len`). Returns false

@@ -655,6 +655,81 @@ TEST(RegressionGate, PctOverheadUnitGatesUpwardAboveItsFloor) {
   EXPECT_EQ(report.regressions, 0u);
 }
 
+TEST(RegressionGate, MbMemoryUnitGatesUpwardAboveItsFloor) {
+  EXPECT_EQ(obsv::GateDirectionOf("mb"),
+            obsv::GateDirection::kHigherIsWorse);
+  obsv::GateThresholds thresholds;  // time +25%, min_mb floor 50.0
+
+  // The acceptance scenario: a 100 MB -> 150 MB peak-RSS jump is +50%,
+  // both sides past the floor — must gate.
+  auto report = obsv::CompareGateMetrics(
+      OneMetric("run/peak_rss_mb", 100.0, "mb"),
+      OneMetric("run/peak_rss_mb", 150.0, "mb"), thresholds);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_TRUE(report.deltas[0].regressed);
+  EXPECT_EQ(report.regressions, 1u);
+
+  // Both sides under the 50 MB floor: allocator noise, never gates even
+  // at +150%.
+  report = obsv::CompareGateMetrics(
+      OneMetric("run/peak_rss_mb", 12.0, "mb"),
+      OneMetric("run/peak_rss_mb", 30.0, "mb"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+
+  // Crossing the floor upward with a big relative jump gates.
+  report = obsv::CompareGateMetrics(
+      OneMetric("run/peak_rss_mb", 40.0, "mb"),
+      OneMetric("run/peak_rss_mb", 80.0, "mb"), thresholds);
+  EXPECT_EQ(report.regressions, 1u);
+
+  // Above the floor but within the relative threshold: fine.
+  report = obsv::CompareGateMetrics(
+      OneMetric("run/peak_rss_mb", 100.0, "mb"),
+      OneMetric("run/peak_rss_mb", 110.0, "mb"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+
+  // Memory going down is an improvement, never a regression.
+  report = obsv::CompareGateMetrics(
+      OneMetric("run/peak_rss_mb", 150.0, "mb"),
+      OneMetric("run/peak_rss_mb", 100.0, "mb"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+
+  // A raised --min-mb floor silences a pair the default would gate.
+  thresholds.min_mb = 200.0;
+  report = obsv::CompareGateMetrics(
+      OneMetric("run/peak_rss_mb", 100.0, "mb"),
+      OneMetric("run/peak_rss_mb", 150.0, "mb"), thresholds);
+  EXPECT_EQ(report.regressions, 0u);
+}
+
+TEST(RegressionGate, FlattensRunReportPeakRssAsMbMetric) {
+  util::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(util::ParseJson(
+      R"({"total_seconds":1.5,"peak_rss_bytes":157286400,)"
+      R"("stages":[{"stage":"prepare","seconds":0.5,"live_bytes_delta":1024}],)"
+      R"("metrics":{"counters":{},"gauges":{}}})",
+      &doc, &error))
+      << error;
+  obsv::GateMetricMap map;
+  ASSERT_TRUE(obsv::FlattenGateSnapshot(doc, &map, &error)) << error;
+  ASSERT_TRUE(map.count("run/peak_rss_mb"));
+  EXPECT_DOUBLE_EQ(map.at("run/peak_rss_mb").value, 150.0);
+  EXPECT_EQ(map.at("run/peak_rss_mb").unit, "mb");
+
+  // Reports without the field (older snapshots, unsupported platforms
+  // writing 0) flatten without the metric — no spurious comparisons.
+  util::JsonValue old_doc;
+  ASSERT_TRUE(util::ParseJson(
+      R"({"total_seconds":1.5,"peak_rss_bytes":0,"stages":[],)"
+      R"("metrics":{"counters":{},"gauges":{}}})",
+      &old_doc, &error))
+      << error;
+  obsv::GateMetricMap old_map;
+  ASSERT_TRUE(obsv::FlattenGateSnapshot(old_doc, &old_map, &error)) << error;
+  EXPECT_FALSE(old_map.count("run/peak_rss_mb"));
+}
+
 TEST(RegressionGate, FlattensBenchHistoryEntriesWithUnits) {
   util::JsonValue doc;
   std::string error;

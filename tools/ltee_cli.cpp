@@ -57,6 +57,7 @@
 #include "obsv/access_log.h"
 #include "obsv/crash_flush.h"
 #include "obsv/http_client.h"
+#include "obsv/memtrack.h"
 #include "obsv/profiler.h"
 #include "obsv/span_analytics.h"
 #include "obsv/status_server.h"
@@ -123,6 +124,8 @@ int Usage() {
                "[--dedup] [--seed N] [--state-out DIR] [--trace-out FILE] "
                "[--metrics-out FILE] [--provenance-out FILE] "
                "[--profile-out FILE] [--profile-hz N] "
+               "[--memtrack] [--heap-profile-out FILE] "
+               "[--heap-sample-kb N] "
                "[--log-level debug|info|warning|error] [--status-port PORT] "
                "[--status-linger SECONDS]\n"
                "  ltee_cli ingest --state DIR --delta FILE "
@@ -132,6 +135,8 @@ int Usage() {
                "[--first] [--json]\n"
                "  ltee_cli analyze-trace TRACE.json [--json]\n"
                "  ltee_cli analyze-profile PROFILE.collapsed [--json] "
+               "[--top N]\n"
+               "  ltee_cli analyze-memory PROFILE.collapsed [--json] "
                "[--top N]\n"
                "  ltee_cli serve --snapshot FILE [--port PORT] [--shards N] "
                "[--workers N] [--cache-capacity N] [--linger SECONDS] "
@@ -165,7 +170,15 @@ int Usage() {
                "collapsed stacks; analyze-profile aggregates such a file "
                "(top functions by self samples + per-span CPU); a status "
                "or serve port also answers GET /profile?seconds=N&hz=H "
-               "with a live capture\n");
+               "with a live capture. run --memtrack (or LTEE_MEMTRACK=1) "
+               "counts every allocation cheaply (per-stage byte deltas "
+               "and peak RSS land in the run report); --heap-profile-out "
+               "additionally attributes bytes to the open span and samples "
+               "allocation stacks (~1 per --heap-sample-kb KB, default 64) "
+               "and writes a collapsed heap profile weighted by live "
+               "bytes; analyze-memory aggregates such a file; a status or "
+               "serve port also answers GET /memory?seconds=N&sample_kb=K "
+               "with a live heap capture\n");
   return 2;
 }
 
@@ -288,16 +301,33 @@ int Run(const std::map<std::string, std::string>& flags) {
   const bool want_trace = flags.count("trace-out") > 0;
   if (want_trace) util::trace::SetEnabled(true);
 
+  // Memory accounting must be on before the pipeline allocates anything:
+  // per-stage byte deltas in the run report read the live counter.
+  // --heap-profile-out implies --memtrack (the profiler session would
+  // enable it anyway; doing it here covers dataset synthesis too).
+  const bool want_heap = flags.count("heap-profile-out") > 0;
+  const bool want_memtrack = want_heap || flags.count("memtrack") > 0;
+  if (want_memtrack) {
+    if (!obsv::MemTrackingSupported()) {
+      std::fprintf(stderr,
+                   "warning: memory tracking unsupported in this build "
+                   "(sanitizer or non-Linux); counters stay zero\n");
+    }
+    obsv::SetMemTrackingEnabled(true);
+  }
+
   // A crashing run still flushes its observability artifacts: arm now,
   // disarm after the normal export paths below have written the files.
   const bool want_profile = flags.count("profile-out") > 0;
-  if (want_trace || flags.count("metrics-out") || want_profile) {
+  if (want_trace || flags.count("metrics-out") || want_profile ||
+      want_heap) {
     obsv::ArmCrashFlush(
         want_trace ? flags.at("trace-out") : std::string(),
         flags.count("metrics-out") ? flags.at("metrics-out")
                                    : std::string(),
         std::string(),
-        want_profile ? flags.at("profile-out") : std::string());
+        want_profile ? flags.at("profile-out") : std::string(),
+        want_heap ? flags.at("heap-profile-out") : std::string());
   }
 
   // Live introspection: --status-port wins over LTEE_STATUS_PORT.
@@ -316,9 +346,10 @@ int Run(const std::map<std::string, std::string>& flags) {
                    status_port, error.c_str());
       return 1;
     }
-    std::printf("status server on http://localhost:%u "
-                "(/metrics /report /trace /provenance /profile /healthz)\n",
-                status_server.port());
+    std::printf(
+        "status server on http://localhost:%u "
+        "(/metrics /report /trace /provenance /profile /memory /healthz)\n",
+        status_server.port());
   }
 
   const bool any_file = flags.count("kb") || flags.count("corpus") ||
@@ -381,6 +412,21 @@ int Run(const std::map<std::string, std::string>& flags) {
     std::string error;
     if (!obsv::StartProfiler(profiler_options, &error)) {
       std::fprintf(stderr, "cannot start profiler: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  // Same window for the heap profiler: allocation stacks from training
+  // through changeset apply.
+  if (want_heap) {
+    obsv::HeapProfilerOptions heap_options;
+    if (auto it = flags.find("heap-sample-kb"); it != flags.end()) {
+      heap_options.sample_bytes =
+          static_cast<size_t>(std::atoll(it->second.c_str())) * 1024;
+    }
+    std::string error;
+    if (!obsv::StartHeapProfiler(heap_options, &error)) {
+      std::fprintf(stderr, "cannot start heap profiler: %s\n",
+                   error.c_str());
       return 1;
     }
   }
@@ -477,6 +523,7 @@ int Run(const std::map<std::string, std::string>& flags) {
 
   const kb::ApplyOutcome outcome = kb::ApplyChangeSet(kb, changes);
   if (want_profile) obsv::StopProfiler();
+  if (want_heap) obsv::StopHeapProfiler();
   for (size_t i = 0; i < run.classes.size(); ++i) {
     const auto& class_run = run.classes[i];
     const kb::ClassApplyOutcome& applied = outcome.classes[i];
@@ -591,6 +638,23 @@ int Run(const std::map<std::string, std::string>& flags) {
         path.c_str(), static_cast<unsigned long long>(stats.samples),
         stats.hz, static_cast<unsigned long long>(stats.dropped));
     obsv::ResetProfiler();
+  }
+  if (want_heap) {
+    const std::string& path = flags.at("heap-profile-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << obsv::CollectCollapsedHeapProfile();
+    const obsv::HeapProfileStats stats = obsv::CurrentHeapProfileStats();
+    std::printf(
+        "heap profile written to %s (%llu sampled allocations, ~1 per "
+        "%zu KB, %llu dropped; feed to flamegraph.pl or ltee_cli "
+        "analyze-memory)\n",
+        path.c_str(), static_cast<unsigned long long>(stats.samples),
+        stats.sample_kb, static_cast<unsigned long long>(stats.dropped));
+    obsv::ResetHeapProfiler();
   }
   obsv::DisarmCrashFlush();
   if (status_server.running()) {
@@ -1005,6 +1069,47 @@ int AnalyzeProfile(const std::map<std::string, std::string>& flags,
   return 0;
 }
 
+int AnalyzeMemory(const std::map<std::string, std::string>& flags,
+                  const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  // The stack lines share the collapsed format with CPU profiles; the
+  // heap-specific header + span table parse separately.
+  obsv::ProfileAnalysis analysis;
+  std::string error;
+  if (!obsv::ParseCollapsedProfile(content, &analysis, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  obsv::HeapProfileHeader header;
+  if (!obsv::ParseHeapProfileHeader(content, &header)) {
+    std::fprintf(stderr,
+                 "%s: not a heap profile (no `heap=1` header — use "
+                 "analyze-profile for CPU profiles)\n",
+                 path.c_str());
+    return 1;
+  }
+  size_t top_n = 20;
+  if (auto it = flags.find("top"); it != flags.end()) {
+    top_n = static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  if (flags.count("json")) {
+    std::printf("%s\n",
+                obsv::HeapAnalysisToJson(analysis, header, top_n).c_str());
+  } else {
+    std::fputs(obsv::HeapAnalysisToText(analysis, header, top_n).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1041,6 +1146,11 @@ int main(int argc, char** argv) {
     const std::string path = FirstPositional(argc, argv, 2);
     if (path.empty()) return Usage();
     return AnalyzeProfile(flags, path);
+  }
+  if (command == "analyze-memory") {
+    const std::string path = FirstPositional(argc, argv, 2);
+    if (path.empty()) return Usage();
+    return AnalyzeMemory(flags, path);
   }
   return Usage();
 }

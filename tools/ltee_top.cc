@@ -6,13 +6,19 @@
 //
 // Usage:
 //   ltee_top --port PORT [--interval-ms MS] [--iterations N] [--no-clear]
-//            [--profile N]
+//            [--profile N] [--memory N]
 //
 // --profile N additionally runs a live N-second CPU capture per frame
 // (GET /profile?seconds=N against the same process) and renders a top-10
 // hotspot panel — self-CPU% per function plus the per-span breakdown —
 // beside the /stats view. A 503 (another capture in flight) is shown in
 // the panel without failing the frame.
+//
+// --memory N does the same for the heap: a live N-second sampled heap
+// capture per frame (GET /memory?seconds=N) rendered as live tracked
+// bytes, per-span byte attribution and the top allocation sites by live
+// sampled bytes. Requires the server to run with memory tracking
+// compiled in (no sanitizer); 503-while-busy is likewise a note.
 //
 // --interval-ms defaults to 1000. --iterations 0 (the default) polls
 // until interrupted; a positive N renders N frames then exits — that is
@@ -33,6 +39,7 @@
 #include <thread>
 
 #include "obsv/http_client.h"
+#include "obsv/memtrack.h"
 #include "obsv/profiler.h"
 #include "util/json_parse.h"
 
@@ -45,18 +52,21 @@ struct Options {
   int interval_ms = 1000;
   int iterations = 0;  // 0 = until interrupted
   int profile_seconds = 0;  // 0 = no hotspot panel
+  int memory_seconds = 0;   // 0 = no memory panel
   bool clear = true;
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: ltee_top --port PORT [--interval-ms MS] "
-               "[--iterations N] [--no-clear] [--profile N]\n"
+               "[--iterations N] [--no-clear] [--profile N] [--memory N]\n"
                "polls GET /stats of a `ltee_cli serve` (or `run "
                "--status-port`) process and renders live QPS, latency "
                "percentiles, cache hit rate, in-flight requests and the "
                "snapshot version; --profile N adds a top-10 CPU hotspot "
-               "panel from a live N-second /profile capture per frame\n");
+               "panel from a live N-second /profile capture per frame; "
+               "--memory N adds a live-bytes / span-attribution / top "
+               "allocation-site panel from an N-second /memory capture\n");
   return 2;
 }
 
@@ -181,6 +191,71 @@ bool RenderProfilePanel(const Options& options) {
   return true;
 }
 
+/// The memory panel: a live sampled heap capture via GET /memory, then
+/// live tracked bytes, span byte attribution and the top allocation
+/// sites by live sampled bytes. Busy (503) renders as a note, mirroring
+/// the profile panel.
+bool RenderMemoryPanel(const Options& options) {
+  int status = 0;
+  std::string body, error;
+  const std::string path =
+      "/memory?seconds=" + std::to_string(options.memory_seconds);
+  if (!ltee::obsv::HttpGet(static_cast<uint16_t>(options.port), path,
+                           &status, &body, &error)) {
+    std::printf("memory: cannot reach :%d%s: %s\n", options.port,
+                path.c_str(), error.c_str());
+    return false;
+  }
+  if (status == 503) {
+    std::printf("memory: capture busy, retrying next frame\n");
+    return true;
+  }
+  if (status != 200) {
+    std::printf("memory: GET %s returned HTTP %d\n", path.c_str(), status);
+    return false;
+  }
+  ltee::obsv::ProfileAnalysis analysis;
+  ltee::obsv::HeapProfileHeader header;
+  if (!ltee::obsv::ParseCollapsedProfile(body, &analysis, &error) ||
+      !ltee::obsv::ParseHeapProfileHeader(body, &header)) {
+    std::printf("memory: malformed heap profile: %s\n", error.c_str());
+    return false;
+  }
+  const double mb = 1024.0 * 1024.0;
+  std::printf(
+      "memory  live %.1f MB in %llu allocations  peak-rss %.1f MB  "
+      "(%llu sampled, ~1 per %zu KB)\n",
+      static_cast<double>(header.live_bytes) / mb,
+      static_cast<unsigned long long>(header.live_allocs),
+      static_cast<double>(header.peak_rss_kb) / 1024.0,
+      static_cast<unsigned long long>(analysis.samples), header.sample_kb);
+  std::string spans = "spans  ";
+  size_t span_count = 0;
+  for (const auto& span : header.spans) {
+    if (span_count++ >= 4) break;
+    char item[112];
+    std::snprintf(item, sizeof(item), " %s %.1f/%.1f MB", span.span.c_str(),
+                  static_cast<double>(span.live_bytes) / mb,
+                  static_cast<double>(span.cum_bytes) / mb);
+    spans += item;
+  }
+  std::printf("%s\n", spans.c_str());
+  // Stack-line counts are live bytes; frame.self sums a site's own share.
+  size_t shown = 0;
+  for (const auto& frame : analysis.frames) {
+    if (frame.self == 0 || shown >= 10) break;
+    std::string name = frame.name;
+    if (name.size() > 56) name = name.substr(0, 53) + "...";
+    std::printf("  %8.1f KB  %s\n",
+                static_cast<double>(frame.self) / 1024.0, name.c_str());
+    ++shown;
+  }
+  if (shown == 0) {
+    std::printf("  (no live sampled allocations during the window)\n");
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +271,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--profile" && i + 1 < argc) {
       options.profile_seconds = std::atoi(argv[++i]);
       if (options.profile_seconds < 1) return Usage();
+    } else if (arg == "--memory" && i + 1 < argc) {
+      options.memory_seconds = std::atoi(argv[++i]);
+      if (options.memory_seconds < 1) return Usage();
     } else if (arg == "--no-clear") {
       options.clear = false;
     } else {
@@ -213,6 +291,9 @@ int main(int argc, char** argv) {
     ok = RenderFrame(options, frame);
     if (options.profile_seconds > 0) {
       ok = RenderProfilePanel(options) && ok;
+    }
+    if (options.memory_seconds > 0) {
+      ok = RenderMemoryPanel(options) && ok;
     }
     std::fflush(stdout);
     if (options.iterations != 0 && frame == options.iterations) break;

@@ -30,10 +30,14 @@
 //                            absolute percent: pairs where both sides
 //                            stay below never gate (default 3.0, the
 //                            sampling profiler's overhead budget)
+//   --min-mb MB              floor for the "mb" memory unit (peak RSS,
+//                            heap footprints): pairs where both sides
+//                            stay below never gate (default 50.0)
 //
 // Direction comes from the unit recorded with each metric: "seconds",
-// "ms", "ns", the "ms_p*" latency percentiles and "pct" overheads
-// regress upward; "score"/"f1" regress downward; "ops_s" throughput
+// "ms", "ns", the "ms_p*" latency percentiles, "pct" overheads and
+// "mb" memory footprints regress upward; "score"/"f1" regress
+// downward; "ops_s" throughput
 // regresses downward against --threshold; "rate" (quality-drift gauges)
 // regresses upward against --quality-threshold; "count", "ratio" and
 // "gauge" changes are reported but never gate.
@@ -91,7 +95,7 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
         (key == "threshold" || key == "score-threshold" ||
          key == "quality-threshold" || key == "min-seconds" ||
          key == "min-latency-ms" || key == "min-pct" ||
-         key == "history")) {
+         key == "min-mb" || key == "history")) {
       flags[key] = argv[++i];
     } else {
       flags[key] = std::string("1");
@@ -115,7 +119,7 @@ int Usage() {
                "--score-threshold PCT (default 5) --quality-threshold PCT "
                "(drift rates, default 10) --min-seconds S (default 0.05) "
                "--min-latency-ms MS (default 1.0) --min-pct PCT "
-               "(default 3.0)\n");
+               "(default 3.0) --min-mb MB (default 50.0)\n");
   return 2;
 }
 
@@ -131,6 +135,7 @@ int main(int argc, char** argv) {
   thresholds.min_seconds = FlagOr(flags, "min-seconds", 0.05);
   thresholds.min_latency_ms = FlagOr(flags, "min-latency-ms", 1.0);
   thresholds.min_pct = FlagOr(flags, "min-pct", 3.0);
+  thresholds.min_mb = FlagOr(flags, "min-mb", 50.0);
 
   std::string before_json, after_json, error;
   std::string before_name = "before", after_name = "after";
